@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Shared helpers for the experiment benches: run a workload set on a
+ * configuration and print paper-style tables.
+ */
+
+#ifndef NWSIM_BENCH_BENCH_UTIL_HH
+#define NWSIM_BENCH_BENCH_UTIL_HH
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "driver/presets.hh"
+#include "driver/runner.hh"
+#include "driver/table.hh"
+#include "workloads/kernels.hh"
+
+namespace nwsim::bench
+{
+
+/** Print a bench header with the paper artifact being reproduced. */
+inline void
+header(const std::string &artifact, const std::string &what)
+{
+    std::cout << "==============================================\n"
+              << artifact << " — " << what << "\n"
+              << "Brooks & Martonosi, HPCA 1999 (nwsim reproduction)\n"
+              << "==============================================\n";
+}
+
+/** Run every workload of @p suite on @p cfg. */
+inline std::vector<RunResult>
+runSuite(const std::string &suite, const CoreConfig &cfg,
+         const std::string &config_name)
+{
+    const RunOptions opts = resolveRunOptions();
+    std::vector<RunResult> out;
+    for (const Workload &w : suiteWorkloads(suite)) {
+        out.push_back(
+            runProgram(w.program(), cfg, opts, w.name, config_name));
+    }
+    return out;
+}
+
+/** Run all 14 workloads on @p cfg. */
+inline std::vector<RunResult>
+runAll(const CoreConfig &cfg, const std::string &config_name)
+{
+    const RunOptions opts = resolveRunOptions();
+    std::vector<RunResult> out;
+    for (const Workload &w : allWorkloads()) {
+        out.push_back(
+            runProgram(w.program(), cfg, opts, w.name, config_name));
+    }
+    return out;
+}
+
+/** Arithmetic mean of @p f over the results of one suite. */
+template <typename F>
+double
+suiteMean(const std::vector<RunResult> &results, const std::string &suite,
+          F &&f)
+{
+    double sum = 0.0;
+    unsigned n = 0;
+    for (const RunResult &r : results) {
+        if (workloadByName(r.workload).suite == suite) {
+            sum += f(r);
+            ++n;
+        }
+    }
+    return n ? sum / n : 0.0;
+}
+
+} // namespace nwsim::bench
+
+#endif // NWSIM_BENCH_BENCH_UTIL_HH

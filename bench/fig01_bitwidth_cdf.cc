@@ -1,0 +1,56 @@
+/**
+ * Reproduces Figure 1: cumulative percentage of integer-op executions
+ * whose operands are both <= the given bitwidth, SPECint95 suite.
+ *
+ * Paper shape: roughly 50% of operations at 16 bits, a large jump at
+ * 33 bits (heap/stack address calculations).
+ */
+
+#include "bench_util.hh"
+
+using namespace nwsim;
+
+int
+main()
+{
+    bench::header("Figure 1", "bitwidths for SPECint on the 64-bit core");
+    const auto results =
+        bench::runSuite("spec", presets::baseline(), "baseline");
+
+    const unsigned points[] = {2,  4,  6,  8,  10, 12, 14, 16, 20,
+                               24, 28, 32, 33, 36, 40, 48, 56, 64};
+    std::vector<std::string> head = {"bits"};
+    for (const RunResult &r : results)
+        head.push_back(r.workload);
+    head.push_back("average");
+    Table t(head);
+    for (const unsigned bits : points) {
+        std::vector<std::string> row = {std::to_string(bits)};
+        double sum = 0.0;
+        for (const RunResult &r : results) {
+            const double pct = r.profiler.cumulativePercent(bits);
+            row.push_back(Table::num(pct, 1));
+            sum += pct;
+        }
+        row.push_back(Table::num(sum / results.size(), 1));
+        t.addRow(row);
+    }
+    t.print();
+
+    const double at16 = bench::suiteMean(
+        results, "spec",
+        [](const RunResult &r) { return r.profiler.cumulativePercent(16); });
+    const double at32 = bench::suiteMean(
+        results, "spec",
+        [](const RunResult &r) { return r.profiler.cumulativePercent(32); });
+    const double at33 = bench::suiteMean(
+        results, "spec",
+        [](const RunResult &r) { return r.profiler.cumulativePercent(33); });
+    std::cout << "\nShape check (paper: ~50% at 16 bits; large jump at "
+                 "33 bits):\n"
+              << "  measured average at 16 bits: " << Table::num(at16, 1)
+              << "%\n"
+              << "  measured jump 32 -> 33 bits: +"
+              << Table::num(at33 - at32, 1) << " points\n";
+    return 0;
+}

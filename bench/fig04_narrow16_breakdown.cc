@@ -1,0 +1,38 @@
+/**
+ * Reproduces Figure 4: percentage (and operation type) of executions
+ * with both operands <= 16 bits, SPECint95 + MediaBench.
+ */
+
+#include "bench_util.hh"
+
+using namespace nwsim;
+
+int
+main()
+{
+    bench::header("Figure 4", "operations with both operands <= 16 bits");
+    const auto results = bench::runAll(presets::baseline(), "baseline");
+    Table t({"benchmark", "suite", "arith%", "logic%", "shift%",
+             "mult%", "total%"});
+    for (const RunResult &r : results) {
+        const WidthProfiler &p = r.profiler;
+        t.addRow({r.workload, workloadByName(r.workload).suite,
+                  Table::num(p.narrow16Percent(WidthCategory::Arithmetic), 1),
+                  Table::num(p.narrow16Percent(WidthCategory::Logical), 1),
+                  Table::num(p.narrow16Percent(WidthCategory::Shift), 1),
+                  Table::num(p.narrow16Percent(WidthCategory::Multiply), 1),
+                  Table::num(p.narrow16TotalPercent(), 1)});
+    }
+    t.print();
+    const double spec = bench::suiteMean(
+        results, "spec",
+        [](const RunResult &r) { return r.profiler.narrow16TotalPercent(); });
+    const double media = bench::suiteMean(
+        results, "media",
+        [](const RunResult &r) { return r.profiler.narrow16TotalPercent(); });
+    std::cout << "\nSuite averages: spec " << Table::num(spec, 1)
+              << "%, media " << Table::num(media, 1)
+              << "% (paper: roughly half of all operations; arithmetic "
+                 "and logical dominate)\n";
+    return 0;
+}

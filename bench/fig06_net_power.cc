@@ -1,0 +1,40 @@
+/**
+ * Reproduces Figure 6: net power saved per cycle by operand-based clock
+ * gating — savings at 16 bits, savings at 33 bits, minus the
+ * zero-detect/mux overhead (all mW per cycle).
+ */
+
+#include "bench_util.hh"
+
+using namespace nwsim;
+
+int
+main()
+{
+    bench::header("Figure 6", "net power saved by clock gating (mW/cycle)");
+    const auto results = bench::runAll(presets::baseline(), "baseline");
+    Table t({"benchmark", "suite", "saved@16", "saved@33", "overhead",
+             "net saved"});
+    for (const RunResult &r : results) {
+        const double cyc = static_cast<double>(r.core.cycles);
+        t.addRow({r.workload, workloadByName(r.workload).suite,
+                  Table::num(r.gating.saved16MwSum / cyc, 1),
+                  Table::num(r.gating.saved33MwSum / cyc, 1),
+                  Table::num(r.gating.overheadMwSum / cyc, 1),
+                  Table::num(r.gating.netSavedMwSum() / cyc, 1)});
+    }
+    t.print();
+    const double min_net = [&] {
+        double m = 1e18;
+        for (const RunResult &r : results)
+            m = std::min(m, r.netSavedPowerPerCycle());
+        return m;
+    }();
+    std::cout << "\nShape checks (paper): zero-detect overhead is small "
+                 "and nearly constant;\nnet savings positive for every "
+                 "benchmark (min measured: "
+              << Table::num(min_net, 1)
+              << " mW/cycle);\nijpeg and go save the most among "
+                 "SPECint95; media saves more than spec on average.\n";
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * Reproduces Figure 7: integer-unit power per cycle, baseline vs the
+ * operand-based clock-gating optimization.
+ *
+ * Paper headline: 54.1% average reduction for SPECint95, 57.9% for the
+ * media benchmarks.
+ */
+
+#include "bench_util.hh"
+
+using namespace nwsim;
+
+int
+main()
+{
+    bench::header("Figure 7", "power usage of the integer unit (mW/cycle)");
+    const auto results = bench::runAll(presets::baseline(), "baseline");
+    Table t({"benchmark", "suite", "baseline", "gated", "reduction"});
+    for (const RunResult &r : results) {
+        t.addRow({r.workload, workloadByName(r.workload).suite,
+                  Table::num(r.baselinePowerPerCycle(), 1),
+                  Table::num(r.optimizedPowerPerCycle(), 1),
+                  Table::num(r.gating.reductionPercent(), 1) + "%"});
+    }
+    t.print();
+
+    const double spec = bench::suiteMean(
+        results, "spec",
+        [](const RunResult &r) { return r.gating.reductionPercent(); });
+    const double media = bench::suiteMean(
+        results, "media",
+        [](const RunResult &r) { return r.gating.reductionPercent(); });
+    std::cout << "\nAverage integer-unit power reduction:\n"
+              << "  SPECint95 proxies: " << Table::num(spec, 1)
+              << "%   (paper: 54.1%)\n"
+              << "  MediaBench proxies: " << Table::num(media, 1)
+              << "%   (paper: 57.9%)\n"
+              << "\nContext (paper Section 4.4): with the integer unit "
+                 "at ~10% of chip power\nthis is a "
+              << Table::num(spec / 10, 1)
+              << "% full-chip saving; at 20-40% (DSP/EPIC-style "
+                 "control) it approaches "
+              << Table::num(spec * 0.4, 1) << "%.\n";
+    return 0;
+}

@@ -1,0 +1,111 @@
+/**
+ * Reproduces Figure 10 (plus the Section 5.4 8-wide-decode numbers):
+ * percent speedup from operation packing over the matching baseline,
+ * with perfect and realistic (combining) branch prediction, at decode
+ * widths 4 and 8, with and without replay packing.
+ *
+ * Paper averages (replay packing, 100M-instruction windows):
+ *   decode 4: SPECint95 7.1% perfect / 4.3% realistic;
+ *             media ~7.6% perfect / 8.0% realistic
+ *   decode 8: SPECint95 9.9% perfect / 6.2% realistic;
+ *             media 10.3% perfect / 10.4% realistic
+ */
+
+#include "bench_util.hh"
+
+using namespace nwsim;
+
+namespace
+{
+
+struct SweepPoint
+{
+    std::vector<RunResult> base;
+    std::vector<RunResult> packStrict;
+    std::vector<RunResult> packReplay;
+};
+
+SweepPoint
+sweep(bool perfect, bool decode8)
+{
+    auto mk = [&](CoreConfig cfg) {
+        return decode8 ? presets::decode8(cfg) : cfg;
+    };
+    SweepPoint p;
+    p.base = bench::runAll(mk(presets::baseline(perfect)), "base");
+    p.packStrict =
+        bench::runAll(mk(presets::packing(false, perfect)), "pack");
+    p.packReplay =
+        bench::runAll(mk(presets::packing(true, perfect)), "pack+replay");
+    return p;
+}
+
+void
+printSweep(const char *title, const SweepPoint &perfect,
+           const SweepPoint &realistic)
+{
+    std::cout << "\n--- " << title << " ---\n";
+    Table t({"benchmark", "suite", "pack perf%", "pack real%",
+             "+replay perf%", "+replay real%"});
+    for (size_t i = 0; i < perfect.base.size(); ++i) {
+        t.addRow({perfect.base[i].workload,
+                  workloadByName(perfect.base[i].workload).suite,
+                  Table::num(speedupPercent(perfect.base[i],
+                                            perfect.packStrict[i]),
+                             1),
+                  Table::num(speedupPercent(realistic.base[i],
+                                            realistic.packStrict[i]),
+                             1),
+                  Table::num(speedupPercent(perfect.base[i],
+                                            perfect.packReplay[i]),
+                             1),
+                  Table::num(speedupPercent(realistic.base[i],
+                                            realistic.packReplay[i]),
+                             1)});
+    }
+    t.print();
+
+    for (const char *suite : {"spec", "media"}) {
+        double pp = 0, pr = 0, rp = 0, rr = 0;
+        unsigned n = 0;
+        for (size_t i = 0; i < perfect.base.size(); ++i) {
+            if (workloadByName(perfect.base[i].workload).suite != suite)
+                continue;
+            pp += speedupPercent(perfect.base[i], perfect.packReplay[i]);
+            rp += speedupPercent(realistic.base[i],
+                                 realistic.packReplay[i]);
+            pr += speedupPercent(perfect.base[i],
+                                 perfect.packStrict[i]);
+            rr += speedupPercent(realistic.base[i],
+                                 realistic.packStrict[i]);
+            ++n;
+        }
+        std::cout << "  " << suite << " average (+replay): perfect "
+                  << Table::num(pp / n, 1) << "%, realistic "
+                  << Table::num(rp / n, 1) << "%   (strict: perfect "
+                  << Table::num(pr / n, 1) << "%, realistic "
+                  << Table::num(rr / n, 1) << "%)\n";
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header("Figure 10 (+ §5.4 text)",
+                  "speedup due to operation packing");
+
+    const SweepPoint p4 = sweep(true, false);
+    const SweepPoint r4 = sweep(false, false);
+    printSweep("decode width 4 (Figure 10)", p4, r4);
+    std::cout << "  paper averages (decode 4): spec 7.1% perfect / "
+                 "4.3% realistic; media ~7.6% / 8.0%\n";
+
+    const SweepPoint p8 = sweep(true, true);
+    const SweepPoint r8 = sweep(false, true);
+    printSweep("decode width 8 (Section 5.4)", p8, r8);
+    std::cout << "  paper averages (decode 8): spec 9.9% perfect / "
+                 "6.2% realistic; media 10.3% / 10.4%\n";
+    return 0;
+}

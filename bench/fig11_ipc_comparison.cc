@@ -1,0 +1,49 @@
+/**
+ * Reproduces Figure 11: IPC of (a) the 4-issue/4-ALU baseline, (b) the
+ * baseline with operation packing, and (c) an 8-issue/8-ALU machine —
+ * all with the combining predictor and decode/commit width 4.
+ *
+ * Paper shape: packing closes much of the gap to the costly
+ * 8-issue/8-ALU machine, most completely on ijpeg, vortex, and the
+ * media benchmarks.
+ */
+
+#include "bench_util.hh"
+
+using namespace nwsim;
+
+int
+main()
+{
+    bench::header("Figure 11", "IPC: baseline vs packing vs 8-issue");
+    const auto base = bench::runAll(presets::baseline(), "baseline");
+    const auto pack = bench::runAll(presets::packing(true), "packing");
+    const auto wide = bench::runAll(presets::issue8(), "8-issue/8-ALU");
+
+    Table t({"benchmark", "suite", "baseline", "packing", "8-issue",
+             "gap closed"});
+    double closed_sum = 0.0;
+    unsigned closed_n = 0;
+    for (size_t i = 0; i < base.size(); ++i) {
+        const double b = base[i].ipc();
+        const double p = pack[i].ipc();
+        const double w = wide[i].ipc();
+        std::string closed = "-";
+        if (w - b > 1e-3) {
+            const double frac = 100.0 * (p - b) / (w - b);
+            closed = Table::num(frac, 0) + "%";
+            closed_sum += frac;
+            ++closed_n;
+        }
+        t.addRow({base[i].workload, workloadByName(base[i].workload).suite,
+                  Table::num(b, 2), Table::num(p, 2), Table::num(w, 2),
+                  closed});
+    }
+    t.print();
+    if (closed_n) {
+        std::cout << "\nAverage fraction of the 8-issue/8-ALU gap "
+                     "closed by packing: "
+                  << Table::num(closed_sum / closed_n, 0) << "%\n";
+    }
+    return 0;
+}

@@ -1,0 +1,159 @@
+/**
+ * google-benchmark microbenchmarks of the simulator's hot components:
+ * width detection, the combining predictor, the cache model, functional
+ * simulation, and end-to-end out-of-order simulation throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bpred/combining.hh"
+#include "common/rng.hh"
+#include "core/width.hh"
+#include "driver/presets.hh"
+#include "func/func_sim.hh"
+#include "mem/cache.hh"
+#include "pipeline/core.hh"
+#include "workloads/kernels.hh"
+
+namespace
+{
+
+using namespace nwsim;
+
+void
+BM_EffectiveWidth(benchmark::State &state)
+{
+    SplitMix64 rng(1);
+    std::vector<u64> values(4096);
+    for (auto &v : values)
+        v = rng.next() >> (rng.next() & 63);
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(effectiveWidth(values[i]));
+        benchmark::DoNotOptimize(isNarrow16(values[i]));
+        i = (i + 1) & 4095;
+    }
+}
+BENCHMARK(BM_EffectiveWidth);
+
+void
+BM_PredictorPredictResolve(benchmark::State &state)
+{
+    CombiningPredictor bp{BPredConfig{}};
+    Inst b;
+    b.op = Opcode::BNE;
+    b.ra = 1;
+    b.disp = 4;
+    SplitMix64 rng(2);
+    for (auto _ : state) {
+        const Addr pc = 0x1000 + (rng.below(256) << 2);
+        const bool taken = rng.below(3) != 0;
+        const Prediction p = bp.predict(pc, b);
+        if (p.taken != taken)
+            bp.repair(b, p, taken);
+        bp.resolve(pc, b, p, taken,
+                   taken ? b.branchTarget(pc) : pc + 4);
+    }
+}
+BENCHMARK(BM_PredictorPredictResolve);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    Cache cache({"bm", 64 * 1024, 2, 32, 1});
+    SplitMix64 rng(3);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cache.access(rng.below(1 << 20)));
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_FunctionalSim(benchmark::State &state)
+{
+    const Program prog = makeCompress(1000).program();
+    SparseMemory mem;
+    prog.load(mem);
+    FuncSim sim(mem, prog.entry);
+    for (auto _ : state) {
+        sim.step();
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FunctionalSim);
+
+void
+BM_OutOfOrderCore(benchmark::State &state)
+{
+    const Program prog = makeCompress(1000).program();
+    SparseMemory mem;
+    prog.load(mem);
+    OutOfOrderCore core(presets::baseline(), mem, prog.entry);
+    for (auto _ : state) {
+        core.tick();
+        benchmark::ClobberMemory();
+    }
+    state.counters["insts/cycle"] = benchmark::Counter(
+        static_cast<double>(core.stats().committed),
+        benchmark::Counter::kIsRate);
+    state.SetItemsProcessed(
+        static_cast<i64>(core.stats().committed));
+}
+BENCHMARK(BM_OutOfOrderCore);
+
+void
+BM_OutOfOrderCoreWithPacking(benchmark::State &state)
+{
+    const Program prog = makeGsmEncode(1000).program();
+    SparseMemory mem;
+    prog.load(mem);
+    OutOfOrderCore core(presets::packing(true), mem, prog.entry);
+    for (auto _ : state) {
+        core.tick();
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(
+        static_cast<i64>(core.stats().committed));
+}
+BENCHMARK(BM_OutOfOrderCoreWithPacking);
+
+void
+BM_FastForward(benchmark::State &state)
+{
+    const Program prog = makeCompress(1000).program();
+    SparseMemory mem;
+    prog.load(mem);
+    OutOfOrderCore core(presets::baseline(), mem, prog.entry);
+    u64 total = 0;
+    for (auto _ : state)
+        total += core.fastForward(1000);
+    state.SetItemsProcessed(static_cast<i64>(total));
+}
+BENCHMARK(BM_FastForward);
+
+void
+BM_WorkloadBuildAndAssemble(benchmark::State &state)
+{
+    for (auto _ : state) {
+        const Program prog = makeGo(1).program();
+        benchmark::DoNotOptimize(prog.imageBytes());
+    }
+}
+BENCHMARK(BM_WorkloadBuildAndAssemble);
+
+void
+BM_SparseMemoryReadWrite(benchmark::State &state)
+{
+    SparseMemory mem;
+    SplitMix64 rng(9);
+    for (auto _ : state) {
+        const Addr a = rng.below(1 << 22);
+        mem.write(a, 8, rng.next());
+        benchmark::DoNotOptimize(mem.read(a ^ 0x40, 8));
+    }
+}
+BENCHMARK(BM_SparseMemoryReadWrite);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+/** Reproduces Table 1: baseline configuration of the simulated CPU. */
+
+#include "bench_util.hh"
+
+using namespace nwsim;
+
+int
+main()
+{
+    bench::header("Table 1", "baseline configuration");
+    const CoreConfig c = presets::baseline();
+    Table t({"parameter", "value"});
+    t.addRow({"RUU size", std::to_string(c.ruuSize) + " instructions"});
+    t.addRow({"LSQ size", std::to_string(c.lsqSize)});
+    t.addRow({"Fetch queue size",
+              std::to_string(c.fetchQueueSize) + " instructions"});
+    t.addRow({"Fetch width", std::to_string(c.fetchWidth) + "/cycle"});
+    t.addRow({"Decode width", std::to_string(c.decodeWidth) + "/cycle"});
+    t.addRow({"Issue width",
+              std::to_string(c.issueWidth) + "/cycle (out-of-order)"});
+    t.addRow({"Commit width",
+              std::to_string(c.commitWidth) + "/cycle (in-order)"});
+    t.addRow({"Functional units",
+              std::to_string(c.numAlus) + " int ALUs, " +
+                  std::to_string(c.numMultDiv) + " int mult/div"});
+    t.addRow({"Branch predictor",
+              "combining: " + std::to_string(c.bpred.selectorEntries) +
+                  " 2-bit selector, " +
+                  std::to_string(c.bpred.globalHistBits) +
+                  "-bit history; " +
+                  std::to_string(c.bpred.localHistEntries) +
+                  " 3-bit local, " +
+                  std::to_string(c.bpred.localHistBits) +
+                  "-bit history; " +
+                  std::to_string(c.bpred.globalEntries) +
+                  " 2-bit global"});
+    t.addRow({"BTB", std::to_string(c.bpred.btbEntries) + "-entry, " +
+                         std::to_string(c.bpred.btbAssoc) + "-way"});
+    t.addRow({"Return-address stack",
+              std::to_string(c.bpred.rasEntries) + "-entry"});
+    t.addRow({"Mispredict penalty",
+              std::to_string(c.mispredictPenalty) + " cycles"});
+    t.addRow({"L1 D-cache",
+              std::to_string(c.mem.l1d.sizeBytes / 1024) + "K, " +
+                  std::to_string(c.mem.l1d.assoc) + "-way, " +
+                  std::to_string(c.mem.l1d.blockBytes) + "B blocks, " +
+                  std::to_string(c.mem.l1d.hitLatency) + " cycle"});
+    t.addRow({"L1 I-cache",
+              std::to_string(c.mem.l1i.sizeBytes / 1024) + "K, " +
+                  std::to_string(c.mem.l1i.assoc) + "-way, " +
+                  std::to_string(c.mem.l1i.blockBytes) + "B blocks, " +
+                  std::to_string(c.mem.l1i.hitLatency) + " cycle"});
+    t.addRow({"L2",
+              "unified, " +
+                  std::to_string(c.mem.l2.sizeBytes / (1024 * 1024)) +
+                  "M, " + std::to_string(c.mem.l2.assoc) + "-way, " +
+                  std::to_string(c.mem.l2.blockBytes) + "B blocks, " +
+                  std::to_string(c.mem.l2.hitLatency) + "-cycle"});
+    t.addRow({"Memory",
+              std::to_string(c.mem.memoryLatency) + " cycles"});
+    t.addRow({"TLBs", std::to_string(c.mem.dtlb.entries) +
+                          " entry, fully assoc., " +
+                          std::to_string(c.mem.dtlb.missLatency) +
+                          "-cycle miss"});
+    t.print();
+    return 0;
+}

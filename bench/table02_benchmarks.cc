@@ -1,0 +1,19 @@
+/** Reproduces Tables 2 and 3: the benchmark suites (proxy kernels). */
+
+#include "bench_util.hh"
+
+using namespace nwsim;
+
+int
+main()
+{
+    bench::header("Tables 2 & 3", "SPECint95 and MediaBench workloads");
+    std::cout << "(Original binaries are unavailable; each benchmark is "
+                 "a deterministic\nproxy kernel in the nwsim ISA — see "
+                 "DESIGN.md substitution table.)\n\n";
+    Table t({"benchmark", "suite", "description"});
+    for (const Workload &w : allWorkloads())
+        t.addRow({w.name, w.suite, w.description});
+    t.print();
+    return 0;
+}

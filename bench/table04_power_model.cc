@@ -1,0 +1,45 @@
+/** Reproduces Table 4: functional-unit power at 3.3V / 500MHz (mW). */
+
+#include "power/device_model.hh"
+
+#include "bench_util.hh"
+
+using namespace nwsim;
+
+int
+main()
+{
+    bench::header("Table 4", "estimated functional-unit power (mW)");
+    DeviceModel m;
+    Table t({"device", "32-bit", "48-bit", "64-bit", "paper 32/48/64"});
+    const struct
+    {
+        const char *name;
+        DeviceClass dev;
+        const char *paper;
+    } rows[] = {
+        {"Adder (CLA)", DeviceClass::Adder, "105 / 158 / 210"},
+        {"Booth Multiplier", DeviceClass::Multiplier,
+         "1050 / 1580 / 2100"},
+        {"Bit-Wise Logic", DeviceClass::BitwiseLogic, "5.8 / 8.7 / 11.7"},
+        {"Shifter", DeviceClass::Shifter, "4.4 / 6.6 / 8.8"},
+    };
+    for (const auto &r : rows) {
+        t.addRow({r.name, Table::num(m.power(r.dev, 32), 1),
+                  Table::num(m.power(r.dev, 48), 1),
+                  Table::num(m.power(r.dev, 64), 1), r.paper});
+    }
+    t.addRow({"Zero-Detect", "", Table::num(m.zeroDetectPower(), 1), "",
+              "4.2"});
+    t.addRow({"Additional Muxes", "", Table::num(m.muxPower(), 1), "",
+              "3.2"});
+    t.print();
+    std::cout << "\nGated widths used by the optimization:\n";
+    Table g({"device", "16-bit (gated)", "33-bit (gated)"});
+    for (const auto &r : rows) {
+        g.addRow({r.name, Table::num(m.power(r.dev, 16), 1),
+                  Table::num(m.power(r.dev, 33), 1)});
+    }
+    g.print();
+    return 0;
+}

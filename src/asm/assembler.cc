@@ -1,0 +1,447 @@
+#include "asm/assembler.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace nwsim
+{
+
+Assembler::Assembler(Addr text_base, Addr data_base)
+    : textBase(text_base), dataBase(data_base)
+{
+    NWSIM_ASSERT(isAligned(text_base, 4), "text base must be word aligned");
+}
+
+// ---- Labels and cursors -------------------------------------------------
+
+void
+Assembler::label(const std::string &name)
+{
+    bind(name, here());
+}
+
+Addr
+Assembler::dataLabel(const std::string &name)
+{
+    bind(name, dataHere());
+    return dataHere();
+}
+
+Addr
+Assembler::here() const
+{
+    return textBase + 4 * text.size();
+}
+
+Addr
+Assembler::dataHere() const
+{
+    return dataBase + data.size();
+}
+
+void
+Assembler::bind(const std::string &name, Addr addr)
+{
+    const auto [it, inserted] = symbols.emplace(name, addr);
+    if (!inserted)
+        NWSIM_FATAL("duplicate label: ", name);
+}
+
+Addr
+Assembler::lookup(const std::string &name) const
+{
+    const auto it = symbols.find(name);
+    if (it == symbols.end())
+        NWSIM_FATAL("undefined label: ", name);
+    return it->second;
+}
+
+// ---- Emission helpers ----------------------------------------------------
+
+void
+Assembler::emit(const Inst &inst)
+{
+    NWSIM_ASSERT(!assembled, "emit after assemble()");
+    text.push_back(encode(inst));
+}
+
+void
+Assembler::emitR(Opcode op, RegIndex rc, RegIndex ra, RegIndex rb)
+{
+    Inst inst;
+    inst.op = op;
+    inst.ra = ra;
+    inst.rb = rb;
+    inst.rc = rc;
+    emit(inst);
+}
+
+void
+Assembler::emitI(Opcode op, RegIndex rc, RegIndex ra, i64 imm)
+{
+    Inst inst;
+    inst.op = op;
+    inst.ra = ra;
+    inst.rc = rc;
+    inst.imm = imm;
+    emit(inst);
+}
+
+void
+Assembler::emitMem(Opcode op, RegIndex reg, i64 offset, RegIndex base)
+{
+    Inst inst;
+    inst.op = op;
+    inst.ra = base;
+    inst.imm = offset;
+    if (isStore(op))
+        inst.rb = reg;
+    else
+        inst.rc = reg;
+    emit(inst);
+}
+
+void
+Assembler::emitBranch(Opcode op, RegIndex ra, RegIndex link,
+                      const std::string &target)
+{
+    Inst inst;
+    inst.op = op;
+    inst.ra = ra;
+    inst.rc = link;
+    inst.disp = 0;
+    fixups.push_back({FixupKind::BranchDisp, text.size(), target});
+    emit(inst);
+}
+
+// ---- Instruction mnemonics ------------------------------------------------
+
+#define NWSIM_DEF_R3(name, OP) \
+    void Assembler::name(RegIndex rc, RegIndex ra, RegIndex rb) \
+    { emitR(Opcode::OP, rc, ra, rb); }
+
+NWSIM_DEF_R3(add, ADD)
+NWSIM_DEF_R3(sub, SUB)
+NWSIM_DEF_R3(mul, MUL)
+NWSIM_DEF_R3(div, DIV)
+NWSIM_DEF_R3(rem, REM)
+NWSIM_DEF_R3(and_, AND)
+NWSIM_DEF_R3(or_, OR)
+NWSIM_DEF_R3(xor_, XOR)
+NWSIM_DEF_R3(bic, BIC)
+NWSIM_DEF_R3(sll, SLL)
+NWSIM_DEF_R3(srl, SRL)
+NWSIM_DEF_R3(sra, SRA)
+NWSIM_DEF_R3(cmpeq, CMPEQ)
+NWSIM_DEF_R3(cmplt, CMPLT)
+NWSIM_DEF_R3(cmple, CMPLE)
+NWSIM_DEF_R3(cmpult, CMPULT)
+NWSIM_DEF_R3(cmpule, CMPULE)
+
+#undef NWSIM_DEF_R3
+
+void
+Assembler::sextb(RegIndex rc, RegIndex ra)
+{
+    emitR(Opcode::SEXTB, rc, ra, zeroReg);
+}
+
+void
+Assembler::sextw(RegIndex rc, RegIndex ra)
+{
+    emitR(Opcode::SEXTW, rc, ra, zeroReg);
+}
+
+#define NWSIM_DEF_I(name, OP) \
+    void Assembler::name(RegIndex rc, RegIndex ra, i64 imm) \
+    { emitI(Opcode::OP, rc, ra, imm); }
+
+NWSIM_DEF_I(addi, ADDI)
+NWSIM_DEF_I(subi, SUBI)
+NWSIM_DEF_I(muli, MULI)
+NWSIM_DEF_I(andi, ANDI)
+NWSIM_DEF_I(ori, ORI)
+NWSIM_DEF_I(xori, XORI)
+NWSIM_DEF_I(slli, SLLI)
+NWSIM_DEF_I(srli, SRLI)
+NWSIM_DEF_I(srai, SRAI)
+NWSIM_DEF_I(cmpeqi, CMPEQI)
+NWSIM_DEF_I(cmplti, CMPLTI)
+NWSIM_DEF_I(cmplei, CMPLEI)
+NWSIM_DEF_I(ldah, LDAH)
+
+#undef NWSIM_DEF_I
+
+#define NWSIM_DEF_MEM(name, OP) \
+    void Assembler::name(RegIndex reg, i64 offset, RegIndex base) \
+    { emitMem(Opcode::OP, reg, offset, base); }
+
+NWSIM_DEF_MEM(ldq, LDQ)
+NWSIM_DEF_MEM(ldl, LDL)
+NWSIM_DEF_MEM(ldwu, LDWU)
+NWSIM_DEF_MEM(ldbu, LDBU)
+NWSIM_DEF_MEM(stq, STQ)
+NWSIM_DEF_MEM(stl, STL)
+NWSIM_DEF_MEM(stw, STW)
+NWSIM_DEF_MEM(stb, STB)
+
+#undef NWSIM_DEF_MEM
+
+#define NWSIM_DEF_BR(name, OP) \
+    void Assembler::name(RegIndex ra, const std::string &target) \
+    { emitBranch(Opcode::OP, ra, zeroReg, target); }
+
+NWSIM_DEF_BR(beq, BEQ)
+NWSIM_DEF_BR(bne, BNE)
+NWSIM_DEF_BR(blt, BLT)
+NWSIM_DEF_BR(ble, BLE)
+NWSIM_DEF_BR(bgt, BGT)
+NWSIM_DEF_BR(bge, BGE)
+
+#undef NWSIM_DEF_BR
+
+void
+Assembler::br(const std::string &target)
+{
+    emitBranch(Opcode::BR, zeroReg, zeroReg, target);
+}
+
+void
+Assembler::brLink(RegIndex link, const std::string &target)
+{
+    emitBranch(Opcode::BR, zeroReg, link, target);
+}
+
+void
+Assembler::jmp(RegIndex link, RegIndex rb)
+{
+    Inst inst;
+    inst.op = Opcode::JMP;
+    inst.rc = link;
+    inst.rb = rb;
+    emit(inst);
+}
+
+void
+Assembler::jsr(RegIndex link, RegIndex rb)
+{
+    Inst inst;
+    inst.op = Opcode::JSR;
+    inst.rc = link;
+    inst.rb = rb;
+    emit(inst);
+}
+
+void
+Assembler::ret(RegIndex rb)
+{
+    Inst inst;
+    inst.op = Opcode::RET;
+    inst.rb = rb;
+    emit(inst);
+}
+
+void
+Assembler::nop()
+{
+    emit(Inst{});
+}
+
+void
+Assembler::halt()
+{
+    Inst inst;
+    inst.op = Opcode::HALT;
+    emit(inst);
+}
+
+// ---- Pseudo-ops ------------------------------------------------------------
+
+void
+Assembler::mov(RegIndex rc, RegIndex ra)
+{
+    ori(rc, ra, 0);
+}
+
+void
+Assembler::li(RegIndex rc, i64 value)
+{
+    if (fitsSigned(static_cast<u64>(value), 16)) {
+        addi(rc, zeroReg, value);
+        return;
+    }
+    if (fitsSigned(static_cast<u64>(value), 32)) {
+        const i64 lo = static_cast<i64>(sext(static_cast<u64>(value), 16));
+        const i64 hi = (value - lo) >> 16;
+        // Values just below 2^31 make the carry-adjusted high part
+        // overflow imm16 (e.g. 0x7fffffff -> hi = 0x8000); those fall
+        // through to the general chunked form.
+        if (hi >= -32768 && hi <= 32767) {
+            ldah(rc, zeroReg, hi);
+            if (lo != 0)
+                addi(rc, rc, lo);
+            return;
+        }
+    }
+    // General case: build 16 bits at a time from the top.
+    bool started = false;
+    for (int chunk = 3; chunk >= 0; --chunk) {
+        const i64 piece =
+            static_cast<i64>((static_cast<u64>(value) >> (16 * chunk)) &
+                             0xffff);
+        if (!started) {
+            if (piece == 0 && chunk > 0)
+                continue;
+            ori(rc, zeroReg, piece);
+            started = true;
+        } else {
+            slli(rc, rc, 16);
+            if (piece != 0)
+                ori(rc, rc, piece);
+        }
+    }
+}
+
+void
+Assembler::la(RegIndex rc, const std::string &sym)
+{
+    // Fixed-length so forward references assemble identically: three
+    // 16-bit chunks cover the 48-bit address space nwsim programs use.
+    fixups.push_back({FixupKind::LoadAddress, text.size(), sym});
+    ori(rc, zeroReg, 0);    // bits 47:32
+    slli(rc, rc, 16);
+    ori(rc, rc, 0);         // bits 31:16
+    slli(rc, rc, 16);
+    ori(rc, rc, 0);         // bits 15:0
+}
+
+void
+Assembler::call(const std::string &fn)
+{
+    brLink(raReg, fn);
+}
+
+// ---- Data segment ----------------------------------------------------------
+
+void
+Assembler::dataByte(u8 value)
+{
+    data.push_back(value);
+}
+
+void
+Assembler::dataWord(u16 value)
+{
+    for (int i = 0; i < 2; ++i)
+        data.push_back(static_cast<u8>(value >> (8 * i)));
+}
+
+void
+Assembler::dataLong(u32 value)
+{
+    for (int i = 0; i < 4; ++i)
+        data.push_back(static_cast<u8>(value >> (8 * i)));
+}
+
+void
+Assembler::dataQuad(u64 value)
+{
+    for (int i = 0; i < 8; ++i)
+        data.push_back(static_cast<u8>(value >> (8 * i)));
+}
+
+void
+Assembler::dataBytes(const std::vector<u8> &bytes)
+{
+    data.insert(data.end(), bytes.begin(), bytes.end());
+}
+
+void
+Assembler::dataZeros(size_t count)
+{
+    data.insert(data.end(), count, 0);
+}
+
+void
+Assembler::alignData(unsigned bytes)
+{
+    NWSIM_ASSERT(bytes && (bytes & (bytes - 1)) == 0,
+                 "alignment must be a power of two");
+    while (data.size() % bytes != 0)
+        data.push_back(0);
+}
+
+void
+Assembler::dataQuadSym(const std::string &sym)
+{
+    fixups.push_back({FixupKind::DataPointer, data.size(), sym});
+    dataQuad(0);
+}
+
+// ---- Final assembly ---------------------------------------------------------
+
+Program
+Assembler::assemble()
+{
+    NWSIM_ASSERT(!assembled, "assemble() called twice");
+    assembled = true;
+
+    for (const Fixup &fix : fixups) {
+        const Addr target = lookup(fix.sym);
+        switch (fix.kind) {
+          case FixupKind::BranchDisp: {
+            Inst inst = decode(text[fix.index]);
+            const Addr pc = textBase + 4 * fix.index;
+            const i64 disp =
+                (static_cast<i64>(target) - static_cast<i64>(pc) - 4) / 4;
+            inst.disp = disp;
+            text[fix.index] = encode(inst);
+            break;
+          }
+          case FixupKind::LoadAddress: {
+            NWSIM_ASSERT(target < (Addr{1} << 48),
+                         "la target above 48 bits: ", fix.sym);
+            const u64 chunks[3] = {
+                (target >> 32) & 0xffff,
+                (target >> 16) & 0xffff,
+                target & 0xffff,
+            };
+            // The la sequence is ori/slli/ori/slli/ori: patch words
+            // 0, 2, 4 after the fixup point.
+            for (int i = 0; i < 3; ++i) {
+                Inst inst = decode(text[fix.index + 2 * i]);
+                inst.imm = static_cast<i64>(chunks[i]);
+                text[fix.index + 2 * i] = encode(inst);
+            }
+            break;
+          }
+          case FixupKind::DataPointer:
+            for (int i = 0; i < 8; ++i)
+                data[fix.index + i] = static_cast<u8>(target >> (8 * i));
+            break;
+        }
+    }
+
+    Program prog;
+    prog.entry = textBase;
+    Segment text_seg;
+    text_seg.base = textBase;
+    text_seg.bytes.resize(text.size() * 4);
+    for (size_t i = 0; i < text.size(); ++i) {
+        for (int b = 0; b < 4; ++b) {
+            text_seg.bytes[4 * i + b] =
+                static_cast<u8>(text[i] >> (8 * b));
+        }
+    }
+    prog.segments.push_back(std::move(text_seg));
+    if (!data.empty()) {
+        Segment data_seg;
+        data_seg.base = dataBase;
+        data_seg.bytes = data;
+        prog.segments.push_back(std::move(data_seg));
+    }
+    prog.symbols = symbols;
+    return prog;
+}
+
+} // namespace nwsim

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Programmatic assembler: the API the workload kernels, tests, and the
+ * text assembler all use to build nwsim programs.
+ *
+ * Supports forward references to code and data labels (two-pass via
+ * fixups), a minimal-length `li` constant-synthesis pseudo-op, a
+ * fixed-length `la` address-synthesis pseudo-op, and data-segment
+ * emission with symbolic pointers (for jump tables and linked
+ * structures).
+ */
+
+#ifndef NWSIM_ASM_ASSEMBLER_HH
+#define NWSIM_ASM_ASSEMBLER_HH
+
+#include <string>
+#include <vector>
+
+#include "asm/layout.hh"
+#include "asm/program.hh"
+#include "isa/encode.hh"
+
+namespace nwsim
+{
+
+/** Two-pass assembler producing a loadable Program. */
+class Assembler
+{
+  public:
+    explicit Assembler(Addr text_base = layout::textBase,
+                       Addr data_base = layout::dataBase);
+
+    // ---- Labels and cursors -------------------------------------------
+
+    /** Bind @p name to the current text position. */
+    void label(const std::string &name);
+
+    /** Bind @p name to the current data position and return it. */
+    Addr dataLabel(const std::string &name);
+
+    /** Current text PC. */
+    Addr here() const;
+
+    /** Current data cursor. */
+    Addr dataHere() const;
+
+    // ---- R-type --------------------------------------------------------
+
+    void add(RegIndex rc, RegIndex ra, RegIndex rb);
+    void sub(RegIndex rc, RegIndex ra, RegIndex rb);
+    void mul(RegIndex rc, RegIndex ra, RegIndex rb);
+    void div(RegIndex rc, RegIndex ra, RegIndex rb);
+    void rem(RegIndex rc, RegIndex ra, RegIndex rb);
+    void and_(RegIndex rc, RegIndex ra, RegIndex rb);
+    void or_(RegIndex rc, RegIndex ra, RegIndex rb);
+    void xor_(RegIndex rc, RegIndex ra, RegIndex rb);
+    void bic(RegIndex rc, RegIndex ra, RegIndex rb);
+    void sll(RegIndex rc, RegIndex ra, RegIndex rb);
+    void srl(RegIndex rc, RegIndex ra, RegIndex rb);
+    void sra(RegIndex rc, RegIndex ra, RegIndex rb);
+    void cmpeq(RegIndex rc, RegIndex ra, RegIndex rb);
+    void cmplt(RegIndex rc, RegIndex ra, RegIndex rb);
+    void cmple(RegIndex rc, RegIndex ra, RegIndex rb);
+    void cmpult(RegIndex rc, RegIndex ra, RegIndex rb);
+    void cmpule(RegIndex rc, RegIndex ra, RegIndex rb);
+    void sextb(RegIndex rc, RegIndex ra);
+    void sextw(RegIndex rc, RegIndex ra);
+
+    // ---- I-type --------------------------------------------------------
+
+    void addi(RegIndex rc, RegIndex ra, i64 imm);
+    void subi(RegIndex rc, RegIndex ra, i64 imm);
+    void muli(RegIndex rc, RegIndex ra, i64 imm);
+    void andi(RegIndex rc, RegIndex ra, i64 imm);
+    void ori(RegIndex rc, RegIndex ra, i64 imm);
+    void xori(RegIndex rc, RegIndex ra, i64 imm);
+    void slli(RegIndex rc, RegIndex ra, i64 imm);
+    void srli(RegIndex rc, RegIndex ra, i64 imm);
+    void srai(RegIndex rc, RegIndex ra, i64 imm);
+    void cmpeqi(RegIndex rc, RegIndex ra, i64 imm);
+    void cmplti(RegIndex rc, RegIndex ra, i64 imm);
+    void cmplei(RegIndex rc, RegIndex ra, i64 imm);
+    void ldah(RegIndex rc, RegIndex ra, i64 imm);
+
+    // ---- Memory (offset(base) addressing) ------------------------------
+
+    void ldq(RegIndex rc, i64 offset, RegIndex base);
+    void ldl(RegIndex rc, i64 offset, RegIndex base);
+    void ldwu(RegIndex rc, i64 offset, RegIndex base);
+    void ldbu(RegIndex rc, i64 offset, RegIndex base);
+    void stq(RegIndex data, i64 offset, RegIndex base);
+    void stl(RegIndex data, i64 offset, RegIndex base);
+    void stw(RegIndex data, i64 offset, RegIndex base);
+    void stb(RegIndex data, i64 offset, RegIndex base);
+
+    // ---- Control flow --------------------------------------------------
+
+    void beq(RegIndex ra, const std::string &target);
+    void bne(RegIndex ra, const std::string &target);
+    void blt(RegIndex ra, const std::string &target);
+    void ble(RegIndex ra, const std::string &target);
+    void bgt(RegIndex ra, const std::string &target);
+    void bge(RegIndex ra, const std::string &target);
+
+    /** Unconditional branch, no link. */
+    void br(const std::string &target);
+
+    /** Branch-and-link into @p link (predictor treats as a call). */
+    void brLink(RegIndex link, const std::string &target);
+
+    /** Indirect jump through @p rb, linking into @p link. */
+    void jmp(RegIndex link, RegIndex rb);
+
+    /** Indirect call through @p rb (pushes return-address stack). */
+    void jsr(RegIndex link, RegIndex rb);
+
+    /** Return through @p rb (pops return-address stack). */
+    void ret(RegIndex rb = raReg);
+
+    void nop();
+    void halt();
+
+    // ---- Pseudo-ops ----------------------------------------------------
+
+    /** rc <- ra (encoded as ori rc, ra, 0). */
+    void mov(RegIndex rc, RegIndex ra);
+
+    /** Load a 64-bit constant with the shortest available sequence. */
+    void li(RegIndex rc, i64 value);
+
+    /** Load the address of @p sym (fixed 5-instruction sequence). */
+    void la(RegIndex rc, const std::string &sym);
+
+    /** Direct call: branch-and-link into the return-address register. */
+    void call(const std::string &fn);
+
+    // ---- Data segment --------------------------------------------------
+
+    void dataByte(u8 value);
+    void dataWord(u16 value);
+    void dataLong(u32 value);
+    void dataQuad(u64 value);
+    void dataBytes(const std::vector<u8> &bytes);
+    void dataZeros(size_t count);
+    void alignData(unsigned bytes);
+
+    /** Emit an 8-byte pointer to a (possibly forward) code/data label. */
+    void dataQuadSym(const std::string &sym);
+
+    // ---- Output --------------------------------------------------------
+
+    /** Resolve all fixups and produce the final program image. */
+    Program assemble();
+
+    /** Number of instructions emitted so far. */
+    size_t numInsts() const { return text.size(); }
+
+  private:
+    enum class FixupKind : u8
+    {
+        BranchDisp,     ///< patch disp21 of the branch at textIndex
+        LoadAddress,    ///< patch the 3 ori imm16s of an la sequence
+        DataPointer,    ///< patch 8 bytes in the data segment
+    };
+
+    struct Fixup
+    {
+        FixupKind kind;
+        size_t index;       ///< text word index or data byte offset
+        std::string sym;
+    };
+
+    void emit(const Inst &inst);
+    void emitR(Opcode op, RegIndex rc, RegIndex ra, RegIndex rb);
+    void emitI(Opcode op, RegIndex rc, RegIndex ra, i64 imm);
+    void emitMem(Opcode op, RegIndex reg, i64 offset, RegIndex base);
+    void emitBranch(Opcode op, RegIndex ra, RegIndex link,
+                    const std::string &target);
+    void bind(const std::string &name, Addr addr);
+    Addr lookup(const std::string &name) const;
+
+    Addr textBase;
+    Addr dataBase;
+    std::vector<MachineWord> text;
+    std::vector<u8> data;
+    std::map<std::string, Addr> symbols;
+    std::vector<Fixup> fixups;
+    bool assembled = false;
+};
+
+} // namespace nwsim
+
+#endif // NWSIM_ASM_ASSEMBLER_HH

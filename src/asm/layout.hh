@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Standard memory layout for nwsim programs.
+ *
+ * Global data, heap, and stack all live just above 2^32 so that pointer
+ * values are 33-bit quantities. This reproduces the address-calculation
+ * behaviour behind the paper's Figure 1 ("there is a large jump at 33
+ * bits. This corresponds to heap and stack references") and motivates the
+ * 33-bit clock-gating control signal of Section 4.3 / Figure 5.
+ */
+
+#ifndef NWSIM_ASM_LAYOUT_HH
+#define NWSIM_ASM_LAYOUT_HH
+
+#include "common/types.hh"
+
+namespace nwsim::layout
+{
+
+/** Base of the text (code) segment. */
+constexpr Addr textBase = 0x10000;
+
+/** Base of the static data segment (above 2^32: 33-bit pointers). */
+constexpr Addr dataBase = Addr{1} << 32;
+
+/** Base of the heap used by workloads that carve out dynamic storage. */
+constexpr Addr heapBase = dataBase + 0x0800'0000;
+
+/** Initial stack pointer (stack grows down). */
+constexpr Addr stackTop = dataBase + 0x1000'0000;
+
+} // namespace nwsim::layout
+
+#endif // NWSIM_ASM_LAYOUT_HH

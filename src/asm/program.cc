@@ -1,0 +1,41 @@
+#include "asm/program.hh"
+
+#include "common/logging.hh"
+#include "mem/sparse_memory.hh"
+
+namespace nwsim
+{
+
+void
+Program::load(SparseMemory &memory) const
+{
+    for (const Segment &seg : segments)
+        memory.writeBlock(seg.base, seg.bytes.data(), seg.bytes.size());
+}
+
+Addr
+Program::symbol(const std::string &name) const
+{
+    const auto it = symbols.find(name);
+    if (it == symbols.end())
+        NWSIM_FATAL("undefined symbol: ", name);
+    return it->second;
+}
+
+size_t
+Program::imageBytes() const
+{
+    size_t total = 0;
+    for (const Segment &seg : segments)
+        total += seg.bytes.size();
+    return total;
+}
+
+Addr
+Program::textEnd() const
+{
+    NWSIM_ASSERT(!segments.empty(), "empty program");
+    return segments.front().base + segments.front().bytes.size();
+}
+
+} // namespace nwsim

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Loadable program image: segments, entry point, and symbol table.
+ */
+
+#ifndef NWSIM_ASM_PROGRAM_HH
+#define NWSIM_ASM_PROGRAM_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace nwsim
+{
+
+class SparseMemory;
+
+/** One contiguous loadable region. */
+struct Segment
+{
+    Addr base = 0;
+    std::vector<u8> bytes;
+};
+
+/** An assembled program ready to load into simulated memory. */
+struct Program
+{
+    Addr entry = 0;
+    std::vector<Segment> segments;
+    std::map<std::string, Addr> symbols;
+
+    /** Copy all segments into @p memory. */
+    void load(SparseMemory &memory) const;
+
+    /** Look up a symbol; fatal if missing. */
+    Addr symbol(const std::string &name) const;
+
+    /** Total image size in bytes across segments. */
+    size_t imageBytes() const;
+
+    /** End (one past) of the text segment, for disassembly walks. */
+    Addr textEnd() const;
+};
+
+} // namespace nwsim
+
+#endif // NWSIM_ASM_PROGRAM_HH

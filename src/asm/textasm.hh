@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Two-pass textual assembler built on Assembler.
+ *
+ * Accepts the same syntax the disassembler emits, plus labels, comments
+ * (';' or '#'), and data directives:
+ *
+ *     .text              ; switch to code emission (default)
+ *     .data              ; switch to data emission
+ *     loop:              ; bind a label in the current segment
+ *     addi r1, r31, 5
+ *     ldq  r2, 8(r3)
+ *     stw  r2, -4(r30)
+ *     beq  r1, loop
+ *     li   r4, 0x123456789abc   ; pseudo-op
+ *     la   r5, table            ; pseudo-op
+ *     call fn                   ; pseudo-op (brLink r26)
+ *     mov  r6, r7               ; pseudo-op
+ *     .quad 1, 2, sym    ; 8-byte values or symbol addresses
+ *     .long 7             .word 3    .byte 0xff
+ *     .zero 128          ; zero fill
+ *     .align 8
+ */
+
+#ifndef NWSIM_ASM_TEXTASM_HH
+#define NWSIM_ASM_TEXTASM_HH
+
+#include <string>
+
+#include "asm/program.hh"
+
+namespace nwsim
+{
+
+/** Assemble @p source; fatal (with line number) on syntax errors. */
+Program assembleText(const std::string &source);
+
+} // namespace nwsim
+
+#endif // NWSIM_ASM_TEXTASM_HH

@@ -1,0 +1,62 @@
+#include "bpred/btb.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace nwsim
+{
+
+Btb::Btb(unsigned entries, unsigned assoc)
+{
+    NWSIM_ASSERT(entries % assoc == 0, "btb entries/assoc mismatch");
+    numSets = entries / assoc;
+    NWSIM_ASSERT(std::has_single_bit(numSets),
+                 "btb set count must be a power of two");
+    sets.assign(numSets, std::vector<Entry>(assoc));
+}
+
+unsigned
+Btb::indexOf(Addr pc) const
+{
+    return static_cast<unsigned>((pc >> 2) & (numSets - 1));
+}
+
+std::optional<Addr>
+Btb::lookup(Addr pc)
+{
+    ++useClock;
+    for (Entry &e : sets[indexOf(pc)]) {
+        if (e.valid && e.tag == pc) {
+            e.lastUse = useClock;
+            return e.target;
+        }
+    }
+    return std::nullopt;
+}
+
+void
+Btb::update(Addr pc, Addr target)
+{
+    ++useClock;
+    auto &set = sets[indexOf(pc)];
+    Entry *victim = &set[0];
+    for (Entry &e : set) {
+        if (e.valid && e.tag == pc) {
+            e.target = target;
+            e.lastUse = useClock;
+            return;
+        }
+        if (!e.valid) {
+            victim = &e;
+        } else if (victim->valid && e.lastUse < victim->lastUse) {
+            victim = &e;
+        }
+    }
+    victim->valid = true;
+    victim->tag = pc;
+    victim->target = target;
+    victim->lastUse = useClock;
+}
+
+} // namespace nwsim

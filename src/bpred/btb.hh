@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Branch target buffer (Table 1: 2048-entry, 2-way, LRU).
+ */
+
+#ifndef NWSIM_BPRED_BTB_HH
+#define NWSIM_BPRED_BTB_HH
+
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace nwsim
+{
+
+/** Set-associative branch target buffer. */
+class Btb
+{
+  public:
+    Btb(unsigned entries, unsigned assoc);
+
+    /** Predicted target for the control instruction at @p pc, if any. */
+    std::optional<Addr> lookup(Addr pc);
+
+    /** Record/refresh the target of the branch at @p pc. */
+    void update(Addr pc, Addr target);
+
+  private:
+    struct Entry
+    {
+        Addr tag = 0;
+        Addr target = 0;
+        bool valid = false;
+        u64 lastUse = 0;
+    };
+
+    unsigned indexOf(Addr pc) const;
+
+    unsigned numSets;
+    u64 useClock = 0;
+    std::vector<std::vector<Entry>> sets;
+};
+
+} // namespace nwsim
+
+#endif // NWSIM_BPRED_BTB_HH

@@ -1,0 +1,140 @@
+#include "bpred/combining.hh"
+
+namespace nwsim
+{
+
+CombiningPredictor::CombiningPredictor(const BPredConfig &config)
+    : cfg(config),
+      btb(config.btbEntries, config.btbAssoc),
+      ras(config.rasEntries),
+      selector(config.selectorEntries,
+               static_cast<u8>(1u << (config.selectorBits - 1))),
+      globalPred(config.globalEntries,
+                 static_cast<u8>(1u << (config.globalBits - 1))),
+      localHist(config.localHistEntries, 0),
+      localPred(config.localPredEntries,
+                static_cast<u8>(1u << (config.localPredBits - 1)))
+{
+}
+
+void
+CombiningPredictor::bump(u8 &counter, bool up, u8 max_value)
+{
+    if (up) {
+        if (counter < max_value)
+            ++counter;
+    } else {
+        if (counter > 0)
+            --counter;
+    }
+}
+
+bool
+CombiningPredictor::predictDirection(Addr pc)
+{
+    const u64 hist_mask = (u64{1} << cfg.globalHistBits) - 1;
+    const u64 gidx = ghist & hist_mask;
+
+    const u16 lh = localHist[(pc >> 2) % cfg.localHistEntries];
+    const bool local_taken =
+        localPred[lh % cfg.localPredEntries] >=
+        (1u << (cfg.localPredBits - 1));
+    const bool global_taken =
+        globalPred[gidx % cfg.globalEntries] >=
+        (1u << (cfg.globalBits - 1));
+    const bool use_global =
+        selector[gidx % cfg.selectorEntries] >=
+        (1u << (cfg.selectorBits - 1));
+
+    lastLocalTaken = local_taken;
+    lastGlobalTaken = global_taken;
+    return use_global ? global_taken : local_taken;
+}
+
+Prediction
+CombiningPredictor::predict(Addr pc, const Inst &inst)
+{
+    ++stat.lookups;
+    Prediction pred;
+    pred.histCheckpoint = ghist;
+    pred.rasCheckpoint = ras.checkpoint();
+
+    if (isCondBranch(inst.op)) {
+        ++stat.condLookups;
+        pred.isCond = true;
+        pred.taken = predictDirection(pc);
+        pred.localTaken = lastLocalTaken;
+        pred.globalTaken = lastGlobalTaken;
+        pred.target = pred.taken ? inst.branchTarget(pc) : pc + 4;
+        // Speculative global-history update; repaired on squash.
+        ghist = (ghist << 1) | (pred.taken ? 1 : 0);
+        return pred;
+    }
+
+    pred.taken = true;
+    if (isCall(inst))
+        ras.push(pc + 4);
+    if (isReturn(inst)) {
+        pred.target = ras.pop();
+    } else if (isIndirectControl(inst)) {
+        const auto hit = btb.lookup(pc);
+        pred.target = hit ? *hit : pc + 4;
+    } else {
+        // Direct unconditional branch: target known from the encoding.
+        pred.target = inst.branchTarget(pc);
+    }
+    return pred;
+}
+
+void
+CombiningPredictor::trainDirection(Addr pc, u64 hist_at_predict,
+                                   bool taken)
+{
+    const u64 hist_mask = (u64{1} << cfg.globalHistBits) - 1;
+    const u64 gidx = hist_at_predict & hist_mask;
+
+    u16 &lh = localHist[(pc >> 2) % cfg.localHistEntries];
+    bump(localPred[lh % cfg.localPredEntries], taken,
+         static_cast<u8>((1u << cfg.localPredBits) - 1));
+    lh = static_cast<u16>(((lh << 1) | (taken ? 1 : 0)) &
+                          ((1u << cfg.localHistBits) - 1));
+
+    bump(globalPred[gidx % cfg.globalEntries], taken,
+         static_cast<u8>((1u << cfg.globalBits) - 1));
+}
+
+void
+CombiningPredictor::resolve(Addr pc, const Inst &inst,
+                            const Prediction &pred, bool actual_taken,
+                            Addr actual_target)
+{
+    if (pred.isCond) {
+        if (pred.taken != actual_taken)
+            ++stat.condDirectionWrong;
+        // Train the selector only when the components disagreed.
+        if (pred.localTaken != pred.globalTaken) {
+            const u64 hist_mask = (u64{1} << cfg.globalHistBits) - 1;
+            const u64 gidx = pred.histCheckpoint & hist_mask;
+            bump(selector[gidx % cfg.selectorEntries],
+                 pred.globalTaken == actual_taken,
+                 static_cast<u8>((1u << cfg.selectorBits) - 1));
+        }
+        trainDirection(pc, pred.histCheckpoint, actual_taken);
+    }
+    if (actual_taken && pred.target != actual_target)
+        ++stat.targetWrong;
+    if (isIndirectControl(inst) && !isReturn(inst))
+        btb.update(pc, actual_target);
+}
+
+void
+CombiningPredictor::repair(const Inst &inst, const Prediction &pred,
+                           bool actual_taken)
+{
+    ghist = pred.histCheckpoint;
+    if (isCondBranch(inst.op))
+        ghist = (ghist << 1) | (actual_taken ? 1 : 0);
+    ras.restore(pred.rasCheckpoint);
+}
+
+} // namespace nwsim

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Combining (tournament) branch predictor per the paper's Table 1:
+ *
+ *  - selector: 4K 2-bit counters indexed by 12-bit global history;
+ *  - local:    1K 10-bit per-PC histories -> 1K 3-bit counters;
+ *  - global:   4K 2-bit counters indexed by 12-bit global history;
+ *  - BTB:      2048-entry 2-way; return-address stack: 32 entries.
+ *
+ * Direction prediction applies to conditional branches. Targets come from
+ * the decoded instruction for direct branches (fetch decodes real bytes),
+ * the BTB for indirect jumps/calls, and the RAS for returns. Global
+ * history is updated speculatively at predict time and repaired from a
+ * per-branch checkpoint on misprediction, as the Alpha 21264 does.
+ */
+
+#ifndef NWSIM_BPRED_COMBINING_HH
+#define NWSIM_BPRED_COMBINING_HH
+
+#include <vector>
+
+#include "bpred/btb.hh"
+#include "bpred/ras.hh"
+#include "isa/inst.hh"
+
+namespace nwsim
+{
+
+/** Predictor sizing (defaults = paper Table 1). */
+struct BPredConfig
+{
+    unsigned selectorEntries = 4096;
+    unsigned selectorBits = 2;
+    unsigned globalEntries = 4096;
+    unsigned globalBits = 2;
+    unsigned globalHistBits = 12;
+    unsigned localHistEntries = 1024;
+    unsigned localHistBits = 10;
+    unsigned localPredEntries = 1024;
+    unsigned localPredBits = 3;
+    unsigned btbEntries = 2048;
+    unsigned btbAssoc = 2;
+    unsigned rasEntries = 32;
+};
+
+/** Predictor statistics. */
+struct BPredStats
+{
+    u64 lookups = 0;
+    u64 condLookups = 0;
+    u64 condDirectionWrong = 0;
+    u64 targetWrong = 0;
+
+    double
+    condMispredictRate() const
+    {
+        return condLookups
+                   ? static_cast<double>(condDirectionWrong) / condLookups
+                   : 0.0;
+    }
+};
+
+/**
+ * Everything fetch needs to redirect, and everything resolution needs to
+ * repair speculative predictor state.
+ */
+struct Prediction
+{
+    bool taken = false;
+    Addr target = 0;
+    /** Global-history value before this prediction (for repair). */
+    u64 histCheckpoint = 0;
+    /** RAS state before this prediction's push/pop (for repair). */
+    Ras::Checkpoint rasCheckpoint;
+    /** True if the direction came from the conditional machinery. */
+    bool isCond = false;
+    /** Component predictions at predict time (exact selector training). */
+    bool localTaken = false;
+    bool globalTaken = false;
+};
+
+/** The combining predictor + BTB + RAS bundle used by the fetch stage. */
+class CombiningPredictor
+{
+  public:
+    explicit CombiningPredictor(const BPredConfig &config);
+
+    /**
+     * Predict the control instruction @p inst at @p pc and speculatively
+     * update global history / RAS.
+     */
+    Prediction predict(Addr pc, const Inst &inst);
+
+    /**
+     * Resolve a prediction: train counters and BTB with the actual
+     * outcome. Call for every executed control instruction.
+     */
+    void resolve(Addr pc, const Inst &inst, const Prediction &pred,
+                 bool actual_taken, Addr actual_target);
+
+    /**
+     * Squash-repair: restore global history (then shift in the actual
+     * outcome for conditional branches) and the RAS.
+     */
+    void repair(const Inst &inst, const Prediction &pred,
+                bool actual_taken);
+
+    const BPredStats &stats() const { return stat; }
+    u64 globalHistory() const { return ghist; }
+
+  private:
+    bool predictDirection(Addr pc);
+    void trainDirection(Addr pc, u64 hist_at_predict, bool taken);
+
+    static void bump(u8 &counter, bool up, u8 max_value);
+
+    BPredConfig cfg;
+    BPredStats stat;
+    Btb btb;
+    Ras ras;
+    u64 ghist = 0;
+
+    std::vector<u8> selector;   ///< >= half: use global
+    std::vector<u8> globalPred;
+    std::vector<u16> localHist;
+    std::vector<u8> localPred;
+    bool lastLocalTaken = false;
+    bool lastGlobalTaken = false;
+};
+
+} // namespace nwsim
+
+#endif // NWSIM_BPRED_COMBINING_HH

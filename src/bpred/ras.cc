@@ -1,0 +1,35 @@
+#include "bpred/ras.hh"
+
+#include "common/logging.hh"
+
+namespace nwsim
+{
+
+Ras::Ras(unsigned entries) : stack(entries, 0)
+{
+    NWSIM_ASSERT(entries > 0, "ras must have entries");
+}
+
+void
+Ras::restore(const Checkpoint &cp)
+{
+    topIndex = cp.top;
+    stack[topIndex] = cp.topValue;
+}
+
+void
+Ras::push(Addr return_addr)
+{
+    topIndex = (topIndex + 1) % stack.size();
+    stack[topIndex] = return_addr;
+}
+
+Addr
+Ras::pop()
+{
+    const Addr value = stack[topIndex];
+    topIndex = (topIndex + stack.size() - 1) % stack.size();
+    return value;
+}
+
+} // namespace nwsim

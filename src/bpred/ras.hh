@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Return-address stack (Table 1: 32 entries) with checkpoint/repair for
+ * speculative push/pop at fetch time.
+ */
+
+#ifndef NWSIM_BPRED_RAS_HH
+#define NWSIM_BPRED_RAS_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace nwsim
+{
+
+/** Circular return-address stack. */
+class Ras
+{
+  public:
+    explicit Ras(unsigned entries);
+
+    /** Snapshot for mispredict repair: top index and top value. */
+    struct Checkpoint
+    {
+        unsigned top = 0;
+        Addr topValue = 0;
+    };
+
+    Checkpoint checkpoint() const { return {topIndex, stack[topIndex]}; }
+    void restore(const Checkpoint &cp);
+
+    void push(Addr return_addr);
+    Addr pop();
+
+  private:
+    std::vector<Addr> stack;
+    unsigned topIndex = 0;
+};
+
+} // namespace nwsim
+
+#endif // NWSIM_BPRED_RAS_HH

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Bit-manipulation helpers: sign extension, leading zero/one detection,
+ * and the two's-complement significant-width computation at the heart of
+ * the paper's narrow-operand detection (Section 4.3).
+ */
+
+#ifndef NWSIM_COMMON_BITOPS_HH
+#define NWSIM_COMMON_BITOPS_HH
+
+#include <bit>
+
+#include "common/types.hh"
+
+namespace nwsim
+{
+
+/** Sign-extend the low @p bits of @p value to 64 bits. */
+constexpr u64
+sext(u64 value, unsigned bits)
+{
+    if (bits == 0 || bits >= 64)
+        return value;
+    const u64 m = u64{1} << (bits - 1);
+    value &= (u64{1} << bits) - 1;
+    return (value ^ m) - m;
+}
+
+/** Zero-extend the low @p bits of @p value to 64 bits. */
+constexpr u64
+zext(u64 value, unsigned bits)
+{
+    if (bits == 0)
+        return 0;
+    if (bits >= 64)
+        return value;
+    return value & ((u64{1} << bits) - 1);
+}
+
+/** Number of leading zero bits of a 64-bit value (64 for zero). */
+constexpr unsigned
+clz64(u64 value)
+{
+    return value ? static_cast<unsigned>(std::countl_zero(value)) : 64;
+}
+
+/** Number of leading one bits of a 64-bit value. */
+constexpr unsigned
+clo64(u64 value)
+{
+    return static_cast<unsigned>(std::countl_one(value));
+}
+
+/**
+ * Minimum number of bits needed to represent @p value as a signed
+ * two's-complement number, including the sign bit.
+ *
+ * The hardware analogue is the paper's parallel zero-detect (for
+ * non-negative values: leading zeros are unneeded) and ones-detect (for
+ * negative values: leading ones are unneeded). 0 and -1 both need 1 bit;
+ * 17 needs 6 bits (it is a "5-bit magnitude" in the paper's informal usage
+ * but needs a sign bit in two's complement); INT64_MIN needs 64.
+ */
+constexpr unsigned
+signedWidth(u64 value)
+{
+    const bool negative = (value >> 63) & 1;
+    const unsigned redundant = negative ? clo64(value) : clz64(value);
+    // All-but-one of the redundant leading bits can be dropped; one copy
+    // of the sign bit must remain.
+    return 65 - redundant;
+}
+
+/**
+ * True if @p value sign-extends from its low @p bits, i.e. bits [63:bits-1]
+ * are all copies of bit (bits-1). This is exactly the condition under which
+ * the upper (64 - @p bits) bits of a functional unit are unneeded.
+ */
+constexpr bool
+fitsSigned(u64 value, unsigned bits)
+{
+    return sext(value, bits) == value;
+}
+
+/** True if the high (64 - @p bits) bits of @p value are all zero. */
+constexpr bool
+fitsUnsigned(u64 value, unsigned bits)
+{
+    return zext(value, bits) == value;
+}
+
+/** Extract bits [hi:lo] of @p value (inclusive, hi < 64). */
+constexpr u64
+bits(u64 value, unsigned hi, unsigned lo)
+{
+    const u64 masked = (hi >= 63) ? value : value & ((u64{1} << (hi + 1)) - 1);
+    return masked >> lo;
+}
+
+/** Insert @p field into bits [hi:lo] of a zero word. */
+constexpr u64
+insertBits(u64 field, unsigned hi, unsigned lo)
+{
+    const u64 width_mask = (hi - lo >= 63) ? ~u64{0}
+                                           : ((u64{1} << (hi - lo + 1)) - 1);
+    return (field & width_mask) << lo;
+}
+
+/** True if @p addr is aligned to @p bytes (a power of two). */
+constexpr bool
+isAligned(Addr addr, unsigned bytes)
+{
+    return (addr & (bytes - 1)) == 0;
+}
+
+} // namespace nwsim
+
+#endif // NWSIM_COMMON_BITOPS_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Error-reporting helpers following the gem5 panic/fatal distinction:
+ * panic() for internal simulator bugs (aborts), fatal() for user/config
+ * errors (clean exit), warn() for suspicious-but-survivable conditions.
+ */
+
+#ifndef NWSIM_COMMON_LOGGING_HH
+#define NWSIM_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace nwsim
+{
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const char *file, int line, const std::string &msg);
+
+namespace detail
+{
+
+inline std::string
+formatParts()
+{
+    return {};
+}
+
+template <typename T, typename... Rest>
+std::string
+formatParts(const T &head, const Rest &...rest)
+{
+    std::ostringstream os;
+    os << head;
+    return os.str() + formatParts(rest...);
+}
+
+} // namespace detail
+
+} // namespace nwsim
+
+/** Report an internal simulator bug and abort. */
+#define NWSIM_PANIC(...) \
+    ::nwsim::panicImpl(__FILE__, __LINE__, \
+                       ::nwsim::detail::formatParts(__VA_ARGS__))
+
+/** Report an unrecoverable user/configuration error and exit(1). */
+#define NWSIM_FATAL(...) \
+    ::nwsim::fatalImpl(__FILE__, __LINE__, \
+                       ::nwsim::detail::formatParts(__VA_ARGS__))
+
+/** Report a suspicious condition without stopping the simulation. */
+#define NWSIM_WARN(...) \
+    ::nwsim::warnImpl(__FILE__, __LINE__, \
+                      ::nwsim::detail::formatParts(__VA_ARGS__))
+
+/** Panic unless @p cond holds. */
+#define NWSIM_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            NWSIM_PANIC("assertion failed: " #cond " ", __VA_ARGS__); \
+        } \
+    } while (0)
+
+#endif // NWSIM_COMMON_LOGGING_HH

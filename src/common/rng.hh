@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (SplitMix64).
+ *
+ * All workload input data is generated with fixed seeds so every
+ * experiment is exactly reproducible run-to-run and machine-to-machine.
+ */
+
+#ifndef NWSIM_COMMON_RNG_HH
+#define NWSIM_COMMON_RNG_HH
+
+#include "common/types.hh"
+
+namespace nwsim
+{
+
+/** SplitMix64: tiny, fast, well-distributed, fully deterministic. */
+class SplitMix64
+{
+  public:
+    explicit constexpr SplitMix64(u64 seed) : state(seed) {}
+
+    /** Next 64-bit pseudo-random value. */
+    constexpr u64
+    next()
+    {
+        u64 z = (state += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform value in [0, bound). @p bound must be nonzero. */
+    constexpr u64
+    below(u64 bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    constexpr i64
+    range(i64 lo, i64 hi)
+    {
+        return lo + static_cast<i64>(below(static_cast<u64>(hi - lo) + 1));
+    }
+
+  private:
+    u64 state;
+};
+
+} // namespace nwsim
+
+#endif // NWSIM_COMMON_RNG_HH

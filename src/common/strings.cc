@@ -1,0 +1,84 @@
+#include "common/strings.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+namespace nwsim
+{
+
+std::string
+hexString(u64 value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(value));
+    return buf;
+}
+
+std::vector<std::string>
+tokenize(const std::string &text, const std::string &seps)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : text) {
+        if (seps.find(c) != std::string::npos) {
+            if (!cur.empty()) {
+                out.push_back(cur);
+                cur.clear();
+            }
+        } else {
+            cur.push_back(c);
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+std::string
+trim(const std::string &text)
+{
+    size_t b = 0, e = text.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(text[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(text[e - 1])))
+        --e;
+    return text.substr(b, e - b);
+}
+
+std::string
+toLower(const std::string &text)
+{
+    std::string out = text;
+    std::transform(out.begin(), out.end(), out.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return out;
+}
+
+bool
+startsWith(const std::string &text, const std::string &prefix)
+{
+    return text.size() >= prefix.size() &&
+           text.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string
+fixed(double value, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+    return buf;
+}
+
+std::string
+pad(const std::string &text, int width)
+{
+    const size_t w = static_cast<size_t>(width < 0 ? -width : width);
+    if (text.size() >= w)
+        return text;
+    const std::string fill(w - text.size(), ' ');
+    return width < 0 ? fill + text : text + fill;
+}
+
+} // namespace nwsim

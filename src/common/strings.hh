@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Small string/formatting helpers shared by the disassembler, the text
+ * assembler, and the experiment table printers.
+ */
+
+#ifndef NWSIM_COMMON_STRINGS_HH
+#define NWSIM_COMMON_STRINGS_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace nwsim
+{
+
+/** Format @p value as 0x-prefixed lower-case hex. */
+std::string hexString(u64 value);
+
+/** Split @p text on any of the characters in @p seps, dropping empties. */
+std::vector<std::string> tokenize(const std::string &text,
+                                  const std::string &seps);
+
+/** Strip leading/trailing whitespace. */
+std::string trim(const std::string &text);
+
+/** Lower-case an ASCII string. */
+std::string toLower(const std::string &text);
+
+/** True if @p text starts with @p prefix. */
+bool startsWith(const std::string &text, const std::string &prefix);
+
+/** printf-style double with @p digits decimals. */
+std::string fixed(double value, int digits);
+
+/** Left-pad (negative width) or right-pad @p text to @p width columns. */
+std::string pad(const std::string &text, int width);
+
+} // namespace nwsim
+
+#endif // NWSIM_COMMON_STRINGS_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Fundamental fixed-width types used throughout nwsim.
+ *
+ * The simulated machine is a 64-bit two's-complement RISC modeled on the
+ * Alpha (the paper's target ISA): the fundamental datum is the 64-bit
+ * quadword, addresses are 64-bit, and instructions are 32-bit words.
+ */
+
+#ifndef NWSIM_COMMON_TYPES_HH
+#define NWSIM_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace nwsim
+{
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/** Simulated virtual/physical address (flat 64-bit space). */
+using Addr = u64;
+
+/** Architected register index (0..31; 31 reads as zero). */
+using RegIndex = u8;
+
+/** Simulation cycle count. */
+using Cycle = u64;
+
+/** Dynamic instruction sequence number (fetch order, never reused). */
+using InstSeq = u64;
+
+/** Number of architected integer registers. */
+constexpr RegIndex numIntRegs = 32;
+
+/** Register that always reads as zero (Alpha R31 convention). */
+constexpr RegIndex zeroReg = 31;
+
+/** Stack-pointer register by software convention. */
+constexpr RegIndex spReg = 30;
+
+/** Return-address register by software convention (Alpha RA = r26). */
+constexpr RegIndex raReg = 26;
+
+} // namespace nwsim
+
+#endif // NWSIM_COMMON_TYPES_HH

@@ -1,0 +1,45 @@
+#include "core/cache_gating.hh"
+
+#include "common/logging.hh"
+
+namespace nwsim
+{
+
+void
+CacheGatingModel::recordAccess(u64 value, unsigned access_bytes)
+{
+    NWSIM_ASSERT(access_bytes == 1 || access_bytes == 2 ||
+                     access_bytes == 4 || access_bytes == 8,
+                 "bad access size ", access_bytes);
+    ++stat.accesses;
+    const double full = cfg.fixedMw + cfg.dataPath64Mw;
+    stat.baselineMwSum += full;
+
+    if (!cfg.enabled) {
+        stat.gatedMwSum += full;
+        return;
+    }
+
+    // Static (opcode) gating: the access size caps the path width.
+    unsigned width = access_bytes * 8;
+    if (width < 64)
+        ++stat.gatedBySize;
+
+    // Dynamic (operand) gating below the access size.
+    const WidthClass wc = classOf(value);
+    if (wc == WidthClass::Narrow16 && width > 16) {
+        width = 16;
+        ++stat.gated16;
+    } else if (cfg.gate33 && wc == WidthClass::Narrow33 && width > 33) {
+        width = 33;
+        ++stat.gated33;
+    }
+
+    const double data =
+        cfg.dataPath64Mw * static_cast<double>(width) / 64.0;
+    stat.gatedMwSum += cfg.fixedMw + data;
+    if (width < access_bytes * 8)
+        stat.overheadMwSum += cfg.muxMw;
+}
+
+} // namespace nwsim

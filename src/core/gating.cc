@@ -1,0 +1,61 @@
+#include "core/gating.hh"
+
+namespace nwsim
+{
+
+void
+ClockGatingModel::recordOp(DeviceClass device, u64 a, u64 b,
+                           bool a_from_load, bool b_from_load,
+                           bool writes_reg)
+{
+    if (device == DeviceClass::None)
+        return;
+    ++stat.ops;
+
+    const double full = model.fullPower(device);
+    stat.baselineMwSum += full;
+
+    if (!cfg.enabled) {
+        stat.gatedMwSum += full;
+        return;
+    }
+
+    // Zero-detect tagging of produced results: charged whenever a result
+    // is written back (the tag must be computed to be stored in the RUU),
+    // matching the paper's "small and nearly constant" overhead.
+    if (writes_reg)
+        stat.overheadMwSum += model.zeroDetectPower();
+
+    // Without zero-detect on the load path, a load-sourced operand has
+    // no width tag: the op must run at full width.
+    WidthClass wc = pairClass(a, b);
+    const bool load_sourced = a_from_load || b_from_load;
+    if (!cfg.zeroDetectOnLoads && load_sourced)
+        wc = WidthClass::Wide;
+    if (!cfg.gate33 && wc == WidthClass::Narrow33)
+        wc = WidthClass::Wide;
+
+    if (wc == WidthClass::Wide) {
+        stat.gatedMwSum += full;
+        if (!cfg.zeroDetectOnLoads && load_sourced &&
+            pairClass(a, b) != WidthClass::Wide) {
+            ++stat.blockedByLoad;
+        }
+        return;
+    }
+
+    const double gated = model.power(device, gatedWidth(wc));
+    stat.gatedMwSum += gated;
+    stat.overheadMwSum += model.muxPower();
+    if (wc == WidthClass::Narrow16) {
+        ++stat.gated16;
+        stat.saved16MwSum += full - gated;
+    } else {
+        ++stat.gated33;
+        stat.saved33MwSum += full - gated;
+    }
+    if (load_sourced)
+        ++stat.gatedLoadSourced;
+}
+
+} // namespace nwsim

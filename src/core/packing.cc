@@ -1,0 +1,4 @@
+// Packing legality is header-only (inline predicates used by the issue
+// stage); this translation unit exists to anchor the library target and
+// hold non-inline helpers if the policy grows.
+#include "core/packing.hh"

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Operation packing — the paper's Section 5 performance optimization.
+ *
+ * Legality predicates and lane bookkeeping for issuing multiple
+ * narrow-width instructions that perform the same operation into one
+ * 64-bit integer ALU as 16-bit subword lanes ("a dynamic form of MMX"),
+ * plus the Section 5.3 "replay packing" speculation on operand size with
+ * squash-and-reissue replay traps.
+ */
+
+#ifndef NWSIM_CORE_PACKING_HH
+#define NWSIM_CORE_PACKING_HH
+
+#include "core/width.hh"
+#include "func/semantics.hh"
+#include "isa/inst.hh"
+
+namespace nwsim
+{
+
+/** Operation-packing configuration. */
+struct PackingConfig
+{
+    /** Master switch: pack narrow same-op instructions at issue. */
+    bool enabled = false;
+    /** Section 5.3 replay packing: pack with one wide operand. */
+    bool replay = false;
+    /**
+     * Subword lanes per 64-bit ALU. Multimedia ALUs cut the carry chain
+     * at 16-bit boundaries, giving four lanes (the paper provisions
+     * "4 extra lines ... on the result bus for the carry-out").
+     */
+    unsigned lanesPerAlu = 4;
+    /**
+     * A packed group consumes one issue slot (the paper: packing "opens
+     * up machine issue bandwidth"). Set false for the ablation where each
+     * packed instruction still consumes its own slot and only ALU
+     * bandwidth is saved.
+     */
+    bool groupCountsOneSlot = true;
+    /** Cycles before a replay-trapped instruction may re-issue. */
+    unsigned replayPenalty = 2;
+};
+
+/** Packing statistics. */
+struct PackingStats
+{
+    u64 packedGroups = 0;       ///< groups with >= 2 lanes in use
+    u64 packedInsts = 0;        ///< instructions issued inside such groups
+    u64 replaySpeculations = 0; ///< instructions packed via replay rule
+    u64 replayTraps = 0;        ///< of those, squashed and re-issued
+    u64 packEligibleIssued = 0; ///< issued ops that were pack-eligible
+};
+
+/**
+ * True if @p inst with operand values @p a, @p b can be packed under the
+ * strict (both-narrow) rule of Section 5.2.
+ */
+inline bool
+packEligible(const Inst &inst, u64 a, u64 b)
+{
+    return opInfo(inst.op).packKey != PackKey::None && isNarrow16(a) &&
+           isNarrow16(b);
+}
+
+/**
+ * True if @p inst qualifies for replay packing (Section 5.3): an
+ * add/sub-shaped operation where exactly one operand is narrow and the
+ * wide operand's upper bits pass straight to the result unless a carry
+ * crosses the 16-bit boundary. For subtraction only a wide minuend
+ * qualifies (the hardware muxes the wide operand's upper bits into the
+ * result, which is only algebraically sensible on that side).
+ */
+inline bool
+replayEligible(const Inst &inst, u64 a, u64 b)
+{
+    if (!opInfo(inst.op).replayPackable)
+        return false;
+    const bool an = isNarrow16(a);
+    const bool bn = isNarrow16(b);
+    if (an == bn)
+        return false;   // both narrow: strict packing; both wide: no.
+    const PackKey key = opInfo(inst.op).packKey;
+    if (key == PackKey::Sub)
+        return !an && bn;   // wide minuend, narrow subtrahend only
+    return true;            // add: either side may be wide
+}
+
+/**
+ * True if executing @p inst packed (low 16 bits computed in a lane, the
+ * wide operand's upper 48 bits muxed into the result) would produce the
+ * wrong value — i.e. the replay trap fires and the instruction must be
+ * squashed and re-issued at full width.
+ */
+inline bool
+replayWouldTrap(const Inst &inst, u64 a, u64 b, Addr pc)
+{
+    const u64 wide = isNarrow16(a) ? b : a;
+    const u64 true_result = aluResult(inst, a, b, pc);
+    const u64 packed_result =
+        (wide & ~u64{0xffff}) | (true_result & 0xffff);
+    return packed_result != true_result;
+}
+
+} // namespace nwsim
+
+#endif // NWSIM_CORE_PACKING_HH

@@ -1,0 +1,139 @@
+#include "core/profiler.hh"
+
+#include "common/logging.hh"
+
+namespace nwsim
+{
+
+WidthCategory
+widthCategory(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntAlu:
+      case OpClass::MemRead:
+      case OpClass::MemWrite:
+      case OpClass::Branch:
+      case OpClass::Jump:
+        return WidthCategory::Arithmetic;
+      case OpClass::Logic:
+        return WidthCategory::Logical;
+      case OpClass::Shift:
+        return WidthCategory::Shift;
+      case OpClass::IntMult:
+      case OpClass::IntDiv:
+        return WidthCategory::Multiply;
+      default:
+        NWSIM_PANIC("widthCategory on non-integer-unit class");
+    }
+}
+
+const char *
+widthCategoryName(WidthCategory cat)
+{
+    switch (cat) {
+      case WidthCategory::Arithmetic:
+        return "arith";
+      case WidthCategory::Logical:
+        return "logic";
+      case WidthCategory::Shift:
+        return "shift";
+      case WidthCategory::Multiply:
+        return "mult";
+      default:
+        return "?";
+    }
+}
+
+void
+WidthProfiler::recordOp(Addr pc, OpClass cls, u64 a, u64 b)
+{
+    if (cls == OpClass::Other)
+        return;
+    ++opCount;
+
+    const unsigned width = std::max(effectiveWidth(a), effectiveWidth(b));
+    ++widthHist[width];
+
+    const auto cat = static_cast<size_t>(widthCategory(cls));
+    const WidthClass wc = pairClass(a, b);
+    if (wc == WidthClass::Narrow16)
+        ++narrow16ByCat[cat];
+    else if (wc == WidthClass::Narrow33)
+        ++narrow33ByCat[cat];
+
+    u8 &seen = pcWidthSeen[pc];
+    seen |= (wc == WidthClass::Narrow16) ? 1 : 2;
+}
+
+void
+WidthProfiler::reset()
+{
+    *this = WidthProfiler{};
+}
+
+double
+WidthProfiler::cumulativePercent(unsigned bits) const
+{
+    NWSIM_ASSERT(bits <= 64, "bad width");
+    if (opCount == 0)
+        return 0.0;
+    u64 sum = 0;
+    for (unsigned w = 1; w <= bits; ++w)
+        sum += widthHist[w];
+    return 100.0 * static_cast<double>(sum) / static_cast<double>(opCount);
+}
+
+double
+WidthProfiler::narrow16Percent(WidthCategory cat) const
+{
+    if (opCount == 0)
+        return 0.0;
+    return 100.0 *
+           static_cast<double>(narrow16ByCat[static_cast<size_t>(cat)]) /
+           static_cast<double>(opCount);
+}
+
+double
+WidthProfiler::narrow33Percent(WidthCategory cat) const
+{
+    if (opCount == 0)
+        return 0.0;
+    const auto i = static_cast<size_t>(cat);
+    return 100.0 *
+           static_cast<double>(narrow16ByCat[i] + narrow33ByCat[i]) /
+           static_cast<double>(opCount);
+}
+
+double
+WidthProfiler::narrow16TotalPercent() const
+{
+    double total = 0.0;
+    for (size_t c = 0; c < numCats; ++c)
+        total += narrow16Percent(static_cast<WidthCategory>(c));
+    return total;
+}
+
+double
+WidthProfiler::narrow33TotalPercent() const
+{
+    double total = 0.0;
+    for (size_t c = 0; c < numCats; ++c)
+        total += narrow33Percent(static_cast<WidthCategory>(c));
+    return total;
+}
+
+double
+WidthProfiler::fluctuationPercent() const
+{
+    if (pcWidthSeen.empty())
+        return 0.0;
+    u64 fluctuating = 0;
+    for (const auto &[pc, seen] : pcWidthSeen) {
+        if (seen == 3)
+            ++fluctuating;
+    }
+    return 100.0 * static_cast<double>(fluctuating) /
+           static_cast<double>(pcWidthSeen.size());
+}
+
+} // namespace nwsim

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Operand bitwidth profiling: the measurement machinery behind the
+ * paper's Figures 1, 2, 4, and 5.
+ */
+
+#ifndef NWSIM_CORE_PROFILER_HH
+#define NWSIM_CORE_PROFILER_HH
+
+#include <array>
+#include <unordered_map>
+
+#include "core/width.hh"
+#include "isa/opcode.hh"
+
+namespace nwsim
+{
+
+/** Figure 4/5 operation categories (the paper's legend). */
+enum class WidthCategory : u8
+{
+    Arithmetic,     ///< add/sub/compare + address calculations
+    Logical,
+    Shift,
+    Multiply,       ///< multiply and divide (multiplier-side)
+    NumCategories,
+};
+
+/** Map an operation class to its Figure 4/5 category. */
+WidthCategory widthCategory(OpClass cls);
+
+/** Printable category name. */
+const char *widthCategoryName(WidthCategory cat);
+
+/**
+ * Collects per-operation operand-width statistics.
+ *
+ * recordOp() is called once per executed integer-unit operation with the
+ * two dataflow operand values (exactly what the paper's decode-stage
+ * width tags see, including wrong-path executions under realistic branch
+ * prediction — the effect Figure 2 measures).
+ */
+class WidthProfiler
+{
+  public:
+    /** Record one executed operation. */
+    void recordOp(Addr pc, OpClass cls, u64 a, u64 b);
+
+    /** Reset all statistics (end of warmup). */
+    void reset();
+
+    // ---- Figure 1: cumulative operand-width distribution --------------
+
+    /**
+     * Percent of operations whose max(operand widths) is <= @p bits
+     * (the "cumulative percentage of integer instructions in which both
+     * operands are less than or equal to the specified bitwidth").
+     */
+    double cumulativePercent(unsigned bits) const;
+
+    /** Raw histogram bucket: ops whose max operand width == bits. */
+    u64 histogramAt(unsigned bits) const { return widthHist[bits]; }
+
+    // ---- Figures 4 and 5: narrow ops by category ------------------------
+
+    /** Percent of all ops that are narrow-16 and in @p cat. */
+    double narrow16Percent(WidthCategory cat) const;
+
+    /** Percent of all ops that are narrow-33 (or 16) and in @p cat. */
+    double narrow33Percent(WidthCategory cat) const;
+
+    /** Percent of all ops that are narrow-16 (any category). */
+    double narrow16TotalPercent() const;
+
+    /** Percent of all ops that are narrow-33 or narrower (any category). */
+    double narrow33TotalPercent() const;
+
+    // ---- Figure 2: per-PC width fluctuation -----------------------------
+
+    /**
+     * Percent of static instructions (PC values) whose operation width
+     * crossed the 16-bit boundary at least once during the run (executed
+     * both as narrow-16 and as wider-than-16).
+     */
+    double fluctuationPercent() const;
+
+    u64 totalOps() const { return opCount; }
+
+  private:
+    static constexpr size_t numCats =
+        static_cast<size_t>(WidthCategory::NumCategories);
+
+    u64 opCount = 0;
+    std::array<u64, 65> widthHist{};
+    std::array<u64, numCats> narrow16ByCat{};
+    std::array<u64, numCats> narrow33ByCat{};
+
+    /** bit0: executed narrow-16; bit1: executed wider than 16. */
+    std::unordered_map<Addr, u8> pcWidthSeen;
+};
+
+} // namespace nwsim
+
+#endif // NWSIM_CORE_PROFILER_HH

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Narrow-width operand detection — the core mechanism of the paper.
+ *
+ * A value is "narrow" when its upper bits carry no information: all zeros
+ * for non-negative values (the zero48/zero31 signals of Figures 3 and 5)
+ * or all ones for negative two's-complement values (the parallel
+ * ones-detect of Section 4.3). The effective width of a value is the
+ * number of magnitude bits that remain after dropping those redundant
+ * leading bits, matching the paper's usage ("adding 17, a 5-bit number,
+ * to 2, a 2-bit number").
+ */
+
+#ifndef NWSIM_CORE_WIDTH_HH
+#define NWSIM_CORE_WIDTH_HH
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+
+namespace nwsim
+{
+
+/** Operand/operation width classes used by gating and packing. */
+enum class WidthClass : u8
+{
+    Narrow16,   ///< upper 48 bits redundant: zero48 | ones48
+    Narrow33,   ///< upper 31 bits redundant: zero31 | ones31
+    Wide,       ///< needs the full 64-bit datapath
+};
+
+/**
+ * True if the top @p upper bits of @p value are all zeros or all ones,
+ * i.e. the hardware's parallel zero-detect OR ones-detect fires.
+ */
+constexpr bool
+upperBitsRedundant(u64 value, unsigned upper)
+{
+    if (upper == 0)
+        return true;
+    const u64 top = value >> (64 - upper);
+    const u64 all = (upper >= 64) ? ~u64{0} : ((u64{1} << upper) - 1);
+    return top == 0 || top == all;
+}
+
+/** zero48/ones48: the operand fits the 16-bit datapath slice. */
+constexpr bool
+isNarrow16(u64 value)
+{
+    return upperBitsRedundant(value, 48);
+}
+
+/** zero31/ones31: the operand fits the 33-bit (address) datapath slice. */
+constexpr bool
+isNarrow33(u64 value)
+{
+    return upperBitsRedundant(value, 31);
+}
+
+/**
+ * Effective magnitude width in bits: 64 minus the redundant leading
+ * zeros (non-negative) or ones (negative), minimum 1. 17 -> 5, 2 -> 2,
+ * 2^32 -> 33, 0 and -1 -> 1, 65535 -> 16, -65536 -> 16.
+ */
+constexpr unsigned
+effectiveWidth(u64 value)
+{
+    const bool negative = (value >> 63) & 1;
+    const unsigned redundant = negative ? clo64(value) : clz64(value);
+    return std::max(1u, 64 - redundant);
+}
+
+/** Width class of a single operand value. */
+constexpr WidthClass
+classOf(u64 value)
+{
+    if (isNarrow16(value))
+        return WidthClass::Narrow16;
+    if (isNarrow33(value))
+        return WidthClass::Narrow33;
+    return WidthClass::Wide;
+}
+
+/**
+ * Width class of an operation: both operands must fit the slice for the
+ * upper portion of the functional unit to be gated or shared (paper:
+ * "Both operands must be small in order for the clock gating to be
+ * allowed").
+ */
+constexpr WidthClass
+pairClass(u64 a, u64 b)
+{
+    return std::max(classOf(a), classOf(b));
+}
+
+/** Datapath width (bits) a gated operation of class @p wc consumes. */
+constexpr unsigned
+gatedWidth(WidthClass wc)
+{
+    switch (wc) {
+      case WidthClass::Narrow16:
+        return 16;
+      case WidthClass::Narrow33:
+        return 33;
+      default:
+        return 64;
+    }
+}
+
+} // namespace nwsim
+
+#endif // NWSIM_CORE_WIDTH_HH

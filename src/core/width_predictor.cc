@@ -1,0 +1,60 @@
+#include "core/width_predictor.hh"
+
+#include "common/logging.hh"
+
+namespace nwsim
+{
+
+WidthPredictor::WidthPredictor(const WidthPredictorConfig &config)
+    : cfg(config)
+{
+    NWSIM_ASSERT(cfg.entries > 0, "width predictor needs entries");
+    NWSIM_ASSERT(cfg.threshold <= (1u << cfg.counterBits) - 1,
+                 "threshold above counter range");
+    // Initialize weakly narrow: the common case per Figure 1.
+    counters.assign(cfg.entries, static_cast<u8>(cfg.threshold));
+}
+
+unsigned
+WidthPredictor::indexOf(Addr pc) const
+{
+    return static_cast<unsigned>((pc >> 2) % cfg.entries);
+}
+
+bool
+WidthPredictor::predictNarrow(Addr pc) const
+{
+    return counters[indexOf(pc)] >= cfg.threshold;
+}
+
+void
+WidthPredictor::train(Addr pc, bool was_narrow)
+{
+    const bool predicted = predictNarrow(pc);
+    ++stat.predictions;
+    if (predicted == was_narrow)
+        ++stat.correct;
+    else if (predicted)
+        ++stat.falseNarrow;
+    else
+        ++stat.missedNarrow;
+
+    u8 &counter = counters[indexOf(pc)];
+    const u8 max_value = static_cast<u8>((1u << cfg.counterBits) - 1);
+    if (was_narrow) {
+        if (counter < max_value)
+            ++counter;
+    } else {
+        if (counter > 0)
+            --counter;
+    }
+}
+
+void
+WidthPredictor::reset()
+{
+    stat = WidthPredictorStats{};
+    counters.assign(cfg.entries, static_cast<u8>(cfg.threshold));
+}
+
+} // namespace nwsim

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Dynamic operand-width predictor.
+ *
+ * The paper's mechanisms read operand widths directly from the
+ * reservation-station tags, which sim-outorder-style execute-at-dispatch
+ * makes available early. A machine that executes at issue time would
+ * instead need to *predict* widths at decode to set up gating/packing in
+ * advance. Figure 2 measures exactly the property such a predictor
+ * depends on: most static instructions keep a stable width class, and
+ * wrong paths are the main source of fluctuation.
+ *
+ * This is a PC-indexed table of saturating 2-bit counters, predicting
+ * "this operation will be narrow-16", trained with actual outcomes —
+ * structurally the same hardware as a bimodal branch predictor.
+ */
+
+#ifndef NWSIM_CORE_WIDTH_PREDICTOR_HH
+#define NWSIM_CORE_WIDTH_PREDICTOR_HH
+
+#include <vector>
+
+#include "core/width.hh"
+
+namespace nwsim
+{
+
+/** Width-predictor geometry. */
+struct WidthPredictorConfig
+{
+    unsigned entries = 2048;
+    unsigned counterBits = 2;
+    /**
+     * Predict-narrow threshold as a counter value; with 2-bit counters
+     * and threshold 2, the predictor needs one narrow observation from
+     * the weakly-wide state to flip.
+     */
+    unsigned threshold = 2;
+};
+
+/** Accuracy statistics. */
+struct WidthPredictorStats
+{
+    u64 predictions = 0;
+    u64 correct = 0;
+    /** Predicted narrow but was wide: would have mis-gated/mis-packed. */
+    u64 falseNarrow = 0;
+    /** Predicted wide but was narrow: missed opportunity. */
+    u64 missedNarrow = 0;
+
+    double
+    accuracy() const
+    {
+        return predictions ? static_cast<double>(correct) / predictions
+                           : 0.0;
+    }
+};
+
+/** Bimodal narrowness predictor. */
+class WidthPredictor
+{
+  public:
+    explicit WidthPredictor(const WidthPredictorConfig &config = {});
+
+    /** Predict whether the op at @p pc will be narrow-16. */
+    bool predictNarrow(Addr pc) const;
+
+    /**
+     * Record the actual outcome for @p pc (train + score the previous
+     * prediction for the same PC).
+     */
+    void train(Addr pc, bool was_narrow);
+
+    void reset();
+
+    const WidthPredictorStats &stats() const { return stat; }
+
+  private:
+    unsigned indexOf(Addr pc) const;
+
+    WidthPredictorConfig cfg;
+    WidthPredictorStats stat;
+    std::vector<u8> counters;
+};
+
+} // namespace nwsim
+
+#endif // NWSIM_CORE_WIDTH_PREDICTOR_HH

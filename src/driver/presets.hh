@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Named processor configurations used across the experiment benches.
+ */
+
+#ifndef NWSIM_DRIVER_PRESETS_HH
+#define NWSIM_DRIVER_PRESETS_HH
+
+#include "pipeline/config.hh"
+
+namespace nwsim::presets
+{
+
+/** Paper Table 1 baseline. */
+inline CoreConfig
+baseline(bool perfect_bpred = false)
+{
+    CoreConfig cfg;
+    cfg.perfectBPred = perfect_bpred;
+    return cfg;
+}
+
+/** Baseline + Section 5 operation packing. */
+inline CoreConfig
+packing(bool replay, bool perfect_bpred = false)
+{
+    CoreConfig cfg = baseline(perfect_bpred);
+    cfg.packing.enabled = true;
+    cfg.packing.replay = replay;
+    return cfg;
+}
+
+/** The Section 5.4 8-wide-decode variant of any configuration. */
+inline CoreConfig
+decode8(CoreConfig cfg)
+{
+    cfg.decodeWidth = 8;
+    cfg.fetchWidth = 8;
+    return cfg;
+}
+
+/** Figure 11's costly comparison machine: 8-issue, 8 integer ALUs. */
+inline CoreConfig
+issue8(bool perfect_bpred = false)
+{
+    CoreConfig cfg = baseline(perfect_bpred);
+    cfg.issueWidth = 8;
+    cfg.numAlus = 8;
+    return cfg;
+}
+
+} // namespace nwsim::presets
+
+#endif // NWSIM_DRIVER_PRESETS_HH

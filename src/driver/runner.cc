@@ -1,0 +1,67 @@
+#include "driver/runner.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace nwsim
+{
+
+RunOptions
+resolveRunOptions(RunOptions defaults)
+{
+    if (const char *w = std::getenv("NWSIM_WARMUP"))
+        defaults.warmupInsts = std::strtoull(w, nullptr, 0);
+    if (const char *m = std::getenv("NWSIM_MEASURE"))
+        defaults.measureInsts = std::strtoull(m, nullptr, 0);
+    if (const char *f = std::getenv("NWSIM_DETAILED_WARMUP"))
+        defaults.fastWarmup = std::strtoull(f, nullptr, 0) == 0;
+    return defaults;
+}
+
+RunResult
+runProgram(const Program &program, const CoreConfig &config,
+           const RunOptions &opts, const std::string &name,
+           const std::string &config_name)
+{
+    SparseMemory memory;
+    program.load(memory);
+    OutOfOrderCore core(config, memory, program.entry);
+
+    RunResult result;
+    result.workload = name;
+    result.configName = config_name;
+
+    result.warmupCommitted = opts.fastWarmup
+                                 ? core.fastForward(opts.warmupInsts)
+                                 : core.run(opts.warmupInsts);
+    if (core.done()) {
+        NWSIM_WARN("workload ", name, " halted during warmup (",
+                   result.warmupCommitted, " insts); measuring anyway");
+    }
+    core.resetStats();
+    result.measuredCommitted = core.run(opts.measureInsts);
+    if (result.measuredCommitted < opts.measureInsts && !core.done()) {
+        NWSIM_WARN("workload ", name, " measured only ",
+                   result.measuredCommitted, " insts");
+    }
+
+    result.core = core.stats();
+    result.gating = core.gating().stats();
+    result.packing = core.packingStats();
+    result.bpred = core.bpredStats();
+    result.profiler = core.profiler();
+    result.l1dMissRate = core.memSystem().l1d().stats().missRate();
+    result.l1iMissRate = core.memSystem().l1i().stats().missRate();
+    return result;
+}
+
+double
+speedupPercent(const RunResult &base, const RunResult &opt)
+{
+    NWSIM_ASSERT(base.ipc() > 0.0, "zero baseline IPC for ",
+                 base.workload);
+    return 100.0 * (opt.ipc() / base.ipc() - 1.0);
+}
+
+} // namespace nwsim

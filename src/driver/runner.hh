@@ -1,0 +1,91 @@
+/**
+ * @file
+ * SimRunner: builds, loads, warms up, and measures one program on one
+ * core configuration, returning every statistic the experiment benches
+ * need. Mirrors the paper's methodology: warm architectural state, then
+ * measure a detailed-simulation window.
+ */
+
+#ifndef NWSIM_DRIVER_RUNNER_HH
+#define NWSIM_DRIVER_RUNNER_HH
+
+#include <string>
+
+#include "asm/program.hh"
+#include "core/profiler.hh"
+#include "pipeline/core.hh"
+
+namespace nwsim
+{
+
+/** Simulation window sizes (env-overridable, see resolveRunOptions). */
+struct RunOptions
+{
+    /** Instructions committed/fast-forwarded before statistics reset. */
+    u64 warmupInsts = 50000;
+    /** Instructions committed in the measurement window. */
+    u64 measureInsts = 400000;
+    /**
+     * Warm up with the paper's fast-mode simulation (caches + branch
+     * predictor only, Section 3.2); false = detailed-core warmup.
+     */
+    bool fastWarmup = true;
+};
+
+/**
+ * Read NWSIM_WARMUP / NWSIM_MEASURE environment overrides, so the whole
+ * benchmark suite can be scaled up or down without recompiling.
+ */
+RunOptions resolveRunOptions(RunOptions defaults = {});
+
+/** Everything measured in one run. */
+struct RunResult
+{
+    std::string workload;
+    std::string configName;
+    u64 warmupCommitted = 0;
+    u64 measuredCommitted = 0;
+    CoreStats core;
+    GatingStats gating;
+    PackingStats packing;
+    BPredStats bpred;
+    WidthProfiler profiler;
+    double l1dMissRate = 0.0;
+    double l1iMissRate = 0.0;
+
+    double ipc() const { return core.ipc(); }
+
+    /** Per-cycle power numbers (the paper reports mW per cycle). */
+    double
+    baselinePowerPerCycle() const
+    {
+        return core.cycles ? gating.baselineMwSum / core.cycles : 0.0;
+    }
+
+    double
+    optimizedPowerPerCycle() const
+    {
+        return core.cycles ? gating.optimizedMwSum() / core.cycles : 0.0;
+    }
+
+    double
+    netSavedPowerPerCycle() const
+    {
+        return core.cycles ? gating.netSavedMwSum() / core.cycles : 0.0;
+    }
+};
+
+/**
+ * Run @p program on @p config: warmup, reset stats, measure.
+ * @p name and @p config_name label the result for reporting.
+ */
+RunResult runProgram(const Program &program, const CoreConfig &config,
+                     const RunOptions &opts, const std::string &name,
+                     const std::string &config_name);
+
+/** Percent speedup of @p opt over @p base by IPC. */
+double speedupPercent(const RunResult &base, const RunResult &opt);
+
+} // namespace nwsim
+
+#endif // NWSIM_DRIVER_RUNNER_HH

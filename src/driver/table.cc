@@ -1,0 +1,98 @@
+#include "driver/table.hh"
+#include <cstdlib>
+
+#include <iostream>
+#include <sstream>
+
+#include "common/strings.hh"
+
+namespace nwsim
+{
+
+Table::Table(std::vector<std::string> headers) : head(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    cells.resize(head.size());
+    rows.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double value, int digits)
+{
+    return fixed(value, digits);
+}
+
+std::string
+Table::render() const
+{
+    std::vector<size_t> width(head.size());
+    for (size_t c = 0; c < head.size(); ++c)
+        width[c] = head[c].size();
+    for (const auto &row : rows)
+        for (size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            os << pad(cells[c],
+                      c == 0 ? static_cast<int>(width[c])
+                             : -static_cast<int>(width[c]));
+            if (c + 1 < cells.size())
+                os << "  ";
+        }
+        os << "\n";
+    };
+    emit(head);
+    size_t total = head.size() > 0 ? (head.size() - 1) * 2 : 0;
+    for (size_t w : width)
+        total += w;
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows)
+        emit(row);
+    return os.str();
+}
+
+std::string
+Table::renderCsv() const
+{
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            std::string cell = cells[c];
+            if (cell.find_first_of(",\"") != std::string::npos) {
+                std::string quoted = "\"";
+                for (char ch : cell) {
+                    if (ch == '"')
+                        quoted += '"';
+                    quoted += ch;
+                }
+                cell = quoted + "\"";
+            }
+            os << cell;
+            if (c + 1 < cells.size())
+                os << ",";
+        }
+        os << "\n";
+    };
+    emit(head);
+    for (const auto &row : rows)
+        emit(row);
+    return os.str();
+}
+
+void
+Table::print() const
+{
+    const char *csv = std::getenv("NWSIM_CSV");
+    if (csv && csv[0] == '1')
+        std::cout << renderCsv() << std::flush;
+    else
+        std::cout << render() << std::flush;
+}
+
+} // namespace nwsim

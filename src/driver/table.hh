@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Minimal fixed-width table printer for the experiment benches, so every
+ * figure/table reproduction prints the same row/series layout the paper
+ * reports.
+ */
+
+#ifndef NWSIM_DRIVER_TABLE_HH
+#define NWSIM_DRIVER_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace nwsim
+{
+
+/** Column-aligned text table. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append one row (cells beyond the header count are dropped). */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p digits decimals. */
+    static std::string num(double value, int digits = 2);
+
+    /** Render with a header underline, one row per line. */
+    std::string render() const;
+
+    /** Render as CSV (header row + data rows). */
+    std::string renderCsv() const;
+
+    /**
+     * Render to stdout; set NWSIM_CSV=1 in the environment to emit CSV
+     * instead of the aligned table (for scripting the benches).
+     */
+    void print() const;
+
+  private:
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace nwsim
+
+#endif // NWSIM_DRIVER_TABLE_HH

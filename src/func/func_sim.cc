@@ -1,0 +1,100 @@
+#include "func/func_sim.hh"
+
+#include "common/logging.hh"
+#include "isa/encode.hh"
+
+namespace nwsim
+{
+
+FuncSim::FuncSim(SparseMemory &memory, Addr entry, Addr stack_pointer)
+    : mem(memory), pcReg(entry)
+{
+    regs[spReg] = stack_pointer;
+}
+
+void
+FuncSim::setReg(RegIndex index, u64 value)
+{
+    if (index != zeroReg)
+        regs[index] = value;
+}
+
+FuncStep
+FuncSim::step()
+{
+    FuncStep out;
+    out.pc = pcReg;
+    if (isHalted) {
+        out.halted = true;
+        out.nextPc = pcReg;
+        return out;
+    }
+
+    const auto word = static_cast<MachineWord>(mem.read(pcReg, 4));
+    const Inst inst = decode(word);
+    out.inst = inst;
+    ++instsExecuted;
+
+    const u64 a = regs[inst.ra];
+    const u64 b_reg = regs[inst.rb];
+    const OperandPair ops = dataflowOperands(inst, a, b_reg);
+    const OpInfo &info = opInfo(inst.op);
+
+    Addr next_pc = pcReg + 4;
+    u64 result = 0;
+
+    switch (info.opClass) {
+      case OpClass::MemRead: {
+        out.effAddr = effectiveAddr(inst, a);
+        const unsigned size = memAccessSize(inst.op);
+        result = loadValue(inst.op, mem.read(out.effAddr, size));
+        break;
+      }
+      case OpClass::MemWrite: {
+        out.effAddr = effectiveAddr(inst, a);
+        mem.write(out.effAddr, memAccessSize(inst.op), b_reg);
+        break;
+      }
+      case OpClass::Branch:
+        out.taken = branchTaken(inst.op, a);
+        if (out.taken)
+            next_pc = inst.branchTarget(pcReg);
+        result = aluResult(inst, ops.a, ops.b, pcReg);
+        break;
+      case OpClass::Jump:
+        out.taken = true;
+        next_pc = b_reg;
+        result = aluResult(inst, ops.a, ops.b, pcReg);
+        break;
+      case OpClass::Other:
+        if (inst.op == Opcode::HALT) {
+            isHalted = true;
+            next_pc = pcReg;
+        }
+        break;
+      default:
+        result = aluResult(inst, ops.a, ops.b, pcReg);
+        break;
+    }
+
+    if (inst.writesReg())
+        regs[inst.rc] = result;
+    out.result = result;
+    out.nextPc = next_pc;
+    out.halted = isHalted;
+    pcReg = next_pc;
+    return out;
+}
+
+u64
+FuncSim::run(u64 max_steps)
+{
+    u64 done = 0;
+    while (done < max_steps && !isHalted) {
+        step();
+        ++done;
+    }
+    return done;
+}
+
+} // namespace nwsim

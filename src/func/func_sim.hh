@@ -1,0 +1,71 @@
+/**
+ * @file
+ * In-order functional simulator.
+ *
+ * Serves three roles:
+ *  - golden model for differential testing of the out-of-order pipeline;
+ *  - fetch oracle for perfect branch prediction (Figures 2 and 10 compare
+ *    perfect vs realistic prediction);
+ *  - fast-forward engine for warmup, mirroring the paper's methodology of
+ *    warming architectural state before detailed simulation.
+ */
+
+#ifndef NWSIM_FUNC_FUNC_SIM_HH
+#define NWSIM_FUNC_FUNC_SIM_HH
+
+#include <array>
+
+#include "asm/layout.hh"
+#include "func/semantics.hh"
+#include "mem/sparse_memory.hh"
+
+namespace nwsim
+{
+
+/** Everything one functional step did, for oracles and tests. */
+struct FuncStep
+{
+    Addr pc = 0;
+    Inst inst;
+    Addr nextPc = 0;
+    /** For control transfers: whether the branch was taken. */
+    bool taken = false;
+    /** Value written to inst.rc (0 when none). */
+    u64 result = 0;
+    /** Effective address for loads/stores. */
+    Addr effAddr = 0;
+    /** True once HALT has executed. */
+    bool halted = false;
+};
+
+/** Architected-state interpreter for nwsim programs. */
+class FuncSim
+{
+  public:
+    FuncSim(SparseMemory &memory, Addr entry,
+            Addr stack_pointer = layout::stackTop);
+
+    /** Execute one instruction. No-op (returns halted step) after HALT. */
+    FuncStep step();
+
+    /** Run until HALT or until @p max_steps more instructions retire. */
+    u64 run(u64 max_steps);
+
+    u64 reg(RegIndex index) const { return regs[index]; }
+    void setReg(RegIndex index, u64 value);
+    Addr pc() const { return pcReg; }
+    bool halted() const { return isHalted; }
+    u64 instCount() const { return instsExecuted; }
+    const std::array<u64, numIntRegs> &regFile() const { return regs; }
+
+  private:
+    SparseMemory &mem;
+    std::array<u64, numIntRegs> regs{};
+    Addr pcReg;
+    bool isHalted = false;
+    u64 instsExecuted = 0;
+};
+
+} // namespace nwsim
+
+#endif // NWSIM_FUNC_FUNC_SIM_HH

@@ -1,0 +1,164 @@
+#include "func/semantics.hh"
+
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace nwsim
+{
+
+namespace
+{
+
+i64
+safeDiv(i64 a, i64 b)
+{
+    if (b == 0)
+        return 0;
+    if (a == std::numeric_limits<i64>::min() && b == -1)
+        return a;
+    return a / b;
+}
+
+i64
+safeRem(i64 a, i64 b)
+{
+    if (b == 0)
+        return 0;
+    if (a == std::numeric_limits<i64>::min() && b == -1)
+        return 0;
+    return a % b;
+}
+
+} // namespace
+
+u64
+aluResult(const Inst &inst, u64 a, u64 b, Addr pc)
+{
+    const i64 sa = static_cast<i64>(a);
+    const i64 sb = static_cast<i64>(b);
+    switch (inst.op) {
+      case Opcode::ADD:
+      case Opcode::ADDI:
+        return a + b;
+      case Opcode::SUB:
+      case Opcode::SUBI:
+        return a - b;
+      case Opcode::MUL:
+      case Opcode::MULI:
+        return a * b;
+      case Opcode::DIV:
+        return static_cast<u64>(safeDiv(sa, sb));
+      case Opcode::REM:
+        return static_cast<u64>(safeRem(sa, sb));
+      case Opcode::AND:
+      case Opcode::ANDI:
+        return a & b;
+      case Opcode::OR:
+      case Opcode::ORI:
+        return a | b;
+      case Opcode::XOR:
+      case Opcode::XORI:
+        return a ^ b;
+      case Opcode::BIC:
+        return a & ~b;
+      case Opcode::SLL:
+      case Opcode::SLLI:
+        return a << (b & 63);
+      case Opcode::SRL:
+      case Opcode::SRLI:
+        return a >> (b & 63);
+      case Opcode::SRA:
+      case Opcode::SRAI:
+        return static_cast<u64>(sa >> (b & 63));
+      case Opcode::CMPEQ:
+      case Opcode::CMPEQI:
+        return a == b;
+      case Opcode::CMPLT:
+      case Opcode::CMPLTI:
+        return sa < sb;
+      case Opcode::CMPLE:
+      case Opcode::CMPLEI:
+        return sa <= sb;
+      case Opcode::CMPULT:
+        return a < b;
+      case Opcode::CMPULE:
+        return a <= b;
+      case Opcode::SEXTB:
+        return sext(a, 8);
+      case Opcode::SEXTW:
+        return sext(a, 16);
+      case Opcode::LDAH:
+        return a + (b << 16);
+      case Opcode::BR:
+      case Opcode::JMP:
+      case Opcode::JSR:
+        return pc + 4;    // link value
+      case Opcode::LDQ:
+      case Opcode::LDL:
+      case Opcode::LDWU:
+      case Opcode::LDBU:
+      case Opcode::STQ:
+      case Opcode::STL:
+      case Opcode::STW:
+      case Opcode::STB:
+        // Address generation; data handled by the caller.
+        return a + b;
+      case Opcode::BEQ:
+      case Opcode::BNE:
+      case Opcode::BLT:
+      case Opcode::BLE:
+      case Opcode::BGT:
+      case Opcode::BGE:
+      case Opcode::RET:
+      case Opcode::NOP:
+      case Opcode::HALT:
+        return 0;
+      default:
+        NWSIM_PANIC("aluResult: unhandled opcode ",
+                    static_cast<int>(inst.op));
+    }
+}
+
+bool
+branchTaken(Opcode op, u64 a)
+{
+    const i64 sa = static_cast<i64>(a);
+    switch (op) {
+      case Opcode::BEQ:
+        return sa == 0;
+      case Opcode::BNE:
+        return sa != 0;
+      case Opcode::BLT:
+        return sa < 0;
+      case Opcode::BLE:
+        return sa <= 0;
+      case Opcode::BGT:
+        return sa > 0;
+      case Opcode::BGE:
+        return sa >= 0;
+      case Opcode::BR:
+        return true;
+      default:
+        NWSIM_PANIC("branchTaken on non-branch ", mnemonic(op));
+    }
+}
+
+u64
+loadValue(Opcode op, u64 raw)
+{
+    switch (op) {
+      case Opcode::LDQ:
+        return raw;
+      case Opcode::LDL:
+        return sext(raw, 32);
+      case Opcode::LDWU:
+        return zext(raw, 16);
+      case Opcode::LDBU:
+        return zext(raw, 8);
+      default:
+        NWSIM_PANIC("loadValue on non-load ", mnemonic(op));
+    }
+}
+
+} // namespace nwsim

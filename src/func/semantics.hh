@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Pure instruction semantics, shared verbatim between the functional
+ * golden-model simulator and the out-of-order pipeline's
+ * execute-at-dispatch stage, so the two can never diverge.
+ *
+ * All semantics are total (divide-by-zero yields 0, shifts mask their
+ * amount) so that wrong-path execution of arbitrary operand values is
+ * well defined.
+ */
+
+#ifndef NWSIM_FUNC_SEMANTICS_HH
+#define NWSIM_FUNC_SEMANTICS_HH
+
+#include "isa/inst.hh"
+
+namespace nwsim
+{
+
+/**
+ * Compute the ALU/link result of @p inst given its two dataflow operands.
+ *
+ * @param a  Value of inst.ra.
+ * @param b  Second dataflow operand: the sign-extended immediate for
+ *           I-format, else the value of inst.rb.
+ * @param pc The instruction's own PC (for link results).
+ * @return   The value written to inst.rc (0 for ops with no result).
+ *
+ * Memory data movement is not performed here; loads/stores use
+ * effectiveAddr() and the caller's memory/LSQ.
+ */
+u64 aluResult(const Inst &inst, u64 a, u64 b, Addr pc);
+
+/** Condition evaluation for conditional branches (ra compared to zero). */
+bool branchTaken(Opcode op, u64 a);
+
+/** Effective address of a load/store: ra + imm. */
+inline Addr
+effectiveAddr(const Inst &inst, u64 a)
+{
+    return a + static_cast<u64>(inst.imm);
+}
+
+/** Apply a load's size/extension rules to raw memory data. */
+u64 loadValue(Opcode op, u64 raw);
+
+/**
+ * The two dataflow operands a width-analysis/packing unit sees for this
+ * instruction: (ra value, rb-or-immediate value). This matches what the
+ * paper's reservation-station zero-detect tags describe.
+ */
+struct OperandPair
+{
+    u64 a;
+    u64 b;
+};
+
+inline OperandPair
+dataflowOperands(const Inst &inst, u64 ra_value, u64 rb_value)
+{
+    if (inst.usesImm())
+        return {ra_value, static_cast<u64>(inst.imm)};
+    return {ra_value, rb_value};
+}
+
+} // namespace nwsim
+
+#endif // NWSIM_FUNC_SEMANTICS_HH

@@ -1,0 +1,81 @@
+#include "isa/disasm.hh"
+
+#include <sstream>
+
+#include "common/strings.hh"
+
+namespace nwsim
+{
+
+namespace
+{
+
+std::string
+reg(RegIndex r)
+{
+    return "r" + std::to_string(static_cast<int>(r));
+}
+
+std::string
+disasmCommon(const Inst &inst, bool have_pc, Addr pc)
+{
+    const OpInfo &info = opInfo(inst.op);
+    std::ostringstream os;
+    os << info.mnemonic;
+    switch (info.format) {
+      case Format::R:
+        if (inst.op == Opcode::SEXTB || inst.op == Opcode::SEXTW)
+            os << " " << reg(inst.rc) << ", " << reg(inst.ra);
+        else
+            os << " " << reg(inst.rc) << ", " << reg(inst.ra) << ", "
+               << reg(inst.rb);
+        break;
+      case Format::I:
+        if (info.opClass == OpClass::MemRead) {
+            os << " " << reg(inst.rc) << ", " << inst.imm << "("
+               << reg(inst.ra) << ")";
+        } else if (info.opClass == OpClass::MemWrite) {
+            os << " " << reg(inst.rb) << ", " << inst.imm << "("
+               << reg(inst.ra) << ")";
+        } else {
+            os << " " << reg(inst.rc) << ", " << reg(inst.ra) << ", "
+               << inst.imm;
+        }
+        break;
+      case Format::B:
+        if (inst.op == Opcode::BR)
+            os << " " << reg(inst.rc) << ", ";
+        else
+            os << " " << reg(inst.ra) << ", ";
+        if (have_pc)
+            os << hexString(inst.branchTarget(pc));
+        else
+            os << "." << (inst.disp >= 0 ? "+" : "") << inst.disp;
+        break;
+      case Format::J:
+        if (inst.op == Opcode::RET)
+            os << " " << reg(inst.rb);
+        else
+            os << " " << reg(inst.rc) << ", " << reg(inst.rb);
+        break;
+      case Format::None:
+        break;
+    }
+    return os.str();
+}
+
+} // namespace
+
+std::string
+disassemble(const Inst &inst)
+{
+    return disasmCommon(inst, false, 0);
+}
+
+std::string
+disassemble(const Inst &inst, Addr pc)
+{
+    return disasmCommon(inst, true, pc);
+}
+
+} // namespace nwsim

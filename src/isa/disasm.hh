@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Textual disassembly of nwsim instructions, in the same syntax the
+ * text assembler accepts (round-trippable).
+ */
+
+#ifndef NWSIM_ISA_DISASM_HH
+#define NWSIM_ISA_DISASM_HH
+
+#include <string>
+
+#include "isa/inst.hh"
+
+namespace nwsim
+{
+
+/**
+ * Disassemble @p inst. If @p pc is provided, branch displacements are
+ * shown as absolute targets; otherwise as relative word displacements.
+ */
+std::string disassemble(const Inst &inst);
+std::string disassemble(const Inst &inst, Addr pc);
+
+} // namespace nwsim
+
+#endif // NWSIM_ISA_DISASM_HH

@@ -1,0 +1,186 @@
+#include "isa/encode.hh"
+
+#include "common/logging.hh"
+
+namespace nwsim
+{
+
+namespace
+{
+
+/**
+ * Map encoding fields (fa, fb, fc) into dataflow roles for @p inst.op.
+ * Kept as the single point of truth used by both decode() and the
+ * assembler path (via normalizeInst).
+ */
+void
+applyRoles(Inst &inst, RegIndex fa, RegIndex fb, RegIndex fc)
+{
+    const OpInfo &info = opInfo(inst.op);
+    inst.ra = zeroReg;
+    inst.rb = zeroReg;
+    inst.rc = zeroReg;
+    switch (info.format) {
+      case Format::R:
+        inst.ra = fa;
+        inst.rb = fb;
+        inst.rc = fc;
+        break;
+      case Format::I:
+        if (info.opClass == OpClass::MemWrite) {
+            inst.ra = fa;   // base
+            inst.rb = fb;   // store data
+        } else {
+            inst.ra = fa;   // source
+            inst.rc = fb;   // destination
+        }
+        break;
+      case Format::B:
+        if (inst.op == Opcode::BR)
+            inst.rc = fa;   // link register
+        else
+            inst.ra = fa;   // condition register
+        break;
+      case Format::J:
+        if (inst.op == Opcode::RET) {
+            inst.rb = fb;   // jump target
+        } else {
+            inst.rc = fa;   // link register
+            inst.rb = fb;   // jump target
+        }
+        break;
+      case Format::None:
+        break;
+    }
+    // Writes to r31 are architecturally discarded; normalize them away so
+    // dependence logic can rely on rc != zeroReg meaning "produces a
+    // value".
+    if (inst.rc == zeroReg)
+        inst.rc = zeroReg;
+}
+
+/** Inverse of applyRoles: recover encoding fields from dataflow roles. */
+void
+extractRoles(const Inst &inst, RegIndex &fa, RegIndex &fb, RegIndex &fc)
+{
+    const OpInfo &info = opInfo(inst.op);
+    fa = zeroReg;
+    fb = zeroReg;
+    fc = zeroReg;
+    switch (info.format) {
+      case Format::R:
+        fa = inst.ra;
+        fb = inst.rb;
+        fc = inst.rc;
+        break;
+      case Format::I:
+        if (info.opClass == OpClass::MemWrite) {
+            fa = inst.ra;
+            fb = inst.rb;
+        } else {
+            fa = inst.ra;
+            fb = inst.rc;
+        }
+        break;
+      case Format::B:
+        fa = (inst.op == Opcode::BR) ? inst.rc : inst.ra;
+        break;
+      case Format::J:
+        if (inst.op == Opcode::RET) {
+            fb = inst.rb;
+        } else {
+            fa = inst.rc;
+            fb = inst.rb;
+        }
+        break;
+      case Format::None:
+        break;
+    }
+}
+
+} // namespace
+
+void
+normalizeInst(Inst &inst)
+{
+    applyRoles(inst, inst.ra, inst.rb, inst.rc);
+}
+
+MachineWord
+encode(const Inst &inst)
+{
+    const OpInfo &info = opInfo(inst.op);
+    RegIndex fa, fb, fc;
+    extractRoles(inst, fa, fb, fc);
+
+    u32 word = static_cast<u32>(
+        insertBits(static_cast<u64>(inst.op), 31, 26));
+    switch (info.format) {
+      case Format::R:
+        word |= insertBits(fa, 25, 21);
+        word |= insertBits(fb, 20, 16);
+        word |= insertBits(fc, 4, 0);
+        break;
+      case Format::I:
+        if (immZeroExtends(inst.op)) {
+            NWSIM_ASSERT(inst.imm >= 0 && inst.imm <= 0xffff,
+                         "imm16 out of range: ", inst.imm, " in ",
+                         info.mnemonic);
+        } else {
+            NWSIM_ASSERT(inst.imm >= -32768 && inst.imm <= 32767,
+                         "imm16 out of range: ", inst.imm, " in ",
+                         info.mnemonic);
+        }
+        word |= insertBits(fa, 25, 21);
+        word |= insertBits(fb, 20, 16);
+        word |= insertBits(static_cast<u64>(inst.imm), 15, 0);
+        break;
+      case Format::B:
+        NWSIM_ASSERT(inst.disp >= -(1 << 20) && inst.disp < (1 << 20),
+                     "disp21 out of range: ", inst.disp, " in ",
+                     info.mnemonic);
+        word |= insertBits(fa, 25, 21);
+        word |= insertBits(static_cast<u64>(inst.disp), 20, 0);
+        break;
+      case Format::J:
+        word |= insertBits(fa, 25, 21);
+        word |= insertBits(fb, 20, 16);
+        break;
+      case Format::None:
+        break;
+    }
+    return word;
+}
+
+Inst
+decode(MachineWord word, bool *valid)
+{
+    const u8 opfield = static_cast<u8>(bits(word, 31, 26));
+    Inst inst;
+    if (opfield >= static_cast<u8>(Opcode::NumOpcodes)) {
+        // Wrong-path fetch of non-code bytes: treat as a NOP.
+        inst.op = Opcode::NOP;
+        if (valid)
+            *valid = false;
+        return inst;
+    }
+    if (valid)
+        *valid = true;
+    inst.op = static_cast<Opcode>(opfield);
+    const OpInfo &info = opInfo(inst.op);
+    const auto fa = static_cast<RegIndex>(bits(word, 25, 21));
+    const auto fb = static_cast<RegIndex>(bits(word, 20, 16));
+    const auto fc = static_cast<RegIndex>(bits(word, 4, 0));
+    applyRoles(inst, fa, fb, fc);
+    if (info.format == Format::I) {
+        const u64 raw = bits(word, 15, 0);
+        inst.imm = immZeroExtends(inst.op)
+                       ? static_cast<i64>(raw)
+                       : static_cast<i64>(sext(raw, 16));
+    }
+    if (info.format == Format::B)
+        inst.disp = static_cast<i64>(sext(bits(word, 20, 0), 21));
+    return inst;
+}
+
+} // namespace nwsim

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Binary encoding and decoding of nwsim instructions.
+ *
+ * 32-bit fixed-width words, Alpha-style field layout:
+ *
+ *     R:    op[31:26] fa[25:21] fb[20:16] zero[15:5] fc[4:0]
+ *     I:    op[31:26] fa[25:21] fb[20:16] imm16[15:0]
+ *     B:    op[31:26] fa[25:21] disp21[20:0]
+ *     J:    op[31:26] fa[25:21] fb[20:16] zero[15:0]
+ *     None: op[31:26] zero[25:0]
+ *
+ * The mapping from encoding fields (fa/fb/fc) to dataflow roles
+ * (ra/rb/rc on Inst) is format- and opcode-dependent; see encode.cc.
+ */
+
+#ifndef NWSIM_ISA_ENCODE_HH
+#define NWSIM_ISA_ENCODE_HH
+
+#include <optional>
+
+#include "isa/inst.hh"
+
+namespace nwsim
+{
+
+/** Machine-code word type. */
+using MachineWord = u32;
+
+/**
+ * Encode a normalized instruction into a machine word.
+ *
+ * @pre inst's fields follow the dataflow-role conventions documented on
+ *      Inst (the assembler produces these; see Assembler).
+ */
+MachineWord encode(const Inst &inst);
+
+/**
+ * Decode a machine word into a normalized instruction.
+ *
+ * Invalid encodings (opcode out of range) decode as NOP so that
+ * wrong-path fetches into non-text memory never crash the simulator;
+ * @p valid reports whether the word was a real instruction.
+ */
+Inst decode(MachineWord word, bool *valid = nullptr);
+
+} // namespace nwsim
+
+#endif // NWSIM_ISA_ENCODE_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Decoded-instruction representation shared by the functional simulator,
+ * the out-of-order pipeline, and the assembler.
+ */
+
+#ifndef NWSIM_ISA_INST_HH
+#define NWSIM_ISA_INST_HH
+
+#include "common/bitops.hh"
+#include "common/types.hh"
+#include "isa/opcode.hh"
+
+namespace nwsim
+{
+
+/**
+ * A fully decoded instruction. All fields are normalized: immediates are
+ * already sign-extended, and register fields that a format does not use
+ * are set to the zero register so dependence logic can treat every
+ * instruction uniformly (reads ra, rb; writes rc).
+ */
+struct Inst
+{
+    Opcode op = Opcode::NOP;
+    /** First source register (also the condition register for branches). */
+    RegIndex ra = zeroReg;
+    /** Second source register (R/J formats). */
+    RegIndex rb = zeroReg;
+    /** Destination register (zeroReg when no register is written). */
+    RegIndex rc = zeroReg;
+    /** Sign-extended 16-bit immediate (I format). */
+    i64 imm = 0;
+    /** Sign-extended 21-bit word displacement (B format). */
+    i64 disp = 0;
+
+    /** True if the second dataflow operand is the immediate. */
+    bool
+    usesImm() const
+    {
+        return opInfo(op).format == Format::I;
+    }
+
+    /** True if this instruction writes an architected register. */
+    bool
+    writesReg() const
+    {
+        return rc != zeroReg;
+    }
+
+    /** Branch/link target for a B-format instruction at @p pc. */
+    Addr
+    branchTarget(Addr pc) const
+    {
+        return pc + 4 + static_cast<Addr>(disp * 4);
+    }
+};
+
+/**
+ * Normalize per-format register roles into the uniform (ra, rb, rc)
+ * dataflow view described on Inst. Called by both the decoder and the
+ * assembler so the two can never disagree.
+ */
+void normalizeInst(Inst &inst);
+
+/** True for calls: JSR, or BR with a live link register ("bsr"). */
+inline bool
+isCall(const Inst &inst)
+{
+    return inst.op == Opcode::JSR ||
+           (inst.op == Opcode::BR && inst.rc != zeroReg);
+}
+
+/** True for returns (pops the return-address stack). */
+inline bool
+isReturn(const Inst &inst)
+{
+    return inst.op == Opcode::RET;
+}
+
+/** True for register-indirect control transfers (target not in encoding). */
+inline bool
+isIndirectControl(const Inst &inst)
+{
+    return opInfo(inst.op).opClass == OpClass::Jump;
+}
+
+} // namespace nwsim
+
+#endif // NWSIM_ISA_INST_HH

@@ -1,0 +1,176 @@
+#include "isa/opcode.hh"
+
+#include <array>
+
+#include "common/logging.hh"
+
+namespace nwsim
+{
+
+namespace
+{
+
+constexpr u8 aluLat = 1;
+constexpr u8 mulLat = 3;
+constexpr u8 divLat = 20;
+
+using F = Format;
+using C = OpClass;
+using D = DeviceClass;
+using K = PackKey;
+
+constexpr OpInfo
+r(std::string_view m, C c, D d, K k, u8 lat, bool piped, bool replay)
+{
+    return OpInfo{m, F::R, c, d, k, lat, piped, replay};
+}
+
+constexpr OpInfo
+i(std::string_view m, C c, D d, K k, u8 lat = aluLat, bool replay = false)
+{
+    return OpInfo{m, F::I, c, d, k, lat, true, replay};
+}
+
+constexpr std::array<OpInfo,
+                     static_cast<size_t>(Opcode::NumOpcodes)> infoTable = {{
+    // R-type
+    r("add", C::IntAlu, D::Adder, K::Add, aluLat, true, true),
+    r("sub", C::IntAlu, D::Adder, K::Sub, aluLat, true, true),
+    r("mul", C::IntMult, D::Multiplier, K::None, mulLat, true, false),
+    r("div", C::IntDiv, D::Multiplier, K::None, divLat, false, false),
+    r("rem", C::IntDiv, D::Multiplier, K::None, divLat, false, false),
+    r("and", C::Logic, D::BitwiseLogic, K::And, aluLat, true, false),
+    r("or", C::Logic, D::BitwiseLogic, K::Or, aluLat, true, false),
+    r("xor", C::Logic, D::BitwiseLogic, K::Xor, aluLat, true, false),
+    r("bic", C::Logic, D::BitwiseLogic, K::Bic, aluLat, true, false),
+    r("sll", C::Shift, D::Shifter, K::Sll, aluLat, true, false),
+    r("srl", C::Shift, D::Shifter, K::Srl, aluLat, true, false),
+    r("sra", C::Shift, D::Shifter, K::Sra, aluLat, true, false),
+    r("cmpeq", C::IntAlu, D::Adder, K::CmpEq, aluLat, true, false),
+    r("cmplt", C::IntAlu, D::Adder, K::CmpLt, aluLat, true, false),
+    r("cmple", C::IntAlu, D::Adder, K::CmpLe, aluLat, true, false),
+    r("cmpult", C::IntAlu, D::Adder, K::CmpUlt, aluLat, true, false),
+    r("cmpule", C::IntAlu, D::Adder, K::CmpUle, aluLat, true, false),
+    r("sextb", C::Logic, D::BitwiseLogic, K::SextB, aluLat, true, false),
+    r("sextw", C::Logic, D::BitwiseLogic, K::SextW, aluLat, true, false),
+
+    // I-type
+    i("addi", C::IntAlu, D::Adder, K::Add, aluLat, true),
+    i("subi", C::IntAlu, D::Adder, K::Sub, aluLat, true),
+    OpInfo{"muli", F::I, C::IntMult, D::Multiplier, K::None, mulLat, true,
+           false},
+    i("andi", C::Logic, D::BitwiseLogic, K::And),
+    i("ori", C::Logic, D::BitwiseLogic, K::Or),
+    i("xori", C::Logic, D::BitwiseLogic, K::Xor),
+    i("slli", C::Shift, D::Shifter, K::Sll),
+    i("srli", C::Shift, D::Shifter, K::Srl),
+    i("srai", C::Shift, D::Shifter, K::Sra),
+    i("cmpeqi", C::IntAlu, D::Adder, K::CmpEq),
+    i("cmplti", C::IntAlu, D::Adder, K::CmpLt),
+    i("cmplei", C::IntAlu, D::Adder, K::CmpLe),
+    i("ldah", C::IntAlu, D::Adder, K::None),
+
+    // Memory (latency here is address-generation/issue occupancy; cache
+    // latency is added by the memory system).
+    i("ldq", C::MemRead, D::Adder, K::None),
+    i("ldl", C::MemRead, D::Adder, K::None),
+    i("ldwu", C::MemRead, D::Adder, K::None),
+    i("ldbu", C::MemRead, D::Adder, K::None),
+    i("stq", C::MemWrite, D::Adder, K::None),
+    i("stl", C::MemWrite, D::Adder, K::None),
+    i("stw", C::MemWrite, D::Adder, K::None),
+    i("stb", C::MemWrite, D::Adder, K::None),
+
+    // Branches
+    OpInfo{"beq", F::B, C::Branch, D::Adder, K::None, aluLat, true, false},
+    OpInfo{"bne", F::B, C::Branch, D::Adder, K::None, aluLat, true, false},
+    OpInfo{"blt", F::B, C::Branch, D::Adder, K::None, aluLat, true, false},
+    OpInfo{"ble", F::B, C::Branch, D::Adder, K::None, aluLat, true, false},
+    OpInfo{"bgt", F::B, C::Branch, D::Adder, K::None, aluLat, true, false},
+    OpInfo{"bge", F::B, C::Branch, D::Adder, K::None, aluLat, true, false},
+    OpInfo{"br", F::B, C::Branch, D::Adder, K::None, aluLat, true, false},
+
+    // Jumps
+    OpInfo{"jmp", F::J, C::Jump, D::Adder, K::None, aluLat, true, false},
+    OpInfo{"jsr", F::J, C::Jump, D::Adder, K::None, aluLat, true, false},
+    OpInfo{"ret", F::J, C::Jump, D::Adder, K::None, aluLat, true, false},
+
+    OpInfo{"nop", F::None, C::Other, D::None, K::None, 1, true, false},
+    OpInfo{"halt", F::None, C::Other, D::None, K::None, 1, true, false},
+}};
+
+} // namespace
+
+const OpInfo &
+opInfo(Opcode op)
+{
+    NWSIM_ASSERT(op < Opcode::NumOpcodes, "bad opcode ",
+                 static_cast<int>(op));
+    return infoTable[static_cast<size_t>(op)];
+}
+
+std::string_view
+mnemonic(Opcode op)
+{
+    return opInfo(op).mnemonic;
+}
+
+bool
+isCondBranch(Opcode op)
+{
+    return op >= Opcode::BEQ && op <= Opcode::BGE;
+}
+
+bool
+isControl(Opcode op)
+{
+    return opInfo(op).opClass == OpClass::Branch ||
+           opInfo(op).opClass == OpClass::Jump;
+}
+
+bool
+isLoad(Opcode op)
+{
+    return opInfo(op).opClass == OpClass::MemRead;
+}
+
+bool
+isStore(Opcode op)
+{
+    return opInfo(op).opClass == OpClass::MemWrite;
+}
+
+unsigned
+memAccessSize(Opcode op)
+{
+    switch (op) {
+      case Opcode::LDQ:
+      case Opcode::STQ:
+        return 8;
+      case Opcode::LDL:
+      case Opcode::STL:
+        return 4;
+      case Opcode::LDWU:
+      case Opcode::STW:
+        return 2;
+      case Opcode::LDBU:
+      case Opcode::STB:
+        return 1;
+      default:
+        NWSIM_PANIC("memAccessSize on non-memory op ", mnemonic(op));
+    }
+}
+
+bool
+loadSignExtends(Opcode op)
+{
+    return op == Opcode::LDL;
+}
+
+bool
+immZeroExtends(Opcode op)
+{
+    return op == Opcode::ANDI || op == Opcode::ORI || op == Opcode::XORI;
+}
+
+} // namespace nwsim

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * The nwsim ISA: a 64-bit Alpha-like RISC.
+ *
+ * The paper's simulator (SimpleScalar sim-outorder) ran DEC Alpha
+ * binaries. We define a compact ISA with the same properties the
+ * narrow-width analysis relies on: 64-bit two's-complement quadword datum,
+ * 32 integer registers with r31 hardwired to zero, 16-bit immediates,
+ * displacement branches, and distinct adder / multiplier / logic / shifter
+ * operation classes (the device classes of the paper's Table 4 power
+ * model).
+ */
+
+#ifndef NWSIM_ISA_OPCODE_HH
+#define NWSIM_ISA_OPCODE_HH
+
+#include <string_view>
+
+#include "common/types.hh"
+
+namespace nwsim
+{
+
+/** Every architectural operation, one 6-bit primary opcode each. */
+enum class Opcode : u8
+{
+    // R-type: rc <- ra OP rb
+    ADD, SUB, MUL, DIV, REM,
+    AND, OR, XOR, BIC,
+    SLL, SRL, SRA,
+    CMPEQ, CMPLT, CMPLE, CMPULT, CMPULE,
+    SEXTB, SEXTW,
+
+    // I-type: rc <- ra OP sext(imm16)
+    ADDI, SUBI, MULI,
+    ANDI, ORI, XORI,
+    SLLI, SRLI, SRAI,
+    CMPEQI, CMPLTI, CMPLEI,
+    LDAH,       // rc <- ra + (sext(imm16) << 16): constant building
+
+    // Memory, I-type addressing: ea = ra + sext(imm16)
+    LDQ, LDL, LDWU, LDBU,
+    STQ, STL, STW, STB,
+
+    // Branches, B-type: if cond(ra) goto pc + 4 + 4*sext(disp21)
+    BEQ, BNE, BLT, BLE, BGT, BGE,
+    BR,         // unconditional; ra <- pc + 4 (link)
+
+    // Jumps, J-type
+    JMP,        // ra <- pc + 4; goto rb
+    JSR,        // ra <- pc + 4; goto rb; pushes return-address stack
+    RET,        // goto rb; pops return-address stack
+
+    NOP,
+    HALT,       // stop simulation
+
+    NumOpcodes,
+};
+
+/** Functional-unit / scheduling class of an operation. */
+enum class OpClass : u8
+{
+    IntAlu,     ///< add/sub/compare on the integer ALU's adder
+    IntMult,    ///< multiply (pipelined multiplier)
+    IntDiv,     ///< divide/remainder (unpipelined multiplier-side unit)
+    Logic,      ///< bit-wise logic / sign extension
+    Shift,      ///< barrel shifter
+    MemRead,    ///< load (address generation on an ALU adder)
+    MemWrite,   ///< store (address generation on an ALU adder)
+    Branch,     ///< conditional/unconditional displacement branch
+    Jump,       ///< indirect jump/call/return
+    Other,      ///< nop/halt: no functional unit
+};
+
+/**
+ * Which Table 4 device an operation exercises, for the clock-gating power
+ * model. Address generation (loads/stores/branches) uses the adder.
+ */
+enum class DeviceClass : u8
+{
+    Adder,
+    Multiplier,
+    BitwiseLogic,
+    Shifter,
+    None,
+};
+
+/**
+ * Packing-equivalence key (paper Section 5.2: packed instructions "must
+ * perform the same operation"). Register and immediate forms of one ALU
+ * operation share a key because the functional unit performs the identical
+ * subword operation; ops that cannot be packed map to PackKey::None.
+ */
+enum class PackKey : u8
+{
+    None,
+    Add, Sub,
+    And, Or, Xor, Bic,
+    Sll, Srl, Sra,
+    CmpEq, CmpLt, CmpLe, CmpUlt, CmpUle,
+    SextB, SextW,
+};
+
+/** Instruction encoding format. */
+enum class Format : u8
+{
+    R,          ///< op ra rb rc
+    I,          ///< op ra rc imm16
+    B,          ///< op ra disp21
+    J,          ///< op ra rb
+    None,       ///< op only (NOP, HALT)
+};
+
+/** Static metadata for one opcode. */
+struct OpInfo
+{
+    std::string_view mnemonic;
+    Format format;
+    OpClass opClass;
+    DeviceClass device;
+    PackKey packKey;
+    /** Execution latency in cycles once issued. */
+    u8 latency;
+    /** Whether a new op of this class can start every cycle. */
+    bool pipelined;
+    /** Replay packing (Section 5.3) applies: add/sub-style carry shape. */
+    bool replayPackable;
+};
+
+/** Look up the static metadata for @p op. */
+const OpInfo &opInfo(Opcode op);
+
+/** Mnemonic helper. */
+std::string_view mnemonic(Opcode op);
+
+/** True for conditional branches (BEQ..BGE, not BR). */
+bool isCondBranch(Opcode op);
+
+/** True for any control transfer (branches and jumps). */
+bool isControl(Opcode op);
+
+/** True for loads. */
+bool isLoad(Opcode op);
+
+/** True for stores. */
+bool isStore(Opcode op);
+
+/** Size in bytes of the memory access performed by a load/store. */
+unsigned memAccessSize(Opcode op);
+
+/** True if the load zero- or sign-extends (LDL sign, LDWU/LDBU zero). */
+bool loadSignExtends(Opcode op);
+
+/**
+ * True if the 16-bit immediate zero-extends rather than sign-extends.
+ * Logical immediates (andi/ori/xori) zero-extend, as Alpha logical
+ * literals do; this makes wide-constant synthesis (ori/slli chains) and
+ * low-half masking (andi rd, rs, 0xffff) direct.
+ */
+bool immZeroExtends(Opcode op);
+
+} // namespace nwsim
+
+#endif // NWSIM_ISA_OPCODE_HH

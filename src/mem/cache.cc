@@ -1,0 +1,82 @@
+#include "mem/cache.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace nwsim
+{
+
+Cache::Cache(const CacheConfig &config) : cfg(config)
+{
+    NWSIM_ASSERT(std::has_single_bit(cfg.blockBytes),
+                 "block size must be a power of two");
+    const u64 lines = cfg.sizeBytes / cfg.blockBytes;
+    NWSIM_ASSERT(lines % cfg.assoc == 0, "size/assoc mismatch in ",
+                 cfg.name);
+    numSets = static_cast<unsigned>(lines / cfg.assoc);
+    NWSIM_ASSERT(std::has_single_bit(numSets),
+                 "set count must be a power of two in ", cfg.name);
+    blockShift = static_cast<unsigned>(std::countr_zero(cfg.blockBytes));
+    sets.assign(numSets, std::vector<Line>(cfg.assoc));
+}
+
+unsigned
+Cache::setIndex(Addr addr) const
+{
+    return static_cast<unsigned>((addr >> blockShift) & (numSets - 1));
+}
+
+Addr
+Cache::tagOf(Addr addr) const
+{
+    return addr >> blockShift;
+}
+
+bool
+Cache::access(Addr addr)
+{
+    ++stat.accesses;
+    ++useClock;
+    const Addr tag = tagOf(addr);
+    auto &set = sets[setIndex(addr)];
+    Line *victim = &set[0];
+    for (Line &line : set) {
+        if (line.valid && line.tag == tag) {
+            line.lastUse = useClock;
+            return true;
+        }
+        if (!line.valid) {
+            victim = &line;
+        } else if (victim->valid && line.lastUse < victim->lastUse) {
+            victim = &line;
+        }
+    }
+    ++stat.misses;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = useClock;
+    return false;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    const Addr tag = tagOf(addr);
+    const auto &set = sets[setIndex(addr)];
+    for (const Line &line : set) {
+        if (line.valid && line.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (auto &set : sets)
+        for (Line &line : set)
+            line.valid = false;
+}
+
+} // namespace nwsim

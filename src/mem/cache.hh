@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Timing-only set-associative cache with LRU replacement.
+ *
+ * The paper's experiments use SimpleScalar's cache timing (Table 1:
+ * 64K 2-way L1s, 8M 4-way unified L2, 32B blocks); data contents live in
+ * SparseMemory, so the cache tracks tags and latency only. Misses are
+ * modeled as blocking with a fixed next-level latency, matching
+ * sim-outorder's simple cache-latency accounting.
+ */
+
+#ifndef NWSIM_MEM_CACHE_HH
+#define NWSIM_MEM_CACHE_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace nwsim
+{
+
+/** Geometry and timing for one cache level. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    u64 sizeBytes = 64 * 1024;
+    unsigned assoc = 2;
+    unsigned blockBytes = 32;
+    /** Latency of a hit in this cache, in cycles. */
+    unsigned hitLatency = 1;
+};
+
+/** Hit/miss statistics for one cache. */
+struct CacheStats
+{
+    u64 accesses = 0;
+    u64 misses = 0;
+
+    double
+    missRate() const
+    {
+        return accesses ? static_cast<double>(misses) / accesses : 0.0;
+    }
+};
+
+/** A single set-associative LRU cache level. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    /**
+     * Access the block containing @p addr.
+     * @return true on hit; on miss the block is filled (LRU victim).
+     */
+    bool access(Addr addr);
+
+    /** Probe without filling or updating LRU (used by tests). */
+    bool probe(Addr addr) const;
+
+    /** Invalidate everything (used between benchmark configurations). */
+    void flush();
+
+    const CacheConfig &config() const { return cfg; }
+    const CacheStats &stats() const { return stat; }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        u64 lastUse = 0;
+    };
+
+    unsigned setIndex(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+
+    CacheConfig cfg;
+    CacheStats stat;
+    unsigned numSets;
+    unsigned blockShift;
+    u64 useClock = 0;
+    std::vector<std::vector<Line>> sets;
+};
+
+} // namespace nwsim
+
+#endif // NWSIM_MEM_CACHE_HH

@@ -1,0 +1,50 @@
+#include "mem/memsystem.hh"
+
+namespace nwsim
+{
+
+MemSystem::MemSystem(const MemSystemConfig &config)
+    : cfg(config),
+      l1iCache(config.l1i),
+      l1dCache(config.l1d),
+      l2Cache(config.l2),
+      iTlb(config.itlb),
+      dTlb(config.dtlb)
+{
+}
+
+unsigned
+MemSystem::throughHierarchy(Cache &l1, Addr addr)
+{
+    unsigned latency = l1.config().hitLatency;
+    if (!l1.access(addr)) {
+        latency += l2Cache.config().hitLatency;
+        if (!l2Cache.access(addr))
+            latency += cfg.memoryLatency;
+    }
+    return latency;
+}
+
+unsigned
+MemSystem::instLatency(Addr addr)
+{
+    return iTlb.access(addr) + throughHierarchy(l1iCache, addr);
+}
+
+unsigned
+MemSystem::dataLatency(Addr addr)
+{
+    return dTlb.access(addr) + throughHierarchy(l1dCache, addr);
+}
+
+void
+MemSystem::flush()
+{
+    l1iCache.flush();
+    l1dCache.flush();
+    l2Cache.flush();
+    iTlb.flush();
+    dTlb.flush();
+}
+
+} // namespace nwsim

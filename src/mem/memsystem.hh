@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The Table 1 memory hierarchy: split 64K 2-way L1 I/D caches (1 cycle),
+ * unified 8M 4-way L2 (12 cycles), 100-cycle main memory, and 128-entry
+ * fully-associative I/D TLBs with a 30-cycle miss penalty.
+ */
+
+#ifndef NWSIM_MEM_MEMSYSTEM_HH
+#define NWSIM_MEM_MEMSYSTEM_HH
+
+#include <memory>
+
+#include "mem/cache.hh"
+#include "mem/tlb.hh"
+
+namespace nwsim
+{
+
+/** Full memory-hierarchy configuration (defaults = paper Table 1). */
+struct MemSystemConfig
+{
+    CacheConfig l1i{"l1i", 64 * 1024, 2, 32, 1};
+    CacheConfig l1d{"l1d", 64 * 1024, 2, 32, 1};
+    CacheConfig l2{"l2", 8 * 1024 * 1024, 4, 32, 12};
+    unsigned memoryLatency = 100;
+    TlbConfig itlb{"itlb", 128, 12, 30};
+    TlbConfig dtlb{"dtlb", 128, 12, 30};
+};
+
+/**
+ * Timing-only memory hierarchy. Returns total access latency in cycles
+ * for instruction fetches and data accesses; data contents are handled
+ * separately by SparseMemory (execute-at-dispatch).
+ */
+class MemSystem
+{
+  public:
+    explicit MemSystem(const MemSystemConfig &config);
+
+    /** Latency of fetching the instruction block at @p addr. */
+    unsigned instLatency(Addr addr);
+
+    /** Latency of a data access (load or store) at @p addr. */
+    unsigned dataLatency(Addr addr);
+
+    /** Invalidate all cached state (between benchmark phases). */
+    void flush();
+
+    const Cache &l1i() const { return l1iCache; }
+    const Cache &l1d() const { return l1dCache; }
+    const Cache &l2() const { return l2Cache; }
+    const Tlb &itlb() const { return iTlb; }
+    const Tlb &dtlb() const { return dTlb; }
+
+  private:
+    unsigned throughHierarchy(Cache &l1, Addr addr);
+
+    MemSystemConfig cfg;
+    Cache l1iCache;
+    Cache l1dCache;
+    Cache l2Cache;
+    Tlb iTlb;
+    Tlb dTlb;
+};
+
+} // namespace nwsim
+
+#endif // NWSIM_MEM_MEMSYSTEM_HH

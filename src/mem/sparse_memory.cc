@@ -1,0 +1,68 @@
+#include "mem/sparse_memory.hh"
+
+#include "common/logging.hh"
+
+namespace nwsim
+{
+
+const SparseMemory::Page *
+SparseMemory::findPage(Addr addr) const
+{
+    const auto it = pages.find(addr >> pageShift);
+    return it == pages.end() ? nullptr : &it->second;
+}
+
+SparseMemory::Page &
+SparseMemory::getPage(Addr addr)
+{
+    Page &page = pages[addr >> pageShift];
+    if (page.empty())
+        page.resize(pageSize, 0);
+    return page;
+}
+
+u64
+SparseMemory::read(Addr addr, unsigned size) const
+{
+    NWSIM_ASSERT(size == 1 || size == 2 || size == 4 || size == 8,
+                 "bad read size ", size);
+    u64 value = 0;
+    for (unsigned i = 0; i < size; ++i) {
+        const Addr byte_addr = addr + i;
+        const Page *page = findPage(byte_addr);
+        const u64 byte =
+            page ? (*page)[byte_addr & (pageSize - 1)] : u64{0};
+        value |= byte << (8 * i);
+    }
+    return value;
+}
+
+void
+SparseMemory::write(Addr addr, unsigned size, u64 value)
+{
+    NWSIM_ASSERT(size == 1 || size == 2 || size == 4 || size == 8,
+                 "bad write size ", size);
+    for (unsigned i = 0; i < size; ++i) {
+        const Addr byte_addr = addr + i;
+        getPage(byte_addr)[byte_addr & (pageSize - 1)] =
+            static_cast<u8>(value >> (8 * i));
+    }
+}
+
+void
+SparseMemory::writeBlock(Addr addr, const void *data, size_t len)
+{
+    const u8 *src = static_cast<const u8 *>(data);
+    for (size_t i = 0; i < len; ++i)
+        getPage(addr + i)[(addr + i) & (pageSize - 1)] = src[i];
+}
+
+void
+SparseMemory::readBlock(Addr addr, void *data, size_t len) const
+{
+    u8 *dst = static_cast<u8 *>(data);
+    for (size_t i = 0; i < len; ++i)
+        dst[i] = static_cast<u8>(read(addr + i, 1));
+}
+
+} // namespace nwsim

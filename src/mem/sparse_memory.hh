@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Sparse paged backing store for the simulated 64-bit address space.
+ *
+ * Reads never allocate pages and return zero for untouched memory, which
+ * makes wrong-path execution (loads from arbitrary mispredicted-path
+ * addresses) safe by construction. Writes allocate on demand.
+ */
+
+#ifndef NWSIM_MEM_SPARSE_MEMORY_HH
+#define NWSIM_MEM_SPARSE_MEMORY_HH
+
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace nwsim
+{
+
+/** Byte-addressable sparse memory with 4 KiB pages. */
+class SparseMemory
+{
+  public:
+    static constexpr unsigned pageShift = 12;
+    static constexpr Addr pageSize = Addr{1} << pageShift;
+
+    /** Read @p size bytes (1/2/4/8) little-endian; zero if untouched. */
+    u64 read(Addr addr, unsigned size) const;
+
+    /** Write the low @p size bytes of @p value little-endian. */
+    void write(Addr addr, unsigned size, u64 value);
+
+    /** Copy a block in (used by the program loader). */
+    void writeBlock(Addr addr, const void *data, size_t len);
+
+    /** Copy a block out (used by tests and workload checksums). */
+    void readBlock(Addr addr, void *data, size_t len) const;
+
+    /** Number of pages currently allocated. */
+    size_t numPages() const { return pages.size(); }
+
+  private:
+    using Page = std::vector<u8>;
+
+    const Page *findPage(Addr addr) const;
+    Page &getPage(Addr addr);
+
+    std::unordered_map<Addr, Page> pages;
+};
+
+} // namespace nwsim
+
+#endif // NWSIM_MEM_SPARSE_MEMORY_HH

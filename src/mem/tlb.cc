@@ -1,0 +1,40 @@
+#include "mem/tlb.hh"
+
+namespace nwsim
+{
+
+Tlb::Tlb(const TlbConfig &config) : cfg(config), entries(config.entries) {}
+
+unsigned
+Tlb::access(Addr addr)
+{
+    ++stat.accesses;
+    ++useClock;
+    const Addr vpn = addr >> cfg.pageShift;
+    Entry *victim = &entries[0];
+    for (Entry &e : entries) {
+        if (e.valid && e.vpn == vpn) {
+            e.lastUse = useClock;
+            return 0;
+        }
+        if (!e.valid) {
+            victim = &e;
+        } else if (victim->valid && e.lastUse < victim->lastUse) {
+            victim = &e;
+        }
+    }
+    ++stat.misses;
+    victim->valid = true;
+    victim->vpn = vpn;
+    victim->lastUse = useClock;
+    return cfg.missLatency;
+}
+
+void
+Tlb::flush()
+{
+    for (Entry &e : entries)
+        e.valid = false;
+}
+
+} // namespace nwsim

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fully-associative LRU TLB (Table 1: 128 entries, 30-cycle miss).
+ */
+
+#ifndef NWSIM_MEM_TLB_HH
+#define NWSIM_MEM_TLB_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace nwsim
+{
+
+/** TLB geometry and miss timing. */
+struct TlbConfig
+{
+    std::string name = "tlb";
+    unsigned entries = 128;
+    unsigned pageShift = 12;
+    unsigned missLatency = 30;
+};
+
+/** TLB access statistics. */
+struct TlbStats
+{
+    u64 accesses = 0;
+    u64 misses = 0;
+};
+
+/** Fully-associative translation lookaside buffer (timing only). */
+class Tlb
+{
+  public:
+    explicit Tlb(const TlbConfig &config);
+
+    /**
+     * Touch the page containing @p addr.
+     * @return extra latency in cycles (0 on hit, missLatency on miss).
+     */
+    unsigned access(Addr addr);
+
+    void flush();
+
+    const TlbConfig &config() const { return cfg; }
+    const TlbStats &stats() const { return stat; }
+
+  private:
+    struct Entry
+    {
+        Addr vpn = 0;
+        bool valid = false;
+        u64 lastUse = 0;
+    };
+
+    TlbConfig cfg;
+    TlbStats stat;
+    u64 useClock = 0;
+    std::vector<Entry> entries;
+};
+
+} // namespace nwsim
+
+#endif // NWSIM_MEM_TLB_HH

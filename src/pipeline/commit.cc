@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Commit stage: in-order retirement, store release to memory/D-cache,
+ * and true-path predictor training.
+ */
+
+#include "common/logging.hh"
+#include "pipeline/core.hh"
+
+namespace nwsim
+{
+
+void
+OutOfOrderCore::commitStage()
+{
+    u64 committed = 0;
+    while (committed < cfg.commitWidth && committed < commitBudget &&
+           !window.empty()) {
+        RuuEntry &e = window.front();
+        if (e.state != EntryState::Completed)
+            break;
+
+        if (e.isSt) {
+            // Stores touch the D-cache and become architectural at
+            // commit (they never execute on the wrong path).
+            mem.write(e.effAddr, e.memSize, e.storeData);
+            memsys.dataLatency(e.effAddr);
+            cacheModel.recordAccess(e.storeData, e.memSize);
+            NWSIM_ASSERT(lsqCount > 0, "lsq underflow at commit");
+            --lsqCount;
+        } else if (e.isMem) {
+            --lsqCount;
+        }
+
+        // Train direction counters and BTB on the true path only.
+        if (e.isCtrl && predictor) {
+            predictor->resolve(e.pc, e.inst, e.pred, e.actualTaken,
+                               e.actualNpc);
+        }
+
+        if (e.inst.op == Opcode::HALT) {
+            // Discard younger speculative work so specRegs becomes the
+            // architected state at the halt point.
+            squashAfter(e.seq);
+            simDone = true;
+        }
+
+        trace(TraceStage::Commit, e);
+        window.pop_front();
+        ++stat.committed;
+        ++committed;
+        if (simDone)
+            return;
+    }
+}
+
+} // namespace nwsim

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Out-of-order core configuration. Defaults reproduce the paper's
+ * Table 1 baseline processor.
+ */
+
+#ifndef NWSIM_PIPELINE_CONFIG_HH
+#define NWSIM_PIPELINE_CONFIG_HH
+
+#include "bpred/combining.hh"
+#include "core/gating.hh"
+#include "core/packing.hh"
+#include "mem/memsystem.hh"
+
+namespace nwsim
+{
+
+/** Full processor configuration (defaults = paper Table 1). */
+struct CoreConfig
+{
+    /** RUU (unified window / issue queue / rename) size. */
+    unsigned ruuSize = 80;
+    /** Load/store queue size. */
+    unsigned lsqSize = 40;
+    unsigned fetchQueueSize = 8;
+    unsigned fetchWidth = 4;
+    unsigned decodeWidth = 4;
+    unsigned issueWidth = 4;
+    unsigned commitWidth = 4;
+    /** Integer ALUs (arithmetic, logical, shift, memory, branch ops). */
+    unsigned numAlus = 4;
+    /** Integer multiply/divide units. */
+    unsigned numMultDiv = 1;
+    /** Extra fetch-redirect cycles after a resolved misprediction. */
+    unsigned mispredictPenalty = 2;
+    /** Use the oracle fetch engine instead of the combining predictor. */
+    bool perfectBPred = false;
+    /**
+     * PowerPC-603-style early-out integer multiply (paper Section 2.3):
+     * leading-zero/one detection on the input operands shortens the
+     * multiply latency when both operands are narrow — another consumer
+     * of the same operand width tags.
+     */
+    bool earlyOutMultiply = false;
+
+    BPredConfig bpred;
+    MemSystemConfig mem;
+    PackingConfig packing;
+    GatingConfig gating;
+};
+
+/** The Table 1 baseline. */
+inline CoreConfig
+baselineConfig()
+{
+    return CoreConfig{};
+}
+
+} // namespace nwsim
+
+#endif // NWSIM_PIPELINE_CONFIG_HH

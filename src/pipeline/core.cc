@@ -1,0 +1,239 @@
+#include "pipeline/core.hh"
+
+#include "common/logging.hh"
+#include "isa/encode.hh"
+
+namespace nwsim
+{
+
+OutOfOrderCore::OutOfOrderCore(const CoreConfig &config,
+                               SparseMemory &memory, Addr entry,
+                               Addr stack_pointer)
+    : cfg(config),
+      mem(memory),
+      memsys(config.mem),
+      fetchPc(entry),
+      gatingModel(config.gating)
+{
+    specRegs[spReg] = stack_pointer;
+    if (cfg.perfectBPred) {
+        oracleMem = std::make_unique<SparseMemory>(memory);
+        oracle =
+            std::make_unique<FuncSim>(*oracleMem, entry, stack_pointer);
+    } else {
+        predictor = std::make_unique<CombiningPredictor>(cfg.bpred);
+    }
+    fetchPc = entry;
+}
+
+OutOfOrderCore::~OutOfOrderCore() = default;
+
+const BPredStats &
+OutOfOrderCore::bpredStats() const
+{
+    static const BPredStats empty{};
+    return predictor ? predictor->stats() : empty;
+}
+
+void
+OutOfOrderCore::tick()
+{
+    if (simDone)
+        return;
+    commitStage();
+    if (simDone)
+        return;
+    writebackStage();
+    issueStage();
+    dispatchStage();
+    fetchStage();
+    ++curCycle;
+    ++stat.cycles;
+}
+
+u64
+OutOfOrderCore::run(u64 max_commits)
+{
+    const u64 start = stat.committed;
+    // Watchdog: this many cycles without a commit indicates a simulator
+    // bug (deadlock), not a slow program.
+    const Cycle watchdog_limit = 100000;
+    Cycle last_commit_cycle = curCycle;
+    u64 last_commits = stat.committed;
+    while (!simDone && stat.committed - start < max_commits) {
+        // Cap this tick's commits so the run stops on the exact
+        // instruction boundary (measurement windows stay precise).
+        commitBudget = max_commits - (stat.committed - start);
+        tick();
+        if (stat.committed != last_commits) {
+            last_commits = stat.committed;
+            last_commit_cycle = curCycle;
+        } else if (curCycle - last_commit_cycle > watchdog_limit) {
+            NWSIM_PANIC("no commit for ", watchdog_limit,
+                        " cycles at pc ", fetchPc);
+        }
+    }
+    commitBudget = ~u64{0};
+    return stat.committed - start;
+}
+
+u64
+OutOfOrderCore::fastForward(u64 insts)
+{
+    NWSIM_ASSERT(window.empty() && fetchQueue.empty(),
+                 "fastForward with in-flight instructions");
+    if (simDone)
+        return 0;
+
+    u64 done = 0;
+    while (done < insts) {
+        const Addr pc = fetchPc;
+        memsys.instLatency(pc);
+        const auto word = static_cast<MachineWord>(mem.read(pc, 4));
+        const Inst inst = decode(word);
+        const OpInfo &info = opInfo(inst.op);
+        ++done;
+
+        const u64 a = specRegs[inst.ra];
+        const u64 b_reg = specRegs[inst.rb];
+        const OperandPair ops = dataflowOperands(inst, a, b_reg);
+
+        Addr next_pc = pc + 4;
+        u64 result = 0;
+        bool taken = false;
+        switch (info.opClass) {
+          case OpClass::MemRead: {
+            const Addr ea = effectiveAddr(inst, a);
+            memsys.dataLatency(ea);
+            result =
+                loadValue(inst.op, mem.read(ea, memAccessSize(inst.op)));
+            break;
+          }
+          case OpClass::MemWrite: {
+            const Addr ea = effectiveAddr(inst, a);
+            memsys.dataLatency(ea);
+            mem.write(ea, memAccessSize(inst.op), b_reg);
+            break;
+          }
+          case OpClass::Branch:
+            taken = branchTaken(inst.op, a);
+            if (taken)
+                next_pc = inst.branchTarget(pc);
+            result = aluResult(inst, ops.a, ops.b, pc);
+            break;
+          case OpClass::Jump:
+            taken = true;
+            next_pc = b_reg;
+            result = aluResult(inst, ops.a, ops.b, pc);
+            break;
+          case OpClass::Other:
+            if (inst.op == Opcode::HALT) {
+                // Stop just short so the HALT itself retires in
+                // detailed mode and done() behaves uniformly.
+                return done - 1;
+            }
+            break;
+          default:
+            result = aluResult(inst, ops.a, ops.b, pc);
+            break;
+        }
+
+        // Warm the predictor exactly as fetch + commit would.
+        if (isControl(inst.op) && predictor) {
+            const Prediction pred = predictor->predict(pc, inst);
+            if (pred.taken != taken ||
+                (taken && pred.target != next_pc)) {
+                predictor->repair(inst, pred, taken);
+            }
+            predictor->resolve(pc, inst, pred, taken, next_pc);
+        }
+        if (cfg.perfectBPred)
+            oracle->step();     // keep the oracle in lockstep
+
+        if (inst.writesReg()) {
+            specRegs[inst.rc] = result;
+            regFromLoad[inst.rc] = info.opClass == OpClass::MemRead;
+        }
+        fetchPc = next_pc;
+    }
+    return done;
+}
+
+void
+OutOfOrderCore::resetStats()
+{
+    // Measurement counters only; microarchitectural and timing state
+    // (curCycle, window, caches, predictor) continue — this is the
+    // paper's warmup-then-measure methodology.
+    stat = CoreStats{};
+    widthProfiler.reset();
+    widthPred.reset();
+    gatingModel.reset();
+    cacheModel.reset();
+    packStat = CorePackingStats{};
+}
+
+RuuEntry *
+OutOfOrderCore::entryBySeq(InstSeq seq)
+{
+    if (window.empty())
+        return nullptr;
+    const InstSeq front = window.front().seq;
+    if (seq < front || seq >= front + window.size())
+        return nullptr;
+    return &window[static_cast<size_t>(seq - front)];
+}
+
+void
+OutOfOrderCore::wakeDependents(InstSeq producer_seq)
+{
+    for (RuuEntry &e : window) {
+        if (e.state != EntryState::Dispatched)
+            continue;
+        if (!e.aReady && e.aProducer == producer_seq)
+            e.aReady = true;
+        if (!e.bReady && e.bProducer == producer_seq)
+            e.bReady = true;
+    }
+}
+
+void
+OutOfOrderCore::undoEntry(RuuEntry &e)
+{
+    if (e.wroteDest) {
+        const RegIndex rc = e.inst.rc;
+        specRegs[rc] = e.oldDestValue;
+        regProducer[rc] = e.oldDestProducer;
+        regFromLoad[rc] = e.oldDestFromLoad;
+    }
+    if (e.isMem) {
+        NWSIM_ASSERT(lsqCount > 0, "lsq underflow");
+        --lsqCount;
+    }
+}
+
+void
+OutOfOrderCore::squashAfter(InstSeq seq)
+{
+    while (!window.empty() && window.back().seq > seq) {
+        trace(TraceStage::Squash, window.back());
+        undoEntry(window.back());
+        window.pop_back();
+        ++stat.squashed;
+    }
+    fetchQueue.clear();
+    fetchHalted = false;
+    // Rewind the sequence counter so window seqs stay contiguous
+    // (entryBySeq relies on it). Stale completion-queue entries for the
+    // reused seqs are invalidated lazily by the state/cycle checks in
+    // writeback.
+    nextSeq = seq + 1;
+}
+
+void
+OutOfOrderCore::scheduleCompletion(InstSeq seq, Cycle when)
+{
+    completions[when].push_back(seq);
+}
+
+} // namespace nwsim

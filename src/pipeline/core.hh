@@ -1,0 +1,193 @@
+/**
+ * @file
+ * The out-of-order superscalar core: a C++ reimplementation of the
+ * SimpleScalar sim-outorder idiom the paper's experiments run on.
+ *
+ * Key properties (all load-bearing for the paper's mechanisms):
+ *
+ *  - Execute-at-dispatch / time-at-issue: instructions execute
+ *    functionally when they enter the RUU, against an in-fetch-order
+ *    speculative register file with an undo log; the issue/execute
+ *    stages model timing and resources only. Operand values — and hence
+ *    the paper's narrow-width tags — are therefore present in the RUU
+ *    entry exactly as Figure 8 depicts.
+ *  - Real wrong-path execution: fetch follows predictions, and
+ *    mispredicted-path instructions dispatch, execute, and may be packed
+ *    until the branch resolves at writeback (2-cycle redirect penalty).
+ *  - Perfect branch prediction runs fetch against a private functional
+ *    oracle (used by Figures 2 and 10).
+ *  - Operation packing happens in the issue stage's selection loop;
+ *    replay packing defers completion and re-issues on a carry trap.
+ */
+
+#ifndef NWSIM_PIPELINE_CORE_HH
+#define NWSIM_PIPELINE_CORE_HH
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/cache_gating.hh"
+#include "core/profiler.hh"
+#include "core/width_predictor.hh"
+#include "func/func_sim.hh"
+#include "pipeline/config.hh"
+#include "pipeline/ruu.hh"
+#include "pipeline/stats.hh"
+#include "pipeline/trace.hh"
+
+namespace nwsim
+{
+
+/** Packing statistics live here (filled by the issue stage). */
+struct CorePackingStats : PackingStats
+{
+};
+
+/** The simulated out-of-order processor. */
+class OutOfOrderCore
+{
+  public:
+    /**
+     * @param config  Processor configuration.
+     * @param memory  Backing memory with the program image already loaded.
+     * @param entry   Initial PC.
+     * @param stack_pointer Initial r30.
+     *
+     * In perfect-branch-prediction mode the constructor snapshots
+     * @p memory for the private fetch oracle, so construct the core
+     * after loading the program.
+     */
+    OutOfOrderCore(const CoreConfig &config, SparseMemory &memory,
+                   Addr entry, Addr stack_pointer = layout::stackTop);
+
+    ~OutOfOrderCore();
+
+    /** Simulate one cycle. */
+    void tick();
+
+    /**
+     * Run until HALT commits or @p max_commits more instructions commit.
+     * @return number of instructions committed by this call.
+     */
+    u64 run(u64 max_commits);
+
+    /**
+     * Fast-mode warmup (paper Section 3.2 / Skadron et al.): execute up
+     * to @p insts instructions functionally, updating only the caches,
+     * TLBs, and branch predictor — no out-of-order timing. Detailed
+     * simulation (tick()/run()) continues seamlessly afterwards.
+     *
+     * @pre no in-flight instructions (call before the first tick()).
+     * @return instructions fast-forwarded.
+     */
+    u64 fastForward(u64 insts);
+
+    /** True once HALT has committed. */
+    bool done() const { return simDone; }
+
+    /** Zero all measurement counters, keeping microarchitectural state. */
+    void resetStats();
+
+    /** Install (or clear, with {}) a per-event trace hook. */
+    void setTraceHook(TraceHook hook) { traceHook = std::move(hook); }
+
+    /** Architected register value (only meaningful when done()). */
+    u64 reg(RegIndex index) const { return specRegs[index]; }
+
+    const CoreStats &stats() const { return stat; }
+    const WidthProfiler &profiler() const { return widthProfiler; }
+    const ClockGatingModel &gating() const { return gatingModel; }
+    const CacheGatingModel &cacheGating() const { return cacheModel; }
+    const WidthPredictor &widthPredictor() const { return widthPred; }
+    const CorePackingStats &packingStats() const { return packStat; }
+    /** Predictor stats (all-zero in perfect-prediction mode). */
+    const BPredStats &bpredStats() const;
+    const MemSystem &memSystem() const { return memsys; }
+    const CoreConfig &config() const { return cfg; }
+    Cycle now() const { return curCycle; }
+
+  private:
+    friend class CoreInspector;   // white-box unit tests
+
+    /** One in-flight fetched-but-not-dispatched instruction. */
+    struct FetchedInst
+    {
+        Addr pc = 0;
+        Inst inst;
+        Prediction pred;
+        Addr predictedNpc = 0;
+        bool hasPred = false;
+    };
+
+    // ---- Stages (reverse pipeline order inside tick()) -------------------
+    void commitStage();
+    void writebackStage();
+    void issueStage();
+    void dispatchStage();
+    void fetchStage();
+
+    // ---- Helpers -----------------------------------------------------------
+    RuuEntry *entryBySeq(InstSeq seq);
+    void setupSource(RegIndex reg, bool &ready, InstSeq &producer,
+                     bool &from_load);
+    u64 speculativeLoadValue(Addr addr, unsigned size, InstSeq before);
+    bool loadBlocked(const RuuEntry &e, bool &forwarded);
+    void wakeDependents(InstSeq producer_seq);
+    void squashAfter(InstSeq seq);
+    void undoEntry(RuuEntry &e);
+    void scheduleCompletion(InstSeq seq, Cycle when);
+    void recordIssue(RuuEntry &e);
+    unsigned loadLatency(const RuuEntry &e, bool forwarded);
+
+    /** Emit a trace event if a hook is installed. */
+    void
+    trace(TraceStage stage, const RuuEntry &e)
+    {
+        if (traceHook)
+            traceHook({curCycle, stage, e.seq, e.pc, e.inst, e.packed});
+    }
+
+    CoreConfig cfg;
+    SparseMemory &mem;
+    MemSystem memsys;
+    std::unique_ptr<CombiningPredictor> predictor;
+
+    // Perfect-prediction oracle over a private memory snapshot.
+    std::unique_ptr<SparseMemory> oracleMem;
+    std::unique_ptr<FuncSim> oracle;
+
+    // Speculative in-fetch-order register state (execute-at-dispatch).
+    std::array<u64, numIntRegs> specRegs{};
+    std::array<InstSeq, numIntRegs> regProducer{};
+    std::array<bool, numIntRegs> regFromLoad{};
+
+    std::deque<RuuEntry> window;
+    std::deque<FetchedInst> fetchQueue;
+    std::map<Cycle, std::vector<InstSeq>> completions;
+
+    Addr fetchPc;
+    /** Absolute cycle count (never reset; stat.cycles is the window). */
+    Cycle curCycle = 0;
+    Cycle fetchResumeCycle = 0;
+    bool fetchHalted = false;
+    unsigned lsqCount = 0;
+    InstSeq nextSeq = 1;
+    Cycle multDivBusyUntil = 0;
+    bool simDone = false;
+    /** Commits allowed this tick (run() uses it for exact windows). */
+    u64 commitBudget = ~u64{0};
+
+    CoreStats stat;
+    WidthProfiler widthProfiler;
+    WidthPredictor widthPred;
+    ClockGatingModel gatingModel;
+    CacheGatingModel cacheModel;
+    CorePackingStats packStat;
+    TraceHook traceHook;
+};
+
+} // namespace nwsim
+
+#endif // NWSIM_PIPELINE_CORE_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Fetch stage: I-cache/I-TLB timing, branch prediction (or the perfect
+ * oracle), and wrong-path fetching down predicted targets.
+ */
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+#include "isa/encode.hh"
+#include "pipeline/core.hh"
+
+namespace nwsim
+{
+
+void
+OutOfOrderCore::fetchStage()
+{
+    if (fetchHalted || curCycle < fetchResumeCycle)
+        return;
+
+    unsigned fetched = 0;
+    while (fetched < cfg.fetchWidth &&
+           fetchQueue.size() < cfg.fetchQueueSize) {
+        // Instruction-memory timing: a miss stalls fetch until the block
+        // arrives (the fill makes the retry hit).
+        const unsigned ilat = memsys.instLatency(fetchPc);
+        const unsigned hit_lat = cfg.mem.l1i.hitLatency;
+        if (ilat > hit_lat) {
+            fetchResumeCycle = curCycle + (ilat - hit_lat);
+            break;
+        }
+
+        const auto word = static_cast<MachineWord>(mem.read(fetchPc, 4));
+        const Inst inst = decode(word);
+
+        FetchedInst f;
+        f.pc = fetchPc;
+        f.inst = inst;
+
+        Addr npc = fetchPc + 4;
+        if (cfg.perfectBPred) {
+            // The oracle walks the true path in lockstep with fetch;
+            // with perfect prediction fetch never diverges from it.
+            NWSIM_ASSERT(oracle->pc() == fetchPc,
+                         "oracle diverged from fetch at ",
+                         hexString(fetchPc));
+            const FuncStep step = oracle->step();
+            npc = step.nextPc;
+            f.pred.taken = step.taken;
+            f.pred.target = npc;
+        } else if (isControl(inst.op)) {
+            f.pred = predictor->predict(fetchPc, inst);
+            f.hasPred = true;
+            npc = f.pred.taken ? f.pred.target : fetchPc + 4;
+        }
+        f.predictedNpc = npc;
+
+        fetchQueue.push_back(f);
+        ++stat.fetched;
+        ++fetched;
+
+        if (inst.op == Opcode::HALT) {
+            // Stop fetching past (a possibly wrong-path) HALT; a squash
+            // clears this, a committed HALT ends the run.
+            fetchHalted = true;
+            break;
+        }
+
+        const bool redirecting = npc != fetchPc + 4;
+        fetchPc = npc;
+        // A taken control transfer ends the fetch group for this cycle.
+        if (redirecting)
+            break;
+    }
+}
+
+} // namespace nwsim

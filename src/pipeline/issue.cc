@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Issue stage: oldest-first selection of ready instructions over the
+ * functional-unit pool, with the paper's Section 5 operation packing
+ * built into the selection loop ("the issue logic must keep track of
+ * which issuing instructions are available for packing").
+ */
+
+#include "common/logging.hh"
+#include "pipeline/core.hh"
+
+namespace nwsim
+{
+
+namespace
+{
+
+/** Do a store and a load touch any common byte? */
+bool
+bytesOverlap(Addr a, unsigned a_size, Addr b, unsigned b_size)
+{
+    return a < b + b_size && b < a + a_size;
+}
+
+} // namespace
+
+bool
+OutOfOrderCore::loadBlocked(const RuuEntry &e, bool &forwarded)
+{
+    forwarded = false;
+    for (const RuuEntry &s : window) {
+        if (s.seq >= e.seq)
+            break;
+        if (!s.isSt)
+            continue;
+        if (bytesOverlap(s.effAddr, s.memSize, e.effAddr, e.memSize)) {
+            if (s.state != EntryState::Completed)
+                return true;    // wait for the producing store
+            forwarded = true;
+        }
+    }
+    return false;
+}
+
+unsigned
+OutOfOrderCore::loadLatency(const RuuEntry &e, bool forwarded)
+{
+    if (forwarded) {
+        ++stat.loadsForwarded;
+        return 2;   // address generation + LSQ forward
+    }
+    // Cache-side narrow-width gating (future-work extension): the
+    // incoming value's width tag gates the data path.
+    cacheModel.recordAccess(e.result, e.memSize);
+    return 1 + memsys.dataLatency(e.effAddr);
+}
+
+void
+OutOfOrderCore::recordIssue(RuuEntry &e)
+{
+    const OpInfo &info = opInfo(e.inst.op);
+    e.state = EntryState::Issued;
+    scheduleCompletion(e.seq, e.completeCycle);
+    ++stat.issued;
+    trace(TraceStage::Issue, e);
+    // Power accounting: energy is spent on every *executed* operation,
+    // wrong-path ones included.
+    gatingModel.recordOp(info.device, e.opA(), e.opB(), e.aFromLoad,
+                         e.bFromLoad, e.inst.writesReg());
+}
+
+void
+OutOfOrderCore::issueStage()
+{
+    unsigned slots = 0;
+    unsigned alus = 0;
+    unsigned mults = 0;
+
+    /** An ALU whose subword lanes are being filled this cycle. */
+    struct Group
+    {
+        PackKey key;
+        std::vector<RuuEntry *> members;
+    };
+    std::vector<Group> groups;
+
+    const PackingConfig &pk = cfg.packing;
+
+    unsigned ready_seen = 0;
+    unsigned issued_now = 0;
+
+    for (RuuEntry &e : window) {
+        if (e.state != EntryState::Dispatched)
+            continue;
+        if (e.earliestIssue > curCycle)
+            continue;
+        if (!e.aReady || !e.bReady)
+            continue;
+
+        const OpInfo &info = opInfo(e.inst.op);
+
+        bool forwarded = false;
+        if (info.opClass == OpClass::MemRead && loadBlocked(e, forwarded))
+            continue;
+
+        ++ready_seen;
+
+        if (info.opClass == OpClass::IntMult ||
+            info.opClass == OpClass::IntDiv) {
+            if (mults >= cfg.numMultDiv || slots >= cfg.issueWidth)
+                continue;
+            if (curCycle < multDivBusyUntil)
+                continue;   // unpipelined divide in progress
+            ++mults;
+            ++slots;
+            unsigned latency = info.latency;
+            // Early-out multiply (PPC603-style, paper Section 2.3):
+            // narrow operands finish in fewer cycles.
+            if (cfg.earlyOutMultiply &&
+                info.opClass == OpClass::IntMult &&
+                pairClass(e.opA(), e.opB()) == WidthClass::Narrow16) {
+                latency = 1;
+            }
+            if (!info.pipelined)
+                multDivBusyUntil = curCycle + latency;
+            e.completeCycle = curCycle + latency;
+            recordIssue(e);
+            ++issued_now;
+            continue;
+        }
+
+        if (info.opClass == OpClass::Other) {
+            if (slots >= cfg.issueWidth)
+                continue;
+            ++slots;
+            e.completeCycle = curCycle + 1;
+            recordIssue(e);
+            ++issued_now;
+            continue;
+        }
+
+        // ---- ALU-class operation (arith/logic/shift/mem/control) ------
+        const bool strict = pk.enabled && !e.noPack &&
+                            packEligible(e.inst, e.opA(), e.opB());
+        const bool replay = pk.enabled && pk.replay && !e.noPack &&
+                            replayEligible(e.inst, e.opA(), e.opB());
+        const PackKey key = info.packKey;
+
+        bool joined = false;
+        if (strict || replay) {
+            for (Group &g : groups) {
+                if (g.key != key || g.members.size() >= pk.lanesPerAlu)
+                    continue;
+                if (!pk.groupCountsOneSlot && slots >= cfg.issueWidth)
+                    break;
+                g.members.push_back(&e);
+                if (!pk.groupCountsOneSlot)
+                    ++slots;
+                joined = true;
+                break;
+            }
+        }
+        if (!joined) {
+            if (alus >= cfg.numAlus || slots >= cfg.issueWidth)
+                continue;
+            ++alus;
+            ++slots;
+            if (strict || replay)
+                groups.push_back({key, {&e}});
+        }
+
+        if (strict || replay)
+            ++packStat.packEligibleIssued;
+
+        e.completeCycle =
+            (info.opClass == OpClass::MemRead)
+                ? curCycle + loadLatency(e, forwarded)
+                : curCycle + info.latency;
+        recordIssue(e);
+        ++issued_now;
+    }
+
+    stat.readyOpsSum += ready_seen;
+    if (issued_now < ready_seen)
+        ++stat.issueLimitedCycles;
+
+    // A group that actually gathered >= 2 instructions is a packed issue.
+    for (const Group &g : groups) {
+        if (g.members.size() < 2)
+            continue;
+        ++packStat.packedGroups;
+        for (RuuEntry *m : g.members) {
+            m->packed = true;
+            ++packStat.packedInsts;
+            // Members packed under the one-wide-operand rule may trap.
+            if (!packEligible(m->inst, m->opA(), m->opB())) {
+                m->replaySpec = true;
+                ++packStat.replaySpeculations;
+            }
+        }
+    }
+}
+
+} // namespace nwsim

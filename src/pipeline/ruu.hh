@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Reservation update unit (RUU) entry.
+ *
+ * The RUU follows SimpleScalar's sim-outorder organization (itself
+ * modeled on the Metaflow DRIS and PA-8000 IRB the paper cites): one
+ * unified structure serving as active list, issue queue, and rename
+ * storage. Each entry carries the operand *values* (filled by
+ * execute-at-dispatch) and the narrow-width tags derived from them —
+ * exactly the per-operand "Zero48?" fields of the paper's Figure 8.
+ */
+
+#ifndef NWSIM_PIPELINE_RUU_HH
+#define NWSIM_PIPELINE_RUU_HH
+
+#include "bpred/combining.hh"
+#include "isa/inst.hh"
+
+namespace nwsim
+{
+
+/** Lifecycle of an RUU entry. */
+enum class EntryState : u8
+{
+    Dispatched,     ///< in the window, waiting to issue
+    Issued,         ///< executing in a functional unit
+    Completed,      ///< result written back, awaiting commit
+};
+
+/** One in-flight instruction. */
+struct RuuEntry
+{
+    InstSeq seq = 0;
+    Addr pc = 0;
+    Inst inst;
+    EntryState state = EntryState::Dispatched;
+
+    // ---- Dataflow (values computed at dispatch) -------------------------
+    u64 valA = 0;               ///< value of inst.ra
+    u64 valB = 0;               ///< value of inst.rb
+    bool aReady = true;
+    bool bReady = true;
+    InstSeq aProducer = 0;      ///< in-flight producer seq (0 = none)
+    InstSeq bProducer = 0;
+    bool aFromLoad = false;     ///< operand produced directly by a load
+    bool bFromLoad = false;
+    u64 result = 0;
+
+    // ---- Memory ----------------------------------------------------------
+    bool isMem = false;
+    bool isSt = false;
+    Addr effAddr = 0;
+    unsigned memSize = 0;
+    u64 storeData = 0;
+
+    // ---- Control ----------------------------------------------------------
+    bool isCtrl = false;
+    bool actualTaken = false;
+    Addr actualNpc = 0;
+    Addr predictedNpc = 0;
+    bool mispredicted = false;
+    Prediction pred;
+
+    // ---- Speculative-state undo log ---------------------------------------
+    bool wroteDest = false;
+    u64 oldDestValue = 0;
+    InstSeq oldDestProducer = 0;
+    bool oldDestFromLoad = false;
+
+    // ---- Timing / packing ---------------------------------------------------
+    Cycle completeCycle = 0;
+    Cycle earliestIssue = 0;
+    bool packed = false;        ///< issued as a subword lane
+    bool replaySpec = false;    ///< packed under the replay (one-wide) rule
+    bool noPack = false;        ///< replay-trapped: must re-issue full width
+
+    /** First dataflow operand seen by width tags / packing. */
+    u64
+    opA() const
+    {
+        return valA;
+    }
+
+    /** Second dataflow operand: immediate for I-format, else rb. */
+    u64
+    opB() const
+    {
+        return inst.usesImm() ? static_cast<u64>(inst.imm) : valB;
+    }
+};
+
+} // namespace nwsim
+
+#endif // NWSIM_PIPELINE_RUU_HH

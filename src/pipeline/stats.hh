@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Aggregate statistics for one out-of-order core run.
+ */
+
+#ifndef NWSIM_PIPELINE_STATS_HH
+#define NWSIM_PIPELINE_STATS_HH
+
+#include "common/types.hh"
+
+namespace nwsim
+{
+
+/** Core pipeline counters. */
+struct CoreStats
+{
+    Cycle cycles = 0;
+    u64 fetched = 0;
+    u64 dispatched = 0;
+    u64 issued = 0;
+    u64 committed = 0;
+    /** Instructions removed by branch-misprediction squashes. */
+    u64 squashed = 0;
+    /** Mispredictions resolved (squash events). */
+    u64 mispredictSquashes = 0;
+    /** Loads satisfied by store-to-load forwarding. */
+    u64 loadsForwarded = 0;
+    /** Cycles dispatch stalled on a full RUU / LSQ. */
+    u64 windowFullStalls = 0;
+    /** Cycles where ready instructions were left unissued (slots/FUs). */
+    u64 issueLimitedCycles = 0;
+    /** Sum over cycles of ready-to-issue instructions (pressure). */
+    u64 readyOpsSum = 0;
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(committed) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+};
+
+} // namespace nwsim
+
+#endif // NWSIM_PIPELINE_STATS_HH

@@ -1,0 +1,45 @@
+#include "pipeline/trace.hh"
+
+#include <sstream>
+
+#include "common/strings.hh"
+#include "isa/disasm.hh"
+
+namespace nwsim
+{
+
+const char *
+traceStageName(TraceStage stage)
+{
+    switch (stage) {
+      case TraceStage::Dispatch:
+        return "dispatch";
+      case TraceStage::Issue:
+        return "issue";
+      case TraceStage::Complete:
+        return "complete";
+      case TraceStage::Commit:
+        return "commit";
+      case TraceStage::Squash:
+        return "squash";
+      case TraceStage::Replay:
+        return "replay";
+      case TraceStage::Redirect:
+        return "redirect";
+    }
+    return "?";
+}
+
+std::string
+formatTraceEvent(const TraceEvent &event)
+{
+    std::ostringstream os;
+    os << "[" << event.cycle << "] " << pad(traceStageName(event.stage), 9)
+       << " #" << event.seq << " " << hexString(event.pc) << "  "
+       << disassemble(event.inst, event.pc);
+    if (event.packed)
+        os << "  (packed)";
+    return os.str();
+}
+
+} // namespace nwsim

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Pipeline event tracing: a per-instruction, per-stage event stream for
+ * debugging and visualization, off by default and free when unused.
+ */
+
+#ifndef NWSIM_PIPELINE_TRACE_HH
+#define NWSIM_PIPELINE_TRACE_HH
+
+#include <functional>
+#include <string>
+
+#include "isa/inst.hh"
+
+namespace nwsim
+{
+
+/** Pipeline stage an event belongs to. */
+enum class TraceStage : u8
+{
+    Dispatch,   ///< entered the RUU (and executed, execute-at-dispatch)
+    Issue,      ///< selected for a functional unit
+    Complete,   ///< result written back
+    Commit,     ///< retired architecturally
+    Squash,     ///< removed by a misprediction squash
+    Replay,     ///< replay trap: re-queued as full width
+    Redirect,   ///< fetch redirected after a resolved misprediction
+};
+
+/** One traced event. */
+struct TraceEvent
+{
+    Cycle cycle = 0;
+    TraceStage stage = TraceStage::Dispatch;
+    InstSeq seq = 0;
+    Addr pc = 0;
+    Inst inst;
+    /** True if the instruction issued as a packed subword lane. */
+    bool packed = false;
+};
+
+/** Sink invoked for every event while installed. */
+using TraceHook = std::function<void(const TraceEvent &)>;
+
+/** Printable stage name. */
+const char *traceStageName(TraceStage stage);
+
+/** One-line human-readable rendering ("[cycle] stage seq pc disasm"). */
+std::string formatTraceEvent(const TraceEvent &event);
+
+} // namespace nwsim
+
+#endif // NWSIM_PIPELINE_TRACE_HH

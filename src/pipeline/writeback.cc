@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Writeback stage: completion, dependent wakeup, replay traps
+ * (Section 5.3), and branch resolution with mispredict squash/redirect.
+ */
+
+#include "common/logging.hh"
+#include "pipeline/core.hh"
+
+namespace nwsim
+{
+
+void
+OutOfOrderCore::writebackStage()
+{
+    const auto it = completions.find(curCycle);
+    if (it == completions.end())
+        return;
+    // Detach the list: squashes may mutate the window mid-walk.
+    const std::vector<InstSeq> seqs = std::move(it->second);
+    completions.erase(it);
+
+    for (const InstSeq seq : seqs) {
+        RuuEntry *e = entryBySeq(seq);
+        // Lazy invalidation: squashed or replay-rescheduled entries.
+        if (!e || e->state != EntryState::Issued ||
+            e->completeCycle != curCycle) {
+            continue;
+        }
+
+        // Replay trap (Section 5.3): a speculatively packed instruction
+        // whose 16-bit lane result would have been wrong is squashed and
+        // re-issued as a full-width instruction via a replay trap.
+        if (e->replaySpec &&
+            replayWouldTrap(e->inst, e->opA(), e->opB(), e->pc)) {
+            e->state = EntryState::Dispatched;
+            e->packed = false;
+            e->replaySpec = false;
+            e->noPack = true;
+            e->earliestIssue = curCycle + cfg.packing.replayPenalty;
+            ++packStat.replayTraps;
+            trace(TraceStage::Replay, *e);
+            continue;
+        }
+        e->replaySpec = false;
+
+        e->state = EntryState::Completed;
+        wakeDependents(seq);
+        trace(TraceStage::Complete, *e);
+
+        if (e->isCtrl && e->mispredicted) {
+            ++stat.mispredictSquashes;
+            const Addr redirect = e->actualNpc;
+            const Inst inst = e->inst;
+            const Prediction pred = e->pred;
+            const bool taken = e->actualTaken;
+            squashAfter(seq);   // may invalidate e
+            if (predictor)
+                predictor->repair(inst, pred, taken);
+            if (traceHook) {
+                TraceEvent ev{curCycle, TraceStage::Redirect, seq,
+                              redirect, inst, false};
+                traceHook(ev);
+            }
+            fetchPc = redirect;
+            fetchResumeCycle = curCycle + 1 + cfg.mispredictPenalty;
+        }
+    }
+}
+
+} // namespace nwsim

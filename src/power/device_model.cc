@@ -1,0 +1,28 @@
+#include "power/device_model.hh"
+
+#include "common/logging.hh"
+
+namespace nwsim
+{
+
+double
+DeviceModel::power(DeviceClass device, unsigned bits) const
+{
+    NWSIM_ASSERT(bits <= 64, "device width above 64: ", bits);
+    const double scale = static_cast<double>(bits) / 64.0;
+    switch (device) {
+      case DeviceClass::Adder:
+        return cfg.adder64 * scale;
+      case DeviceClass::Multiplier:
+        return cfg.multiplier64 * scale;
+      case DeviceClass::BitwiseLogic:
+        return cfg.logic64 * scale;
+      case DeviceClass::Shifter:
+        return cfg.shifter64 * scale;
+      case DeviceClass::None:
+        return 0.0;
+    }
+    NWSIM_PANIC("bad device class");
+}
+
+} // namespace nwsim

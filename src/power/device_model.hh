@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Functional-unit power model reproducing the paper's Table 4.
+ *
+ * Table 4 ("Estimated power consumption of functional units at 3.3V and
+ * 500MHz (mW)") gives three points per device which are linear in width:
+ *
+ *     Device            32-bit  48-bit  64-bit
+ *     Adder (CLA)          105     158     210
+ *     Booth Multiplier    1050    1580    2100
+ *     Bit-Wise Logic       5.8     8.7    11.7
+ *     Shifter              4.4     6.6     8.8
+ *     Zero-Detect                  4.2
+ *     Additional Muxes             3.2
+ *
+ * The paper assumes the multiplier is "pipelined with its power usage
+ * scaling linearly with the operand size", so all devices scale as
+ * power(w) = power64 * w / 64. As the paper notes, only the *ratios*
+ * between devices matter for the reported savings.
+ */
+
+#ifndef NWSIM_POWER_DEVICE_MODEL_HH
+#define NWSIM_POWER_DEVICE_MODEL_HH
+
+#include "isa/opcode.hh"
+
+namespace nwsim
+{
+
+/** Table 4 parameters (mW at 64 bits, plus fixed overheads). */
+struct DeviceModelConfig
+{
+    double adder64 = 210.0;
+    double multiplier64 = 2100.0;
+    double logic64 = 11.7;
+    double shifter64 = 8.8;
+    /** Power of the zero/ones-detect logic per tagged result. */
+    double zeroDetect = 4.2;
+    /** Power of the widened result-bus muxes per gated operation. */
+    double mux = 3.2;
+};
+
+/** Width-scalable Table 4 device power model. */
+class DeviceModel
+{
+  public:
+    DeviceModel() = default;
+    explicit DeviceModel(const DeviceModelConfig &config) : cfg(config) {}
+
+    /** Power (mW) of @p device operating at @p bits of width. */
+    double power(DeviceClass device, unsigned bits) const;
+
+    /** Full-width (64-bit) power of @p device: the ungated baseline. */
+    double fullPower(DeviceClass device) const { return power(device, 64); }
+
+    double zeroDetectPower() const { return cfg.zeroDetect; }
+    double muxPower() const { return cfg.mux; }
+
+    const DeviceModelConfig &config() const { return cfg; }
+
+  private:
+    DeviceModelConfig cfg;
+};
+
+} // namespace nwsim
+
+#endif // NWSIM_POWER_DEVICE_MODEL_HH

@@ -1,0 +1,40 @@
+#include "power/thermal.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace nwsim
+{
+
+void
+ThermalModel::step(double power_mw, u64 cycles)
+{
+    NWSIM_ASSERT(power_mw >= 0.0, "negative power");
+    const double target = power_mw * cfg.rthPerMw;
+    const double alpha =
+        1.0 - std::exp(-static_cast<double>(cycles) / cfg.tauCycles);
+    rise += (target - rise) * alpha;
+}
+
+ThermalController::ThermalController(double hot, double cool)
+    : hotThreshold(hot), coolThreshold(cool)
+{
+    NWSIM_ASSERT(cool < hot, "hysteresis thresholds inverted");
+}
+
+ThermalMode
+ThermalController::update(double celsius)
+{
+    if (current == ThermalMode::Performance && celsius > hotThreshold) {
+        current = ThermalMode::Power;
+        ++switchCount;
+    } else if (current == ThermalMode::Power &&
+               celsius < coolThreshold) {
+        current = ThermalMode::Performance;
+        ++switchCount;
+    }
+    return current;
+}
+
+} // namespace nwsim

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * First-order thermal model and a hysteresis mode controller.
+ *
+ * The paper (Section 5) proposes switching between the power
+ * optimization (clock gating) and the performance optimization
+ * (operation packing) using "thermal sensory data", citing the
+ * PPC750's thermal assist unit. This module provides the two pieces a
+ * controller needs: an RC die-temperature integrator driven by the
+ * integer unit's per-cycle power, and a two-threshold (hysteresis)
+ * mode selector.
+ */
+
+#ifndef NWSIM_POWER_THERMAL_HH
+#define NWSIM_POWER_THERMAL_HH
+
+#include "common/types.hh"
+
+namespace nwsim
+{
+
+/** Thermal-model parameters (toy die, tuned for demonstration). */
+struct ThermalConfig
+{
+    /** Ambient temperature (deg C). */
+    double ambient = 45.0;
+    /** Thermal resistance: steady-state deg C above ambient per mW. */
+    double rthPerMw = 0.085;
+    /** Thermal time constant in cycles. */
+    double tauCycles = 60000.0;
+};
+
+/** First-order (single-RC) die-temperature integrator. */
+class ThermalModel
+{
+  public:
+    ThermalModel() = default;
+    explicit ThermalModel(const ThermalConfig &config) : cfg(config) {}
+
+    /**
+     * Integrate @p cycles of operation at @p power_mw (average
+     * integer-unit power per cycle over the interval).
+     */
+    void step(double power_mw, u64 cycles);
+
+    /** Current die temperature in deg C. */
+    double celsius() const { return cfg.ambient + rise; }
+
+    const ThermalConfig &config() const { return cfg; }
+
+  private:
+    ThermalConfig cfg;
+    double rise = 0.0;      // above ambient
+};
+
+/** Operating mode chosen by the thermal controller (paper Section 5). */
+enum class ThermalMode : u8
+{
+    Performance,    ///< operation packing enabled, no gating
+    Power,          ///< operand clock gating enabled, no packing
+};
+
+/** Two-threshold hysteresis controller over ThermalModel readings. */
+class ThermalController
+{
+  public:
+    /**
+     * @param hot  Switch to Power mode above this temperature (deg C).
+     * @param cool Switch back to Performance mode below this.
+     */
+    ThermalController(double hot, double cool);
+
+    /** Update with the current temperature; returns the mode to use. */
+    ThermalMode update(double celsius);
+
+    ThermalMode mode() const { return current; }
+    u64 switches() const { return switchCount; }
+
+  private:
+    double hotThreshold;
+    double coolThreshold;
+    ThermalMode current = ThermalMode::Performance;
+    u64 switchCount = 0;
+};
+
+} // namespace nwsim
+
+#endif // NWSIM_POWER_THERMAL_HH

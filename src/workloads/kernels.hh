@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Workload factories and their C++ reference implementations.
+ *
+ * Every factory returns a Workload whose program stores a 64-bit
+ * checksum to the "checksum" symbol and halts; the matching *Reference()
+ * function computes the same checksum natively so tests can prove the
+ * kernel performs the computation it claims (and, differentially, that
+ * the pipeline and the functional simulator agree with each other).
+ *
+ * @p reps scales the dynamic instruction count; the registry defaults
+ * are sized so each program comfortably covers the default
+ * warmup + measurement window.
+ */
+
+#ifndef NWSIM_WORKLOADS_KERNELS_HH
+#define NWSIM_WORKLOADS_KERNELS_HH
+
+#include "workloads/workload.hh"
+
+namespace nwsim
+{
+
+// ---- SPECint95 proxies (paper Table 2) --------------------------------
+
+/** LZW-style byte-stream compression (compress). */
+Workload makeCompress(unsigned reps = 2);
+u64 compressReference(unsigned reps = 2);
+
+/** Go-board influence propagation with data-dependent rules (go). */
+Workload makeGo(unsigned reps = 45);
+u64 goReference(unsigned reps = 45);
+
+/** 8x8 block transform + quantization over an image (ijpeg). */
+Workload makeIjpeg(unsigned reps = 2);
+u64 ijpegReference(unsigned reps = 2);
+
+/** Cons-cell list building, recursive reduction, filtering (xlisp). */
+Workload makeLi(unsigned reps = 8);
+u64 liReference(unsigned reps = 8);
+
+/** Bytecode-VM interpreter with jump-table dispatch (m88ksim). */
+Workload makeM88ksim(unsigned reps = 3);
+u64 m88ksimReference(unsigned reps = 3);
+
+/** Identifier hashing into an open-addressed symbol table (gcc). */
+Workload makeGcc(unsigned reps = 3);
+u64 gccReference(unsigned reps = 3);
+
+/** Word scoring over a dictionary, scrabble style (perl). */
+Workload makePerl(unsigned reps = 6);
+u64 perlReference(unsigned reps = 6);
+
+/** Sorted-record store with binary-search queries (vortex). */
+Workload makeVortex(unsigned reps = 2);
+u64 vortexReference(unsigned reps = 2);
+
+// ---- MediaBench proxies (paper Table 3) --------------------------------
+
+/** GSM-style long-term-prediction speech encoding. */
+Workload makeGsmEncode(unsigned reps = 2);
+u64 gsmEncodeReference(unsigned reps = 2);
+
+/** GSM-style speech reconstruction. */
+Workload makeGsmDecode(unsigned reps = 3);
+u64 gsmDecodeReference(unsigned reps = 3);
+
+/** G.721-style ADPCM voice compression. */
+Workload makeG721Encode(unsigned reps = 2);
+u64 g721EncodeReference(unsigned reps = 2);
+
+/** G.721-style ADPCM voice decompression. */
+Workload makeG721Decode(unsigned reps = 3);
+u64 g721DecodeReference(unsigned reps = 3);
+
+/** MPEG2-style motion-search + residual transform encoding. */
+Workload makeMpeg2Encode(unsigned reps = 2);
+u64 mpeg2EncodeReference(unsigned reps = 2);
+
+/** MPEG2-style dequant + inverse transform + motion-comp decoding. */
+Workload makeMpeg2Decode(unsigned reps = 2);
+u64 mpeg2DecodeReference(unsigned reps = 2);
+
+} // namespace nwsim
+
+#endif // NWSIM_WORKLOADS_KERNELS_HH

@@ -1,0 +1,367 @@
+/**
+ * @file
+ * G.721-style ADPCM voice codec proxies (IMA ADPCM state machine):
+ * 4-bit code quantization with adaptive step size and predictor.
+ *
+ * Nearly every value involved — samples, steps, codes, indices — fits in
+ * 16 bits, giving the media-suite narrow-operation density behind the
+ * paper's Figure 4.
+ */
+
+#include "workloads/kernels.hh"
+#include "workloads/support.hh"
+
+namespace nwsim
+{
+
+namespace
+{
+
+constexpr unsigned numSamples = 16000;
+constexpr u64 g721Seed = 0x9721;
+
+const i16 stepTable[89] = {
+    7,     8,     9,     10,    11,    12,    13,    14,    16,    17,
+    19,    21,    23,    25,    28,    31,    34,    37,    41,    45,
+    50,    55,    60,    66,    73,    80,    88,    97,    107,   118,
+    130,   143,   157,   173,   190,   209,   230,   253,   279,   307,
+    337,   371,   408,   449,   494,   544,   598,   658,   724,   796,
+    876,   963,   1060,  1166,  1282,  1411,  1552,  1707,  1878,  2066,
+    2272,  2499,  2749,  3024,  3327,  3660,  4026,  4428,  4871,  5358,
+    5894,  6484,  7132,  7845,  8630,  9493,  10442, 11487, 12635, 13899,
+    15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767};
+
+const i8 indexAdjust[8] = {-1, -1, -1, -1, 2, 4, 6, 8};
+
+std::vector<i16>
+voice()
+{
+    SplitMix64 rng(g721Seed);
+    std::vector<i16> s(numSamples);
+    i64 v = 0;
+    for (auto &x : s) {
+        v += rng.range(-700, 700);
+        v -= v >> 4;                      // leaky integrator
+        x = static_cast<i16>(std::max<i64>(
+            -30000, std::min<i64>(30000, v)));
+    }
+    return s;
+}
+
+i64
+clamp(i64 v, i64 lo, i64 hi)
+{
+    return std::max(lo, std::min(hi, v));
+}
+
+/** One IMA-style quantization step; updates pred/index, returns code. */
+u64
+adpcmStep(i64 sample, i64 &pred, i64 &index)
+{
+    const i64 step = stepTable[index];
+    i64 diff = sample - pred;
+    u64 code = 0;
+    if (diff < 0) {
+        code = 8;
+        diff = -diff;
+    }
+    i64 s = step;
+    if (diff >= s) {
+        code |= 4;
+        diff -= s;
+    }
+    s >>= 1;
+    if (diff >= s) {
+        code |= 2;
+        diff -= s;
+    }
+    s >>= 1;
+    if (diff >= s)
+        code |= 1;
+
+    i64 vpdiff = step >> 3;
+    if (code & 4)
+        vpdiff += step;
+    if (code & 2)
+        vpdiff += step >> 1;
+    if (code & 1)
+        vpdiff += step >> 2;
+    if (code & 8)
+        pred -= vpdiff;
+    else
+        pred += vpdiff;
+    pred = clamp(pred, -32768, 32767);
+    index = clamp(index + indexAdjust[code & 7], 0, 88);
+    return code;
+}
+
+/** Reconstruction from a 4-bit code; updates pred/index. */
+i64
+adpcmDecodeStep(u64 code, i64 &pred, i64 &index)
+{
+    const i64 step = stepTable[index];
+    i64 vpdiff = step >> 3;
+    if (code & 4)
+        vpdiff += step;
+    if (code & 2)
+        vpdiff += step >> 1;
+    if (code & 1)
+        vpdiff += step >> 2;
+    if (code & 8)
+        pred -= vpdiff;
+    else
+        pred += vpdiff;
+    pred = clamp(pred, -32768, 32767);
+    index = clamp(index + indexAdjust[code & 7], 0, 88);
+    return pred;
+}
+
+std::vector<u8>
+codeStream()
+{
+    // Encode the voice signal once to get a realistic code stream for
+    // the decoder workload.
+    const std::vector<i16> s = voice();
+    std::vector<u8> codes(numSamples);
+    i64 pred = 0, index = 0;
+    for (unsigned i = 0; i < numSamples; ++i)
+        codes[i] = static_cast<u8>(adpcmStep(s[i], pred, index));
+    return codes;
+}
+
+} // namespace
+
+u64
+g721EncodeReference(unsigned reps)
+{
+    const std::vector<i16> s = voice();
+    u64 checksum = 0;
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        i64 pred = 0, index = 0;
+        for (unsigned i = 0; i < numSamples; ++i) {
+            const u64 code = adpcmStep(s[i], pred, index);
+            checksum += (code << 4) + static_cast<u64>(index);
+        }
+    }
+    return checksum;
+}
+
+u64
+g721DecodeReference(unsigned reps)
+{
+    const std::vector<u8> codes = codeStream();
+    u64 checksum = 0;
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        i64 pred = 0, index = 0;
+        for (unsigned i = 0; i < numSamples; ++i) {
+            const i64 out = adpcmDecodeStep(codes[i], pred, index);
+            checksum += static_cast<u64>(out & 0xffff);
+        }
+    }
+    return checksum;
+}
+
+namespace
+{
+
+/**
+ * Emit the shared reconstruction tail: given step in @p step_reg and
+ * code in @p code_reg, update pred (s5) and index (s6).
+ * Labels get @p tag suffixes so encode/decode can both inline it.
+ */
+void
+emitReconstruct(Assembler &as, RegIndex code_reg, RegIndex step_reg,
+                const std::string &tag)
+{
+    using namespace wk;
+    // vpdiff = step>>3 (+ step if bit2, + step>>1 if bit1, + step>>2 if
+    // bit0); pred +/-= vpdiff; clamp; index += adjust[code&7]; clamp.
+    as.srai(t6, step_reg, 3);              // vpdiff
+    as.andi(t7, code_reg, 4);
+    as.beq(t7, "no4_" + tag);
+    as.add(t6, t6, step_reg);
+    as.label("no4_" + tag);
+    as.andi(t7, code_reg, 2);
+    as.beq(t7, "no2_" + tag);
+    as.srai(t8, step_reg, 1);
+    as.add(t6, t6, t8);
+    as.label("no2_" + tag);
+    as.andi(t7, code_reg, 1);
+    as.beq(t7, "no1_" + tag);
+    as.srai(t8, step_reg, 2);
+    as.add(t6, t6, t8);
+    as.label("no1_" + tag);
+    as.andi(t7, code_reg, 8);
+    as.beq(t7, "plus_" + tag);
+    as.sub(s5, s5, t6);
+    as.br("clamp_" + tag);
+    as.label("plus_" + tag);
+    as.add(s5, s5, t6);
+    as.label("clamp_" + tag);
+    as.cmplti(t7, s5, -32768);
+    as.beq(t7, "plo_" + tag);
+    as.li(s5, -32768);
+    as.label("plo_" + tag);
+    as.cmplei(t7, s5, 32767);
+    as.bne(t7, "phi_" + tag);
+    as.li(s5, 32767);
+    as.label("phi_" + tag);
+    // index adjust
+    as.andi(t7, code_reg, 7);
+    as.add(t7, t7, s2);                    // + adjust table base
+    as.ldbu(t8, 0, t7);
+    as.sextb(t8, t8);
+    as.add(s6, s6, t8);
+    as.bge(s6, "ilo_" + tag);
+    as.li(s6, 0);
+    as.label("ilo_" + tag);
+    as.cmplei(t7, s6, 88);
+    as.bne(t7, "ihi_" + tag);
+    as.li(s6, 88);
+    as.label("ihi_" + tag);
+}
+
+} // namespace
+
+Workload
+makeG721Encode(unsigned reps)
+{
+    Workload w;
+    w.name = "g721encode";
+    w.suite = "media";
+    w.description = "G.721-style ADPCM voice compression";
+    w.build = [reps](Assembler &as) {
+        using namespace wk;
+        // s0=samples, s1=step table, s2=index-adjust table, s3=reps,
+        // s4=checksum, s5=pred, s6=index.
+        as.la(s0, "samples");
+        as.la(s1, "steptab");
+        as.la(s2, "idxtab");
+        as.li(s3, static_cast<i64>(reps));
+        as.li(s4, 0);
+
+        as.label("rep");
+        as.beq(s3, "done");
+        as.li(s5, 0);                      // pred
+        as.li(s6, 0);                      // index
+        as.li(t0, 0);                      // i
+
+        as.label("sample_loop");
+        as.slli(t2, t0, 1);
+        as.add(t2, t2, s0);
+        as.ldwu(t3, 0, t2);
+        as.sextw(t3, t3);                  // sample
+        // step = steptab[index]
+        as.slli(t4, s6, 1);
+        as.add(t4, t4, s1);
+        as.ldwu(t4, 0, t4);                // step (always positive)
+        // diff / sign / 3-bit quantize
+        as.sub(t5, t3, s5);                // diff = sample - pred
+        as.li(t9, 0);                      // code
+        as.bge(t5, "pos");
+        as.li(t9, 8);
+        as.sub(t5, zeroReg, t5);           // diff = -diff
+        as.label("pos");
+        as.mov(t10, t4);                   // s = step
+        as.cmplt(t1, t5, t10);
+        as.bne(t1, "b4_done");
+        as.ori(t9, t9, 4);
+        as.sub(t5, t5, t10);
+        as.label("b4_done");
+        as.srai(t10, t10, 1);
+        as.cmplt(t1, t5, t10);
+        as.bne(t1, "b2_done");
+        as.ori(t9, t9, 2);
+        as.sub(t5, t5, t10);
+        as.label("b2_done");
+        as.srai(t10, t10, 1);
+        as.cmplt(t1, t5, t10);
+        as.bne(t1, "b1_done");
+        as.ori(t9, t9, 1);
+        as.label("b1_done");
+
+        emitReconstruct(as, t9, t4, "e");
+
+        // checksum += (code << 4) + index
+        as.slli(t7, t9, 4);
+        as.add(t7, t7, s6);
+        as.add(s4, s4, t7);
+        as.addi(t0, t0, 1);
+        as.cmplti(t1, t0, numSamples);
+        as.bne(t1, "sample_loop");
+
+        as.subi(s3, s3, 1);
+        as.br("rep");
+
+        as.label("done");
+        storeChecksumAndHalt(as, s4, t0);
+
+        emitWords(as, "samples", voice());
+        emitWords(as, "steptab",
+                  std::vector<i16>(stepTable, stepTable + 89));
+        as.alignData(8);
+        as.dataLabel("idxtab");
+        for (const i8 a : indexAdjust)
+            as.dataByte(static_cast<u8>(a));
+        declareChecksum(as);
+    };
+    return w;
+}
+
+Workload
+makeG721Decode(unsigned reps)
+{
+    Workload w;
+    w.name = "g721decode";
+    w.suite = "media";
+    w.description = "G.721-style ADPCM voice decompression";
+    w.build = [reps](Assembler &as) {
+        using namespace wk;
+        // s0=codes, s1=step table, s2=index-adjust, s3=reps,
+        // s4=checksum, s5=pred, s6=index.
+        as.la(s0, "codes");
+        as.la(s1, "steptab");
+        as.la(s2, "idxtab");
+        as.li(s3, static_cast<i64>(reps));
+        as.li(s4, 0);
+
+        as.label("rep");
+        as.beq(s3, "done");
+        as.li(s5, 0);
+        as.li(s6, 0);
+        as.li(t0, 0);
+
+        as.label("sample_loop");
+        as.add(t2, t0, s0);
+        as.ldbu(t9, 0, t2);                // code
+        as.slli(t4, s6, 1);
+        as.add(t4, t4, s1);
+        as.ldwu(t4, 0, t4);                // step
+
+        emitReconstruct(as, t9, t4, "d");
+
+        as.andi(t7, s5, 0xffff);
+        as.add(s4, s4, t7);
+        as.addi(t0, t0, 1);
+        as.cmplti(t1, t0, numSamples);
+        as.bne(t1, "sample_loop");
+
+        as.subi(s3, s3, 1);
+        as.br("rep");
+
+        as.label("done");
+        storeChecksumAndHalt(as, s4, t0);
+
+        emitBytes(as, "codes", codeStream());
+        emitWords(as, "steptab",
+                  std::vector<i16>(stepTable, stepTable + 89));
+        as.alignData(8);
+        as.dataLabel("idxtab");
+        for (const i8 a : indexAdjust)
+            as.dataByte(static_cast<u8>(a));
+        declareChecksum(as);
+    };
+    return w;
+}
+
+} // namespace nwsim

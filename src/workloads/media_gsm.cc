@@ -1,0 +1,331 @@
+/**
+ * @file
+ * GSM speech-codec proxies: long-term-prediction (LTP) encode and
+ * decode over 16-bit PCM samples.
+ *
+ * The encoder's lag search is a multiply-accumulate of 16-bit samples —
+ * the narrow multiplies the paper singles out in gsm ("they do account
+ * for 6% of the narrow-width operations in gsm") — followed by gain
+ * quantization and saturated residual computation.
+ */
+
+#include "workloads/kernels.hh"
+#include "workloads/support.hh"
+
+namespace nwsim
+{
+
+namespace
+{
+
+constexpr unsigned numSamples = 16000;
+constexpr unsigned frameLen = 40;
+constexpr u64 gsmSeed = 0x65a;
+
+std::vector<i16>
+speech()
+{
+    // Correlated "speech": a decaying oscillator plus noise, so the lag
+    // search has real structure to find.
+    SplitMix64 rng(gsmSeed);
+    std::vector<i16> s(numSamples);
+    double phase = 0.3, level = 900.0;
+    for (auto &x : s) {
+        phase += 0.42;
+        if (phase > 3.14159)
+            phase -= 6.28318;
+        const double wave = level * phase * (1.0 - phase * phase / 6.0);
+        const i64 noise = rng.range(-120, 120);
+        i64 v = static_cast<i64>(wave) + noise;
+        v = std::max<i64>(-30000, std::min<i64>(30000, v));
+        x = static_cast<i16>(v);
+        level = level * 0.999 + (rng.below(7) == 0 ? 40.0 : 0.0);
+    }
+    return s;
+}
+
+i64
+clampSample(i64 v)
+{
+    return std::max<i64>(-32768, std::min<i64>(32767, v));
+}
+
+} // namespace
+
+u64
+gsmEncodeReference(unsigned reps)
+{
+    const std::vector<i16> s = speech();
+    u64 checksum = 0;
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        for (unsigned base = frameLen; base + frameLen <= numSamples;
+             base += frameLen) {
+            i64 best_corr = -(i64{1} << 40);
+            i64 best_off = 5;
+            for (i64 off = 5; off <= 20; off += 5) {
+                i64 corr = 0;
+                for (unsigned i = 0; i < frameLen; ++i) {
+                    corr += static_cast<i64>(s[base + i]) *
+                            static_cast<i64>(s[base + i - off]);
+                }
+                if (corr > best_corr) {
+                    best_corr = corr;
+                    best_off = off;
+                }
+            }
+            i64 gain = best_corr >> 18;
+            gain = std::max<i64>(-8, std::min<i64>(7, gain));
+            for (unsigned i = 0; i < frameLen; ++i) {
+                const i64 p =
+                    (gain * static_cast<i64>(s[base + i - best_off])) >>
+                    3;
+                const i64 r =
+                    clampSample(static_cast<i64>(s[base + i]) - p);
+                checksum += static_cast<u64>(r & 0xffff);
+            }
+        }
+    }
+    return checksum;
+}
+
+u64
+gsmDecodeReference(unsigned reps)
+{
+    const std::vector<i16> s = speech();   // residual stream stand-in
+    u64 checksum = 0;
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        // Rolling synthesis buffer seeded with the first frame.
+        std::vector<i64> out(numSamples, 0);
+        for (unsigned i = 0; i < frameLen; ++i)
+            out[i] = s[i];
+        const i64 gain = 3 + static_cast<i64>(rep & 3);
+        for (unsigned i = frameLen; i < numSamples; ++i) {
+            const i64 r = static_cast<i64>(s[i]) >> 2;
+            const i64 p = (gain * out[i - frameLen]) >> 3;
+            out[i] = clampSample(r + p);
+            checksum += static_cast<u64>(out[i] & 0xffff);
+        }
+    }
+    return checksum;
+}
+
+Workload
+makeGsmEncode(unsigned reps)
+{
+    Workload w;
+    w.name = "gsm-encode";
+    w.suite = "media";
+    w.description = "GSM-style LTP speech encoding";
+    w.build = [reps](Assembler &as) {
+        using namespace wk;
+        // s0=samples, s1=reps, s2=checksum, s3=frame base (element idx).
+        as.la(s0, "samples");
+        as.li(s1, static_cast<i64>(reps));
+        as.li(s2, 0);
+
+        // Load a 16-bit sample s[idx] sign-extended: idx in reg.
+        auto load_sample = [&](RegIndex dst, RegIndex idx) {
+            as.slli(t11, idx, 1);
+            as.add(t11, t11, s0);
+            as.ldwu(dst, 0, t11);
+            as.sextw(dst, dst);
+        };
+
+        as.label("rep");
+        as.beq(s1, "done");
+        as.li(s3, frameLen);               // base
+
+        as.label("frame");
+        as.cmplei(t0, s3, numSamples - frameLen);
+        as.beq(t0, "rep_end");
+
+        as.li(s4, 0);                      // best_corr placeholder flag
+        as.li(s5, -(i64{1} << 40));        // best_corr
+        as.li(s6, 5);                      // best_off
+        as.li(s7, 5);                      // off
+
+        as.label("lag_loop");
+        // Correlation MAC loop, unrolled 4x with independent partial
+        // sums (as the paper's -O5 compiler would), bottom-tested so
+        // one taken branch ends each iteration.
+        as.li(t1, 0);                      // partial sum 0
+        as.li(t7, 0);                      // partial sum 1
+        as.li(t9, 0);                      // partial sum 2
+        as.li(t10, 0);                     // partial sum 3
+        as.li(t2, 0);                      // i
+        as.label("corr_loop");
+        const RegIndex partial[4] = {t1, t7, t9, t10};
+        for (unsigned u = 0; u < 4; ++u) {
+            as.add(t3, s3, t2);            // base + i
+            if (u)
+                as.addi(t3, t3, static_cast<i64>(u));
+            load_sample(t4, t3);
+            as.sub(t3, t3, s7);            // base + i + u - off
+            load_sample(t5, t3);
+            as.mul(t6, t4, t5);            // 16x16 narrow multiply
+            as.add(partial[u], partial[u], t6);
+        }
+        as.addi(t2, t2, 4);
+        as.cmplti(t0, t2, frameLen);
+        as.bne(t0, "corr_loop");
+        as.add(t1, t1, t7);
+        as.add(t9, t9, t10);
+        as.add(t1, t1, t9);                // corr
+        as.cmplt(t0, s5, t1);
+        as.beq(t0, "lag_next");
+        as.mov(s5, t1);
+        as.mov(s6, s7);
+        as.label("lag_next");
+        as.addi(s7, s7, 5);
+        as.cmplei(t0, s7, 20);
+        as.bne(t0, "lag_loop");
+
+        // gain = clamp(best_corr >> 18, -8, 7)
+        as.srai(s8, s5, 18);
+        as.cmplti(t0, s8, -8);
+        as.beq(t0, "gain_lo_ok");
+        as.li(s8, -8);
+        as.label("gain_lo_ok");
+        as.cmplei(t0, s8, 7);
+        as.bne(t0, "gain_hi_ok");
+        as.li(s8, 7);
+        as.label("gain_hi_ok");
+
+        // Residual pass (bottom-tested, unrolled 2x: iterations are
+        // independent given the gain, so the window sees add bursts).
+        as.li(t2, 0);                      // i
+        as.label("res_loop");
+        for (unsigned u = 0; u < 2; ++u) {
+            const std::string tag = std::to_string(u);
+            as.add(t3, s3, t2);
+            if (u)
+                as.addi(t3, t3, static_cast<i64>(u));
+            as.sub(t4, t3, s6);            // base + i + u - best_off
+            load_sample(t5, t4);
+            as.mul(t6, s8, t5);
+            as.srai(t6, t6, 3);            // p
+            load_sample(t7, t3);
+            as.sub(t7, t7, t6);            // r = s - p
+            // saturate to [-32768, 32767]
+            as.cmplti(t0, t7, -32768);
+            as.beq(t0, "sat_lo_ok" + tag);
+            as.li(t7, -32768);
+            as.label("sat_lo_ok" + tag);
+            as.cmplei(t0, t7, 32767);
+            as.bne(t0, "sat_hi_ok" + tag);
+            as.li(t7, 32767);
+            as.label("sat_hi_ok" + tag);
+            as.andi(t7, t7, 0xffff);
+            as.add(s2, s2, t7);
+        }
+        as.addi(t2, t2, 2);
+        as.cmplti(t0, t2, frameLen);
+        as.bne(t0, "res_loop");
+
+        as.addi(s3, s3, frameLen);
+        as.br("frame");
+
+        as.label("rep_end");
+        as.subi(s1, s1, 1);
+        as.br("rep");
+
+        as.label("done");
+        storeChecksumAndHalt(as, s2, t0);
+
+        emitWords(as, "samples", speech());
+        declareChecksum(as);
+    };
+    return w;
+}
+
+Workload
+makeGsmDecode(unsigned reps)
+{
+    Workload w;
+    w.name = "gsm-decode";
+    w.suite = "media";
+    w.description = "GSM-style LTP speech reconstruction";
+    w.build = [reps](Assembler &as) {
+        using namespace wk;
+        // s0=residuals, s1=synthesis buffer, s2=reps, s3=checksum,
+        // s4=rep index.
+        as.la(s0, "samples");
+        as.la(s1, "synth");
+        as.li(s2, static_cast<i64>(reps));
+        as.li(s3, 0);
+        as.li(s4, 0);
+
+        auto load_res = [&](RegIndex dst, RegIndex idx) {
+            as.slli(t11, idx, 1);
+            as.add(t11, t11, s0);
+            as.ldwu(dst, 0, t11);
+            as.sextw(dst, dst);
+        };
+
+        as.label("rep");
+        as.beq(s2, "done");
+        // Seed the synthesis buffer with the first frame
+        // (bottom-tested).
+        as.li(t0, 0);
+        as.label("seed");
+        load_res(t2, t0);
+        as.slli(t3, t0, 3);
+        as.add(t3, t3, s1);
+        as.stq(t2, 0, t3);
+        as.addi(t0, t0, 1);
+        as.cmplti(t1, t0, frameLen);
+        as.bne(t1, "seed");
+
+        as.andi(s5, s4, 3);                // gain = 3 + (rep & 3)
+        as.addi(s5, s5, 3);
+        as.li(t0, frameLen);               // i
+
+        // Synthesis loop, unrolled 2x (the loop-carried dependence is
+        // at distance frameLen, so consecutive samples overlap freely).
+        as.label("synth_loop");
+        for (unsigned u = 0; u < 2; ++u) {
+            const std::string tag = std::to_string(u);
+            as.addi(t8, t0, static_cast<i64>(u));
+            load_res(t2, t8);
+            as.srai(t2, t2, 2);            // r
+            as.subi(t3, t8, frameLen);
+            as.slli(t3, t3, 3);
+            as.add(t3, t3, s1);
+            as.ldq(t4, 0, t3);             // out[i - frameLen]
+            as.mul(t5, s5, t4);
+            as.srai(t5, t5, 3);            // p
+            as.add(t6, t2, t5);
+            as.cmplti(t1, t6, -32768);
+            as.beq(t1, "d_lo_ok" + tag);
+            as.li(t6, -32768);
+            as.label("d_lo_ok" + tag);
+            as.cmplei(t1, t6, 32767);
+            as.bne(t1, "d_hi_ok" + tag);
+            as.li(t6, 32767);
+            as.label("d_hi_ok" + tag);
+            as.slli(t7, t8, 3);
+            as.add(t7, t7, s1);
+            as.stq(t6, 0, t7);
+            as.andi(t6, t6, 0xffff);
+            as.add(s3, s3, t6);
+        }
+        as.addi(t0, t0, 2);
+        as.cmplti(t1, t0, numSamples);
+        as.bne(t1, "synth_loop");
+        as.addi(s4, s4, 1);
+        as.subi(s2, s2, 1);
+        as.br("rep");
+
+        as.label("done");
+        storeChecksumAndHalt(as, s3, t0);
+
+        emitWords(as, "samples", speech());
+        as.alignData(8);
+        as.dataLabel("synth");
+        as.dataZeros(numSamples * 8);
+        declareChecksum(as);
+    };
+    return w;
+}
+
+} // namespace nwsim

@@ -1,0 +1,453 @@
+/**
+ * @file
+ * MPEG2-style video codec proxies.
+ *
+ * Encode: exhaustive +/-2 pixel motion search (8-bit SAD accumulation —
+ * the most packable operation mix in the suite) followed by residual
+ * energy accounting.
+ * Decode: coefficient dequantization, inverse Haar transform,
+ * motion-compensated prediction add, and 0..255 clamping.
+ */
+
+#include "workloads/kernels.hh"
+#include "workloads/support.hh"
+
+namespace nwsim
+{
+
+namespace
+{
+
+constexpr unsigned frameDim = 128;
+constexpr unsigned blockSize = 8;
+constexpr i64 searchRange = 2;
+constexpr u64 mpegSeed = 0x3e2;
+
+std::vector<u8>
+makeFrame(u64 seed)
+{
+    SplitMix64 rng(seed);
+    std::vector<u8> f(frameDim * frameDim);
+    int level = 120;
+    for (auto &p : f) {
+        level += static_cast<int>(rng.range(-7, 7));
+        level = std::max(16, std::min(235, level));
+        p = static_cast<u8>(level);
+    }
+    return f;
+}
+
+/** Reference frame = current frame shifted by (1, 1) plus noise. */
+std::vector<u8>
+refFrame()
+{
+    const std::vector<u8> cur = makeFrame(mpegSeed);
+    SplitMix64 rng(mpegSeed ^ 0xf00d);
+    std::vector<u8> ref(frameDim * frameDim, 128);
+    for (unsigned y = 0; y < frameDim - 1; ++y) {
+        for (unsigned x = 0; x < frameDim - 1; ++x) {
+            const int noisy = cur[(y + 1) * frameDim + x + 1] +
+                              static_cast<int>(rng.range(-3, 3));
+            ref[y * frameDim + x] =
+                static_cast<u8>(std::max(0, std::min(255, noisy)));
+        }
+    }
+    return ref;
+}
+
+/** Quantized coefficient blocks for the decoder (i16, block-major). */
+std::vector<i16>
+coefBlocks()
+{
+    SplitMix64 rng(mpegSeed ^ 0xc0ef);
+    const unsigned blocks = (frameDim / blockSize) * (frameDim / blockSize);
+    std::vector<i16> coefs(blocks * 64, 0);
+    for (unsigned b = 0; b < blocks; ++b) {
+        // Sparse, low-frequency-heavy coefficients.
+        coefs[b * 64] = static_cast<i16>(rng.range(-200, 200));
+        for (unsigned i = 1; i < 64; ++i) {
+            if (rng.below(4) == 0)
+                coefs[b * 64 + i] =
+                    static_cast<i16>(rng.range(-20, 20));
+        }
+    }
+    return coefs;
+}
+
+} // namespace
+
+u64
+mpeg2EncodeReference(unsigned reps)
+{
+    const std::vector<u8> cur = makeFrame(mpegSeed);
+    const std::vector<u8> ref = refFrame();
+    u64 checksum = 0;
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        for (unsigned by = blockSize; by + 2 * blockSize <= frameDim;
+             by += blockSize) {
+            for (unsigned bx = blockSize; bx + 2 * blockSize <= frameDim;
+                 bx += blockSize) {
+                u64 best = ~u64{0};
+                i64 best_dx = 0, best_dy = 0;
+                for (i64 dy = -searchRange; dy <= searchRange; ++dy) {
+                    for (i64 dx = -searchRange; dx <= searchRange;
+                         ++dx) {
+                        u64 sad = 0;
+                        for (unsigned y = 0; y < blockSize; ++y) {
+                            for (unsigned x = 0; x < blockSize; ++x) {
+                                const i64 c =
+                                    cur[(by + y) * frameDim + bx + x];
+                                const i64 r =
+                                    ref[(by + y + dy) * frameDim + bx +
+                                        x + dx];
+                                const i64 d = c - r;
+                                sad += static_cast<u64>(d < 0 ? -d : d);
+                            }
+                        }
+                        if (sad < best) {
+                            best = sad;
+                            best_dx = dx;
+                            best_dy = dy;
+                        }
+                    }
+                }
+                checksum += best + static_cast<u64>(best_dx + 2) * 3 +
+                            static_cast<u64>(best_dy + 2) * 5;
+            }
+        }
+    }
+    return checksum;
+}
+
+u64
+mpeg2DecodeReference(unsigned reps)
+{
+    const std::vector<i16> coefs = coefBlocks();
+    const std::vector<u8> ref = refFrame();
+    u64 checksum = 0;
+    const unsigned blocks_per_row = frameDim / blockSize;
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        const unsigned qshift = rep % 3;
+        for (unsigned b = 0; b < blocks_per_row * blocks_per_row; ++b) {
+            i64 block[64];
+            for (unsigned i = 0; i < 64; ++i)
+                block[i] = static_cast<i64>(coefs[b * 64 + i])
+                           << qshift;
+            // Inverse Haar: three levels, halving on the way back.
+            for (unsigned pass = 0; pass < 2; ++pass) {
+                const size_t stride = pass == 0 ? 8 : 1;
+                for (unsigned lane = 0; lane < 8; ++lane) {
+                    const size_t base = pass == 0 ? lane : lane * 8;
+                    for (int level = 2; level >= 0; --level) {
+                        const unsigned half = 4 >> level;
+                        i64 tmp[8];
+                        for (unsigned i = 0; i < half; ++i) {
+                            const i64 s = block[base + i * stride];
+                            const i64 d =
+                                block[base + (half + i) * stride];
+                            tmp[2 * i] = (s + d) >> 1;
+                            tmp[2 * i + 1] = (s - d) >> 1;
+                        }
+                        for (unsigned i = 0; i < 2 * half; ++i)
+                            block[base + i * stride] = tmp[i];
+                    }
+                }
+            }
+            // Motion compensation + clamp.
+            const unsigned bx = (b % blocks_per_row) * blockSize;
+            const unsigned by = (b / blocks_per_row) * blockSize;
+            for (unsigned y = 0; y < blockSize; ++y) {
+                for (unsigned x = 0; x < blockSize; ++x) {
+                    const i64 p = ref[(by + y) * frameDim + bx + x];
+                    i64 v = block[y * 8 + x] + p;
+                    v = std::max<i64>(0, std::min<i64>(255, v));
+                    checksum += static_cast<u64>(v);
+                }
+            }
+        }
+    }
+    return checksum;
+}
+
+Workload
+makeMpeg2Encode(unsigned reps)
+{
+    Workload w;
+    w.name = "mpeg2encode";
+    w.suite = "media";
+    w.description = "MPEG2-style motion search encoding";
+    w.build = [reps](Assembler &as) {
+        using namespace wk;
+        // s0=cur, s1=ref, s2=reps, s3=checksum, s4=by, s5=bx,
+        // s6=dy, s7=dx, s8=best, s9=best dx/dy packed.
+        as.la(s0, "cur");
+        as.la(s1, "ref");
+        as.li(s2, static_cast<i64>(reps));
+        as.li(s3, 0);
+
+        as.label("rep");
+        as.beq(s2, "done");
+        as.li(s4, blockSize);              // by
+
+        as.label("by_loop");
+        as.cmplei(t0, s4, frameDim - 2 * blockSize);
+        as.beq(t0, "rep_end");
+        as.li(s5, blockSize);              // bx
+
+        as.label("bx_loop");
+        as.cmplei(t0, s5, frameDim - 2 * blockSize);
+        as.beq(t0, "by_end");
+        as.li(s8, -1);                     // best = ~0 (unsigned max)
+        as.li(s9, 0);                      // packed best (dx+2)*3+(dy+2)*5
+        as.li(s6, -searchRange);           // dy
+
+        as.label("dy_loop");
+        as.cmplei(t0, s6, searchRange);
+        as.beq(t0, "search_done");
+        as.li(s7, -searchRange);           // dx
+
+        as.label("dx_loop");
+        as.cmplei(t0, s7, searchRange);
+        as.beq(t0, "dy_next");
+        // SAD over the 8x8 block: x fully unrolled with two partial
+        // accumulators, y bottom-tested — byte-difference work with
+        // plenty of independent narrow adds.
+        as.li(t1, 0);                      // sad (even columns)
+        as.li(t9, 0);                      // sad (odd columns)
+        as.li(t2, 0);                      // y
+        as.label("sad_y");
+        // cur row address: (by+y)*frameDim + bx
+        as.add(t3, s4, t2);
+        as.slli(t3, t3, 7);
+        as.add(t3, t3, s5);
+        as.add(t3, t3, s0);
+        // ref row address: (by+y+dy)*frameDim + bx + dx
+        as.add(t4, s4, t2);
+        as.add(t4, t4, s6);
+        as.slli(t4, t4, 7);
+        as.add(t4, t4, s5);
+        as.add(t4, t4, s7);
+        as.add(t4, t4, s1);
+        for (unsigned x = 0; x < blockSize; ++x) {
+            const RegIndex acc = (x % 2) ? t9 : t1;
+            const RegIndex d = (x % 2) ? t10 : t7;
+            const RegIndex m = (x % 2) ? t11 : t8;
+            as.ldbu(t5, static_cast<i64>(x), t3);
+            as.ldbu(t6, static_cast<i64>(x), t4);
+            as.sub(d, t5, t6);
+            as.srai(m, d, 63);             // abs via mask
+            as.xor_(d, d, m);
+            as.sub(d, d, m);
+            as.add(acc, acc, d);
+        }
+        as.addi(t2, t2, 1);
+        as.cmplti(t0, t2, blockSize);
+        as.bne(t0, "sad_y");
+        as.add(t1, t1, t9);                // total sad
+        // best tracking (unsigned compare)
+        as.cmpult(t0, t1, s8);
+        as.beq(t0, "dx_next");
+        as.mov(s8, t1);
+        as.addi(t9, s7, searchRange);      // dx + 2
+        as.muli(t9, t9, 3);
+        as.addi(t10, s6, searchRange);     // dy + 2
+        as.muli(t10, t10, 5);
+        as.add(s9, t9, t10);
+        as.label("dx_next");
+        as.addi(s7, s7, 1);
+        as.br("dx_loop");
+
+        as.label("dy_next");
+        as.addi(s6, s6, 1);
+        as.br("dy_loop");
+
+        as.label("search_done");
+        as.add(s3, s3, s8);
+        as.add(s3, s3, s9);
+        as.addi(s5, s5, blockSize);
+        as.br("bx_loop");
+
+        as.label("by_end");
+        as.addi(s4, s4, blockSize);
+        as.br("by_loop");
+
+        as.label("rep_end");
+        as.subi(s2, s2, 1);
+        as.br("rep");
+
+        as.label("done");
+        storeChecksumAndHalt(as, s3, t0);
+
+        emitBytes(as, "cur", makeFrame(mpegSeed));
+        emitBytes(as, "ref", refFrame());
+        declareChecksum(as);
+    };
+    return w;
+}
+
+Workload
+makeMpeg2Decode(unsigned reps)
+{
+    Workload w;
+    w.name = "mpeg2decode";
+    w.suite = "media";
+    w.description = "MPEG2-style dequant + inverse transform decoding";
+    w.build = [reps](Assembler &as) {
+        using namespace wk;
+        constexpr unsigned bpr = frameDim / blockSize;  // blocks per row
+        // s0=coefs, s1=ref, s2=block scratch, s3=reps, s4=checksum,
+        // s5=rep idx, s6=block idx.
+        as.la(s0, "coefs");
+        as.la(s1, "ref");
+        as.la(s2, "block");
+        as.li(s3, static_cast<i64>(reps));
+        as.li(s4, 0);
+        as.li(s5, 0);
+
+        as.label("rep");
+        as.beq(s3, "done");
+        // qshift = rep % 3
+        as.li(t0, 3);
+        as.rem(s7, s5, t0);
+        as.li(s6, 0);                      // block index
+
+        as.label("blk_loop");
+        as.cmplti(t0, s6, bpr * bpr);
+        as.beq(t0, "rep_end");
+
+        // ---- Dequantize into the scratch block -------------------------
+        as.slli(t1, s6, 7);                // * 64 coefs * 2 bytes
+        as.add(t1, t1, s0);
+        as.li(t2, 0);                      // i
+        as.label("deq");
+        for (unsigned u = 0; u < 2; ++u) {
+            const RegIndex av = u ? t5 : t3;
+            const RegIndex vv = u ? t6 : t4;
+            as.addi(av, t2, static_cast<i64>(u));
+            as.slli(av, av, 1);
+            as.add(av, av, t1);
+            as.ldwu(vv, 0, av);
+            as.sextw(vv, vv);
+            as.sll(vv, vv, s7);            // << qshift
+            as.addi(av, t2, static_cast<i64>(u));
+            as.slli(av, av, 3);
+            as.add(av, av, s2);
+            as.stq(vv, 0, av);
+        }
+        as.addi(t2, t2, 2);
+        as.cmplti(t0, t2, 64);
+        as.bne(t0, "deq");
+
+        // ---- Inverse Haar: columns then rows ----------------------------
+        // a0 = base address, a1 = log2 stride (inverse levels inside).
+        // Lane counter lives in s8: ihaar8 clobbers the t registers.
+        as.li(s8, 0);                      // lane
+        as.label("icol");
+        as.cmplti(t0, s8, 8);
+        as.beq(t0, "icol_done");
+        as.slli(a0, s8, 3);
+        as.add(a0, a0, s2);
+        as.li(a1, 6);                      // stride 64B (column pass)
+        as.call("ihaar8");
+        as.addi(s8, s8, 1);
+        as.br("icol");
+        as.label("icol_done");
+        as.li(s8, 0);
+        as.label("irow");
+        as.cmplti(t0, s8, 8);
+        as.beq(t0, "irow_done");
+        as.slli(a0, s8, 6);
+        as.add(a0, a0, s2);
+        as.li(a1, 3);                      // stride 8B (row pass)
+        as.call("ihaar8");
+        as.addi(s8, s8, 1);
+        as.br("irow");
+        as.label("irow_done");
+
+        // ---- Motion compensation + clamp + checksum ---------------------
+        // bx = (b % bpr) * 8; by = (b / bpr) * 8
+        as.andi(t1, s6, bpr - 1);
+        as.slli(t1, t1, 3);                // bx
+        as.srli(t2, s6, 4);                // b / bpr (bpr == 16)
+        as.slli(t2, t2, 3);                // by
+        as.li(t3, 0);                      // y
+        as.label("mc_y");
+        as.add(t4, t2, t3);                // by + y
+        as.slli(t4, t4, 7);                // * frameDim
+        as.add(t4, t4, t1);                // + bx
+        as.add(t4, t4, s1);                // ref row address
+        as.slli(t5, t3, 6);                // block row address (8 quads)
+        as.add(t5, t5, s2);
+        for (unsigned x = 0; x < blockSize; ++x) {
+            as.ldbu(t6, static_cast<i64>(x), t4);
+            as.ldq(t7, static_cast<i64>(8 * x), t5);
+            as.add(t7, t7, t6);
+            // clamp to [0, 255]
+            as.bge(t7, std::string("cl_lo_ok_") + std::to_string(x));
+            as.li(t7, 0);
+            as.label(std::string("cl_lo_ok_") + std::to_string(x));
+            as.cmplei(t0, t7, 255);
+            as.bne(t0, std::string("cl_hi_ok_") + std::to_string(x));
+            as.li(t7, 255);
+            as.label(std::string("cl_hi_ok_") + std::to_string(x));
+            as.add(s4, s4, t7);
+        }
+        as.addi(t3, t3, 1);
+        as.cmplti(t0, t3, blockSize);
+        as.bne(t0, "mc_y");
+
+        as.addi(s6, s6, 1);
+        as.br("blk_loop");
+
+        as.label("rep_end");
+        as.addi(s5, s5, 1);
+        as.subi(s3, s3, 1);
+        as.br("rep");
+
+        as.label("done");
+        storeChecksumAndHalt(as, s4, t0);
+
+        // ---- ihaar8(a0 = base, a1 = log2 stride) ------------------------
+        // Inverse of the encoder's butterfly, levels in reverse order:
+        // tmp[2i] = (s + d) >> 1; tmp[2i+1] = (s - d) >> 1.
+        auto elem_addr = [&](RegIndex dst, unsigned j) {
+            as.li(dst, static_cast<i64>(j));
+            as.sll(dst, dst, a1);
+            as.add(dst, dst, a0);
+        };
+        as.label("ihaar8");
+        for (int level = 2; level >= 0; --level) {
+            const unsigned half = 4 >> level;
+            for (unsigned i = 0; i < half; ++i) {
+                elem_addr(t8, i);
+                as.ldq(t9, 0, t8);             // s
+                elem_addr(t10, half + i);
+                as.ldq(t11, 0, t10);           // d
+                as.add(static_cast<RegIndex>(t0 + 2 * i), t9, t11);
+                as.srai(static_cast<RegIndex>(t0 + 2 * i),
+                        static_cast<RegIndex>(t0 + 2 * i), 1);
+                as.sub(static_cast<RegIndex>(t0 + 2 * i + 1), t9, t11);
+                as.srai(static_cast<RegIndex>(t0 + 2 * i + 1),
+                        static_cast<RegIndex>(t0 + 2 * i + 1), 1);
+            }
+            for (unsigned i = 0; i < 2 * half; ++i) {
+                elem_addr(t8, i);
+                as.stq(static_cast<RegIndex>(t0 + i), 0, t8);
+            }
+        }
+        as.ret();
+
+        {
+            std::vector<i16> coefs = coefBlocks();
+            emitWords(as, "coefs", coefs);
+        }
+        emitBytes(as, "ref", refFrame());
+        as.alignData(8);
+        as.dataLabel("block");
+        as.dataZeros(64 * 8);
+        declareChecksum(as);
+    };
+    return w;
+}
+
+} // namespace nwsim

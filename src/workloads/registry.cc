@@ -1,0 +1,63 @@
+#include "workloads/workload.hh"
+
+#include "asm/assembler.hh"
+#include "common/logging.hh"
+#include "workloads/kernels.hh"
+
+namespace nwsim
+{
+
+Program
+Workload::program() const
+{
+    Assembler as;
+    build(as);
+    return as.assemble();
+}
+
+const std::vector<Workload> &
+allWorkloads()
+{
+    static const std::vector<Workload> workloads = {
+        // SPECint95 proxies, paper Table 2 order-ish.
+        makeIjpeg(),
+        makeM88ksim(),
+        makeGo(),
+        makeLi(),
+        makeCompress(),
+        makeGcc(),
+        makeVortex(),
+        makePerl(),
+        // MediaBench proxies, paper Table 3.
+        makeGsmEncode(),
+        makeGsmDecode(),
+        makeMpeg2Encode(),
+        makeMpeg2Decode(),
+        makeG721Encode(),
+        makeG721Decode(),
+    };
+    return workloads;
+}
+
+std::vector<Workload>
+suiteWorkloads(const std::string &suite)
+{
+    std::vector<Workload> out;
+    for (const Workload &w : allWorkloads()) {
+        if (w.suite == suite)
+            out.push_back(w);
+    }
+    return out;
+}
+
+const Workload &
+workloadByName(const std::string &name)
+{
+    for (const Workload &w : allWorkloads()) {
+        if (w.name == name)
+            return w;
+    }
+    NWSIM_FATAL("unknown workload: ", name);
+}
+
+} // namespace nwsim

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * `gcc` proxy: identifier hashing into an open-addressed symbol table.
+ *
+ * A stream of token references hashes 8-byte identifiers (char-at-a-time
+ * shifts and adds on 8-bit data) and probes a 1024-entry table with
+ * linear probing — the pointer-and-compare-heavy, branchy profile of a
+ * compiler front end.
+ */
+
+#include "workloads/kernels.hh"
+#include "workloads/support.hh"
+
+namespace nwsim
+{
+
+namespace
+{
+
+constexpr unsigned numIdents = 2048;
+constexpr unsigned identLen = 8;
+constexpr unsigned numRefs = 6000;
+constexpr unsigned tableSlots = 16384;
+constexpr u64 gccSeed = 0x9cc;
+
+std::vector<u8>
+identifierBytes()
+{
+    SplitMix64 rng(gccSeed);
+    std::vector<u8> bytes(numIdents * identLen);
+    for (auto &b : bytes)
+        b = static_cast<u8>('A' + rng.below(52));
+    return bytes;
+}
+
+std::vector<u16>
+referenceStream()
+{
+    // Zipf-ish skew: a few identifiers dominate, like real token streams.
+    SplitMix64 rng(gccSeed ^ 0x5555);
+    std::vector<u16> refs(numRefs);
+    for (auto &r : refs) {
+        const u64 x = rng.below(numIdents);
+        r = static_cast<u16>((x * x) / numIdents);
+    }
+    return refs;
+}
+
+u64
+hashIdent(const u8 *s)
+{
+    u64 h = 0;
+    for (unsigned i = 0; i < identLen; ++i)
+        h = ((h << 5) - h + s[i]) & 0xffffffff;
+    return h;
+}
+
+} // namespace
+
+u64
+gccReference(unsigned reps)
+{
+    const std::vector<u8> idents = identifierBytes();
+    const std::vector<u16> refs = referenceStream();
+    std::vector<u64> table(tableSlots, 0);
+    u64 checksum = 0;
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        for (const u16 ref : refs) {
+            const u64 h = hashIdent(&idents[ref * identLen]);
+            u64 slot = h & (tableSlots - 1);
+            u64 probes = 0;
+            while (true) {
+                const u64 entry = table[slot];
+                if (entry == 0) {
+                    table[slot] = h + 1;    // insert
+                    checksum += slot;
+                    break;
+                }
+                if (entry == h + 1) {       // hit
+                    checksum += probes;
+                    break;
+                }
+                slot = (slot + 1) & (tableSlots - 1);
+                ++probes;
+            }
+        }
+    }
+    return checksum;
+}
+
+Workload
+makeGcc(unsigned reps)
+{
+    Workload w;
+    w.name = "gcc";
+    w.suite = "spec";
+    w.description = "token hashing + symbol table (SPECint95 gcc proxy)";
+    w.build = [reps](Assembler &as) {
+        using namespace wk;
+        // s0=idents, s1=refs, s2=table, s3=reps, s4=checksum.
+        as.la(s0, "idents");
+        as.la(s1, "refs");
+        as.la(s2, "symtab");
+        as.li(s3, static_cast<i64>(reps));
+        as.li(s4, 0);
+
+        as.label("rep");
+        as.beq(s3, "done");
+        as.li(t0, numRefs);                // remaining refs
+        as.mov(t1, s1);                    // ref cursor
+
+        as.label("ref_loop");
+        as.ldwu(t2, 0, t1);                // ident index
+        as.addi(t1, t1, 2);
+        as.slli(t3, t2, 3);                // * identLen
+        as.add(t3, t3, s0);                // ident address
+
+        // h = fold of ((h<<5) - h + c) & 0xffffffff over 8 chars
+        as.li(t4, 0);
+        for (unsigned i = 0; i < identLen; ++i) {
+            as.ldbu(t5, static_cast<i64>(i), t3);
+            as.slli(t6, t4, 5);
+            as.sub(t6, t6, t4);
+            as.add(t4, t6, t5);
+            // mask to 32 bits: zero-extend via shift pair
+            as.slli(t4, t4, 32);
+            as.srli(t4, t4, 32);
+        }
+
+        as.andi(t6, t4, tableSlots - 1);   // slot
+        as.li(t7, 0);                      // probes
+        as.addi(t8, t4, 1);                // h + 1
+
+        as.label("probe");
+        as.slli(t9, t6, 3);
+        as.add(t9, t9, s2);
+        as.ldq(t10, 0, t9);
+        as.bne(t10, "occupied");
+        as.stq(t8, 0, t9);                 // insert
+        as.add(s4, s4, t6);                // checksum += slot
+        as.br("ref_next");
+        as.label("occupied");
+        as.sub(t11, t10, t8);
+        as.bne(t11, "collide");
+        as.add(s4, s4, t7);                // checksum += probes
+        as.br("ref_next");
+        as.label("collide");
+        as.addi(t6, t6, 1);
+        as.andi(t6, t6, tableSlots - 1);
+        as.addi(t7, t7, 1);
+        as.br("probe");
+
+        as.label("ref_next");
+        as.subi(t0, t0, 1);
+        as.bne(t0, "ref_loop");
+
+        as.subi(s3, s3, 1);
+        as.br("rep");
+
+        as.label("done");
+        storeChecksumAndHalt(as, s4, t0);
+
+        emitBytes(as, "idents", identifierBytes());
+        emitWords(as, "refs", [] {
+            std::vector<i16> v;
+            for (const u16 r : referenceStream())
+                v.push_back(static_cast<i16>(r));
+            return v;
+        }());
+        as.alignData(8);
+        as.dataLabel("symtab");
+        as.dataZeros(tableSlots * 8);
+        declareChecksum(as);
+    };
+    return w;
+}
+
+} // namespace nwsim

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * `go` proxy: influence propagation on a 19x19 board with
+ * data-dependent placement/capture rules.
+ *
+ * The rules branch on local stone patterns, which makes the branches as
+ * data-driven (and as poorly predictable) as the original go's move
+ * evaluation — the paper singles go out as "notorious for its poor
+ * branch prediction". Cell values are tiny (0..3) while board addresses
+ * are 33-bit, giving many narrow ops plus the address-calc population.
+ */
+
+#include "workloads/kernels.hh"
+#include "workloads/support.hh"
+
+namespace nwsim
+{
+
+namespace
+{
+
+constexpr unsigned boardDim = 21;   // 19x19 playable + border
+constexpr u64 boardSeed = 0x60;
+
+std::vector<u8>
+goBoard()
+{
+    SplitMix64 rng(boardSeed);
+    std::vector<u8> board(boardDim * boardDim, 3);  // border = 3
+    for (unsigned y = 1; y < boardDim - 1; ++y) {
+        for (unsigned x = 1; x < boardDim - 1; ++x) {
+            const u64 r = rng.below(10);
+            board[y * boardDim + x] =
+                static_cast<u8>(r < 4 ? 0 : (r < 7 ? 1 : 2));
+        }
+    }
+    return board;
+}
+
+} // namespace
+
+u64
+goReference(unsigned reps)
+{
+    std::vector<u8> board = goBoard();
+    u64 checksum = 0;
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        for (unsigned y = 1; y < boardDim - 1; ++y) {
+            for (unsigned x = 1; x < boardDim - 1; ++x) {
+                const size_t idx = y * boardDim + x;
+                const u8 v = board[idx];
+                u64 black = 0, white = 0;
+                const size_t nbr[4] = {idx - boardDim, idx + boardDim,
+                                       idx - 1, idx + 1};
+                for (const size_t n : nbr) {
+                    if (board[n] == 1)
+                        ++black;
+                    else if (board[n] == 2)
+                        ++white;
+                }
+                if (v == 0) {
+                    if (black >= 3) {
+                        board[idx] = 1;
+                        checksum += x;
+                    } else if (white >= 3) {
+                        board[idx] = 2;
+                        checksum += y;
+                    }
+                } else if (v == 1) {
+                    if (white > black + 1) {
+                        board[idx] = 0;
+                        checksum += black;
+                    }
+                } else if (v == 2) {
+                    if (black > white + 1) {
+                        board[idx] = 0;
+                        checksum += white;
+                    }
+                }
+            }
+        }
+    }
+    return checksum;
+}
+
+Workload
+makeGo(unsigned reps)
+{
+    Workload w;
+    w.name = "go";
+    w.suite = "spec";
+    w.description = "board influence propagation (SPECint95 go proxy)";
+    w.build = [reps](Assembler &as) {
+        using namespace wk;
+        as.la(s0, "board");
+        as.li(s1, static_cast<i64>(reps));
+        as.li(s2, 0);                      // checksum
+
+        as.label("rep");
+        as.beq(s1, "done");
+        as.li(s3, 1);                      // y
+
+        as.label("yloop");
+        as.cmplti(t0, s3, boardDim - 1);
+        as.beq(t0, "rep_end");
+        as.li(s4, 1);                      // x
+        as.muli(s5, s3, boardDim);         // row base index
+
+        as.label("xloop");
+        as.add(t1, s5, s4);                // idx
+        as.add(t1, t1, s0);                // cell address
+        as.ldbu(t2, 0, t1);                // v
+        // Count black/white among the four neighbours.
+        as.li(t3, 0);                      // black
+        as.li(t4, 0);                      // white
+        for (const i64 off :
+             {-static_cast<i64>(boardDim), static_cast<i64>(boardDim),
+              i64{-1}, i64{1}}) {
+            as.ldbu(t5, off, t1);
+            as.cmpeqi(t6, t5, 1);
+            as.add(t3, t3, t6);
+            as.cmpeqi(t6, t5, 2);
+            as.add(t4, t4, t6);
+        }
+        as.bne(t2, "occupied");
+        // Empty: claim if >= 3 like-coloured neighbours.
+        as.cmplti(t6, t3, 3);
+        as.bne(t6, "try_white");
+        as.li(t7, 1);
+        as.stb(t7, 0, t1);
+        as.add(s2, s2, s4);                // checksum += x
+        as.br("next");
+        as.label("try_white");
+        as.cmplti(t6, t4, 3);
+        as.bne(t6, "next");
+        as.li(t7, 2);
+        as.stb(t7, 0, t1);
+        as.add(s2, s2, s3);                // checksum += y
+        as.br("next");
+
+        as.label("occupied");
+        as.cmpeqi(t6, t2, 1);
+        as.beq(t6, "check_white_stone");
+        // Black stone: captured if white > black + 1.
+        as.addi(t7, t3, 1);
+        as.cmplt(t8, t7, t4);
+        as.beq(t8, "next");
+        as.stb(zeroReg, 0, t1);
+        as.add(s2, s2, t3);                // checksum += black
+        as.br("next");
+        as.label("check_white_stone");
+        as.cmpeqi(t6, t2, 2);
+        as.beq(t6, "next");
+        as.addi(t7, t4, 1);
+        as.cmplt(t8, t7, t3);
+        as.beq(t8, "next");
+        as.stb(zeroReg, 0, t1);
+        as.add(s2, s2, t4);                // checksum += white
+
+        as.label("next");
+        as.addi(s4, s4, 1);
+        as.cmplti(t0, s4, boardDim - 1);
+        as.bne(t0, "xloop");
+
+        as.addi(s3, s3, 1);
+        as.br("yloop");
+
+        as.label("rep_end");
+        as.subi(s1, s1, 1);
+        as.br("rep");
+
+        as.label("done");
+        storeChecksumAndHalt(as, s2, t0);
+
+        emitBytes(as, "board", goBoard());
+        declareChecksum(as);
+    };
+    return w;
+}
+
+} // namespace nwsim

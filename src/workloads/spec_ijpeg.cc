@@ -1,0 +1,246 @@
+/**
+ * @file
+ * `ijpeg` proxy: 8x8 block transform + quantization over an image.
+ *
+ * Pixels are bytes, level-shifted to [-128, 127]; a three-level
+ * Haar-style butterfly (adds/subs on <= 12-bit intermediates) runs over
+ * rows and columns, then coefficients are quantized by per-band shifts.
+ * This is the narrow-arithmetic-dominated profile that makes ijpeg the
+ * biggest power winner in the paper's Figure 6.
+ */
+
+#include "workloads/kernels.hh"
+#include "workloads/support.hh"
+
+namespace nwsim
+{
+
+namespace
+{
+
+constexpr unsigned imageDim = 128;  // 128x128 pixels = 256 blocks
+constexpr u64 imageSeed = 0x19e6;
+
+std::vector<u8>
+ijpegImage()
+{
+    // Smooth-ish image: neighbouring pixels correlate, so butterfly
+    // differences are small (narrow) like real photographic data.
+    SplitMix64 rng(imageSeed);
+    std::vector<u8> img(imageDim * imageDim);
+    int level = 128;
+    for (auto &p : img) {
+        level += static_cast<int>(rng.range(-9, 9));
+        level = std::max(0, std::min(255, level));
+        p = static_cast<u8>(level);
+    }
+    return img;
+}
+
+/** One three-level Haar butterfly pass over 8 values, in place. */
+template <typename Vec>
+void
+haar8(Vec &v, size_t base, size_t stride)
+{
+    for (unsigned level = 0; level < 3; ++level) {
+        const unsigned half = 4 >> level;
+        i64 tmp[8];
+        for (unsigned i = 0; i < half; ++i) {
+            const i64 a = v[base + (2 * i) * stride];
+            const i64 b = v[base + (2 * i + 1) * stride];
+            tmp[i] = a + b;
+            tmp[half + i] = a - b;
+        }
+        for (unsigned i = 0; i < 2 * half; ++i)
+            v[base + i * stride] = tmp[i];
+    }
+}
+
+} // namespace
+
+u64
+ijpegReference(unsigned reps)
+{
+    const std::vector<u8> img = ijpegImage();
+    u64 checksum = 0;
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        for (unsigned by = 0; by < imageDim; by += 8) {
+            for (unsigned bx = 0; bx < imageDim; bx += 8) {
+                i64 block[64];
+                for (unsigned y = 0; y < 8; ++y)
+                    for (unsigned x = 0; x < 8; ++x)
+                        block[y * 8 + x] =
+                            static_cast<i64>(
+                                img[(by + y) * imageDim + bx + x]) -
+                            128;
+                for (unsigned y = 0; y < 8; ++y)
+                    haar8(block, y * 8, 1);
+                for (unsigned x = 0; x < 8; ++x)
+                    haar8(block, x, 8);
+                for (unsigned i = 0; i < 64; ++i) {
+                    const unsigned shift = (i % 8) / 2 + (i / 8) / 2;
+                    const i64 q = block[i] >> shift;
+                    checksum += static_cast<u64>(q < 0 ? -q : q);
+                }
+            }
+        }
+    }
+    return checksum;
+}
+
+Workload
+makeIjpeg(unsigned reps)
+{
+    Workload w;
+    w.name = "ijpeg";
+    w.suite = "spec";
+    w.description = "8x8 transform + quantization (SPECint95 ijpeg proxy)";
+    w.build = [reps](Assembler &as) {
+        using namespace wk;
+        // s0=image, s1=block scratch, s2=reps, s3=checksum,
+        // s4=by, s5=bx, s6/s7 loop temps.
+        as.la(s0, "image");
+        as.la(s1, "block");
+        as.li(s2, static_cast<i64>(reps));
+        as.li(s3, 0);
+
+        as.label("rep");
+        as.beq(s2, "done");
+        as.li(s4, 0);                          // by
+
+        as.label("by_loop");
+        as.cmplti(t0, s4, imageDim);
+        as.beq(t0, "rep_end");
+        as.li(s5, 0);                          // bx
+
+        as.label("bx_loop");
+        as.cmplti(t0, s5, imageDim);
+        as.beq(t0, "by_end");
+
+        // ---- Load block, level shift: block[y*8+x] = pix - 128 -------
+        // (bottom-tested; the x direction is fully unrolled)
+        as.li(s6, 0);                          // y
+        as.label("load_y");
+        as.add(t1, s4, s6);                    // by + y
+        as.slli(t1, t1, 7);                    // * imageDim (128)
+        as.add(t1, t1, s5);                    // + bx
+        as.add(t1, t1, s0);                    // pixel row address
+        as.slli(t2, s6, 6);                    // y*8 quads = y*64 bytes
+        as.add(t2, t2, s1);                    // block row address
+        for (unsigned x = 0; x < 8; ++x) {
+            as.ldbu(t3, static_cast<i64>(x), t1);
+            as.subi(t3, t3, 128);
+            as.stq(t3, static_cast<i64>(8 * x), t2);
+        }
+        as.addi(s6, s6, 1);
+        as.cmplti(t0, s6, 8);
+        as.bne(t0, "load_y");
+
+        // ---- Row then column butterflies ------------------------------
+        // call haar8(base=r13(a0) addr, stride bytes=r14(a1))
+        as.li(s6, 0);
+        as.label("row_tr");
+        as.slli(a0, s6, 6);
+        as.add(a0, a0, s1);
+        as.li(a1, 3);                          // log2(row stride 8B)
+        as.call("haar8");
+        as.addi(s6, s6, 1);
+        as.cmplti(t0, s6, 8);
+        as.bne(t0, "row_tr");
+
+        as.li(s6, 0);
+        as.label("col_tr");
+        as.slli(a0, s6, 3);
+        as.add(a0, a0, s1);
+        as.li(a1, 6);                          // log2(col stride 64B)
+        as.call("haar8");
+        as.addi(s6, s6, 1);
+        as.cmplti(t0, s6, 8);
+        as.bne(t0, "col_tr");
+
+        // ---- Quantize + accumulate |q| --------------------------------
+        // (bottom-tested, unrolled 4x: independent narrow shift/add
+        // work that the packing issue stage can merge)
+        as.li(s6, 0);                          // i
+        as.label("quant");
+        for (unsigned u = 0; u < 4; ++u) {
+            const RegIndex qv = static_cast<RegIndex>(t2 + 3 * u);
+            const RegIndex sh = static_cast<RegIndex>(t3 + 3 * u);
+            const RegIndex mk = static_cast<RegIndex>(t4 + 3 * u);
+            as.addi(t1, s6, static_cast<i64>(u));
+            as.slli(t1, t1, 3);
+            as.add(t1, t1, s1);
+            as.ldq(qv, 0, t1);
+            // shift = (i%8)/2 + (i/8)/2
+            as.addi(sh, s6, static_cast<i64>(u));
+            as.andi(sh, sh, 7);
+            as.srli(sh, sh, 1);
+            as.addi(mk, s6, static_cast<i64>(u));
+            as.srli(mk, mk, 3);
+            as.srli(mk, mk, 1);
+            as.add(sh, sh, mk);
+            as.sra(qv, qv, sh);
+            // |q|: m = q >> 63; abs = (q ^ m) - m
+            as.srai(mk, qv, 63);
+            as.xor_(qv, qv, mk);
+            as.sub(qv, qv, mk);
+            as.add(s3, s3, qv);
+        }
+        as.addi(s6, s6, 4);
+        as.cmplti(t0, s6, 64);
+        as.bne(t0, "quant");
+
+        as.addi(s5, s5, 8);
+        as.br("bx_loop");
+
+        as.label("by_end");
+        as.addi(s4, s4, 8);
+        as.br("by_loop");
+
+        as.label("rep_end");
+        as.subi(s2, s2, 1);
+        as.br("rep");
+
+        as.label("done");
+        storeChecksumAndHalt(as, s3, t0);
+
+        // ---- haar8(a0 = base address, a1 = log2 stride) ---------------
+        // Three butterfly levels over 8 quads using t-registers only.
+        // Element address j: a0 + (j << a1) (shift/add, as a compiler
+        // would strength-reduce it).
+        auto elem_addr = [&](RegIndex dst, unsigned j) {
+            as.li(dst, static_cast<i64>(j));
+            as.sll(dst, dst, a1);
+            as.add(dst, dst, a0);
+        };
+        as.label("haar8");
+        for (unsigned level = 0; level < 3; ++level) {
+            const unsigned half = 4 >> level;
+            // Load the active 2*half elements, butterfly in registers,
+            // store back: tmp[i] = a+b, tmp[half+i] = a-b.
+            // Use t0..t7 as the element registers (max 8 live).
+            for (unsigned i = 0; i < half; ++i) {
+                elem_addr(t8, 2 * i);
+                as.ldq(t9, 0, t8);             // a
+                elem_addr(t10, 2 * i + 1);
+                as.ldq(t11, 0, t10);           // b
+                as.add(static_cast<RegIndex>(t0 + i), t9, t11);
+                as.sub(static_cast<RegIndex>(t0 + half + i), t9, t11);
+            }
+            for (unsigned i = 0; i < 2 * half; ++i) {
+                elem_addr(t8, i);
+                as.stq(static_cast<RegIndex>(t0 + i), 0, t8);
+            }
+        }
+        as.ret();
+
+        emitBytes(as, "image", ijpegImage());
+        as.alignData(8);
+        as.dataLabel("block");
+        as.dataZeros(64 * 8);
+        declareChecksum(as);
+    };
+    return w;
+}
+
+} // namespace nwsim

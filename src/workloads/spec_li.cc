@@ -1,0 +1,163 @@
+/**
+ * @file
+ * `xlisp` proxy: cons-cell list construction, recursive reduction, and
+ * filtering.
+ *
+ * Cells are {value, next} pairs carved from an arena above 2^32, so the
+ * kernel chases 33-bit pointers while the boxed values stay tiny —
+ * lisp's classic operand profile. The recursive sum exercises the
+ * return-address stack through real call/return pairs.
+ */
+
+#include "workloads/kernels.hh"
+#include "workloads/support.hh"
+
+namespace nwsim
+{
+
+namespace
+{
+
+constexpr unsigned listLen = 2000;
+constexpr u64 listSeed = 0x115b;
+
+std::vector<u64>
+listValues()
+{
+    SplitMix64 rng(listSeed);
+    std::vector<u64> vals(listLen);
+    for (auto &v : vals)
+        v = rng.below(1000);
+    return vals;
+}
+
+} // namespace
+
+u64
+liReference(unsigned reps)
+{
+    const std::vector<u64> vals = listValues();
+    u64 checksum = 0;
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        // cons the list (front insertion), recursive sum, filter odds,
+        // sum the filtered list.
+        u64 sum = 0;
+        for (const u64 v : vals)
+            sum += v + rep;
+        u64 odd_sum = 0;
+        u64 odd_count = 0;
+        for (const u64 v : vals) {
+            if ((v + rep) & 1) {
+                odd_sum += v + rep;
+                ++odd_count;
+            }
+        }
+        checksum += sum + 3 * odd_sum + odd_count;
+    }
+    return checksum;
+}
+
+Workload
+makeLi(unsigned reps)
+{
+    Workload w;
+    w.name = "li";
+    w.suite = "spec";
+    w.description = "cons-cell list interpreter core (SPECint95 xlisp "
+                    "proxy)";
+    w.build = [reps](Assembler &as) {
+        using namespace wk;
+        // s0=values array, s1=arena, s2=reps counter, s3=checksum,
+        // s4=rep index (0..reps-1), s5=list head, s6=arena cursor.
+        as.la(s0, "values");
+        as.la(s1, "arena");
+        as.li(s2, static_cast<i64>(reps));
+        as.li(s3, 0);
+        as.li(s4, 0);
+
+        as.label("rep");
+        as.beq(s2, "done");
+
+        // ---- cons the list: head = nil; for i: head = cons(v+rep, head)
+        as.li(s5, 0);                      // head = nil (0)
+        as.mov(s6, s1);                    // arena cursor
+        as.li(t0, listLen);                // i
+        as.mov(t1, s0);                    // value cursor
+        as.label("cons_loop");
+        as.ldq(t2, 0, t1);                 // v
+        as.add(t2, t2, s4);                // v + rep
+        as.stq(t2, 0, s6);                 // cell.value
+        as.stq(s5, 8, s6);                 // cell.next = head
+        as.mov(s5, s6);                    // head = cell
+        as.addi(s6, s6, 16);
+        as.addi(t1, t1, 8);
+        as.subi(t0, t0, 1);
+        as.bne(t0, "cons_loop");
+
+        // ---- recursive sum: a0 = head -> v0 = sum ----------------------
+        as.mov(a0, s5);
+        as.call("sum_list");
+        as.add(s3, s3, v0);                // checksum += sum
+
+        // ---- filter odds into a new list, count them -------------------
+        as.mov(t1, s5);                    // walker
+        as.li(s7, 0);                      // filtered head
+        as.li(s8, 0);                      // odd count
+        as.label("filt_loop");
+        as.beq(t1, "filt_done");
+        as.ldq(t2, 0, t1);                 // value
+        as.andi(t3, t2, 1);
+        as.beq(t3, "filt_next");
+        as.stq(t2, 0, s6);                 // new cell
+        as.stq(s7, 8, s6);
+        as.mov(s7, s6);
+        as.addi(s6, s6, 16);
+        as.addi(s8, s8, 1);
+        as.label("filt_next");
+        as.ldq(t1, 8, t1);                 // walker = next
+        as.br("filt_loop");
+        as.label("filt_done");
+
+        // ---- recursive sum of the filtered list, weighted 3x ------------
+        as.mov(a0, s7);
+        as.call("sum_list");
+        as.muli(t4, v0, 3);
+        as.add(s3, s3, t4);
+        as.add(s3, s3, s8);                // + odd count
+
+        as.addi(s4, s4, 1);
+        as.subi(s2, s2, 1);
+        as.br("rep");
+
+        as.label("done");
+        storeChecksumAndHalt(as, s3, t0);
+
+        // ---- u64 sum_list(cell *a0): recursive ------------------------
+        // if (!a0) return 0; return a0->value + sum_list(a0->next);
+        as.label("sum_list");
+        as.bne(a0, "sl_rec");
+        as.li(v0, 0);
+        as.ret();
+        as.label("sl_rec");
+        as.subi(spReg, spReg, 16);
+        as.stq(raReg, 0, spReg);           // save ra
+        as.ldq(t5, 0, a0);                 // value
+        as.stq(t5, 8, spReg);              // save value
+        as.ldq(a0, 8, a0);                 // next
+        as.call("sum_list");
+        as.ldq(t5, 8, spReg);
+        as.add(v0, v0, t5);
+        as.ldq(raReg, 0, spReg);
+        as.addi(spReg, spReg, 16);
+        as.ret();
+
+        emitQuads(as, "values", listValues());
+        as.alignData(16);
+        as.dataLabel("arena");
+        as.dataZeros(2 * listLen * 16 + 64);
+        declareChecksum(as);
+    };
+    return w;
+}
+
+} // namespace nwsim

@@ -1,0 +1,305 @@
+/**
+ * @file
+ * `m88ksim` proxy: a bytecode-VM interpreter (a simulator simulating a
+ * simulator, like the original Motorola 88K simulator running
+ * dhrystone).
+ *
+ * Dispatch goes through an in-memory jump table via indirect jumps,
+ * exercising the BTB; VM registers live in memory; the guest program is
+ * a deterministic arithmetic loop.
+ */
+
+#include "workloads/kernels.hh"
+#include "workloads/support.hh"
+
+namespace nwsim
+{
+
+namespace
+{
+
+enum VmOp : u8
+{
+    VM_HALT = 0,
+    VM_LI,
+    VM_ADD,
+    VM_SUB,
+    VM_XOR,
+    VM_AND,
+    VM_SHL,
+    VM_SHR,
+    VM_ADDI,
+    VM_BNZ,
+    VM_MULL,
+    VM_NUM_OPS,
+};
+
+constexpr u64 vmSeed = 0x88c;
+constexpr unsigned vmBodyOps = 100;
+constexpr unsigned vmIterations = 200;
+
+u32
+vmEncode(u8 op, u8 a, u8 b, u8 c)
+{
+    return static_cast<u32>(op) | (static_cast<u32>(a) << 8) |
+           (static_cast<u32>(b) << 16) | (static_cast<u32>(c) << 24);
+}
+
+std::vector<u32>
+vmProgram()
+{
+    SplitMix64 rng(vmSeed);
+    std::vector<u32> prog;
+    for (u8 r = 0; r < 7; ++r)
+        prog.push_back(vmEncode(VM_LI, r, static_cast<u8>(rng.below(200)),
+                                0));
+    prog.push_back(vmEncode(VM_LI, 7, vmIterations, 0));
+    const size_t loop_start = prog.size();
+    for (unsigned i = 0; i < vmBodyOps; ++i) {
+        const u8 op = static_cast<u8>(2 + rng.below(VM_NUM_OPS - 2));
+        const u8 a = static_cast<u8>(1 + rng.below(6));
+        const u8 b = static_cast<u8>(rng.below(8));
+        const u8 c = static_cast<u8>(rng.below(8));
+        // Keep the loop counter (VM r7) written only by the loop tail.
+        prog.push_back(vmEncode(
+            op == VM_BNZ ? static_cast<u8>(VM_XOR) : op, a, b, c));
+    }
+    prog.push_back(vmEncode(VM_ADDI, 7, 7, 0xff));   // counter -= 1
+    const i64 disp = static_cast<i64>(loop_start) -
+                     static_cast<i64>(prog.size());
+    prog.push_back(
+        vmEncode(VM_BNZ, 7, static_cast<u8>(disp & 0xff), 0));
+    prog.push_back(vmEncode(VM_HALT, 0, 0, 0));
+    return prog;
+}
+
+/** C++ mirror of the assembly interpreter's semantics. */
+u64
+vmRun(const std::vector<u32> &prog)
+{
+    u64 regs[8] = {};
+    size_t pc = 0;
+    while (true) {
+        const u32 w = prog[pc];
+        const u8 op = static_cast<u8>(w);
+        const u8 a = static_cast<u8>(w >> 8);
+        const u8 b = static_cast<u8>(w >> 16);
+        const u8 c = static_cast<u8>(w >> 24);
+        switch (op) {
+          case VM_HALT: {
+            u64 x = 0;
+            for (const u64 r : regs)
+                x ^= r;
+            return x;
+          }
+          case VM_LI:
+            regs[a] = b;
+            break;
+          case VM_ADD:
+            regs[a] = regs[b] + regs[c & 7];
+            break;
+          case VM_SUB:
+            regs[a] = regs[b] - regs[c & 7];
+            break;
+          case VM_XOR:
+            regs[a] = regs[b] ^ regs[c & 7];
+            break;
+          case VM_AND:
+            regs[a] = regs[b] & regs[c & 7];
+            break;
+          case VM_SHL:
+            regs[a] = regs[b] << (c & 7);
+            break;
+          case VM_SHR:
+            regs[a] = regs[b] >> (c & 7);
+            break;
+          case VM_ADDI:
+            regs[a] = regs[b] + sext(c, 8);
+            break;
+          case VM_BNZ:
+            if (regs[a] != 0) {
+                pc = static_cast<size_t>(static_cast<i64>(pc) +
+                                         static_cast<i64>(sext(b, 8)));
+                continue;
+            }
+            break;
+          case VM_MULL:
+            regs[a] = (regs[b] * regs[c & 7]) & 0xffff;
+            break;
+          default:
+            break;
+        }
+        ++pc;
+    }
+}
+
+} // namespace
+
+u64
+m88ksimReference(unsigned reps)
+{
+    const std::vector<u32> prog = vmProgram();
+    u64 checksum = 0;
+    for (unsigned rep = 0; rep < reps; ++rep)
+        checksum += vmRun(prog) + rep;
+    return checksum;
+}
+
+Workload
+makeM88ksim(unsigned reps)
+{
+    Workload w;
+    w.name = "m88ksim";
+    w.suite = "spec";
+    w.description = "bytecode-VM interpreter (SPECint95 m88ksim proxy)";
+    w.build = [reps](Assembler &as) {
+        using namespace wk;
+        // s0=bytecode, s1=vmregs, s2=jump table, s3=reps, s4=checksum,
+        // s5=rep index. t0=vmpc.
+        as.la(s0, "bytecode");
+        as.la(s1, "vmregs");
+        as.la(s2, "jumptab");
+        as.li(s3, static_cast<i64>(reps));
+        as.li(s4, 0);
+        as.li(s5, 0);
+
+        as.label("rep");
+        as.beq(s3, "done");
+        as.li(t0, 0);                      // vmpc
+
+        as.label("dispatch");
+        as.slli(t1, t0, 2);
+        as.add(t1, t1, s0);
+        as.ldbu(t2, 0, t1);                // op
+        as.ldbu(t3, 1, t1);                // a
+        as.ldbu(t4, 2, t1);                // b
+        as.ldbu(t5, 3, t1);                // c
+        as.slli(t6, t2, 3);
+        as.add(t6, t6, s2);
+        as.ldq(t6, 0, t6);                 // handler address
+        as.jmp(zeroReg, t6);
+
+        // Helpers shared by handlers (as emitted C++ lambdas):
+        auto vm_read = [&](RegIndex dst, RegIndex idx_reg) {
+            as.andi(t8, idx_reg, 7);
+            as.slli(t8, t8, 3);
+            as.add(t8, t8, s1);
+            as.ldq(dst, 0, t8);
+        };
+        auto vm_write_a = [&](RegIndex src) {
+            as.slli(t8, t3, 3);
+            as.add(t8, t8, s1);
+            as.stq(src, 0, t8);
+        };
+        auto next = [&] {
+            as.addi(t0, t0, 1);
+            as.br("dispatch");
+        };
+
+        as.label("vh_halt");
+        // checksum += xor of VM regs + rep
+        as.li(t9, 0);
+        for (unsigned r = 0; r < 8; ++r) {
+            as.ldq(t8, static_cast<i64>(8 * r), s1);
+            as.xor_(t9, t9, t8);
+        }
+        as.add(s4, s4, t9);
+        as.add(s4, s4, s5);
+        as.addi(s5, s5, 1);
+        as.subi(s3, s3, 1);
+        as.br("rep");
+
+        as.label("vh_li");
+        vm_write_a(t4);
+        next();
+
+        as.label("vh_add");
+        vm_read(t9, t4);
+        vm_read(t10, t5);
+        as.add(t9, t9, t10);
+        vm_write_a(t9);
+        next();
+
+        as.label("vh_sub");
+        vm_read(t9, t4);
+        vm_read(t10, t5);
+        as.sub(t9, t9, t10);
+        vm_write_a(t9);
+        next();
+
+        as.label("vh_xor");
+        vm_read(t9, t4);
+        vm_read(t10, t5);
+        as.xor_(t9, t9, t10);
+        vm_write_a(t9);
+        next();
+
+        as.label("vh_and");
+        vm_read(t9, t4);
+        vm_read(t10, t5);
+        as.and_(t9, t9, t10);
+        vm_write_a(t9);
+        next();
+
+        as.label("vh_shl");
+        vm_read(t9, t4);
+        as.andi(t10, t5, 7);
+        as.sll(t9, t9, t10);
+        vm_write_a(t9);
+        next();
+
+        as.label("vh_shr");
+        vm_read(t9, t4);
+        as.andi(t10, t5, 7);
+        as.srl(t9, t9, t10);
+        vm_write_a(t9);
+        next();
+
+        as.label("vh_addi");
+        vm_read(t9, t4);
+        as.sextb(t10, t5);
+        as.add(t9, t9, t10);
+        vm_write_a(t9);
+        next();
+
+        as.label("vh_bnz");
+        vm_read(t9, t3);
+        as.beq(t9, "bnz_not_taken");
+        as.sextb(t10, t4);
+        as.add(t0, t0, t10);
+        as.br("dispatch");
+        as.label("bnz_not_taken");
+        next();
+
+        as.label("vh_mull");
+        vm_read(t9, t4);
+        vm_read(t10, t5);
+        as.mul(t9, t9, t10);
+        as.andi(t9, t9, 0xffff);
+        vm_write_a(t9);
+        next();
+
+        as.label("done");
+        storeChecksumAndHalt(as, s4, t0);
+
+        // ---- Data -------------------------------------------------------
+        as.alignData(8);
+        as.dataLabel("bytecode");
+        for (const u32 word : vmProgram())
+            as.dataLong(word);
+        as.alignData(8);
+        as.dataLabel("vmregs");
+        as.dataZeros(8 * 8);
+        as.alignData(8);
+        as.dataLabel("jumptab");
+        for (const char *h :
+             {"vh_halt", "vh_li", "vh_add", "vh_sub", "vh_xor", "vh_and",
+              "vh_shl", "vh_shr", "vh_addi", "vh_bnz", "vh_mull"}) {
+            as.dataQuadSym(h);
+        }
+        declareChecksum(as);
+    };
+    return w;
+}
+
+} // namespace nwsim

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * `perl` proxy: scrabble-game word scoring over a dictionary (the
+ * paper's perl input is a scrabble game).
+ *
+ * Byte-string traversal, letter-value table lookups, position-dependent
+ * multipliers, and running-max comparisons: string-processing integer
+ * code with small values throughout.
+ */
+
+#include "workloads/kernels.hh"
+#include "workloads/support.hh"
+
+namespace nwsim
+{
+
+namespace
+{
+
+constexpr unsigned numWords = 2000;
+constexpr unsigned maxWordLen = 9;      // padded records, NUL-terminated
+constexpr u64 perlSeed = 0x9e71;
+
+const u8 letterScores[26] = {1, 3, 3, 2, 1, 4, 2, 4, 1, 8, 5, 1, 3,
+                             1, 1, 3, 10, 1, 1, 1, 1, 4, 4, 8, 4, 10};
+
+std::vector<u8>
+dictionary()
+{
+    SplitMix64 rng(perlSeed);
+    std::vector<u8> dict(numWords * maxWordLen, 0);
+    for (unsigned w = 0; w < numWords; ++w) {
+        const unsigned len = 2 + static_cast<unsigned>(rng.below(7));
+        for (unsigned i = 0; i < len; ++i)
+            dict[w * maxWordLen + i] =
+                static_cast<u8>('a' + rng.below(26));
+    }
+    return dict;
+}
+
+} // namespace
+
+u64
+perlReference(unsigned reps)
+{
+    const std::vector<u8> dict = dictionary();
+    u64 checksum = 0;
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        u64 best = 0;
+        u64 best_index = 0;
+        for (unsigned w = 0; w < numWords; ++w) {
+            u64 score = 0;
+            for (unsigned i = 0; i < maxWordLen; ++i) {
+                const u8 c = dict[w * maxWordLen + i];
+                if (c == 0)
+                    break;
+                u64 s = letterScores[c - 'a'];
+                if (i % 3 == 0)
+                    s *= 2;             // double-letter squares
+                score += s;
+            }
+            if ((w + rep) % 7 == 0)
+                score *= 3;             // triple-word square
+            if (score > best) {
+                best = score;
+                best_index = w;
+            }
+            checksum += score;
+        }
+        checksum += best * 5 + best_index;
+    }
+    return checksum;
+}
+
+Workload
+makePerl(unsigned reps)
+{
+    Workload w;
+    w.name = "perl";
+    w.suite = "spec";
+    w.description = "scrabble word scoring (SPECint95 perl proxy)";
+    w.build = [reps](Assembler &as) {
+        using namespace wk;
+        // s0=dict, s1=scores, s2=reps, s3=checksum, s4=rep index.
+        as.la(s0, "dict");
+        as.la(s1, "scores");
+        as.li(s2, static_cast<i64>(reps));
+        as.li(s3, 0);
+        as.li(s4, 0);
+
+        as.label("rep");
+        as.beq(s2, "done");
+        as.li(s5, 0);                      // best
+        as.li(s6, 0);                      // best_index
+        as.li(t0, 0);                      // w
+        as.mov(t1, s0);                    // word cursor
+        // s7 = (w + rep) mod 7, strength-reduced (one real rem per rep,
+        // then a rolling counter — what -O5 would emit).
+        as.li(t9, 7);
+        as.rem(s7, s4, t9);
+
+        as.label("word_loop");
+        as.li(t3, 0);                      // score
+        as.li(t4, 0);                      // i
+        as.li(t8, 0);                      // i mod 3 (rolling)
+        as.label("char_loop");
+        as.add(t5, t1, t4);
+        as.ldbu(t6, 0, t5);                // c
+        as.beq(t6, "word_scored");         // NUL terminator
+        as.subi(t6, t6, 'a');
+        as.add(t6, t6, s1);
+        as.ldbu(t7, 0, t6);                // letter score
+        // i % 3 == 0 -> double letter
+        as.bne(t8, "no_double");
+        as.slli(t7, t7, 1);
+        as.label("no_double");
+        as.add(t3, t3, t7);
+        as.addi(t8, t8, 1);
+        as.cmplti(t9, t8, 3);
+        as.bne(t9, "mod3_ok");
+        as.li(t8, 0);
+        as.label("mod3_ok");
+        as.addi(t4, t4, 1);
+        as.cmplti(t2, t4, maxWordLen);
+        as.bne(t2, "char_loop");
+
+        as.label("word_scored");
+        // (w + rep) % 7 == 0 -> triple word (rolling counter in s7)
+        as.bne(s7, "no_triple");
+        as.muli(t3, t3, 3);
+        as.label("no_triple");
+        as.addi(s7, s7, 1);
+        as.cmplti(t9, s7, 7);
+        as.bne(t9, "mod7_ok");
+        as.li(s7, 0);
+        as.label("mod7_ok");
+        // best tracking
+        as.cmplt(t11, s5, t3);
+        as.beq(t11, "not_best");
+        as.mov(s5, t3);
+        as.mov(s6, t0);
+        as.label("not_best");
+        as.add(s3, s3, t3);                // checksum += score
+        as.addi(t0, t0, 1);
+        as.addi(t1, t1, maxWordLen);
+        as.cmplti(t2, t0, numWords);
+        as.bne(t2, "word_loop");
+
+        as.muli(t2, s5, 5);
+        as.add(s3, s3, t2);
+        as.add(s3, s3, s6);
+        as.addi(s4, s4, 1);
+        as.subi(s2, s2, 1);
+        as.br("rep");
+
+        as.label("done");
+        storeChecksumAndHalt(as, s3, t0);
+
+        emitBytes(as, "dict", dictionary());
+        emitBytes(as, "scores",
+                  std::vector<u8>(letterScores, letterScores + 26));
+        declareChecksum(as);
+    };
+    return w;
+}
+
+} // namespace nwsim

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * `vortex` proxy: an object store of sorted fixed-size records served
+ * by binary-search queries with field updates.
+ *
+ * Binary search gives data-dependent, hard-to-predict branches; record
+ * addressing gives the 33-bit address-arithmetic population; hit
+ * counters give read-modify-write store traffic.
+ */
+
+#include "workloads/kernels.hh"
+#include "workloads/support.hh"
+
+namespace nwsim
+{
+
+namespace
+{
+
+constexpr unsigned numRecords = 8192;
+constexpr unsigned recordBytes = 32;    // key u32, val u32, hits u32, pad
+constexpr unsigned numQueries = 4000;
+constexpr u64 vortexSeed = 0x407e;
+
+std::vector<u32>
+recordKeys()
+{
+    // Strictly increasing keys with random gaps.
+    SplitMix64 rng(vortexSeed);
+    std::vector<u32> keys(numRecords);
+    u32 k = 5;
+    for (auto &key : keys) {
+        k += 3 + static_cast<u32>(rng.below(40));
+        key = k;
+    }
+    return keys;
+}
+
+std::vector<u32>
+queryKeys()
+{
+    // Mix of hits (exact keys) and misses.
+    const std::vector<u32> keys = recordKeys();
+    SplitMix64 rng(vortexSeed ^ 0xabcd);
+    std::vector<u32> out(numQueries);
+    for (auto &q : out) {
+        if (rng.below(3) != 0)
+            q = keys[rng.below(numRecords)];
+        else
+            q = static_cast<u32>(rng.below(keys.back() + 100));
+    }
+    return out;
+}
+
+} // namespace
+
+u64
+vortexReference(unsigned reps)
+{
+    const std::vector<u32> keys = recordKeys();
+    const std::vector<u32> queries = queryKeys();
+    std::vector<u32> vals(numRecords);
+    std::vector<u32> hits(numRecords, 0);
+    SplitMix64 rng(vortexSeed ^ 0x77);
+    for (auto &v : vals)
+        v = static_cast<u32>(rng.below(10000));
+
+    u64 checksum = 0;
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        for (const u32 q : queries) {
+            i64 lo = 0, hi = numRecords - 1;
+            bool found = false;
+            while (lo <= hi) {
+                const i64 mid = (lo + hi) >> 1;
+                const u32 k = keys[static_cast<size_t>(mid)];
+                if (k == q) {
+                    checksum += vals[static_cast<size_t>(mid)];
+                    hits[static_cast<size_t>(mid)] += 1;
+                    found = true;
+                    break;
+                }
+                if (k < q)
+                    lo = mid + 1;
+                else
+                    hi = mid - 1;
+            }
+            if (!found)
+                checksum += 1;
+        }
+    }
+    for (unsigned r = 0; r < numRecords; ++r)
+        checksum += hits[r] * (r & 15);
+    return checksum;
+}
+
+Workload
+makeVortex(unsigned reps)
+{
+    Workload w;
+    w.name = "vortex";
+    w.suite = "spec";
+    w.description = "record store with binary-search queries (SPECint95 "
+                    "vortex proxy)";
+    w.build = [reps](Assembler &as) {
+        using namespace wk;
+        // Record layout: key @0 (u32), val @4 (u32), hits @8 (u32).
+        // s0=records, s1=queries, s2=reps, s3=checksum.
+        as.la(s0, "records");
+        as.la(s1, "queries");
+        as.li(s2, static_cast<i64>(reps));
+        as.li(s3, 0);
+
+        as.label("rep");
+        as.beq(s2, "done");
+        as.li(t0, numQueries);
+        as.mov(t1, s1);
+
+        as.label("query_loop");
+        as.ldl(t2, 0, t1);                 // q
+        as.addi(t1, t1, 4);
+        as.li(t3, 0);                      // lo
+        as.li(t4, numRecords - 1);         // hi
+
+        as.label("search");
+        as.cmple(t5, t3, t4);
+        as.beq(t5, "miss");
+        as.add(t6, t3, t4);
+        as.srai(t6, t6, 1);                // mid
+        as.slli(t7, t6, 5);                // * recordBytes
+        as.add(t7, t7, s0);                // record address
+        as.ldl(t8, 0, t7);                 // key
+        as.sub(t9, t8, t2);
+        as.bne(t9, "not_equal");
+        as.ldl(t10, 4, t7);                // val
+        as.add(s3, s3, t10);
+        as.ldl(t10, 8, t7);                // hits++
+        as.addi(t10, t10, 1);
+        as.stl(t10, 8, t7);
+        as.br("query_next");
+        as.label("not_equal");
+        as.blt(t9, "go_right");            // key < q
+        as.subi(t4, t6, 1);                // hi = mid - 1
+        as.br("search");
+        as.label("go_right");
+        as.addi(t3, t6, 1);                // lo = mid + 1
+        as.br("search");
+
+        as.label("miss");
+        as.addi(s3, s3, 1);
+
+        as.label("query_next");
+        as.subi(t0, t0, 1);
+        as.bne(t0, "query_loop");
+
+        as.subi(s2, s2, 1);
+        as.br("rep");
+
+        as.label("done");
+        // Fold hit counters into the checksum.
+        as.li(t0, 0);                      // r
+        as.mov(t1, s0);
+        as.label("fold");
+        as.cmplti(t2, t0, numRecords);
+        as.beq(t2, "fold_done");
+        as.ldl(t3, 8, t1);
+        as.andi(t4, t0, 15);
+        as.mul(t5, t3, t4);
+        as.add(s3, s3, t5);
+        as.addi(t0, t0, 1);
+        as.addi(t1, t1, recordBytes);
+        as.br("fold");
+        as.label("fold_done");
+        storeChecksumAndHalt(as, s3, t0);
+
+        // ---- Data: interleaved records ---------------------------------
+        {
+            const std::vector<u32> keys = recordKeys();
+            std::vector<u32> vals(numRecords);
+            SplitMix64 rng(vortexSeed ^ 0x77);
+            for (auto &v : vals)
+                v = static_cast<u32>(rng.below(10000));
+            as.alignData(8);
+            as.dataLabel("records");
+            for (unsigned r = 0; r < numRecords; ++r) {
+                as.dataLong(keys[r]);
+                as.dataLong(vals[r]);
+                as.dataLong(0);            // hits
+                as.dataLong(0);            // padding
+                as.dataQuad(0);            // payload
+                as.dataQuad(0);
+            }
+            as.alignData(8);
+            as.dataLabel("queries");
+            for (const u32 q : queryKeys())
+                as.dataLong(q);
+        }
+        declareChecksum(as);
+    };
+    return w;
+}
+
+} // namespace nwsim

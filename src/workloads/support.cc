@@ -1,0 +1,71 @@
+#include "workloads/support.hh"
+
+namespace nwsim::wk
+{
+
+std::vector<u8>
+randomBytes(u64 seed, size_t count, u8 lo, u8 hi)
+{
+    SplitMix64 rng(seed);
+    std::vector<u8> out(count);
+    for (auto &b : out)
+        b = static_cast<u8>(rng.range(lo, hi));
+    return out;
+}
+
+std::vector<i16>
+randomSamples(u64 seed, size_t count, i16 lo, i16 hi)
+{
+    SplitMix64 rng(seed);
+    std::vector<i16> out(count);
+    for (auto &s : out)
+        s = static_cast<i16>(rng.range(lo, hi));
+    return out;
+}
+
+void
+emitBytes(Assembler &as, const std::string &label,
+          const std::vector<u8> &bytes)
+{
+    as.alignData(8);
+    as.dataLabel(label);
+    as.dataBytes(bytes);
+}
+
+void
+emitWords(Assembler &as, const std::string &label,
+          const std::vector<i16> &words)
+{
+    as.alignData(8);
+    as.dataLabel(label);
+    for (i16 w : words)
+        as.dataWord(static_cast<u16>(w));
+}
+
+void
+emitQuads(Assembler &as, const std::string &label,
+          const std::vector<u64> &quads)
+{
+    as.alignData(8);
+    as.dataLabel(label);
+    for (u64 q : quads)
+        as.dataQuad(q);
+}
+
+void
+declareChecksum(Assembler &as)
+{
+    as.alignData(8);
+    as.dataLabel("checksum");
+    as.dataQuad(0);
+}
+
+void
+storeChecksumAndHalt(Assembler &as, RegIndex value_reg, RegIndex scratch)
+{
+    as.la(scratch, "checksum");
+    as.stq(value_reg, 0, scratch);
+    as.halt();
+}
+
+} // namespace nwsim::wk

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Shared helpers for the workload kernels: register aliases,
+ * deterministic input-data generators, and the common checksum/halt
+ * epilogue every kernel ends with.
+ */
+
+#ifndef NWSIM_WORKLOADS_SUPPORT_HH
+#define NWSIM_WORKLOADS_SUPPORT_HH
+
+#include <vector>
+
+#include "asm/assembler.hh"
+#include "common/rng.hh"
+
+namespace nwsim::wk
+{
+
+// Readable register aliases for hand-written kernels. r26 is the return
+// address, r30 the stack pointer, r31 zero (see common/types.hh).
+constexpr RegIndex t0 = 1, t1 = 2, t2 = 3, t3 = 4, t4 = 5, t5 = 6,
+                   t6 = 7, t7 = 8, t8 = 9, t9 = 10, t10 = 11, t11 = 12;
+constexpr RegIndex s0 = 16, s1 = 17, s2 = 18, s3 = 19, s4 = 20, s5 = 21,
+                   s6 = 22, s7 = 23, s8 = 24, s9 = 25;
+constexpr RegIndex a0 = 13, a1 = 14, a2 = 15, v0 = 27;
+
+/** Deterministic byte vector in [lo, hi]. */
+std::vector<u8> randomBytes(u64 seed, size_t count, u8 lo = 0,
+                            u8 hi = 255);
+
+/** Deterministic 16-bit vector in [lo, hi] (signed range allowed). */
+std::vector<i16> randomSamples(u64 seed, size_t count, i16 lo, i16 hi);
+
+/** Emit a byte array at @p label. */
+void emitBytes(Assembler &as, const std::string &label,
+               const std::vector<u8> &bytes);
+
+/** Emit a 16-bit little-endian array at @p label. */
+void emitWords(Assembler &as, const std::string &label,
+               const std::vector<i16> &words);
+
+/** Emit a u64 array at @p label. */
+void emitQuads(Assembler &as, const std::string &label,
+               const std::vector<u64> &quads);
+
+/** Reserve the 8-byte "checksum" slot every kernel writes before HALT. */
+void declareChecksum(Assembler &as);
+
+/**
+ * Standard epilogue: store @p value_reg to the checksum slot (clobbering
+ * @p scratch with its address) and halt.
+ */
+void storeChecksumAndHalt(Assembler &as, RegIndex value_reg,
+                          RegIndex scratch);
+
+} // namespace nwsim::wk
+
+#endif // NWSIM_WORKLOADS_SUPPORT_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Workload abstraction: a named program builder plus a reference
+ * checksum so tests can verify the kernel computes what it claims.
+ *
+ * The paper evaluates SPECint95 (Table 2) and MediaBench (Table 3). We
+ * cannot run DEC-compiled Alpha binaries, so each benchmark is replaced
+ * by a miniature kernel in the nwsim ISA performing the same *kind* of
+ * computation with deterministic pseudo-random inputs (see DESIGN.md's
+ * substitution table). Data lives above 2^32, so pointers are the 33-bit
+ * quantities behind the paper's Figure 1 address peak.
+ */
+
+#ifndef NWSIM_WORKLOADS_WORKLOAD_HH
+#define NWSIM_WORKLOADS_WORKLOAD_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "asm/program.hh"
+
+namespace nwsim
+{
+
+class Assembler;
+
+/** One benchmark: metadata + program factory. */
+struct Workload
+{
+    std::string name;
+    /** "spec" (Table 2 proxy) or "media" (Table 3 proxy). */
+    std::string suite;
+    std::string description;
+    /** Emit the whole program (code + data) into an assembler. */
+    std::function<void(Assembler &)> build;
+    /**
+     * Label of an 8-byte output checksum the kernel stores before HALT;
+     * tests compare it against a C++ reference implementation.
+     */
+    std::string checksumSymbol = "checksum";
+
+    /** Build and assemble the full program image. */
+    Program program() const;
+};
+
+/** All 8 SPECint95 proxies followed by all 6 MediaBench proxies. */
+const std::vector<Workload> &allWorkloads();
+
+/** Workloads of one suite ("spec" or "media"). */
+std::vector<Workload> suiteWorkloads(const std::string &suite);
+
+/** Look up one workload by name; fatal if unknown. */
+const Workload &workloadByName(const std::string &name);
+
+} // namespace nwsim
+
+#endif // NWSIM_WORKLOADS_WORKLOAD_HH

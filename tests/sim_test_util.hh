@@ -1,0 +1,97 @@
+/** Shared helpers for pipeline/packing/workload tests. */
+
+#ifndef NWSIM_TESTS_SIM_TEST_UTIL_HH
+#define NWSIM_TESTS_SIM_TEST_UTIL_HH
+
+#include <functional>
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "func/func_sim.hh"
+#include "pipeline/core.hh"
+
+namespace nwsim::test
+{
+
+inline Program
+buildProgram(const std::function<void(Assembler &)> &build)
+{
+    Assembler as;
+    build(as);
+    return as.assemble();
+}
+
+/**
+ * Make cold-cache misses nearly free, so tests of pure pipeline timing
+ * behaviour (IPC of straight-line code, issue contention) are not
+ * dominated by the one-shot cost of streaming the program image from
+ * the Table 1 100-cycle memory.
+ */
+inline CoreConfig
+fastMemory(CoreConfig cfg)
+{
+    cfg.mem.l2.hitLatency = 1;
+    cfg.mem.memoryLatency = 0;
+    cfg.mem.itlb.missLatency = 0;
+    cfg.mem.dtlb.missLatency = 0;
+    return cfg;
+}
+
+/** Golden architectural state from the functional simulator. */
+struct GoldenRun
+{
+    std::array<u64, numIntRegs> regs{};
+    u64 instCount = 0;
+    bool halted = false;
+};
+
+inline GoldenRun
+runGolden(const Program &prog, u64 max_steps = 20'000'000)
+{
+    SparseMemory mem;
+    prog.load(mem);
+    FuncSim sim(mem, prog.entry);
+    sim.run(max_steps);
+    GoldenRun g;
+    g.regs = sim.regFile();
+    g.instCount = sim.instCount();
+    g.halted = sim.halted();
+    return g;
+}
+
+/** A core bundled with the memory it runs against. */
+struct CoreRun
+{
+    std::unique_ptr<SparseMemory> mem;
+    std::unique_ptr<OutOfOrderCore> core;
+};
+
+/**
+ * Run @p prog to completion on the out-of-order core and assert the
+ * architected result matches the functional golden model exactly:
+ * every register, the committed-instruction count, and halting.
+ * Returns the core (and its memory) for further stat probing.
+ */
+inline CoreRun
+runDifferential(const Program &prog, const CoreConfig &cfg,
+                u64 max_commits = 20'000'000)
+{
+    const GoldenRun golden = runGolden(prog);
+    EXPECT_TRUE(golden.halted) << "golden model did not halt";
+
+    CoreRun run;
+    run.mem = std::make_unique<SparseMemory>();
+    prog.load(*run.mem);
+    run.core =
+        std::make_unique<OutOfOrderCore>(cfg, *run.mem, prog.entry);
+    run.core->run(max_commits);
+    EXPECT_TRUE(run.core->done()) << "pipeline did not halt";
+    EXPECT_EQ(run.core->stats().committed, golden.instCount);
+    for (RegIndex r = 0; r < numIntRegs; ++r)
+        EXPECT_EQ(run.core->reg(r), golden.regs[r]) << "r" << int(r);
+    return run;
+}
+
+} // namespace nwsim::test
+
+#endif // NWSIM_TESTS_SIM_TEST_UTIL_HH

@@ -1,0 +1,236 @@
+/** Unit tests for the programmatic and textual assemblers. */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "asm/textasm.hh"
+#include "common/rng.hh"
+#include "func/func_sim.hh"
+#include "mem/sparse_memory.hh"
+
+namespace nwsim
+{
+namespace
+{
+
+/** Assemble with `build`, run to halt, return final r1. */
+u64
+runReturningR1(const std::function<void(Assembler &)> &build,
+               u64 max_steps = 100000)
+{
+    Assembler as;
+    build(as);
+    const Program prog = as.assemble();
+    SparseMemory mem;
+    prog.load(mem);
+    FuncSim sim(mem, prog.entry);
+    sim.run(max_steps);
+    EXPECT_TRUE(sim.halted());
+    return sim.reg(1);
+}
+
+TEST(Assembler, LiExactForManyConstants)
+{
+    const i64 values[] = {
+        0,     1,      -1,     42,        -42,
+        32767, -32768, 32768,  -32769,    65535,
+        65536, 1 << 20, -(1 << 20),       0x7fffffff,
+        static_cast<i64>(0x80000000ULL),  -0x7fffffffLL - 1,
+        0x123456789LL, static_cast<i64>(0xdeadbeefcafef00dULL),
+        static_cast<i64>(0x8000000000000000ULL),
+        0x7fffffffffffffffLL,
+    };
+    for (const i64 v : values) {
+        const u64 got = runReturningR1([&](Assembler &as) {
+            as.li(1, v);
+            as.halt();
+        });
+        EXPECT_EQ(got, static_cast<u64>(v)) << "li " << v;
+    }
+}
+
+TEST(Assembler, LiRandomConstants)
+{
+    SplitMix64 rng(99);
+    for (int i = 0; i < 200; ++i) {
+        const i64 v = static_cast<i64>(rng.next());
+        const u64 got = runReturningR1([&](Assembler &as) {
+            as.li(1, v);
+            as.halt();
+        });
+        EXPECT_EQ(got, static_cast<u64>(v));
+    }
+}
+
+TEST(Assembler, LaResolvesDataAndCodeSymbols)
+{
+    Assembler as;
+    as.la(1, "blob");           // forward data reference
+    as.la(2, "here");           // forward code reference
+    as.label("here");
+    as.halt();
+    as.dataZeros(24);
+    const Addr blob = as.dataLabel("blob");
+    as.dataQuad(7);
+    const Program prog = as.assemble();
+
+    SparseMemory mem;
+    prog.load(mem);
+    FuncSim sim(mem, prog.entry);
+    sim.run(1000);
+    EXPECT_EQ(sim.reg(1), blob);
+    EXPECT_EQ(sim.reg(2), prog.symbol("here"));
+    EXPECT_EQ(blob, layout::dataBase + 24);
+}
+
+TEST(Assembler, BackwardAndForwardBranches)
+{
+    // Count 0..9 with a backward branch, then skip over a trap with a
+    // forward branch.
+    const u64 got = runReturningR1([](Assembler &as) {
+        as.li(1, 0);
+        as.li(2, 10);
+        as.label("loop");
+        as.addi(1, 1, 1);
+        as.sub(3, 1, 2);
+        as.bne(3, "loop");
+        as.br("past");
+        as.li(1, 999);          // must be skipped
+        as.label("past");
+        as.halt();
+    });
+    EXPECT_EQ(got, 10u);
+}
+
+TEST(Assembler, CallAndReturn)
+{
+    const u64 got = runReturningR1([](Assembler &as) {
+        as.li(1, 5);
+        as.call("double_it");
+        as.call("double_it");
+        as.halt();
+        as.label("double_it");
+        as.add(1, 1, 1);
+        as.ret();
+    });
+    EXPECT_EQ(got, 20u);
+}
+
+TEST(Assembler, StoreLoadRoundTrip)
+{
+    const u64 got = runReturningR1([](Assembler &as) {
+        as.la(4, "buf");
+        as.li(1, 0x1122334455667788LL);
+        as.stq(1, 0, 4);
+        as.ldwu(2, 2, 4);       // bytes 2..3 = 0x3344 -> little endian
+        as.ldbu(3, 7, 4);       // top byte = 0x11
+        as.slli(3, 3, 17);
+        as.add(1, 2, 3);
+        as.halt();
+        as.dataLabel("buf");
+        as.dataZeros(16);
+    });
+    // ldwu at offset 2 of little-endian 0x1122334455667788 = 0x5566;
+    // byte at offset 7 = 0x11, shifted left 17.
+    EXPECT_EQ(got, 0x5566u + (0x11ull << 17));
+}
+
+TEST(Assembler, DuplicateLabelDies)
+{
+    Assembler as;
+    as.label("x");
+    EXPECT_EXIT(
+        {
+            as.label("x");
+        },
+        ::testing::ExitedWithCode(1), "duplicate label");
+}
+
+TEST(Assembler, UndefinedLabelDies)
+{
+    Assembler as;
+    as.br("nowhere");
+    EXPECT_EXIT(
+        {
+            as.assemble();
+        },
+        ::testing::ExitedWithCode(1), "undefined label");
+}
+
+TEST(TextAsm, FullProgram)
+{
+    const char *src = R"(
+        ; scrabble of syntax forms
+        start:
+            li   r1, 0
+            li   r2, 5
+            la   r4, table
+        loop:
+            ldq  r3, 0(r4)      ; load table entry
+            add  r1, r1, r3
+            addi r4, r4, 8
+            subi r2, r2, 1
+            bne  r2, loop
+            call finish
+            halt
+        finish:
+            addi r1, r1, 100
+            ret
+        .data
+        table: .quad 1, 2, 3, 4, 5
+    )";
+    const Program prog = assembleText(src);
+    SparseMemory mem;
+    prog.load(mem);
+    FuncSim sim(mem, prog.entry);
+    sim.run(1000);
+    EXPECT_TRUE(sim.halted());
+    EXPECT_EQ(sim.reg(1), 115u);
+}
+
+TEST(TextAsm, DataDirectives)
+{
+    const char *src = R"(
+        la r1, a
+        ldbu r2, 0(r1)
+        ldwu r3, 2(r1)
+        ldl  r4, 4(r1)
+        ldq  r5, 8(r1)
+        ldq  r6, 16(r1)
+        halt
+        .data
+        a: .byte 0xab, 0
+           .word 0x1234
+           .long 99
+           .quad 77
+           .quad a
+    )";
+    const Program prog = assembleText(src);
+    SparseMemory mem;
+    prog.load(mem);
+    FuncSim sim(mem, prog.entry);
+    sim.run(100);
+    EXPECT_EQ(sim.reg(2), 0xabu);
+    EXPECT_EQ(sim.reg(3), 0x1234u);
+    EXPECT_EQ(sim.reg(4), 99u);
+    EXPECT_EQ(sim.reg(5), 77u);
+    EXPECT_EQ(sim.reg(6), prog.symbol("a"));
+}
+
+TEST(Program, SymbolLookupAndImageSize)
+{
+    Assembler as;
+    as.label("entry");
+    as.nop();
+    as.halt();
+    as.dataLabel("d");
+    as.dataQuad(1);
+    const Program prog = as.assemble();
+    EXPECT_EQ(prog.symbol("entry"), layout::textBase);
+    EXPECT_EQ(prog.symbol("d"), layout::dataBase);
+    EXPECT_EQ(prog.imageBytes(), 8u + 8u);
+    EXPECT_EQ(prog.textEnd(), layout::textBase + 8);
+}
+
+} // namespace
+} // namespace nwsim

@@ -1,0 +1,111 @@
+/** Unit tests for common/bitops.hh. */
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.hh"
+#include "common/rng.hh"
+
+namespace nwsim
+{
+namespace
+{
+
+TEST(Sext, Basic)
+{
+    EXPECT_EQ(sext(0x80, 8), 0xffffffffffffff80ULL);
+    EXPECT_EQ(sext(0x7f, 8), 0x7fULL);
+    EXPECT_EQ(sext(0xffff, 16), ~u64{0});
+    EXPECT_EQ(sext(0x8000, 16), 0xffffffffffff8000ULL);
+    EXPECT_EQ(sext(0x1234, 16), 0x1234ULL);
+    EXPECT_EQ(sext(0xdeadbeefcafef00d, 64), 0xdeadbeefcafef00dULL);
+}
+
+TEST(Zext, Basic)
+{
+    EXPECT_EQ(zext(0xffffffffffffff80ULL, 8), 0x80ULL);
+    EXPECT_EQ(zext(0x12345678, 16), 0x5678ULL);
+    EXPECT_EQ(zext(~u64{0}, 64), ~u64{0});
+    EXPECT_EQ(zext(12345, 0), 0ULL);
+}
+
+TEST(Clz, Boundaries)
+{
+    EXPECT_EQ(clz64(0), 64u);
+    EXPECT_EQ(clz64(1), 63u);
+    EXPECT_EQ(clz64(~u64{0}), 0u);
+    EXPECT_EQ(clo64(~u64{0}), 64u);
+    EXPECT_EQ(clo64(0), 0u);
+    EXPECT_EQ(clo64(u64{1} << 63), 1u);
+}
+
+TEST(SignedWidth, PaperExamples)
+{
+    // "adding 17, a 5-bit number, to 2, a 2-bit number" — with the
+    // two's-complement sign bit these need one extra bit.
+    EXPECT_EQ(signedWidth(17), 6u);
+    EXPECT_EQ(signedWidth(2), 3u);
+    EXPECT_EQ(signedWidth(0), 1u);
+    EXPECT_EQ(signedWidth(~u64{0}), 1u);    // -1
+    EXPECT_EQ(signedWidth(static_cast<u64>(-2)), 2u);
+    EXPECT_EQ(signedWidth(u64{1} << 63), 64u);
+    EXPECT_EQ(signedWidth(0x7fffffffffffffffULL), 64u);
+}
+
+TEST(FitsSigned, Boundaries)
+{
+    EXPECT_TRUE(fitsSigned(32767, 16));
+    EXPECT_FALSE(fitsSigned(32768, 16));
+    EXPECT_TRUE(fitsSigned(static_cast<u64>(-32768), 16));
+    EXPECT_FALSE(fitsSigned(static_cast<u64>(-32769), 16));
+    EXPECT_TRUE(fitsSigned(~u64{0}, 1));
+    EXPECT_FALSE(fitsSigned(1, 1));
+}
+
+TEST(FitsUnsigned, Boundaries)
+{
+    EXPECT_TRUE(fitsUnsigned(65535, 16));
+    EXPECT_FALSE(fitsUnsigned(65536, 16));
+    EXPECT_FALSE(fitsUnsigned(~u64{0}, 16));
+}
+
+TEST(Bits, ExtractInsert)
+{
+    EXPECT_EQ(bits(0xdeadbeef, 15, 0), 0xbeefULL);
+    EXPECT_EQ(bits(0xdeadbeef, 31, 16), 0xdeadULL);
+    EXPECT_EQ(bits(~u64{0}, 63, 0), ~u64{0});
+    EXPECT_EQ(insertBits(0xbeef, 15, 0), 0xbeefULL);
+    EXPECT_EQ(insertBits(0xff, 11, 4), 0xff0ULL);
+    EXPECT_EQ(insertBits(0x1ff, 11, 4), 0xff0ULL);  // truncates to field
+}
+
+/** Property: sext/zext agree with arithmetic on random values. */
+class BitopsProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BitopsProperty, SextZextRoundTrip)
+{
+    SplitMix64 rng(GetParam() * 7919 + 3);
+    for (int i = 0; i < 2000; ++i) {
+        const u64 v = rng.next();
+        const unsigned bits_n = 1 + static_cast<unsigned>(rng.below(63));
+        const u64 s = sext(v, bits_n);
+        const u64 z = zext(v, bits_n);
+        // Low bits preserved.
+        EXPECT_EQ(zext(s, bits_n), z);
+        // Sign extension fills with copies of the top bit.
+        EXPECT_TRUE(fitsSigned(s, bits_n));
+        EXPECT_TRUE(fitsUnsigned(z, bits_n));
+        // signedWidth is the least w with fitsSigned.
+        const unsigned w = signedWidth(v);
+        EXPECT_TRUE(fitsSigned(v, w));
+        if (w > 1) {
+            EXPECT_FALSE(fitsSigned(v, w - 1));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitopsProperty, ::testing::Range(0, 8));
+
+} // namespace
+} // namespace nwsim

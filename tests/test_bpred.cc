@@ -1,0 +1,194 @@
+/** Unit tests for the combining predictor, BTB, and RAS. */
+
+#include <gtest/gtest.h>
+
+#include "bpred/combining.hh"
+#include "common/rng.hh"
+
+namespace nwsim
+{
+namespace
+{
+
+Inst
+condBranch(i64 disp = 4)
+{
+    Inst i;
+    i.op = Opcode::BNE;
+    i.ra = 1;
+    i.disp = disp;
+    return i;
+}
+
+/** Drive one static branch through predict/resolve with an outcome. */
+bool
+predictAndTrain(CombiningPredictor &bp, Addr pc, const Inst &inst,
+                bool taken)
+{
+    const Prediction pred = bp.predict(pc, inst);
+    const Addr target = taken ? inst.branchTarget(pc) : pc + 4;
+    if (pred.taken != taken)
+        bp.repair(inst, pred, taken);
+    bp.resolve(pc, inst, pred, taken, target);
+    return pred.taken == taken;
+}
+
+TEST(Bpred, LearnsAlwaysTaken)
+{
+    CombiningPredictor bp{BPredConfig{}};
+    const Inst b = condBranch();
+    int correct = 0;
+    for (int i = 0; i < 100; ++i)
+        correct += predictAndTrain(bp, 0x1000, b, true);
+    EXPECT_GT(correct, 95);
+}
+
+TEST(Bpred, LearnsAlternatingPatternViaLocalHistory)
+{
+    CombiningPredictor bp{BPredConfig{}};
+    const Inst b = condBranch();
+    // T,N,T,N...: global/local history predictors handle this exactly.
+    int correct_late = 0;
+    for (int i = 0; i < 300; ++i) {
+        const bool taken = (i % 2) == 0;
+        const bool ok = predictAndTrain(bp, 0x2000, b, taken);
+        if (i >= 200)
+            correct_late += ok;
+    }
+    EXPECT_GT(correct_late, 95);
+}
+
+TEST(Bpred, LearnsLoopExitPattern)
+{
+    CombiningPredictor bp{BPredConfig{}};
+    const Inst b = condBranch(-8);
+    // 7 taken then 1 not-taken, repeatedly (8-iteration loop): within
+    // the 10-bit local history, should become near-perfect.
+    int correct_late = 0, total_late = 0;
+    for (int round = 0; round < 120; ++round) {
+        for (int i = 0; i < 8; ++i) {
+            const bool taken = i != 7;
+            const bool ok = predictAndTrain(bp, 0x3000, b, taken);
+            if (round >= 80) {
+                correct_late += ok;
+                ++total_late;
+            }
+        }
+    }
+    EXPECT_GT(correct_late, total_late * 9 / 10);
+}
+
+TEST(Bpred, MispredictStatsCount)
+{
+    CombiningPredictor bp{BPredConfig{}};
+    const Inst b = condBranch();
+    u64 flips = 0;
+    SplitMix64 rng(4);
+    for (int i = 0; i < 500; ++i) {
+        predictAndTrain(bp, 0x9000, b, rng.below(2) != 0);
+        ++flips;
+    }
+    EXPECT_EQ(bp.stats().condLookups, flips);
+    // Random directions: mispredict rate should be substantial.
+    EXPECT_GT(bp.stats().condDirectionWrong, 100u);
+}
+
+TEST(Bpred, UnconditionalBranchHasKnownTarget)
+{
+    CombiningPredictor bp{BPredConfig{}};
+    Inst br;
+    br.op = Opcode::BR;
+    br.disp = 16;
+    const Prediction p = bp.predict(0x4000, br);
+    EXPECT_TRUE(p.taken);
+    EXPECT_EQ(p.target, 0x4000u + 4 + 16 * 4);
+}
+
+TEST(Bpred, IndirectJumpUsesBtb)
+{
+    CombiningPredictor bp{BPredConfig{}};
+    Inst jmp;
+    jmp.op = Opcode::JMP;
+    jmp.rb = 2;
+    // Cold: predicts fall-through.
+    Prediction p = bp.predict(0x5000, jmp);
+    EXPECT_EQ(p.target, 0x5004u);
+    bp.resolve(0x5000, jmp, p, true, 0x7777000);
+    // Warm: predicts the trained target.
+    p = bp.predict(0x5000, jmp);
+    EXPECT_EQ(p.target, 0x7777000u);
+}
+
+TEST(Bpred, RasPredictsReturns)
+{
+    CombiningPredictor bp{BPredConfig{}};
+    Inst jsr;
+    jsr.op = Opcode::JSR;
+    jsr.rc = raReg;
+    jsr.rb = 3;
+    Inst ret;
+    ret.op = Opcode::RET;
+    ret.rb = raReg;
+
+    // Call at 0x6000 pushes 0x6004; nested call at 0x6100 pushes 0x6104.
+    bp.predict(0x6000, jsr);
+    bp.predict(0x6100, jsr);
+    Prediction p = bp.predict(0x8000, ret);
+    EXPECT_EQ(p.target, 0x6104u);
+    p = bp.predict(0x8010, ret);
+    EXPECT_EQ(p.target, 0x6004u);
+}
+
+TEST(Bpred, BranchAndLinkPushesRas)
+{
+    CombiningPredictor bp{BPredConfig{}};
+    Inst bsr;
+    bsr.op = Opcode::BR;
+    bsr.rc = raReg;
+    bsr.disp = 100;
+    Inst ret;
+    ret.op = Opcode::RET;
+    ret.rb = raReg;
+    bp.predict(0xa000, bsr);
+    const Prediction p = bp.predict(0xb000, ret);
+    EXPECT_EQ(p.target, 0xa004u);
+}
+
+TEST(Bpred, RepairRestoresSpeculativeState)
+{
+    CombiningPredictor bp{BPredConfig{}};
+    const Inst b = condBranch();
+    const u64 hist0 = bp.globalHistory();
+    const Prediction p1 = bp.predict(0x1000, b);
+    EXPECT_NE(bp.globalHistory(), (hist0 << 1) | (p1.taken ? 0 : 1));
+    // Mispredict: repair re-installs checkpoint + actual outcome.
+    bp.repair(b, p1, !p1.taken);
+    EXPECT_EQ(bp.globalHistory(), (hist0 << 1) | (p1.taken ? 0 : 1));
+}
+
+TEST(Ras, CheckpointRestoreAcrossOverflow)
+{
+    Ras ras(4);
+    for (Addr a = 0x100; a < 0x100 + 6 * 4; a += 4)
+        ras.push(a);
+    const Ras::Checkpoint cp = ras.checkpoint();
+    const Addr top = ras.pop();
+    ras.push(0xdead);
+    ras.restore(cp);
+    EXPECT_EQ(ras.pop(), top);
+}
+
+TEST(Btb, TwoWaySetsEvictLru)
+{
+    Btb btb(4, 2);  // 2 sets x 2 ways; pcs stepping by 8 hit set 0/1.
+    btb.update(0x00, 0xa);
+    btb.update(0x08, 0xb);  // same set as 0x00 (index uses pc>>2)
+    EXPECT_TRUE(btb.lookup(0x00).has_value());
+    btb.update(0x10, 0xc);  // evicts 0x08 (LRU after 0x00 lookup)
+    EXPECT_FALSE(btb.lookup(0x08).has_value());
+    EXPECT_EQ(btb.lookup(0x00).value(), 0xau);
+    EXPECT_EQ(btb.lookup(0x10).value(), 0xcu);
+}
+
+} // namespace
+} // namespace nwsim

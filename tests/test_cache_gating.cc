@@ -1,0 +1,117 @@
+/**
+ * Tests for the cache data-path gating extension (the paper's "could be
+ * extended to ... the cache memories" future work).
+ */
+
+#include "sim_test_util.hh"
+
+#include "core/cache_gating.hh"
+#include "driver/presets.hh"
+
+namespace nwsim
+{
+namespace
+{
+
+TEST(CacheGating, NarrowQuadAccessGatesTo16Bits)
+{
+    CacheGatingModel m;
+    m.recordAccess(42, 8);
+    const CacheGatingStats &s = m.stats();
+    EXPECT_EQ(s.accesses, 1u);
+    EXPECT_EQ(s.gated16, 1u);
+    EXPECT_DOUBLE_EQ(s.baselineMwSum, 100.0);
+    EXPECT_DOUBLE_EQ(s.gatedMwSum, 60.0 + 40.0 * 16 / 64);
+    EXPECT_DOUBLE_EQ(s.overheadMwSum, 3.2);
+}
+
+TEST(CacheGating, AddressValuedQuadGatesTo33Bits)
+{
+    CacheGatingModel m;
+    m.recordAccess((u64{1} << 32) + 5, 8);
+    EXPECT_EQ(m.stats().gated33, 1u);
+    EXPECT_DOUBLE_EQ(m.stats().gatedMwSum, 60.0 + 40.0 * 33 / 64);
+}
+
+TEST(CacheGating, AccessSizeGatesStatically)
+{
+    CacheGatingModel m;
+    // A byte access never toggles more than 8 bits, even for a "wide"
+    // looking value pattern (the value is only 8 bits here anyway).
+    m.recordAccess(0xff, 1);
+    EXPECT_EQ(m.stats().gatedBySize, 1u);
+    // 0xff is narrow16, but width is already 8 < 16: size wins.
+    EXPECT_EQ(m.stats().gated16, 0u);
+    EXPECT_DOUBLE_EQ(m.stats().gatedMwSum, 60.0 + 40.0 * 8 / 64);
+    // No dynamic gating below the size: no mux charge.
+    EXPECT_DOUBLE_EQ(m.stats().overheadMwSum, 0.0);
+}
+
+TEST(CacheGating, WideQuadPaysFullPower)
+{
+    CacheGatingModel m;
+    m.recordAccess(u64{1} << 50, 8);
+    EXPECT_DOUBLE_EQ(m.stats().gatedMwSum, 100.0);
+    EXPECT_DOUBLE_EQ(m.stats().overheadMwSum, 0.0);
+    EXPECT_DOUBLE_EQ(m.stats().reductionPercent(), 0.0);
+}
+
+TEST(CacheGating, DisabledChargesBaseline)
+{
+    CacheGatingConfig cfg;
+    cfg.enabled = false;
+    CacheGatingModel m(cfg);
+    m.recordAccess(1, 8);
+    EXPECT_DOUBLE_EQ(m.stats().optimizedMwSum(),
+                     m.stats().baselineMwSum);
+}
+
+TEST(CacheGating, Gate33Disable)
+{
+    CacheGatingConfig cfg;
+    cfg.gate33 = false;
+    CacheGatingModel m(cfg);
+    m.recordAccess((u64{1} << 32) + 5, 8);
+    EXPECT_EQ(m.stats().gated33, 0u);
+    EXPECT_DOUBLE_EQ(m.stats().gatedMwSum, 100.0);
+}
+
+TEST(CacheGating, CoreIntegrationCountsLoadsAndStores)
+{
+    const Program prog = test::buildProgram([](Assembler &as) {
+        as.la(16, "arr");
+        as.li(1, 300);
+        as.label("loop");
+        as.andi(2, 1, 31);
+        as.slli(3, 2, 3);
+        as.add(3, 3, 16);
+        as.ldq(4, 0, 3);            // narrow loaded values
+        as.addi(4, 4, 1);
+        as.stq(4, 0, 3);            // narrow stored values
+        as.subi(1, 1, 1);
+        as.bne(1, "loop");
+        as.halt();
+        as.dataLabel("arr");
+        for (int i = 0; i < 32; ++i)
+            as.dataQuad(static_cast<u64>(i));
+    });
+    auto run = test::runDifferential(prog, presets::baseline());
+    const CacheGatingStats &s = run.core->cacheGating().stats();
+    // ~300 loads + ~300 stores (plus wrong-path loads).
+    EXPECT_GT(s.accesses, 550u);
+    EXPECT_GT(s.gated16, 500u);
+    EXPECT_GT(s.reductionPercent(), 20.0);
+    EXPECT_LT(s.reductionPercent(), 60.0);
+}
+
+TEST(CacheGating, ResetClears)
+{
+    CacheGatingModel m;
+    m.recordAccess(1, 8);
+    m.reset();
+    EXPECT_EQ(m.stats().accesses, 0u);
+    EXPECT_DOUBLE_EQ(m.stats().baselineMwSum, 0.0);
+}
+
+} // namespace
+} // namespace nwsim

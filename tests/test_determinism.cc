@@ -1,0 +1,101 @@
+/**
+ * Determinism guarantees: identical builds, identical simulations,
+ * identical statistics — run to run. Every experiment in the paper
+ * reproduction depends on this.
+ */
+
+#include <gtest/gtest.h>
+
+#include "driver/presets.hh"
+#include "driver/runner.hh"
+#include "workloads/kernels.hh"
+
+namespace nwsim
+{
+namespace
+{
+
+TEST(Determinism, ProgramImagesAreBitIdentical)
+{
+    for (const Workload &w : allWorkloads()) {
+        const Program a = w.program();
+        const Program b = w.program();
+        ASSERT_EQ(a.segments.size(), b.segments.size()) << w.name;
+        for (size_t s = 0; s < a.segments.size(); ++s) {
+            EXPECT_EQ(a.segments[s].base, b.segments[s].base);
+            EXPECT_EQ(a.segments[s].bytes, b.segments[s].bytes)
+                << w.name << " segment " << s;
+        }
+        EXPECT_EQ(a.symbols, b.symbols) << w.name;
+    }
+}
+
+TEST(Determinism, ReferencesAreStable)
+{
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_EQ(compressReference(1), compressReference(1));
+        EXPECT_EQ(gsmEncodeReference(1), gsmEncodeReference(1));
+        EXPECT_EQ(m88ksimReference(1), m88ksimReference(1));
+    }
+}
+
+TEST(Determinism, RepeatedRunsProduceIdenticalStats)
+{
+    const Program prog = makeGo(45).program();
+    RunOptions opts;
+    opts.warmupInsts = 10000;
+    opts.measureInsts = 60000;
+
+    auto run = [&] {
+        return runProgram(prog, presets::packing(true), opts, "go",
+                          "det");
+    };
+    const RunResult a = run();
+    const RunResult b = run();
+    EXPECT_EQ(a.core.cycles, b.core.cycles);
+    EXPECT_EQ(a.core.committed, b.core.committed);
+    EXPECT_EQ(a.core.issued, b.core.issued);
+    EXPECT_EQ(a.core.squashed, b.core.squashed);
+    EXPECT_EQ(a.core.mispredictSquashes, b.core.mispredictSquashes);
+    EXPECT_EQ(a.packing.packedGroups, b.packing.packedGroups);
+    EXPECT_EQ(a.packing.packedInsts, b.packing.packedInsts);
+    EXPECT_EQ(a.packing.replayTraps, b.packing.replayTraps);
+    EXPECT_DOUBLE_EQ(a.gating.baselineMwSum, b.gating.baselineMwSum);
+    EXPECT_DOUBLE_EQ(a.gating.gatedMwSum, b.gating.gatedMwSum);
+    EXPECT_EQ(a.profiler.totalOps(), b.profiler.totalOps());
+    EXPECT_DOUBLE_EQ(a.profiler.fluctuationPercent(),
+                     b.profiler.fluctuationPercent());
+    EXPECT_DOUBLE_EQ(a.profiler.cumulativePercent(16),
+                     b.profiler.cumulativePercent(16));
+}
+
+TEST(Determinism, StatInvariantsHold)
+{
+    const Program prog = makeCompress(2).program();
+    RunOptions opts;
+    opts.warmupInsts = 10000;
+    opts.measureInsts = 80000;
+    const RunResult r =
+        runProgram(prog, presets::baseline(), opts, "compress", "inv");
+    const CoreStats &s = r.core;
+    // Conservation: everything committed was issued; everything issued
+    // was dispatched; everything dispatched was fetched (within this
+    // window, wrong-path work makes these inequalities strict).
+    EXPECT_LE(s.committed, s.issued);
+    EXPECT_LE(s.committed, s.dispatched);
+    EXPECT_LE(s.dispatched, s.fetched);
+    // Ready pressure can't be below what actually issued.
+    EXPECT_GE(s.readyOpsSum, s.issued);
+    EXPECT_LE(s.issueLimitedCycles, s.cycles);
+    // Power accounting: gated never exceeds baseline; savings add up.
+    const GatingStats &g = r.gating;
+    EXPECT_LE(g.gatedMwSum, g.baselineMwSum);
+    // Relative tolerance: the sums accumulate ~1e7 mW of fp additions.
+    EXPECT_NEAR(g.baselineMwSum,
+                g.gatedMwSum + g.saved16MwSum + g.saved33MwSum,
+                1e-9 * g.baselineMwSum);
+    EXPECT_LE(g.gated16 + g.gated33, g.ops);
+}
+
+} // namespace
+} // namespace nwsim

@@ -1,0 +1,170 @@
+/**
+ * Tests for the paper-adjacent extensions: early-out multiply (Section
+ * 2.3's PowerPC 603 mechanism, driven by the same width tags) and
+ * fast-mode warmup (Section 3.2's methodology).
+ */
+
+#include "sim_test_util.hh"
+
+#include "driver/presets.hh"
+#include "driver/runner.hh"
+#include "workloads/kernels.hh"
+
+namespace nwsim
+{
+namespace
+{
+
+using test::buildProgram;
+using test::runDifferential;
+
+Program
+multChain(i64 seed, unsigned iters)
+{
+    // A looped dependent multiply chain (warm I-cache), so the multiply
+    // latency is the critical path.
+    return buildProgram([seed, iters](Assembler &as) {
+        as.li(1, seed);
+        as.li(2, static_cast<i64>(iters));
+        as.label("loop");
+        for (unsigned i = 0; i < 20; ++i) {
+            as.mul(1, 1, 1);            // dependent multiply chain
+            as.andi(1, 1, 0x7fff);      // keep it narrow
+            as.addi(1, 1, 3);
+        }
+        as.subi(2, 2, 1);
+        as.bne(2, "loop");
+        as.halt();
+    });
+}
+
+TEST(EarlyOutMultiply, NarrowChainsSpeedUp)
+{
+    const Program prog = multChain(5, 150);
+    CoreConfig base = presets::baseline();
+    CoreConfig early = presets::baseline();
+    early.earlyOutMultiply = true;
+    auto slow = runDifferential(prog, base);
+    auto fast = runDifferential(prog, early);
+    // Each narrow multiply drops from 3 cycles to 1 on the critical
+    // path: expect a large cycle reduction, identical results
+    // (runDifferential checks architectural equality).
+    EXPECT_LT(fast.core->stats().cycles,
+              slow.core->stats().cycles * 8 / 10);
+}
+
+TEST(EarlyOutMultiply, WideMultipliesUnaffected)
+{
+    const Program prog = buildProgram([](Assembler &as) {
+        as.li(1, i64{1} << 40);
+        as.li(2, 12345);
+        as.li(3, 100);
+        as.label("loop");
+        for (unsigned i = 0; i < 10; ++i) {
+            as.mul(2, 2, 1);        // one wide operand: no early out
+            as.srli(2, 2, 50);
+            as.addi(2, 2, 7);
+        }
+        as.subi(3, 3, 1);
+        as.bne(3, "loop");
+        as.halt();
+    });
+    CoreConfig early = presets::baseline();
+    early.earlyOutMultiply = true;
+    auto base = runDifferential(prog, presets::baseline());
+    auto ext = runDifferential(prog, early);
+    EXPECT_EQ(base.core->stats().cycles, ext.core->stats().cycles);
+}
+
+TEST(FastForward, ArchitecturalStateMatchesDetailed)
+{
+    const Workload w = makeCompress(1);
+    const Program prog = w.program();
+    const test::GoldenRun golden = test::runGolden(prog);
+
+    SparseMemory mem;
+    prog.load(mem);
+    OutOfOrderCore core(presets::baseline(), mem, prog.entry);
+    const u64 ffwd = core.fastForward(20000);
+    EXPECT_EQ(ffwd, 20000u);
+    core.run(200'000'000);
+    EXPECT_TRUE(core.done());
+    EXPECT_EQ(ffwd + core.stats().committed, golden.instCount);
+    for (RegIndex r = 0; r < numIntRegs; ++r)
+        EXPECT_EQ(core.reg(r), golden.regs[r]) << "r" << int(r);
+    EXPECT_EQ(mem.read(prog.symbol("checksum"), 8),
+              compressReference(1));
+}
+
+TEST(FastForward, StopsCleanlyBeforeHalt)
+{
+    const Program prog = buildProgram([](Assembler &as) {
+        as.li(1, 5);
+        as.addi(1, 1, 1);
+        as.halt();
+    });
+    SparseMemory mem;
+    prog.load(mem);
+    OutOfOrderCore core(presets::baseline(), mem, prog.entry);
+    const u64 ffwd = core.fastForward(1000);
+    EXPECT_EQ(ffwd, 2u);            // halt left for detailed mode
+    EXPECT_FALSE(core.done());
+    core.run(100);
+    EXPECT_TRUE(core.done());
+    EXPECT_EQ(core.stats().committed, 1u);
+    EXPECT_EQ(core.reg(1), 6u);
+}
+
+TEST(FastForward, WarmsCachesAndPredictor)
+{
+    const Program prog = makeGo(45).program();
+    // Cold detailed run of a short window vs the same window after a
+    // fast-forward warmup: warmed caches/predictor must give a better
+    // (or equal) IPC.
+    RunOptions cold;
+    cold.warmupInsts = 0;
+    cold.measureInsts = 50000;
+    cold.fastWarmup = false;
+    RunOptions warm;
+    warm.warmupInsts = 200000;
+    warm.measureInsts = 50000;
+    warm.fastWarmup = true;
+    const RunResult r_cold =
+        runProgram(prog, presets::baseline(), cold, "go", "cold");
+    const RunResult r_warm =
+        runProgram(prog, presets::baseline(), warm, "go", "warm");
+    EXPECT_GT(r_warm.ipc(), r_cold.ipc());
+    // The predictor was trained during fast warmup.
+    EXPECT_LT(r_warm.bpred.condMispredictRate(), 0.2);
+}
+
+TEST(FastForward, WorksInPerfectPredictionMode)
+{
+    const Program prog = makePerl(2).program();
+    const test::GoldenRun golden = test::runGolden(prog);
+    SparseMemory mem;
+    prog.load(mem);
+    OutOfOrderCore core(presets::baseline(true), mem, prog.entry);
+    const u64 ffwd = core.fastForward(30000);
+    core.run(200'000'000);
+    EXPECT_TRUE(core.done());
+    EXPECT_EQ(core.stats().mispredictSquashes, 0u);
+    EXPECT_EQ(ffwd + core.stats().committed, golden.instCount);
+}
+
+TEST(FastForward, RunnerIntegration)
+{
+    const Program prog = makeGcc(2).program();
+    RunOptions opts;
+    opts.warmupInsts = 30000;
+    opts.measureInsts = 60000;
+    opts.fastWarmup = true;
+    const RunResult r =
+        runProgram(prog, presets::baseline(), opts, "gcc", "fastwarm");
+    EXPECT_EQ(r.warmupCommitted, 30000u);
+    EXPECT_EQ(r.measuredCommitted, 60000u);
+    EXPECT_GT(r.ipc(), 0.1);
+}
+
+} // namespace
+} // namespace nwsim

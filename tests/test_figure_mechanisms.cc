@@ -1,0 +1,193 @@
+/**
+ * End-to-end tests of the mechanisms behind the paper's figures, on
+ * purpose-built programs (the benches then measure the same effects on
+ * the full workload suites).
+ */
+
+#include "sim_test_util.hh"
+
+#include "driver/presets.hh"
+
+namespace nwsim
+{
+namespace
+{
+
+using test::buildProgram;
+using test::runDifferential;
+
+TEST(Figure1Mechanism, AddressArithmeticCreatesThe33BitJump)
+{
+    // A pointer-chasing loop over data above 2^32: data values are
+    // narrow, address calculations are 33-bit.
+    const Program prog = buildProgram([](Assembler &as) {
+        as.la(16, "arr");
+        as.li(1, 500);
+        as.li(2, 0);
+        as.label("loop");
+        as.andi(3, 1, 63);
+        as.slli(4, 3, 3);
+        as.add(5, 4, 16);           // 33-bit address
+        as.ldq(6, 0, 5);            // narrow data
+        as.add(2, 2, 6);
+        as.subi(1, 1, 1);
+        as.bne(1, "loop");
+        as.halt();
+        as.dataLabel("arr");
+        for (int i = 0; i < 64; ++i)
+            as.dataQuad(static_cast<u64>(i * 3));
+    });
+    auto run = runDifferential(prog, presets::baseline());
+    const WidthProfiler &p = run.core->profiler();
+    const double at32 = p.cumulativePercent(32);
+    const double at33 = p.cumulativePercent(33);
+    // The jump at 33 bits (paper Figure 1: "this corresponds to heap
+    // and stack references").
+    EXPECT_GT(at33 - at32, 20.0);
+    EXPECT_GT(at33, 99.0);
+    // And a healthy narrow population below 16 bits.
+    EXPECT_GT(p.cumulativePercent(16), 40.0);
+}
+
+TEST(Figure2Mechanism, WrongPathsIncreaseWidthFluctuation)
+{
+    // Data-dependent branches select between narrow and wide inputs for
+    // the same static consumer instructions. Under realistic prediction
+    // the wrong path executes those PCs with the *other* width, so the
+    // per-PC fluctuation percentage can only grow.
+    auto build = [](Assembler &as) {
+        as.li(1, 0xb7e1);           // lfsr
+        as.li(2, 3000);
+        as.li(20, 7);               // narrow source
+        as.li(21, i64{1} << 45);    // wide source
+        as.label("loop");
+        as.srli(4, 1, 2);
+        as.xor_(4, 4, 1);
+        as.srli(5, 1, 3);
+        as.xor_(4, 4, 5);
+        as.andi(4, 4, 1);
+        as.srli(1, 1, 1);
+        as.slli(5, 4, 15);
+        as.or_(1, 1, 5);
+        as.beq(4, "use_wide");
+        as.mov(22, 20);
+        as.br("use");
+        as.label("use_wide");
+        as.mov(22, 21);
+        as.label("use");
+        as.add(23, 22, 22);         // width depends on the path taken
+        as.add(24, 23, 22);
+        as.subi(2, 2, 1);
+        as.bne(2, "loop");
+        as.halt();
+    };
+    const Program prog = buildProgram(build);
+    auto perfect = runDifferential(prog, presets::baseline(true));
+    auto realistic = runDifferential(prog, presets::baseline(false));
+    EXPECT_GT(realistic.core->stats().mispredictSquashes, 100u);
+    EXPECT_GE(realistic.core->profiler().fluctuationPercent(),
+              perfect.core->profiler().fluctuationPercent());
+}
+
+TEST(Figure3Mechanism, LoadSourcedOperandsAreTagged)
+{
+    // Section 4.2: operands arriving straight from loads need the
+    // zero-detect on the load path to gate.
+    const Program prog = buildProgram([](Assembler &as) {
+        as.la(16, "arr");
+        as.li(1, 400);
+        as.li(2, 0);
+        as.label("loop");
+        as.andi(3, 1, 31);
+        as.slli(4, 3, 3);
+        as.add(4, 4, 16);
+        as.ldq(5, 0, 4);            // narrow value from memory
+        as.add(2, 2, 5);            // consumer: one load-sourced operand
+        as.add(6, 5, 5);            // consumer: both load-sourced
+        as.subi(1, 1, 1);
+        as.bne(1, "loop");
+        as.halt();
+        as.dataLabel("arr");
+        for (int i = 0; i < 32; ++i)
+            as.dataQuad(static_cast<u64>(i));
+    });
+    auto with = runDifferential(prog, presets::baseline());
+    EXPECT_GT(with.core->gating().stats().gatedLoadSourced, 300u);
+
+    CoreConfig no_load_zd = presets::baseline();
+    no_load_zd.gating.zeroDetectOnLoads = false;
+    auto without = runDifferential(prog, no_load_zd);
+    // Without load zero-detect, those gated ops are lost...
+    EXPECT_LT(without.core->gating().stats().gated16,
+              with.core->gating().stats().gated16);
+    // ...and the power reduction shrinks.
+    EXPECT_LT(without.core->gating().stats().reductionPercent(),
+              with.core->gating().stats().reductionPercent());
+}
+
+TEST(Figure10Mechanism, ReplayTrapsThrottleBadSpeculation)
+{
+    // When every replay-packed op would trap (offsets that always carry
+    // out of the low 16 bits), replay packing must not corrupt state
+    // and must not beat strict packing.
+    const Program prog = buildProgram([](Assembler &as) {
+        as.li(20, (i64{1} << 32) + 0xffff);     // carries on any add
+        as.li(21, 0);
+        as.li(1, 300);
+        as.label("loop");
+        for (unsigned k = 0; k < 6; ++k) {
+            as.addi(static_cast<RegIndex>(2 + k), 20,
+                    static_cast<i64>(1 + k));
+            as.add(21, 21, static_cast<RegIndex>(2 + k));
+        }
+        as.subi(1, 1, 1);
+        as.bne(1, "loop");
+        as.halt();
+    });
+    auto strict = runDifferential(prog, presets::packing(false));
+    auto replay = runDifferential(prog, presets::packing(true));
+    EXPECT_GT(replay.core->packingStats().replayTraps, 100u);
+    EXPECT_GE(replay.core->stats().cycles,
+              strict.core->stats().cycles);
+}
+
+TEST(Figure11Mechanism, PackingTracksTheBigMachineOnBursts)
+{
+    // On burst-drain code, packing should recover a meaningful part of
+    // what the 8-issue/8-ALU machine gains over the baseline.
+    const Program prog = buildProgram([](Assembler &as) {
+        as.li(1, 0xace1);
+        as.li(2, 1200);
+        as.label("loop");
+        as.srli(4, 1, 2);
+        as.xor_(4, 4, 1);
+        as.srli(5, 1, 3);
+        as.xor_(4, 4, 5);
+        as.andi(4, 4, 1);
+        as.srli(1, 1, 1);
+        as.slli(5, 4, 15);
+        as.or_(1, 1, 5);
+        for (unsigned k = 0; k < 16; ++k)
+            as.addi(static_cast<RegIndex>(6 + (k % 8)), 4,
+                    static_cast<i64>(k));
+        as.beq(4, "skip");
+        as.addi(14, 14, 3);
+        as.label("skip");
+        as.subi(2, 2, 1);
+        as.bne(2, "loop");
+        as.halt();
+    });
+    auto base = runDifferential(prog, presets::baseline());
+    auto pack = runDifferential(prog, presets::packing(true));
+    auto wide = runDifferential(prog, presets::issue8());
+    const double gap = static_cast<double>(base.core->stats().cycles) -
+                       static_cast<double>(wide.core->stats().cycles);
+    const double closed =
+        static_cast<double>(base.core->stats().cycles) -
+        static_cast<double>(pack.core->stats().cycles);
+    ASSERT_GT(gap, 0.0);
+    EXPECT_GT(closed, 0.3 * gap);
+}
+
+} // namespace
+} // namespace nwsim

@@ -1,0 +1,210 @@
+/** Unit tests for instruction semantics and the functional simulator. */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "func/func_sim.hh"
+
+namespace nwsim
+{
+namespace
+{
+
+/** Execute `build`'s program on FuncSim; return the sim for probing. */
+std::pair<Program, std::unique_ptr<SparseMemory>>
+buildAndLoad(const std::function<void(Assembler &)> &build)
+{
+    Assembler as;
+    build(as);
+    Program prog = as.assemble();
+    auto mem = std::make_unique<SparseMemory>();
+    prog.load(*mem);
+    return {std::move(prog), std::move(mem)};
+}
+
+TEST(Semantics, ArithmeticAndLogic)
+{
+    Inst inst;
+    inst.op = Opcode::ADD;
+    EXPECT_EQ(aluResult(inst, 17, 2, 0), 19u);
+    inst.op = Opcode::SUB;
+    EXPECT_EQ(aluResult(inst, 2, 17, 0), static_cast<u64>(-15));
+    inst.op = Opcode::MUL;
+    EXPECT_EQ(aluResult(inst, 300, 400, 0), 120000u);
+    inst.op = Opcode::DIV;
+    EXPECT_EQ(aluResult(inst, static_cast<u64>(-20), 3, 0),
+              static_cast<u64>(-6));
+    EXPECT_EQ(aluResult(inst, 5, 0, 0), 0u);    // div-by-zero is total
+    inst.op = Opcode::REM;
+    EXPECT_EQ(aluResult(inst, 20, 6, 0), 2u);
+    EXPECT_EQ(aluResult(inst, 20, 0, 0), 0u);
+    inst.op = Opcode::BIC;
+    EXPECT_EQ(aluResult(inst, 0xff, 0x0f, 0), 0xf0u);
+    inst.op = Opcode::SEXTB;
+    EXPECT_EQ(aluResult(inst, 0x80, 0, 0), static_cast<u64>(-128));
+    inst.op = Opcode::SEXTW;
+    EXPECT_EQ(aluResult(inst, 0x8000, 0, 0), static_cast<u64>(-32768));
+    inst.op = Opcode::LDAH;
+    EXPECT_EQ(aluResult(inst, 4, 3, 0), 4u + (3u << 16));
+}
+
+TEST(Semantics, ShiftsMaskAmount)
+{
+    Inst inst;
+    inst.op = Opcode::SLL;
+    EXPECT_EQ(aluResult(inst, 1, 65, 0), 2u);   // 65 & 63 == 1
+    inst.op = Opcode::SRA;
+    EXPECT_EQ(aluResult(inst, static_cast<u64>(-8), 1, 0),
+              static_cast<u64>(-4));
+    inst.op = Opcode::SRL;
+    EXPECT_EQ(aluResult(inst, static_cast<u64>(-8), 1, 0),
+              0x7ffffffffffffffcULL);
+}
+
+TEST(Semantics, Compares)
+{
+    Inst inst;
+    inst.op = Opcode::CMPLT;
+    EXPECT_EQ(aluResult(inst, static_cast<u64>(-1), 0, 0), 1u);
+    inst.op = Opcode::CMPULT;
+    EXPECT_EQ(aluResult(inst, static_cast<u64>(-1), 0, 0), 0u);
+    inst.op = Opcode::CMPLE;
+    EXPECT_EQ(aluResult(inst, 5, 5, 0), 1u);
+    inst.op = Opcode::CMPEQ;
+    EXPECT_EQ(aluResult(inst, 5, 6, 0), 0u);
+}
+
+TEST(Semantics, BranchConditions)
+{
+    EXPECT_TRUE(branchTaken(Opcode::BEQ, 0));
+    EXPECT_FALSE(branchTaken(Opcode::BEQ, 1));
+    EXPECT_TRUE(branchTaken(Opcode::BNE, static_cast<u64>(-1)));
+    EXPECT_TRUE(branchTaken(Opcode::BLT, static_cast<u64>(-1)));
+    EXPECT_FALSE(branchTaken(Opcode::BLT, 0));
+    EXPECT_TRUE(branchTaken(Opcode::BLE, 0));
+    EXPECT_TRUE(branchTaken(Opcode::BGT, 1));
+    EXPECT_FALSE(branchTaken(Opcode::BGT, 0));
+    EXPECT_TRUE(branchTaken(Opcode::BGE, 0));
+    EXPECT_TRUE(branchTaken(Opcode::BR, 12345));
+}
+
+TEST(Semantics, LoadValueExtension)
+{
+    EXPECT_EQ(loadValue(Opcode::LDQ, ~u64{0}), ~u64{0});
+    EXPECT_EQ(loadValue(Opcode::LDL, 0x80000000u),
+              0xffffffff80000000ULL);
+    EXPECT_EQ(loadValue(Opcode::LDWU, 0xffff8000u), 0x8000u);
+    EXPECT_EQ(loadValue(Opcode::LDBU, 0x1ff), 0xffu);
+}
+
+TEST(FuncSim, Fibonacci)
+{
+    auto [prog, mem] = buildAndLoad([](Assembler &as) {
+        // r1 = fib(20) iteratively.
+        as.li(1, 0);
+        as.li(2, 1);
+        as.li(3, 20);
+        as.label("loop");
+        as.beq(3, "done");
+        as.add(4, 1, 2);
+        as.mov(1, 2);
+        as.mov(2, 4);
+        as.subi(3, 3, 1);
+        as.br("loop");
+        as.label("done");
+        as.halt();
+    });
+    FuncSim sim(*mem, prog.entry);
+    sim.run(1000);
+    EXPECT_TRUE(sim.halted());
+    EXPECT_EQ(sim.reg(1), 6765u);   // fib(20)
+}
+
+TEST(FuncSim, MemoryAndStack)
+{
+    auto [prog, mem] = buildAndLoad([](Assembler &as) {
+        as.subi(spReg, spReg, 16);
+        as.li(1, 77);
+        as.stq(1, 8, spReg);
+        as.li(1, 0);
+        as.ldq(1, 8, spReg);
+        as.halt();
+    });
+    FuncSim sim(*mem, prog.entry);
+    sim.run(100);
+    EXPECT_EQ(sim.reg(1), 77u);
+    EXPECT_EQ(sim.reg(spReg), layout::stackTop - 16);
+}
+
+TEST(FuncSim, IndirectJumpThroughTable)
+{
+    auto [prog, mem] = buildAndLoad([](Assembler &as) {
+        as.la(2, "table");
+        as.ldq(3, 8, 2);        // second entry -> "two"
+        as.jmp(zeroReg, 3);
+        as.label("one");
+        as.li(1, 1);
+        as.halt();
+        as.label("two");
+        as.li(1, 2);
+        as.halt();
+        as.dataLabel("table");
+        as.dataQuadSym("one");
+        as.dataQuadSym("two");
+    });
+    FuncSim sim(*mem, prog.entry);
+    sim.run(100);
+    EXPECT_TRUE(sim.halted());
+    EXPECT_EQ(sim.reg(1), 2u);
+}
+
+TEST(FuncSim, StepRecordFields)
+{
+    auto [prog, mem] = buildAndLoad([](Assembler &as) {
+        as.li(1, 3);            // addi r1, r31, 3
+        as.beq(1, "skip");      // not taken
+        as.la(2, "x");
+        as.ldq(3, 0, 2);
+        as.label("skip");
+        as.halt();
+        as.dataLabel("x");
+        as.dataQuad(42);
+    });
+    FuncSim sim(*mem, prog.entry);
+    const FuncStep s1 = sim.step();
+    EXPECT_EQ(s1.result, 3u);
+    EXPECT_EQ(s1.nextPc, s1.pc + 4);
+    const FuncStep s2 = sim.step();
+    EXPECT_FALSE(s2.taken);
+    // la is 5 instructions.
+    for (int i = 0; i < 5; ++i)
+        sim.step();
+    const FuncStep s3 = sim.step();     // the ldq
+    EXPECT_EQ(s3.inst.op, Opcode::LDQ);
+    EXPECT_EQ(s3.effAddr, prog.symbol("x"));
+    EXPECT_EQ(s3.result, 42u);
+    const FuncStep s4 = sim.step();     // halt
+    EXPECT_TRUE(s4.halted);
+    EXPECT_TRUE(sim.halted());
+    // Further steps are inert.
+    const FuncStep s5 = sim.step();
+    EXPECT_TRUE(s5.halted);
+    EXPECT_EQ(sim.instCount(), 9u);
+}
+
+TEST(FuncSim, HaltStopsRun)
+{
+    auto [prog, mem] = buildAndLoad([](Assembler &as) {
+        as.nop();
+        as.nop();
+        as.halt();
+        as.nop();
+    });
+    FuncSim sim(*mem, prog.entry);
+    const u64 steps = sim.run(100);
+    EXPECT_EQ(steps, 3u);
+    EXPECT_TRUE(sim.halted());
+}
+
+} // namespace
+} // namespace nwsim

@@ -1,0 +1,156 @@
+/** Unit tests for the clock-gating power accounting (core/gating.hh). */
+
+#include <gtest/gtest.h>
+
+#include "core/gating.hh"
+
+namespace nwsim
+{
+namespace
+{
+
+constexpr double kAdder64 = 210.0;
+constexpr double kAdder16 = 210.0 / 4;
+constexpr double kAdder33 = 210.0 * 33 / 64;
+constexpr double kZd = 4.2;
+constexpr double kMux = 3.2;
+
+TEST(Gating, NarrowOpGatesTo16Bits)
+{
+    ClockGatingModel m;
+    m.recordOp(DeviceClass::Adder, 17, 2, false, false, true);
+    const GatingStats &s = m.stats();
+    EXPECT_EQ(s.ops, 1u);
+    EXPECT_EQ(s.gated16, 1u);
+    EXPECT_DOUBLE_EQ(s.baselineMwSum, kAdder64);
+    EXPECT_DOUBLE_EQ(s.gatedMwSum, kAdder16);
+    EXPECT_DOUBLE_EQ(s.overheadMwSum, kZd + kMux);
+    EXPECT_DOUBLE_EQ(s.saved16MwSum, kAdder64 - kAdder16);
+    EXPECT_DOUBLE_EQ(s.saved33MwSum, 0.0);
+}
+
+TEST(Gating, AddressOpGatesTo33Bits)
+{
+    ClockGatingModel m;
+    const u64 heap_ptr = (u64{1} << 32) + 0x100;
+    m.recordOp(DeviceClass::Adder, heap_ptr, 8, false, false, true);
+    const GatingStats &s = m.stats();
+    EXPECT_EQ(s.gated33, 1u);
+    EXPECT_DOUBLE_EQ(s.gatedMwSum, kAdder33);
+    EXPECT_DOUBLE_EQ(s.saved33MwSum, kAdder64 - kAdder33);
+}
+
+TEST(Gating, WideOpPaysFullPower)
+{
+    ClockGatingModel m;
+    m.recordOp(DeviceClass::Adder, u64{1} << 40, 8, false, false, true);
+    const GatingStats &s = m.stats();
+    EXPECT_EQ(s.gated16 + s.gated33, 0u);
+    EXPECT_DOUBLE_EQ(s.gatedMwSum, kAdder64);
+    // Zero-detect still runs (tags every produced result); no mux.
+    EXPECT_DOUBLE_EQ(s.overheadMwSum, kZd);
+}
+
+TEST(Gating, BothOperandsMustBeNarrow)
+{
+    ClockGatingModel m;
+    m.recordOp(DeviceClass::Adder, 5, u64{1} << 40, false, false, true);
+    EXPECT_EQ(m.stats().gated16 + m.stats().gated33, 0u);
+}
+
+TEST(Gating, NegativeNarrowValuesGateViaOnesDetect)
+{
+    ClockGatingModel m;
+    m.recordOp(DeviceClass::Adder, static_cast<u64>(-17),
+               static_cast<u64>(-2), false, false, true);
+    EXPECT_EQ(m.stats().gated16, 1u);
+}
+
+TEST(Gating, DisabledGate33FallsBackToFullWidth)
+{
+    GatingConfig cfg;
+    cfg.gate33 = false;
+    ClockGatingModel m(cfg);
+    m.recordOp(DeviceClass::Adder, u64{1} << 32, 8, false, false, true);
+    EXPECT_EQ(m.stats().gated33, 0u);
+    EXPECT_DOUBLE_EQ(m.stats().gatedMwSum, kAdder64);
+}
+
+TEST(Gating, LoadSourcedOperandsTracked)
+{
+    ClockGatingModel m;
+    m.recordOp(DeviceClass::Adder, 17, 2, true, false, true);
+    m.recordOp(DeviceClass::Adder, 17, 2, false, false, true);
+    EXPECT_EQ(m.stats().gatedLoadSourced, 1u);
+    EXPECT_DOUBLE_EQ(m.stats().loadSourcedPercent(), 50.0);
+}
+
+TEST(Gating, NoZeroDetectOnLoadsBlocksGating)
+{
+    GatingConfig cfg;
+    cfg.zeroDetectOnLoads = false;
+    ClockGatingModel m(cfg);
+    m.recordOp(DeviceClass::Adder, 17, 2, true, false, true);
+    EXPECT_EQ(m.stats().gated16, 0u);
+    EXPECT_EQ(m.stats().blockedByLoad, 1u);
+    EXPECT_DOUBLE_EQ(m.stats().gatedMwSum, kAdder64);
+    // Not load-sourced: still gates.
+    m.recordOp(DeviceClass::Adder, 17, 2, false, false, true);
+    EXPECT_EQ(m.stats().gated16, 1u);
+}
+
+TEST(Gating, DisabledModelChargesBaseline)
+{
+    GatingConfig cfg;
+    cfg.enabled = false;
+    ClockGatingModel m(cfg);
+    m.recordOp(DeviceClass::Adder, 17, 2, false, false, true);
+    EXPECT_DOUBLE_EQ(m.stats().gatedMwSum, kAdder64);
+    EXPECT_DOUBLE_EQ(m.stats().overheadMwSum, 0.0);
+    EXPECT_DOUBLE_EQ(m.stats().reductionPercent(), 0.0);
+}
+
+TEST(Gating, MultiplierSavesTenTimesTheAdder)
+{
+    ClockGatingModel m;
+    m.recordOp(DeviceClass::Multiplier, 100, 200, false, false, true);
+    EXPECT_DOUBLE_EQ(m.stats().saved16MwSum, (2100.0 - 2100.0 / 4));
+}
+
+TEST(Gating, NetAndReductionArithmetic)
+{
+    ClockGatingModel m;
+    m.recordOp(DeviceClass::Adder, 1, 2, false, false, true);
+    m.recordOp(DeviceClass::Adder, u64{1} << 32, 4, false, false, true);
+    m.recordOp(DeviceClass::Adder, u64{1} << 50, 4, false, false, true);
+    const GatingStats &s = m.stats();
+    const double expect_net =
+        s.saved16MwSum + s.saved33MwSum - s.overheadMwSum;
+    EXPECT_DOUBLE_EQ(s.netSavedMwSum(), expect_net);
+    EXPECT_DOUBLE_EQ(s.optimizedMwSum(), s.gatedMwSum + s.overheadMwSum);
+    EXPECT_GT(s.reductionPercent(), 0.0);
+    EXPECT_LT(s.reductionPercent(), 100.0);
+    // Consistency: baseline == gated + all savings (device side).
+    EXPECT_NEAR(s.baselineMwSum,
+                s.gatedMwSum + s.saved16MwSum + s.saved33MwSum, 1e-9);
+}
+
+TEST(Gating, NopsCostNothing)
+{
+    ClockGatingModel m;
+    m.recordOp(DeviceClass::None, 0, 0, false, false, false);
+    EXPECT_EQ(m.stats().ops, 0u);
+    EXPECT_DOUBLE_EQ(m.stats().baselineMwSum, 0.0);
+}
+
+TEST(Gating, ResetClearsEverything)
+{
+    ClockGatingModel m;
+    m.recordOp(DeviceClass::Adder, 1, 2, false, false, true);
+    m.reset();
+    EXPECT_EQ(m.stats().ops, 0u);
+    EXPECT_DOUBLE_EQ(m.stats().baselineMwSum, 0.0);
+}
+
+} // namespace
+} // namespace nwsim

@@ -1,0 +1,192 @@
+/** Unit tests for the ISA: opcode metadata, encode/decode, disasm. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "isa/disasm.hh"
+#include "isa/encode.hh"
+
+namespace nwsim
+{
+namespace
+{
+
+TEST(OpInfo, TableConsistency)
+{
+    for (int i = 0; i < static_cast<int>(Opcode::NumOpcodes); ++i) {
+        const auto op = static_cast<Opcode>(i);
+        const OpInfo &info = opInfo(op);
+        EXPECT_FALSE(info.mnemonic.empty());
+        EXPECT_GE(info.latency, 1);
+        // Replay packing only applies to packable add/sub shapes.
+        if (info.replayPackable) {
+            EXPECT_TRUE(info.packKey == PackKey::Add ||
+                        info.packKey == PackKey::Sub);
+        }
+        // Packable ops are the ALU arithmetic/logic/shift set.
+        if (info.packKey != PackKey::None) {
+            EXPECT_TRUE(info.opClass == OpClass::IntAlu ||
+                        info.opClass == OpClass::Logic ||
+                        info.opClass == OpClass::Shift)
+                << info.mnemonic;
+        }
+        // Memory/branch ops use the adder for address generation.
+        if (info.opClass == OpClass::MemRead ||
+            info.opClass == OpClass::MemWrite ||
+            info.opClass == OpClass::Branch) {
+            EXPECT_EQ(info.device, DeviceClass::Adder) << info.mnemonic;
+        }
+    }
+}
+
+TEST(OpInfo, Classifiers)
+{
+    EXPECT_TRUE(isLoad(Opcode::LDQ));
+    EXPECT_TRUE(isLoad(Opcode::LDBU));
+    EXPECT_FALSE(isLoad(Opcode::STQ));
+    EXPECT_TRUE(isStore(Opcode::STB));
+    EXPECT_TRUE(isCondBranch(Opcode::BEQ));
+    EXPECT_TRUE(isCondBranch(Opcode::BGE));
+    EXPECT_FALSE(isCondBranch(Opcode::BR));
+    EXPECT_TRUE(isControl(Opcode::BR));
+    EXPECT_TRUE(isControl(Opcode::RET));
+    EXPECT_FALSE(isControl(Opcode::ADD));
+    EXPECT_EQ(memAccessSize(Opcode::LDQ), 8u);
+    EXPECT_EQ(memAccessSize(Opcode::STW), 2u);
+    EXPECT_TRUE(immZeroExtends(Opcode::ORI));
+    EXPECT_FALSE(immZeroExtends(Opcode::ADDI));
+}
+
+/** Round-trip every opcode through encode/decode with varied fields. */
+class EncodeRoundTrip : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(EncodeRoundTrip, AllFieldPatterns)
+{
+    const auto op = static_cast<Opcode>(GetParam());
+    const OpInfo &info = opInfo(op);
+    SplitMix64 rng(GetParam() + 17);
+    for (int trial = 0; trial < 64; ++trial) {
+        Inst inst;
+        inst.op = op;
+        switch (info.format) {
+          case Format::R:
+            inst.ra = static_cast<RegIndex>(rng.below(32));
+            inst.rb = static_cast<RegIndex>(rng.below(32));
+            inst.rc = static_cast<RegIndex>(rng.below(32));
+            if (op == Opcode::SEXTB || op == Opcode::SEXTW)
+                inst.rb = zeroReg;
+            break;
+          case Format::I:
+            inst.ra = static_cast<RegIndex>(rng.below(32));
+            if (isStore(op))
+                inst.rb = static_cast<RegIndex>(rng.below(32));
+            else
+                inst.rc = static_cast<RegIndex>(rng.below(32));
+            inst.imm = immZeroExtends(op)
+                           ? static_cast<i64>(rng.below(65536))
+                           : rng.range(-32768, 32767);
+            break;
+          case Format::B:
+            if (op == Opcode::BR)
+                inst.rc = static_cast<RegIndex>(rng.below(32));
+            else
+                inst.ra = static_cast<RegIndex>(rng.below(32));
+            inst.disp = rng.range(-(1 << 20), (1 << 20) - 1);
+            break;
+          case Format::J:
+            inst.rb = static_cast<RegIndex>(rng.below(32));
+            if (op != Opcode::RET)
+                inst.rc = static_cast<RegIndex>(rng.below(32));
+            break;
+          case Format::None:
+            break;
+        }
+
+        bool valid = false;
+        const Inst back = decode(encode(inst), &valid);
+        EXPECT_TRUE(valid);
+        EXPECT_EQ(back.op, inst.op);
+        EXPECT_EQ(back.imm, inst.imm) << disassemble(inst);
+        EXPECT_EQ(back.disp, inst.disp) << disassemble(inst);
+        // Dataflow roles must survive; rc == zeroReg writes are dropped.
+        EXPECT_EQ(back.ra, inst.ra) << disassemble(inst);
+        EXPECT_EQ(back.rb, inst.rb) << disassemble(inst);
+        EXPECT_EQ(back.rc, inst.rc) << disassemble(inst);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpcodes, EncodeRoundTrip,
+    ::testing::Range(0, static_cast<int>(Opcode::NumOpcodes)));
+
+TEST(Decode, InvalidOpcodeIsNop)
+{
+    bool valid = true;
+    const Inst inst = decode(0xffffffff, &valid);
+    EXPECT_FALSE(valid);
+    EXPECT_EQ(inst.op, Opcode::NOP);
+}
+
+TEST(Disasm, Formats)
+{
+    Inst add;
+    add.op = Opcode::ADD;
+    add.ra = 1;
+    add.rb = 2;
+    add.rc = 3;
+    EXPECT_EQ(disassemble(add), "add r3, r1, r2");
+
+    Inst ld;
+    ld.op = Opcode::LDQ;
+    ld.ra = 4;
+    ld.rc = 5;
+    ld.imm = -8;
+    EXPECT_EQ(disassemble(ld), "ldq r5, -8(r4)");
+
+    Inst st;
+    st.op = Opcode::STW;
+    st.ra = 4;
+    st.rb = 6;
+    st.imm = 16;
+    EXPECT_EQ(disassemble(st), "stw r6, 16(r4)");
+
+    Inst beq;
+    beq.op = Opcode::BEQ;
+    beq.ra = 7;
+    beq.disp = 3;
+    EXPECT_EQ(disassemble(beq, 0x1000), "beq r7, 0x1010");
+}
+
+TEST(Inst, BranchTarget)
+{
+    Inst b;
+    b.op = Opcode::BR;
+    b.disp = -2;
+    EXPECT_EQ(b.branchTarget(0x1008), 0x1004u);
+    b.disp = 0;
+    EXPECT_EQ(b.branchTarget(0x1008), 0x100cu);
+}
+
+TEST(Inst, CallReturnClassifiers)
+{
+    Inst bsr;
+    bsr.op = Opcode::BR;
+    bsr.rc = raReg;
+    EXPECT_TRUE(isCall(bsr));
+    bsr.rc = zeroReg;
+    EXPECT_FALSE(isCall(bsr));
+
+    Inst jsr;
+    jsr.op = Opcode::JSR;
+    EXPECT_TRUE(isCall(jsr));
+
+    Inst ret;
+    ret.op = Opcode::RET;
+    EXPECT_TRUE(isReturn(ret));
+    EXPECT_TRUE(isIndirectControl(ret));
+}
+
+} // namespace
+} // namespace nwsim

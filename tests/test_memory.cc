@@ -1,0 +1,148 @@
+/** Unit tests for sparse memory, caches, TLBs, and the hierarchy. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "mem/memsystem.hh"
+#include "mem/sparse_memory.hh"
+
+namespace nwsim
+{
+namespace
+{
+
+TEST(SparseMemory, ReadsAreZeroAndNonAllocating)
+{
+    SparseMemory mem;
+    EXPECT_EQ(mem.read(0x1234, 8), 0u);
+    EXPECT_EQ(mem.read(~u64{0} - 7, 8), 0u);    // wild wrong-path address
+    EXPECT_EQ(mem.numPages(), 0u);
+}
+
+TEST(SparseMemory, WriteReadRoundTrip)
+{
+    SparseMemory mem;
+    mem.write(0x1000, 8, 0x0102030405060708ULL);
+    EXPECT_EQ(mem.read(0x1000, 8), 0x0102030405060708ULL);
+    EXPECT_EQ(mem.read(0x1000, 4), 0x05060708u);
+    EXPECT_EQ(mem.read(0x1000, 2), 0x0708u);
+    EXPECT_EQ(mem.read(0x1000, 1), 0x08u);
+    EXPECT_EQ(mem.read(0x1004, 4), 0x01020304u);
+}
+
+TEST(SparseMemory, CrossPageAccess)
+{
+    SparseMemory mem;
+    const Addr edge = SparseMemory::pageSize - 4;
+    mem.write(edge, 8, 0xaabbccdd11223344ULL);
+    EXPECT_EQ(mem.read(edge, 8), 0xaabbccdd11223344ULL);
+    EXPECT_EQ(mem.numPages(), 2u);
+}
+
+TEST(SparseMemory, BlockCopy)
+{
+    SparseMemory mem;
+    const char msg[] = "narrow width operands";
+    mem.writeBlock(0x5000, msg, sizeof(msg));
+    char back[sizeof(msg)];
+    mem.readBlock(0x5000, back, sizeof(msg));
+    EXPECT_STREQ(back, msg);
+}
+
+TEST(Cache, HitAfterMiss)
+{
+    Cache cache({"t", 1024, 2, 32, 1});
+    EXPECT_FALSE(cache.access(0x100));
+    EXPECT_TRUE(cache.access(0x100));
+    EXPECT_TRUE(cache.access(0x11f));   // same 32B block
+    EXPECT_FALSE(cache.access(0x120));  // next block
+    EXPECT_EQ(cache.stats().accesses, 4u);
+    EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(Cache, LruEviction)
+{
+    // 2-way, 2 sets of 32B blocks: addresses mapping to set 0 are
+    // multiples of 64.
+    Cache cache({"t", 128, 2, 32, 1});
+    EXPECT_FALSE(cache.access(0));      // set 0, way A
+    EXPECT_FALSE(cache.access(64));     // set 0, way B
+    EXPECT_TRUE(cache.access(0));       // refresh A
+    EXPECT_FALSE(cache.access(128));    // evicts 64 (LRU)
+    EXPECT_TRUE(cache.access(0));
+    EXPECT_FALSE(cache.access(64));     // was evicted
+}
+
+TEST(Cache, ProbeAndFlush)
+{
+    Cache cache({"t", 1024, 2, 32, 1});
+    cache.access(0x40);
+    EXPECT_TRUE(cache.probe(0x40));
+    EXPECT_FALSE(cache.probe(0x80));
+    cache.flush();
+    EXPECT_FALSE(cache.probe(0x40));
+}
+
+TEST(Tlb, MissThenHitAndLru)
+{
+    Tlb tlb({"t", 2, 12, 30});
+    EXPECT_EQ(tlb.access(0x1000), 30u);
+    EXPECT_EQ(tlb.access(0x1fff), 0u);      // same page
+    EXPECT_EQ(tlb.access(0x2000), 30u);
+    EXPECT_EQ(tlb.access(0x1000), 0u);      // refresh
+    EXPECT_EQ(tlb.access(0x3000), 30u);     // evicts 0x2000
+    EXPECT_EQ(tlb.access(0x2000), 30u);
+}
+
+TEST(MemSystem, Table1Latencies)
+{
+    MemSystem ms{MemSystemConfig{}};
+    // Cold access: TLB miss (30) + L1 miss (1) + L2 miss (12) + mem (100).
+    EXPECT_EQ(ms.dataLatency(0x10000), 30u + 1 + 12 + 100);
+    // Warm: L1 hit, TLB hit.
+    EXPECT_EQ(ms.dataLatency(0x10000), 1u);
+    // Same page, adjacent block: TLB hit; the L2 also has 32B blocks,
+    // so both caches miss to memory.
+    EXPECT_EQ(ms.dataLatency(0x10020), 1u + 12 + 100);
+    // Instruction side has its own L1/TLB, but the unified L2 already
+    // holds the block the data side fetched.
+    EXPECT_EQ(ms.instLatency(0x10000), 30u + 1 + 12);
+    EXPECT_EQ(ms.instLatency(0x10000), 1u);
+    ms.flush();
+    EXPECT_EQ(ms.dataLatency(0x10000), 30u + 1 + 12 + 100);
+}
+
+TEST(MemSystem, L2SharedBetweenInstAndData)
+{
+    MemSystem ms{MemSystemConfig{}};
+    ms.instLatency(0x40000);                // fills L2 with the block
+    // Data access to the same block: TLB miss + L1D miss + L2 *hit*.
+    EXPECT_EQ(ms.dataLatency(0x40000), 30u + 1 + 12);
+}
+
+/** Property sweep: random access strings keep stats consistent. */
+class CacheProperty : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(CacheProperty, MissesNeverExceedAccesses)
+{
+    SplitMix64 rng(GetParam());
+    Cache cache({"t", 4096, GetParam(), 32, 1});
+    u64 rehits = 0;
+    for (int i = 0; i < 5000; ++i) {
+        const Addr a = rng.below(1 << 16);
+        cache.access(a);
+        if (cache.probe(a))
+            ++rehits;
+    }
+    EXPECT_EQ(rehits, 5000u);   // just-filled blocks always present
+    EXPECT_LE(cache.stats().misses, cache.stats().accesses);
+    EXPECT_GT(cache.stats().misses, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Assocs, CacheProperty,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+} // namespace
+} // namespace nwsim

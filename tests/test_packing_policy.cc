@@ -1,0 +1,124 @@
+/** Unit tests for packing legality (core/packing.hh). */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/packing.hh"
+
+namespace nwsim
+{
+namespace
+{
+
+Inst
+mkInst(Opcode op)
+{
+    Inst i;
+    i.op = op;
+    return i;
+}
+
+TEST(PackPolicy, StrictRequiresBothNarrowAndPackableOp)
+{
+    const Inst add = mkInst(Opcode::ADD);
+    EXPECT_TRUE(packEligible(add, 17, 2));
+    EXPECT_TRUE(packEligible(add, static_cast<u64>(-5), 100));
+    EXPECT_FALSE(packEligible(add, u64{1} << 20, 2));
+    EXPECT_FALSE(packEligible(add, 2, u64{1} << 20));
+    // Loads/branches/multiplies never pack (paper Section 5.1: "we do
+    // not attempt to pack multiply operations").
+    EXPECT_FALSE(packEligible(mkInst(Opcode::LDQ), 1, 2));
+    EXPECT_FALSE(packEligible(mkInst(Opcode::BEQ), 1, 2));
+    EXPECT_FALSE(packEligible(mkInst(Opcode::MUL), 1, 2));
+    // Logic and shift ops pack.
+    EXPECT_TRUE(packEligible(mkInst(Opcode::XOR), 0xff, 0x0f));
+    EXPECT_TRUE(packEligible(mkInst(Opcode::SLLI), 0xff, 3));
+}
+
+TEST(PackPolicy, PackKeysMatchAcrossImmediateForms)
+{
+    EXPECT_EQ(opInfo(Opcode::ADD).packKey, opInfo(Opcode::ADDI).packKey);
+    EXPECT_EQ(opInfo(Opcode::SUB).packKey, opInfo(Opcode::SUBI).packKey);
+    EXPECT_EQ(opInfo(Opcode::SLL).packKey, opInfo(Opcode::SLLI).packKey);
+    EXPECT_NE(opInfo(Opcode::ADD).packKey, opInfo(Opcode::SUB).packKey);
+}
+
+TEST(PackPolicy, ReplayEligibilityShapes)
+{
+    const Inst add = mkInst(Opcode::ADD);
+    const Inst sub = mkInst(Opcode::SUB);
+    const u64 wide = (u64{1} << 32) + 0x500;
+    // Exactly one narrow operand.
+    EXPECT_TRUE(replayEligible(add, wide, 7));
+    EXPECT_TRUE(replayEligible(add, 7, wide));
+    EXPECT_FALSE(replayEligible(add, 7, 9));        // both narrow
+    EXPECT_FALSE(replayEligible(add, wide, wide));  // both wide
+    // Subtraction: only a wide minuend makes upper-bit muxing sane.
+    EXPECT_TRUE(replayEligible(sub, wide, 7));
+    EXPECT_FALSE(replayEligible(sub, 7, wide));
+    // Non-replayPackable ops never qualify.
+    EXPECT_FALSE(replayEligible(mkInst(Opcode::XOR), wide, 7));
+    EXPECT_FALSE(replayEligible(mkInst(Opcode::LDQ), wide, 7));
+}
+
+TEST(PackPolicy, ReplayTrapFiresExactlyOnUpperBitChange)
+{
+    const Inst add = mkInst(Opcode::ADD);
+    const u64 base = u64{1} << 32;
+    // No carry out of the low 16 bits: no trap.
+    EXPECT_FALSE(replayWouldTrap(add, base + 0x100, 0x10, 0));
+    // Carry crosses: 0xffff + 1.
+    EXPECT_TRUE(replayWouldTrap(add, base + 0xffff, 1, 0));
+    // Negative narrow operand borrows from the upper bits.
+    EXPECT_TRUE(
+        replayWouldTrap(add, base + 0x10, static_cast<u64>(-0x20), 0));
+    // Subtraction borrow.
+    const Inst sub = mkInst(Opcode::SUB);
+    EXPECT_FALSE(replayWouldTrap(sub, base + 0x100, 0x10, 0));
+    EXPECT_TRUE(replayWouldTrap(sub, base + 0x10, 0x20, 0));
+}
+
+/**
+ * Property: whenever the replay trap does NOT fire, the packed result
+ * (wide upper bits + 16-bit lane) equals the true ALU result — i.e. the
+ * hardware shortcut is architecturally invisible exactly when we say so.
+ */
+class ReplayProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ReplayProperty, NoTrapImpliesExactResult)
+{
+    SplitMix64 rng(GetParam() * 123 + 7);
+    const Opcode ops[] = {Opcode::ADD, Opcode::SUB, Opcode::ADDI,
+                          Opcode::SUBI};
+    u64 traps = 0, clean = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const Inst inst = mkInst(ops[rng.below(4)]);
+        u64 wide = rng.next();
+        u64 narrow = static_cast<u64>(rng.range(-32768, 32767));
+        u64 a = wide, b = narrow;
+        if (opInfo(inst.op).packKey == PackKey::Add && rng.below(2))
+            std::swap(a, b);
+        if (!replayEligible(inst, a, b))
+            continue;
+        const u64 w = isNarrow16(a) ? b : a;
+        const u64 truth = aluResult(inst, a, b, 0);
+        const u64 packed = (w & ~u64{0xffff}) | (truth & 0xffff);
+        if (replayWouldTrap(inst, a, b, 0)) {
+            ++traps;
+            EXPECT_NE(packed, truth);
+        } else {
+            ++clean;
+            EXPECT_EQ(packed, truth);
+        }
+    }
+    // Both outcomes occur in volume.
+    EXPECT_GT(traps, 100u);
+    EXPECT_GT(clean, 100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReplayProperty, ::testing::Range(0, 6));
+
+} // namespace
+} // namespace nwsim

@@ -1,0 +1,123 @@
+/**
+ * Shape-regression tests: lock in the paper's headline result shapes
+ * on a reduced measurement window, so a future change that silently
+ * destroys a reproduction (for example a width-tag regression) fails
+ * CI rather than only being visible in bench output.
+ *
+ * Windows are small (5k warmup + 40k measured per run), so bounds are
+ * generous; the benches measure the full-precision values.
+ */
+
+#include <gtest/gtest.h>
+
+#include "driver/presets.hh"
+#include "driver/runner.hh"
+#include "workloads/kernels.hh"
+
+namespace nwsim
+{
+namespace
+{
+
+RunOptions
+shortWindow()
+{
+    RunOptions opts;
+    opts.warmupInsts = 5000;
+    opts.measureInsts = 40000;
+    return opts;
+}
+
+RunResult
+quickRun(const std::string &workload, const CoreConfig &cfg)
+{
+    return runProgram(workloadByName(workload).program(), cfg,
+                      shortWindow(), workload, "shape");
+}
+
+TEST(PaperShapes, Figure1NarrowFractionAndAddressJump)
+{
+    // Paper: ~50% of spec int ops narrow at 16 bits; big jump at 33.
+    double at16_sum = 0, jump_sum = 0;
+    const char *bench[] = {"ijpeg", "compress", "go", "gcc"};
+    for (const char *name : bench) {
+        const RunResult r = quickRun(name, presets::baseline());
+        at16_sum += r.profiler.cumulativePercent(16);
+        jump_sum += r.profiler.cumulativePercent(33) -
+                    r.profiler.cumulativePercent(32);
+    }
+    EXPECT_GT(at16_sum / 4, 35.0);
+    EXPECT_LT(at16_sum / 4, 85.0);
+    EXPECT_GT(jump_sum / 4, 10.0);
+}
+
+TEST(PaperShapes, Figure7PowerReductionBand)
+{
+    // Paper: 54.1% (spec) / 57.9% (media) integer-unit power reduction.
+    const RunResult spec = quickRun("ijpeg", presets::baseline());
+    const RunResult media = quickRun("gsm-encode", presets::baseline());
+    EXPECT_GT(spec.gating.reductionPercent(), 40.0);
+    EXPECT_LT(spec.gating.reductionPercent(), 80.0);
+    EXPECT_GT(media.gating.reductionPercent(), 45.0);
+    EXPECT_LT(media.gating.reductionPercent(), 85.0);
+}
+
+TEST(PaperShapes, Figure6NetSavingsPositive)
+{
+    for (const char *name : {"go", "vortex", "g721decode"}) {
+        const RunResult r = quickRun(name, presets::baseline());
+        EXPECT_GT(r.gating.netSavedMwSum(), 0.0) << name;
+        // Zero-detect/mux overhead never exceeds the savings.
+        EXPECT_LT(r.gating.overheadMwSum,
+                  r.gating.saved16MwSum + r.gating.saved33MwSum)
+            << name;
+    }
+}
+
+TEST(PaperShapes, GsmHasNarrowMultiplies)
+{
+    // Paper: multiplies account for ~6% of gsm's narrow operations.
+    const RunResult r = quickRun("gsm-encode", presets::baseline());
+    EXPECT_GT(r.profiler.narrow16Percent(WidthCategory::Multiply), 1.0);
+}
+
+TEST(PaperShapes, PackingPacksMoreOnMediaThanNothing)
+{
+    const RunResult r = quickRun("mpeg2encode", presets::packing(true));
+    EXPECT_GT(r.packing.packedInsts, 5000u);
+    // Packed instructions never exceed lanes * groups.
+    EXPECT_LE(r.packing.packedInsts, 4 * r.packing.packedGroups);
+}
+
+TEST(PaperShapes, EightWideDecodeRaisesPackingSpeedup)
+{
+    // Paper Section 5.4: wider decode -> more packing opportunity.
+    // go shows it strongest in our suite.
+    const CoreConfig b4 = presets::baseline();
+    const CoreConfig p4 = presets::packing(true);
+    const CoreConfig b8 = presets::decode8(presets::baseline());
+    const CoreConfig p8 = presets::decode8(presets::packing(true));
+    const double s4 =
+        speedupPercent(quickRun("go", b4), quickRun("go", p4));
+    const double s8 =
+        speedupPercent(quickRun("go", b8), quickRun("go", p8));
+    EXPECT_GT(s8, s4);
+    EXPECT_GT(s8, 5.0);
+}
+
+TEST(PaperShapes, ReplayTrapRateIsSmall)
+{
+    // Section 5.3: overflow into the upper bits "happens relatively
+    // infrequently" — traps must be a small fraction of speculations.
+    for (const char *name : {"li", "vortex", "gcc"}) {
+        const RunResult r = quickRun(name, presets::packing(true));
+        if (r.packing.replaySpeculations > 100) {
+            EXPECT_LT(r.packing.replayTraps,
+                      r.packing.replaySpeculations / 4)
+                << name;
+        }
+    }
+}
+
+} // namespace
+} // namespace nwsim

@@ -1,0 +1,368 @@
+/**
+ * Integration tests of the out-of-order pipeline against the functional
+ * golden model, plus targeted timing-behaviour checks.
+ */
+
+#include "sim_test_util.hh"
+
+#include "driver/presets.hh"
+
+namespace nwsim
+{
+namespace
+{
+
+using test::buildProgram;
+using test::runDifferential;
+
+TEST(Pipeline, StraightLine)
+{
+    const Program prog = buildProgram([](Assembler &as) {
+        as.li(1, 10);
+        as.li(2, 20);
+        as.add(3, 1, 2);
+        as.mul(4, 3, 3);
+        as.subi(5, 4, 900);
+        as.halt();
+    });
+    auto run = runDifferential(prog, presets::baseline());
+    EXPECT_EQ(run.core->reg(4), 900u);
+    EXPECT_EQ(run.core->reg(5), 0u);
+}
+
+TEST(Pipeline, LoopWithBranches)
+{
+    const Program prog = buildProgram([](Assembler &as) {
+        as.li(1, 0);
+        as.li(2, 500);
+        as.label("loop");
+        as.beq(2, "done");
+        as.andi(3, 2, 1);
+        as.beq(3, "even");
+        as.add(1, 1, 2);        // odd: add
+        as.br("next");
+        as.label("even");
+        as.sub(1, 1, 2);        // even: subtract
+        as.label("next");
+        as.subi(2, 2, 1);
+        as.br("loop");
+        as.label("done");
+        as.halt();
+    });
+    runDifferential(prog, presets::baseline());
+}
+
+TEST(Pipeline, StoreToLoadForwarding)
+{
+    const Program prog = buildProgram([](Assembler &as) {
+        as.la(4, "buf");
+        as.li(1, 0);
+        as.li(2, 200);
+        as.label("loop");
+        as.beq(2, "done");
+        as.stq(2, 0, 4);
+        as.ldq(3, 0, 4);        // must see the store just above
+        as.add(1, 1, 3);
+        as.stb(3, 8, 4);
+        as.ldbu(5, 8, 4);       // partial-width forwarding
+        as.add(1, 1, 5);
+        as.subi(2, 2, 1);
+        as.br("loop");
+        as.label("done");
+        as.halt();
+        as.dataLabel("buf");
+        as.dataZeros(16);
+    });
+    auto run = runDifferential(prog, presets::baseline());
+    EXPECT_GT(run.core->stats().loadsForwarded, 0u);
+}
+
+TEST(Pipeline, PartialStoreOverlapsWideLoad)
+{
+    const Program prog = buildProgram([](Assembler &as) {
+        as.la(4, "buf");
+        as.li(1, -1);
+        as.stq(1, 0, 4);        // buf = all ones
+        as.li(2, 0);
+        as.stb(2, 3, 4);        // clear byte 3
+        as.stw(2, 6, 4);        // clear bytes 6..7
+        as.ldq(3, 0, 4);        // must merge store bytes over memory
+        as.halt();
+        as.dataLabel("buf");
+        as.dataQuad(0x1234567890abcdefULL);
+    });
+    auto run = runDifferential(prog, presets::baseline());
+    // Little-endian bytes: ff ff ff 00 ff ff 00 00.
+    EXPECT_EQ(run.core->reg(3), 0x0000ffff00ffffffULL);
+}
+
+TEST(Pipeline, CallReturnRecursion)
+{
+    const Program prog = buildProgram([](Assembler &as) {
+        as.li(1, 12);
+        as.call("fact");
+        as.halt();
+        // r2 = fact(r1) recursively, clobbers r1.
+        as.label("fact");
+        as.bgt(1, "recurse");
+        as.li(2, 1);
+        as.ret();
+        as.label("recurse");
+        as.subi(spReg, spReg, 16);
+        as.stq(raReg, 0, spReg);
+        as.stq(1, 8, spReg);
+        as.subi(1, 1, 1);
+        as.call("fact");
+        as.ldq(1, 8, spReg);
+        as.mul(2, 2, 1);
+        as.ldq(raReg, 0, spReg);
+        as.addi(spReg, spReg, 16);
+        as.ret();
+    });
+    auto run = runDifferential(prog, presets::baseline());
+    EXPECT_EQ(run.core->reg(2), 479001600u);    // 12!
+}
+
+TEST(Pipeline, DataDependentBranchesMispredict)
+{
+    // Pseudo-random branch directions: the predictor must actually
+    // mispredict, and recovery must stay architecturally exact.
+    const Program prog = buildProgram([](Assembler &as) {
+        as.li(1, 0x1234);       // lfsr state
+        as.li(2, 2000);         // iterations
+        as.li(3, 0);            // accumulator
+        as.label("loop");
+        as.beq(2, "done");
+        // lfsr step: bit = (s ^ s>>2 ^ s>>3 ^ s>>5) & 1; s = s>>1 | bit<<15
+        as.srli(4, 1, 2);
+        as.xor_(4, 4, 1);
+        as.srli(5, 1, 3);
+        as.xor_(4, 4, 5);
+        as.srli(5, 1, 5);
+        as.xor_(4, 4, 5);
+        as.andi(4, 4, 1);
+        as.srli(1, 1, 1);
+        as.slli(5, 4, 15);
+        as.or_(1, 1, 5);
+        as.beq(4, "skip");
+        as.addi(3, 3, 7);
+        as.br("next");
+        as.label("skip");
+        as.addi(3, 3, 1);
+        as.label("next");
+        as.subi(2, 2, 1);
+        as.br("loop");
+        as.label("done");
+        as.halt();
+    });
+    auto run = runDifferential(prog, presets::baseline());
+    EXPECT_GT(run.core->stats().mispredictSquashes, 50u);
+    EXPECT_GT(run.core->stats().squashed, 0u);
+}
+
+TEST(Pipeline, RarePathStoresStayExact)
+{
+    // A rarely-taken branch guards a store. The predictor will sometimes
+    // speculate into/over it, executing the store (or skipping it) on
+    // the wrong path; squash must keep memory architecturally exact.
+    const Program prog = buildProgram([](Assembler &as) {
+        as.la(4, "guard");
+        as.li(2, 300);
+        as.label("loop");
+        as.beq(2, "done");
+        as.andi(3, 2, 63);
+        as.bne(3, "no_store");
+        as.stq(2, 0, 4);        // executes only when (r2 & 63) == 0
+        as.label("no_store");
+        as.subi(2, 2, 1);
+        as.br("loop");
+        as.label("done");
+        as.ldq(1, 0, 4);
+        as.halt();
+        as.dataLabel("guard");
+        as.dataQuad(111);
+    });
+    auto run = runDifferential(prog, presets::baseline());
+    // Counters 300..1: multiples of 64 stored are 256,192,128,64.
+    EXPECT_EQ(run.core->reg(1), 64u);
+}
+
+TEST(Pipeline, PerfectPredictionNeverSquashes)
+{
+    const Program prog = buildProgram([](Assembler &as) {
+        as.li(1, 0x9e37);
+        as.li(2, 1500);
+        as.li(3, 0);
+        as.label("loop");
+        as.beq(2, "done");
+        as.andi(4, 1, 1);
+        as.srli(1, 1, 1);
+        as.beq(4, "skip");
+        as.xori(1, 1, 0xb400);
+        as.addi(3, 3, 1);
+        as.label("skip");
+        as.subi(2, 2, 1);
+        as.br("loop");
+        as.label("done");
+        as.halt();
+    });
+    auto run = runDifferential(prog, presets::baseline(true));
+    EXPECT_EQ(run.core->stats().mispredictSquashes, 0u);
+    EXPECT_EQ(run.core->stats().squashed, 0u);
+}
+
+TEST(Pipeline, PerfectBeatsRealisticOnRandomBranches)
+{
+    auto build = [](Assembler &as) {
+        as.li(1, 0xace1);
+        as.li(2, 3000);
+        as.li(3, 0);
+        as.label("loop");
+        as.beq(2, "done");
+        as.srli(4, 1, 2);
+        as.xor_(4, 4, 1);
+        as.srli(5, 1, 3);
+        as.xor_(4, 4, 5);
+        as.andi(4, 4, 1);
+        as.srli(1, 1, 1);
+        as.slli(5, 4, 15);
+        as.or_(1, 1, 5);
+        as.beq(4, "skip");
+        as.addi(3, 3, 3);
+        as.label("skip");
+        as.subi(2, 2, 1);
+        as.br("loop");
+        as.label("done");
+        as.halt();
+    };
+    const Program prog = buildProgram(build);
+    auto realistic = runDifferential(prog, presets::baseline(false));
+    auto perfect = runDifferential(prog, presets::baseline(true));
+    EXPECT_LT(perfect.core->stats().cycles,
+              realistic.core->stats().cycles);
+}
+
+TEST(Pipeline, IndependentAddsReachIssueWidthIpc)
+{
+    // A long unrolled block of independent adds, looped so the I-cache
+    // warms, should sustain close to 4 IPC on the 4-wide baseline.
+    const Program prog = buildProgram([](Assembler &as) {
+        as.li(15, 6);
+        as.label("again");
+        for (int i = 0; i < 2000; ++i)
+            as.addi(static_cast<RegIndex>(1 + (i % 8)), zeroReg,
+                    (i * 7) & 0x7ff);
+        as.subi(15, 15, 1);
+        as.bne(15, "again");
+        as.halt();
+    });
+    auto run =
+        runDifferential(prog, test::fastMemory(presets::baseline()));
+    EXPECT_GT(run.core->stats().ipc(), 3.4);
+}
+
+TEST(Pipeline, DependentChainIsSerialized)
+{
+    const Program prog = buildProgram([](Assembler &as) {
+        as.li(1, 0);
+        for (int i = 0; i < 1000; ++i)
+            as.addi(1, 1, 1);
+        as.halt();
+    });
+    auto run =
+        runDifferential(prog, test::fastMemory(presets::baseline()));
+    EXPECT_EQ(run.core->reg(1), 1000u);
+    // A dependent chain can't beat ~1 IPC.
+    EXPECT_LT(run.core->stats().ipc(), 1.2);
+    EXPECT_GT(run.core->stats().ipc(), 0.75);
+}
+
+TEST(Pipeline, UnpipelinedDivideStallsIssue)
+{
+    const Program divs = buildProgram([](Assembler &as) {
+        as.li(1, 1000000);
+        as.li(2, 3);
+        for (int i = 0; i < 50; ++i)
+            as.div(3, 1, 2);    // independent but one unpipelined unit
+        as.halt();
+    });
+    auto run = runDifferential(divs, presets::baseline());
+    // 50 divides at ~20 cycles on one unpipelined unit: >= ~1000 cycles.
+    EXPECT_GT(run.core->stats().cycles, 950u);
+}
+
+TEST(Pipeline, ResetStatsKeepsArchitecturalProgress)
+{
+    const Program prog = buildProgram([](Assembler &as) {
+        as.li(1, 0);
+        as.li(2, 4000);
+        as.label("loop");
+        as.beq(2, "done");
+        as.add(1, 1, 2);
+        as.subi(2, 2, 1);
+        as.br("loop");
+        as.label("done");
+        as.halt();
+    });
+    SparseMemory mem;
+    prog.load(mem);
+    OutOfOrderCore core(presets::baseline(), mem, prog.entry);
+    core.run(1000);
+    core.resetStats();
+    EXPECT_EQ(core.stats().committed, 0u);
+    core.run(1'000'000);
+    EXPECT_TRUE(core.done());
+    // 4000*(4001)/2 regardless of the mid-run stats reset.
+    EXPECT_EQ(core.reg(1), 4000u * 4001 / 2);
+}
+
+/**
+ * Mispredict-drain loop: an LFSR produces a 50/50 branch whose
+ * resolution sits behind a burst of 16 ready narrow adds. Extra issue
+ * bandwidth (8-issue/8-ALU, or packing) drains the adds faster, so the
+ * mispredicted branch resolves and redirects fetch sooner — the same
+ * contention the paper's Figures 10/11 measure.
+ */
+Program
+mispredictDrainLoop(unsigned iters)
+{
+    return buildProgram([iters](Assembler &as) {
+        as.li(1, 0xace1);
+        as.li(2, static_cast<i64>(iters));
+        as.label("loop");
+        as.beq(2, "done");
+        as.srli(4, 1, 2);
+        as.xor_(4, 4, 1);
+        as.srli(5, 1, 3);
+        as.xor_(4, 4, 5);
+        as.andi(4, 4, 1);
+        as.srli(1, 1, 1);
+        as.slli(5, 4, 15);
+        as.or_(1, 1, 5);
+        for (unsigned k = 0; k < 16; ++k)
+            as.addi(static_cast<RegIndex>(6 + (k % 8)), 4,
+                    static_cast<i64>(k));
+        as.beq(4, "skip");
+        as.addi(14, 14, 3);
+        as.label("skip");
+        as.subi(2, 2, 1);
+        as.br("loop");
+        as.label("done");
+        as.halt();
+    });
+}
+
+TEST(Pipeline, EightIssueBeatsBaselineOnBurstyCode)
+{
+    const Program prog = mispredictDrainLoop(1500);
+    auto base = runDifferential(prog, presets::baseline());
+    auto wide = runDifferential(prog, presets::issue8());
+    // Extra issue/ALU bandwidth must buy a clear cycle reduction.
+    EXPECT_LT(wide.core->stats().cycles,
+              base.core->stats().cycles * 95 / 100);
+    // Commit width still caps IPC at 4 on both machines (Figure 11).
+    EXPECT_LE(wide.core->stats().ipc(), 4.001);
+}
+
+} // namespace
+} // namespace nwsim

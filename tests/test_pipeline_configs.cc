@@ -1,0 +1,160 @@
+/**
+ * Configuration-matrix differential sweep: the pipeline must stay
+ * architecturally exact across extreme structural parameters (tiny
+ * windows, single-issue, narrow fetch, giant widths, tiny caches) on a
+ * branchy, memory-heavy torture program — and obey basic monotonicity.
+ */
+
+#include "sim_test_util.hh"
+
+#include "driver/presets.hh"
+
+namespace nwsim
+{
+namespace
+{
+
+/** Branch+load+store torture loop exercising every hazard class. */
+Program
+tortureProgram()
+{
+    return test::buildProgram([](Assembler &as) {
+        as.la(16, "arr");
+        as.li(1, 900);              // iterations
+        as.li(2, 0x1d2e);           // lfsr
+        as.li(3, 0);                // accumulator
+        as.label("loop");
+        // lfsr for unpredictable control.
+        as.srli(4, 2, 2);
+        as.xor_(4, 4, 2);
+        as.srli(5, 2, 3);
+        as.xor_(4, 4, 5);
+        as.andi(4, 4, 1);
+        as.srli(2, 2, 1);
+        as.slli(5, 4, 15);
+        as.or_(2, 2, 5);
+        // indexed read-modify-write with store-to-load dependence.
+        as.andi(6, 1, 127);
+        as.slli(7, 6, 3);
+        as.add(7, 7, 16);
+        as.ldq(8, 0, 7);
+        as.add(8, 8, 6);
+        as.stq(8, 0, 7);
+        as.ldq(9, 0, 7);            // forwarded
+        as.add(3, 3, 9);
+        // data-dependent branches with work on both sides.
+        as.beq(4, "even");
+        as.mul(10, 6, 6);
+        as.add(3, 3, 10);
+        as.br("join");
+        as.label("even");
+        as.div(10, 3, 7);
+        as.sub(3, 3, 10);
+        as.label("join");
+        // function call for RAS traffic.
+        as.call("bump");
+        as.subi(1, 1, 1);
+        as.bne(1, "loop");
+        as.halt();
+        as.label("bump");
+        as.addi(3, 3, 1);
+        as.ret();
+        as.dataLabel("arr");
+        as.dataZeros(128 * 8);
+    });
+}
+
+struct ConfigCase
+{
+    const char *name;
+    unsigned ruu, lsq, fetchq;
+    unsigned fetchw, decodew, issuew, commitw;
+    unsigned alus, mults;
+};
+
+const ConfigCase config_cases[] = {
+    {"tiny-window", 4, 2, 2, 1, 1, 1, 1, 1, 1},
+    {"small-window", 8, 4, 4, 2, 2, 2, 2, 2, 1},
+    {"single-issue", 80, 40, 8, 4, 4, 1, 4, 1, 1},
+    {"narrow-fetch", 80, 40, 2, 1, 4, 4, 4, 4, 1},
+    {"wide-commit", 80, 40, 8, 4, 4, 4, 16, 4, 1},
+    {"mega", 256, 128, 32, 16, 16, 16, 16, 16, 4},
+    {"odd-sizes", 13, 7, 3, 3, 5, 3, 2, 3, 2},
+};
+
+class ConfigMatrix : public ::testing::TestWithParam<ConfigCase>
+{
+};
+
+CoreConfig
+toConfig(const ConfigCase &c)
+{
+    CoreConfig cfg = presets::baseline();
+    cfg.ruuSize = c.ruu;
+    cfg.lsqSize = c.lsq;
+    cfg.fetchQueueSize = c.fetchq;
+    cfg.fetchWidth = c.fetchw;
+    cfg.decodeWidth = c.decodew;
+    cfg.issueWidth = c.issuew;
+    cfg.commitWidth = c.commitw;
+    cfg.numAlus = c.alus;
+    cfg.numMultDiv = c.mults;
+    return cfg;
+}
+
+TEST_P(ConfigMatrix, BaselineExact)
+{
+    test::runDifferential(tortureProgram(), toConfig(GetParam()));
+}
+
+TEST_P(ConfigMatrix, PackingExact)
+{
+    CoreConfig cfg = toConfig(GetParam());
+    cfg.packing.enabled = true;
+    cfg.packing.replay = true;
+    test::runDifferential(tortureProgram(), cfg);
+}
+
+TEST_P(ConfigMatrix, PerfectPredictionExact)
+{
+    CoreConfig cfg = toConfig(GetParam());
+    cfg.perfectBPred = true;
+    test::runDifferential(tortureProgram(), cfg);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ConfigMatrix, ::testing::ValuesIn(config_cases),
+    [](const ::testing::TestParamInfo<ConfigCase> &info) {
+        std::string n = info.param.name;
+        for (auto &ch : n)
+            if (ch == '-')
+                ch = '_';
+        return n;
+    });
+
+TEST(ConfigMonotonicity, BiggerMachinesAreNotSlower)
+{
+    const Program prog = tortureProgram();
+    auto tiny = test::runDifferential(prog, toConfig(config_cases[0]));
+    auto small = test::runDifferential(prog, toConfig(config_cases[1]));
+    auto base = test::runDifferential(prog, presets::baseline());
+    auto mega = test::runDifferential(prog, toConfig(config_cases[5]));
+    EXPECT_GE(tiny.core->stats().cycles, small.core->stats().cycles);
+    EXPECT_GE(small.core->stats().cycles, base.core->stats().cycles);
+    EXPECT_GE(base.core->stats().cycles, mega.core->stats().cycles);
+}
+
+TEST(ConfigMonotonicity, TinyCachesHurt)
+{
+    const Program prog = tortureProgram();
+    CoreConfig small_cache = presets::baseline();
+    small_cache.mem.l1d = {"l1d", 512, 1, 32, 1};
+    small_cache.mem.l1i = {"l1i", 512, 1, 32, 1};
+    small_cache.mem.l2 = {"l2", 4096, 1, 32, 12};
+    auto base = test::runDifferential(prog, presets::baseline());
+    auto starved = test::runDifferential(prog, small_cache);
+    EXPECT_GT(starved.core->stats().cycles, base.core->stats().cycles);
+}
+
+} // namespace
+} // namespace nwsim

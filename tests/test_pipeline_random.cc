@@ -1,0 +1,168 @@
+/**
+ * Property-based differential testing: randomly generated programs must
+ * produce bit-identical architected state on the out-of-order pipeline
+ * (in every configuration) and the functional golden model.
+ */
+
+#include "sim_test_util.hh"
+
+#include "common/rng.hh"
+#include "driver/presets.hh"
+
+namespace nwsim
+{
+namespace
+{
+
+/**
+ * Generate a terminating random program: `blocks` basic blocks, each
+ * with random ALU/memory ops, chained by data-dependent forward
+ * branches, wrapped in a counted outer loop.
+ */
+Program
+randomProgram(u64 seed, unsigned blocks, unsigned block_len,
+              unsigned iterations)
+{
+    SplitMix64 rng(seed);
+    Assembler as;
+    // r16 = data base, r17 = loop counter, r18..r20 reserved.
+    as.la(16, "data");
+    as.li(17, static_cast<i64>(iterations));
+    as.label("outer");
+    as.beq(17, "finish");
+
+    for (unsigned b = 0; b < blocks; ++b) {
+        as.label("blk" + std::to_string(b));
+        for (unsigned i = 0; i < block_len; ++i) {
+            const auto rnd_reg = [&] {
+                return static_cast<RegIndex>(1 + rng.below(12));
+            };
+            const RegIndex rc = rnd_reg();
+            const RegIndex ra = rnd_reg();
+            const RegIndex rb = rnd_reg();
+            switch (rng.below(14)) {
+              case 0:
+                as.add(rc, ra, rb);
+                break;
+              case 1:
+                as.sub(rc, ra, rb);
+                break;
+              case 2:
+                as.addi(rc, ra, rng.range(-500, 500));
+                break;
+              case 3:
+                as.xor_(rc, ra, rb);
+                break;
+              case 4:
+                as.and_(rc, ra, rb);
+                break;
+              case 5:
+                as.slli(rc, ra, static_cast<i64>(rng.below(20)));
+                break;
+              case 6:
+                as.srai(rc, ra, static_cast<i64>(rng.below(20)));
+                break;
+              case 7:
+                as.mul(rc, ra, rb);
+                break;
+              case 8:
+                as.cmplt(rc, ra, rb);
+                break;
+              case 9: {
+                // Bounded load/store inside the data blob.
+                const i64 off = static_cast<i64>(rng.below(32)) * 8;
+                if (rng.below(2))
+                    as.ldq(rc, off, 16);
+                else
+                    as.stq(ra, off, 16);
+                break;
+              }
+              case 10:
+                as.ldbu(rc, static_cast<i64>(rng.below(256)), 16);
+                break;
+              case 11:
+                as.sextw(rc, ra);
+                break;
+              case 12:
+                as.div(rc, ra, rb);
+                break;
+              default:
+                as.ori(rc, ra, static_cast<i64>(rng.below(65536)));
+                break;
+            }
+        }
+        // Data-dependent forward branch over a junk op.
+        const RegIndex cond = static_cast<RegIndex>(1 + rng.below(12));
+        const std::string skip = "skip" + std::to_string(b);
+        switch (rng.below(3)) {
+          case 0:
+            as.beq(cond, skip);
+            break;
+          case 1:
+            as.blt(cond, skip);
+            break;
+          default:
+            as.bgt(cond, skip);
+            break;
+        }
+        as.addi(static_cast<RegIndex>(1 + rng.below(12)), cond, 13);
+        as.label(skip);
+    }
+
+    as.subi(17, 17, 1);
+    as.br("outer");
+    as.label("finish");
+    as.halt();
+
+    as.alignData(8);
+    as.dataLabel("data");
+    for (int i = 0; i < 64; ++i)
+        as.dataQuad(rng.next());
+    return as.assemble();
+}
+
+class RandomProgram : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RandomProgram, BaselineMatchesGolden)
+{
+    const Program prog =
+        randomProgram(1000 + GetParam(), 6, 12, 40);
+    test::runDifferential(prog, presets::baseline());
+}
+
+TEST_P(RandomProgram, PerfectPredictionMatchesGolden)
+{
+    const Program prog =
+        randomProgram(2000 + GetParam(), 5, 10, 30);
+    auto run = test::runDifferential(prog, presets::baseline(true));
+    EXPECT_EQ(run.core->stats().mispredictSquashes, 0u);
+}
+
+TEST_P(RandomProgram, PackingIsArchitecturallyInvisible)
+{
+    const Program prog =
+        randomProgram(3000 + GetParam(), 6, 12, 40);
+    test::runDifferential(prog, presets::packing(false));
+}
+
+TEST_P(RandomProgram, ReplayPackingIsArchitecturallyInvisible)
+{
+    const Program prog =
+        randomProgram(4000 + GetParam(), 6, 12, 40);
+    test::runDifferential(prog, presets::packing(true));
+}
+
+TEST_P(RandomProgram, WideMachinesMatchGolden)
+{
+    const Program prog =
+        randomProgram(5000 + GetParam(), 5, 10, 30);
+    test::runDifferential(prog, presets::issue8());
+    test::runDifferential(prog, presets::decode8(presets::packing(true)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgram, ::testing::Range(0, 12));
+
+} // namespace
+} // namespace nwsim

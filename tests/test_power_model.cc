@@ -1,0 +1,77 @@
+/** Unit tests for the Table 4 device power model. */
+
+#include <gtest/gtest.h>
+
+#include "power/device_model.hh"
+
+namespace nwsim
+{
+namespace
+{
+
+TEST(DeviceModel, Table4ValuesAt64Bits)
+{
+    DeviceModel m;
+    EXPECT_DOUBLE_EQ(m.power(DeviceClass::Adder, 64), 210.0);
+    EXPECT_DOUBLE_EQ(m.power(DeviceClass::Multiplier, 64), 2100.0);
+    EXPECT_DOUBLE_EQ(m.power(DeviceClass::BitwiseLogic, 64), 11.7);
+    EXPECT_DOUBLE_EQ(m.power(DeviceClass::Shifter, 64), 8.8);
+    EXPECT_DOUBLE_EQ(m.zeroDetectPower(), 4.2);
+    EXPECT_DOUBLE_EQ(m.muxPower(), 3.2);
+}
+
+TEST(DeviceModel, Table4ValuesAt32And48Bits)
+{
+    // The paper's 32/48-bit columns are linear in width (158 and 8.7 are
+    // printed rounded; we allow 1 mW of rounding slack).
+    DeviceModel m;
+    EXPECT_DOUBLE_EQ(m.power(DeviceClass::Adder, 32), 105.0);
+    EXPECT_NEAR(m.power(DeviceClass::Adder, 48), 158.0, 1.0);
+    EXPECT_DOUBLE_EQ(m.power(DeviceClass::Multiplier, 32), 1050.0);
+    EXPECT_NEAR(m.power(DeviceClass::Multiplier, 48), 1580.0, 5.0);
+    EXPECT_NEAR(m.power(DeviceClass::BitwiseLogic, 32), 5.8, 0.1);
+    EXPECT_NEAR(m.power(DeviceClass::BitwiseLogic, 48), 8.7, 0.1);
+    EXPECT_NEAR(m.power(DeviceClass::Shifter, 32), 4.4, 0.1);
+    EXPECT_NEAR(m.power(DeviceClass::Shifter, 48), 6.6, 0.1);
+}
+
+TEST(DeviceModel, GatedWidthsUsedByTheOptimization)
+{
+    DeviceModel m;
+    // 16-bit gated adder: a quarter of the 64-bit power.
+    EXPECT_DOUBLE_EQ(m.power(DeviceClass::Adder, 16), 210.0 / 4);
+    // 33-bit gating leaves slightly more than half.
+    EXPECT_NEAR(m.power(DeviceClass::Adder, 33), 210.0 * 33 / 64, 1e-9);
+    EXPECT_DOUBLE_EQ(m.power(DeviceClass::None, 64), 0.0);
+    EXPECT_DOUBLE_EQ(m.power(DeviceClass::Adder, 0), 0.0);
+}
+
+TEST(DeviceModel, MonotoneInWidth)
+{
+    DeviceModel m;
+    for (unsigned w = 1; w <= 64; ++w) {
+        EXPECT_LE(m.power(DeviceClass::Adder, w - 1),
+                  m.power(DeviceClass::Adder, w));
+        EXPECT_LE(m.power(DeviceClass::Multiplier, w - 1),
+                  m.power(DeviceClass::Multiplier, w));
+    }
+}
+
+TEST(DeviceModel, CustomConfigScales)
+{
+    DeviceModelConfig cfg;
+    cfg.adder64 = 400.0;
+    cfg.zeroDetect = 1.0;
+    DeviceModel m(cfg);
+    EXPECT_DOUBLE_EQ(m.power(DeviceClass::Adder, 32), 200.0);
+    EXPECT_DOUBLE_EQ(m.zeroDetectPower(), 1.0);
+    // Ratios between devices dominate the paper's conclusions: the
+    // multiplier/adder ratio is 10x in Table 4.
+    DeviceModel def;
+    EXPECT_DOUBLE_EQ(def.fullPower(DeviceClass::Multiplier) /
+                         def.fullPower(DeviceClass::Adder),
+                     10.0);
+}
+
+} // namespace
+} // namespace nwsim

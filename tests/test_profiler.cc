@@ -1,0 +1,96 @@
+/** Unit tests for the width profiler (Figures 1, 2, 4, 5 machinery). */
+
+#include <gtest/gtest.h>
+
+#include "core/profiler.hh"
+
+namespace nwsim
+{
+namespace
+{
+
+TEST(Profiler, CumulativeDistribution)
+{
+    WidthProfiler p;
+    p.recordOp(0x100, OpClass::IntAlu, 17, 2);              // width 5
+    p.recordOp(0x104, OpClass::IntAlu, 65535, 1);           // width 16
+    p.recordOp(0x108, OpClass::IntAlu, u64{1} << 32, 4);    // width 33
+    p.recordOp(0x10c, OpClass::IntAlu, u64{1} << 60, 4);    // width 61
+    EXPECT_EQ(p.totalOps(), 4u);
+    EXPECT_DOUBLE_EQ(p.cumulativePercent(4), 0.0);
+    EXPECT_DOUBLE_EQ(p.cumulativePercent(5), 25.0);
+    EXPECT_DOUBLE_EQ(p.cumulativePercent(16), 50.0);
+    EXPECT_DOUBLE_EQ(p.cumulativePercent(32), 50.0);
+    EXPECT_DOUBLE_EQ(p.cumulativePercent(33), 75.0);
+    EXPECT_DOUBLE_EQ(p.cumulativePercent(64), 100.0);
+}
+
+TEST(Profiler, CategoriesMatchFigure4Legend)
+{
+    EXPECT_EQ(widthCategory(OpClass::IntAlu), WidthCategory::Arithmetic);
+    EXPECT_EQ(widthCategory(OpClass::MemRead),
+              WidthCategory::Arithmetic);    // address calculation
+    EXPECT_EQ(widthCategory(OpClass::Branch),
+              WidthCategory::Arithmetic);
+    EXPECT_EQ(widthCategory(OpClass::Logic), WidthCategory::Logical);
+    EXPECT_EQ(widthCategory(OpClass::Shift), WidthCategory::Shift);
+    EXPECT_EQ(widthCategory(OpClass::IntMult), WidthCategory::Multiply);
+    EXPECT_EQ(widthCategory(OpClass::IntDiv), WidthCategory::Multiply);
+}
+
+TEST(Profiler, Narrow16And33Breakdown)
+{
+    WidthProfiler p;
+    p.recordOp(0x1, OpClass::IntAlu, 3, 4);             // narrow16 arith
+    p.recordOp(0x2, OpClass::Logic, 100, 200);          // narrow16 logic
+    p.recordOp(0x3, OpClass::IntMult, 1000, 1000);      // narrow16 mult
+    p.recordOp(0x4, OpClass::IntAlu, u64{1} << 32, 8);  // narrow33 arith
+    p.recordOp(0x5, OpClass::Shift, u64{1} << 40, 1);   // wide shift
+    EXPECT_DOUBLE_EQ(p.narrow16Percent(WidthCategory::Arithmetic), 20.0);
+    EXPECT_DOUBLE_EQ(p.narrow16Percent(WidthCategory::Logical), 20.0);
+    EXPECT_DOUBLE_EQ(p.narrow16Percent(WidthCategory::Multiply), 20.0);
+    EXPECT_DOUBLE_EQ(p.narrow16Percent(WidthCategory::Shift), 0.0);
+    EXPECT_DOUBLE_EQ(p.narrow16TotalPercent(), 60.0);
+    // narrow33 is cumulative (includes the 16-bit ops).
+    EXPECT_DOUBLE_EQ(p.narrow33Percent(WidthCategory::Arithmetic), 40.0);
+    EXPECT_DOUBLE_EQ(p.narrow33TotalPercent(), 80.0);
+}
+
+TEST(Profiler, Figure2Fluctuation)
+{
+    WidthProfiler p;
+    // PC 0x10 always narrow; PC 0x20 fluctuates; PC 0x30 always wide.
+    p.recordOp(0x10, OpClass::IntAlu, 1, 2);
+    p.recordOp(0x10, OpClass::IntAlu, 3, 4);
+    p.recordOp(0x20, OpClass::IntAlu, 1, 2);
+    p.recordOp(0x20, OpClass::IntAlu, u64{1} << 20, 2);
+    p.recordOp(0x30, OpClass::IntAlu, u64{1} << 40, 2);
+    EXPECT_DOUBLE_EQ(p.fluctuationPercent(), 100.0 / 3.0);
+}
+
+TEST(Profiler, OtherClassIgnored)
+{
+    WidthProfiler p;
+    p.recordOp(0x10, OpClass::Other, 1, 2);
+    EXPECT_EQ(p.totalOps(), 0u);
+}
+
+TEST(Profiler, ResetClears)
+{
+    WidthProfiler p;
+    p.recordOp(0x10, OpClass::IntAlu, 1, 2);
+    p.reset();
+    EXPECT_EQ(p.totalOps(), 0u);
+    EXPECT_DOUBLE_EQ(p.fluctuationPercent(), 0.0);
+}
+
+TEST(Profiler, EmptyProfilerIsZero)
+{
+    WidthProfiler p;
+    EXPECT_DOUBLE_EQ(p.cumulativePercent(64), 0.0);
+    EXPECT_DOUBLE_EQ(p.narrow16TotalPercent(), 0.0);
+    EXPECT_DOUBLE_EQ(p.fluctuationPercent(), 0.0);
+}
+
+} // namespace
+} // namespace nwsim

@@ -1,0 +1,142 @@
+/** Tests for the experiment driver: runner, presets, table printer. */
+
+#include <gtest/gtest.h>
+
+#include "driver/presets.hh"
+#include "driver/runner.hh"
+#include "driver/table.hh"
+#include "workloads/kernels.hh"
+
+namespace nwsim
+{
+namespace
+{
+
+TEST(Presets, Table1Baseline)
+{
+    const CoreConfig cfg = presets::baseline();
+    EXPECT_EQ(cfg.ruuSize, 80u);
+    EXPECT_EQ(cfg.lsqSize, 40u);
+    EXPECT_EQ(cfg.fetchQueueSize, 8u);
+    EXPECT_EQ(cfg.fetchWidth, 4u);
+    EXPECT_EQ(cfg.decodeWidth, 4u);
+    EXPECT_EQ(cfg.issueWidth, 4u);
+    EXPECT_EQ(cfg.commitWidth, 4u);
+    EXPECT_EQ(cfg.numAlus, 4u);
+    EXPECT_EQ(cfg.numMultDiv, 1u);
+    EXPECT_EQ(cfg.mispredictPenalty, 2u);
+    EXPECT_FALSE(cfg.packing.enabled);
+    // Table 1 memory hierarchy.
+    EXPECT_EQ(cfg.mem.l1d.sizeBytes, 64u * 1024);
+    EXPECT_EQ(cfg.mem.l1d.assoc, 2u);
+    EXPECT_EQ(cfg.mem.l1d.blockBytes, 32u);
+    EXPECT_EQ(cfg.mem.l2.sizeBytes, 8u * 1024 * 1024);
+    EXPECT_EQ(cfg.mem.l2.assoc, 4u);
+    EXPECT_EQ(cfg.mem.l2.hitLatency, 12u);
+    EXPECT_EQ(cfg.mem.memoryLatency, 100u);
+    EXPECT_EQ(cfg.mem.dtlb.entries, 128u);
+    EXPECT_EQ(cfg.mem.dtlb.missLatency, 30u);
+    // Table 1 predictor.
+    EXPECT_EQ(cfg.bpred.selectorEntries, 4096u);
+    EXPECT_EQ(cfg.bpred.globalHistBits, 12u);
+    EXPECT_EQ(cfg.bpred.localHistEntries, 1024u);
+    EXPECT_EQ(cfg.bpred.localPredBits, 3u);
+    EXPECT_EQ(cfg.bpred.btbEntries, 2048u);
+    EXPECT_EQ(cfg.bpred.btbAssoc, 2u);
+    EXPECT_EQ(cfg.bpred.rasEntries, 32u);
+}
+
+TEST(Presets, Variants)
+{
+    EXPECT_TRUE(presets::packing(false).packing.enabled);
+    EXPECT_FALSE(presets::packing(false).packing.replay);
+    EXPECT_TRUE(presets::packing(true).packing.replay);
+    EXPECT_TRUE(presets::baseline(true).perfectBPred);
+    const CoreConfig d8 = presets::decode8(presets::baseline());
+    EXPECT_EQ(d8.decodeWidth, 8u);
+    EXPECT_EQ(d8.fetchWidth, 8u);
+    EXPECT_EQ(d8.issueWidth, 4u);
+    const CoreConfig i8 = presets::issue8();
+    EXPECT_EQ(i8.issueWidth, 8u);
+    EXPECT_EQ(i8.numAlus, 8u);
+    EXPECT_EQ(i8.decodeWidth, 4u);
+}
+
+TEST(Runner, WarmupThenMeasure)
+{
+    const Program prog = makeCompress(14).program();
+    RunOptions opts;
+    opts.warmupInsts = 5000;
+    opts.measureInsts = 20000;
+    const RunResult r = runProgram(prog, presets::baseline(), opts,
+                                   "compress", "baseline");
+    EXPECT_EQ(r.workload, "compress");
+    // run() stops on exact instruction boundaries.
+    EXPECT_EQ(r.warmupCommitted, 5000u);
+    EXPECT_EQ(r.measuredCommitted, 20000u);
+    EXPECT_EQ(r.core.committed, 20000u);
+    EXPECT_GT(r.core.cycles, 0u);
+    EXPECT_GT(r.ipc(), 0.1);
+    EXPECT_LT(r.ipc(), 4.01);
+    // Power accounting populated and sane.
+    EXPECT_GT(r.baselinePowerPerCycle(), 0.0);
+    EXPECT_GT(r.optimizedPowerPerCycle(), 0.0);
+    EXPECT_LT(r.optimizedPowerPerCycle(), r.baselinePowerPerCycle());
+    EXPECT_GT(r.gating.reductionPercent(), 0.0);
+    // Profiler populated.
+    EXPECT_GT(r.profiler.totalOps(), 10000u);
+    EXPECT_GT(r.profiler.cumulativePercent(64), 99.9);
+}
+
+TEST(Runner, SpeedupMath)
+{
+    RunResult base, opt;
+    base.core.cycles = 1000;
+    base.core.committed = 2000;
+    opt.core.cycles = 800;
+    opt.core.committed = 2000;
+    EXPECT_NEAR(speedupPercent(base, opt), 25.0, 1e-9);
+    EXPECT_NEAR(speedupPercent(base, base), 0.0, 1e-9);
+}
+
+TEST(Runner, EnvOverrides)
+{
+    setenv("NWSIM_WARMUP", "123", 1);
+    setenv("NWSIM_MEASURE", "456", 1);
+    const RunOptions opts = resolveRunOptions();
+    EXPECT_EQ(opts.warmupInsts, 123u);
+    EXPECT_EQ(opts.measureInsts, 456u);
+    unsetenv("NWSIM_WARMUP");
+    unsetenv("NWSIM_MEASURE");
+    const RunOptions defaults = resolveRunOptions();
+    EXPECT_EQ(defaults.warmupInsts, 50000u);
+    EXPECT_EQ(defaults.measureInsts, 400000u);
+}
+
+TEST(Table, RendersCsv)
+{
+    Table t({"bench", "note"});
+    t.addRow({"go", "plain"});
+    t.addRow({"odd,name", "has \"quotes\""});
+    const std::string csv = t.renderCsv();
+    EXPECT_EQ(csv, "bench,note\n"
+                   "go,plain\n"
+                   "\"odd,name\",\"has \"\"quotes\"\"\"\n");
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t({"bench", "ipc", "speedup"});
+    t.addRow({"ijpeg", Table::num(2.345, 2), Table::num(7.1, 1) + "%"});
+    t.addRow({"go", Table::num(1.0, 2)});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("bench"), std::string::npos);
+    EXPECT_NE(out.find("2.35"), std::string::npos);
+    EXPECT_NE(out.find("7.1%"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+    // Three lines of content (header, rule, rows).
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+} // namespace
+} // namespace nwsim

@@ -1,0 +1,93 @@
+/** Unit tests for the thermal model and mode controller. */
+
+#include <gtest/gtest.h>
+
+#include "power/thermal.hh"
+
+namespace nwsim
+{
+namespace
+{
+
+TEST(ThermalModel, StartsAtAmbient)
+{
+    ThermalModel m;
+    EXPECT_DOUBLE_EQ(m.celsius(), 45.0);
+}
+
+TEST(ThermalModel, ApproachesSteadyState)
+{
+    ThermalConfig cfg;
+    cfg.ambient = 40.0;
+    cfg.rthPerMw = 0.1;
+    cfg.tauCycles = 1000.0;
+    ThermalModel m(cfg);
+    // 300 mW forever: steady state = 40 + 30 = 70 C.
+    for (int i = 0; i < 100; ++i)
+        m.step(300.0, 1000);
+    EXPECT_NEAR(m.celsius(), 70.0, 0.01);
+}
+
+TEST(ThermalModel, MonotoneRiseAndDecay)
+{
+    ThermalModel m;
+    double prev = m.celsius();
+    for (int i = 0; i < 10; ++i) {
+        m.step(800.0, 20000);
+        EXPECT_GT(m.celsius(), prev);
+        prev = m.celsius();
+    }
+    for (int i = 0; i < 10; ++i) {
+        m.step(100.0, 20000);
+        EXPECT_LT(m.celsius(), prev);
+        prev = m.celsius();
+    }
+}
+
+TEST(ThermalModel, TimeConstantScalesStep)
+{
+    ThermalConfig fast_cfg;
+    fast_cfg.tauCycles = 100.0;
+    ThermalConfig slow_cfg;
+    slow_cfg.tauCycles = 100000.0;
+    ThermalModel fast(fast_cfg), slow(slow_cfg);
+    fast.step(500.0, 1000);
+    slow.step(500.0, 1000);
+    EXPECT_GT(fast.celsius(), slow.celsius());
+}
+
+TEST(ThermalController, HysteresisSwitching)
+{
+    ThermalController c(75.0, 70.0);
+    EXPECT_EQ(c.mode(), ThermalMode::Performance);
+    EXPECT_EQ(c.update(74.0), ThermalMode::Performance);
+    EXPECT_EQ(c.update(76.0), ThermalMode::Power);
+    // Inside the hysteresis band: stays in Power mode.
+    EXPECT_EQ(c.update(72.0), ThermalMode::Power);
+    EXPECT_EQ(c.update(74.9), ThermalMode::Power);
+    EXPECT_EQ(c.update(69.0), ThermalMode::Performance);
+    EXPECT_EQ(c.switches(), 2u);
+}
+
+TEST(ThermalController, ClosedLoopOscillates)
+{
+    // Alternate hot (performance) and cool (power) steady states; the
+    // loop must settle into a stable oscillation, never sticking.
+    ThermalConfig cfg;
+    cfg.tauCycles = 10000.0;
+    ThermalModel m(cfg);
+    ThermalController c(75.0, 72.0);
+    u64 perf_windows = 0, power_windows = 0;
+    for (int i = 0; i < 300; ++i) {
+        const bool performance = c.mode() == ThermalMode::Performance;
+        m.step(performance ? 800.0 : 250.0, 20000);
+        c.update(m.celsius());
+        (performance ? perf_windows : power_windows) += 1;
+    }
+    EXPECT_GT(perf_windows, 20u);
+    EXPECT_GT(power_windows, 20u);
+    EXPECT_GT(c.switches(), 10u);
+}
+
+} // namespace
+} // namespace nwsim

@@ -1,0 +1,193 @@
+/** Tests for the pipeline trace facility. */
+
+#include <map>
+
+#include "sim_test_util.hh"
+
+#include "driver/presets.hh"
+
+namespace nwsim
+{
+namespace
+{
+
+using test::buildProgram;
+
+Program
+tracedProgram()
+{
+    return buildProgram([](Assembler &as) {
+        as.li(1, 0x9d1);            // lfsr for some mispredicts
+        as.li(2, 200);
+        as.li(3, 0);
+        as.label("loop");
+        as.andi(4, 1, 1);
+        as.srli(1, 1, 1);
+        as.beq(4, "skip");
+        as.xori(1, 1, 0x6a0);
+        as.addi(3, 3, 1);
+        as.label("skip");
+        as.addi(5, 3, 2);
+        as.addi(6, 3, 4);
+        as.subi(2, 2, 1);
+        as.bne(2, "loop");
+        as.halt();
+    });
+}
+
+TEST(Trace, EventOrderingInvariants)
+{
+    const Program prog = tracedProgram();
+    SparseMemory mem;
+    prog.load(mem);
+    OutOfOrderCore core(presets::packing(true), mem, prog.entry);
+
+    struct PerSeq
+    {
+        std::vector<TraceStage> stages;
+        Cycle lastCycle = 0;
+    };
+    std::map<InstSeq, PerSeq> log;
+    u64 commits = 0;
+    Cycle last_commit_cycle = 0;
+    InstSeq last_commit_seq = 0;
+    u64 events = 0;
+    core.setTraceHook([&](const TraceEvent &ev) {
+        ++events;
+        PerSeq &p = log[ev.seq];
+        EXPECT_GE(ev.cycle, p.lastCycle) << "time went backwards";
+        p.lastCycle = ev.cycle;
+        p.stages.push_back(ev.stage);
+        if (ev.stage == TraceStage::Commit) {
+            ++commits;
+            // Commits are in order (seqs rewind on squash, so compare
+            // cycle monotonicity and program order via cycle,seq pair).
+            EXPECT_GE(ev.cycle, last_commit_cycle);
+            if (ev.cycle == last_commit_cycle) {
+                EXPECT_GT(ev.seq, last_commit_seq);
+            }
+            last_commit_cycle = ev.cycle;
+            last_commit_seq = ev.seq;
+        }
+    });
+
+    core.run(1'000'000);
+    EXPECT_TRUE(core.done());
+    EXPECT_EQ(commits, core.stats().committed);
+    EXPECT_GT(events, commits * 3);     // dispatch+issue+complete+commit
+
+    for (const auto &[seq, p] : log) {
+        // Sequence numbers are reused after squashes, so each seq holds
+        // one or more lifetimes; every lifetime must match
+        //   dispatch (issue (complete | replay))* (squash | commit)
+        // and only a squash may be followed by a new lifetime.
+        bool in_lifetime = false;
+        bool issued = false;
+        TraceStage last_terminal = TraceStage::Squash;
+        for (size_t i = 0; i < p.stages.size(); ++i) {
+            const TraceStage s = p.stages[i];
+            switch (s) {
+              case TraceStage::Dispatch:
+                EXPECT_FALSE(in_lifetime)
+                    << "re-dispatch without terminal, seq " << seq;
+                in_lifetime = true;
+                issued = false;
+                break;
+              case TraceStage::Issue:
+                EXPECT_TRUE(in_lifetime);
+                EXPECT_FALSE(issued);
+                issued = true;
+                break;
+              case TraceStage::Complete:
+              case TraceStage::Replay:
+                EXPECT_TRUE(in_lifetime);
+                EXPECT_TRUE(issued);
+                issued = false;
+                break;
+              case TraceStage::Commit:
+                EXPECT_TRUE(in_lifetime);
+                EXPECT_FALSE(issued) << "commit while executing";
+                in_lifetime = false;
+                last_terminal = TraceStage::Commit;
+                break;
+              case TraceStage::Squash:
+                EXPECT_TRUE(in_lifetime);
+                in_lifetime = false;
+                last_terminal = TraceStage::Squash;
+                break;
+              case TraceStage::Redirect:
+                break;
+            }
+        }
+        // A seq's final lifetime either committed or was squashed and
+        // never refilled (end of run).
+        EXPECT_FALSE(in_lifetime) << "dangling lifetime, seq " << seq;
+        (void)last_terminal;
+    }
+}
+
+TEST(Trace, CommittedStreamMatchesFunctional)
+{
+    // The committed trace must be exactly the functional execution.
+    const Program prog = tracedProgram();
+
+    SparseMemory fmem;
+    prog.load(fmem);
+    FuncSim func(fmem, prog.entry);
+    std::vector<Addr> golden_pcs;
+    while (!func.halted())
+        golden_pcs.push_back(func.step().pc);
+
+    SparseMemory mem;
+    prog.load(mem);
+    OutOfOrderCore core(presets::baseline(), mem, prog.entry);
+    std::vector<Addr> committed_pcs;
+    core.setTraceHook([&](const TraceEvent &ev) {
+        if (ev.stage == TraceStage::Commit)
+            committed_pcs.push_back(ev.pc);
+    });
+    core.run(1'000'000);
+
+    ASSERT_EQ(committed_pcs.size(), golden_pcs.size());
+    EXPECT_EQ(committed_pcs, golden_pcs);
+}
+
+TEST(Trace, FormatterIsReadable)
+{
+    TraceEvent ev;
+    ev.cycle = 42;
+    ev.stage = TraceStage::Issue;
+    ev.seq = 7;
+    ev.pc = 0x10010;
+    ev.inst.op = Opcode::ADD;
+    ev.inst.ra = 1;
+    ev.inst.rb = 2;
+    ev.inst.rc = 3;
+    ev.packed = true;
+    const std::string line = formatTraceEvent(ev);
+    EXPECT_NE(line.find("[42]"), std::string::npos);
+    EXPECT_NE(line.find("issue"), std::string::npos);
+    EXPECT_NE(line.find("#7"), std::string::npos);
+    EXPECT_NE(line.find("0x10010"), std::string::npos);
+    EXPECT_NE(line.find("add r3, r1, r2"), std::string::npos);
+    EXPECT_NE(line.find("(packed)"), std::string::npos);
+}
+
+TEST(Trace, HookRemovalStopsEvents)
+{
+    const Program prog = tracedProgram();
+    SparseMemory mem;
+    prog.load(mem);
+    OutOfOrderCore core(presets::baseline(), mem, prog.entry);
+    u64 events = 0;
+    core.setTraceHook([&](const TraceEvent &) { ++events; });
+    core.run(100);
+    const u64 before = events;
+    EXPECT_GT(before, 0u);
+    core.setTraceHook({});
+    core.run(100);
+    EXPECT_EQ(events, before);
+}
+
+} // namespace
+} // namespace nwsim

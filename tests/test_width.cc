@@ -1,0 +1,108 @@
+/** Unit tests for the narrow-width detection core (core/width.hh). */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "core/width.hh"
+
+namespace nwsim
+{
+namespace
+{
+
+TEST(Width, PaperExamples)
+{
+    // "adding 17, a 5-bit number, to 2, a 2-bit number, the result is
+    // 19, a 5-bit number".
+    EXPECT_EQ(effectiveWidth(17), 5u);
+    EXPECT_EQ(effectiveWidth(2), 2u);
+    EXPECT_EQ(effectiveWidth(19), 5u);
+    // Address-calculation values land at 33 bits (heap above 2^32).
+    EXPECT_EQ(effectiveWidth(u64{1} << 32), 33u);
+    EXPECT_EQ(effectiveWidth((u64{1} << 32) + 0xbeef), 33u);
+}
+
+TEST(Width, Boundaries)
+{
+    EXPECT_EQ(effectiveWidth(0), 1u);
+    EXPECT_EQ(effectiveWidth(~u64{0}), 1u);     // -1: leading ones
+    EXPECT_EQ(effectiveWidth(65535), 16u);
+    EXPECT_EQ(effectiveWidth(65536), 17u);
+    EXPECT_EQ(effectiveWidth(static_cast<u64>(-65536)), 16u);
+    EXPECT_EQ(effectiveWidth(static_cast<u64>(-65537)), 17u);
+    // INT64_MIN: 63 magnitude bits remain after the sign (the metric
+    // counts magnitude bits, mirroring the paper's "17 is 5 bits").
+    EXPECT_EQ(effectiveWidth(u64{1} << 63), 63u);
+}
+
+TEST(Width, Narrow16MatchesZeroOnesDetect)
+{
+    // isNarrow16 is exactly the zero48-or-ones48 hardware condition.
+    EXPECT_TRUE(isNarrow16(0));
+    EXPECT_TRUE(isNarrow16(65535));             // zero48 fires
+    EXPECT_FALSE(isNarrow16(65536));
+    EXPECT_TRUE(isNarrow16(~u64{0}));           // ones48 fires
+    EXPECT_TRUE(isNarrow16(static_cast<u64>(-65536)));
+    EXPECT_FALSE(isNarrow16(static_cast<u64>(-65537)));
+}
+
+TEST(Width, Narrow33CoversAddresses)
+{
+    EXPECT_TRUE(isNarrow33((u64{1} << 32) + 12345));
+    EXPECT_TRUE(isNarrow33((u64{1} << 33) - 1));
+    EXPECT_FALSE(isNarrow33(u64{1} << 33));
+    EXPECT_TRUE(isNarrow33(static_cast<u64>(-(i64{1} << 33))));
+    EXPECT_FALSE(isNarrow33(static_cast<u64>(-(i64{1} << 33) - 1)));
+}
+
+TEST(Width, ClassOfAndPairClass)
+{
+    EXPECT_EQ(classOf(100), WidthClass::Narrow16);
+    EXPECT_EQ(classOf(u64{1} << 20), WidthClass::Narrow33);
+    EXPECT_EQ(classOf(u64{1} << 40), WidthClass::Wide);
+    // Both operands must be narrow for the op to be narrow.
+    EXPECT_EQ(pairClass(3, 7), WidthClass::Narrow16);
+    EXPECT_EQ(pairClass(3, u64{1} << 32), WidthClass::Narrow33);
+    EXPECT_EQ(pairClass(u64{1} << 40, 2), WidthClass::Wide);
+}
+
+TEST(Width, GatedWidth)
+{
+    EXPECT_EQ(gatedWidth(WidthClass::Narrow16), 16u);
+    EXPECT_EQ(gatedWidth(WidthClass::Narrow33), 33u);
+    EXPECT_EQ(gatedWidth(WidthClass::Wide), 64u);
+}
+
+/** Property: width classes and effectiveWidth stay mutually consistent. */
+class WidthProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(WidthProperty, ClassesMatchEffectiveWidth)
+{
+    SplitMix64 rng(GetParam() * 31 + 1);
+    for (int i = 0; i < 5000; ++i) {
+        // Mix full-range and small-magnitude values.
+        u64 v = rng.next();
+        if (i % 3 == 0)
+            v = static_cast<u64>(rng.range(-100000, 100000));
+        const unsigned w = effectiveWidth(v);
+        EXPECT_EQ(isNarrow16(v), w <= 16) << v;
+        EXPECT_EQ(isNarrow33(v), w <= 33) << v;
+        // A narrow value sign-extends from 17 bits (value in
+        // [-2^16, 2^16-1]).
+        if (isNarrow16(v)) {
+            EXPECT_TRUE(fitsSigned(v, 17)) << v;
+        }
+        // Negation preserves narrowness except at the asymmetric edge.
+        const u64 neg = static_cast<u64>(-static_cast<i64>(v));
+        if (isNarrow16(v) && v != static_cast<u64>(-65536)) {
+            EXPECT_TRUE(isNarrow16(neg)) << v;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WidthProperty, ::testing::Range(0, 6));
+
+} // namespace
+} // namespace nwsim

@@ -1,0 +1,132 @@
+/**
+ * Workload validation: every kernel's stored checksum must equal its
+ * C++ reference implementation (functional run), and the out-of-order
+ * pipeline must agree with the functional simulator on a small-rep
+ * variant of each kernel — in baseline and packing configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "driver/presets.hh"
+#include "func/func_sim.hh"
+#include "pipeline/core.hh"
+#include "workloads/kernels.hh"
+
+namespace nwsim
+{
+namespace
+{
+
+/** Small-rep factories so full-program runs stay fast in tests. */
+struct Case
+{
+    const char *name;
+    Workload (*make)(unsigned reps);
+    u64 (*reference)(unsigned reps);
+    unsigned reps;
+};
+
+const Case cases[] = {
+    {"compress", makeCompress, compressReference, 2},
+    {"go", makeGo, goReference, 3},
+    {"ijpeg", makeIjpeg, ijpegReference, 1},
+    {"li", makeLi, liReference, 4},
+    {"m88ksim", makeM88ksim, m88ksimReference, 2},
+    {"gcc", makeGcc, gccReference, 2},
+    {"perl", makePerl, perlReference, 3},
+    {"vortex", makeVortex, vortexReference, 2},
+    {"gsm-encode", makeGsmEncode, gsmEncodeReference, 2},
+    {"gsm-decode", makeGsmDecode, gsmDecodeReference, 3},
+    {"g721encode", makeG721Encode, g721EncodeReference, 2},
+    {"g721decode", makeG721Decode, g721DecodeReference, 2},
+    {"mpeg2encode", makeMpeg2Encode, mpeg2EncodeReference, 1},
+    {"mpeg2decode", makeMpeg2Decode, mpeg2DecodeReference, 1},
+};
+
+class WorkloadCase : public ::testing::TestWithParam<Case>
+{
+};
+
+u64
+funcRunChecksum(const Program &prog, u64 *insts = nullptr)
+{
+    SparseMemory mem;
+    prog.load(mem);
+    FuncSim sim(mem, prog.entry);
+    sim.run(200'000'000);
+    EXPECT_TRUE(sim.halted());
+    if (insts)
+        *insts = sim.instCount();
+    return mem.read(prog.symbol("checksum"), 8);
+}
+
+TEST_P(WorkloadCase, ChecksumMatchesReference)
+{
+    const Case &c = GetParam();
+    const Workload w = c.make(c.reps);
+    const Program prog = w.program();
+    EXPECT_EQ(funcRunChecksum(prog), c.reference(c.reps)) << c.name;
+}
+
+TEST_P(WorkloadCase, PipelineMatchesFunctional)
+{
+    const Case &c = GetParam();
+    const Program prog = c.make(c.reps).program();
+    u64 golden_insts = 0;
+    const u64 golden = funcRunChecksum(prog, &golden_insts);
+
+    for (const bool packing : {false, true}) {
+        SparseMemory mem;
+        prog.load(mem);
+        const CoreConfig cfg =
+            packing ? presets::packing(true) : presets::baseline();
+        OutOfOrderCore core(cfg, mem, prog.entry);
+        core.run(200'000'000);
+        ASSERT_TRUE(core.done()) << c.name;
+        EXPECT_EQ(core.stats().committed, golden_insts) << c.name;
+        EXPECT_EQ(mem.read(prog.symbol("checksum"), 8), golden)
+            << c.name << " packing=" << packing;
+    }
+}
+
+TEST_P(WorkloadCase, DefaultRepsCoverMeasurementWindow)
+{
+    // The registry defaults must provide enough dynamic instructions
+    // for the default warmup + measurement window (450k committed).
+    const Case &c = GetParam();
+    const Program prog = workloadByName(c.name).program();
+    SparseMemory mem;
+    prog.load(mem);
+    FuncSim sim(mem, prog.entry);
+    sim.run(460'000);
+    EXPECT_FALSE(sim.halted())
+        << c.name << " default sizing is too short";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, WorkloadCase, ::testing::ValuesIn(cases),
+    [](const ::testing::TestParamInfo<Case> &info) {
+        std::string n = info.param.name;
+        for (auto &ch : n)
+            if (ch == '-')
+                ch = '_';
+        return n;
+    });
+
+TEST(Registry, FourteenWorkloadsInTwoSuites)
+{
+    EXPECT_EQ(allWorkloads().size(), 14u);
+    EXPECT_EQ(suiteWorkloads("spec").size(), 8u);
+    EXPECT_EQ(suiteWorkloads("media").size(), 6u);
+    for (const Workload &w : allWorkloads()) {
+        EXPECT_FALSE(w.description.empty()) << w.name;
+        const Program prog = w.program();
+        EXPECT_GT(prog.imageBytes(), 100u) << w.name;
+        EXPECT_NO_FATAL_FAILURE(prog.symbol("checksum"));
+    }
+    EXPECT_EQ(workloadByName("go").suite, "spec");
+    EXPECT_EQ(workloadByName("gsm-encode").suite, "media");
+}
+
+} // namespace
+} // namespace nwsim

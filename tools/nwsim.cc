@@ -1,0 +1,230 @@
+/**
+ * @file
+ * nwsim command-line front end.
+ *
+ *     nwsim list
+ *         List the built-in workloads (Tables 2 and 3 proxies).
+ *
+ *     nwsim run <workload | file.s> [options]
+ *         Simulate a built-in workload or an assembly source file.
+ *
+ * Options:
+ *     --config NAME     baseline | packing | packing-replay | issue8
+ *                       (default: baseline)
+ *     --decode8         widen fetch/decode to 8 (Section 5.4)
+ *     --perfect-bp      perfect branch prediction (oracle fetch)
+ *     --early-out-mult  PPC603-style early-out multiplies
+ *     --warmup N        fast-mode warmup instructions (default 50000;
+ *                       ignored for .s files, which run to completion)
+ *     --measure N       measured instructions (default 400000)
+ *     --trace           print a per-event pipeline trace (small runs!)
+ *     --csv             machine-readable stats (key,value lines)
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "asm/textasm.hh"
+#include "common/logging.hh"
+#include "driver/presets.hh"
+#include "driver/runner.hh"
+#include "driver/table.hh"
+#include "workloads/kernels.hh"
+
+using namespace nwsim;
+
+namespace
+{
+
+int
+usage()
+{
+    std::cerr
+        << "usage: nwsim list\n"
+        << "       nwsim run <workload|file.s> [--config NAME]\n"
+        << "                 [--decode8] [--perfect-bp]\n"
+        << "                 [--early-out-mult] [--warmup N]\n"
+        << "                 [--measure N] [--trace] [--csv]\n";
+    return 2;
+}
+
+int
+listWorkloads()
+{
+    Table t({"name", "suite", "description"});
+    for (const Workload &w : allWorkloads())
+        t.addRow({w.name, w.suite, w.description});
+    t.print();
+    return 0;
+}
+
+bool
+isAsmFile(const std::string &name)
+{
+    return name.size() > 2 && name.substr(name.size() - 2) == ".s";
+}
+
+Program
+loadProgram(const std::string &target)
+{
+    if (!isAsmFile(target))
+        return workloadByName(target).program();
+    std::ifstream in(target);
+    if (!in)
+        NWSIM_FATAL("cannot open ", target);
+    std::ostringstream src;
+    src << in.rdbuf();
+    return assembleText(src.str());
+}
+
+void
+report(const RunResult &r, bool csv)
+{
+    if (csv) {
+        std::cout << "workload," << r.workload << "\n"
+                  << "config," << r.configName << "\n"
+                  << "committed," << r.core.committed << "\n"
+                  << "cycles," << r.core.cycles << "\n"
+                  << "ipc," << r.ipc() << "\n"
+                  << "mispredict_squashes," << r.core.mispredictSquashes
+                  << "\n"
+                  << "cond_mispredict_rate,"
+                  << r.bpred.condMispredictRate() << "\n"
+                  << "l1d_miss_rate," << r.l1dMissRate << "\n"
+                  << "narrow16_pct," << r.profiler.narrow16TotalPercent()
+                  << "\n"
+                  << "narrow33_pct," << r.profiler.narrow33TotalPercent()
+                  << "\n"
+                  << "width_fluctuation_pct,"
+                  << r.profiler.fluctuationPercent() << "\n"
+                  << "power_baseline_mw," << r.baselinePowerPerCycle()
+                  << "\n"
+                  << "power_gated_mw," << r.optimizedPowerPerCycle()
+                  << "\n"
+                  << "power_reduction_pct,"
+                  << r.gating.reductionPercent() << "\n"
+                  << "packed_groups," << r.packing.packedGroups << "\n"
+                  << "packed_insts," << r.packing.packedInsts << "\n"
+                  << "replay_traps," << r.packing.replayTraps << "\n";
+        return;
+    }
+    std::cout << "== " << r.workload << " on " << r.configName << " ==\n"
+              << "committed:      " << r.core.committed << " (after "
+              << r.warmupCommitted << " warmup)\n"
+              << "cycles:         " << r.core.cycles << "\n"
+              << "IPC:            " << Table::num(r.ipc(), 3) << "\n"
+              << "branch MPKI-ish: "
+              << Table::num(100.0 * r.bpred.condMispredictRate(), 2)
+              << "% of conditionals\n"
+              << "L1D miss rate:  "
+              << Table::num(100.0 * r.l1dMissRate, 2) << "%\n"
+              << "narrow ops:     "
+              << Table::num(r.profiler.narrow16TotalPercent(), 1)
+              << "% at 16 bits, "
+              << Table::num(r.profiler.narrow33TotalPercent(), 1)
+              << "% at 33 bits\n"
+              << "int-unit power: "
+              << Table::num(r.baselinePowerPerCycle(), 1) << " -> "
+              << Table::num(r.optimizedPowerPerCycle(), 1)
+              << " mW/cycle with gating ("
+              << Table::num(r.gating.reductionPercent(), 1)
+              << "% reduction)\n"
+              << "packing:        " << r.packing.packedInsts
+              << " insts in " << r.packing.packedGroups << " groups, "
+              << r.packing.replayTraps << " replay traps\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+    if (cmd == "list")
+        return listWorkloads();
+    if (cmd != "run" || argc < 3)
+        return usage();
+
+    const std::string target = argv[2];
+    std::string config_name = "baseline";
+    bool decode8 = false, perfect = false, early_out = false;
+    bool trace = false, csv = false;
+    RunOptions opts = resolveRunOptions();
+    for (int i = 3; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--config")
+            config_name = next();
+        else if (arg == "--decode8")
+            decode8 = true;
+        else if (arg == "--perfect-bp")
+            perfect = true;
+        else if (arg == "--early-out-mult")
+            early_out = true;
+        else if (arg == "--warmup")
+            opts.warmupInsts = std::strtoull(next().c_str(), nullptr, 0);
+        else if (arg == "--measure")
+            opts.measureInsts = std::strtoull(next().c_str(), nullptr, 0);
+        else if (arg == "--trace")
+            trace = true;
+        else if (arg == "--csv")
+            csv = true;
+        else
+            return usage();
+    }
+
+    CoreConfig cfg;
+    if (config_name == "baseline")
+        cfg = presets::baseline(perfect);
+    else if (config_name == "packing")
+        cfg = presets::packing(false, perfect);
+    else if (config_name == "packing-replay")
+        cfg = presets::packing(true, perfect);
+    else if (config_name == "issue8")
+        cfg = presets::issue8(perfect);
+    else
+        return usage();
+    if (decode8)
+        cfg = presets::decode8(cfg);
+    cfg.earlyOutMultiply = early_out;
+
+    const Program prog = loadProgram(target);
+
+    if (isAsmFile(target) || trace) {
+        // Run to completion (assembly files are usually short); with
+        // --trace, stream every pipeline event.
+        SparseMemory mem;
+        prog.load(mem);
+        OutOfOrderCore core(cfg, mem, prog.entry);
+        if (trace) {
+            core.setTraceHook([](const TraceEvent &ev) {
+                std::cout << formatTraceEvent(ev) << "\n";
+            });
+        }
+        core.run(opts.measureInsts);
+        RunResult r;
+        r.workload = target;
+        r.configName = config_name;
+        r.core = core.stats();
+        r.gating = core.gating().stats();
+        r.packing = core.packingStats();
+        r.bpred = core.bpredStats();
+        r.profiler = core.profiler();
+        r.l1dMissRate = core.memSystem().l1d().stats().missRate();
+        report(r, csv);
+        return 0;
+    }
+
+    report(runProgram(prog, cfg, opts, target, config_name), csv);
+    return 0;
+}

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * pipeview: per-instruction pipeline timeline, in the spirit of
+ * SimpleScalar's ptrace/pipeview.pl.
+ *
+ *     pipeview <workload | file.s> [--config NAME] [--skip N]
+ *              [--insts N] [--width N]
+ *
+ * Prints one row per dynamic instruction with its stage timeline:
+ *
+ *     D = dispatch   i = waiting to issue   I = issue
+ *     e = executing  W = writeback/complete w = waiting to commit
+ *     C = commit     x = squashed           r = replay trap
+ */
+
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "common/strings.hh"
+#include "driver/presets.hh"
+#include "driver/runner.hh"
+#include "isa/disasm.hh"
+#include "workloads/kernels.hh"
+
+using namespace nwsim;
+
+namespace
+{
+
+struct Row
+{
+    Addr pc = 0;
+    Inst inst;
+    bool packed = false;
+    Cycle dispatch = 0;
+    Cycle issue = 0;
+    Cycle complete = 0;
+    Cycle commit = 0;
+    Cycle squash = 0;
+    std::vector<Cycle> replays;
+    bool committed = false;
+    bool squashed = false;
+};
+
+int
+usage()
+{
+    std::cerr << "usage: pipeview <workload> [--config NAME] "
+                 "[--skip N] [--insts N] [--width N]\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string target = argv[1];
+    std::string config_name = "baseline";
+    u64 skip = 0;
+    u64 insts = 48;
+    unsigned columns = 64;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::exit(usage());
+            }
+            return argv[++i];
+        };
+        if (arg == "--config")
+            config_name = next();
+        else if (arg == "--skip")
+            skip = std::strtoull(next().c_str(), nullptr, 0);
+        else if (arg == "--insts")
+            insts = std::strtoull(next().c_str(), nullptr, 0);
+        else if (arg == "--width")
+            columns = static_cast<unsigned>(
+                std::strtoul(next().c_str(), nullptr, 0));
+        else
+            return usage();
+    }
+
+    CoreConfig cfg;
+    if (config_name == "baseline")
+        cfg = presets::baseline();
+    else if (config_name == "packing")
+        cfg = presets::packing(false);
+    else if (config_name == "packing-replay")
+        cfg = presets::packing(true);
+    else if (config_name == "issue8")
+        cfg = presets::issue8();
+    else
+        return usage();
+
+    const Program prog = workloadByName(target).program();
+    SparseMemory mem;
+    prog.load(mem);
+    OutOfOrderCore core(cfg, mem, prog.entry);
+    if (skip)
+        core.fastForward(skip);
+
+    // Record a window of events. Seqs are reused after squashes, so key
+    // rows by (seq, dispatch-generation).
+    std::map<InstSeq, u64> generation;
+    std::map<std::pair<InstSeq, u64>, Row> rows;
+    std::vector<std::pair<InstSeq, u64>> order;
+    u64 committed_in_window = 0;
+    core.setTraceHook([&](const TraceEvent &ev) {
+        if (ev.stage == TraceStage::Redirect)
+            return;
+        if (ev.stage == TraceStage::Dispatch) {
+            const u64 gen = ++generation[ev.seq];
+            Row row;
+            row.pc = ev.pc;
+            row.inst = ev.inst;
+            row.dispatch = ev.cycle;
+            rows[{ev.seq, gen}] = row;
+            order.push_back({ev.seq, gen});
+            return;
+        }
+        const auto key = std::make_pair(ev.seq, generation[ev.seq]);
+        const auto it = rows.find(key);
+        if (it == rows.end())
+            return;
+        Row &row = it->second;
+        switch (ev.stage) {
+          case TraceStage::Issue:
+            row.issue = ev.cycle;
+            row.packed |= ev.packed;
+            break;
+          case TraceStage::Complete:
+            row.complete = ev.cycle;
+            break;
+          case TraceStage::Commit:
+            row.commit = ev.cycle;
+            row.committed = true;
+            ++committed_in_window;
+            break;
+          case TraceStage::Squash:
+            row.squash = ev.cycle;
+            row.squashed = true;
+            break;
+          case TraceStage::Replay:
+            row.replays.push_back(ev.cycle);
+            break;
+          default:
+            break;
+        }
+    });
+
+    while (committed_in_window < insts && !core.done())
+        core.tick();
+    core.setTraceHook({});
+
+    if (order.empty()) {
+        std::cerr << "no instructions traced\n";
+        return 1;
+    }
+
+    const Cycle base = rows[order.front()].dispatch;
+    std::cout << "pipeline timeline for " << target << " on "
+              << config_name << " (cycle 0 = " << base << ")\n"
+              << "D dispatch, I issue, e executing, W complete, "
+                 "w wait-commit, C commit, r replay, x squash\n\n";
+
+    for (const auto &key : order) {
+        const Row &row = rows[key];
+        const Cycle end =
+            row.committed ? row.commit : (row.squashed ? row.squash : 0);
+        if (end == 0 || end < base)
+            continue;
+        std::string lane(columns, '.');
+        auto put = [&](Cycle c, char ch) {
+            if (c >= base && c - base < columns)
+                lane[static_cast<size_t>(c - base)] = ch;
+        };
+        // Fill phases back-to-front so instant marks win.
+        if (row.issue && row.complete) {
+            for (Cycle c = row.issue + 1; c < row.complete; ++c)
+                put(c, 'e');
+        }
+        if (row.dispatch && row.issue) {
+            for (Cycle c = row.dispatch + 1; c < row.issue; ++c)
+                put(c, 'i');
+        }
+        if (row.complete && row.committed) {
+            for (Cycle c = row.complete + 1; c < row.commit; ++c)
+                put(c, 'w');
+        }
+        put(row.dispatch, 'D');
+        put(row.issue, 'I');
+        put(row.complete, 'W');
+        for (const Cycle c : row.replays)
+            put(c, 'r');
+        if (row.committed)
+            put(row.commit, 'C');
+        if (row.squashed)
+            put(row.squash, 'x');
+
+        std::ostringstream left;
+        left << hexString(row.pc) << "  "
+             << disassemble(row.inst, row.pc);
+        std::string text = left.str();
+        text.resize(34, ' ');
+        std::cout << text << " |" << lane << "|"
+                  << (row.packed ? " pk" : "") << "\n";
+    }
+    return 0;
+}
