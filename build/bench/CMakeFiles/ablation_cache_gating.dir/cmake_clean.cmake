@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cache_gating.dir/ablation_cache_gating.cc.o"
+  "CMakeFiles/ablation_cache_gating.dir/ablation_cache_gating.cc.o.d"
+  "ablation_cache_gating"
+  "ablation_cache_gating.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cache_gating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_earlyout.dir/ablation_earlyout.cc.o"
+  "CMakeFiles/ablation_earlyout.dir/ablation_earlyout.cc.o.d"
+  "ablation_earlyout"
+  "ablation_earlyout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_earlyout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

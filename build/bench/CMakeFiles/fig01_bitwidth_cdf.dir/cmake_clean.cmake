@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_bitwidth_cdf.dir/fig01_bitwidth_cdf.cc.o"
+  "CMakeFiles/fig01_bitwidth_cdf.dir/fig01_bitwidth_cdf.cc.o.d"
+  "fig01_bitwidth_cdf"
+  "fig01_bitwidth_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_bitwidth_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

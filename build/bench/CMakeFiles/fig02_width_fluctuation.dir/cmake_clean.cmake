@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_width_fluctuation.dir/fig02_width_fluctuation.cc.o"
+  "CMakeFiles/fig02_width_fluctuation.dir/fig02_width_fluctuation.cc.o.d"
+  "fig02_width_fluctuation"
+  "fig02_width_fluctuation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_width_fluctuation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig05_narrow33_breakdown.cc" "bench/CMakeFiles/fig05_narrow33_breakdown.dir/fig05_narrow33_breakdown.cc.o" "gcc" "bench/CMakeFiles/fig05_narrow33_breakdown.dir/fig05_narrow33_breakdown.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/nwsim_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/nwsim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/nwsim_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/nwsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/nwsim_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/bpred/CMakeFiles/nwsim_bpred.dir/DependInfo.cmake"
+  "/root/repo/build/src/func/CMakeFiles/nwsim_func.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/nwsim_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/nwsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/nwsim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nwsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05_narrow33_breakdown.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_net_power.dir/fig06_net_power.cc.o"
+  "CMakeFiles/fig06_net_power.dir/fig06_net_power.cc.o.d"
+  "fig06_net_power"
+  "fig06_net_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_net_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

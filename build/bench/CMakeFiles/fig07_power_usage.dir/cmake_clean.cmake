@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_power_usage.dir/fig07_power_usage.cc.o"
+  "CMakeFiles/fig07_power_usage.dir/fig07_power_usage.cc.o.d"
+  "fig07_power_usage"
+  "fig07_power_usage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_power_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_packing_speedup.dir/fig10_packing_speedup.cc.o"
+  "CMakeFiles/fig10_packing_speedup.dir/fig10_packing_speedup.cc.o.d"
+  "fig10_packing_speedup"
+  "fig10_packing_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_packing_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

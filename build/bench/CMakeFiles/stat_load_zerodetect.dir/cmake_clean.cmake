@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stat_load_zerodetect.dir/stat_load_zerodetect.cc.o"
+  "CMakeFiles/stat_load_zerodetect.dir/stat_load_zerodetect.cc.o.d"
+  "stat_load_zerodetect"
+  "stat_load_zerodetect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stat_load_zerodetect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

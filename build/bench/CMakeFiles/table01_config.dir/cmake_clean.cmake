@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table01_config.dir/table01_config.cc.o"
+  "CMakeFiles/table01_config.dir/table01_config.cc.o.d"
+  "table01_config"
+  "table01_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table01_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table02_benchmarks.dir/table02_benchmarks.cc.o"
+  "CMakeFiles/table02_benchmarks.dir/table02_benchmarks.cc.o.d"
+  "table02_benchmarks"
+  "table02_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table02_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table04_power_model.dir/table04_power_model.cc.o"
+  "CMakeFiles/table04_power_model.dir/table04_power_model.cc.o.d"
+  "table04_power_model"
+  "table04_power_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table04_power_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

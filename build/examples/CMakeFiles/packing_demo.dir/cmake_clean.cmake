@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packing_demo.dir/packing_demo.cc.o"
+  "CMakeFiles/packing_demo.dir/packing_demo.cc.o.d"
+  "packing_demo"
+  "packing_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packing_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

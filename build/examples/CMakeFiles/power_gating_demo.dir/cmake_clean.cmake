@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_gating_demo.dir/power_gating_demo.cc.o"
+  "CMakeFiles/power_gating_demo.dir/power_gating_demo.cc.o.d"
+  "power_gating_demo"
+  "power_gating_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_gating_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

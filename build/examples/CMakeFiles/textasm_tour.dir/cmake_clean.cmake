@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/textasm_tour.dir/textasm_tour.cc.o"
+  "CMakeFiles/textasm_tour.dir/textasm_tour.cc.o.d"
+  "textasm_tour"
+  "textasm_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/textasm_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

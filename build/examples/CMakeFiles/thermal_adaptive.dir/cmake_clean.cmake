@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thermal_adaptive.dir/thermal_adaptive.cc.o"
+  "CMakeFiles/thermal_adaptive.dir/thermal_adaptive.cc.o.d"
+  "thermal_adaptive"
+  "thermal_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thermal_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

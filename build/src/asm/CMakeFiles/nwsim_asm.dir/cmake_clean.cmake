@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nwsim_asm.dir/assembler.cc.o"
+  "CMakeFiles/nwsim_asm.dir/assembler.cc.o.d"
+  "CMakeFiles/nwsim_asm.dir/program.cc.o"
+  "CMakeFiles/nwsim_asm.dir/program.cc.o.d"
+  "CMakeFiles/nwsim_asm.dir/textasm.cc.o"
+  "CMakeFiles/nwsim_asm.dir/textasm.cc.o.d"
+  "libnwsim_asm.a"
+  "libnwsim_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nwsim_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bpred/btb.cc" "src/bpred/CMakeFiles/nwsim_bpred.dir/btb.cc.o" "gcc" "src/bpred/CMakeFiles/nwsim_bpred.dir/btb.cc.o.d"
+  "/root/repo/src/bpred/combining.cc" "src/bpred/CMakeFiles/nwsim_bpred.dir/combining.cc.o" "gcc" "src/bpred/CMakeFiles/nwsim_bpred.dir/combining.cc.o.d"
+  "/root/repo/src/bpred/ras.cc" "src/bpred/CMakeFiles/nwsim_bpred.dir/ras.cc.o" "gcc" "src/bpred/CMakeFiles/nwsim_bpred.dir/ras.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/nwsim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nwsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nwsim_bpred.dir/btb.cc.o"
+  "CMakeFiles/nwsim_bpred.dir/btb.cc.o.d"
+  "CMakeFiles/nwsim_bpred.dir/combining.cc.o"
+  "CMakeFiles/nwsim_bpred.dir/combining.cc.o.d"
+  "CMakeFiles/nwsim_bpred.dir/ras.cc.o"
+  "CMakeFiles/nwsim_bpred.dir/ras.cc.o.d"
+  "libnwsim_bpred.a"
+  "libnwsim_bpred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nwsim_bpred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

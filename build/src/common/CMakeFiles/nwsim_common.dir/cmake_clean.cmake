@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nwsim_common.dir/logging.cc.o"
+  "CMakeFiles/nwsim_common.dir/logging.cc.o.d"
+  "CMakeFiles/nwsim_common.dir/strings.cc.o"
+  "CMakeFiles/nwsim_common.dir/strings.cc.o.d"
+  "libnwsim_common.a"
+  "libnwsim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nwsim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cache_gating.cc" "src/core/CMakeFiles/nwsim_core.dir/cache_gating.cc.o" "gcc" "src/core/CMakeFiles/nwsim_core.dir/cache_gating.cc.o.d"
+  "/root/repo/src/core/gating.cc" "src/core/CMakeFiles/nwsim_core.dir/gating.cc.o" "gcc" "src/core/CMakeFiles/nwsim_core.dir/gating.cc.o.d"
+  "/root/repo/src/core/packing.cc" "src/core/CMakeFiles/nwsim_core.dir/packing.cc.o" "gcc" "src/core/CMakeFiles/nwsim_core.dir/packing.cc.o.d"
+  "/root/repo/src/core/profiler.cc" "src/core/CMakeFiles/nwsim_core.dir/profiler.cc.o" "gcc" "src/core/CMakeFiles/nwsim_core.dir/profiler.cc.o.d"
+  "/root/repo/src/core/width_predictor.cc" "src/core/CMakeFiles/nwsim_core.dir/width_predictor.cc.o" "gcc" "src/core/CMakeFiles/nwsim_core.dir/width_predictor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/nwsim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/nwsim_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/func/CMakeFiles/nwsim_func.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/nwsim_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/nwsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nwsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

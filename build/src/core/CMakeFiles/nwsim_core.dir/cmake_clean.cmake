@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nwsim_core.dir/cache_gating.cc.o"
+  "CMakeFiles/nwsim_core.dir/cache_gating.cc.o.d"
+  "CMakeFiles/nwsim_core.dir/gating.cc.o"
+  "CMakeFiles/nwsim_core.dir/gating.cc.o.d"
+  "CMakeFiles/nwsim_core.dir/packing.cc.o"
+  "CMakeFiles/nwsim_core.dir/packing.cc.o.d"
+  "CMakeFiles/nwsim_core.dir/profiler.cc.o"
+  "CMakeFiles/nwsim_core.dir/profiler.cc.o.d"
+  "CMakeFiles/nwsim_core.dir/width_predictor.cc.o"
+  "CMakeFiles/nwsim_core.dir/width_predictor.cc.o.d"
+  "libnwsim_core.a"
+  "libnwsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nwsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nwsim_driver.dir/runner.cc.o"
+  "CMakeFiles/nwsim_driver.dir/runner.cc.o.d"
+  "CMakeFiles/nwsim_driver.dir/table.cc.o"
+  "CMakeFiles/nwsim_driver.dir/table.cc.o.d"
+  "libnwsim_driver.a"
+  "libnwsim_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nwsim_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/func/func_sim.cc" "src/func/CMakeFiles/nwsim_func.dir/func_sim.cc.o" "gcc" "src/func/CMakeFiles/nwsim_func.dir/func_sim.cc.o.d"
+  "/root/repo/src/func/semantics.cc" "src/func/CMakeFiles/nwsim_func.dir/semantics.cc.o" "gcc" "src/func/CMakeFiles/nwsim_func.dir/semantics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/nwsim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/nwsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/nwsim_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nwsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nwsim_func.dir/func_sim.cc.o"
+  "CMakeFiles/nwsim_func.dir/func_sim.cc.o.d"
+  "CMakeFiles/nwsim_func.dir/semantics.cc.o"
+  "CMakeFiles/nwsim_func.dir/semantics.cc.o.d"
+  "libnwsim_func.a"
+  "libnwsim_func.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nwsim_func.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnwsim_func.a"
+)

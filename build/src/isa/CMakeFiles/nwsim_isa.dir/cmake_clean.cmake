@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nwsim_isa.dir/disasm.cc.o"
+  "CMakeFiles/nwsim_isa.dir/disasm.cc.o.d"
+  "CMakeFiles/nwsim_isa.dir/encode.cc.o"
+  "CMakeFiles/nwsim_isa.dir/encode.cc.o.d"
+  "CMakeFiles/nwsim_isa.dir/opcode.cc.o"
+  "CMakeFiles/nwsim_isa.dir/opcode.cc.o.d"
+  "libnwsim_isa.a"
+  "libnwsim_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nwsim_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nwsim_mem.dir/cache.cc.o"
+  "CMakeFiles/nwsim_mem.dir/cache.cc.o.d"
+  "CMakeFiles/nwsim_mem.dir/memsystem.cc.o"
+  "CMakeFiles/nwsim_mem.dir/memsystem.cc.o.d"
+  "CMakeFiles/nwsim_mem.dir/sparse_memory.cc.o"
+  "CMakeFiles/nwsim_mem.dir/sparse_memory.cc.o.d"
+  "CMakeFiles/nwsim_mem.dir/tlb.cc.o"
+  "CMakeFiles/nwsim_mem.dir/tlb.cc.o.d"
+  "libnwsim_mem.a"
+  "libnwsim_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nwsim_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

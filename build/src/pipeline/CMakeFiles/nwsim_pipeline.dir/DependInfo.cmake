@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pipeline/commit.cc" "src/pipeline/CMakeFiles/nwsim_pipeline.dir/commit.cc.o" "gcc" "src/pipeline/CMakeFiles/nwsim_pipeline.dir/commit.cc.o.d"
+  "/root/repo/src/pipeline/core.cc" "src/pipeline/CMakeFiles/nwsim_pipeline.dir/core.cc.o" "gcc" "src/pipeline/CMakeFiles/nwsim_pipeline.dir/core.cc.o.d"
+  "/root/repo/src/pipeline/dispatch.cc" "src/pipeline/CMakeFiles/nwsim_pipeline.dir/dispatch.cc.o" "gcc" "src/pipeline/CMakeFiles/nwsim_pipeline.dir/dispatch.cc.o.d"
+  "/root/repo/src/pipeline/fetch.cc" "src/pipeline/CMakeFiles/nwsim_pipeline.dir/fetch.cc.o" "gcc" "src/pipeline/CMakeFiles/nwsim_pipeline.dir/fetch.cc.o.d"
+  "/root/repo/src/pipeline/issue.cc" "src/pipeline/CMakeFiles/nwsim_pipeline.dir/issue.cc.o" "gcc" "src/pipeline/CMakeFiles/nwsim_pipeline.dir/issue.cc.o.d"
+  "/root/repo/src/pipeline/trace.cc" "src/pipeline/CMakeFiles/nwsim_pipeline.dir/trace.cc.o" "gcc" "src/pipeline/CMakeFiles/nwsim_pipeline.dir/trace.cc.o.d"
+  "/root/repo/src/pipeline/writeback.cc" "src/pipeline/CMakeFiles/nwsim_pipeline.dir/writeback.cc.o" "gcc" "src/pipeline/CMakeFiles/nwsim_pipeline.dir/writeback.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nwsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bpred/CMakeFiles/nwsim_bpred.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/nwsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/func/CMakeFiles/nwsim_func.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/nwsim_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/nwsim_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/nwsim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nwsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nwsim_pipeline.dir/commit.cc.o"
+  "CMakeFiles/nwsim_pipeline.dir/commit.cc.o.d"
+  "CMakeFiles/nwsim_pipeline.dir/core.cc.o"
+  "CMakeFiles/nwsim_pipeline.dir/core.cc.o.d"
+  "CMakeFiles/nwsim_pipeline.dir/dispatch.cc.o"
+  "CMakeFiles/nwsim_pipeline.dir/dispatch.cc.o.d"
+  "CMakeFiles/nwsim_pipeline.dir/fetch.cc.o"
+  "CMakeFiles/nwsim_pipeline.dir/fetch.cc.o.d"
+  "CMakeFiles/nwsim_pipeline.dir/issue.cc.o"
+  "CMakeFiles/nwsim_pipeline.dir/issue.cc.o.d"
+  "CMakeFiles/nwsim_pipeline.dir/trace.cc.o"
+  "CMakeFiles/nwsim_pipeline.dir/trace.cc.o.d"
+  "CMakeFiles/nwsim_pipeline.dir/writeback.cc.o"
+  "CMakeFiles/nwsim_pipeline.dir/writeback.cc.o.d"
+  "libnwsim_pipeline.a"
+  "libnwsim_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nwsim_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nwsim_power.dir/device_model.cc.o"
+  "CMakeFiles/nwsim_power.dir/device_model.cc.o.d"
+  "CMakeFiles/nwsim_power.dir/thermal.cc.o"
+  "CMakeFiles/nwsim_power.dir/thermal.cc.o.d"
+  "libnwsim_power.a"
+  "libnwsim_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nwsim_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

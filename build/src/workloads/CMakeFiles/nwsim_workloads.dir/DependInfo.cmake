@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/media_g721.cc" "src/workloads/CMakeFiles/nwsim_workloads.dir/media_g721.cc.o" "gcc" "src/workloads/CMakeFiles/nwsim_workloads.dir/media_g721.cc.o.d"
+  "/root/repo/src/workloads/media_gsm.cc" "src/workloads/CMakeFiles/nwsim_workloads.dir/media_gsm.cc.o" "gcc" "src/workloads/CMakeFiles/nwsim_workloads.dir/media_gsm.cc.o.d"
+  "/root/repo/src/workloads/media_mpeg2.cc" "src/workloads/CMakeFiles/nwsim_workloads.dir/media_mpeg2.cc.o" "gcc" "src/workloads/CMakeFiles/nwsim_workloads.dir/media_mpeg2.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/workloads/CMakeFiles/nwsim_workloads.dir/registry.cc.o" "gcc" "src/workloads/CMakeFiles/nwsim_workloads.dir/registry.cc.o.d"
+  "/root/repo/src/workloads/spec_compress.cc" "src/workloads/CMakeFiles/nwsim_workloads.dir/spec_compress.cc.o" "gcc" "src/workloads/CMakeFiles/nwsim_workloads.dir/spec_compress.cc.o.d"
+  "/root/repo/src/workloads/spec_gcc.cc" "src/workloads/CMakeFiles/nwsim_workloads.dir/spec_gcc.cc.o" "gcc" "src/workloads/CMakeFiles/nwsim_workloads.dir/spec_gcc.cc.o.d"
+  "/root/repo/src/workloads/spec_go.cc" "src/workloads/CMakeFiles/nwsim_workloads.dir/spec_go.cc.o" "gcc" "src/workloads/CMakeFiles/nwsim_workloads.dir/spec_go.cc.o.d"
+  "/root/repo/src/workloads/spec_ijpeg.cc" "src/workloads/CMakeFiles/nwsim_workloads.dir/spec_ijpeg.cc.o" "gcc" "src/workloads/CMakeFiles/nwsim_workloads.dir/spec_ijpeg.cc.o.d"
+  "/root/repo/src/workloads/spec_li.cc" "src/workloads/CMakeFiles/nwsim_workloads.dir/spec_li.cc.o" "gcc" "src/workloads/CMakeFiles/nwsim_workloads.dir/spec_li.cc.o.d"
+  "/root/repo/src/workloads/spec_m88ksim.cc" "src/workloads/CMakeFiles/nwsim_workloads.dir/spec_m88ksim.cc.o" "gcc" "src/workloads/CMakeFiles/nwsim_workloads.dir/spec_m88ksim.cc.o.d"
+  "/root/repo/src/workloads/spec_perl.cc" "src/workloads/CMakeFiles/nwsim_workloads.dir/spec_perl.cc.o" "gcc" "src/workloads/CMakeFiles/nwsim_workloads.dir/spec_perl.cc.o.d"
+  "/root/repo/src/workloads/spec_vortex.cc" "src/workloads/CMakeFiles/nwsim_workloads.dir/spec_vortex.cc.o" "gcc" "src/workloads/CMakeFiles/nwsim_workloads.dir/spec_vortex.cc.o.d"
+  "/root/repo/src/workloads/support.cc" "src/workloads/CMakeFiles/nwsim_workloads.dir/support.cc.o" "gcc" "src/workloads/CMakeFiles/nwsim_workloads.dir/support.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asm/CMakeFiles/nwsim_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nwsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/nwsim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/nwsim_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nwsim_workloads.dir/media_g721.cc.o"
+  "CMakeFiles/nwsim_workloads.dir/media_g721.cc.o.d"
+  "CMakeFiles/nwsim_workloads.dir/media_gsm.cc.o"
+  "CMakeFiles/nwsim_workloads.dir/media_gsm.cc.o.d"
+  "CMakeFiles/nwsim_workloads.dir/media_mpeg2.cc.o"
+  "CMakeFiles/nwsim_workloads.dir/media_mpeg2.cc.o.d"
+  "CMakeFiles/nwsim_workloads.dir/registry.cc.o"
+  "CMakeFiles/nwsim_workloads.dir/registry.cc.o.d"
+  "CMakeFiles/nwsim_workloads.dir/spec_compress.cc.o"
+  "CMakeFiles/nwsim_workloads.dir/spec_compress.cc.o.d"
+  "CMakeFiles/nwsim_workloads.dir/spec_gcc.cc.o"
+  "CMakeFiles/nwsim_workloads.dir/spec_gcc.cc.o.d"
+  "CMakeFiles/nwsim_workloads.dir/spec_go.cc.o"
+  "CMakeFiles/nwsim_workloads.dir/spec_go.cc.o.d"
+  "CMakeFiles/nwsim_workloads.dir/spec_ijpeg.cc.o"
+  "CMakeFiles/nwsim_workloads.dir/spec_ijpeg.cc.o.d"
+  "CMakeFiles/nwsim_workloads.dir/spec_li.cc.o"
+  "CMakeFiles/nwsim_workloads.dir/spec_li.cc.o.d"
+  "CMakeFiles/nwsim_workloads.dir/spec_m88ksim.cc.o"
+  "CMakeFiles/nwsim_workloads.dir/spec_m88ksim.cc.o.d"
+  "CMakeFiles/nwsim_workloads.dir/spec_perl.cc.o"
+  "CMakeFiles/nwsim_workloads.dir/spec_perl.cc.o.d"
+  "CMakeFiles/nwsim_workloads.dir/spec_vortex.cc.o"
+  "CMakeFiles/nwsim_workloads.dir/spec_vortex.cc.o.d"
+  "CMakeFiles/nwsim_workloads.dir/support.cc.o"
+  "CMakeFiles/nwsim_workloads.dir/support.cc.o.d"
+  "libnwsim_workloads.a"
+  "libnwsim_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nwsim_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_figure_mechanisms.dir/test_figure_mechanisms.cc.o"
+  "CMakeFiles/test_figure_mechanisms.dir/test_figure_mechanisms.cc.o.d"
+  "test_figure_mechanisms"
+  "test_figure_mechanisms.pdb"
+  "test_figure_mechanisms[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_figure_mechanisms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memory_stress.dir/test_memory_stress.cc.o"
+  "CMakeFiles/test_memory_stress.dir/test_memory_stress.cc.o.d"
+  "test_memory_stress"
+  "test_memory_stress.pdb"
+  "test_memory_stress[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memory_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

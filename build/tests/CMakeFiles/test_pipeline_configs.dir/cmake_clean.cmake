@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline_configs.dir/test_pipeline_configs.cc.o"
+  "CMakeFiles/test_pipeline_configs.dir/test_pipeline_configs.cc.o.d"
+  "test_pipeline_configs"
+  "test_pipeline_configs.pdb"
+  "test_pipeline_configs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

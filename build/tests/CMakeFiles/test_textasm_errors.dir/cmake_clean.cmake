@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_textasm_errors.dir/test_textasm_errors.cc.o"
+  "CMakeFiles/test_textasm_errors.dir/test_textasm_errors.cc.o.d"
+  "test_textasm_errors"
+  "test_textasm_errors.pdb"
+  "test_textasm_errors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_textasm_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

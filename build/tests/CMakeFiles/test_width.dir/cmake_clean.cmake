@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_width.dir/test_width.cc.o"
+  "CMakeFiles/test_width.dir/test_width.cc.o.d"
+  "test_width"
+  "test_width.pdb"
+  "test_width[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_width.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_width_predictor.dir/test_width_predictor.cc.o"
+  "CMakeFiles/test_width_predictor.dir/test_width_predictor.cc.o.d"
+  "test_width_predictor"
+  "test_width_predictor.pdb"
+  "test_width_predictor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_width_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nwsim.dir/nwsim.cc.o"
+  "CMakeFiles/nwsim.dir/nwsim.cc.o.d"
+  "nwsim"
+  "nwsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nwsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
