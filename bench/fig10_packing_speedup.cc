@@ -4,6 +4,9 @@
  * with perfect and realistic (combining) branch prediction, at decode
  * widths 4 and 8, with and without replay packing.
  *
+ * The full 14-workload x 12-config grid runs as one parallel campaign
+ * (src/exp/); scale workers with NWSIM_JOBS.
+ *
  * Paper averages (replay packing, 100M-instruction windows):
  *   decode 4: SPECint95 7.1% perfect / 4.3% realistic;
  *             media ~7.6% perfect / 8.0% realistic
@@ -12,72 +15,54 @@
  */
 
 #include "bench_util.hh"
+#include "exp/campaign.hh"
 
 using namespace nwsim;
 
 namespace
 {
 
-struct SweepPoint
+/** Compose a config spec for one grid point. */
+std::string
+spec(const std::string &base, bool decode8, bool perfect)
 {
-    std::vector<RunResult> base;
-    std::vector<RunResult> packStrict;
-    std::vector<RunResult> packReplay;
-};
-
-SweepPoint
-sweep(bool perfect, bool decode8)
-{
-    auto mk = [&](CoreConfig cfg) {
-        return decode8 ? presets::decode8(cfg) : cfg;
-    };
-    SweepPoint p;
-    p.base = bench::runAll(mk(presets::baseline(perfect)), "base");
-    p.packStrict =
-        bench::runAll(mk(presets::packing(false, perfect)), "pack");
-    p.packReplay =
-        bench::runAll(mk(presets::packing(true, perfect)), "pack+replay");
-    return p;
+    return base + (decode8 ? "+decode8" : "") +
+           (perfect ? "+perfect" : "");
 }
 
 void
-printSweep(const char *title, const SweepPoint &perfect,
-           const SweepPoint &realistic)
+printSweep(const char *title, const exp::ResultSet &rs,
+           const std::vector<std::string> &names, bool decode8)
 {
     std::cout << "\n--- " << title << " ---\n";
+    auto speedup = [&](const std::string &w, const std::string &base,
+                       bool perfect) {
+        return speedupPercent(
+            rs.get(w, spec("baseline", decode8, perfect)),
+            rs.get(w, spec(base, decode8, perfect)));
+    };
+
     Table t({"benchmark", "suite", "pack perf%", "pack real%",
              "+replay perf%", "+replay real%"});
-    for (size_t i = 0; i < perfect.base.size(); ++i) {
-        t.addRow({perfect.base[i].workload,
-                  workloadByName(perfect.base[i].workload).suite,
-                  Table::num(speedupPercent(perfect.base[i],
-                                            perfect.packStrict[i]),
-                             1),
-                  Table::num(speedupPercent(realistic.base[i],
-                                            realistic.packStrict[i]),
-                             1),
-                  Table::num(speedupPercent(perfect.base[i],
-                                            perfect.packReplay[i]),
-                             1),
-                  Table::num(speedupPercent(realistic.base[i],
-                                            realistic.packReplay[i]),
-                             1)});
+    for (const std::string &w : names) {
+        t.addRow({w, workloadByName(w).suite,
+                  Table::num(speedup(w, "packing", true), 1),
+                  Table::num(speedup(w, "packing", false), 1),
+                  Table::num(speedup(w, "packing-replay", true), 1),
+                  Table::num(speedup(w, "packing-replay", false), 1)});
     }
     t.print();
 
     for (const char *suite : {"spec", "media"}) {
         double pp = 0, pr = 0, rp = 0, rr = 0;
         unsigned n = 0;
-        for (size_t i = 0; i < perfect.base.size(); ++i) {
-            if (workloadByName(perfect.base[i].workload).suite != suite)
+        for (const std::string &w : names) {
+            if (workloadByName(w).suite != suite)
                 continue;
-            pp += speedupPercent(perfect.base[i], perfect.packReplay[i]);
-            rp += speedupPercent(realistic.base[i],
-                                 realistic.packReplay[i]);
-            pr += speedupPercent(perfect.base[i],
-                                 perfect.packStrict[i]);
-            rr += speedupPercent(realistic.base[i],
-                                 realistic.packStrict[i]);
+            pp += speedup(w, "packing-replay", true);
+            rp += speedup(w, "packing-replay", false);
+            pr += speedup(w, "packing", true);
+            rr += speedup(w, "packing", false);
             ++n;
         }
         std::cout << "  " << suite << " average (+replay): perfect "
@@ -96,15 +81,30 @@ main()
     bench::header("Figure 10 (+ §5.4 text)",
                   "speedup due to operation packing");
 
-    const SweepPoint p4 = sweep(true, false);
-    const SweepPoint r4 = sweep(false, false);
-    printSweep("decode width 4 (Figure 10)", p4, r4);
+    std::vector<std::string> names;
+    for (const Workload &w : allWorkloads())
+        names.push_back(w.name);
+
+    // Whole grid as one campaign: {base, packing, packing-replay} x
+    // {decode 4, 8} x {perfect, realistic} for every workload.
+    std::vector<std::string> configs;
+    for (bool decode8 : {false, true})
+        for (bool perfect : {true, false})
+            for (const char *base :
+                 {"baseline", "packing", "packing-replay"})
+                configs.push_back(spec(base, decode8, perfect));
+
+    const exp::Campaign campaign =
+        exp::Campaign::grid(names, configs, resolveRunOptions());
+    exp::CampaignOptions copts;
+    copts.progress = &std::cerr;
+    const exp::ResultSet rs = campaign.run(copts);
+
+    printSweep("decode width 4 (Figure 10)", rs, names, false);
     std::cout << "  paper averages (decode 4): spec 7.1% perfect / "
                  "4.3% realistic; media ~7.6% / 8.0%\n";
 
-    const SweepPoint p8 = sweep(true, true);
-    const SweepPoint r8 = sweep(false, true);
-    printSweep("decode width 8 (Section 5.4)", p8, r8);
+    printSweep("decode width 8 (Section 5.4)", rs, names, true);
     std::cout << "  paper averages (decode 8): spec 9.9% perfect / "
                  "6.2% realistic; media 10.3% / 10.4%\n";
     return 0;

@@ -1,7 +1,8 @@
 /**
  * Reproduces Figure 11: IPC of (a) the 4-issue/4-ALU baseline, (b) the
  * baseline with operation packing, and (c) an 8-issue/8-ALU machine —
- * all with the combining predictor and decode/commit width 4.
+ * all with the combining predictor and decode/commit width 4. The
+ * 14x3 grid runs as one parallel campaign (src/exp/).
  *
  * Paper shape: packing closes much of the gap to the costly
  * 8-issue/8-ALU machine, most completely on ijpeg, vortex, and the
@@ -9,6 +10,7 @@
  */
 
 #include "bench_util.hh"
+#include "exp/campaign.hh"
 
 using namespace nwsim;
 
@@ -16,28 +18,35 @@ int
 main()
 {
     bench::header("Figure 11", "IPC: baseline vs packing vs 8-issue");
-    const auto base = bench::runAll(presets::baseline(), "baseline");
-    const auto pack = bench::runAll(presets::packing(true), "packing");
-    const auto wide = bench::runAll(presets::issue8(), "8-issue/8-ALU");
+
+    std::vector<std::string> names;
+    for (const Workload &w : allWorkloads())
+        names.push_back(w.name);
+
+    const exp::Campaign campaign = exp::Campaign::grid(
+        names, {"baseline", "packing-replay", "issue8"},
+        resolveRunOptions());
+    exp::CampaignOptions copts;
+    copts.progress = &std::cerr;
+    const exp::ResultSet rs = campaign.run(copts);
 
     Table t({"benchmark", "suite", "baseline", "packing", "8-issue",
              "gap closed"});
     double closed_sum = 0.0;
     unsigned closed_n = 0;
-    for (size_t i = 0; i < base.size(); ++i) {
-        const double b = base[i].ipc();
-        const double p = pack[i].ipc();
-        const double w = wide[i].ipc();
+    for (const std::string &w : names) {
+        const double b = rs.get(w, "baseline").ipc();
+        const double p = rs.get(w, "packing-replay").ipc();
+        const double wide = rs.get(w, "issue8").ipc();
         std::string closed = "-";
-        if (w - b > 1e-3) {
-            const double frac = 100.0 * (p - b) / (w - b);
+        if (wide - b > 1e-3) {
+            const double frac = 100.0 * (p - b) / (wide - b);
             closed = Table::num(frac, 0) + "%";
             closed_sum += frac;
             ++closed_n;
         }
-        t.addRow({base[i].workload, workloadByName(base[i].workload).suite,
-                  Table::num(b, 2), Table::num(p, 2), Table::num(w, 2),
-                  closed});
+        t.addRow({w, workloadByName(w).suite, Table::num(b, 2),
+                  Table::num(p, 2), Table::num(wide, 2), closed});
     }
     t.print();
     if (closed_n) {

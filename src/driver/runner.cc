@@ -20,6 +20,24 @@ resolveRunOptions(RunOptions defaults)
 }
 
 RunResult
+collectRunResult(const OutOfOrderCore &core, const std::string &name,
+                 const std::string &config_name)
+{
+    RunResult result;
+    result.workload = name;
+    result.configName = config_name;
+    result.measuredCommitted = core.stats().committed;
+    result.core = core.stats();
+    result.gating = core.gating().stats();
+    result.packing = core.packingStats();
+    result.bpred = core.bpredStats();
+    result.profiler = core.profiler();
+    result.l1dMissRate = core.memSystem().l1d().stats().missRate();
+    result.l1iMissRate = core.memSystem().l1i().stats().missRate();
+    return result;
+}
+
+RunResult
 runProgram(const Program &program, const CoreConfig &config,
            const RunOptions &opts, const std::string &name,
            const std::string &config_name)
@@ -28,31 +46,22 @@ runProgram(const Program &program, const CoreConfig &config,
     program.load(memory);
     OutOfOrderCore core(config, memory, program.entry);
 
-    RunResult result;
-    result.workload = name;
-    result.configName = config_name;
-
-    result.warmupCommitted = opts.fastWarmup
-                                 ? core.fastForward(opts.warmupInsts)
-                                 : core.run(opts.warmupInsts);
+    const u64 warmup_committed = opts.fastWarmup
+                                     ? core.fastForward(opts.warmupInsts)
+                                     : core.run(opts.warmupInsts);
     if (core.done()) {
         NWSIM_WARN("workload ", name, " halted during warmup (",
-                   result.warmupCommitted, " insts); measuring anyway");
+                   warmup_committed, " insts); measuring anyway");
     }
     core.resetStats();
-    result.measuredCommitted = core.run(opts.measureInsts);
-    if (result.measuredCommitted < opts.measureInsts && !core.done()) {
-        NWSIM_WARN("workload ", name, " measured only ",
-                   result.measuredCommitted, " insts");
+    const u64 measured = core.run(opts.measureInsts);
+    if (measured < opts.measureInsts && !core.done()) {
+        NWSIM_WARN("workload ", name, " measured only ", measured,
+                   " insts");
     }
 
-    result.core = core.stats();
-    result.gating = core.gating().stats();
-    result.packing = core.packingStats();
-    result.bpred = core.bpredStats();
-    result.profiler = core.profiler();
-    result.l1dMissRate = core.memSystem().l1d().stats().missRate();
-    result.l1iMissRate = core.memSystem().l1i().stats().missRate();
+    RunResult result = collectRunResult(core, name, config_name);
+    result.warmupCommitted = warmup_committed;
     return result;
 }
 

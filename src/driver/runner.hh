@@ -83,6 +83,16 @@ RunResult runProgram(const Program &program, const CoreConfig &config,
                      const RunOptions &opts, const std::string &name,
                      const std::string &config_name);
 
+/**
+ * Snapshot every statistic of @p core into a labeled RunResult
+ * (measuredCommitted = commits since the last stats reset). Shared by
+ * runProgram and the CLI's trace/assembly-file path, so every consumer
+ * reports the same complete stat set.
+ */
+RunResult collectRunResult(const OutOfOrderCore &core,
+                           const std::string &name,
+                           const std::string &config_name);
+
 /** Percent speedup of @p opt over @p base by IPC. */
 double speedupPercent(const RunResult &base, const RunResult &opt);
 

@@ -1,0 +1,107 @@
+#include "exp/campaign.hh"
+
+#include <chrono>
+#include <exception>
+
+#include "exp/configs.hh"
+#include "exp/job_pool.hh"
+#include "exp/progress.hh"
+#include "workloads/kernels.hh"
+
+namespace nwsim::exp
+{
+
+Campaign &
+Campaign::add(SimJob job)
+{
+    jobList.push_back(std::move(job));
+    return *this;
+}
+
+Campaign
+Campaign::grid(const std::vector<std::string> &workloads,
+               const std::vector<std::string> &config_specs,
+               const RunOptions &opts)
+{
+    Campaign c;
+    for (const std::string &spec : config_specs) {
+        const CoreConfig cfg = configBySpec(spec);
+        for (const std::string &w : workloads) {
+            workloadByName(w);   // eager validation (fatal if unknown)
+            SimJob job;
+            job.workload = w;
+            job.configSpec = spec;
+            job.config = cfg;
+            job.opts = opts;
+            c.add(std::move(job));
+        }
+    }
+    return c;
+}
+
+namespace
+{
+
+JobOutcome
+executeJob(const SimJob &job, unsigned max_attempts)
+{
+    JobOutcome out;
+    out.workload = job.workload;
+    out.configSpec = job.configSpec;
+
+    using Clock = std::chrono::steady_clock;
+    for (unsigned attempt = 1; attempt <= max_attempts; ++attempt) {
+        out.attempts = attempt;
+        const Clock::time_point t0 = Clock::now();
+        try {
+            out.result =
+                job.runner
+                    ? job.runner(job)
+                    : runProgram(workloadByName(job.workload).program(),
+                                 job.config, job.opts, job.workload,
+                                 job.configSpec);
+            out.ok = true;
+            out.error.clear();
+        } catch (const std::exception &e) {
+            out.ok = false;
+            out.error = e.what();
+        } catch (...) {
+            out.ok = false;
+            out.error = "unknown exception";
+        }
+        out.wallSeconds =
+            std::chrono::duration<double>(Clock::now() - t0).count();
+        if (out.ok)
+            break;
+    }
+    return out;
+}
+
+} // namespace
+
+ResultSet
+Campaign::run(const CampaignOptions &copts) const
+{
+    JobPool pool(copts.jobs);
+    const unsigned max_attempts =
+        copts.maxAttempts ? copts.maxAttempts : 1;
+
+    std::vector<JobOutcome> outcomes(jobList.size());
+    ProgressMeter meter(jobList.size(), pool.workers(), copts.progress);
+
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(jobList.size());
+    for (size_t i = 0; i < jobList.size(); ++i) {
+        tasks.push_back([this, i, max_attempts, &outcomes] {
+            outcomes[i] = executeJob(jobList[i], max_attempts);
+        });
+    }
+    pool.run(tasks, [&](size_t i) {
+        meter.jobDone(outcomes[i].label(), outcomes[i].ok);
+    });
+    meter.finish();
+
+    return ResultSet(std::move(outcomes), pool.workers());
+}
+
+} // namespace nwsim::exp

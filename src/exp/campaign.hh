@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Experiment campaigns: the paper's evaluation is a grid of independent
+ * simulations (workload × configuration), and a Campaign runs that grid
+ * across a JobPool in one invocation.
+ *
+ * Determinism guarantee: each job owns its whole simulator (SparseMemory,
+ * OutOfOrderCore, Program image) and writes only its own slot of the
+ * outcome vector, so the ResultSet's per-job statistics are bit-identical
+ * for any worker count — only wall-clock fields vary between runs.
+ *
+ * Fault isolation: a job that throws is retried (maxAttempts) and then
+ * recorded as failed with its exception message; sibling jobs and the
+ * campaign itself keep running.
+ */
+
+#ifndef NWSIM_EXP_CAMPAIGN_HH
+#define NWSIM_EXP_CAMPAIGN_HH
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "driver/runner.hh"
+#include "exp/result_set.hh"
+#include "pipeline/config.hh"
+
+namespace nwsim::exp
+{
+
+/** One simulation: a workload on a configuration over a window. */
+struct SimJob
+{
+    /** Workload name (registry) — label only if @p runner is set. */
+    std::string workload;
+    /** Config spec label (see configs.hh). */
+    std::string configSpec;
+    CoreConfig config;
+    RunOptions opts;
+    /**
+     * Override the standard build-program-and-runProgram path (used by
+     * tests and custom experiments). Must be thread-safe.
+     */
+    std::function<RunResult(const SimJob &)> runner;
+
+    std::string label() const { return workload + "/" + configSpec; }
+};
+
+/** Campaign execution knobs. */
+struct CampaignOptions
+{
+    /** Worker threads; 0 = NWSIM_JOBS env or hardware_concurrency. */
+    unsigned jobs = 0;
+    /** Attempts per job before recording it as failed. */
+    unsigned maxAttempts = 2;
+    /** Stream for the progress/ETA line (nullptr = silent). */
+    std::ostream *progress = nullptr;
+};
+
+/** A named batch of SimJobs executed as one parallel fan-out. */
+class Campaign
+{
+  public:
+    Campaign() = default;
+
+    /** Append one job. */
+    Campaign &add(SimJob job);
+
+    /**
+     * Cross product: every named workload × every config spec, all with
+     * the same run options. Workload and config names are validated
+     * eagerly (fatal on unknown), so errors surface before any thread
+     * starts.
+     */
+    static Campaign grid(const std::vector<std::string> &workloads,
+                         const std::vector<std::string> &config_specs,
+                         const RunOptions &opts);
+
+    const std::vector<SimJob> &jobs() const { return jobList; }
+
+    /** Execute all jobs; outcomes are ordered by job index. */
+    ResultSet run(const CampaignOptions &copts = {}) const;
+
+  private:
+    std::vector<SimJob> jobList;
+};
+
+} // namespace nwsim::exp
+
+#endif // NWSIM_EXP_CAMPAIGN_HH

@@ -1,0 +1,109 @@
+#include "exp/configs.hh"
+
+#include "common/logging.hh"
+#include "driver/presets.hh"
+
+namespace nwsim::exp
+{
+
+const std::vector<NamedConfig> &
+baseConfigs()
+{
+    static const std::vector<NamedConfig> bases = {
+        {"baseline", "paper Table 1 machine (4-issue, 4 ALUs)"},
+        {"packing", "baseline + strict operation packing (Section 5.2)"},
+        {"packing-replay",
+         "baseline + speculative replay packing (Section 5.3)"},
+        {"issue8", "Figure 11's costly 8-issue/8-ALU comparison machine"},
+    };
+    return bases;
+}
+
+const std::vector<NamedConfig> &
+configModifiers()
+{
+    static const std::vector<NamedConfig> mods = {
+        {"decode8", "widen fetch/decode to 8 (Section 5.4)"},
+        {"perfect", "perfect branch prediction (oracle fetch)"},
+        {"earlyout", "PPC603-style early-out multiplies (Section 2.3)"},
+        {"nogate33", "disable the 33-bit gating signal (Figure 6)"},
+    };
+    return mods;
+}
+
+namespace
+{
+
+bool
+resolveSpec(const std::string &spec, CoreConfig &out)
+{
+    std::vector<std::string> parts;
+    std::string cur;
+    for (char c : spec) {
+        if (c == '+') {
+            parts.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    parts.push_back(cur);
+
+    // Modifiers must be applied after the base is chosen, but `perfect`
+    // feeds the preset constructors, so scan for it first.
+    bool perfect = false;
+    for (size_t i = 1; i < parts.size(); ++i)
+        if (parts[i] == "perfect")
+            perfect = true;
+
+    const std::string &base = parts[0];
+    if (base == "baseline")
+        out = presets::baseline(perfect);
+    else if (base == "packing")
+        out = presets::packing(false, perfect);
+    else if (base == "packing-replay")
+        out = presets::packing(true, perfect);
+    else if (base == "issue8")
+        out = presets::issue8(perfect);
+    else
+        return false;
+
+    for (size_t i = 1; i < parts.size(); ++i) {
+        const std::string &mod = parts[i];
+        if (mod == "perfect")
+            continue;   // already applied
+        if (mod == "decode8")
+            out = presets::decode8(out);
+        else if (mod == "earlyout")
+            out.earlyOutMultiply = true;
+        else if (mod == "nogate33")
+            out.gating.gate33 = false;
+        else
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+CoreConfig
+configBySpec(const std::string &spec)
+{
+    CoreConfig cfg;
+    if (!resolveSpec(spec, cfg)) {
+        NWSIM_FATAL("unknown config spec \"", spec,
+                    "\" (bases: baseline, packing, packing-replay, "
+                    "issue8; modifiers: +decode8, +perfect, +earlyout, "
+                    "+nogate33)");
+    }
+    return cfg;
+}
+
+bool
+isValidConfigSpec(const std::string &spec)
+{
+    CoreConfig cfg;
+    return resolveSpec(spec, cfg);
+}
+
+} // namespace nwsim::exp

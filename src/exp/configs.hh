@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Named core-configuration registry for experiment campaigns.
+ *
+ * A config spec is a base preset name optionally followed by `+modifier`
+ * suffixes, so one comma-separated `--configs` list can express the whole
+ * grid the paper sweeps:
+ *
+ *     baseline                    Table 1 machine
+ *     packing                     + strict operation packing (§5.2)
+ *     packing-replay              + replay packing (§5.3)
+ *     issue8                      Figure 11's 8-issue/8-ALU machine
+ *     packing-replay+decode8      §5.4 8-wide decode variant
+ *     packing+perfect             perfect branch prediction
+ *     baseline+earlyout           PPC603-style early-out multiplies
+ */
+
+#ifndef NWSIM_EXP_CONFIGS_HH
+#define NWSIM_EXP_CONFIGS_HH
+
+#include <string>
+#include <vector>
+
+#include "pipeline/config.hh"
+
+namespace nwsim::exp
+{
+
+/** One registered base preset. */
+struct NamedConfig
+{
+    std::string name;
+    std::string description;
+};
+
+/** The four base presets, in canonical sweep order. */
+const std::vector<NamedConfig> &baseConfigs();
+
+/** The supported `+modifier` suffixes. */
+const std::vector<NamedConfig> &configModifiers();
+
+/**
+ * Resolve a config spec ("packing-replay+decode8+perfect") to a
+ * CoreConfig. Fatal on an unknown base or modifier.
+ */
+CoreConfig configBySpec(const std::string &spec);
+
+/** True if @p spec resolves (for argument validation without exiting). */
+bool isValidConfigSpec(const std::string &spec);
+
+} // namespace nwsim::exp
+
+#endif // NWSIM_EXP_CONFIGS_HH

@@ -1,0 +1,70 @@
+#include "exp/job_pool.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+namespace nwsim::exp
+{
+
+unsigned
+resolveJobCount(unsigned requested)
+{
+    if (requested)
+        return requested;
+    if (const char *env = std::getenv("NWSIM_JOBS")) {
+        const unsigned long n = std::strtoul(env, nullptr, 0);
+        if (n)
+            return static_cast<unsigned>(n);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+JobPool::JobPool(unsigned workers) : workerCount(resolveJobCount(workers))
+{
+}
+
+void
+JobPool::run(const std::vector<std::function<void()>> &tasks,
+             const std::function<void(size_t)> &on_done) const
+{
+    if (tasks.empty())
+        return;
+
+    const size_t n = tasks.size();
+    const unsigned threads =
+        static_cast<unsigned>(std::min<size_t>(workerCount, n));
+
+    std::atomic<size_t> cursor{0};
+    std::mutex doneMutex;
+    auto worker = [&] {
+        for (;;) {
+            const size_t i = cursor.fetch_add(1);
+            if (i >= n)
+                return;
+            tasks[i]();
+            if (on_done) {
+                std::lock_guard<std::mutex> lock(doneMutex);
+                on_done(i);
+            }
+        }
+    };
+
+    if (threads == 1) {
+        // Run inline: no thread overhead, and debuggers/sanitizers see a
+        // single-threaded program for --jobs 1.
+        worker();
+        return;
+    }
+
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+}
+
+} // namespace nwsim::exp

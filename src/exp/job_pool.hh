@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fixed-size worker pool executing an indexed batch of independent jobs.
+ *
+ * The queue is a single atomic cursor over the job vector: each worker
+ * claims the next unclaimed index and runs it. Because every job writes
+ * only its own slot of the caller's result vector, the merged output is
+ * bit-identical for any worker count — determinism comes from indexing,
+ * not from scheduling.
+ */
+
+#ifndef NWSIM_EXP_JOB_POOL_HH
+#define NWSIM_EXP_JOB_POOL_HH
+
+#include <functional>
+#include <vector>
+
+namespace nwsim::exp
+{
+
+/**
+ * Resolve a worker count: @p requested if nonzero, else the NWSIM_JOBS
+ * environment variable, else std::thread::hardware_concurrency(),
+ * clamped to [1, number of jobs] by JobPool::run.
+ */
+unsigned resolveJobCount(unsigned requested);
+
+/** Indexed fan-out over std::thread workers. */
+class JobPool
+{
+  public:
+    /** @p workers 0 resolves via resolveJobCount(0). */
+    explicit JobPool(unsigned workers = 0);
+
+    unsigned workers() const { return workerCount; }
+
+    /**
+     * Run every task; tasks[i] is invoked exactly once, on some worker.
+     * Tasks must not throw (wrap exceptions inside the task) and must
+     * not touch shared mutable state except through their own index.
+     *
+     * @p on_done, if set, is called after each task finishes with the
+     * task's index, serialized under an internal mutex (safe to print).
+     */
+    void run(const std::vector<std::function<void()>> &tasks,
+             const std::function<void(size_t)> &on_done = {}) const;
+
+  private:
+    unsigned workerCount;
+};
+
+} // namespace nwsim::exp
+
+#endif // NWSIM_EXP_JOB_POOL_HH

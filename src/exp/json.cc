@@ -1,0 +1,170 @@
+#include "exp/json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace nwsim::exp
+{
+
+std::string
+JsonWriter::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::indent()
+{
+    os << '\n';
+    for (size_t i = 0; i < stack.size(); ++i)
+        os << "  ";
+}
+
+void
+JsonWriter::beforeValue()
+{
+    if (pendingKey) {
+        pendingKey = false;
+        return;
+    }
+    if (stack.empty())
+        return;
+    NWSIM_ASSERT(stack.back().isArray,
+                 "JSON object member emitted without key()");
+    if (stack.back().hasItems)
+        os << ',';
+    stack.back().hasItems = true;
+    indent();
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    beforeValue();
+    os << '{';
+    stack.push_back({false, false});
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    NWSIM_ASSERT(!stack.empty() && !stack.back().isArray,
+                 "endObject() outside an object");
+    const bool had = stack.back().hasItems;
+    stack.pop_back();
+    if (had)
+        indent();
+    os << '}';
+    if (stack.empty())
+        os << '\n';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    beforeValue();
+    os << '[';
+    stack.push_back({true, false});
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    NWSIM_ASSERT(!stack.empty() && stack.back().isArray,
+                 "endArray() outside an array");
+    const bool had = stack.back().hasItems;
+    stack.pop_back();
+    if (had)
+        indent();
+    os << ']';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &name)
+{
+    NWSIM_ASSERT(!stack.empty() && !stack.back().isArray,
+                 "key() outside an object");
+    if (stack.back().hasItems)
+        os << ',';
+    stack.back().hasItems = true;
+    indent();
+    os << '"' << escape(name) << "\": ";
+    pendingKey = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &s)
+{
+    beforeValue();
+    os << '"' << escape(s) << '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool b)
+{
+    beforeValue();
+    os << (b ? "true" : "false");
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double d)
+{
+    beforeValue();
+    if (!std::isfinite(d)) {
+        // JSON has no inf/nan; null keeps the document valid.
+        os << "null";
+        return *this;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    os << buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t u)
+{
+    beforeValue();
+    os << u;
+    return *this;
+}
+
+} // namespace nwsim::exp

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Minimal streaming JSON writer for campaign result sinks. Emits
+ * pretty-printed, valid JSON with no external dependencies: nested
+ * objects/arrays tracked on an explicit scope stack, commas and
+ * indentation handled automatically, strings escaped per RFC 8259.
+ */
+
+#ifndef NWSIM_EXP_JSON_HH
+#define NWSIM_EXP_JSON_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace nwsim::exp
+{
+
+/**
+ * Scope-stack JSON writer.
+ *
+ *     JsonWriter j(out);
+ *     j.beginObject();
+ *     j.key("jobs").value(14);
+ *     j.key("results").beginArray();
+ *     ...
+ *     j.endArray();
+ *     j.endObject();
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &out) : os(out) {}
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit an object key; must be followed by a value or begin*(). */
+    JsonWriter &key(const std::string &name);
+
+    JsonWriter &value(const std::string &s);
+    JsonWriter &value(const char *s) { return value(std::string(s)); }
+    JsonWriter &value(bool b);
+    JsonWriter &value(double d);
+    JsonWriter &value(std::uint64_t u);
+    JsonWriter &value(int i) { return value(std::uint64_t(i)); }
+    JsonWriter &value(unsigned u) { return value(std::uint64_t(u)); }
+
+    /** RFC 8259 string escaping (quotes, backslash, control chars). */
+    static std::string escape(const std::string &s);
+
+  private:
+    void beforeValue();
+    void indent();
+
+    struct Scope
+    {
+        bool isArray = false;
+        bool hasItems = false;
+    };
+
+    std::ostream &os;
+    std::vector<Scope> stack;
+    bool pendingKey = false;
+};
+
+} // namespace nwsim::exp
+
+#endif // NWSIM_EXP_JSON_HH

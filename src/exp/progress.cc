@@ -1,0 +1,58 @@
+#include "exp/progress.hh"
+
+#include <cstdio>
+#include <string>
+
+namespace nwsim::exp
+{
+
+ProgressMeter::ProgressMeter(size_t total_jobs, unsigned worker_count,
+                             std::ostream *stream)
+    : total(total_jobs), workers(worker_count ? worker_count : 1),
+      out(stream), start(Clock::now())
+{
+}
+
+void
+ProgressMeter::jobDone(const std::string &label, bool ok)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    ++done;
+    if (!ok)
+        ++failed;
+    if (!out)
+        return;
+
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    const double per_job = done ? elapsed / static_cast<double>(done) : 0;
+    const double eta = per_job *
+                       static_cast<double>(total - done) /
+                       static_cast<double>(workers);
+    const int pct =
+        total ? static_cast<int>(100 * done / total) : 100;
+
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "\r[%zu/%zu] %3d%% elapsed %.1fs eta %.1fs  %-28.28s",
+                  done, total, pct, elapsed, eta,
+                  (label + (ok ? "" : " FAILED")).c_str());
+    *out << line << std::flush;
+}
+
+void
+ProgressMeter::finish()
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    if (!out)
+        return;
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    char line[120];
+    std::snprintf(line, sizeof(line),
+                  "\r%zu job%s in %.1fs (%zu failed)%-40s\n", done,
+                  done == 1 ? "" : "s", elapsed, failed, "");
+    *out << line << std::flush;
+}
+
+} // namespace nwsim::exp

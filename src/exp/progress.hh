@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Single-line progress/ETA meter for campaign runs. Thread-safe; the
+ * ETA extrapolates mean job wall-clock over the remaining job count and
+ * the worker count, which is exact for uniform jobs and a reasonable
+ * guess otherwise.
+ */
+
+#ifndef NWSIM_EXP_PROGRESS_HH
+#define NWSIM_EXP_PROGRESS_HH
+
+#include <chrono>
+#include <mutex>
+#include <ostream>
+
+namespace nwsim::exp
+{
+
+/** Carriage-return progress line ("[12/56] 21% elapsed 3.2s eta 12.1s"). */
+class ProgressMeter
+{
+  public:
+    /**
+     * @p total jobs expected; @p workers concurrent lanes (for the ETA);
+     * @p out stream for the line, or nullptr to disable entirely.
+     */
+    ProgressMeter(size_t total, unsigned workers, std::ostream *out);
+
+    /** Record one finished job (prints the refreshed line). */
+    void jobDone(const std::string &label, bool ok);
+
+    /** Terminate the progress line (call once, after the run). */
+    void finish();
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    size_t total;
+    unsigned workers;
+    std::ostream *out;
+    Clock::time_point start;
+    size_t done = 0;
+    size_t failed = 0;
+    std::mutex mutex;
+};
+
+} // namespace nwsim::exp
+
+#endif // NWSIM_EXP_PROGRESS_HH

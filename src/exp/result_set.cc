@@ -1,0 +1,197 @@
+#include "exp/result_set.hh"
+
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "exp/json.hh"
+
+namespace nwsim::exp
+{
+
+ResultSet::ResultSet(std::vector<JobOutcome> outcomes,
+                     unsigned workers_used)
+    : all(std::move(outcomes)), workers(workers_used)
+{
+}
+
+size_t
+ResultSet::failedCount() const
+{
+    size_t n = 0;
+    for (const JobOutcome &o : all)
+        n += o.ok ? 0 : 1;
+    return n;
+}
+
+double
+ResultSet::totalJobSeconds() const
+{
+    double s = 0.0;
+    for (const JobOutcome &o : all)
+        s += o.wallSeconds;
+    return s;
+}
+
+const JobOutcome *
+ResultSet::find(const std::string &workload,
+                const std::string &config_spec) const
+{
+    for (const JobOutcome &o : all)
+        if (o.workload == workload && o.configSpec == config_spec)
+            return &o;
+    return nullptr;
+}
+
+const RunResult &
+ResultSet::get(const std::string &workload,
+               const std::string &config_spec) const
+{
+    const JobOutcome *o = find(workload, config_spec);
+    if (!o)
+        NWSIM_FATAL("no campaign job ", workload, "/", config_spec);
+    if (!o->ok)
+        NWSIM_FATAL("campaign job ", workload, "/", config_spec,
+                    " failed: ", o->error);
+    return o->result;
+}
+
+Table
+ResultSet::toTable() const
+{
+    Table t({"workload", "config", "ipc", "power red%", "packed insts",
+             "replay traps", "wall s", "status"});
+    for (const JobOutcome &o : all) {
+        if (!o.ok) {
+            t.addRow({o.workload, o.configSpec, "-", "-", "-", "-",
+                      Table::num(o.wallSeconds, 2),
+                      "FAILED: " + o.error});
+            continue;
+        }
+        const RunResult &r = o.result;
+        t.addRow({o.workload, o.configSpec, Table::num(r.ipc(), 3),
+                  Table::num(r.gating.reductionPercent(), 1),
+                  std::to_string(r.packing.packedInsts),
+                  std::to_string(r.packing.replayTraps),
+                  Table::num(o.wallSeconds, 2), "ok"});
+    }
+    return t;
+}
+
+namespace
+{
+
+void
+writeStats(JsonWriter &j, const RunResult &r)
+{
+    j.key("stats").beginObject();
+    j.key("warmup_committed").value(r.warmupCommitted);
+    j.key("measured_committed").value(r.measuredCommitted);
+    j.key("cycles").value(static_cast<u64>(r.core.cycles));
+    j.key("committed").value(r.core.committed);
+    j.key("ipc").value(r.ipc());
+    j.key("fetched").value(r.core.fetched);
+    j.key("dispatched").value(r.core.dispatched);
+    j.key("issued").value(r.core.issued);
+    j.key("squashed").value(r.core.squashed);
+    j.key("mispredict_squashes").value(r.core.mispredictSquashes);
+    j.key("l1d_miss_rate").value(r.l1dMissRate);
+    j.key("l1i_miss_rate").value(r.l1iMissRate);
+    j.key("cond_mispredict_rate").value(r.bpred.condMispredictRate());
+
+    j.key("width").beginObject();
+    j.key("narrow16_pct").value(r.profiler.narrow16TotalPercent());
+    j.key("narrow33_pct").value(r.profiler.narrow33TotalPercent());
+    j.key("fluctuation_pct").value(r.profiler.fluctuationPercent());
+    j.key("total_ops").value(r.profiler.totalOps());
+    j.endObject();
+
+    j.key("power").beginObject();
+    j.key("baseline_mw_per_cycle").value(r.baselinePowerPerCycle());
+    j.key("optimized_mw_per_cycle").value(r.optimizedPowerPerCycle());
+    j.key("net_saved_mw_per_cycle").value(r.netSavedPowerPerCycle());
+    j.key("reduction_pct").value(r.gating.reductionPercent());
+    j.key("gated16_ops").value(r.gating.gated16);
+    j.key("gated33_ops").value(r.gating.gated33);
+    j.endObject();
+
+    j.key("packing").beginObject();
+    j.key("packed_groups").value(r.packing.packedGroups);
+    j.key("packed_insts").value(r.packing.packedInsts);
+    j.key("replay_speculations").value(r.packing.replaySpeculations);
+    j.key("replay_traps").value(r.packing.replayTraps);
+    j.key("pack_eligible_issued").value(r.packing.packEligibleIssued);
+    j.endObject();
+
+    j.endObject();
+}
+
+} // namespace
+
+void
+ResultSet::writeJson(std::ostream &os) const
+{
+    JsonWriter j(os);
+    j.beginObject();
+    j.key("campaign").beginObject();
+    j.key("jobs").value(static_cast<u64>(all.size()));
+    j.key("failed").value(static_cast<u64>(failedCount()));
+    j.key("workers").value(workers);
+    j.key("total_job_seconds").value(totalJobSeconds());
+    j.endObject();
+
+    j.key("results").beginArray();
+    for (const JobOutcome &o : all) {
+        j.beginObject();
+        j.key("workload").value(o.workload);
+        j.key("config").value(o.configSpec);
+        j.key("ok").value(o.ok);
+        j.key("attempts").value(o.attempts);
+        j.key("wall_seconds").value(o.wallSeconds);
+        if (o.ok)
+            writeStats(j, o.result);
+        else
+            j.key("error").value(o.error);
+        j.endObject();
+    }
+    j.endArray();
+    j.endObject();
+}
+
+void
+ResultSet::writeCsv(std::ostream &os) const
+{
+    os << "workload,config,ok,attempts,wall_seconds,committed,cycles,"
+          "ipc,l1d_miss_rate,l1i_miss_rate,cond_mispredict_rate,"
+          "narrow16_pct,narrow33_pct,fluctuation_pct,"
+          "power_baseline_mw,power_optimized_mw,power_reduction_pct,"
+          "packed_groups,packed_insts,replay_traps\n";
+    for (const JobOutcome &o : all) {
+        std::ostringstream row;
+        row << o.workload << ',' << o.configSpec << ','
+            << (o.ok ? 1 : 0) << ',' << o.attempts << ','
+            << o.wallSeconds << ',';
+        if (o.ok) {
+            const RunResult &r = o.result;
+            row << r.core.committed << ',' << r.core.cycles << ','
+                << r.ipc() << ',' << r.l1dMissRate << ','
+                << r.l1iMissRate << ','
+                << r.bpred.condMispredictRate() << ','
+                << r.profiler.narrow16TotalPercent() << ','
+                << r.profiler.narrow33TotalPercent() << ','
+                << r.profiler.fluctuationPercent() << ','
+                << r.baselinePowerPerCycle() << ','
+                << r.optimizedPowerPerCycle() << ','
+                << r.gating.reductionPercent() << ','
+                << r.packing.packedGroups << ','
+                << r.packing.packedInsts << ','
+                << r.packing.replayTraps;
+        } else {
+            for (int i = 0; i < 14; ++i)
+                row << ',';
+        }
+        os << row.str() << '\n';
+    }
+}
+
+} // namespace nwsim::exp

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Campaign outcomes and their sinks: JSON (machine analysis), CSV
+ * (spreadsheets), and the repo's aligned-text Table (terminals).
+ */
+
+#ifndef NWSIM_EXP_RESULT_SET_HH
+#define NWSIM_EXP_RESULT_SET_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "driver/runner.hh"
+#include "driver/table.hh"
+
+namespace nwsim::exp
+{
+
+/** What happened to one job: its stats on success, why it failed if not. */
+struct JobOutcome
+{
+    std::string workload;
+    std::string configSpec;
+    bool ok = false;
+    /** Attempts consumed (1 = first try succeeded). */
+    unsigned attempts = 0;
+    /** Exception message of the final failed attempt. */
+    std::string error;
+    /** Wall-clock of the successful (or last) attempt, seconds. */
+    double wallSeconds = 0.0;
+    /** Simulation statistics; meaningful only when ok. */
+    RunResult result;
+
+    std::string label() const { return workload + "/" + configSpec; }
+};
+
+/** Ordered (by job index) outcomes of one campaign run. */
+class ResultSet
+{
+  public:
+    ResultSet() = default;
+    ResultSet(std::vector<JobOutcome> outcomes, unsigned workers_used);
+
+    const std::vector<JobOutcome> &outcomes() const { return all; }
+    size_t size() const { return all.size(); }
+    size_t failedCount() const;
+    bool allOk() const { return failedCount() == 0; }
+    /** Worker threads the campaign actually ran with. */
+    unsigned workersUsed() const { return workers; }
+    /** Sum of per-job wall clocks (serial-equivalent seconds). */
+    double totalJobSeconds() const;
+
+    /** Outcome for a (workload, config) pair, or nullptr. */
+    const JobOutcome *find(const std::string &workload,
+                           const std::string &config_spec) const;
+
+    /** Stats for a (workload, config) pair; fatal if absent or failed. */
+    const RunResult &get(const std::string &workload,
+                         const std::string &config_spec) const;
+
+    /** Headline-stat table, one row per job. */
+    Table toTable() const;
+
+    /** Full statistics as a JSON document. */
+    void writeJson(std::ostream &os) const;
+
+    /** Headline stats as CSV, one row per job. */
+    void writeCsv(std::ostream &os) const;
+
+  private:
+    std::vector<JobOutcome> all;
+    unsigned workers = 0;
+};
+
+} // namespace nwsim::exp
+
+#endif // NWSIM_EXP_RESULT_SET_HH

@@ -1,0 +1,233 @@
+/**
+ * Experiment-campaign engine: deterministic fan-out (identical ResultSet
+ * contents for any worker count), fault isolation (a throwing job fails
+ * alone), config-spec parsing, and the JSON/CSV sinks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "exp/campaign.hh"
+#include "exp/configs.hh"
+#include "exp/job_pool.hh"
+#include "exp/json.hh"
+
+namespace nwsim
+{
+namespace
+{
+
+RunOptions
+tinyWindow()
+{
+    RunOptions opts;
+    opts.warmupInsts = 2000;
+    opts.measureInsts = 8000;
+    return opts;
+}
+
+exp::ResultSet
+runGrid(unsigned jobs)
+{
+    const exp::Campaign c = exp::Campaign::grid(
+        {"perl", "gsm-decode"}, {"baseline", "packing-replay"},
+        tinyWindow());
+    exp::CampaignOptions copts;
+    copts.jobs = jobs;
+    return c.run(copts);
+}
+
+TEST(Campaign, GridBuildsWorkloadMajorOrder)
+{
+    const exp::Campaign c = exp::Campaign::grid(
+        {"perl", "go"}, {"baseline", "packing"}, tinyWindow());
+    ASSERT_EQ(c.jobs().size(), 4u);
+    EXPECT_EQ(c.jobs()[0].label(), "perl/baseline");
+    EXPECT_EQ(c.jobs()[1].label(), "go/baseline");
+    EXPECT_EQ(c.jobs()[2].label(), "perl/packing");
+    EXPECT_EQ(c.jobs()[3].label(), "go/packing");
+}
+
+TEST(Campaign, ResultsIdenticalAcrossThreadCounts)
+{
+    const exp::ResultSet serial = runGrid(1);
+    const exp::ResultSet parallel = runGrid(4);
+
+    ASSERT_EQ(serial.size(), 4u);
+    ASSERT_EQ(parallel.size(), serial.size());
+    EXPECT_EQ(serial.failedCount(), 0u);
+    EXPECT_EQ(parallel.failedCount(), 0u);
+    EXPECT_EQ(serial.workersUsed(), 1u);
+    EXPECT_EQ(parallel.workersUsed(), 4u);
+
+    for (size_t i = 0; i < serial.size(); ++i) {
+        const exp::JobOutcome &a = serial.outcomes()[i];
+        const exp::JobOutcome &b = parallel.outcomes()[i];
+        // Same job in the same slot...
+        ASSERT_EQ(a.label(), b.label());
+        // ...with bit-identical statistics (only wall-clock may differ).
+        EXPECT_EQ(a.result.core.cycles, b.result.core.cycles) << a.label();
+        EXPECT_EQ(a.result.core.committed, b.result.core.committed);
+        EXPECT_EQ(a.result.core.issued, b.result.core.issued);
+        EXPECT_EQ(a.result.core.squashed, b.result.core.squashed);
+        EXPECT_EQ(a.result.warmupCommitted, b.result.warmupCommitted);
+        EXPECT_EQ(a.result.measuredCommitted, b.result.measuredCommitted);
+        EXPECT_EQ(a.result.packing.packedGroups,
+                  b.result.packing.packedGroups);
+        EXPECT_EQ(a.result.packing.packedInsts,
+                  b.result.packing.packedInsts);
+        EXPECT_EQ(a.result.packing.replayTraps,
+                  b.result.packing.replayTraps);
+        EXPECT_EQ(a.result.gating.gated16, b.result.gating.gated16);
+        EXPECT_EQ(a.result.gating.gated33, b.result.gating.gated33);
+        EXPECT_DOUBLE_EQ(a.result.gating.baselineMwSum,
+                         b.result.gating.baselineMwSum);
+        EXPECT_DOUBLE_EQ(a.result.gating.gatedMwSum,
+                         b.result.gating.gatedMwSum);
+        EXPECT_EQ(a.result.profiler.totalOps(),
+                  b.result.profiler.totalOps());
+        EXPECT_DOUBLE_EQ(a.result.profiler.cumulativePercent(16),
+                         b.result.profiler.cumulativePercent(16));
+        EXPECT_DOUBLE_EQ(a.result.l1dMissRate, b.result.l1dMissRate);
+        EXPECT_DOUBLE_EQ(a.result.l1iMissRate, b.result.l1iMissRate);
+    }
+}
+
+TEST(Campaign, ThrowingJobFailsWithoutAbortingSiblings)
+{
+    exp::Campaign c;
+    exp::SimJob good;
+    good.workload = "perl";
+    good.configSpec = "baseline";
+    good.opts = tinyWindow();
+
+    exp::SimJob bad;
+    bad.workload = "explodes";
+    bad.configSpec = "baseline";
+    bad.runner = [](const exp::SimJob &) -> RunResult {
+        throw std::runtime_error("injected fault");
+    };
+
+    c.add(bad).add(good);
+
+    exp::CampaignOptions copts;
+    copts.jobs = 2;
+    copts.maxAttempts = 3;
+    const exp::ResultSet results = c.run(copts);
+
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results.failedCount(), 1u);
+    EXPECT_FALSE(results.allOk());
+
+    const exp::JobOutcome &failed = results.outcomes()[0];
+    EXPECT_FALSE(failed.ok);
+    EXPECT_EQ(failed.error, "injected fault");
+    EXPECT_EQ(failed.attempts, 3u);   // retried, then recorded
+
+    const exp::JobOutcome &ok = results.outcomes()[1];
+    EXPECT_TRUE(ok.ok);
+    EXPECT_EQ(ok.attempts, 1u);
+    EXPECT_GT(ok.result.core.committed, 0u);
+
+    // The failed job is visible through find(), absent stats and all.
+    const exp::JobOutcome *found = results.find("explodes", "baseline");
+    ASSERT_NE(found, nullptr);
+    EXPECT_FALSE(found->ok);
+}
+
+TEST(Campaign, ConfigSpecsResolveAndCompose)
+{
+    EXPECT_TRUE(exp::isValidConfigSpec("baseline"));
+    EXPECT_TRUE(exp::isValidConfigSpec("packing-replay+decode8+perfect"));
+    EXPECT_FALSE(exp::isValidConfigSpec("warp-drive"));
+    EXPECT_FALSE(exp::isValidConfigSpec("baseline+warp"));
+
+    const CoreConfig cfg =
+        exp::configBySpec("packing-replay+decode8+perfect");
+    EXPECT_TRUE(cfg.packing.enabled);
+    EXPECT_TRUE(cfg.packing.replay);
+    EXPECT_EQ(cfg.decodeWidth, 8u);
+    EXPECT_EQ(cfg.fetchWidth, 8u);
+    EXPECT_TRUE(cfg.perfectBPred);
+
+    const CoreConfig wide = exp::configBySpec("issue8");
+    EXPECT_EQ(wide.issueWidth, 8u);
+    EXPECT_EQ(wide.numAlus, 8u);
+
+    const CoreConfig early = exp::configBySpec("baseline+earlyout");
+    EXPECT_TRUE(early.earlyOutMultiply);
+    const CoreConfig nogate = exp::configBySpec("baseline+nogate33");
+    EXPECT_FALSE(nogate.gating.gate33);
+}
+
+TEST(Campaign, JsonSinkEmitsEveryJobAndEscapes)
+{
+    exp::Campaign c;
+    exp::SimJob bad;
+    bad.workload = "weird\"name";
+    bad.configSpec = "baseline";
+    bad.runner = [](const exp::SimJob &) -> RunResult {
+        throw std::runtime_error("line1\nline2");
+    };
+    c.add(bad);
+    exp::CampaignOptions copts;
+    copts.jobs = 1;
+    copts.maxAttempts = 1;
+    const exp::ResultSet results = c.run(copts);
+
+    std::ostringstream os;
+    results.writeJson(os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"weird\\\"name\""), std::string::npos);
+    EXPECT_NE(json.find("line1\\nline2"), std::string::npos);
+    EXPECT_NE(json.find("\"failed\": 1"), std::string::npos);
+    // Balanced braces/brackets (cheap well-formedness check).
+    long depth = 0;
+    for (char ch : json) {
+        if (ch == '{' || ch == '[')
+            ++depth;
+        if (ch == '}' || ch == ']')
+            --depth;
+        EXPECT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+}
+
+TEST(Campaign, CsvSinkHasOneRowPerJob)
+{
+    const exp::ResultSet results = runGrid(2);
+    std::ostringstream os;
+    results.writeCsv(os);
+    size_t lines = 0;
+    std::string line;
+    std::istringstream in(os.str());
+    while (std::getline(in, line))
+        ++lines;
+    EXPECT_EQ(lines, 1 + results.size());   // header + one per job
+}
+
+TEST(JobPool, RunsEveryTaskExactlyOnce)
+{
+    const size_t n = 64;
+    std::vector<int> hits(n, 0);
+    std::vector<std::function<void()>> tasks;
+    for (size_t i = 0; i < n; ++i)
+        tasks.push_back([&hits, i] { hits[i]++; });
+    exp::JobPool pool(8);
+    size_t done = 0;
+    pool.run(tasks, [&](size_t) { ++done; });
+    EXPECT_EQ(done, n);
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i], 1) << i;
+}
+
+TEST(JobPool, ResolvesWorkerCount)
+{
+    EXPECT_EQ(exp::JobPool(3).workers(), 3u);
+    EXPECT_GE(exp::JobPool(0).workers(), 1u);
+}
+
+} // namespace
+} // namespace nwsim

@@ -93,6 +93,7 @@ report(const RunResult &r, bool csv)
                   << "cond_mispredict_rate,"
                   << r.bpred.condMispredictRate() << "\n"
                   << "l1d_miss_rate," << r.l1dMissRate << "\n"
+                  << "l1i_miss_rate," << r.l1iMissRate << "\n"
                   << "narrow16_pct," << r.profiler.narrow16TotalPercent()
                   << "\n"
                   << "narrow33_pct," << r.profiler.narrow33TotalPercent()
@@ -212,16 +213,7 @@ main(int argc, char **argv)
             });
         }
         core.run(opts.measureInsts);
-        RunResult r;
-        r.workload = target;
-        r.configName = config_name;
-        r.core = core.stats();
-        r.gating = core.gating().stats();
-        r.packing = core.packingStats();
-        r.bpred = core.bpredStats();
-        r.profiler = core.profiler();
-        r.l1dMissRate = core.memSystem().l1d().stats().missRate();
-        report(r, csv);
+        report(collectRunResult(core, target, config_name), csv);
         return 0;
     }
 

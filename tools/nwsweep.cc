@@ -1,0 +1,207 @@
+/**
+ * @file
+ * nwsweep — run the paper's whole evaluation grid as one parallel
+ * experiment campaign.
+ *
+ *     nwsweep [--suite spec|media|all|smoke] [--workloads a,b,c]
+ *             [--configs spec,spec,...] [--jobs N]
+ *             [--json FILE] [--csv FILE] [--warmup N] [--measure N]
+ *             [--no-progress] [--list-configs]
+ *
+ * Defaults: --suite all, --configs baseline,packing,packing-replay,issue8
+ * (the Figure 10/11 grid), --jobs hardware_concurrency (or NWSIM_JOBS).
+ * Config specs compose modifiers: e.g. packing-replay+decode8+perfect.
+ * The --suite smoke preset is a tiny 2x2 grid with short windows, used
+ * by ctest to exercise the parallel path.
+ *
+ * Exit status: 0 if every job succeeded, 1 if any failed, 2 on usage
+ * errors.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "exp/campaign.hh"
+#include "exp/configs.hh"
+#include "workloads/kernels.hh"
+
+using namespace nwsim;
+
+namespace
+{
+
+int
+usage()
+{
+    std::cerr
+        << "usage: nwsweep [--suite spec|media|all|smoke]\n"
+        << "               [--workloads a,b,c] [--configs s1,s2,...]\n"
+        << "               [--jobs N] [--json FILE] [--csv FILE]\n"
+        << "               [--warmup N] [--measure N]\n"
+        << "               [--no-progress] [--list-configs]\n";
+    return 2;
+}
+
+int
+listConfigs()
+{
+    std::cout << "base configs:\n";
+    for (const exp::NamedConfig &c : exp::baseConfigs())
+        std::cout << "  " << c.name << "  — " << c.description << "\n";
+    std::cout << "modifiers (append with +):\n";
+    for (const exp::NamedConfig &m : exp::configModifiers())
+        std::cout << "  +" << m.name << "  — " << m.description << "\n";
+    std::cout << "example: packing-replay+decode8+perfect\n";
+    return 0;
+}
+
+std::vector<std::string>
+splitList(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : csv) {
+        if (c == ',') {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+std::vector<std::string>
+suiteNames(const std::string &suite)
+{
+    std::vector<std::string> names;
+    for (const Workload &w : allWorkloads()) {
+        if (suite == "all" || w.suite == suite)
+            names.push_back(w.name);
+    }
+    return names;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string suite = "all";
+    std::vector<std::string> workloads;
+    std::vector<std::string> configs;
+    std::string json_path, csv_path;
+    unsigned jobs = 0;
+    bool progress = true;
+    RunOptions opts = resolveRunOptions();
+    bool window_overridden = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--suite")
+            suite = next();
+        else if (arg == "--workloads")
+            workloads = splitList(next());
+        else if (arg == "--configs")
+            configs = splitList(next());
+        else if (arg == "--jobs")
+            jobs = static_cast<unsigned>(
+                std::strtoul(next().c_str(), nullptr, 0));
+        else if (arg == "--json")
+            json_path = next();
+        else if (arg == "--csv")
+            csv_path = next();
+        else if (arg == "--warmup") {
+            opts.warmupInsts = std::strtoull(next().c_str(), nullptr, 0);
+            window_overridden = true;
+        } else if (arg == "--measure") {
+            opts.measureInsts = std::strtoull(next().c_str(), nullptr, 0);
+            window_overridden = true;
+        } else if (arg == "--no-progress")
+            progress = false;
+        else if (arg == "--list-configs")
+            return listConfigs();
+        else
+            return usage();
+    }
+
+    if (suite == "smoke") {
+        // Tiny grid with short windows: exercises the parallel campaign
+        // path in seconds (used by the ctest `campaign` label).
+        if (workloads.empty())
+            workloads = {"perl", "gsm-decode"};
+        if (configs.empty())
+            configs = {"baseline", "packing-replay"};
+        if (!window_overridden) {
+            opts.warmupInsts = 2000;
+            opts.measureInsts = 10000;
+        }
+    } else {
+        if (workloads.empty()) {
+            if (suite != "spec" && suite != "media" && suite != "all")
+                return usage();
+            workloads = suiteNames(suite);
+        }
+        if (configs.empty())
+            configs = {"baseline", "packing", "packing-replay",
+                       "issue8"};
+    }
+    for (const std::string &spec : configs) {
+        if (!exp::isValidConfigSpec(spec))
+            NWSIM_FATAL("unknown config spec \"", spec,
+                        "\" (see nwsweep --list-configs)");
+    }
+
+    const exp::Campaign campaign =
+        exp::Campaign::grid(workloads, configs, opts);
+
+    exp::CampaignOptions copts;
+    copts.jobs = jobs;
+    copts.progress = progress ? &std::cerr : nullptr;
+
+    std::cerr << "nwsweep: " << campaign.jobs().size() << " jobs ("
+              << workloads.size() << " workloads x " << configs.size()
+              << " configs), warmup " << opts.warmupInsts << ", measure "
+              << opts.measureInsts << "\n";
+
+    const exp::ResultSet results = campaign.run(copts);
+
+    results.toTable().print();
+    std::cout << "total simulated job time "
+              << Table::num(results.totalJobSeconds(), 1) << "s on "
+              << results.workersUsed() << " worker(s)";
+    if (results.failedCount())
+        std::cout << "; " << results.failedCount() << " job(s) FAILED";
+    std::cout << "\n";
+
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        if (!out)
+            NWSIM_FATAL("cannot write ", json_path);
+        results.writeJson(out);
+        std::cerr << "wrote " << json_path << "\n";
+    }
+    if (!csv_path.empty()) {
+        std::ofstream out(csv_path);
+        if (!out)
+            NWSIM_FATAL("cannot write ", csv_path);
+        results.writeCsv(out);
+        std::cerr << "wrote " << csv_path << "\n";
+    }
+
+    return results.allOk() ? 0 : 1;
+}
