@@ -1,0 +1,47 @@
+# Configure a nested UBSan build of the campaign engine, build nwsweep,
+# and run the smoke campaign suite under halt_on_error=1. Driven by
+# ctest (see tests/CMakeLists.txt, label `sanitize`) as:
+#
+#   cmake -DSOURCE_DIR=... -DWORK_DIR=... -P RunUbsanSmoke.cmake
+#
+# Undefined behaviour anywhere on the smoke campaign's path — the
+# parallel fan-out, the pipeline, packing/gating arithmetic — fails the
+# test.
+
+if(NOT SOURCE_DIR OR NOT WORK_DIR)
+    message(FATAL_ERROR "usage: cmake -DSOURCE_DIR=<repo> "
+                        "-DWORK_DIR=<scratch> -P RunUbsanSmoke.cmake")
+endif()
+
+set(build_dir "${WORK_DIR}/ubsan-build")
+file(MAKE_DIRECTORY "${build_dir}")
+
+message(STATUS "UBSan smoke: configuring in ${build_dir}")
+execute_process(
+    COMMAND "${CMAKE_COMMAND}" -S "${SOURCE_DIR}" -B "${build_dir}"
+            -DNWSIM_SANITIZE=undefined
+            -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    RESULT_VARIABLE rc)
+if(rc)
+    message(FATAL_ERROR "UBSan smoke: configure failed (${rc})")
+endif()
+
+message(STATUS "UBSan smoke: building nwsweep")
+execute_process(
+    COMMAND "${CMAKE_COMMAND}" --build "${build_dir}" --target nwsweep
+            --parallel 4
+    RESULT_VARIABLE rc)
+if(rc)
+    message(FATAL_ERROR "UBSan smoke: build failed (${rc})")
+endif()
+
+message(STATUS "UBSan smoke: running the smoke campaign suite")
+execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E env UBSAN_OPTIONS=halt_on_error=1
+            "${build_dir}/tools/nwsweep" --suite smoke --jobs 4
+            --no-progress --json "${WORK_DIR}/ubsan_smoke.json"
+    RESULT_VARIABLE rc)
+if(rc)
+    message(FATAL_ERROR "UBSan smoke: nwsweep failed (${rc})")
+endif()
+message(STATUS "UBSan smoke: clean")

@@ -1,0 +1,190 @@
+#include "check/cosim.hh"
+
+#include <sstream>
+
+#include "isa/disasm.hh"
+
+namespace nwsim
+{
+
+namespace
+{
+
+bool
+sameInst(const Inst &a, const Inst &b)
+{
+    return a.op == b.op && a.ra == b.ra && a.rb == b.rb &&
+           a.rc == b.rc && a.imm == b.imm && a.disp == b.disp;
+}
+
+void
+hex(std::ostringstream &os, u64 value)
+{
+    os << "0x" << std::hex << value << std::dec;
+}
+
+} // namespace
+
+const char *
+divergenceKindName(DivergenceKind kind)
+{
+    switch (kind) {
+      case DivergenceKind::None:
+        return "none";
+      case DivergenceKind::ExtraCommit:
+        return "extra-commit";
+      case DivergenceKind::Pc:
+        return "pc";
+      case DivergenceKind::Instruction:
+        return "instruction";
+      case DivergenceKind::NextPc:
+        return "next-pc";
+      case DivergenceKind::DestValue:
+        return "dest-value";
+      case DivergenceKind::MemAddr:
+        return "mem-addr";
+      case DivergenceKind::MemData:
+        return "mem-data";
+      case DivergenceKind::FinalState:
+        return "final-state";
+    }
+    return "?";
+}
+
+std::string
+formatDivergence(const Divergence &d)
+{
+    if (d.kind == DivergenceKind::None)
+        return "cosim: no divergence";
+    std::ostringstream os;
+    os << "cosim divergence [" << divergenceKindName(d.kind)
+       << "] at commit #" << d.commitIndex << "\n"
+       << "  pipeline: pc=";
+    hex(os, d.pipelinePc);
+    os << "  " << disassemble(d.pipelineInst, d.pipelinePc) << "\n"
+       << "  golden:   pc=";
+    hex(os, d.goldenPc);
+    os << "  " << disassemble(d.goldenInst, d.goldenPc) << "\n"
+       << "  " << d.detail;
+    return os.str();
+}
+
+CosimOracle::CosimOracle(const Program &golden)
+    : mem(std::make_unique<SparseMemory>())
+{
+    golden.load(*mem);
+    func = std::make_unique<FuncSim>(*mem, golden.entry);
+}
+
+void
+CosimOracle::catchUp(u64 insts)
+{
+    func->run(insts);
+}
+
+void
+CosimOracle::record(DivergenceKind kind, const RuuEntry &e,
+                    const FuncStep &g, u64 pipeline_value,
+                    u64 golden_value, std::string detail)
+{
+    div.kind = kind;
+    div.commitIndex = commits;
+    div.pipelinePc = e.pc;
+    div.goldenPc = g.pc;
+    div.pipelineInst = e.inst;
+    div.goldenInst = g.inst;
+    div.pipelineValue = pipeline_value;
+    div.goldenValue = golden_value;
+    div.detail = std::move(detail);
+}
+
+void
+CosimOracle::onCommit(const RuuEntry &e)
+{
+    if (diverged())
+        return;
+    ++commits;
+
+    if (func->halted()) {
+        FuncStep g;
+        g.pc = func->pc();
+        record(DivergenceKind::ExtraCommit, e, g, e.result, 0,
+               "pipeline committed after the golden model halted");
+        return;
+    }
+
+    const FuncStep g = func->step();
+
+    const auto mismatch = [&](DivergenceKind kind, u64 pipe, u64 gold,
+                              const char *what) {
+        std::ostringstream os;
+        os << what << ": pipeline ";
+        hex(os, pipe);
+        os << " != golden ";
+        hex(os, gold);
+        record(kind, e, g, pipe, gold, os.str());
+    };
+
+    if (e.pc != g.pc) {
+        mismatch(DivergenceKind::Pc, e.pc, g.pc, "commit pc");
+        return;
+    }
+    if (!sameInst(e.inst, g.inst)) {
+        record(DivergenceKind::Instruction, e, g, 0, 0,
+               "same pc, different instruction (fetch/decode bug?)");
+        return;
+    }
+    if (e.isCtrl && e.actualNpc != g.nextPc) {
+        mismatch(DivergenceKind::NextPc, e.actualNpc, g.nextPc,
+                 "control-transfer target");
+        return;
+    }
+    if (e.inst.writesReg() && e.result != g.result) {
+        mismatch(DivergenceKind::DestValue, e.result, g.result,
+                 "destination value");
+        return;
+    }
+    if (e.isMem && e.effAddr != g.effAddr) {
+        mismatch(DivergenceKind::MemAddr, e.effAddr, g.effAddr,
+                 "effective address");
+        return;
+    }
+    if (e.isSt && e.storeData != g.storeData) {
+        mismatch(DivergenceKind::MemData, e.storeData, g.storeData,
+                 "store data");
+        return;
+    }
+}
+
+bool
+CosimOracle::verifyFinalState(const OutOfOrderCore &core)
+{
+    if (diverged())
+        return false;
+    if (core.done() != func->halted()) {
+        div.kind = DivergenceKind::FinalState;
+        div.commitIndex = commits;
+        div.detail = core.done()
+                         ? "pipeline halted, golden model did not"
+                         : "golden model halted, pipeline did not";
+        return false;
+    }
+    for (RegIndex r = 0; r < numIntRegs; ++r) {
+        if (core.reg(r) == func->reg(r))
+            continue;
+        std::ostringstream os;
+        os << "architected r" << int(r) << ": pipeline ";
+        hex(os, core.reg(r));
+        os << " != golden ";
+        hex(os, func->reg(r));
+        div.kind = DivergenceKind::FinalState;
+        div.commitIndex = commits;
+        div.pipelineValue = core.reg(r);
+        div.goldenValue = func->reg(r);
+        div.detail = os.str();
+        return false;
+    }
+    return true;
+}
+
+} // namespace nwsim

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Lockstep cosimulation oracle.
+ *
+ * Advances a private functional simulator (src/func) one instruction
+ * per pipeline commit and compares PC, instruction, destination value,
+ * next-PC, and memory effect — so a bug in the out-of-order model is
+ * diagnosed at the *first* diverging commit, with both sides' views,
+ * instead of as an opaque end-of-run register diff. This is the
+ * commit-stream checking every later performance PR runs under (see
+ * docs/CHECKING.md).
+ */
+
+#ifndef NWSIM_CHECK_COSIM_HH
+#define NWSIM_CHECK_COSIM_HH
+
+#include <memory>
+#include <string>
+
+#include "asm/program.hh"
+#include "func/func_sim.hh"
+#include "pipeline/core.hh"
+
+namespace nwsim
+{
+
+/** What the first divergence disagreed on. */
+enum class DivergenceKind : u8
+{
+    None,           ///< lockstep held
+    ExtraCommit,    ///< pipeline committed past the golden HALT
+    Pc,             ///< committed PC != golden PC
+    Instruction,    ///< same PC, different decoded instruction
+    NextPc,         ///< control transfer resolved to the wrong target
+    DestValue,      ///< destination register value mismatch
+    MemAddr,        ///< load/store effective address mismatch
+    MemData,        ///< store wrote different data
+    FinalState,     ///< end-of-run architected register mismatch
+};
+
+/** Printable name of a divergence kind. */
+const char *divergenceKindName(DivergenceKind kind);
+
+/** Everything known about the first divergence, for the report. */
+struct Divergence
+{
+    DivergenceKind kind = DivergenceKind::None;
+    /** 1-based index in the checked commit stream. */
+    u64 commitIndex = 0;
+    Addr pipelinePc = 0;
+    Addr goldenPc = 0;
+    Inst pipelineInst;
+    Inst goldenInst;
+    u64 pipelineValue = 0;
+    u64 goldenValue = 0;
+    /** One-line human summary of the mismatched field. */
+    std::string detail;
+};
+
+/** Multi-line report: what diverged, where, and both sides' views. */
+std::string formatDivergence(const Divergence &divergence);
+
+/**
+ * The oracle itself: attach to a core (directly or via CheckSession)
+ * and it steps its own FuncSim over a private memory snapshot once per
+ * onCommit. After the first divergence it stops checking (and asks the
+ * core to stop running) so the report stays pinned to the root cause.
+ */
+class CosimOracle : public CoreObserver
+{
+  public:
+    /**
+     * @param golden The program the architecture is expected to run —
+     *               normally the same image the core executes (the
+     *               fuzzer passes the unmutated image when drilling
+     *               fault injection).
+     */
+    explicit CosimOracle(const Program &golden);
+
+    /**
+     * Advance the golden model @p insts instructions without checking,
+     * mirroring OutOfOrderCore::fastForward() warmup (pass its return
+     * value so the two stay in lockstep).
+     */
+    void catchUp(u64 insts);
+
+    void onCommit(const RuuEntry &e) override;
+    bool stopRequested() const override { return diverged(); }
+
+    /**
+     * After the pipeline halts, compare every architected register
+     * against the golden model. @return true if all match (records a
+     * FinalState divergence otherwise).
+     */
+    bool verifyFinalState(const OutOfOrderCore &core);
+
+    bool diverged() const { return div.kind != DivergenceKind::None; }
+    const Divergence &divergence() const { return div; }
+    u64 commitsChecked() const { return commits; }
+    const FuncSim &golden() const { return *func; }
+    std::string report() const { return formatDivergence(div); }
+
+  private:
+    void record(DivergenceKind kind, const RuuEntry &e,
+                const FuncStep &g, u64 pipeline_value, u64 golden_value,
+                std::string detail);
+
+    std::unique_ptr<SparseMemory> mem;
+    std::unique_ptr<FuncSim> func;
+    Divergence div;
+    u64 commits = 0;
+};
+
+} // namespace nwsim
+
+#endif // NWSIM_CHECK_COSIM_HH

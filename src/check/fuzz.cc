@@ -1,0 +1,510 @@
+#include "check/fuzz.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "asm/layout.hh"
+#include "asm/textasm.hh"
+#include "common/rng.hh"
+#include "driver/presets.hh"
+
+namespace nwsim
+{
+
+namespace
+{
+
+/** Working registers the body ops read and write (r16/r17 are the
+ *  harness's blob pointer and loop counter; r31 is the zero reg). */
+constexpr RegIndex firstWorkReg = 1;
+constexpr unsigned numWorkRegs = 12;
+
+/** Size of the data blob loads and stores address. */
+constexpr unsigned blobBytes = 512;
+
+RegIndex
+workReg(SplitMix64 &rng)
+{
+    return static_cast<RegIndex>(firstWorkReg + rng.below(numWorkRegs));
+}
+
+/**
+ * A 64-bit constant biased toward the paper's interesting widths: most
+ * draws are narrow16 (zero48 or ones48), and many sit within a couple
+ * of ULPs of the bit-15/16, 31/32/33, and 47/48 boundaries where
+ * packing legality and replay carry traps flip.
+ */
+i64
+boundaryConstant(SplitMix64 &rng)
+{
+    const i64 jitter = rng.range(-2, 2);
+    switch (rng.below(10)) {
+      case 0:
+        return rng.range(0, 0xff);                // tiny positive
+      case 1:
+        return rng.range(-0xff, -1);              // tiny negative (ones48)
+      case 2:
+        return 0x7fff + jitter;                   // bit-15 carry boundary
+      case 3:
+        return 0xffff + jitter;                   // bit-16 carry boundary
+      case 4:
+        return -0x8000 + jitter;                  // narrow16 lower edge
+      case 5:
+        return (i64{1} << 31) + jitter;           // bit-31/32 boundary
+      case 6:
+        return (i64{1} << 33) + jitter;           // just past narrow33
+      case 7:
+        return (i64{1} << 47) + jitter;           // bit-47/48 boundary
+      case 8:
+        return static_cast<i64>(layout::dataBase) +
+               rng.range(0, blobBytes - 8);       // 33-bit pointer-like
+      default:
+        return static_cast<i64>(rng.next());      // wide random
+    }
+}
+
+/** I-type immediate within the encoder's range for @p op. */
+i64
+immediateFor(Opcode op, SplitMix64 &rng)
+{
+    switch (op) {
+      case Opcode::SLLI:
+      case Opcode::SRLI:
+      case Opcode::SRAI:
+        return rng.range(0, 63);
+      default:
+        break;
+    }
+    if (immZeroExtends(op)) {
+        // Bias toward the masks and boundaries gating cares about.
+        switch (rng.below(4)) {
+          case 0:
+            return 0xffff;
+          case 1:
+            return 0x7fff + rng.range(-2, 2);
+          case 2:
+            return rng.range(0, 0xff);
+          default:
+            return rng.range(0, 0xffff);
+        }
+    }
+    switch (rng.below(4)) {
+      case 0:
+        return rng.range(-4, 4);
+      case 1:
+        return 0x7fff - rng.range(0, 2);          // push sums across bit 15
+      case 2:
+        return -0x8000 + rng.range(0, 2);
+      default:
+        return rng.range(-0x8000, 0x7fff);
+    }
+}
+
+constexpr Opcode aluPool[] = {
+    Opcode::ADD,   Opcode::ADD,   Opcode::ADD,   Opcode::SUB,
+    Opcode::SUB,   Opcode::SUB,   Opcode::MUL,   Opcode::DIV,
+    Opcode::REM,   Opcode::AND,   Opcode::OR,    Opcode::XOR,
+    Opcode::BIC,   Opcode::SLL,   Opcode::SRL,   Opcode::SRA,
+    Opcode::CMPEQ, Opcode::CMPLT, Opcode::CMPLE, Opcode::CMPULT,
+    Opcode::CMPULE, Opcode::SEXTB, Opcode::SEXTW,
+};
+
+constexpr Opcode aluImmPool[] = {
+    Opcode::ADDI,  Opcode::ADDI,  Opcode::SUBI,   Opcode::SUBI,
+    Opcode::MULI,  Opcode::ANDI,  Opcode::ORI,    Opcode::XORI,
+    Opcode::SLLI,  Opcode::SRLI,  Opcode::SRAI,   Opcode::CMPEQI,
+    Opcode::CMPLTI, Opcode::CMPLEI, Opcode::LDAH,
+};
+
+constexpr Opcode loadPool[] = {Opcode::LDQ, Opcode::LDQ, Opcode::LDL,
+                               Opcode::LDWU, Opcode::LDBU};
+
+constexpr Opcode storePool[] = {Opcode::STQ, Opcode::STQ, Opcode::STL,
+                                Opcode::STW, Opcode::STB};
+
+constexpr Opcode branchPool[] = {Opcode::BEQ, Opcode::BNE, Opcode::BLT,
+                                 Opcode::BGE, Opcode::BLE, Opcode::BGT};
+
+template <size_t N>
+Opcode
+pick(const Opcode (&pool)[N], SplitMix64 &rng)
+{
+    return pool[rng.below(N)];
+}
+
+/** Blob offset aligned for @p op, never past the end. */
+i64
+blobOffset(Opcode op, SplitMix64 &rng)
+{
+    const unsigned size = memAccessSize(op);
+    const unsigned slots = blobBytes / size;
+    return static_cast<i64>(rng.below(slots) * size);
+}
+
+/** Effective skip of a BranchSkip at body index @p i (clamped). */
+size_t
+branchTarget(const FuzzCase &fc, size_t i)
+{
+    const size_t skip = std::clamp<size_t>(fc.ops[i].skip, 1, 3);
+    return std::min(i + 1 + skip, fc.ops.size());
+}
+
+/** Body indices jumped over by some BranchSkip (may never execute). */
+std::vector<bool>
+coveredByBranch(const FuzzCase &fc)
+{
+    std::vector<bool> covered(fc.ops.size(), false);
+    for (size_t i = 0; i < fc.ops.size(); ++i) {
+        if (fc.ops[i].kind != FuzzOpKind::BranchSkip)
+            continue;
+        for (size_t j = i + 1; j < branchTarget(fc, i); ++j)
+            covered[j] = true;
+    }
+    return covered;
+}
+
+/** The fault perturbation applied by the core-view materialization. */
+i64
+perturb(const FuzzOp &op)
+{
+    // Loads/stores flip an address bit that preserves alignment and
+    // stays inside the blob; everything else flips the low imm bit
+    // (stays in the encoder's range for every generated immediate).
+    if (op.kind == FuzzOpKind::Load || op.kind == FuzzOpKind::Store)
+        return op.imm ^ 8;
+    return op.imm ^ 1;
+}
+
+void
+emitOp(std::ostringstream &os, const FuzzOp &op, size_t index,
+       bool core_view)
+{
+    const i64 imm =
+        (core_view && op.faulty) ? perturb(op) : op.imm;
+    os << "        ";
+    switch (op.kind) {
+      case FuzzOpKind::LoadConst:
+        os << "li r" << unsigned{op.rc} << ", " << imm;
+        break;
+      case FuzzOpKind::Alu:
+        os << mnemonic(op.op) << " r" << unsigned{op.rc} << ", r"
+           << unsigned{op.ra};
+        if (op.op != Opcode::SEXTB && op.op != Opcode::SEXTW)
+            os << ", r" << unsigned{op.rb};
+        break;
+      case FuzzOpKind::AluImm:
+        os << mnemonic(op.op) << " r" << unsigned{op.rc} << ", r"
+           << unsigned{op.ra} << ", " << imm;
+        break;
+      case FuzzOpKind::Load:
+        os << mnemonic(op.op) << " r" << unsigned{op.rc} << ", " << imm
+           << "(r16)";
+        break;
+      case FuzzOpKind::Store:
+        os << mnemonic(op.op) << " r" << unsigned{op.ra} << ", " << imm
+           << "(r16)";
+        break;
+      case FuzzOpKind::BranchSkip:
+        os << mnemonic(op.op) << " r" << unsigned{op.ra} << ", L"
+           << index;
+        break;
+    }
+    os << "\n";
+}
+
+} // namespace
+
+FuzzCase
+generateFuzzCase(u64 seed, const FuzzParams &params)
+{
+    FuzzCase fc;
+    fc.seed = seed;
+    fc.iterations = std::max(1u, params.iterations);
+    SplitMix64 rng(seed ^ 0x6e77667a7a696e67ULL); // "nwfzzing"
+
+    fc.ops.reserve(params.numOps);
+    for (unsigned i = 0; i < params.numOps; ++i) {
+        FuzzOp op;
+        if (i < 6) {
+            // Seed the working set with boundary-biased constants so
+            // the very first ALU ops already see narrow operands.
+            op.kind = FuzzOpKind::LoadConst;
+            op.rc = static_cast<RegIndex>(firstWorkReg + i % numWorkRegs);
+            op.imm = boundaryConstant(rng);
+            fc.ops.push_back(op);
+            continue;
+        }
+        const u64 roll = rng.below(100);
+        if (roll < 35) {
+            op.kind = FuzzOpKind::Alu;
+            op.op = pick(aluPool, rng);
+            op.rc = workReg(rng);
+            op.ra = workReg(rng);
+            op.rb = workReg(rng);
+        } else if (roll < 60) {
+            op.kind = FuzzOpKind::AluImm;
+            op.op = pick(aluImmPool, rng);
+            op.rc = workReg(rng);
+            op.ra = workReg(rng);
+            op.imm = immediateFor(op.op, rng);
+        } else if (roll < 70) {
+            op.kind = FuzzOpKind::LoadConst;
+            op.rc = workReg(rng);
+            op.imm = boundaryConstant(rng);
+        } else if (roll < 80) {
+            op.kind = FuzzOpKind::Load;
+            op.op = pick(loadPool, rng);
+            op.rc = workReg(rng);
+            op.imm = blobOffset(op.op, rng);
+        } else if (roll < 88) {
+            op.kind = FuzzOpKind::Store;
+            op.op = pick(storePool, rng);
+            op.ra = workReg(rng);
+            op.imm = blobOffset(op.op, rng);
+        } else {
+            op.kind = FuzzOpKind::BranchSkip;
+            op.op = pick(branchPool, rng);
+            op.ra = workReg(rng);
+            op.skip = static_cast<unsigned>(rng.range(1, 3));
+        }
+        fc.ops.push_back(op);
+    }
+    return fc;
+}
+
+size_t
+markInjectedFault(FuzzCase &fc, u64 fault_seed)
+{
+    SplitMix64 rng(fault_seed ^ 0x66617572747921ULL); // "faurty!"
+    for (FuzzOp &op : fc.ops)
+        op.faulty = false;
+
+    // The fault site must commit on every run, so it cannot sit in a
+    // region a BranchSkip may jump over. Append ops (outside every
+    // cover, eventually) if no generated op qualifies.
+    for (;;) {
+        const std::vector<bool> covered = coveredByBranch(fc);
+        std::vector<size_t> eligible;
+        for (size_t i = 0; i < fc.ops.size(); ++i) {
+            const FuzzOpKind k = fc.ops[i].kind;
+            const bool perturbable = k == FuzzOpKind::LoadConst ||
+                                     k == FuzzOpKind::AluImm ||
+                                     k == FuzzOpKind::Load;
+            if (perturbable && !covered[i])
+                eligible.push_back(i);
+        }
+        if (!eligible.empty()) {
+            const size_t site = eligible[rng.below(eligible.size())];
+            fc.ops[site].faulty = true;
+            return site;
+        }
+        FuzzOp filler;
+        filler.kind = FuzzOpKind::LoadConst;
+        filler.rc = workReg(rng);
+        filler.imm = boundaryConstant(rng);
+        fc.ops.push_back(filler);
+    }
+}
+
+bool
+fuzzCaseHasFault(const FuzzCase &fc)
+{
+    return std::any_of(fc.ops.begin(), fc.ops.end(),
+                       [](const FuzzOp &op) { return op.faulty; });
+}
+
+std::string
+fuzzProgramText(const FuzzCase &fc, bool core_view)
+{
+    std::ostringstream os;
+    os << "; nwfuzz case seed=0x" << std::hex << fc.seed << std::dec
+       << " iters=" << fc.iterations << " ops=" << fc.ops.size()
+       << (core_view && fuzzCaseHasFault(fc) ? " (fault-injected view)"
+                                             : "")
+       << "\n";
+    os << ".text\n";
+    os << "        la r16, blob\n";
+    os << "        li r17, " << fc.iterations << "\n";
+    os << "loop:\n";
+
+    // Forward-branch targets: labels bound just before the body op (or
+    // loop epilogue) each BranchSkip lands on.
+    const size_t n = fc.ops.size();
+    std::vector<std::vector<size_t>> labelsAt(n + 1);
+    for (size_t i = 0; i < n; ++i) {
+        if (fc.ops[i].kind == FuzzOpKind::BranchSkip)
+            labelsAt[branchTarget(fc, i)].push_back(i);
+    }
+    for (size_t i = 0; i <= n; ++i) {
+        for (size_t branch : labelsAt[i])
+            os << "L" << branch << ":\n";
+        if (i < n)
+            emitOp(os, fc.ops[i], i, core_view);
+    }
+
+    os << "        subi r17, r17, 1\n";
+    os << "        bne r17, loop\n";
+    os << "        halt\n";
+    os << ".data\n";
+    os << "blob:\n";
+    SplitMix64 drng(fc.seed ^ 0x626c6f62626c6f62ULL); // "blobblob"
+    for (unsigned q = 0; q < blobBytes / 8; ++q)
+        os << "        .quad " << boundaryConstant(drng) << "\n";
+    return os.str();
+}
+
+Program
+materializeFuzzCase(const FuzzCase &fc, bool core_view)
+{
+    return assembleText(fuzzProgramText(fc, core_view));
+}
+
+u64
+fuzzCaseInstCount(const FuzzCase &fc)
+{
+    const Program p = materializeFuzzCase(fc, false);
+    return (p.textEnd() - layout::textBase) / 4;
+}
+
+std::vector<FuzzConfig>
+fuzzConfigMatrix()
+{
+    CoreConfig base = presets::baseline();
+    base.gating.enabled = false;
+
+    const std::pair<const char *, CoreConfig> variants[] = {
+        {"baseline", base},
+        {"gating", presets::baseline()},
+        {"packing", presets::packing(/*replay=*/false)},
+        {"packing-replay", presets::packing(/*replay=*/true)},
+    };
+    std::vector<FuzzConfig> matrix;
+    for (const auto &[name, cfg] : variants) {
+        matrix.push_back({std::string(name) + "-d4", cfg});
+        matrix.push_back({std::string(name) + "-d8",
+                          presets::decode8(cfg)});
+    }
+    return matrix;
+}
+
+std::optional<FuzzFailure>
+runFuzzCase(const FuzzCase &fc, const std::vector<FuzzConfig> &matrix)
+{
+    const Program golden = materializeFuzzCase(fc, /*core_view=*/false);
+    const bool faulty = fuzzCaseHasFault(fc);
+    const Program core_prog =
+        faulty ? materializeFuzzCase(fc, /*core_view=*/true) : golden;
+
+    // Bound every pipeline run by the golden instruction count (the
+    // harness loop is counted, so this always halts).
+    SparseMemory golden_mem;
+    golden.load(golden_mem);
+    FuncSim golden_sim(golden_mem, golden.entry);
+    constexpr u64 stepCap = 4'000'000;
+    golden_sim.run(stepCap);
+    if (!golden_sim.halted())
+        return FuzzFailure{"golden",
+                           "golden model did not halt within bound"};
+    const u64 commit_bound = golden_sim.instCount() + 256;
+
+    for (const FuzzConfig &cell : matrix) {
+        SparseMemory mem;
+        core_prog.load(mem);
+        OutOfOrderCore core(cell.config, mem, core_prog.entry);
+        CheckSession session(core, golden);
+        core.run(commit_bound);
+        if (session.failed())
+            return FuzzFailure{cell.name, session.report()};
+        if (!core.done())
+            return FuzzFailure{cell.name,
+                               "pipeline did not halt within the golden "
+                               "commit bound"};
+        if (!session.verifyFinalState())
+            return FuzzFailure{cell.name, session.report()};
+    }
+    return std::nullopt;
+}
+
+ShrinkOutcome
+shrinkFuzzCase(const FuzzCase &failing,
+               const std::vector<FuzzConfig> &matrix)
+{
+    ShrinkOutcome out;
+    out.minimized = failing;
+
+    const auto tryCase =
+        [&](const FuzzCase &candidate) -> std::optional<FuzzFailure> {
+        ++out.attempts;
+        return runFuzzCase(candidate, matrix);
+    };
+
+    const auto seed_failure = tryCase(out.minimized);
+    if (!seed_failure)
+        return out; // not actually failing; nothing to shrink
+    out.failure = *seed_failure;
+
+    // 1. One loop iteration is almost always enough.
+    if (out.minimized.iterations > 1) {
+        FuzzCase candidate = out.minimized;
+        candidate.iterations = 1;
+        if (const auto f = tryCase(candidate)) {
+            out.minimized = candidate;
+            out.failure = *f;
+        }
+    }
+
+    // 2. Greedy chunked removal (ddmin-style) to a fixed point. Any
+    //    subsequence of body ops is still a valid program, and
+    //    injected-fault sites are pinned so the defect can't be
+    //    shrunk away.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        size_t chunk = std::max<size_t>(out.minimized.ops.size() / 2, 1);
+        for (;; chunk /= 2) {
+            size_t start = 0;
+            while (start < out.minimized.ops.size()) {
+                const size_t end =
+                    std::min(start + chunk, out.minimized.ops.size());
+                const bool pinned = std::any_of(
+                    out.minimized.ops.begin() +
+                        static_cast<ptrdiff_t>(start),
+                    out.minimized.ops.begin() +
+                        static_cast<ptrdiff_t>(end),
+                    [](const FuzzOp &op) { return op.faulty; });
+                if (pinned) {
+                    start = end;
+                    continue;
+                }
+                FuzzCase candidate = out.minimized;
+                candidate.ops.erase(
+                    candidate.ops.begin() + static_cast<ptrdiff_t>(start),
+                    candidate.ops.begin() + static_cast<ptrdiff_t>(end));
+                if (const auto f = tryCase(candidate)) {
+                    out.minimized = candidate;
+                    out.failure = *f;
+                    changed = true;
+                } else {
+                    start = end;
+                }
+            }
+            if (chunk == 1)
+                break;
+        }
+    }
+
+    // 3. Immediate simplification: zero anything that still fails.
+    for (size_t i = 0; i < out.minimized.ops.size(); ++i) {
+        if (out.minimized.ops[i].imm == 0)
+            continue;
+        FuzzCase candidate = out.minimized;
+        candidate.ops[i].imm = 0;
+        if (const auto f = tryCase(candidate)) {
+            out.minimized = candidate;
+            out.failure = *f;
+        }
+    }
+    return out;
+}
+
+} // namespace nwsim

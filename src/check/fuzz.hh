@@ -1,0 +1,147 @@
+/**
+ * @file
+ * nwfuzz engine: seeded random-program generation biased toward
+ * narrow-width and carry-boundary operands, a config-matrix runner
+ * that executes every case under the cosim oracle and the invariant
+ * checker, and a deterministic shrinker that reduces a failing case to
+ * a minimal reproducer.
+ *
+ * A case is an opcode-level IR (a loop harness around a list of body
+ * ops) chosen so that *any* subsequence of body ops is still a valid,
+ * terminating program — that property is what makes greedy chunk
+ * removal a sound shrinking strategy. Cases materialize through the
+ * text assembler, so a shrunk reproducer can be written to disk as a
+ * `.s` file and replayed with `nwsim run repro.s --check`.
+ */
+
+#ifndef NWSIM_CHECK_FUZZ_HH
+#define NWSIM_CHECK_FUZZ_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/session.hh"
+
+namespace nwsim
+{
+
+/** What one body op does (materialization is kind-driven). */
+enum class FuzzOpKind : u8
+{
+    LoadConst,      ///< li rc, boundary-biased 64-bit constant
+    Alu,            ///< R-type op rc, ra, rb
+    AluImm,         ///< I-type op rc, ra, imm
+    Load,           ///< load rc, imm(r16) inside the data blob
+    Store,          ///< store ra, imm(r16) inside the data blob
+    BranchSkip,     ///< conditional forward branch over `skip` body ops
+};
+
+/** One body op of a fuzz case. */
+struct FuzzOp
+{
+    FuzzOpKind kind = FuzzOpKind::Alu;
+    Opcode op = Opcode::ADD;
+    RegIndex rc = 1;
+    RegIndex ra = 1;
+    RegIndex rb = 1;
+    i64 imm = 0;
+    /** BranchSkip: body ops jumped over (clamped at materialization). */
+    unsigned skip = 1;
+    /**
+     * Injected-fault site: the core-view materialization perturbs this
+     * op (imm ^= 1 / offset ^= 8) while the golden view keeps it — a
+     * drill for the oracle's catch-and-shrink loop.
+     */
+    bool faulty = false;
+};
+
+/** Generation knobs. */
+struct FuzzParams
+{
+    unsigned numOps = 48;
+    unsigned iterations = 6;
+};
+
+/** A generated (or shrunk) test case. */
+struct FuzzCase
+{
+    u64 seed = 0;
+    unsigned iterations = 6;
+    std::vector<FuzzOp> ops;
+};
+
+/** Deterministically generate a case from @p seed. */
+FuzzCase generateFuzzCase(u64 seed, const FuzzParams &params = {});
+
+/**
+ * Mark one unconditionally-executed LoadConst/AluImm/Load op as the
+ * injected-fault site (appending one if necessary), so the fault is
+ * guaranteed to reach commit. @return the chosen body-op index.
+ */
+size_t markInjectedFault(FuzzCase &fc, u64 fault_seed);
+
+/** True if some op carries the injected-fault mark. */
+bool fuzzCaseHasFault(const FuzzCase &fc);
+
+/**
+ * Render the case as text assembly (the reproducer format). The core
+ * view applies injected-fault perturbations; the golden view never
+ * does. Identical when no op is marked faulty.
+ */
+std::string fuzzProgramText(const FuzzCase &fc, bool core_view);
+
+/** Assemble the case (through the text assembler, like a replay). */
+Program materializeFuzzCase(const FuzzCase &fc, bool core_view = false);
+
+/** Instructions in the materialized golden-view program. */
+u64 fuzzCaseInstCount(const FuzzCase &fc);
+
+/** One cell of the config matrix. */
+struct FuzzConfig
+{
+    std::string name;
+    CoreConfig config;
+};
+
+/**
+ * The full matrix the acceptance gate sweeps: baseline / gating /
+ * packing / packing-replay, each at decode4 and decode8.
+ */
+std::vector<FuzzConfig> fuzzConfigMatrix();
+
+/** First failure of a case across the matrix. */
+struct FuzzFailure
+{
+    std::string configName;
+    std::string report;
+};
+
+/**
+ * Run @p fc on every matrix config under a full CheckSession (cosim +
+ * invariants + final-state compare). @return the first failure, or
+ * nullopt if every config ran clean.
+ */
+std::optional<FuzzFailure> runFuzzCase(
+    const FuzzCase &fc, const std::vector<FuzzConfig> &matrix);
+
+/** Shrink result. */
+struct ShrinkOutcome
+{
+    FuzzCase minimized;
+    FuzzFailure failure;
+    /** Candidate runs tried during shrinking. */
+    unsigned attempts = 0;
+};
+
+/**
+ * Greedily minimize a failing case: iterations first, then chunked op
+ * removal to a fixed point, then immediate simplification — re-running
+ * the matrix after each candidate edit. Deterministic.
+ */
+ShrinkOutcome shrinkFuzzCase(const FuzzCase &failing,
+                             const std::vector<FuzzConfig> &matrix);
+
+} // namespace nwsim
+
+#endif // NWSIM_CHECK_FUZZ_HH

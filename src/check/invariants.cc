@@ -1,0 +1,253 @@
+#include "check/invariants.hh"
+
+#include <sstream>
+
+#include "core/packing.hh"
+#include "core/width.hh"
+#include "func/semantics.hh"
+
+namespace nwsim
+{
+
+namespace
+{
+
+/**
+ * Reconstruct a value from what a width-sliced datapath sees: the low
+ * 16 (or 33) bits plus the one redundant-upper tag bit (zero48/ones48,
+ * Figure 3). Identity for genuinely narrow values — so transparency
+ * checks reduce to "recompute from the lane view, compare".
+ */
+u64
+laneView16(u64 value)
+{
+    const u64 low = value & 0xffff;
+    const bool ones = (value >> 16) == (~u64{0} >> 16);
+    return ones ? (low | ~u64{0xffff}) : low;
+}
+
+u64
+laneView33(u64 value)
+{
+    const u64 mask = (u64{1} << 33) - 1;
+    const u64 low = value & mask;
+    const bool ones = (value >> 33) == (~u64{0} >> 33);
+    return ones ? (low | ~mask) : low;
+}
+
+u64
+laneView(u64 value, WidthClass wc)
+{
+    return wc == WidthClass::Narrow16 ? laneView16(value)
+                                      : laneView33(value);
+}
+
+bool
+bytesOverlap(Addr a, unsigned a_size, Addr b, unsigned b_size)
+{
+    return a < b + b_size && b < a + a_size;
+}
+
+/** Result-producing integer-unit op whose value flows from opA/opB. */
+bool
+isValueOp(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntAlu:
+      case OpClass::IntMult:
+      case OpClass::IntDiv:
+      case OpClass::Logic:
+      case OpClass::Shift:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string
+hexPair(const char *what, u64 got, u64 want)
+{
+    std::ostringstream os;
+    os << what << ": got 0x" << std::hex << got << ", expected 0x"
+       << want << std::dec;
+    return os.str();
+}
+
+} // namespace
+
+const char *
+invariantClassName(InvariantClass cls)
+{
+    switch (cls) {
+      case InvariantClass::CommitOrder:
+        return "commit-order";
+      case InvariantClass::LsqOrder:
+        return "lsq-order";
+      case InvariantClass::PackLegality:
+        return "pack-legality";
+      case InvariantClass::ReplayCompleteness:
+        return "replay-completeness";
+      case InvariantClass::GatingTransparency:
+        return "gating-transparency";
+      default:
+        return "?";
+    }
+}
+
+InvariantChecker::InvariantChecker(const OutOfOrderCore &core_)
+    : core(core_)
+{
+}
+
+void
+InvariantChecker::check(bool ok, InvariantClass cls, const RuuEntry &e,
+                        const std::string &message)
+{
+    ++checkedCount[static_cast<size_t>(cls)];
+    if (ok)
+        return;
+    ++firedCount[static_cast<size_t>(cls)];
+    if (violationList.size() < violationCap)
+        violationList.push_back({cls, e.seq, e.pc, message});
+}
+
+void
+InvariantChecker::onIssue(const RuuEntry &e)
+{
+    if (!e.isMem || e.isSt)
+        return;
+    // A load may only issue once every older overlapping store has its
+    // data ready to forward (Completed); issuing past one would read
+    // stale memory.
+    bool ordered = true;
+    for (const RuuEntry &s : core.inflight()) {
+        if (s.seq >= e.seq)
+            break;
+        if (!s.isSt ||
+            !bytesOverlap(s.effAddr, s.memSize, e.effAddr, e.memSize)) {
+            continue;
+        }
+        if (s.state != EntryState::Completed) {
+            ordered = false;
+            break;
+        }
+    }
+    check(ordered, InvariantClass::LsqOrder, e,
+          "load issued past an older incomplete overlapping store");
+}
+
+void
+InvariantChecker::onPackedGroup(
+    const std::vector<const RuuEntry *> &members)
+{
+    const PackingConfig &pk = core.config().packing;
+    if (members.empty())
+        return;
+    const RuuEntry &lead = *members.front();
+
+    check(pk.enabled, InvariantClass::PackLegality, lead,
+          "packed group formed with packing disabled");
+    check(members.size() >= 2 && members.size() <= pk.lanesPerAlu,
+          InvariantClass::PackLegality, lead,
+          "packed group size outside [2, lanesPerAlu]");
+
+    const PackKey key = opInfo(lead.inst.op).packKey;
+    for (const RuuEntry *m : members) {
+        const PackKey mk = opInfo(m->inst.op).packKey;
+        check(mk == key && mk != PackKey::None,
+              InvariantClass::PackLegality, *m,
+              "packed lanes perform different operations");
+
+        const bool strict = packEligible(m->inst, m->opA(), m->opB());
+        const bool replay =
+            pk.replay && replayEligible(m->inst, m->opA(), m->opB());
+        check(strict || replay, InvariantClass::PackLegality, *m,
+              "packed lane is neither strict- nor replay-eligible");
+        check(m->packed, InvariantClass::PackLegality, *m,
+              "group member not marked packed");
+
+        if (strict) {
+            // Both operands narrow: the 16-bit lane view of the
+            // operands must reconstruct the full scalar result.
+            const u64 lane = aluResult(m->inst, laneView16(m->opA()),
+                                       laneView16(m->opB()), m->pc);
+            check(lane == m->result, InvariantClass::PackLegality, *m,
+                  hexPair("strict lane does not reconstruct scalar",
+                          lane, m->result));
+        }
+    }
+}
+
+void
+InvariantChecker::onReplayDecision(const RuuEntry &e, bool trapped)
+{
+    // No missed trap, no spurious trap: the decision must equal the
+    // recomputed "would the packed result have been wrong" predicate.
+    const bool should_trap =
+        replayWouldTrap(e.inst, e.opA(), e.opB(), e.pc);
+    check(trapped == should_trap, InvariantClass::ReplayCompleteness, e,
+          trapped ? "spurious replay trap (packed result was correct)"
+                  : "missed replay trap (packed result is wrong)");
+    check(replayEligible(e.inst, e.opA(), e.opB()),
+          InvariantClass::ReplayCompleteness, e,
+          "replay speculation on a replay-ineligible instruction");
+}
+
+void
+InvariantChecker::onCommit(const RuuEntry &e)
+{
+    check(e.seq > lastCommittedSeq, InvariantClass::CommitOrder, e,
+          "commit stream seq not strictly increasing");
+    check(e.state == EntryState::Completed, InvariantClass::CommitOrder,
+          e, "committed an entry that had not completed");
+    lastCommittedSeq = std::max(lastCommittedSeq, e.seq);
+
+    const OpInfo &info = opInfo(e.inst.op);
+
+    if (e.isMem) {
+        check(e.effAddr == effectiveAddr(e.inst, e.valA) &&
+                  e.memSize == memAccessSize(e.inst.op),
+              InvariantClass::LsqOrder, e,
+              hexPair("memory op address/size inconsistent with base "
+                      "operand",
+                      e.effAddr, effectiveAddr(e.inst, e.valA)));
+        if (e.isSt) {
+            check(e.storeData == e.valB, InvariantClass::LsqOrder, e,
+                  hexPair("store data inconsistent with rb operand",
+                          e.storeData, e.valB));
+        }
+    }
+
+    if (isValueOp(info.opClass)) {
+        const WidthClass wc = pairClass(e.opA(), e.opB());
+        if (wc != WidthClass::Wide) {
+            // Narrow-tagged op: the gated datapath sees only the lane
+            // view of each operand, so the full result must be
+            // recomputable from it (gating is transparent).
+            const u64 gated = aluResult(e.inst, laneView(e.opA(), wc),
+                                        laneView(e.opB(), wc), e.pc);
+            check(gated == e.result,
+                  InvariantClass::GatingTransparency, e,
+                  hexPair("gated result differs from ungated result",
+                          gated, e.result));
+        }
+    }
+}
+
+std::string
+InvariantChecker::report() const
+{
+    if (clean())
+        return "invariants: all clean";
+    std::ostringstream os;
+    os << "invariant violations (" << violationList.size()
+       << " recorded):\n";
+    for (const Violation &v : violationList) {
+        os << "  [" << invariantClassName(v.cls) << "] seq " << v.seq
+           << " pc 0x" << std::hex << v.pc << std::dec << ": "
+           << v.message << "\n";
+    }
+    return os.str();
+}
+
+} // namespace nwsim

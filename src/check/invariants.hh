@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Microarchitectural invariant checker.
+ *
+ * Re-derives, from first principles at every pipeline event, the
+ * properties the paper's mechanisms must preserve, independent of the
+ * code paths that enforce them:
+ *
+ *  - CommitOrder: the RUU retires in program order (strictly
+ *    increasing seq, only Completed entries).
+ *  - LsqOrder: a load never issues past an older overlapping store
+ *    that has not produced its data, and every committed memory op's
+ *    address/size/data are consistent with its operands.
+ *  - PackLegality: a packed group's lanes share one operation, fit the
+ *    ALU's lane count, satisfy the Section 5.2/5.3 eligibility rules,
+ *    and each strict lane's 16-bit view reconstructs the full scalar
+ *    result.
+ *  - ReplayCompleteness: a replay-speculated instruction traps if and
+ *    only if its packed result would have been wrong (Section 5.3) —
+ *    no missed trap, no spurious trap.
+ *  - GatingTransparency: for every narrow-tagged op, the result the
+ *    gated (width-sliced) datapath can produce equals the full-width
+ *    result, i.e. clock gating is architecturally invisible.
+ *
+ * Opt-in: construct one and attach it (directly or via CheckSession);
+ * an unattached core pays a single null-pointer test per event site.
+ */
+
+#ifndef NWSIM_CHECK_INVARIANTS_HH
+#define NWSIM_CHECK_INVARIANTS_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "pipeline/core.hh"
+
+namespace nwsim
+{
+
+/** The invariant families the checker enforces. */
+enum class InvariantClass : u8
+{
+    CommitOrder,
+    LsqOrder,
+    PackLegality,
+    ReplayCompleteness,
+    GatingTransparency,
+    NumClasses,
+};
+
+constexpr size_t numInvariantClasses =
+    static_cast<size_t>(InvariantClass::NumClasses);
+
+/** Printable name of an invariant class. */
+const char *invariantClassName(InvariantClass cls);
+
+/** One recorded invariant violation. */
+struct Violation
+{
+    InvariantClass cls = InvariantClass::CommitOrder;
+    InstSeq seq = 0;
+    Addr pc = 0;
+    std::string message;
+};
+
+/**
+ * The checker. Non-owning observer over one core; collects violations
+ * (first violationCap of them) rather than aborting, so tools can
+ * print a report and tests can assert on what fired.
+ */
+class InvariantChecker : public CoreObserver
+{
+  public:
+    /** @param core The core being observed (for window walks/config). */
+    explicit InvariantChecker(const OutOfOrderCore &core);
+
+    void onIssue(const RuuEntry &e) override;
+    void onPackedGroup(
+        const std::vector<const RuuEntry *> &members) override;
+    void onReplayDecision(const RuuEntry &e, bool trapped) override;
+    void onCommit(const RuuEntry &e) override;
+    bool stopRequested() const override
+    {
+        return stopOnViolation && !violationList.empty();
+    }
+
+    /** Stop the core at the first violation (default true). */
+    void setStopOnViolation(bool stop) { stopOnViolation = stop; }
+
+    bool clean() const { return violationList.empty(); }
+    const std::vector<Violation> &violations() const
+    {
+        return violationList;
+    }
+
+    /** Checks evaluated / violations recorded, per class. */
+    u64 checked(InvariantClass cls) const
+    {
+        return checkedCount[static_cast<size_t>(cls)];
+    }
+    u64 fired(InvariantClass cls) const
+    {
+        return firedCount[static_cast<size_t>(cls)];
+    }
+
+    /** Multi-line report of every recorded violation. */
+    std::string report() const;
+
+  private:
+    void check(bool ok, InvariantClass cls, const RuuEntry &e,
+               const std::string &message);
+
+    static constexpr size_t violationCap = 16;
+
+    const OutOfOrderCore &core;
+    bool stopOnViolation = true;
+    InstSeq lastCommittedSeq = 0;
+    std::array<u64, numInvariantClasses> checkedCount{};
+    std::array<u64, numInvariantClasses> firedCount{};
+    std::vector<Violation> violationList;
+};
+
+} // namespace nwsim
+
+#endif // NWSIM_CHECK_INVARIANTS_HH

@@ -1,0 +1,148 @@
+#include "check/session.hh"
+
+#include "common/logging.hh"
+
+namespace nwsim
+{
+
+CheckSession::CheckSession(OutOfOrderCore &core_, const Program &golden,
+                           CheckOptions opts_)
+    : core(core_), opts(opts_)
+{
+    if (opts.cosim)
+        cosim = std::make_unique<CosimOracle>(golden);
+    if (opts.invariants) {
+        inv = std::make_unique<InvariantChecker>(core);
+        inv->setStopOnViolation(opts.stopEarly);
+    }
+    core.setObserver(this);
+}
+
+CheckSession::~CheckSession()
+{
+    core.setObserver(nullptr);
+}
+
+void
+CheckSession::catchUp(u64 insts)
+{
+    if (cosim)
+        cosim->catchUp(insts);
+}
+
+bool
+CheckSession::verifyFinalState()
+{
+    return cosim ? cosim->verifyFinalState(core) : true;
+}
+
+bool
+CheckSession::failed() const
+{
+    return (cosim && cosim->diverged()) || (inv && !inv->clean());
+}
+
+std::string
+CheckSession::report() const
+{
+    std::string out;
+    if (cosim && cosim->diverged())
+        out += cosim->report() + "\n";
+    if (inv && !inv->clean())
+        out += inv->report();
+    return out;
+}
+
+void
+CheckSession::onDispatch(const RuuEntry &e)
+{
+    if (inv)
+        inv->onDispatch(e);
+}
+
+void
+CheckSession::onIssue(const RuuEntry &e)
+{
+    if (inv)
+        inv->onIssue(e);
+}
+
+void
+CheckSession::onPackedGroup(const std::vector<const RuuEntry *> &members)
+{
+    if (inv)
+        inv->onPackedGroup(members);
+}
+
+void
+CheckSession::onReplayDecision(const RuuEntry &e, bool trapped)
+{
+    if (inv)
+        inv->onReplayDecision(e, trapped);
+}
+
+void
+CheckSession::onComplete(const RuuEntry &e)
+{
+    if (inv)
+        inv->onComplete(e);
+}
+
+void
+CheckSession::onCommit(const RuuEntry &e)
+{
+    if (cosim)
+        cosim->onCommit(e);
+    if (inv)
+        inv->onCommit(e);
+}
+
+void
+CheckSession::onSquash(const RuuEntry &e)
+{
+    if (inv)
+        inv->onSquash(e);
+}
+
+bool
+CheckSession::stopRequested() const
+{
+    if (!opts.stopEarly)
+        return false;
+    return failed();
+}
+
+CheckedRunOutcome
+runCheckedProgram(const Program &program, const CoreConfig &config,
+                  const RunOptions &opts, const std::string &name,
+                  const std::string &config_name)
+{
+    SparseMemory memory;
+    program.load(memory);
+    OutOfOrderCore core(config, memory, program.entry);
+    CheckSession session(core, program);
+
+    u64 warmup_committed = 0;
+    if (opts.fastWarmup) {
+        warmup_committed = core.fastForward(opts.warmupInsts);
+        session.catchUp(warmup_committed);
+    } else {
+        warmup_committed = core.run(opts.warmupInsts);
+    }
+    core.resetStats();
+    core.run(opts.measureInsts);
+    if (core.done() && !session.failed())
+        session.verifyFinalState();
+
+    CheckedRunOutcome out;
+    out.result = collectRunResult(core, name, config_name);
+    out.result.warmupCommitted = warmup_committed;
+    out.ok = !session.failed();
+    if (!out.ok)
+        out.report = session.report();
+    if (session.oracle())
+        out.commitsChecked = session.oracle()->commitsChecked();
+    return out;
+}
+
+} // namespace nwsim

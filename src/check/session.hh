@@ -1,0 +1,107 @@
+/**
+ * @file
+ * CheckSession: one-stop attachment of the cosim oracle and the
+ * invariant checker to a core, plus a checked drop-in replacement for
+ * driver::runProgram used by `nwsim --check`, `nwfuzz`, and tests.
+ */
+
+#ifndef NWSIM_CHECK_SESSION_HH
+#define NWSIM_CHECK_SESSION_HH
+
+#include <memory>
+#include <string>
+
+#include "check/cosim.hh"
+#include "check/invariants.hh"
+#include "driver/runner.hh"
+
+namespace nwsim
+{
+
+/** Which checkers a CheckSession enables. */
+struct CheckOptions
+{
+    bool cosim = true;
+    bool invariants = true;
+    /** Stop the core at the first failure (pin the report to it). */
+    bool stopEarly = true;
+};
+
+/**
+ * Owns a CosimOracle and an InvariantChecker, attaches itself as the
+ * core's observer, and fans events out to both. Construct it after the
+ * core and destroy it before the core (normal declaration order does
+ * this); destruction detaches.
+ */
+class CheckSession : public CoreObserver
+{
+  public:
+    /**
+     * @param core   The core to check (observer slot is taken over).
+     * @param golden The program image the architecture should execute;
+     *               normally the one @p core runs.
+     */
+    CheckSession(OutOfOrderCore &core, const Program &golden,
+                 CheckOptions opts = {});
+    ~CheckSession() override;
+
+    CheckSession(const CheckSession &) = delete;
+    CheckSession &operator=(const CheckSession &) = delete;
+
+    /** Mirror a core.fastForward(n) warmup in the golden model. */
+    void catchUp(u64 insts);
+
+    /** End-of-run architected-register compare (cosim enabled only). */
+    bool verifyFinalState();
+
+    /** True once any enabled checker found a problem. */
+    bool failed() const;
+
+    /** Human-readable report of everything that failed. */
+    std::string report() const;
+
+    CosimOracle *oracle() { return cosim.get(); }
+    InvariantChecker *invariants() { return inv.get(); }
+
+    // ---- CoreObserver fan-out -----------------------------------------
+    void onDispatch(const RuuEntry &e) override;
+    void onIssue(const RuuEntry &e) override;
+    void onPackedGroup(
+        const std::vector<const RuuEntry *> &members) override;
+    void onReplayDecision(const RuuEntry &e, bool trapped) override;
+    void onComplete(const RuuEntry &e) override;
+    void onCommit(const RuuEntry &e) override;
+    void onSquash(const RuuEntry &e) override;
+    bool stopRequested() const override;
+
+  private:
+    OutOfOrderCore &core;
+    CheckOptions opts;
+    std::unique_ptr<CosimOracle> cosim;
+    std::unique_ptr<InvariantChecker> inv;
+};
+
+/** A RunResult plus the checkers' verdict. */
+struct CheckedRunOutcome
+{
+    RunResult result;
+    bool ok = true;
+    /** Failure report (empty when ok). */
+    std::string report;
+    u64 commitsChecked = 0;
+};
+
+/**
+ * runProgram(), but with a CheckSession attached for the whole run
+ * (fast-mode warmup kept in lockstep via catchUp) and a final
+ * architected-state compare when the program halts.
+ */
+CheckedRunOutcome runCheckedProgram(const Program &program,
+                                    const CoreConfig &config,
+                                    const RunOptions &opts,
+                                    const std::string &name,
+                                    const std::string &config_name);
+
+} // namespace nwsim
+
+#endif // NWSIM_CHECK_SESSION_HH

@@ -46,13 +46,15 @@ FuncSim::step()
     switch (info.opClass) {
       case OpClass::MemRead: {
         out.effAddr = effectiveAddr(inst, a);
-        const unsigned size = memAccessSize(inst.op);
-        result = loadValue(inst.op, mem.read(out.effAddr, size));
+        out.memSize = memAccessSize(inst.op);
+        result = loadValue(inst.op, mem.read(out.effAddr, out.memSize));
         break;
       }
       case OpClass::MemWrite: {
         out.effAddr = effectiveAddr(inst, a);
-        mem.write(out.effAddr, memAccessSize(inst.op), b_reg);
+        out.memSize = memAccessSize(inst.op);
+        out.storeData = b_reg;
+        mem.write(out.effAddr, out.memSize, b_reg);
         break;
       }
       case OpClass::Branch:

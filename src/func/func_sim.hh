@@ -34,6 +34,10 @@ struct FuncStep
     u64 result = 0;
     /** Effective address for loads/stores. */
     Addr effAddr = 0;
+    /** Access size in bytes for loads/stores (0 otherwise). */
+    unsigned memSize = 0;
+    /** Value written to memory by a store (the full rb register). */
+    u64 storeData = 0;
     /** True once HALT has executed. */
     bool halted = false;
 };

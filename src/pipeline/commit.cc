@@ -46,6 +46,8 @@ OutOfOrderCore::commitStage()
         }
 
         trace(TraceStage::Commit, e);
+        if (observer)
+            observer->onCommit(e);
         window.pop_front();
         ++stat.committed;
         ++committed;

@@ -61,6 +61,10 @@ OutOfOrderCore::run(u64 max_commits)
     Cycle last_commit_cycle = curCycle;
     u64 last_commits = stat.committed;
     while (!simDone && stat.committed - start < max_commits) {
+        // A checker (cosim oracle / invariant checker) can stop the run
+        // at the first failure so the report points at the divergence.
+        if (observer && observer->stopRequested())
+            break;
         // Cap this tick's commits so the run stops on the exact
         // instruction boundary (measurement windows stay precise).
         commitBudget = max_commits - (stat.committed - start);
@@ -217,6 +221,8 @@ OutOfOrderCore::squashAfter(InstSeq seq)
 {
     while (!window.empty() && window.back().seq > seq) {
         trace(TraceStage::Squash, window.back());
+        if (observer)
+            observer->onSquash(window.back());
         undoEntry(window.back());
         window.pop_back();
         ++stat.squashed;

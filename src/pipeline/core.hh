@@ -33,6 +33,7 @@
 #include "core/width_predictor.hh"
 #include "func/func_sim.hh"
 #include "pipeline/config.hh"
+#include "pipeline/observer.hh"
 #include "pipeline/ruu.hh"
 #include "pipeline/stats.hh"
 #include "pipeline/trace.hh"
@@ -92,6 +93,20 @@ class OutOfOrderCore
 
     /** Install (or clear, with {}) a per-event trace hook. */
     void setTraceHook(TraceHook hook) { traceHook = std::move(hook); }
+
+    /**
+     * Attach (or clear, with nullptr) a non-owning microarchitectural
+     * observer. The observer must outlive its attachment; src/check's
+     * oracle and invariant checker connect here.
+     */
+    void setObserver(CoreObserver *obs) { observer = obs; }
+
+    /**
+     * Read-only view of the in-flight window (fetch order, contiguous
+     * seqs). For observers/checkers; the entries are live pipeline
+     * state, valid only until the next tick().
+     */
+    const std::deque<RuuEntry> &inflight() const { return window; }
 
     /** Architected register value (only meaningful when done()). */
     u64 reg(RegIndex index) const { return specRegs[index]; }
@@ -186,6 +201,7 @@ class OutOfOrderCore
     CacheGatingModel cacheModel;
     CorePackingStats packStat;
     TraceHook traceHook;
+    CoreObserver *observer = nullptr;
 };
 
 } // namespace nwsim

@@ -158,6 +158,8 @@ OutOfOrderCore::dispatchStage()
             ++lsqCount;
         trace(TraceStage::Dispatch, e);
         window.push_back(e);
+        if (observer)
+            observer->onDispatch(window.back());
         fetchQueue.pop_front();
         ++stat.dispatched;
         ++dispatched;

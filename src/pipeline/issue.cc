@@ -63,6 +63,8 @@ OutOfOrderCore::recordIssue(RuuEntry &e)
     scheduleCompletion(e.seq, e.completeCycle);
     ++stat.issued;
     trace(TraceStage::Issue, e);
+    if (observer)
+        observer->onIssue(e);
     // Power accounting: energy is spent on every *executed* operation,
     // wrong-path ones included.
     gatingModel.recordOp(info.device, e.opA(), e.opB(), e.aFromLoad,
@@ -197,6 +199,11 @@ OutOfOrderCore::issueStage()
                 m->replaySpec = true;
                 ++packStat.replaySpeculations;
             }
+        }
+        if (observer) {
+            const std::vector<const RuuEntry *> members(
+                g.members.begin(), g.members.end());
+            observer->onPackedGroup(members);
         }
     }
 }

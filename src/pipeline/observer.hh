@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Microarchitectural observer interface for the out-of-order core.
+ *
+ * Unlike the TraceHook (a flat event stream for humans), an observer
+ * receives the full RuuEntry at well-defined pipeline points, which is
+ * what correctness tooling — the lockstep cosimulation oracle and the
+ * invariant checker in src/check/ — needs. At most one observer can be
+ * attached (src/check's CheckSession fans out to several checkers);
+ * when none is attached every hook site is a single null-pointer test,
+ * so detailed simulation pays nothing for the capability.
+ */
+
+#ifndef NWSIM_PIPELINE_OBSERVER_HH
+#define NWSIM_PIPELINE_OBSERVER_HH
+
+#include <vector>
+
+#include "pipeline/ruu.hh"
+
+namespace nwsim
+{
+
+/**
+ * Callbacks fired by the core's pipeline stages. All entry references
+ * are valid only for the duration of the call. Default implementations
+ * do nothing, so observers override only the events they care about.
+ */
+class CoreObserver
+{
+  public:
+    virtual ~CoreObserver() = default;
+
+    /** Entry allocated into the RUU (after execute-at-dispatch). */
+    virtual void onDispatch(const RuuEntry &) {}
+
+    /** Entry selected for a functional unit this cycle. */
+    virtual void onIssue(const RuuEntry &) {}
+
+    /**
+     * A packed issue group actually formed (>= 2 subword lanes). Fired
+     * after the members are marked, so `packed` / `replaySpec` reflect
+     * the issue decision.
+     */
+    virtual void onPackedGroup(const std::vector<const RuuEntry *> &) {}
+
+    /**
+     * Writeback evaluated a replay-packed entry's carry trap.
+     * @p trapped is true when the entry was squashed for full-width
+     * re-issue (Section 5.3).
+     */
+    virtual void onReplayDecision(const RuuEntry &, bool /*trapped*/) {}
+
+    /** Entry completed writeback (result final, dependents woken). */
+    virtual void onComplete(const RuuEntry &) {}
+
+    /** Entry retired architecturally, in program order. */
+    virtual void onCommit(const RuuEntry &) {}
+
+    /** Entry removed by a misprediction (or halt) squash. */
+    virtual void onSquash(const RuuEntry &) {}
+
+    /**
+     * Polled by OutOfOrderCore::run() once per cycle; returning true
+     * ends the run early (used to stop at the first divergence).
+     */
+    virtual bool stopRequested() const { return false; }
+};
+
+} // namespace nwsim
+
+#endif // NWSIM_PIPELINE_OBSERVER_HH

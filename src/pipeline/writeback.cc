@@ -31,22 +31,29 @@ OutOfOrderCore::writebackStage()
         // Replay trap (Section 5.3): a speculatively packed instruction
         // whose 16-bit lane result would have been wrong is squashed and
         // re-issued as a full-width instruction via a replay trap.
-        if (e->replaySpec &&
-            replayWouldTrap(e->inst, e->opA(), e->opB(), e->pc)) {
-            e->state = EntryState::Dispatched;
-            e->packed = false;
+        if (e->replaySpec) {
+            const bool traps =
+                replayWouldTrap(e->inst, e->opA(), e->opB(), e->pc);
+            if (observer)
+                observer->onReplayDecision(*e, traps);
+            if (traps) {
+                e->state = EntryState::Dispatched;
+                e->packed = false;
+                e->replaySpec = false;
+                e->noPack = true;
+                e->earliestIssue = curCycle + cfg.packing.replayPenalty;
+                ++packStat.replayTraps;
+                trace(TraceStage::Replay, *e);
+                continue;
+            }
             e->replaySpec = false;
-            e->noPack = true;
-            e->earliestIssue = curCycle + cfg.packing.replayPenalty;
-            ++packStat.replayTraps;
-            trace(TraceStage::Replay, *e);
-            continue;
         }
-        e->replaySpec = false;
 
         e->state = EntryState::Completed;
         wakeDependents(seq);
         trace(TraceStage::Complete, *e);
+        if (observer)
+            observer->onComplete(*e);
 
         if (e->isCtrl && e->mispredicted) {
             ++stat.mispredictSquashes;

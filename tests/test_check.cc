@@ -1,0 +1,381 @@
+/**
+ * Tests of the checking subsystem (src/check): the lockstep cosim
+ * oracle must hold on correct pipelines and pin the first divergence on
+ * broken ones; every invariant class must both evaluate on healthy runs
+ * (no vacuous coverage) and fire on deliberately corrupted events (no
+ * silent-pass checker); and the nwfuzz engine must catch an injected
+ * fault and shrink it to a small reproducer.
+ */
+
+#include "sim_test_util.hh"
+
+#include "check/fuzz.hh"
+#include "check/session.hh"
+#include "core/packing.hh"
+#include "driver/presets.hh"
+
+namespace nwsim
+{
+namespace
+{
+
+using test::buildProgram;
+
+/**
+ * A program that exercises every invariant class at once under
+ * packing-replay: strict packed groups (narrow addi storm), replay
+ * speculation (addi on a 33-bit la base), loads and stores through the
+ * LSQ, and plenty of narrow-operand value ops for gating transparency.
+ */
+Program
+fullCoverageLoop(unsigned iters)
+{
+    return buildProgram([iters](Assembler &as) {
+        as.la(16, "blob");
+        as.li(17, static_cast<i64>(iters));
+        as.label("loop");
+        as.beq(17, "done");
+        for (unsigned i = 0; i < 8; ++i)
+            as.addi(static_cast<RegIndex>(1 + i % 6), zeroReg,
+                    static_cast<i64>((i * 37) & 0x3fff));
+        for (unsigned i = 0; i < 8; ++i)
+            as.addi(static_cast<RegIndex>(7 + i % 2), 16,
+                    static_cast<i64>((i * 8) & 0xff));
+        as.ldq(9, 0, 16);
+        as.add(9, 9, 1);
+        as.stq(9, 0, 16);
+        as.ldq(10, 8, 16);
+        as.subi(17, 17, 1);
+        as.br("loop");
+        as.label("done");
+        as.halt();
+        as.dataLabel("blob");
+        as.dataZeros(64);
+    });
+}
+
+struct CheckedRun
+{
+    std::unique_ptr<SparseMemory> mem;
+    std::unique_ptr<OutOfOrderCore> core;
+    std::unique_ptr<CheckSession> session;
+};
+
+CheckedRun
+runWithChecks(const Program &prog, const CoreConfig &cfg,
+              const Program *golden = nullptr)
+{
+    CheckedRun r;
+    r.mem = std::make_unique<SparseMemory>();
+    prog.load(*r.mem);
+    r.core = std::make_unique<OutOfOrderCore>(cfg, *r.mem, prog.entry);
+    r.session = std::make_unique<CheckSession>(
+        *r.core, golden ? *golden : prog);
+    r.core->run(1'000'000);
+    return r;
+}
+
+TEST(Cosim, LockstepHoldsAcrossConfigs)
+{
+    const Program prog = fullCoverageLoop(200);
+    const CoreConfig configs[] = {
+        presets::baseline(),
+        presets::packing(false),
+        presets::packing(true),
+        presets::decode8(presets::packing(true)),
+    };
+    for (const CoreConfig &cfg : configs) {
+        auto r = runWithChecks(prog, cfg);
+        EXPECT_TRUE(r.core->done());
+        EXPECT_FALSE(r.session->failed()) << r.session->report();
+        EXPECT_TRUE(r.session->verifyFinalState())
+            << r.session->report();
+        EXPECT_EQ(r.session->oracle()->commitsChecked(),
+                  r.core->stats().committed);
+    }
+}
+
+TEST(Cosim, EveryInvariantClassEvaluatesOnHealthyRun)
+{
+    // Coverage guard: a checker that never evaluates a class would
+    // pass everything vacuously.
+    const Program prog = fullCoverageLoop(300);
+    auto r = runWithChecks(prog, presets::packing(true));
+    ASSERT_TRUE(r.core->done());
+    EXPECT_FALSE(r.session->failed()) << r.session->report();
+    EXPECT_GT(r.core->packingStats().packedGroups, 0u);
+    EXPECT_GT(r.core->packingStats().replaySpeculations, 0u);
+    const InvariantChecker &inv = *r.session->invariants();
+    for (size_t c = 0; c < numInvariantClasses; ++c) {
+        const auto cls = static_cast<InvariantClass>(c);
+        EXPECT_GT(inv.checked(cls), 0u) << invariantClassName(cls);
+        EXPECT_EQ(inv.fired(cls), 0u) << invariantClassName(cls);
+    }
+}
+
+TEST(Cosim, PinsFirstDivergenceToTheDifferingInstruction)
+{
+    // The core executes `addi r1, r31, 5`, the golden model expects
+    // `addi r1, r31, 6`: the oracle must flag commit #1, not report an
+    // end-of-run register diff.
+    const Program run_prog = buildProgram([](Assembler &as) {
+        as.addi(1, zeroReg, 5);
+        as.addi(2, zeroReg, 7);
+        as.halt();
+    });
+    const Program golden = buildProgram([](Assembler &as) {
+        as.addi(1, zeroReg, 6);
+        as.addi(2, zeroReg, 7);
+        as.halt();
+    });
+    auto r = runWithChecks(run_prog, presets::baseline(), &golden);
+    ASSERT_TRUE(r.session->failed());
+    const Divergence &d = r.session->oracle()->divergence();
+    EXPECT_EQ(d.kind, DivergenceKind::Instruction);
+    EXPECT_EQ(d.commitIndex, 1u);
+    EXPECT_NE(r.session->report().find("divergence"), std::string::npos);
+}
+
+TEST(Cosim, FinalStateCatchesSilentRegisterDiff)
+{
+    // Same instruction stream length, one differing destination value:
+    // caught at the diverging commit, and report names the register
+    // value mismatch.
+    const Program run_prog = buildProgram([](Assembler &as) {
+        as.li(4, 0x1234);
+        as.halt();
+    });
+    const Program golden = buildProgram([](Assembler &as) {
+        as.li(4, 0x1235);
+        as.halt();
+    });
+    auto r = runWithChecks(run_prog, presets::baseline(), &golden);
+    EXPECT_TRUE(r.session->failed());
+}
+
+// ---------------------------------------------------------------------
+// Seeded fault injection against the invariant checker itself: corrupt
+// one pipeline event per class and require the matching class to fire.
+// ---------------------------------------------------------------------
+
+class InvariantFire : public ::testing::Test
+{
+  protected:
+    InvariantFire()
+    {
+        prog = buildProgram([](Assembler &as) { as.halt(); });
+        prog.load(mem);
+        core = std::make_unique<OutOfOrderCore>(
+            presets::packing(true), mem, prog.entry);
+        checker = std::make_unique<InvariantChecker>(*core);
+    }
+
+    /** A healthy committed add: every onCommit check passes on it. */
+    static RuuEntry
+    healthyAdd(InstSeq seq)
+    {
+        RuuEntry e;
+        e.seq = seq;
+        e.pc = 0x10000 + 4 * seq;
+        e.inst.op = Opcode::ADD;
+        e.inst.ra = 1;
+        e.inst.rb = 2;
+        e.inst.rc = 3;
+        e.state = EntryState::Completed;
+        e.valA = 5;
+        e.valB = 7;
+        e.result = 12;
+        return e;
+    }
+
+    Program prog;
+    SparseMemory mem;
+    std::unique_ptr<OutOfOrderCore> core;
+    std::unique_ptr<InvariantChecker> checker;
+};
+
+TEST_F(InvariantFire, CommitOrderFiresOnReorderedSeq)
+{
+    checker->onCommit(healthyAdd(5));
+    EXPECT_TRUE(checker->clean());
+    checker->onCommit(healthyAdd(5)); // not strictly increasing
+    EXPECT_GT(checker->fired(InvariantClass::CommitOrder), 0u);
+}
+
+TEST_F(InvariantFire, CommitOrderFiresOnIncompleteEntry)
+{
+    RuuEntry e = healthyAdd(1);
+    e.state = EntryState::Issued;
+    checker->onCommit(e);
+    EXPECT_GT(checker->fired(InvariantClass::CommitOrder), 0u);
+}
+
+TEST_F(InvariantFire, LsqOrderFiresOnInconsistentEffectiveAddress)
+{
+    RuuEntry e = healthyAdd(1);
+    e.inst.op = Opcode::LDQ;
+    e.inst.imm = 8;
+    e.isMem = true;
+    e.valA = 0x1000;
+    e.effAddr = 0x2000; // should be 0x1008
+    e.memSize = 8;
+    checker->onCommit(e);
+    EXPECT_GT(checker->fired(InvariantClass::LsqOrder), 0u);
+}
+
+TEST_F(InvariantFire, LsqOrderFiresOnCorruptedStoreData)
+{
+    RuuEntry e = healthyAdd(1);
+    e.inst.op = Opcode::STQ;
+    e.inst.imm = 0;
+    e.isMem = true;
+    e.isSt = true;
+    e.valA = 0x1000;
+    e.valB = 0xbeef;
+    e.effAddr = 0x1000;
+    e.memSize = 8;
+    e.storeData = 0xdead; // lane corrupted: != rb operand
+    checker->onCommit(e);
+    EXPECT_GT(checker->fired(InvariantClass::LsqOrder), 0u);
+}
+
+TEST_F(InvariantFire, PackLegalityFiresOnCorruptedLaneResult)
+{
+    RuuEntry a = healthyAdd(1);
+    RuuEntry b = healthyAdd(2);
+    a.packed = b.packed = true;
+    b.result = 13; // corrupt lane: 5 + 7 != 13
+    const std::vector<const RuuEntry *> group = {&a, &b};
+    checker->onPackedGroup(group);
+    EXPECT_GT(checker->fired(InvariantClass::PackLegality), 0u);
+}
+
+TEST_F(InvariantFire, PackLegalityFiresOnMixedOperationGroup)
+{
+    RuuEntry a = healthyAdd(1);
+    RuuEntry b = healthyAdd(2);
+    a.packed = b.packed = true;
+    b.inst.op = Opcode::XOR; // different op in one group
+    b.result = 5 ^ 7;
+    const std::vector<const RuuEntry *> group = {&a, &b};
+    checker->onPackedGroup(group);
+    EXPECT_GT(checker->fired(InvariantClass::PackLegality), 0u);
+}
+
+TEST_F(InvariantFire, PackLegalityFiresOnWideLane)
+{
+    RuuEntry a = healthyAdd(1);
+    RuuEntry b = healthyAdd(2);
+    a.packed = b.packed = true;
+    // Both operands wide: neither the strict rule nor the replay rule
+    // allows this lane.
+    b.valA = u64{1} << 40;
+    b.valB = u64{1} << 41;
+    b.result = b.valA + b.valB;
+    const std::vector<const RuuEntry *> group = {&a, &b};
+    checker->onPackedGroup(group);
+    EXPECT_GT(checker->fired(InvariantClass::PackLegality), 0u);
+}
+
+TEST_F(InvariantFire, ReplayCompletenessFiresOnMissedTrap)
+{
+    // 0xff00 + 0x200 carries out of the low 16 bits, so a packed
+    // replay lane would be wrong: claiming "no trap" must fire.
+    RuuEntry e = healthyAdd(1);
+    e.inst.op = Opcode::ADDI;
+    e.inst.imm = 0x200;
+    e.valA = (u64{1} << 32) + 0xff00;
+    e.result = e.valA + 0x200;
+    ASSERT_TRUE(replayWouldTrap(e.inst, e.opA(), e.opB(), e.pc));
+    checker->onReplayDecision(e, /*trapped=*/false);
+    EXPECT_GT(checker->fired(InvariantClass::ReplayCompleteness), 0u);
+}
+
+TEST_F(InvariantFire, ReplayCompletenessFiresOnSpuriousTrap)
+{
+    RuuEntry e = healthyAdd(1);
+    e.inst.op = Opcode::ADDI;
+    e.inst.imm = 4;
+    e.valA = (u64{1} << 32) + 0x10;
+    e.result = e.valA + 4;
+    ASSERT_FALSE(replayWouldTrap(e.inst, e.opA(), e.opB(), e.pc));
+    checker->onReplayDecision(e, /*trapped=*/true);
+    EXPECT_GT(checker->fired(InvariantClass::ReplayCompleteness), 0u);
+}
+
+TEST_F(InvariantFire, GatingTransparencyFiresOnCorruptedNarrowResult)
+{
+    RuuEntry e = healthyAdd(1);
+    e.result = 999; // gated datapath would produce 12
+    checker->onCommit(e);
+    EXPECT_GT(checker->fired(InvariantClass::GatingTransparency), 0u);
+}
+
+TEST_F(InvariantFire, ReportNamesTheFiringClass)
+{
+    checker->onCommit(healthyAdd(3));
+    checker->onCommit(healthyAdd(2));
+    EXPECT_FALSE(checker->clean());
+    EXPECT_NE(checker->report().find("commit-order"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// nwfuzz engine
+// ---------------------------------------------------------------------
+
+TEST(Fuzz, GenerationIsDeterministic)
+{
+    const FuzzCase a = generateFuzzCase(1234);
+    const FuzzCase b = generateFuzzCase(1234);
+    ASSERT_EQ(a.ops.size(), b.ops.size());
+    EXPECT_EQ(fuzzProgramText(a, false), fuzzProgramText(b, false));
+    const FuzzCase c = generateFuzzCase(1235);
+    EXPECT_NE(fuzzProgramText(a, false), fuzzProgramText(c, false));
+}
+
+TEST(Fuzz, CleanSeedsPassTheWholeMatrix)
+{
+    const auto matrix = fuzzConfigMatrix();
+    ASSERT_EQ(matrix.size(), 8u);
+    for (u64 seed = 1; seed <= 4; ++seed) {
+        const FuzzCase fc = generateFuzzCase(seed);
+        const auto failure = runFuzzCase(fc, matrix);
+        EXPECT_FALSE(failure.has_value())
+            << "seed " << seed << " failed on " << failure->configName
+            << ":\n"
+            << failure->report;
+    }
+}
+
+TEST(Fuzz, InjectedFaultIsCaughtAndShrinksSmall)
+{
+    const auto matrix = fuzzConfigMatrix();
+    FuzzCase fc = generateFuzzCase(42);
+    markInjectedFault(fc, 42);
+    ASSERT_TRUE(fuzzCaseHasFault(fc));
+
+    const auto failure = runFuzzCase(fc, matrix);
+    ASSERT_TRUE(failure.has_value()) << "injected fault not caught";
+
+    const ShrinkOutcome shrunk = shrinkFuzzCase(fc, matrix);
+    EXPECT_TRUE(fuzzCaseHasFault(shrunk.minimized));
+    EXPECT_LE(shrunk.minimized.ops.size(), fc.ops.size());
+    EXPECT_LE(fuzzCaseInstCount(shrunk.minimized), 32u);
+    // The minimized case must still reproduce.
+    EXPECT_TRUE(runFuzzCase(shrunk.minimized, matrix).has_value());
+}
+
+TEST(Fuzz, ReproducerTextRoundTripsThroughTheAssembler)
+{
+    const FuzzCase fc = generateFuzzCase(7);
+    const Program p = materializeFuzzCase(fc);
+    EXPECT_GT(fuzzCaseInstCount(fc), fc.ops.size());
+    SparseMemory mem;
+    p.load(mem);
+    FuncSim sim(mem, p.entry);
+    sim.run(1'000'000);
+    EXPECT_TRUE(sim.halted());
+}
+
+} // namespace
+} // namespace nwsim

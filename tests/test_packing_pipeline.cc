@@ -173,6 +173,56 @@ TEST(Packing, ReplayTrapsFireAndRecover)
     EXPECT_GT(run.core->packingStats().replayTraps, 10u);
 }
 
+TEST(Packing, ReplayTrapsOnBit15CarryBoundary)
+{
+    // Operand pairs that straddle the bit-15/16 boundary: 0x7fff + 1
+    // stays inside 16 bits, but 0xffff + 1 = 0x10000 carries out of the
+    // low-16 lane, so a replay-packed lane would drop the carry. Every
+    // sum must still commit exactly, and the carry cases must trap.
+    const Program prog = buildProgram([](Assembler &as) {
+        as.li(20, (i64{1} << 32) + 0xffff); // wide base, lane all-ones
+        as.li(21, (i64{1} << 32) + 0x7fff); // wide base, lane max-pos
+        for (unsigned i = 0; i < 200; ++i) {
+            const RegIndex rc = static_cast<RegIndex>(1 + (i % 6));
+            // +1 on the 0xffff base always carries across bit 16.
+            as.addi(rc, 20, 1);
+            // +1 on the 0x7fff base crosses bit 15 only: no carry-out.
+            as.addi(static_cast<RegIndex>(7 + (i % 6)), 21, 1);
+        }
+        as.halt();
+    });
+    auto run = runDifferential(prog, presets::packing(true));
+    const CorePackingStats &ps = run.core->packingStats();
+    EXPECT_GT(ps.replaySpeculations, 100u);
+    EXPECT_GT(ps.replayTraps, 50u);
+    // The no-carry half must not be trapping too (traps are per-lane,
+    // not blanket).
+    EXPECT_LT(ps.replayTraps, ps.replaySpeculations);
+}
+
+TEST(Packing, ReplayTrapsOnBit47CarryRipple)
+{
+    // A carry rippling all the way through bit 47/48: base 0x0000ffff
+    // ffffffff plus 1 flips the entire upper mux region. The packed
+    // lane result (upper bits passed through unchanged) would be wrong
+    // by 2^16 - every such add must trap and re-issue full width, and
+    // the committed values must be exact.
+    const Program prog = buildProgram([](Assembler &as) {
+        as.li(20, (i64{1} << 48) - 1); // all-ones through bit 47
+        as.li(22, 0);
+        for (unsigned i = 0; i < 150; ++i) {
+            const RegIndex rc = static_cast<RegIndex>(1 + (i % 8));
+            as.addi(rc, 20, 1);        // ripples into bit 48
+            as.add(22, 22, rc);
+        }
+        as.halt();
+    });
+    auto run = runDifferential(prog, presets::packing(true));
+    EXPECT_GT(run.core->packingStats().replayTraps, 25u);
+    // r22 accumulated 150 exact copies of 2^48.
+    EXPECT_EQ(run.core->reg(22), u64{150} << 48);
+}
+
 TEST(Packing, LanesPerAluCapsGroupSize)
 {
     Program prog = narrowAddStorm(1200);

@@ -19,6 +19,9 @@
  *     --measure N       measured instructions (default 400000)
  *     --trace           print a per-event pipeline trace (small runs!)
  *     --csv             machine-readable stats (key,value lines)
+ *     --check           run under the lockstep cosim oracle and the
+ *                       invariant checker (docs/CHECKING.md); exit 1
+ *                       with a first-divergence report on any mismatch
  */
 
 #include <fstream>
@@ -27,6 +30,7 @@
 #include <string>
 
 #include "asm/textasm.hh"
+#include "check/session.hh"
 #include "common/logging.hh"
 #include "driver/presets.hh"
 #include "driver/runner.hh"
@@ -46,7 +50,7 @@ usage()
         << "       nwsim run <workload|file.s> [--config NAME]\n"
         << "                 [--decode8] [--perfect-bp]\n"
         << "                 [--early-out-mult] [--warmup N]\n"
-        << "                 [--measure N] [--trace] [--csv]\n";
+        << "                 [--measure N] [--trace] [--csv] [--check]\n";
     return 2;
 }
 
@@ -153,7 +157,7 @@ main(int argc, char **argv)
     const std::string target = argv[2];
     std::string config_name = "baseline";
     bool decode8 = false, perfect = false, early_out = false;
-    bool trace = false, csv = false;
+    bool trace = false, csv = false, check = false;
     RunOptions opts = resolveRunOptions();
     for (int i = 3; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -180,6 +184,8 @@ main(int argc, char **argv)
             trace = true;
         else if (arg == "--csv")
             csv = true;
+        else if (arg == "--check")
+            check = true;
         else
             return usage();
     }
@@ -212,8 +218,39 @@ main(int argc, char **argv)
                 std::cout << formatTraceEvent(ev) << "\n";
             });
         }
+        std::unique_ptr<CheckSession> session;
+        if (check)
+            session = std::make_unique<CheckSession>(core, prog);
         core.run(opts.measureInsts);
+        if (session) {
+            if (core.done() && !session->failed())
+                session->verifyFinalState();
+            if (session->failed()) {
+                std::cerr << "CHECK FAILED on " << target << " ("
+                          << config_name << "):\n"
+                          << session->report();
+                return 1;
+            }
+            std::cerr << "check: " << session->oracle()->commitsChecked()
+                      << " commits verified in lockstep, invariants "
+                         "clean\n";
+        }
         report(collectRunResult(core, target, config_name), csv);
+        return 0;
+    }
+
+    if (check) {
+        const CheckedRunOutcome out =
+            runCheckedProgram(prog, cfg, opts, target, config_name);
+        if (!out.ok) {
+            std::cerr << "CHECK FAILED on " << target << " ("
+                      << config_name << "):\n"
+                      << out.report;
+            return 1;
+        }
+        std::cerr << "check: " << out.commitsChecked
+                  << " commits verified in lockstep, invariants clean\n";
+        report(out.result, csv);
         return 0;
     }
 
