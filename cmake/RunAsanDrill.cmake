@@ -1,0 +1,56 @@
+# Configure a nested AddressSanitizer build of the campaign engine,
+# build nwsweep, and run the fault-injection drill under it. Driven by
+# ctest (see tests/CMakeLists.txt, label `robustness`) as:
+#
+#   cmake -DSOURCE_DIR=... -DWORK_DIR=... -P RunAsanDrill.cmake
+#
+# The drill injects a hang, a crash, and an OOM into an otherwise-real
+# smoke campaign; nwsweep must record them as timeout / crashed(SIGSEGV)
+# / resource-limit, write reproducer bundles, finish every sibling job,
+# and exit 0 — all with ASan watching the executor for memory errors.
+#
+# ASan normally intercepts SIGSEGV/SIGABRT and exits with its own
+# status, which would defeat the drill's signal classification; with
+# handle_segv=0 / handle_abort=0 the injected faults die by their real
+# signals and the parent's waitpid() taxonomy is what gets tested.
+
+if(NOT SOURCE_DIR OR NOT WORK_DIR)
+    message(FATAL_ERROR "usage: cmake -DSOURCE_DIR=<repo> "
+                        "-DWORK_DIR=<scratch> -P RunAsanDrill.cmake")
+endif()
+
+set(build_dir "${WORK_DIR}/asan-build")
+file(MAKE_DIRECTORY "${build_dir}")
+
+message(STATUS "ASan drill: configuring in ${build_dir}")
+execute_process(
+    COMMAND "${CMAKE_COMMAND}" -S "${SOURCE_DIR}" -B "${build_dir}"
+            -DNWSIM_SANITIZE=address
+            -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    RESULT_VARIABLE rc)
+if(rc)
+    message(FATAL_ERROR "ASan drill: configure failed (${rc})")
+endif()
+
+message(STATUS "ASan drill: building nwsweep")
+execute_process(
+    COMMAND "${CMAKE_COMMAND}" --build "${build_dir}" --target nwsweep
+            --parallel 4
+    RESULT_VARIABLE rc)
+if(rc)
+    message(FATAL_ERROR "ASan drill: build failed (${rc})")
+endif()
+
+message(STATUS "ASan drill: injecting hang/crash/oom into the smoke suite")
+execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E env
+            "ASAN_OPTIONS=handle_segv=0:handle_abort=0:allocator_may_return_null=1"
+            "${build_dir}/tools/nwsweep" --suite smoke
+            --inject-fault hang,crash,oom --timeout 30 --no-progress
+            --bundle-dir "${WORK_DIR}/asan_drill_bundles"
+            --json "${WORK_DIR}/asan_drill.json"
+    RESULT_VARIABLE rc)
+if(rc)
+    message(FATAL_ERROR "ASan drill: nwsweep drill failed (${rc})")
+endif()
+message(STATUS "ASan drill: clean")

@@ -1,0 +1,44 @@
+#include "common/error.hh"
+
+namespace nwsim
+{
+
+int
+exitCodeFor(ErrorKind kind)
+{
+    switch (kind) {
+      case ErrorKind::BadInput:
+        return exitcode::BadInput;
+      case ErrorKind::ResourceLimit:
+        return exitcode::Failure;
+      case ErrorKind::Internal:
+        return exitcode::Internal;
+    }
+    return exitcode::Failure;
+}
+
+const char *
+errorKindName(ErrorKind kind)
+{
+    switch (kind) {
+      case ErrorKind::BadInput:
+        return "bad-input";
+      case ErrorKind::ResourceLimit:
+        return "resource-limit";
+      case ErrorKind::Internal:
+        return "internal";
+    }
+    return "unknown";
+}
+
+bool
+errorKindRetryable(ErrorKind kind)
+{
+    // Bad input and broken invariants are deterministic: the same job
+    // fails the same way every time. Resource exhaustion is a property
+    // of the moment — memory pressure from sibling jobs, descriptor
+    // churn — so a delayed retry has a real chance.
+    return kind == ErrorKind::ResourceLimit;
+}
+
+} // namespace nwsim

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * SimError: the simulator's structured error taxonomy.
+ *
+ * Every diagnosable failure is one of three kinds, each with its own
+ * process exit code so campaign drivers (nwsweep) and scripts can
+ * classify a dead child without parsing its stderr:
+ *
+ *   BadInput        the user handed us something unusable (unknown
+ *                   workload, malformed assembly, bad config spec).
+ *                   Deterministic — retrying cannot help.
+ *   ResourceLimit   the environment ran out of something (memory,
+ *                   file descriptors). Possibly transient — retrying
+ *                   with backoff can help.
+ *   Internal        an invariant of the simulator itself broke
+ *                   (deadlock, impossible decode, assertion failure).
+ *                   Deterministic — retrying cannot help, but the
+ *                   message carries a structured diagnostic.
+ *
+ * NWSIM_FATAL throws BadInputError and NWSIM_PANIC throws InternalError
+ * (see logging.hh), so library code never calls exit()/abort() directly:
+ * the campaign engine catches and records per-job failures while sibling
+ * jobs keep running, and each tool's main() maps the kind to the exit
+ * code below.
+ */
+
+#ifndef NWSIM_COMMON_ERROR_HH
+#define NWSIM_COMMON_ERROR_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace nwsim
+{
+
+/** Failure classification (see file comment). */
+enum class ErrorKind
+{
+    BadInput,
+    ResourceLimit,
+    Internal,
+};
+
+/**
+ * Process exit codes shared by nwsim, nwsweep, and nwfuzz. Documented in
+ * docs/ROBUSTNESS.md; keep the two in sync.
+ */
+namespace exitcode
+{
+constexpr int Ok = 0;              ///< everything succeeded
+constexpr int Failure = 1;         ///< generic failure (e.g. jobs failed)
+constexpr int Usage = 2;           ///< bad command line
+constexpr int BadInput = 3;        ///< ErrorKind::BadInput
+constexpr int CheckDivergence = 4; ///< cosim/invariant checker fired
+constexpr int Timeout = 5;         ///< wall-clock watchdog killed the run
+constexpr int Crash = 6;           ///< fatal signal (SIGSEGV, ...)
+constexpr int Internal = 7;        ///< ErrorKind::Internal
+} // namespace exitcode
+
+/** Exit code for @p kind (exitcode::BadInput / Internal / Failure). */
+int exitCodeFor(ErrorKind kind);
+
+/** Printable kind name ("bad-input", "resource-limit", "internal"). */
+const char *errorKindName(ErrorKind kind);
+
+/** True if a failure of @p kind might succeed on retry. */
+bool errorKindRetryable(ErrorKind kind);
+
+/** Base of the taxonomy; catch this to classify any simulator error. */
+class SimError : public std::runtime_error
+{
+  public:
+    SimError(ErrorKind kind, const std::string &msg)
+        : std::runtime_error(msg), errKind(kind)
+    {
+    }
+
+    ErrorKind kind() const { return errKind; }
+    int exitCode() const { return exitCodeFor(errKind); }
+    bool retryable() const { return errorKindRetryable(errKind); }
+
+  private:
+    ErrorKind errKind;
+};
+
+/** Unusable user input (thrown by NWSIM_FATAL). */
+class BadInputError : public SimError
+{
+  public:
+    explicit BadInputError(const std::string &msg)
+        : SimError(ErrorKind::BadInput, msg)
+    {
+    }
+};
+
+/** The environment ran out of a resource (memory, descriptors...). */
+class ResourceLimitError : public SimError
+{
+  public:
+    explicit ResourceLimitError(const std::string &msg)
+        : SimError(ErrorKind::ResourceLimit, msg)
+    {
+    }
+};
+
+/** A simulator invariant broke (thrown by NWSIM_PANIC / NWSIM_ASSERT). */
+class InternalError : public SimError
+{
+  public:
+    explicit InternalError(const std::string &msg)
+        : SimError(ErrorKind::Internal, msg)
+    {
+    }
+};
+
+/**
+ * The core's forward-progress watchdog fired: no instruction committed
+ * for CoreConfig::watchdogCycles cycles. The message is a structured
+ * diagnostic (cycle, fetch PC, RUU/LSQ/fetch-queue occupancy, oldest
+ * in-flight instruction) — see OutOfOrderCore::run().
+ */
+class DeadlockError : public InternalError
+{
+  public:
+    explicit DeadlockError(const std::string &msg) : InternalError(msg) {}
+};
+
+} // namespace nwsim
+
+#endif // NWSIM_COMMON_ERROR_HH

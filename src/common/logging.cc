@@ -1,7 +1,8 @@
 #include "common/logging.hh"
 
-#include <cstdlib>
 #include <iostream>
+
+#include "common/error.hh"
 
 namespace nwsim
 {
@@ -11,7 +12,7 @@ panicImpl(const char *file, int line, const std::string &msg)
 {
     std::cerr << "panic: " << msg << " @ " << file << ":" << line
               << std::endl;
-    std::abort();
+    throw InternalError(msg);
 }
 
 void
@@ -19,7 +20,7 @@ fatalImpl(const char *file, int line, const std::string &msg)
 {
     std::cerr << "fatal: " << msg << " @ " << file << ":" << line
               << std::endl;
-    std::exit(1);
+    throw BadInputError(msg);
 }
 
 void

@@ -1,8 +1,15 @@
 /**
  * @file
  * Error-reporting helpers following the gem5 panic/fatal distinction:
- * panic() for internal simulator bugs (aborts), fatal() for user/config
- * errors (clean exit), warn() for suspicious-but-survivable conditions.
+ * NWSIM_PANIC for internal simulator bugs (throws InternalError),
+ * NWSIM_FATAL for user/config errors (throws BadInputError), NWSIM_WARN
+ * for suspicious-but-survivable conditions. Both throwing macros print
+ * the message with its source location to stderr before throwing, so a
+ * diagnostic survives even if the exception is swallowed.
+ *
+ * Library code never calls exit()/abort(): the campaign engine catches
+ * SimError to record per-job failures (common/error.hh), and each tool's
+ * main() maps the error kind to a documented process exit code.
  */
 
 #ifndef NWSIM_COMMON_LOGGING_HH
@@ -14,8 +21,10 @@
 namespace nwsim
 {
 
+/** Print and throw InternalError (use via NWSIM_PANIC). */
 [[noreturn]] void panicImpl(const char *file, int line,
                             const std::string &msg);
+/** Print and throw BadInputError (use via NWSIM_FATAL). */
 [[noreturn]] void fatalImpl(const char *file, int line,
                             const std::string &msg);
 void warnImpl(const char *file, int line, const std::string &msg);
@@ -42,12 +51,12 @@ formatParts(const T &head, const Rest &...rest)
 
 } // namespace nwsim
 
-/** Report an internal simulator bug and abort. */
+/** Report an internal simulator bug (throws InternalError). */
 #define NWSIM_PANIC(...) \
     ::nwsim::panicImpl(__FILE__, __LINE__, \
                        ::nwsim::detail::formatParts(__VA_ARGS__))
 
-/** Report an unrecoverable user/configuration error and exit(1). */
+/** Report an unrecoverable user/config error (throws BadInputError). */
 #define NWSIM_FATAL(...) \
     ::nwsim::fatalImpl(__FILE__, __LINE__, \
                        ::nwsim::detail::formatParts(__VA_ARGS__))

@@ -1,5 +1,7 @@
 #include "core/profiler.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace nwsim
@@ -120,6 +122,32 @@ WidthProfiler::narrow33TotalPercent() const
     for (size_t c = 0; c < numCats; ++c)
         total += narrow33Percent(static_cast<WidthCategory>(c));
     return total;
+}
+
+WidthProfilerSnapshot
+WidthProfiler::snapshot() const
+{
+    WidthProfilerSnapshot snap;
+    snap.opCount = opCount;
+    snap.widthHist = widthHist;
+    snap.narrow16ByCat = narrow16ByCat;
+    snap.narrow33ByCat = narrow33ByCat;
+    snap.pcWidthSeen.assign(pcWidthSeen.begin(), pcWidthSeen.end());
+    std::sort(snap.pcWidthSeen.begin(), snap.pcWidthSeen.end());
+    return snap;
+}
+
+WidthProfiler
+WidthProfiler::fromSnapshot(const WidthProfilerSnapshot &snap)
+{
+    WidthProfiler p;
+    p.opCount = snap.opCount;
+    p.widthHist = snap.widthHist;
+    p.narrow16ByCat = snap.narrow16ByCat;
+    p.narrow33ByCat = snap.narrow33ByCat;
+    p.pcWidthSeen.insert(snap.pcWidthSeen.begin(),
+                         snap.pcWidthSeen.end());
+    return p;
 }
 
 double

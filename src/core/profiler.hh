@@ -9,6 +9,8 @@
 
 #include <array>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "core/width.hh"
 #include "isa/opcode.hh"
@@ -31,6 +33,23 @@ WidthCategory widthCategory(OpClass cls);
 
 /** Printable category name. */
 const char *widthCategoryName(WidthCategory cat);
+
+/**
+ * Flat, serializable image of a WidthProfiler — what the campaign
+ * engine ships across process boundaries (fork-isolated jobs) and into
+ * the campaign journal. pcWidthSeen is sorted by PC so the encoding is
+ * byte-stable regardless of hash-map iteration order.
+ */
+struct WidthProfilerSnapshot
+{
+    u64 opCount = 0;
+    std::array<u64, 65> widthHist{};
+    std::array<u64, static_cast<size_t>(WidthCategory::NumCategories)>
+        narrow16ByCat{};
+    std::array<u64, static_cast<size_t>(WidthCategory::NumCategories)>
+        narrow33ByCat{};
+    std::vector<std::pair<Addr, u8>> pcWidthSeen;
+};
 
 /**
  * Collects per-operation operand-width statistics.
@@ -85,6 +104,14 @@ class WidthProfiler
     double fluctuationPercent() const;
 
     u64 totalOps() const { return opCount; }
+
+    // ---- Serialization (process isolation / campaign journal) ----------
+
+    /** Deterministic flat image of the full profiler state. */
+    WidthProfilerSnapshot snapshot() const;
+
+    /** Rebuild a profiler whose every statistic matches @p snap. */
+    static WidthProfiler fromSnapshot(const WidthProfilerSnapshot &snap);
 
   private:
     static constexpr size_t numCats =

@@ -40,11 +40,13 @@ collectRunResult(const OutOfOrderCore &core, const std::string &name,
 RunResult
 runProgram(const Program &program, const CoreConfig &config,
            const RunOptions &opts, const std::string &name,
-           const std::string &config_name)
+           const std::string &config_name, CoreObserver *observer)
 {
     SparseMemory memory;
     program.load(memory);
     OutOfOrderCore core(config, memory, program.entry);
+    if (observer)
+        core.setObserver(observer);
 
     const u64 warmup_committed = opts.fastWarmup
                                      ? core.fastForward(opts.warmupInsts)

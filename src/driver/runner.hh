@@ -75,13 +75,18 @@ struct RunResult
     }
 };
 
+class CoreObserver;
+
 /**
  * Run @p program on @p config: warmup, reset stats, measure.
  * @p name and @p config_name label the result for reporting.
+ * @p observer, if non-null, is attached to the core for the whole run
+ * (e.g. the campaign engine's per-job FlightRecorder).
  */
 RunResult runProgram(const Program &program, const CoreConfig &config,
                      const RunOptions &opts, const std::string &name,
-                     const std::string &config_name);
+                     const std::string &config_name,
+                     CoreObserver *observer = nullptr);
 
 /**
  * Snapshot every statistic of @p core into a labeled RunResult

@@ -1,0 +1,103 @@
+#include "exp/bundle.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "exp/campaign.hh"
+#include "exp/result_set.hh"
+
+namespace fs = std::filesystem;
+
+namespace nwsim::exp
+{
+
+namespace
+{
+
+/** Filesystem-safe job tag: label with separators flattened. */
+std::string
+sanitize(const std::string &label)
+{
+    std::string out;
+    out.reserve(label.size());
+    for (char c : label) {
+        const bool safe = (c >= 'a' && c <= 'z') ||
+                          (c >= 'A' && c <= 'Z') ||
+                          (c >= '0' && c <= '9') || c == '_' ||
+                          c == '.' || c == '-';
+        out.push_back(safe ? c : '-');
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+bundlePathFor(const std::string &base, const SimJob &job)
+{
+    return base + "/" + sanitize(job.label());
+}
+
+std::string
+bundleEventsPath(const std::string &base, const SimJob &job)
+{
+    return bundlePathFor(base, job) + "/events.log";
+}
+
+std::string
+writeReproducerBundle(const std::string &base, const SimJob &job,
+                      const JobOutcome &outcome,
+                      const std::string &events)
+{
+    const std::string dir = bundlePathFor(base, job);
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec)
+        return "";
+
+    const bool hasAsm = !job.asmText.empty();
+    if (hasAsm) {
+        std::ofstream src(dir + "/repro.s");
+        src << job.asmText;
+    }
+
+    const std::string eventsPath = dir + "/events.log";
+    // A crash-signal handler may already have dumped the recorder from
+    // inside the dying child; keep that copy — it is closer to the fault
+    // than anything the parent can reconstruct.
+    if (!events.empty() && !fs::exists(eventsPath, ec)) {
+        std::ofstream ev(eventsPath);
+        ev << events;
+    }
+
+    std::ostringstream replay;
+    replay << "nwsim run " << (hasAsm ? "repro.s" : job.workload)
+           << " --config " << job.configSpec;
+    if (!hasAsm) {
+        // .s files run to completion; windows only matter for workloads.
+        replay << " --warmup " << job.opts.warmupInsts << " --measure "
+               << job.opts.measureInsts;
+    }
+    replay << " --check";
+
+    std::ofstream man(dir + "/MANIFEST.txt");
+    if (!man)
+        return "";
+    man << "# nwsim reproducer bundle\n"
+        << "workload:   " << job.workload << "\n"
+        << "config:     " << job.configSpec << "\n"
+        << "status:     " << outcome.statusText() << "\n"
+        << "error-kind: " << failKindName(outcome.errorKind) << "\n"
+        << "attempts:   " << outcome.attempts << "\n"
+        << "error:      " << outcome.error << "\n"
+        << "replay:     " << replay.str() << "\n"
+        << "events:     events.log (flight recorder, oldest first)\n";
+    if (hasAsm)
+        man << "source:     repro.s\n";
+    man.flush();
+    return man ? dir : "";
+}
+
+} // namespace nwsim::exp

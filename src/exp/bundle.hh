@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Reproducer bundles: when a campaign job faults (internal-invariant
+ * failure, crash, deadlock, timeout), the campaign drops a directory
+ * with everything needed to replay the fault standalone:
+ *
+ *     <bundle-dir>/<workload>-<config>/
+ *         MANIFEST.txt   what happened + the exact replay command
+ *         events.log     flight recorder: last-K pipeline events
+ *         repro.s        assembly source (only for asmText jobs)
+ *
+ * The MANIFEST's replay line is a ready-to-run `nwsim run ... --check`
+ * invocation, so a crash found by a sweep feeds straight into the
+ * cosimulation oracle and nwfuzz shrinking (docs/ROBUSTNESS.md).
+ */
+
+#ifndef NWSIM_EXP_BUNDLE_HH
+#define NWSIM_EXP_BUNDLE_HH
+
+#include <string>
+
+namespace nwsim::exp
+{
+
+struct SimJob;
+struct JobOutcome;
+
+/** Bundle directory for @p job under @p base (not created). */
+std::string bundlePathFor(const std::string &base, const SimJob &job);
+
+/**
+ * Path of the events.log inside bundlePathFor — isolated children
+ * precompute this so a crash-signal handler can dump the flight
+ * recorder without allocating.
+ */
+std::string bundleEventsPath(const std::string &base, const SimJob &job);
+
+/**
+ * Write (or complete) the bundle for a faulted @p job: creates the
+ * directory, writes MANIFEST.txt and repro.s, and writes events.log
+ * from @p events unless a crash handler already left one behind.
+ * Returns the bundle directory, or "" if it could not be written
+ * (bundles are best-effort; a full disk must not fail the campaign).
+ */
+std::string writeReproducerBundle(const std::string &base,
+                                  const SimJob &job,
+                                  const JobOutcome &outcome,
+                                  const std::string &events);
+
+} // namespace nwsim::exp
+
+#endif // NWSIM_EXP_BUNDLE_HH

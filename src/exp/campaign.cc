@@ -1,11 +1,23 @@
 #include "exp/campaign.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <exception>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <new>
+#include <thread>
 
+#include "asm/textasm.hh"
+#include "common/error.hh"
+#include "exp/bundle.hh"
 #include "exp/configs.hh"
+#include "exp/isolate.hh"
 #include "exp/job_pool.hh"
+#include "exp/journal.hh"
 #include "exp/progress.hh"
+#include "pipeline/flight_recorder.hh"
 #include "workloads/kernels.hh"
 
 namespace nwsim::exp
@@ -27,7 +39,7 @@ Campaign::grid(const std::vector<std::string> &workloads,
     for (const std::string &spec : config_specs) {
         const CoreConfig cfg = configBySpec(spec);
         for (const std::string &w : workloads) {
-            workloadByName(w);   // eager validation (fatal if unknown)
+            workloadByName(w);   // eager validation (throws if unknown)
             SimJob job;
             job.workload = w;
             job.configSpec = spec;
@@ -39,69 +51,231 @@ Campaign::grid(const std::vector<std::string> &workloads,
     return c;
 }
 
+double
+retryBackoffSeconds(size_t job_index, unsigned attempt,
+                    double base_seconds)
+{
+    if (base_seconds <= 0 || attempt < 2)
+        return 0.0;
+    // SplitMix64 over the (job, attempt) pair: every retry everywhere
+    // gets its own delay, yet reruns of the same campaign back off
+    // identically.
+    u64 x = (static_cast<u64>(job_index) << 32) ^ attempt;
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    const double jitter =
+        0.5 + static_cast<double>(x >> 11) / 9007199254740992.0;
+    const unsigned doublings = std::min(attempt - 2, 20u);
+    return base_seconds * static_cast<double>(1ULL << doublings) * jitter;
+}
+
 namespace
 {
 
+/** FailKind of a SimError class (taxonomy in common/error.hh). */
+FailKind
+failKindOf(ErrorKind kind)
+{
+    switch (kind) {
+    case ErrorKind::BadInput:
+        return FailKind::BadInput;
+    case ErrorKind::ResourceLimit:
+        return FailKind::ResourceLimit;
+    case ErrorKind::Internal:
+        return FailKind::Internal;
+    }
+    return FailKind::Unknown;
+}
+
+Program
+jobProgram(const SimJob &job)
+{
+    return job.asmText.empty() ? workloadByName(job.workload).program()
+                               : assembleText(job.asmText);
+}
+
+/**
+ * One attempt: run, classify anything thrown, and capture the flight
+ * recorder's dump into @p events_out when the attempt failed.
+ */
 JobOutcome
-executeJob(const SimJob &job, unsigned max_attempts)
+executeJobAttempt(const SimJob &job, const CampaignOptions &copts,
+                  std::string *events_out)
 {
     JobOutcome out;
     out.workload = job.workload;
     out.configSpec = job.configSpec;
 
+    // The recorder rides the standard runProgram path; custom runners
+    // own their whole run and can attach their own observer.
+    std::unique_ptr<FlightRecorder> recorder;
+    std::string eventsPath;
+    if (!copts.bundleDir.empty() && !job.runner) {
+        recorder =
+            std::make_unique<FlightRecorder>(copts.flightRecorderEvents);
+        eventsPath = bundleEventsPath(copts.bundleDir, job);
+        setCrashDump(recorder.get(), &eventsPath);
+    }
+
     using Clock = std::chrono::steady_clock;
-    for (unsigned attempt = 1; attempt <= max_attempts; ++attempt) {
-        out.attempts = attempt;
-        const Clock::time_point t0 = Clock::now();
-        try {
-            out.result =
-                job.runner
-                    ? job.runner(job)
-                    : runProgram(workloadByName(job.workload).program(),
-                                 job.config, job.opts, job.workload,
-                                 job.configSpec);
-            out.ok = true;
-            out.error.clear();
-        } catch (const std::exception &e) {
-            out.ok = false;
-            out.error = e.what();
-        } catch (...) {
-            out.ok = false;
-            out.error = "unknown exception";
-        }
-        out.wallSeconds =
-            std::chrono::duration<double>(Clock::now() - t0).count();
-        if (out.ok)
-            break;
+    const Clock::time_point t0 = Clock::now();
+    try {
+        out.result =
+            job.runner
+                ? job.runner(job)
+                : runProgram(jobProgram(job), job.config, job.opts,
+                             job.workload, job.configSpec,
+                             recorder.get());
+        out.ok = true;
+        out.status = JobStatus::Ok;
+        out.errorKind = FailKind::None;
+    } catch (const SimError &e) {
+        out.ok = false;
+        out.status = JobStatus::Failed;
+        out.errorKind = failKindOf(e.kind());
+        out.error = e.what();
+    } catch (const std::bad_alloc &) {
+        out.ok = false;
+        out.status = JobStatus::Failed;
+        out.errorKind = FailKind::ResourceLimit;
+        out.error = "out of memory (std::bad_alloc)";
+    } catch (const std::exception &e) {
+        out.ok = false;
+        out.status = JobStatus::Failed;
+        out.errorKind = FailKind::Unknown;
+        out.error = e.what();
+    } catch (...) {
+        out.ok = false;
+        out.status = JobStatus::Failed;
+        out.errorKind = FailKind::Unknown;
+        out.error = "unknown exception";
+    }
+    out.wallSeconds =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+
+    if (recorder) {
+        setCrashDump(nullptr, nullptr);
+        if (!out.ok && events_out)
+            *events_out = recorder->dump();
     }
     return out;
 }
 
 } // namespace
 
-ResultSet
-Campaign::run(const CampaignOptions &copts) const
+JobOutcome
+executeJobWithRetries(const SimJob &job, size_t job_index,
+                      const CampaignOptions &copts)
 {
-    JobPool pool(copts.jobs);
     const unsigned max_attempts =
         copts.maxAttempts ? copts.maxAttempts : 1;
 
-    std::vector<JobOutcome> outcomes(jobList.size());
-    ProgressMeter meter(jobList.size(), pool.workers(), copts.progress);
-
-    std::vector<std::function<void()>> tasks;
-    tasks.reserve(jobList.size());
-    for (size_t i = 0; i < jobList.size(); ++i) {
-        tasks.push_back([this, i, max_attempts, &outcomes] {
-            outcomes[i] = executeJob(jobList[i], max_attempts);
-        });
+    JobOutcome out;
+    std::string events;
+    for (unsigned attempt = 1; attempt <= max_attempts; ++attempt) {
+        if (attempt > 1) {
+            std::this_thread::sleep_for(std::chrono::duration<double>(
+                retryBackoffSeconds(job_index, attempt,
+                                    copts.backoffBaseSeconds)));
+        }
+        events.clear();
+        out = executeJobAttempt(job, copts, &events);
+        out.attempts = attempt;
+        // Retry only failures that retrying can fix; bad input and
+        // broken invariants are deterministic.
+        if (out.ok || !failKindRetryable(out.errorKind))
+            break;
     }
-    pool.run(tasks, [&](size_t i) {
+
+    if (!copts.bundleDir.empty()) {
+        if (!out.ok && out.errorKind == FailKind::Internal) {
+            out.bundlePath =
+                writeReproducerBundle(copts.bundleDir, job, out, events);
+        } else if (out.ok) {
+            // Isolated children pre-create the bundle directory for the
+            // crash handler; drop it again if the job finished cleanly
+            // (remove() only deletes empty directories).
+            std::error_code ec;
+            std::filesystem::remove(bundlePathFor(copts.bundleDir, job),
+                                    ec);
+        }
+    }
+    return out;
+}
+
+ResultSet
+Campaign::run(const CampaignOptions &copts) const
+{
+    const size_t n = jobList.size();
+    std::vector<JobOutcome> outcomes(n);
+    std::vector<char> fromJournal(n, 0);
+
+    // Resume: adopt journaled terminal outcomes into their grid slots
+    // and run only the jobs without one.
+    if (copts.resume && !copts.journal.empty()) {
+        std::map<std::string, JobOutcome> byLabel;
+        for (JobOutcome &o : CampaignJournal::load(copts.journal))
+            byLabel.emplace(o.label(), std::move(o));
+        for (size_t i = 0; i < n; ++i) {
+            const auto it = byLabel.find(jobList[i].label());
+            if (it == byLabel.end())
+                continue;
+            outcomes[i] = std::move(it->second);
+            byLabel.erase(it);
+            fromJournal[i] = 1;
+        }
+    }
+
+    std::vector<size_t> todo;
+    todo.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        if (!fromJournal[i])
+            todo.push_back(i);
+    }
+
+    // Open (or truncate) the journal before spawning anything: an
+    // unwritable journal should fail the campaign up front, not after
+    // an hour of simulation. Adopted outcomes are not re-appended, so
+    // the journal keeps one record per job across any number of resumes.
+    std::unique_ptr<CampaignJournal> journal;
+    if (!copts.journal.empty()) {
+        journal = std::make_unique<CampaignJournal>(copts.journal,
+                                                    !copts.resume);
+    }
+
+    const unsigned workers = std::max<unsigned>(
+        1, static_cast<unsigned>(std::min<size_t>(
+               resolveJobCount(copts.jobs), std::max<size_t>(1, todo.size()))));
+    ProgressMeter meter(todo.size(), workers, copts.progress);
+
+    // Journal appends and the meter share one serialization point: the
+    // pool's on_done hook (thread mode) or the parent's poll loop
+    // (isolate mode) — both deliver completions one at a time.
+    auto record = [&](size_t i) {
+        if (journal)
+            journal->append(outcomes[i]);
         meter.jobDone(outcomes[i].label(), outcomes[i].ok);
-    });
+    };
+
+    if (copts.isolate) {
+        runJobsIsolated(jobList, todo, copts, workers, outcomes, record);
+    } else {
+        JobPool pool(workers);
+        std::vector<std::function<void()>> tasks;
+        tasks.reserve(todo.size());
+        for (const size_t i : todo) {
+            tasks.push_back([this, i, &copts, &outcomes] {
+                outcomes[i] =
+                    executeJobWithRetries(jobList[i], i, copts);
+            });
+        }
+        pool.run(tasks, [&](size_t t) { record(todo[t]); });
+    }
     meter.finish();
 
-    return ResultSet(std::move(outcomes), pool.workers());
+    return ResultSet(std::move(outcomes), workers);
 }
 
 } // namespace nwsim::exp

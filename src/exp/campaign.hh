@@ -9,9 +9,15 @@
  * outcome vector, so the ResultSet's per-job statistics are bit-identical
  * for any worker count — only wall-clock fields vary between runs.
  *
- * Fault isolation: a job that throws is retried (maxAttempts) and then
- * recorded as failed with its exception message; sibling jobs and the
- * campaign itself keep running.
+ * Fault tolerance (docs/ROBUSTNESS.md): a job that throws is classified
+ * by the SimError taxonomy, retried with exponential backoff only when
+ * retrying can help, and recorded as failed while sibling jobs keep
+ * running. With CampaignOptions::isolate each job runs in a forked child
+ * process, so crashes (fatal signals) and hangs (wall-clock watchdog)
+ * are recorded as `crashed(SIG...)` / `timeout` outcomes instead of
+ * killing the sweep, each with a reproducer bundle carrying the flight
+ * recorder's last pipeline events. A journal (CampaignOptions::journal)
+ * makes the whole campaign resumable after a crash of the driver itself.
  */
 
 #ifndef NWSIM_EXP_CAMPAIGN_HH
@@ -39,6 +45,12 @@ struct SimJob
     CoreConfig config;
     RunOptions opts;
     /**
+     * Assembly source to run instead of the registry workload (the
+     * fuzzer's custom grids use this). When set, the reproducer bundle
+     * of a faulting job includes it as a replayable repro.s.
+     */
+    std::string asmText;
+    /**
      * Override the standard build-program-and-runProgram path (used by
      * tests and custom experiments). Must be thread-safe.
      */
@@ -50,12 +62,37 @@ struct SimJob
 /** Campaign execution knobs. */
 struct CampaignOptions
 {
-    /** Worker threads; 0 = NWSIM_JOBS env or hardware_concurrency. */
+    /** Worker threads/processes; 0 = NWSIM_JOBS env or hardware. */
     unsigned jobs = 0;
     /** Attempts per job before recording it as failed. */
     unsigned maxAttempts = 2;
     /** Stream for the progress/ETA line (nullptr = silent). */
     std::ostream *progress = nullptr;
+    /**
+     * Run each job in a forked child process: fatal signals become
+     * `crashed(SIG...)` outcomes and wall-clock overruns `timeout`
+     * outcomes, while sibling jobs continue.
+     */
+    bool isolate = false;
+    /** Per-job wall-clock limit, seconds (isolate mode; 0 = none). */
+    double timeoutSeconds = 0.0;
+    /**
+     * Base delay of the exponential backoff between retry attempts,
+     * seconds; the actual delay adds deterministic seeded jitter
+     * (retryBackoffSeconds).
+     */
+    double backoffBaseSeconds = 0.05;
+    /** Directory for reproducer bundles ("" = don't write bundles). */
+    std::string bundleDir;
+    /** Flight-recorder ring capacity feeding those bundles. */
+    size_t flightRecorderEvents = 256;
+    /** Append terminal job records to this journal file ("" = none). */
+    std::string journal;
+    /**
+     * Skip jobs that already have a terminal record in @p journal and
+     * merge their journaled outcomes into the ResultSet.
+     */
+    bool resume = false;
 };
 
 /** A named batch of SimJobs executed as one parallel fan-out. */
@@ -70,8 +107,8 @@ class Campaign
     /**
      * Cross product: every named workload × every config spec, all with
      * the same run options. Workload and config names are validated
-     * eagerly (fatal on unknown), so errors surface before any thread
-     * starts.
+     * eagerly (throws BadInputError on unknown), so errors surface
+     * before any worker starts.
      */
     static Campaign grid(const std::vector<std::string> &workloads,
                          const std::vector<std::string> &config_specs,
@@ -85,6 +122,26 @@ class Campaign
   private:
     std::vector<SimJob> jobList;
 };
+
+/**
+ * Delay before retry @p attempt (the one about to run, so >= 2) of job
+ * @p job_index: base * 2^(attempt-2), multiplied by a jitter factor in
+ * [0.5, 1.5) drawn from a SplitMix64 stream seeded with (job, attempt).
+ * Deterministic — identical inputs give identical delays on every
+ * machine, keeping retried campaigns reproducible.
+ */
+double retryBackoffSeconds(size_t job_index, unsigned attempt,
+                           double base_seconds);
+
+/**
+ * Run one job to its terminal outcome in this process: the attempt /
+ * classification / backoff loop shared by the in-thread executor and
+ * each fork-isolated child. Catches everything a job can throw;
+ * classifies via the SimError taxonomy; writes a reproducer bundle for
+ * internal-invariant failures when @p copts.bundleDir is set.
+ */
+JobOutcome executeJobWithRetries(const SimJob &job, size_t job_index,
+                                 const CampaignOptions &copts);
 
 } // namespace nwsim::exp
 

@@ -1,0 +1,371 @@
+#include "exp/isolate.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <deque>
+#include <filesystem>
+#include <sstream>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/error.hh"
+#include "common/logging.hh"
+#include "exp/bundle.hh"
+#include "exp/wire.hh"
+#include "pipeline/flight_recorder.hh"
+
+namespace nwsim::exp
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+// ---- in-child crash dumping ---------------------------------------------
+
+const FlightRecorder *gCrashRecorder = nullptr;
+const std::string *gCrashEventsPath = nullptr;
+volatile sig_atomic_t gCrashEntered = 0;
+
+void
+writeAllFd(int fd, const char *p, size_t left)
+{
+    while (left) {
+        const ssize_t n = ::write(fd, p, left);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return;
+        }
+        p += static_cast<size_t>(n);
+        left -= static_cast<size_t>(n);
+    }
+}
+
+/**
+ * Fatal-signal handler armed only inside isolated children: spill the
+ * job's flight recorder into its reproducer bundle, then re-raise with
+ * the default disposition so the parent's waitpid sees the real signal.
+ * FlightRecorder::dump allocates, which is not async-signal-safe — this
+ * process is dying either way, so the worst case is a bundle without
+ * events.log, never a corrupted campaign.
+ */
+void
+crashHandler(int sig)
+{
+    if (!gCrashEntered) {
+        gCrashEntered = 1;
+        if (gCrashRecorder && gCrashEventsPath) {
+            const std::string text = gCrashRecorder->dump();
+            const int fd =
+                ::open(gCrashEventsPath->c_str(),
+                       O_CREAT | O_WRONLY | O_TRUNC, 0644);
+            if (fd >= 0) {
+                writeAllFd(fd, text.data(), text.size());
+                ::close(fd);
+            }
+        }
+    }
+    ::signal(sig, SIG_DFL);
+    ::raise(sig);
+}
+
+void
+armCrashHandlers()
+{
+    // SIGABRT included: the parent's soft timeout kill is SIGABRT, so a
+    // hung job dumps its recorder before dying, and so does a
+    // std::terminate. SIGKILL (the hard kill) is not catchable by design.
+    static const int signals[] = {SIGSEGV, SIGBUS, SIGILL, SIGFPE,
+                                  SIGABRT};
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = crashHandler;
+    sigemptyset(&sa.sa_mask);
+    for (int sig : signals)
+        sigaction(sig, &sa, nullptr);
+}
+
+/** Child side of the taxonomy: the _exit code for a terminal outcome. */
+int
+outcomeExitCode(const JobOutcome &o)
+{
+    if (o.ok)
+        return exitcode::Ok;
+    if (o.status == JobStatus::Timeout)
+        return exitcode::Timeout;
+    if (o.status == JobStatus::Crashed)
+        return exitcode::Crash;
+    switch (o.errorKind) {
+    case FailKind::BadInput:
+        return exitcode::BadInput;
+    case FailKind::Internal:
+        return exitcode::Internal;
+    default:
+        return exitcode::Failure;
+    }
+}
+
+[[noreturn]] void
+childRun(const SimJob &job, size_t job_index,
+         const CampaignOptions &copts, int out_fd)
+{
+    // Pre-create the bundle directory so the crash handler only needs
+    // open()/write() on the way down.
+    if (!copts.bundleDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(
+            bundlePathFor(copts.bundleDir, job), ec);
+    }
+    armCrashHandlers();
+
+    const JobOutcome out = executeJobWithRetries(job, job_index, copts);
+    const std::string blob = packJobOutcome(out);
+    writeAllFd(out_fd, blob.data(), blob.size());
+    ::close(out_fd);
+    // _Exit, not exit: static destructors and atexit handlers belong to
+    // the parent image and must not run twice.
+    std::_Exit(outcomeExitCode(out));
+}
+
+// ---- parent-side bookkeeping --------------------------------------------
+
+struct ChildProc
+{
+    pid_t pid = -1;
+    int fd = -1;
+    size_t jobIdx = 0;
+    std::string buf;
+    Clock::time_point start;
+    Clock::time_point deadline;  ///< soft kill (SIGABRT) when armed
+    Clock::time_point killAt;    ///< hard kill (SIGKILL) once timed out
+    bool deadlineArmed = false;
+    bool timedOut = false;
+};
+
+int
+reapStatus(pid_t pid)
+{
+    int status = 0;
+    while (waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    return status;
+}
+
+std::string
+signalLabel(int sig)
+{
+#if defined(__GLIBC__) && __GLIBC__ >= 2 && __GLIBC_MINOR__ >= 32
+    if (const char *abbrev = sigabbrev_np(sig))
+        return std::string("SIG") + abbrev;
+#endif
+    return "signal " + std::to_string(sig);
+}
+
+/** Classify a reaped child that did not deliver a valid outcome blob. */
+JobOutcome
+classifyDeadChild(const SimJob &job, const ChildProc &c, int wait_status,
+                  const CampaignOptions &copts)
+{
+    JobOutcome out;
+    out.workload = job.workload;
+    out.configSpec = job.configSpec;
+    out.ok = false;
+    out.attempts = 1;
+    out.wallSeconds =
+        std::chrono::duration<double>(Clock::now() - c.start).count();
+
+    if (c.timedOut) {
+        out.status = JobStatus::Timeout;
+        out.errorKind = FailKind::ResourceLimit;
+        std::ostringstream msg;
+        msg << "timed out: exceeded " << copts.timeoutSeconds
+            << "s wall-clock limit";
+        out.error = msg.str();
+    } else if (WIFSIGNALED(wait_status)) {
+        out.status = JobStatus::Crashed;
+        out.errorKind = FailKind::Internal;
+        out.termSignal = WTERMSIG(wait_status);
+        out.error =
+            "isolated job killed by " + signalLabel(out.termSignal);
+    } else {
+        const int code = WIFEXITED(wait_status)
+                             ? WEXITSTATUS(wait_status)
+                             : -1;
+        out.status = JobStatus::Failed;
+        out.errorKind = FailKind::Internal;
+        out.error = "isolated job exited with code " +
+                    std::to_string(code) +
+                    " without reporting an outcome";
+    }
+
+    // The child's crash handler may already have dropped events.log in
+    // the bundle directory; this fills in MANIFEST.txt around it.
+    if (!copts.bundleDir.empty()) {
+        out.bundlePath =
+            writeReproducerBundle(copts.bundleDir, job, out, "");
+    }
+    return out;
+}
+
+} // namespace
+
+void
+setCrashDump(const FlightRecorder *recorder,
+             const std::string *events_path)
+{
+    gCrashRecorder = recorder;
+    gCrashEventsPath = events_path;
+}
+
+void
+runJobsIsolated(const std::vector<SimJob> &jobs,
+                const std::vector<size_t> &indices,
+                const CampaignOptions &copts, unsigned workers,
+                std::vector<JobOutcome> &outcomes,
+                const std::function<void(size_t)> &on_done)
+{
+    std::deque<size_t> pending(indices.begin(), indices.end());
+    std::vector<ChildProc> active;
+    const auto grace = std::chrono::seconds(2);
+
+    auto spawn = [&](size_t idx) {
+        int fds[2];
+        if (pipe(fds) < 0) {
+            JobOutcome out;
+            out.workload = jobs[idx].workload;
+            out.configSpec = jobs[idx].configSpec;
+            out.status = JobStatus::Failed;
+            out.errorKind = FailKind::ResourceLimit;
+            out.attempts = 1;
+            out.error = std::string("pipe: ") + std::strerror(errno);
+            outcomes[idx] = std::move(out);
+            if (on_done)
+                on_done(idx);
+            return;
+        }
+        const pid_t pid = fork();
+        if (pid == 0) {
+            ::close(fds[0]);
+            childRun(jobs[idx], idx, copts, fds[1]); // never returns
+        }
+        if (pid < 0) {
+            ::close(fds[0]);
+            ::close(fds[1]);
+            JobOutcome out;
+            out.workload = jobs[idx].workload;
+            out.configSpec = jobs[idx].configSpec;
+            out.status = JobStatus::Failed;
+            out.errorKind = FailKind::ResourceLimit;
+            out.attempts = 1;
+            out.error = std::string("fork: ") + std::strerror(errno);
+            outcomes[idx] = std::move(out);
+            if (on_done)
+                on_done(idx);
+            return;
+        }
+        ::close(fds[1]);
+        ChildProc c;
+        c.pid = pid;
+        c.fd = fds[0];
+        c.jobIdx = idx;
+        c.start = Clock::now();
+        if (copts.timeoutSeconds > 0) {
+            c.deadline =
+                c.start + std::chrono::duration_cast<Clock::duration>(
+                              std::chrono::duration<double>(
+                                  copts.timeoutSeconds));
+            c.deadlineArmed = true;
+        }
+        active.push_back(std::move(c));
+    };
+
+    auto finalize = [&](ChildProc &c) {
+        ::close(c.fd);
+        const int status = reapStatus(c.pid);
+        JobOutcome out;
+        if (!c.timedOut && unpackJobOutcome(c.buf, out)) {
+            outcomes[c.jobIdx] = std::move(out);
+        } else {
+            outcomes[c.jobIdx] =
+                classifyDeadChild(jobs[c.jobIdx], c, status, copts);
+        }
+        if (on_done)
+            on_done(c.jobIdx);
+    };
+
+    while (!pending.empty() || !active.empty()) {
+        while (active.size() < workers && !pending.empty()) {
+            spawn(pending.front());
+            pending.pop_front();
+        }
+        if (active.empty())
+            continue; // every spawn failed; loop drains pending
+
+        std::vector<pollfd> fds(active.size());
+        for (size_t i = 0; i < active.size(); ++i)
+            fds[i] = {active[i].fd, POLLIN, 0};
+
+        int timeout_ms = -1;
+        const Clock::time_point now = Clock::now();
+        for (const ChildProc &c : active) {
+            if (!c.deadlineArmed)
+                continue;
+            const Clock::time_point next =
+                c.timedOut ? c.killAt : c.deadline;
+            const auto left =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    next - now)
+                    .count();
+            const int ms = static_cast<int>(std::max<long long>(0, left));
+            if (timeout_ms < 0 || ms < timeout_ms)
+                timeout_ms = ms;
+        }
+
+        const int rc = poll(fds.data(), fds.size(), timeout_ms);
+        if (rc < 0 && errno != EINTR)
+            NWSIM_PANIC("poll failed in isolated campaign: ",
+                        std::strerror(errno));
+
+        // Drain readable pipes; EOF means the child finished or died.
+        for (size_t i = active.size(); i-- > 0;) {
+            if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR)))
+                continue;
+            char chunk[4096];
+            const ssize_t n = ::read(active[i].fd, chunk, sizeof(chunk));
+            if (n > 0) {
+                active[i].buf.append(chunk, static_cast<size_t>(n));
+            } else if (n == 0 || (n < 0 && errno != EINTR)) {
+                finalize(active[i]);
+                active.erase(active.begin() +
+                             static_cast<long>(i));
+            }
+        }
+
+        // Watchdog: soft-kill with SIGABRT first (lets the child's crash
+        // handler dump its flight recorder), SIGKILL after a grace
+        // period if it is too wedged even for that.
+        const Clock::time_point after = Clock::now();
+        for (ChildProc &c : active) {
+            if (!c.deadlineArmed)
+                continue;
+            if (!c.timedOut && after >= c.deadline) {
+                c.timedOut = true;
+                c.killAt = after + grace;
+                kill(c.pid, SIGABRT);
+            } else if (c.timedOut && after >= c.killAt) {
+                kill(c.pid, SIGKILL);
+                c.killAt = after + grace; // re-arm; kill is idempotent
+            }
+        }
+    }
+}
+
+} // namespace nwsim::exp

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Process-isolated campaign execution: one forked child per job.
+ *
+ * The parent stays single-threaded (children provide the parallelism,
+ * so fork never races a thread holding the allocator lock) and drives a
+ * poll() loop over one pipe per live child. A child runs the normal
+ * retry loop, packs its terminal JobOutcome (exp/wire.hh), writes it up
+ * the pipe, and _exits with the outcome's taxonomy code. The parent
+ * classifies each reaped child:
+ *
+ *  - valid outcome blob on the pipe  -> use it verbatim,
+ *  - died on a signal (WIFSIGNALED)  -> JobStatus::Crashed + termSignal,
+ *  - killed by the wall-clock guard  -> JobStatus::Timeout,
+ *  - anything else                   -> internal failure.
+ *
+ * Crashes and timeouts also get a reproducer bundle; a crashing child's
+ * signal handler dumps its flight recorder into the bundle on the way
+ * down (best effort — the parent's MANIFEST never depends on it).
+ */
+
+#ifndef NWSIM_EXP_ISOLATE_HH
+#define NWSIM_EXP_ISOLATE_HH
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "exp/campaign.hh"
+
+namespace nwsim
+{
+class FlightRecorder;
+}
+
+namespace nwsim::exp
+{
+
+/**
+ * Execute jobs[i] for every i in @p indices, each in its own forked
+ * child, at most @p workers children at a time. Writes outcomes[i] for
+ * exactly the given indices and calls @p on_done(i) (in the parent, on
+ * its only thread) as each terminal outcome lands — the campaign hangs
+ * its progress meter and journal off that hook.
+ */
+void runJobsIsolated(const std::vector<SimJob> &jobs,
+                     const std::vector<size_t> &indices,
+                     const CampaignOptions &copts, unsigned workers,
+                     std::vector<JobOutcome> &outcomes,
+                     const std::function<void(size_t)> &on_done);
+
+/**
+ * Register the flight recorder (and the path to dump it to) that a
+ * crash signal in this process should spill. Called by the job
+ * executor around each attempt; pass nullptrs to disarm. No-op unless
+ * this process armed crash handlers (i.e. is an isolated child).
+ */
+void setCrashDump(const FlightRecorder *recorder,
+                  const std::string *events_path);
+
+} // namespace nwsim::exp
+
+#endif // NWSIM_EXP_ISOLATE_HH

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <exception>
 #include <mutex>
 #include <thread>
 
@@ -39,15 +40,25 @@ JobPool::run(const std::vector<std::function<void()>> &tasks,
 
     std::atomic<size_t> cursor{0};
     std::mutex doneMutex;
+    std::exception_ptr firstError;
     auto worker = [&] {
         for (;;) {
             const size_t i = cursor.fetch_add(1);
             if (i >= n)
                 return;
-            tasks[i]();
-            if (on_done) {
+            try {
+                tasks[i]();
+                if (on_done) {
+                    std::lock_guard<std::mutex> lock(doneMutex);
+                    on_done(i);
+                }
+            } catch (...) {
+                // Keep draining: one bad task must not strand the batch
+                // or terminate the process from a worker thread. The
+                // first exception is rethrown after everyone joins.
                 std::lock_guard<std::mutex> lock(doneMutex);
-                on_done(i);
+                if (!firstError)
+                    firstError = std::current_exception();
             }
         }
     };
@@ -56,15 +67,17 @@ JobPool::run(const std::vector<std::function<void()>> &tasks,
         // Run inline: no thread overhead, and debuggers/sanitizers see a
         // single-threaded program for --jobs 1.
         worker();
-        return;
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (unsigned t = 0; t < threads; ++t)
+            pool.emplace_back(worker);
+        for (std::thread &t : pool)
+            t.join();
     }
 
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t)
-        pool.emplace_back(worker);
-    for (std::thread &t : pool)
-        t.join();
+    if (firstError)
+        std::rethrow_exception(firstError);
 }
 
 } // namespace nwsim::exp

@@ -36,11 +36,20 @@ class JobPool
 
     /**
      * Run every task; tasks[i] is invoked exactly once, on some worker.
-     * Tasks must not throw (wrap exceptions inside the task) and must
-     * not touch shared mutable state except through their own index.
+     * Tasks must not touch shared mutable state except through their own
+     * index.
+     *
+     * Exception safety: a throwing task does not abort the process or
+     * leave threads dangling. The pool keeps draining remaining tasks,
+     * joins every worker, and then rethrows the first captured exception
+     * on the caller's thread (tasks claimed after the throw still run;
+     * their on_done is still delivered). Campaign-level code still wraps
+     * job bodies so one bad job never throws here — this guarantee is
+     * the backstop for bugs in that wrapping, not a substitute for it.
      *
      * @p on_done, if set, is called after each task finishes with the
      * task's index, serialized under an internal mutex (safe to print).
+     * An exception from on_done itself is captured the same way.
      */
     void run(const std::vector<std::function<void()>> &tasks,
              const std::function<void(size_t)> &on_done = {}) const;

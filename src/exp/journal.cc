@@ -1,0 +1,115 @@
+#include "exp/journal.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "exp/wire.hh"
+
+namespace nwsim::exp
+{
+
+namespace
+{
+
+constexpr const char *kMagic = "nwj1";
+
+/** Checksum input: every token of the record except the checksum. */
+std::string
+checksumPayload(const std::string &workload, const std::string &config,
+                const std::string &status, const std::string &hex)
+{
+    return workload + " " + config + " " + status + " " + hex;
+}
+
+} // namespace
+
+CampaignJournal::CampaignJournal(const std::string &path, bool fresh)
+    : filePath(path),
+      out(path, fresh ? (std::ios::out | std::ios::trunc)
+                      : (std::ios::out | std::ios::app))
+{
+    if (!out)
+        NWSIM_FATAL("cannot open campaign journal ", path);
+}
+
+std::string
+CampaignJournal::formatRecord(const JobOutcome &outcome)
+{
+    const std::string hex = toHex(packJobOutcome(outcome));
+    const std::string payload =
+        checksumPayload(outcome.workload, outcome.configSpec,
+                        jobStatusName(outcome.status), hex);
+    std::ostringstream line;
+    line << kMagic << " " << payload << " " << std::hex
+         << fnv1a64(payload);
+    return line.str();
+}
+
+void
+CampaignJournal::append(const JobOutcome &outcome)
+{
+    // One buffered write then a flush: a crash between records leaves a
+    // valid file, a crash mid-record leaves one torn line that load()
+    // rejects by checksum.
+    out << formatRecord(outcome) << "\n";
+    out.flush();
+}
+
+bool
+CampaignJournal::parseRecord(const std::string &line, JobOutcome &result)
+{
+    std::istringstream in(line);
+    std::string magic, workload, config, status, hex, crc, extra;
+    if (!(in >> magic >> workload >> config >> status >> hex >> crc) ||
+        (in >> extra) || magic != kMagic) {
+        return false;
+    }
+
+    const std::string payload =
+        checksumPayload(workload, config, status, hex);
+    std::ostringstream want;
+    want << std::hex << fnv1a64(payload);
+    if (crc != want.str())
+        return false;
+
+    std::string blob;
+    JobOutcome o;
+    if (!fromHex(hex, blob) || !unpackJobOutcome(blob, o))
+        return false;
+    // The redundant label tokens exist for grep-ability; they must
+    // agree with the packed payload or the record is corrupt.
+    if (o.workload != workload || o.configSpec != config ||
+        status != jobStatusName(o.status)) {
+        return false;
+    }
+    result = std::move(o);
+    return true;
+}
+
+std::vector<JobOutcome>
+CampaignJournal::load(const std::string &path)
+{
+    std::vector<JobOutcome> records;
+    std::ifstream in(path);
+    if (!in)
+        return records;
+
+    std::string line;
+    size_t lineNo = 0, bad = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        if (line.empty())
+            continue;
+        JobOutcome o;
+        if (parseRecord(line, o)) {
+            records.push_back(std::move(o));
+        } else {
+            ++bad;
+            NWSIM_WARN("journal ", path, " line ", lineNo,
+                       ": torn or corrupt record skipped");
+        }
+    }
+    return records;
+}
+
+} // namespace nwsim::exp

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Crash-safe campaign journal: an append-only record file that lets an
+ * interrupted sweep resume without re-running finished jobs.
+ *
+ * One line per terminal job outcome:
+ *
+ *     nwj1 <workload> <config-spec> <status> <hex(packJobOutcome)> <fnv>
+ *
+ * Each record is buffered into a single line and flushed in one write,
+ * and carries an FNV-1a checksum over its payload, so a record is either
+ * wholly present and verifiable or rejected — a sweep killed mid-append
+ * loses at most the in-flight record, never the file. Loading skips
+ * torn/corrupt lines instead of failing, which is exactly the state a
+ * crashed campaign leaves behind.
+ *
+ * `nwsweep --journal FILE` writes one; `--resume` loads it and re-runs
+ * only jobs without a terminal record, merging the journaled outcomes
+ * back in their grid slots so the final ResultSet is bit-identical to an
+ * uninterrupted run (modulo wall-clock fields; docs/ROBUSTNESS.md).
+ */
+
+#ifndef NWSIM_EXP_JOURNAL_HH
+#define NWSIM_EXP_JOURNAL_HH
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "exp/result_set.hh"
+
+namespace nwsim::exp
+{
+
+/** Append-only writer of terminal job outcomes. */
+class CampaignJournal
+{
+  public:
+    /**
+     * Open @p path for appending; @p fresh truncates first (a new
+     * campaign), otherwise existing records are preserved (a resume).
+     * Throws BadInputError if the file cannot be opened.
+     */
+    CampaignJournal(const std::string &path, bool fresh);
+
+    /** Write one terminal record (single buffered write + flush). */
+    void append(const JobOutcome &outcome);
+
+    const std::string &path() const { return filePath; }
+
+    /** Render one record line (without newline); exposed for tests. */
+    static std::string formatRecord(const JobOutcome &outcome);
+
+    /**
+     * Parse one record line; returns false (and leaves @p out alone) on
+     * bad magic, token count, checksum, or payload. Exposed for tests.
+     */
+    static bool parseRecord(const std::string &line, JobOutcome &out);
+
+    /**
+     * Load every valid record of @p path, in file order; torn or
+     * corrupt lines are skipped with a warning. A missing file yields
+     * an empty vector (resuming a campaign that never started is just
+     * a fresh campaign).
+     */
+    static std::vector<JobOutcome> load(const std::string &path);
+
+  private:
+    std::string filePath;
+    std::ofstream out;
+};
+
+} // namespace nwsim::exp
+
+#endif // NWSIM_EXP_JOURNAL_HH

@@ -1,5 +1,7 @@
 #include "exp/result_set.hh"
 
+#include <csignal>
+#include <cstring>
 #include <ostream>
 #include <sstream>
 
@@ -8,6 +10,73 @@
 
 namespace nwsim::exp
 {
+
+const char *
+jobStatusName(JobStatus status)
+{
+    switch (status) {
+      case JobStatus::Ok:
+        return "ok";
+      case JobStatus::Failed:
+        return "failed";
+      case JobStatus::Crashed:
+        return "crashed";
+      case JobStatus::Timeout:
+        return "timeout";
+    }
+    return "?";
+}
+
+const char *
+failKindName(FailKind kind)
+{
+    switch (kind) {
+      case FailKind::None:
+        return "";
+      case FailKind::BadInput:
+        return errorKindName(ErrorKind::BadInput);
+      case FailKind::ResourceLimit:
+        return errorKindName(ErrorKind::ResourceLimit);
+      case FailKind::Internal:
+        return errorKindName(ErrorKind::Internal);
+      case FailKind::Unknown:
+        return "unknown";
+    }
+    return "?";
+}
+
+bool
+failKindRetryable(FailKind kind)
+{
+    // Unclassified exceptions are retried (we can't prove they're
+    // deterministic); the taxonomy kinds follow errorKindRetryable.
+    return kind == FailKind::ResourceLimit || kind == FailKind::Unknown;
+}
+
+std::string
+JobOutcome::statusText() const
+{
+    switch (status) {
+      case JobStatus::Ok:
+        return "ok";
+      case JobStatus::Crashed: {
+        std::ostringstream os;
+        os << "crashed(";
+        if (const char *name = sigabbrev_np(termSignal))
+            os << "SIG" << name;
+        else
+            os << "signal " << termSignal;
+        os << ")";
+        return os.str();
+      }
+      case JobStatus::Timeout:
+        return "timeout";
+      case JobStatus::Failed:
+        return std::string("FAILED[") + failKindName(errorKind) +
+               "]: " + error;
+    }
+    return "?";
+}
 
 ResultSet::ResultSet(std::vector<JobOutcome> outcomes,
                      unsigned workers_used)
@@ -64,8 +133,7 @@ ResultSet::toTable() const
     for (const JobOutcome &o : all) {
         if (!o.ok) {
             t.addRow({o.workload, o.configSpec, "-", "-", "-", "-",
-                      Table::num(o.wallSeconds, 2),
-                      "FAILED: " + o.error});
+                      Table::num(o.wallSeconds, 2), o.statusText()});
             continue;
         }
         const RunResult &r = o.result;
@@ -129,15 +197,17 @@ writeStats(JsonWriter &j, const RunResult &r)
 } // namespace
 
 void
-ResultSet::writeJson(std::ostream &os) const
+ResultSet::writeJson(std::ostream &os, bool include_timing) const
 {
     JsonWriter j(os);
     j.beginObject();
     j.key("campaign").beginObject();
     j.key("jobs").value(static_cast<u64>(all.size()));
     j.key("failed").value(static_cast<u64>(failedCount()));
-    j.key("workers").value(workers);
-    j.key("total_job_seconds").value(totalJobSeconds());
+    if (include_timing) {
+        j.key("workers").value(workers);
+        j.key("total_job_seconds").value(totalJobSeconds());
+    }
     j.endObject();
 
     j.key("results").beginArray();
@@ -146,12 +216,21 @@ ResultSet::writeJson(std::ostream &os) const
         j.key("workload").value(o.workload);
         j.key("config").value(o.configSpec);
         j.key("ok").value(o.ok);
+        j.key("status").value(jobStatusName(o.status));
         j.key("attempts").value(o.attempts);
-        j.key("wall_seconds").value(o.wallSeconds);
-        if (o.ok)
+        if (include_timing)
+            j.key("wall_seconds").value(o.wallSeconds);
+        if (o.ok) {
             writeStats(j, o.result);
-        else
+        } else {
             j.key("error").value(o.error);
+            if (o.errorKind != FailKind::None)
+                j.key("error_kind").value(failKindName(o.errorKind));
+            if (o.termSignal)
+                j.key("term_signal").value(o.termSignal);
+            if (!o.bundlePath.empty())
+                j.key("bundle").value(o.bundlePath);
+        }
         j.endObject();
     }
     j.endArray();
@@ -161,16 +240,16 @@ ResultSet::writeJson(std::ostream &os) const
 void
 ResultSet::writeCsv(std::ostream &os) const
 {
-    os << "workload,config,ok,attempts,wall_seconds,committed,cycles,"
-          "ipc,l1d_miss_rate,l1i_miss_rate,cond_mispredict_rate,"
+    os << "workload,config,ok,status,attempts,wall_seconds,committed,"
+          "cycles,ipc,l1d_miss_rate,l1i_miss_rate,cond_mispredict_rate,"
           "narrow16_pct,narrow33_pct,fluctuation_pct,"
           "power_baseline_mw,power_optimized_mw,power_reduction_pct,"
           "packed_groups,packed_insts,replay_traps\n";
     for (const JobOutcome &o : all) {
         std::ostringstream row;
         row << o.workload << ',' << o.configSpec << ','
-            << (o.ok ? 1 : 0) << ',' << o.attempts << ','
-            << o.wallSeconds << ',';
+            << (o.ok ? 1 : 0) << ',' << jobStatusName(o.status) << ','
+            << o.attempts << ',' << o.wallSeconds << ',';
         if (o.ok) {
             const RunResult &r = o.result;
             row << r.core.committed << ',' << r.core.cycles << ','

@@ -11,11 +11,43 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hh"
 #include "driver/runner.hh"
 #include "driver/table.hh"
 
 namespace nwsim::exp
 {
+
+/** Terminal state of one campaign job. */
+enum class JobStatus : u8
+{
+    Ok,       ///< simulated to completion, stats valid
+    Failed,   ///< threw an exception (see error / errorKind)
+    Crashed,  ///< isolated child died on a fatal signal (termSignal)
+    Timeout,  ///< killed by the wall-clock watchdog
+};
+
+/** Printable status ("ok", "failed", "crashed", "timeout"). */
+const char *jobStatusName(JobStatus status);
+
+/**
+ * Which SimError class a Failed job threw: maps 1:1 onto ErrorKind
+ * plus Unknown for exceptions outside the taxonomy, None when ok.
+ */
+enum class FailKind : u8
+{
+    None,
+    BadInput,
+    ResourceLimit,
+    Internal,
+    Unknown,
+};
+
+/** Printable kind ("", "bad-input", ..., "unknown"). */
+const char *failKindName(FailKind kind);
+
+/** True if a job that failed this way might succeed on retry. */
+bool failKindRetryable(FailKind kind);
 
 /** What happened to one job: its stats on success, why it failed if not. */
 struct JobOutcome
@@ -23,16 +55,25 @@ struct JobOutcome
     std::string workload;
     std::string configSpec;
     bool ok = false;
+    JobStatus status = JobStatus::Failed;
+    /** SimError classification of a Failed job (None when ok). */
+    FailKind errorKind = FailKind::None;
+    /** Fatal signal that killed an isolated job (0 = none). */
+    int termSignal = 0;
     /** Attempts consumed (1 = first try succeeded). */
     unsigned attempts = 0;
     /** Exception message of the final failed attempt. */
     std::string error;
+    /** Reproducer bundle directory written for this fault ("" = none). */
+    std::string bundlePath;
     /** Wall-clock of the successful (or last) attempt, seconds. */
     double wallSeconds = 0.0;
     /** Simulation statistics; meaningful only when ok. */
     RunResult result;
 
     std::string label() const { return workload + "/" + configSpec; }
+    /** Status cell for tables/progress ("crashed(SIGSEGV)", ...). */
+    std::string statusText() const;
 };
 
 /** Ordered (by job index) outcomes of one campaign run. */
@@ -62,8 +103,13 @@ class ResultSet
     /** Headline-stat table, one row per job. */
     Table toTable() const;
 
-    /** Full statistics as a JSON document. */
-    void writeJson(std::ostream &os) const;
+    /**
+     * Full statistics as a JSON document. With @p include_timing false,
+     * wall-clock and worker-count fields are omitted so two runs of the
+     * same grid — including a journal-resumed run — produce bit-identical
+     * documents (the resume drill in docs/ROBUSTNESS.md relies on it).
+     */
+    void writeJson(std::ostream &os, bool include_timing = true) const;
 
     /** Headline stats as CSV, one row per job. */
     void writeCsv(std::ostream &os) const;

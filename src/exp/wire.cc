@@ -1,0 +1,361 @@
+#include "exp/wire.hh"
+
+#include <bit>
+#include <cstring>
+
+namespace nwsim::exp
+{
+
+namespace
+{
+
+constexpr u8 kWireVersion = 1;
+
+/** Little-endian primitive encoder. */
+class ByteSink
+{
+  public:
+    void
+    u8v(u8 v)
+    {
+        bytes.push_back(static_cast<char>(v));
+    }
+
+    void
+    u64v(u64 v)
+    {
+        for (int i = 0; i < 8; ++i)
+            bytes.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+
+    void
+    f64v(double v)
+    {
+        u64v(std::bit_cast<u64>(v));
+    }
+
+    void
+    str(const std::string &s)
+    {
+        u64v(s.size());
+        bytes.append(s);
+    }
+
+    std::string take() { return std::move(bytes); }
+
+  private:
+    std::string bytes;
+};
+
+/** Little-endian primitive decoder; all reads fail-stop on underrun. */
+class ByteSource
+{
+  public:
+    explicit ByteSource(std::string_view view) : data(view) {}
+
+    bool
+    u8v(u8 &v)
+    {
+        if (pos + 1 > data.size())
+            return fail();
+        v = static_cast<u8>(data[pos++]);
+        return true;
+    }
+
+    bool
+    u64v(u64 &v)
+    {
+        if (pos + 8 > data.size())
+            return fail();
+        v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<u64>(static_cast<u8>(data[pos + i]))
+                 << (8 * i);
+        pos += 8;
+        return true;
+    }
+
+    bool
+    f64v(double &v)
+    {
+        u64 bits = 0;
+        if (!u64v(bits))
+            return false;
+        v = std::bit_cast<double>(bits);
+        return true;
+    }
+
+    bool
+    str(std::string &s)
+    {
+        u64 n = 0;
+        if (!u64v(n) || pos + n > data.size())
+            return fail();
+        s.assign(data.substr(pos, n));
+        pos += n;
+        return true;
+    }
+
+    bool exhausted() const { return ok_ && pos == data.size(); }
+    bool ok() const { return ok_; }
+
+  private:
+    bool
+    fail()
+    {
+        ok_ = false;
+        return false;
+    }
+
+    std::string_view data;
+    size_t pos = 0;
+    bool ok_ = true;
+};
+
+void
+packRunResult(ByteSink &s, const RunResult &r)
+{
+    s.str(r.workload);
+    s.str(r.configName);
+    s.u64v(r.warmupCommitted);
+    s.u64v(r.measuredCommitted);
+
+    const CoreStats &c = r.core;
+    s.u64v(c.cycles);
+    s.u64v(c.fetched);
+    s.u64v(c.dispatched);
+    s.u64v(c.issued);
+    s.u64v(c.committed);
+    s.u64v(c.squashed);
+    s.u64v(c.mispredictSquashes);
+    s.u64v(c.loadsForwarded);
+    s.u64v(c.windowFullStalls);
+    s.u64v(c.issueLimitedCycles);
+    s.u64v(c.readyOpsSum);
+
+    const GatingStats &g = r.gating;
+    s.u64v(g.ops);
+    s.u64v(g.gated16);
+    s.u64v(g.gated33);
+    s.u64v(g.gatedLoadSourced);
+    s.u64v(g.blockedByLoad);
+    s.f64v(g.baselineMwSum);
+    s.f64v(g.gatedMwSum);
+    s.f64v(g.overheadMwSum);
+    s.f64v(g.saved16MwSum);
+    s.f64v(g.saved33MwSum);
+
+    const PackingStats &p = r.packing;
+    s.u64v(p.packedGroups);
+    s.u64v(p.packedInsts);
+    s.u64v(p.replaySpeculations);
+    s.u64v(p.replayTraps);
+    s.u64v(p.packEligibleIssued);
+
+    const BPredStats &b = r.bpred;
+    s.u64v(b.lookups);
+    s.u64v(b.condLookups);
+    s.u64v(b.condDirectionWrong);
+    s.u64v(b.targetWrong);
+
+    const WidthProfilerSnapshot w = r.profiler.snapshot();
+    s.u64v(w.opCount);
+    for (u64 h : w.widthHist)
+        s.u64v(h);
+    for (u64 n : w.narrow16ByCat)
+        s.u64v(n);
+    for (u64 n : w.narrow33ByCat)
+        s.u64v(n);
+    s.u64v(w.pcWidthSeen.size());
+    for (const auto &[pc, seen] : w.pcWidthSeen) {
+        s.u64v(pc);
+        s.u8v(seen);
+    }
+
+    s.f64v(r.l1dMissRate);
+    s.f64v(r.l1iMissRate);
+}
+
+bool
+unpackRunResult(ByteSource &s, RunResult &r)
+{
+    s.str(r.workload);
+    s.str(r.configName);
+    s.u64v(r.warmupCommitted);
+    s.u64v(r.measuredCommitted);
+
+    CoreStats &c = r.core;
+    s.u64v(c.cycles);
+    s.u64v(c.fetched);
+    s.u64v(c.dispatched);
+    s.u64v(c.issued);
+    s.u64v(c.committed);
+    s.u64v(c.squashed);
+    s.u64v(c.mispredictSquashes);
+    s.u64v(c.loadsForwarded);
+    s.u64v(c.windowFullStalls);
+    s.u64v(c.issueLimitedCycles);
+    s.u64v(c.readyOpsSum);
+
+    GatingStats &g = r.gating;
+    s.u64v(g.ops);
+    s.u64v(g.gated16);
+    s.u64v(g.gated33);
+    s.u64v(g.gatedLoadSourced);
+    s.u64v(g.blockedByLoad);
+    s.f64v(g.baselineMwSum);
+    s.f64v(g.gatedMwSum);
+    s.f64v(g.overheadMwSum);
+    s.f64v(g.saved16MwSum);
+    s.f64v(g.saved33MwSum);
+
+    PackingStats &p = r.packing;
+    s.u64v(p.packedGroups);
+    s.u64v(p.packedInsts);
+    s.u64v(p.replaySpeculations);
+    s.u64v(p.replayTraps);
+    s.u64v(p.packEligibleIssued);
+
+    BPredStats &b = r.bpred;
+    s.u64v(b.lookups);
+    s.u64v(b.condLookups);
+    s.u64v(b.condDirectionWrong);
+    s.u64v(b.targetWrong);
+
+    WidthProfilerSnapshot w;
+    s.u64v(w.opCount);
+    for (u64 &h : w.widthHist)
+        s.u64v(h);
+    for (u64 &n : w.narrow16ByCat)
+        s.u64v(n);
+    for (u64 &n : w.narrow33ByCat)
+        s.u64v(n);
+    u64 pcs = 0;
+    if (s.u64v(pcs)) {
+        w.pcWidthSeen.reserve(pcs);
+        for (u64 i = 0; i < pcs && s.ok(); ++i) {
+            u64 pc = 0;
+            u8 seen = 0;
+            s.u64v(pc);
+            s.u8v(seen);
+            w.pcWidthSeen.emplace_back(pc, seen);
+        }
+    }
+    r.profiler = WidthProfiler::fromSnapshot(w);
+
+    s.f64v(r.l1dMissRate);
+    s.f64v(r.l1iMissRate);
+    return s.ok();
+}
+
+} // namespace
+
+std::string
+packJobOutcome(const JobOutcome &outcome)
+{
+    ByteSink s;
+    s.u8v(kWireVersion);
+    s.str(outcome.workload);
+    s.str(outcome.configSpec);
+    s.u8v(outcome.ok ? 1 : 0);
+    s.u8v(static_cast<u8>(outcome.status));
+    s.u8v(static_cast<u8>(outcome.errorKind));
+    s.u64v(static_cast<u64>(outcome.termSignal));
+    s.u64v(outcome.attempts);
+    s.str(outcome.error);
+    s.str(outcome.bundlePath);
+    s.f64v(outcome.wallSeconds);
+    if (outcome.ok)
+        packRunResult(s, outcome.result);
+    return s.take();
+}
+
+bool
+unpackJobOutcome(std::string_view blob, JobOutcome &out)
+{
+    ByteSource s(blob);
+    u8 version = 0;
+    if (!s.u8v(version) || version != kWireVersion)
+        return false;
+
+    JobOutcome o;
+    u8 ok8 = 0, status8 = 0, kind8 = 0;
+    u64 sig = 0, attempts = 0;
+    s.str(o.workload);
+    s.str(o.configSpec);
+    s.u8v(ok8);
+    s.u8v(status8);
+    s.u8v(kind8);
+    s.u64v(sig);
+    s.u64v(attempts);
+    s.str(o.error);
+    s.str(o.bundlePath);
+    s.f64v(o.wallSeconds);
+    if (!s.ok() || status8 > static_cast<u8>(JobStatus::Timeout) ||
+        kind8 > static_cast<u8>(FailKind::Unknown)) {
+        return false;
+    }
+    o.ok = ok8 != 0;
+    o.status = static_cast<JobStatus>(status8);
+    o.errorKind = static_cast<FailKind>(kind8);
+    o.termSignal = static_cast<int>(sig);
+    o.attempts = static_cast<unsigned>(attempts);
+    if (o.ok && !unpackRunResult(s, o.result))
+        return false;
+    if (!s.exhausted())
+        return false;
+    out = std::move(o);
+    return true;
+}
+
+std::string
+toHex(std::string_view bytes)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(bytes.size() * 2);
+    for (char c : bytes) {
+        const u8 b = static_cast<u8>(c);
+        out.push_back(digits[b >> 4]);
+        out.push_back(digits[b & 0xf]);
+    }
+    return out;
+}
+
+bool
+fromHex(std::string_view hex, std::string &bytes)
+{
+    auto nibble = [](char c) -> int {
+        if (c >= '0' && c <= '9')
+            return c - '0';
+        if (c >= 'a' && c <= 'f')
+            return c - 'a' + 10;
+        return -1;
+    };
+    if (hex.size() % 2)
+        return false;
+    std::string out;
+    out.reserve(hex.size() / 2);
+    for (size_t i = 0; i < hex.size(); i += 2) {
+        const int hi = nibble(hex[i]);
+        const int lo = nibble(hex[i + 1]);
+        if (hi < 0 || lo < 0)
+            return false;
+        out.push_back(static_cast<char>((hi << 4) | lo));
+    }
+    bytes = std::move(out);
+    return true;
+}
+
+u64
+fnv1a64(std::string_view bytes)
+{
+    u64 hash = 0xcbf29ce484222325ULL;
+    for (char c : bytes) {
+        hash ^= static_cast<u8>(c);
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+} // namespace nwsim::exp

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Byte-exact (de)serialization of campaign job outcomes.
+ *
+ * Two consumers, one format:
+ *  - process-isolated jobs: the forked child packs its JobOutcome and
+ *    writes it up a pipe; the parent unpacks it (exp/isolate.cc), and
+ *  - the campaign journal: each record embeds the packed outcome in
+ *    hex so `nwsweep --resume` reconstructs a finished job exactly
+ *    (exp/journal.cc).
+ *
+ * Every numeric field is encoded explicitly (u64 little-endian, doubles
+ * bit-cast), never memcpy'd as a struct, so the encoding is independent
+ * of padding and byte-stable across builds — the resume drill's
+ * bit-identical-JSON guarantee rests on this.
+ */
+
+#ifndef NWSIM_EXP_WIRE_HH
+#define NWSIM_EXP_WIRE_HH
+
+#include <string>
+#include <string_view>
+
+#include "exp/result_set.hh"
+
+namespace nwsim::exp
+{
+
+/** Serialize a full JobOutcome (including RunResult when ok). */
+std::string packJobOutcome(const JobOutcome &outcome);
+
+/**
+ * Rebuild a JobOutcome from packJobOutcome bytes.
+ * @return false (leaving @p out untouched) on truncation, trailing
+ * garbage, or a version mismatch — a torn journal record or a child
+ * that died mid-write must not produce a half-filled outcome.
+ */
+bool unpackJobOutcome(std::string_view blob, JobOutcome &out);
+
+/** Lower-case hex of @p bytes (journal-safe single token). */
+std::string toHex(std::string_view bytes);
+
+/** Decode toHex output; false on odd length or non-hex characters. */
+bool fromHex(std::string_view hex, std::string &bytes);
+
+/** FNV-1a 64-bit hash (journal record checksums). */
+u64 fnv1a64(std::string_view bytes);
+
+} // namespace nwsim::exp
+
+#endif // NWSIM_EXP_WIRE_HH

@@ -36,6 +36,14 @@ struct CoreConfig
     /** Use the oracle fetch engine instead of the combining predictor. */
     bool perfectBPred = false;
     /**
+     * Forward-progress watchdog: cycles without a commit before run()
+     * throws DeadlockError with an occupancy diagnostic (0 = disabled).
+     * The default is far above any legitimate commit gap (worst-case
+     * chained memory latency is ~100 cycles), so it only fires on real
+     * scheduler/wakeup bugs.
+     */
+    Cycle watchdogCycles = 100000;
+    /**
      * PowerPC-603-style early-out integer multiply (paper Section 2.3):
      * leading-zero/one detection on the input operands shortens the
      * multiply latency when both operands are narrow — another consumer

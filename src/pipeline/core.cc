@@ -1,6 +1,10 @@
 #include "pipeline/core.hh"
 
+#include <sstream>
+
+#include "common/error.hh"
 #include "common/logging.hh"
+#include "isa/disasm.hh"
 #include "isa/encode.hh"
 
 namespace nwsim
@@ -55,9 +59,9 @@ u64
 OutOfOrderCore::run(u64 max_commits)
 {
     const u64 start = stat.committed;
-    // Watchdog: this many cycles without a commit indicates a simulator
-    // bug (deadlock), not a slow program.
-    const Cycle watchdog_limit = 100000;
+    // Forward-progress watchdog: this many cycles without a commit
+    // indicates a simulator bug (deadlock), not a slow program.
+    const Cycle watchdog_limit = cfg.watchdogCycles;
     Cycle last_commit_cycle = curCycle;
     u64 last_commits = stat.committed;
     while (!simDone && stat.committed - start < max_commits) {
@@ -72,13 +76,41 @@ OutOfOrderCore::run(u64 max_commits)
         if (stat.committed != last_commits) {
             last_commits = stat.committed;
             last_commit_cycle = curCycle;
-        } else if (curCycle - last_commit_cycle > watchdog_limit) {
-            NWSIM_PANIC("no commit for ", watchdog_limit,
-                        " cycles at pc ", fetchPc);
+        } else if (watchdog_limit &&
+                   curCycle - last_commit_cycle > watchdog_limit) {
+            commitBudget = ~u64{0};
+            throw DeadlockError(deadlockDiagnostic(watchdog_limit));
         }
     }
     commitBudget = ~u64{0};
     return stat.committed - start;
+}
+
+std::string
+OutOfOrderCore::deadlockDiagnostic(Cycle stalled_cycles) const
+{
+    static const char *const state_names[] = {"dispatched", "issued",
+                                              "completed"};
+    std::ostringstream d;
+    d << "pipeline deadlock: no commit for " << stalled_cycles
+      << " cycles at cycle " << curCycle << "\n  fetch pc 0x" << std::hex
+      << fetchPc << std::dec << (fetchHalted ? " (halted)" : "")
+      << ", RUU " << window.size() << "/" << cfg.ruuSize << ", LSQ "
+      << lsqCount << "/" << cfg.lsqSize << ", fetch queue "
+      << fetchQueue.size() << "/" << cfg.fetchQueueSize
+      << ", pending completions " << completions.size();
+    if (!window.empty()) {
+        const RuuEntry &head = window.front();
+        d << "\n  oldest in flight: seq " << head.seq << " pc 0x"
+          << std::hex << head.pc << std::dec << " ["
+          << state_names[static_cast<unsigned>(head.state)] << "] "
+          << disassemble(head.inst) << " aReady=" << head.aReady
+          << " bReady=" << head.bReady;
+        if (head.isMem)
+            d << " mem(ea=0x" << std::hex << head.effAddr << std::dec
+              << (head.isSt ? ",store" : ",load") << ")";
+    }
+    return d.str();
 }
 
 u64

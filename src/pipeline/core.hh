@@ -26,6 +26,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/cache_gating.hh"
@@ -70,6 +71,8 @@ class OutOfOrderCore
 
     /**
      * Run until HALT commits or @p max_commits more instructions commit.
+     * Throws DeadlockError with an occupancy diagnostic if no
+     * instruction commits for CoreConfig::watchdogCycles cycles.
      * @return number of instructions committed by this call.
      */
     u64 run(u64 max_commits);
@@ -97,9 +100,16 @@ class OutOfOrderCore
     /**
      * Attach (or clear, with nullptr) a non-owning microarchitectural
      * observer. The observer must outlive its attachment; src/check's
-     * oracle and invariant checker connect here.
+     * oracle and invariant checker connect here, as does the campaign
+     * engine's FlightRecorder.
      */
-    void setObserver(CoreObserver *obs) { observer = obs; }
+    void
+    setObserver(CoreObserver *obs)
+    {
+        observer = obs;
+        if (observer)
+            observer->onAttach(*this);
+    }
 
     /**
      * Read-only view of the in-flight window (fetch order, contiguous
@@ -150,6 +160,8 @@ class OutOfOrderCore
     u64 speculativeLoadValue(Addr addr, unsigned size, InstSeq before);
     bool loadBlocked(const RuuEntry &e, bool &forwarded);
     void wakeDependents(InstSeq producer_seq);
+    /** Occupancy report for the watchdog's DeadlockError. */
+    std::string deadlockDiagnostic(Cycle stalled_cycles) const;
     void squashAfter(InstSeq seq);
     void undoEntry(RuuEntry &e);
     void scheduleCompletion(InstSeq seq, Cycle when);

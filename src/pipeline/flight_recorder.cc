@@ -1,0 +1,102 @@
+#include "pipeline/flight_recorder.hh"
+
+#include <sstream>
+
+#include "pipeline/core.hh"
+
+namespace nwsim
+{
+
+FlightRecorder::FlightRecorder(size_t capacity)
+    : cap(capacity ? capacity : 1)
+{
+    ring.reserve(cap);
+}
+
+void
+FlightRecorder::push(TraceStage stage, const RuuEntry &e)
+{
+    TraceEvent ev;
+    ev.cycle = clock ? clock->now() : 0;
+    ev.stage = stage;
+    ev.seq = e.seq;
+    ev.pc = e.pc;
+    ev.inst = e.inst;
+    ev.packed = e.packed;
+    if (ring.size() < cap) {
+        ring.push_back(ev);
+    } else {
+        ring[next] = ev;
+        next = (next + 1) % cap;
+    }
+    ++seen;
+}
+
+std::vector<TraceEvent>
+FlightRecorder::events() const
+{
+    std::vector<TraceEvent> out;
+    out.reserve(ring.size());
+    // `next` is the oldest slot once the ring has wrapped.
+    for (size_t i = 0; i < ring.size(); ++i)
+        out.push_back(ring[(next + i) % ring.size()]);
+    return out;
+}
+
+std::string
+FlightRecorder::dump() const
+{
+    std::ostringstream os;
+    os << "# flight recorder: last " << ring.size() << " of " << seen
+       << " pipeline events\n";
+    for (const TraceEvent &ev : events())
+        os << formatTraceEvent(ev) << "\n";
+    return os.str();
+}
+
+void
+FlightRecorder::clear()
+{
+    ring.clear();
+    next = 0;
+    seen = 0;
+}
+
+void
+FlightRecorder::onDispatch(const RuuEntry &e)
+{
+    push(TraceStage::Dispatch, e);
+}
+
+void
+FlightRecorder::onIssue(const RuuEntry &e)
+{
+    push(TraceStage::Issue, e);
+}
+
+void
+FlightRecorder::onReplayDecision(const RuuEntry &e, bool trapped)
+{
+    if (trapped)
+        push(TraceStage::Replay, e);
+}
+
+void
+FlightRecorder::onComplete(const RuuEntry &e)
+{
+    push(TraceStage::Complete, e);
+}
+
+void
+FlightRecorder::onCommit(const RuuEntry &e)
+{
+    push(TraceStage::Commit, e);
+}
+
+void
+FlightRecorder::onSquash(const RuuEntry &e)
+{
+    push(TraceStage::Squash, e);
+}
+
+} // namespace nwsim

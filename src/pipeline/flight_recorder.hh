@@ -1,0 +1,76 @@
+/**
+ * @file
+ * FlightRecorder: a fixed-size ring buffer of recent pipeline events,
+ * kept for free during normal runs and dumped when a run dies.
+ *
+ * It attaches through the CoreObserver hook (the same mechanism the
+ * cosim oracle and invariant checker use), records the last K
+ * dispatch/issue/complete/commit/squash/replay events, and renders them
+ * with the TraceEvent formatter on demand. The campaign engine attaches
+ * one per job and folds its dump into the reproducer bundle when the job
+ * crashes, deadlocks, or times out — so every fault ships with the
+ * pipeline's final moments (docs/ROBUSTNESS.md).
+ */
+
+#ifndef NWSIM_PIPELINE_FLIGHT_RECORDER_HH
+#define NWSIM_PIPELINE_FLIGHT_RECORDER_HH
+
+#include <string>
+#include <vector>
+
+#include "pipeline/observer.hh"
+#include "pipeline/trace.hh"
+
+namespace nwsim
+{
+
+class OutOfOrderCore;
+
+/** Ring-buffer observer of the last K pipeline events. */
+class FlightRecorder : public CoreObserver
+{
+  public:
+    /** @p capacity events retained (oldest evicted first). */
+    explicit FlightRecorder(size_t capacity = 256);
+
+    /**
+     * Use @p core's cycle counter to timestamp events (the observer
+     * callbacks don't carry the cycle). Called automatically by
+     * OutOfOrderCore::setObserver; without a clock, events record
+     * cycle 0.
+     */
+    void onAttach(const OutOfOrderCore &core) override { clock = &core; }
+
+    /** Events recorded since construction (may exceed capacity). */
+    u64 eventsSeen() const { return seen; }
+
+    /** Retained events, oldest first. */
+    std::vector<TraceEvent> events() const;
+
+    /** Render the retained events, one formatTraceEvent line each. */
+    std::string dump() const;
+
+    /** Forget everything (e.g. at the warmup/measure boundary). */
+    void clear();
+
+    // ---- CoreObserver ---------------------------------------------------
+    void onDispatch(const RuuEntry &e) override;
+    void onIssue(const RuuEntry &e) override;
+    void onReplayDecision(const RuuEntry &e, bool trapped) override;
+    void onComplete(const RuuEntry &e) override;
+    void onCommit(const RuuEntry &e) override;
+    void onSquash(const RuuEntry &e) override;
+
+  private:
+    void push(TraceStage stage, const RuuEntry &e);
+
+    std::vector<TraceEvent> ring;
+    size_t cap;
+    size_t next = 0;
+    u64 seen = 0;
+    const OutOfOrderCore *clock = nullptr;
+};
+
+} // namespace nwsim
+
+#endif // NWSIM_PIPELINE_FLIGHT_RECORDER_HH

@@ -21,6 +21,8 @@
 namespace nwsim
 {
 
+class OutOfOrderCore;
+
 /**
  * Callbacks fired by the core's pipeline stages. All entry references
  * are valid only for the duration of the call. Default implementations
@@ -30,6 +32,12 @@ class CoreObserver
 {
   public:
     virtual ~CoreObserver() = default;
+
+    /**
+     * Fired by OutOfOrderCore::setObserver so the observer can capture
+     * the core it watches (e.g. FlightRecorder's cycle clock).
+     */
+    virtual void onAttach(const OutOfOrderCore &) {}
 
     /** Entry allocated into the RUU (after execute-at-dispatch). */
     virtual void onDispatch(const RuuEntry &) {}

@@ -4,6 +4,7 @@
 
 #include "asm/assembler.hh"
 #include "asm/textasm.hh"
+#include "common/error.hh"
 #include "common/rng.hh"
 #include "func/func_sim.hh"
 #include "mem/sparse_memory.hh"
@@ -135,26 +136,30 @@ TEST(Assembler, StoreLoadRoundTrip)
     EXPECT_EQ(got, 0x5566u + (0x11ull << 17));
 }
 
-TEST(Assembler, DuplicateLabelDies)
+TEST(Assembler, DuplicateLabelThrows)
 {
     Assembler as;
     as.label("x");
-    EXPECT_EXIT(
-        {
-            as.label("x");
-        },
-        ::testing::ExitedWithCode(1), "duplicate label");
+    try {
+        as.label("x");
+        FAIL() << "expected BadInputError";
+    } catch (const BadInputError &e) {
+        EXPECT_NE(std::string(e.what()).find("duplicate label"),
+                  std::string::npos);
+    }
 }
 
-TEST(Assembler, UndefinedLabelDies)
+TEST(Assembler, UndefinedLabelThrows)
 {
     Assembler as;
     as.br("nowhere");
-    EXPECT_EXIT(
-        {
-            as.assemble();
-        },
-        ::testing::ExitedWithCode(1), "undefined label");
+    try {
+        as.assemble();
+        FAIL() << "expected BadInputError";
+    } catch (const BadInputError &e) {
+        EXPECT_NE(std::string(e.what()).find("undefined label"),
+                  std::string::npos);
+    }
 }
 
 TEST(TextAsm, FullProgram)

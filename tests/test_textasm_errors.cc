@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "asm/textasm.hh"
+#include "common/error.hh"
 #include "common/rng.hh"
 #include "isa/disasm.hh"
 #include "isa/encode.hh"
@@ -17,14 +18,23 @@ namespace nwsim
 namespace
 {
 
+/**
+ * Malformed assembly must throw BadInputError (the bad-input class of
+ * the SimError taxonomy) with the diagnostic in the message — not kill
+ * the process, so campaign jobs survive bad generated programs.
+ */
 void
 expectSyntaxError(const char *src, const char *message)
 {
-    EXPECT_EXIT(
-        {
-            assembleText(src);
-        },
-        ::testing::ExitedWithCode(1), message);
+    try {
+        assembleText(src);
+        FAIL() << "expected BadInputError mentioning \"" << message
+               << "\"";
+    } catch (const BadInputError &e) {
+        EXPECT_NE(std::string(e.what()).find(message), std::string::npos)
+            << "diagnostic \"" << e.what() << "\" lacks \"" << message
+            << "\"";
+    }
 }
 
 TEST(TextAsmErrors, UnknownMnemonic)

@@ -23,8 +23,11 @@
  *                      yield a reproducer — exercising the entire
  *                      catch-and-shrink loop on purpose
  *
- * Exit status: 0 when every case behaved as expected (clean normally,
- * caught-and-shrunk under --inject-fault), 1 otherwise.
+ * Exit status (docs/ROBUSTNESS.md): 0 when every case behaved as
+ * expected (clean normally, caught-and-shrunk under --inject-fault);
+ * 4 when a case diverged under the checkers (or an injected fault
+ * escaped them); 2 on usage errors; 3 on bad input; 7 on an internal
+ * simulator error.
  */
 
 #include <filesystem>
@@ -33,6 +36,7 @@
 #include <string>
 
 #include "check/fuzz.hh"
+#include "common/error.hh"
 
 using namespace nwsim;
 
@@ -44,7 +48,7 @@ usage()
 {
     std::cerr << "usage: nwfuzz [--seeds N] [--seed-base N] [--ops N]\n"
               << "              [--iters N] [--out DIR] [--inject-fault]\n";
-    return 2;
+    return exitcode::Usage;
 }
 
 /** Write the golden view of a shrunk case as a replayable .s file. */
@@ -63,10 +67,8 @@ writeReproducer(const FuzzCase &fc, const std::string &out_dir,
     return path;
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+runMain(int argc, char **argv)
 {
     u64 seeds = 64;
     u64 seed_base = 1;
@@ -79,7 +81,7 @@ main(int argc, char **argv)
         auto next = [&]() -> std::string {
             if (i + 1 >= argc) {
                 usage();
-                std::exit(2);
+                std::exit(exitcode::Usage);
             }
             return argv[++i];
         };
@@ -150,7 +152,7 @@ main(int argc, char **argv)
         if (escaped)
             std::cout << ", " << escaped << " ESCAPED";
         std::cout << "\n";
-        return escaped ? 1 : 0;
+        return escaped ? exitcode::CheckDivergence : 0;
     }
     std::cout << "nwfuzz: " << clean << "/" << seeds
               << " seeds clean across " << matrix.size() << " configs";
@@ -158,5 +160,22 @@ main(int argc, char **argv)
         std::cout << ", " << failed << " FAILED (reproducers in "
                   << out_dir << ")";
     std::cout << "\n";
-    return failed ? 1 : 0;
+    return failed ? exitcode::CheckDivergence : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return runMain(argc, argv);
+    } catch (const SimError &e) {
+        std::cerr << "nwfuzz: " << errorKindName(e.kind()) << ": "
+                  << e.what() << "\n";
+        return e.exitCode();
+    } catch (const std::exception &e) {
+        std::cerr << "nwfuzz: internal error: " << e.what() << "\n";
+        return exitcode::Internal;
+    }
 }

@@ -9,8 +9,12 @@
  *         Simulate a built-in workload or an assembly source file.
  *
  * Options:
- *     --config NAME     baseline | packing | packing-replay | issue8
- *                       (default: baseline)
+ *     --config SPEC     a full campaign config spec: base preset
+ *                       (baseline | packing | packing-replay | issue8)
+ *                       plus +modifiers, e.g. packing-replay+decode8
+ *                       (default: baseline) — same grammar as nwsweep,
+ *                       so a reproducer bundle's replay line pastes
+ *                       straight into nwsim
  *     --decode8         widen fetch/decode to 8 (Section 5.4)
  *     --perfect-bp      perfect branch prediction (oracle fetch)
  *     --early-out-mult  PPC603-style early-out multiplies
@@ -20,8 +24,12 @@
  *     --trace           print a per-event pipeline trace (small runs!)
  *     --csv             machine-readable stats (key,value lines)
  *     --check           run under the lockstep cosim oracle and the
- *                       invariant checker (docs/CHECKING.md); exit 1
- *                       with a first-divergence report on any mismatch
+ *                       invariant checker (docs/CHECKING.md); print a
+ *                       first-divergence report on any mismatch
+ *
+ * Exit status (docs/ROBUSTNESS.md): 0 ok; 2 usage; 3 bad input
+ * (unknown workload/config, malformed assembly); 4 check divergence;
+ * 7 internal simulator error (panic, deadlock watchdog).
  */
 
 #include <fstream>
@@ -31,10 +39,11 @@
 
 #include "asm/textasm.hh"
 #include "check/session.hh"
+#include "common/error.hh"
 #include "common/logging.hh"
-#include "driver/presets.hh"
 #include "driver/runner.hh"
 #include "driver/table.hh"
+#include "exp/configs.hh"
 #include "workloads/kernels.hh"
 
 using namespace nwsim;
@@ -47,11 +56,11 @@ usage()
 {
     std::cerr
         << "usage: nwsim list\n"
-        << "       nwsim run <workload|file.s> [--config NAME]\n"
+        << "       nwsim run <workload|file.s> [--config SPEC]\n"
         << "                 [--decode8] [--perfect-bp]\n"
         << "                 [--early-out-mult] [--warmup N]\n"
         << "                 [--measure N] [--trace] [--csv] [--check]\n";
-    return 2;
+    return exitcode::Usage;
 }
 
 int
@@ -141,10 +150,8 @@ report(const RunResult &r, bool csv)
               << r.packing.replayTraps << " replay traps\n";
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+runMain(int argc, char **argv)
 {
     if (argc < 2)
         return usage();
@@ -164,7 +171,7 @@ main(int argc, char **argv)
         auto next = [&]() -> std::string {
             if (i + 1 >= argc) {
                 usage();
-                std::exit(2);
+                std::exit(exitcode::Usage);
             }
             return argv[++i];
         };
@@ -190,20 +197,16 @@ main(int argc, char **argv)
             return usage();
     }
 
-    CoreConfig cfg;
-    if (config_name == "baseline")
-        cfg = presets::baseline(perfect);
-    else if (config_name == "packing")
-        cfg = presets::packing(false, perfect);
-    else if (config_name == "packing-replay")
-        cfg = presets::packing(true, perfect);
-    else if (config_name == "issue8")
-        cfg = presets::issue8(perfect);
-    else
-        return usage();
+    // --config accepts the campaign spec grammar; the legacy flags
+    // compose onto it as the equivalent modifiers.
+    std::string spec = config_name;
     if (decode8)
-        cfg = presets::decode8(cfg);
-    cfg.earlyOutMultiply = early_out;
+        spec += "+decode8";
+    if (perfect)
+        spec += "+perfect";
+    if (early_out)
+        spec += "+earlyout";
+    const CoreConfig cfg = exp::configBySpec(spec);
 
     const Program prog = loadProgram(target);
 
@@ -229,7 +232,7 @@ main(int argc, char **argv)
                 std::cerr << "CHECK FAILED on " << target << " ("
                           << config_name << "):\n"
                           << session->report();
-                return 1;
+                return exitcode::CheckDivergence;
             }
             std::cerr << "check: " << session->oracle()->commitsChecked()
                       << " commits verified in lockstep, invariants "
@@ -246,7 +249,7 @@ main(int argc, char **argv)
             std::cerr << "CHECK FAILED on " << target << " ("
                       << config_name << "):\n"
                       << out.report;
-            return 1;
+            return exitcode::CheckDivergence;
         }
         std::cerr << "check: " << out.commitsChecked
                   << " commits verified in lockstep, invariants clean\n";
@@ -256,4 +259,21 @@ main(int argc, char **argv)
 
     report(runProgram(prog, cfg, opts, target, config_name), csv);
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return runMain(argc, argv);
+    } catch (const SimError &e) {
+        std::cerr << "nwsim: " << errorKindName(e.kind()) << ": "
+                  << e.what() << "\n";
+        return e.exitCode();
+    } catch (const std::exception &e) {
+        std::cerr << "nwsim: internal error: " << e.what() << "\n";
+        return exitcode::Internal;
+    }
 }

@@ -6,6 +6,10 @@
  *     nwsweep [--suite spec|media|all|smoke] [--workloads a,b,c]
  *             [--configs spec,spec,...] [--jobs N]
  *             [--json FILE] [--csv FILE] [--warmup N] [--measure N]
+ *             [--isolate] [--timeout SECS] [--retries N]
+ *             [--backoff SECS] [--bundle-dir DIR]
+ *             [--journal FILE] [--resume] [--json-no-timing]
+ *             [--inject-fault hang|crash|oom[,...]]
  *             [--no-progress] [--list-configs]
  *
  * Defaults: --suite all, --configs baseline,packing,packing-replay,issue8
@@ -14,16 +18,34 @@
  * The --suite smoke preset is a tiny 2x2 grid with short windows, used
  * by ctest to exercise the parallel path.
  *
- * Exit status: 0 if every job succeeded, 1 if any failed, 2 on usage
- * errors.
+ * Robustness (docs/ROBUSTNESS.md):
+ *   --isolate      fork one child per job: crashes/hangs become recorded
+ *                  `crashed(SIG...)` / `timeout` outcomes, siblings run on
+ *   --timeout S    per-job wall-clock watchdog (implies --isolate)
+ *   --journal F    append-only crash-safe record of terminal outcomes
+ *   --resume       skip jobs already journaled; merged results are
+ *                  bit-identical to an uninterrupted run (--json-no-timing)
+ *   --bundle-dir D reproducer bundles (MANIFEST + flight-recorder events)
+ *   --inject-fault self-test: adds deliberately faulting jobs and checks
+ *                  each is recorded with the right classification while
+ *                  the rest of the grid completes (implies --isolate)
+ *
+ * Exit status: 0 if every job succeeded (and, with --inject-fault, the
+ * drill verified); 1 if any job faulted or the drill failed; 2 on usage
+ * errors; 3 on bad input (unknown workload/config, unwritable file);
+ * 7 on an internal error.
  */
 
+#include <csignal>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/error.hh"
 #include "common/logging.hh"
 #include "exp/campaign.hh"
 #include "exp/configs.hh"
@@ -42,8 +64,13 @@ usage()
         << "               [--workloads a,b,c] [--configs s1,s2,...]\n"
         << "               [--jobs N] [--json FILE] [--csv FILE]\n"
         << "               [--warmup N] [--measure N]\n"
+        << "               [--isolate] [--timeout SECS] [--retries N]\n"
+        << "               [--backoff SECS] [--bundle-dir DIR]\n"
+        << "               [--journal FILE] [--resume]\n"
+        << "               [--json-no-timing]\n"
+        << "               [--inject-fault hang|crash|oom[,...]]\n"
         << "               [--no-progress] [--list-configs]\n";
-    return 2;
+    return exitcode::Usage;
 }
 
 int
@@ -89,26 +116,99 @@ suiteNames(const std::string &suite)
     return names;
 }
 
-} // namespace
+/**
+ * A deliberately faulting job for the --inject-fault drill: the runner
+ * misbehaves in the requested way, so the isolation/watchdog machinery
+ * gets exercised on demand instead of waiting for a real bug.
+ */
+exp::SimJob
+faultJob(const std::string &kind)
+{
+    exp::SimJob job;
+    job.workload = "inject-" + kind;
+    job.configSpec = "fault";
+    if (kind == "hang") {
+        job.runner = [](const exp::SimJob &) -> RunResult {
+            for (;;)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(100));
+        };
+    } else if (kind == "crash") {
+        job.runner = [](const exp::SimJob &) -> RunResult {
+            std::raise(SIGSEGV);
+            return {};
+        };
+    } else if (kind == "oom") {
+        job.runner = [](const exp::SimJob &) -> RunResult {
+            // Stands in for a real allocation failure; classified (and
+            // retried) as a resource-limit fault.
+            throw std::bad_alloc();
+        };
+    } else {
+        NWSIM_FATAL("unknown --inject-fault kind \"", kind,
+                    "\" (hang|crash|oom)");
+    }
+    return job;
+}
+
+/** Check one drill outcome against its expected classification. */
+bool
+verifyFaultOutcome(const exp::JobOutcome &o, const std::string &kind,
+                   const exp::CampaignOptions &copts)
+{
+    auto fail = [&](const std::string &why) {
+        std::cerr << "drill: " << o.label() << ": " << why << " (got "
+                  << o.statusText() << ")\n";
+        return false;
+    };
+    if (kind == "hang") {
+        if (o.status != exp::JobStatus::Timeout)
+            return fail("expected a timeout record");
+    } else if (kind == "crash") {
+        if (o.status != exp::JobStatus::Crashed ||
+            o.termSignal != SIGSEGV) {
+            return fail("expected crashed(SIGSEGV)");
+        }
+        if (!copts.bundleDir.empty()) {
+            if (o.bundlePath.empty() ||
+                !std::filesystem::exists(o.bundlePath +
+                                         "/MANIFEST.txt")) {
+                return fail("expected a reproducer bundle");
+            }
+        }
+    } else if (kind == "oom") {
+        if (o.status != exp::JobStatus::Failed ||
+            o.errorKind != exp::FailKind::ResourceLimit)
+            return fail("expected a resource-limit failure");
+        if (o.attempts < 2 && copts.maxAttempts >= 2)
+            return fail("expected a retried resource-limit failure");
+    }
+    std::cerr << "drill: " << o.label() << ": recorded as "
+              << o.statusText() << " — ok\n";
+    return true;
+}
 
 int
-main(int argc, char **argv)
+runMain(int argc, char **argv)
 {
     std::string suite = "all";
     std::vector<std::string> workloads;
     std::vector<std::string> configs;
+    std::vector<std::string> faults;
     std::string json_path, csv_path;
     unsigned jobs = 0;
     bool progress = true;
+    bool json_timing = true;
     RunOptions opts = resolveRunOptions();
     bool window_overridden = false;
+    exp::CampaignOptions copts;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next = [&]() -> std::string {
             if (i + 1 >= argc) {
                 usage();
-                std::exit(2);
+                std::exit(exitcode::Usage);
             }
             return argv[++i];
         };
@@ -131,12 +231,46 @@ main(int argc, char **argv)
         } else if (arg == "--measure") {
             opts.measureInsts = std::strtoull(next().c_str(), nullptr, 0);
             window_overridden = true;
-        } else if (arg == "--no-progress")
+        } else if (arg == "--isolate")
+            copts.isolate = true;
+        else if (arg == "--timeout") {
+            copts.timeoutSeconds = std::strtod(next().c_str(), nullptr);
+            copts.isolate = true;
+        } else if (arg == "--retries")
+            copts.maxAttempts = static_cast<unsigned>(
+                std::strtoul(next().c_str(), nullptr, 0));
+        else if (arg == "--backoff")
+            copts.backoffBaseSeconds =
+                std::strtod(next().c_str(), nullptr);
+        else if (arg == "--bundle-dir")
+            copts.bundleDir = next();
+        else if (arg == "--journal")
+            copts.journal = next();
+        else if (arg == "--resume")
+            copts.resume = true;
+        else if (arg == "--json-no-timing")
+            json_timing = false;
+        else if (arg == "--inject-fault")
+            faults = splitList(next());
+        else if (arg.rfind("--inject-fault=", 0) == 0)
+            faults = splitList(arg.substr(15));
+        else if (arg == "--no-progress")
             progress = false;
         else if (arg == "--list-configs")
             return listConfigs();
         else
             return usage();
+    }
+    if (copts.resume && copts.journal.empty()) {
+        std::cerr << "nwsweep: --resume requires --journal\n";
+        return usage();
+    }
+    if (!faults.empty()) {
+        // Faulting jobs take the process down with them by design; the
+        // drill only makes sense isolated, with a watchdog for the hang.
+        copts.isolate = true;
+        if (copts.timeoutSeconds <= 0)
+            copts.timeoutSeconds = 5.0;
     }
 
     if (suite == "smoke") {
@@ -166,17 +300,23 @@ main(int argc, char **argv)
                         "\" (see nwsweep --list-configs)");
     }
 
-    const exp::Campaign campaign =
-        exp::Campaign::grid(workloads, configs, opts);
+    exp::Campaign campaign = exp::Campaign::grid(workloads, configs, opts);
+    for (const std::string &kind : faults)
+        campaign.add(faultJob(kind));
 
-    exp::CampaignOptions copts;
     copts.jobs = jobs;
     copts.progress = progress ? &std::cerr : nullptr;
 
     std::cerr << "nwsweep: " << campaign.jobs().size() << " jobs ("
               << workloads.size() << " workloads x " << configs.size()
               << " configs), warmup " << opts.warmupInsts << ", measure "
-              << opts.measureInsts << "\n";
+              << opts.measureInsts;
+    if (copts.isolate) {
+        std::cerr << ", isolated";
+        if (copts.timeoutSeconds > 0)
+            std::cerr << " (timeout " << copts.timeoutSeconds << "s)";
+    }
+    std::cerr << "\n";
 
     const exp::ResultSet results = campaign.run(copts);
 
@@ -192,7 +332,7 @@ main(int argc, char **argv)
         std::ofstream out(json_path);
         if (!out)
             NWSIM_FATAL("cannot write ", json_path);
-        results.writeJson(out);
+        results.writeJson(out, json_timing);
         std::cerr << "wrote " << json_path << "\n";
     }
     if (!csv_path.empty()) {
@@ -203,5 +343,45 @@ main(int argc, char **argv)
         std::cerr << "wrote " << csv_path << "\n";
     }
 
+    if (!faults.empty()) {
+        // Drill self-check: every injected fault classified as expected
+        // AND every real job unharmed.
+        bool drill_ok = true;
+        for (const std::string &kind : faults) {
+            const exp::JobOutcome *o =
+                results.find("inject-" + kind, "fault");
+            drill_ok = drill_ok && o && verifyFaultOutcome(*o, kind, copts);
+        }
+        size_t sibling_failures = 0;
+        for (const exp::JobOutcome &o : results.outcomes()) {
+            if (o.configSpec != "fault" && !o.ok)
+                ++sibling_failures;
+        }
+        if (sibling_failures) {
+            std::cerr << "drill: " << sibling_failures
+                      << " sibling job(s) failed\n";
+            drill_ok = false;
+        }
+        std::cerr << (drill_ok ? "drill: PASS\n" : "drill: FAIL\n");
+        return drill_ok ? 0 : 1;
+    }
+
     return results.allOk() ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return runMain(argc, argv);
+    } catch (const SimError &e) {
+        std::cerr << "nwsweep: " << errorKindName(e.kind()) << ": "
+                  << e.what() << "\n";
+        return e.exitCode();
+    } catch (const std::exception &e) {
+        std::cerr << "nwsweep: internal error: " << e.what() << "\n";
+        return exitcode::Internal;
+    }
 }
