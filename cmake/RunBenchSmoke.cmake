@@ -1,0 +1,40 @@
+# Run the simulation-speed smoke bench and sanity-check its JSON
+# artifact. Driven by ctest (see tests/CMakeLists.txt, label `perf`) as:
+#
+#   cmake -DNWSIM=<nwsim binary> -DWORK_DIR=<scratch> -P RunBenchSmoke.cmake
+#
+# `nwsim bench` itself enforces the hard floor (every job ok, non-zero
+# KIPS on the event scheduler) via its exit code; this wrapper checks
+# that the emitted document carries the schema docs/PERF.md promises.
+
+if(NOT NWSIM OR NOT WORK_DIR)
+    message(FATAL_ERROR "usage: cmake -DNWSIM=<nwsim> "
+                        "-DWORK_DIR=<scratch> -P RunBenchSmoke.cmake")
+endif()
+
+set(json "${WORK_DIR}/bench_smoke.json")
+
+message(STATUS "perf smoke: running nwsim bench --suite smoke")
+execute_process(
+    COMMAND "${NWSIM}" bench --suite smoke --no-progress
+            --json "${json}"
+    RESULT_VARIABLE rc)
+if(rc)
+    message(FATAL_ERROR "perf smoke: nwsim bench failed (${rc})")
+endif()
+
+file(READ "${json}" doc)
+foreach(key
+        "\"bench\"" "\"workloads\"" "\"configs\""
+        "\"warmup_insts\"" "\"measure_insts\""
+        "\"event\"" "\"legacy\"" "\"per_job\""
+        "\"total_seconds\"" "\"committed_kinsts\"" "\"sim_cycles\""
+        "\"kips\"" "\"sim_cycles_per_second\""
+        "\"speedup_wall_clock\"")
+    string(FIND "${doc}" "${key}" pos)
+    if(pos EQUAL -1)
+        message(FATAL_ERROR
+                "perf smoke: ${json} is missing key ${key}")
+    endif()
+endforeach()
+message(STATUS "perf smoke: clean")

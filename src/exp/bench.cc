@@ -1,0 +1,135 @@
+#include "exp/bench.hh"
+
+#include <ostream>
+
+#include "common/logging.hh"
+#include "exp/campaign.hh"
+#include "exp/configs.hh"
+#include "exp/json.hh"
+#include "workloads/kernels.hh"
+
+namespace nwsim::exp
+{
+
+BenchAggregate
+benchAggregate(const ResultSet &results)
+{
+    BenchAggregate agg;
+    agg.jobs = results.size();
+    agg.failed = results.failedCount();
+    for (const JobOutcome &o : results.outcomes()) {
+        if (!o.ok)
+            continue;
+        agg.seconds += o.wallSeconds;
+        agg.committedKinsts +=
+            static_cast<double>(o.result.measuredCommitted) / 1000.0;
+        agg.simCycles += o.result.core.cycles;
+    }
+    return agg;
+}
+
+BenchReport
+runSpeedBench(const BenchOptions &options)
+{
+    BenchReport report;
+    report.options = options;
+    BenchOptions &o = report.options;
+
+    if (o.workloads.empty()) {
+        for (const Workload &w : allWorkloads())
+            o.workloads.push_back(w.name);
+    }
+    if (o.configs.empty()) {
+        // The Figure 10/11 grid — the sweep every campaign pays for.
+        o.configs = {"baseline", "packing", "packing-replay", "issue8"};
+    }
+    for (const std::string &spec : o.configs) {
+        if (!isValidConfigSpec(spec))
+            NWSIM_FATAL("unknown config spec \"", spec, "\"");
+        if (spec.find("legacy") != std::string::npos) {
+            NWSIM_FATAL("bench adds +legacy itself; drop it from \"",
+                        spec, "\"");
+        }
+    }
+
+    CampaignOptions copts;
+    copts.jobs = o.jobs ? o.jobs : 1;
+    copts.maxAttempts = 1; // retries would pollute the timing
+    copts.progress = o.progress;
+
+    report.event =
+        Campaign::grid(o.workloads, o.configs, o.runOpts).run(copts);
+
+    if (o.compareLegacy) {
+        std::vector<std::string> legacy_specs;
+        legacy_specs.reserve(o.configs.size());
+        for (const std::string &spec : o.configs)
+            legacy_specs.push_back(spec + "+legacy");
+        report.legacy =
+            Campaign::grid(o.workloads, legacy_specs, o.runOpts)
+                .run(copts);
+    }
+    return report;
+}
+
+namespace
+{
+
+void
+writeVariant(JsonWriter &j, const char *name, const ResultSet &results)
+{
+    const BenchAggregate agg = benchAggregate(results);
+    j.key(name).beginObject();
+    j.key("jobs").value(static_cast<u64>(agg.jobs));
+    j.key("failed").value(static_cast<u64>(agg.failed));
+    j.key("total_seconds").value(agg.seconds);
+    j.key("committed_kinsts").value(agg.committedKinsts);
+    j.key("sim_cycles").value(agg.simCycles);
+    j.key("kips").value(agg.kips());
+    j.key("sim_cycles_per_second").value(agg.cyclesPerSecond());
+    j.key("per_job").beginArray();
+    for (const JobOutcome &o : results.outcomes()) {
+        j.beginObject();
+        j.key("workload").value(o.workload);
+        j.key("config").value(o.configSpec);
+        j.key("ok").value(o.ok);
+        j.key("seconds").value(o.wallSeconds);
+        j.key("kips").value(o.kips());
+        j.key("sim_cycles_per_second").value(o.cyclesPerSecond());
+        j.endObject();
+    }
+    j.endArray();
+    j.endObject();
+}
+
+} // namespace
+
+void
+writeBenchJson(std::ostream &os, const BenchReport &report)
+{
+    const BenchOptions &o = report.options;
+    JsonWriter j(os);
+    j.beginObject();
+    j.key("bench").beginObject();
+    j.key("workloads").beginArray();
+    for (const std::string &w : o.workloads)
+        j.value(w);
+    j.endArray();
+    j.key("configs").beginArray();
+    for (const std::string &c : o.configs)
+        j.value(c);
+    j.endArray();
+    j.key("warmup_insts").value(o.runOpts.warmupInsts);
+    j.key("measure_insts").value(o.runOpts.measureInsts);
+    j.key("jobs").value(o.jobs ? o.jobs : 1u);
+    j.endObject();
+
+    writeVariant(j, "event", report.event);
+    if (o.compareLegacy) {
+        writeVariant(j, "legacy", report.legacy);
+        j.key("speedup_wall_clock").value(report.speedup());
+    }
+    j.endObject();
+}
+
+} // namespace nwsim::exp

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Self-profiling simulation-speed benchmark (docs/PERF.md): runs a
+ * workload × config grid through the campaign engine twice — once on
+ * the event-driven scheduler, once on the legacy O(window)-scan path
+ * (`+legacy` modifier) — and reports host-side simulation speed (KIPS:
+ * thousands of detailed-mode committed instructions per wall-clock
+ * second) plus the end-to-end speedup. `nwsim bench` drives this and
+ * emits BENCH_simspeed.json so the repo's perf trajectory is recorded
+ * run over run.
+ */
+
+#ifndef NWSIM_EXP_BENCH_HH
+#define NWSIM_EXP_BENCH_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "driver/runner.hh"
+#include "exp/result_set.hh"
+
+namespace nwsim::exp
+{
+
+/** What to measure and how. */
+struct BenchOptions
+{
+    /** Workload names; empty = every registered workload. */
+    std::vector<std::string> workloads;
+    /** Config specs; empty = the Figure 10/11 grid. */
+    std::vector<std::string> configs;
+    /** Warmup/measure window per job. */
+    RunOptions runOpts;
+    /**
+     * Worker threads. Defaults to 1: speed numbers from serial runs are
+     * reproducible and unaffected by core contention; raise it only for
+     * quick relative comparisons.
+     */
+    unsigned jobs = 1;
+    /** Also time the `+legacy` scan scheduler and report the speedup. */
+    bool compareLegacy = true;
+    /** Campaign progress stream (nullptr = silent). */
+    std::ostream *progress = nullptr;
+};
+
+/** Whole-grid totals for one scheduler variant. */
+struct BenchAggregate
+{
+    size_t jobs = 0;
+    size_t failed = 0;
+    /** Sum of per-job host wall-clock, seconds. */
+    double seconds = 0.0;
+    /** Detailed-mode committed instructions, thousands. */
+    double committedKinsts = 0.0;
+    u64 simCycles = 0;
+
+    double
+    kips() const
+    {
+        return seconds > 0.0 ? committedKinsts / seconds : 0.0;
+    }
+
+    double
+    cyclesPerSecond() const
+    {
+        return seconds > 0.0 ? static_cast<double>(simCycles) / seconds
+                             : 0.0;
+    }
+};
+
+/** Grid totals of one variant's outcomes. */
+BenchAggregate benchAggregate(const ResultSet &results);
+
+/** The measurement: both variants' outcomes plus the resolved grid. */
+struct BenchReport
+{
+    /** Options as resolved (workload/config defaults filled in). */
+    BenchOptions options;
+    /** Event-driven scheduler outcomes. */
+    ResultSet event;
+    /** Legacy-scan outcomes (empty unless options.compareLegacy). */
+    ResultSet legacy;
+
+    bool
+    ok() const
+    {
+        return event.allOk() &&
+               (!options.compareLegacy || legacy.allOk());
+    }
+
+    /** End-to-end wall-clock speedup, legacy / event (0 if unknown). */
+    double
+    speedup() const
+    {
+        const double ev = benchAggregate(event).seconds;
+        const double lg = benchAggregate(legacy).seconds;
+        return (ev > 0.0 && lg > 0.0) ? lg / ev : 0.0;
+    }
+};
+
+/**
+ * Run the grid (event-driven first, then legacy so host cache warmth
+ * biases against the reported speedup, keeping the number conservative).
+ */
+BenchReport runSpeedBench(const BenchOptions &options);
+
+/** Emit the BENCH_simspeed.json document (schema in docs/PERF.md). */
+void writeBenchJson(std::ostream &os, const BenchReport &report);
+
+} // namespace nwsim::exp
+
+#endif // NWSIM_EXP_BENCH_HH

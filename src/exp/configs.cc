@@ -27,6 +27,7 @@ configModifiers()
         {"perfect", "perfect branch prediction (oracle fetch)"},
         {"earlyout", "PPC603-style early-out multiplies (Section 2.3)"},
         {"nogate33", "disable the 33-bit gating signal (Figure 6)"},
+        {"legacy", "O(window)-scan scheduler (sim-speed A/B; same stats)"},
     };
     return mods;
 }
@@ -78,6 +79,8 @@ resolveSpec(const std::string &spec, CoreConfig &out)
             out.earlyOutMultiply = true;
         else if (mod == "nogate33")
             out.gating.gate33 = false;
+        else if (mod == "legacy")
+            out.legacyScheduler = true;
         else
             return false;
     }
@@ -94,7 +97,7 @@ configBySpec(const std::string &spec)
         NWSIM_FATAL("unknown config spec \"", spec,
                     "\" (bases: baseline, packing, packing-replay, "
                     "issue8; modifiers: +decode8, +perfect, +earlyout, "
-                    "+nogate33)");
+                    "+nogate33, +legacy)");
     }
     return cfg;
 }

@@ -13,6 +13,8 @@
  *     packing-replay+decode8      §5.4 8-wide decode variant
  *     packing+perfect             perfect branch prediction
  *     baseline+earlyout           PPC603-style early-out multiplies
+ *     baseline+legacy             O(window)-scan scheduler (sim-speed
+ *                                 A/B baseline; stats are identical)
  */
 
 #ifndef NWSIM_EXP_CONFIGS_HH

@@ -129,11 +129,12 @@ Table
 ResultSet::toTable() const
 {
     Table t({"workload", "config", "ipc", "power red%", "packed insts",
-             "replay traps", "wall s", "status"});
+             "replay traps", "wall s", "KIPS", "status"});
     for (const JobOutcome &o : all) {
         if (!o.ok) {
             t.addRow({o.workload, o.configSpec, "-", "-", "-", "-",
-                      Table::num(o.wallSeconds, 2), o.statusText()});
+                      Table::num(o.wallSeconds, 2), "-",
+                      o.statusText()});
             continue;
         }
         const RunResult &r = o.result;
@@ -141,7 +142,8 @@ ResultSet::toTable() const
                   Table::num(r.gating.reductionPercent(), 1),
                   std::to_string(r.packing.packedInsts),
                   std::to_string(r.packing.replayTraps),
-                  Table::num(o.wallSeconds, 2), "ok"});
+                  Table::num(o.wallSeconds, 2), Table::num(o.kips(), 0),
+                  "ok"});
     }
     return t;
 }
@@ -218,8 +220,14 @@ ResultSet::writeJson(std::ostream &os, bool include_timing) const
         j.key("ok").value(o.ok);
         j.key("status").value(jobStatusName(o.status));
         j.key("attempts").value(o.attempts);
-        if (include_timing)
+        if (include_timing) {
+            // Perf telemetry rides along with every campaign: per-job
+            // host seconds and simulation speed (omitted with the rest
+            // of the timing fields so resumed runs stay bit-identical).
             j.key("wall_seconds").value(o.wallSeconds);
+            j.key("kips").value(o.kips());
+            j.key("sim_cycles_per_second").value(o.cyclesPerSecond());
+        }
         if (o.ok) {
             writeStats(j, o.result);
         } else {
@@ -240,7 +248,8 @@ ResultSet::writeJson(std::ostream &os, bool include_timing) const
 void
 ResultSet::writeCsv(std::ostream &os) const
 {
-    os << "workload,config,ok,status,attempts,wall_seconds,committed,"
+    os << "workload,config,ok,status,attempts,wall_seconds,kips,"
+          "committed,"
           "cycles,ipc,l1d_miss_rate,l1i_miss_rate,cond_mispredict_rate,"
           "narrow16_pct,narrow33_pct,fluctuation_pct,"
           "power_baseline_mw,power_optimized_mw,power_reduction_pct,"
@@ -249,7 +258,8 @@ ResultSet::writeCsv(std::ostream &os) const
         std::ostringstream row;
         row << o.workload << ',' << o.configSpec << ','
             << (o.ok ? 1 : 0) << ',' << jobStatusName(o.status) << ','
-            << o.attempts << ',' << o.wallSeconds << ',';
+            << o.attempts << ',' << o.wallSeconds << ',' << o.kips()
+            << ',';
         if (o.ok) {
             const RunResult &r = o.result;
             row << r.core.committed << ',' << r.core.cycles << ','

@@ -74,6 +74,30 @@ struct JobOutcome
     std::string label() const { return workload + "/" + configSpec; }
     /** Status cell for tables/progress ("crashed(SIGSEGV)", ...). */
     std::string statusText() const;
+
+    /**
+     * Host-side simulation speed: thousands of detailed-mode committed
+     * instructions per wall-clock second (0 when failed or untimed).
+     * Derived from journaled fields, so resumed campaigns report the
+     * original measurement.
+     */
+    double
+    kips() const
+    {
+        if (!ok || wallSeconds <= 0.0)
+            return 0.0;
+        return static_cast<double>(result.measuredCommitted) /
+               wallSeconds / 1000.0;
+    }
+
+    /** Host-side simulated cycles per wall-clock second (0 if unknown). */
+    double
+    cyclesPerSecond() const
+    {
+        if (!ok || wallSeconds <= 0.0)
+            return 0.0;
+        return static_cast<double>(result.core.cycles) / wallSeconds;
+    }
 };
 
 /** Ordered (by job index) outcomes of one campaign run. */

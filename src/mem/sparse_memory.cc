@@ -8,16 +8,30 @@ namespace nwsim
 const SparseMemory::Page *
 SparseMemory::findPage(Addr addr) const
 {
-    const auto it = pages.find(addr >> pageShift);
-    return it == pages.end() ? nullptr : &it->second;
+    const Addr page_no = addr >> pageShift;
+    if (page_no == lastReadPageNo)
+        return lastReadPage;
+    const auto it = pages.find(page_no);
+    if (it == pages.end())
+        return nullptr;
+    // Only hits are cached: a later write may create this page, and a
+    // cached "absent" result would hide it from subsequent reads.
+    lastReadPageNo = page_no;
+    lastReadPage = &it->second;
+    return lastReadPage;
 }
 
 SparseMemory::Page &
 SparseMemory::getPage(Addr addr)
 {
-    Page &page = pages[addr >> pageShift];
+    const Addr page_no = addr >> pageShift;
+    if (page_no == lastWritePageNo)
+        return *lastWritePage;
+    Page &page = pages[page_no];
     if (page.empty())
         page.resize(pageSize, 0);
+    lastWritePageNo = page_no;
+    lastWritePage = &page;
     return page;
 }
 
@@ -26,6 +40,16 @@ SparseMemory::read(Addr addr, unsigned size) const
 {
     NWSIM_ASSERT(size == 1 || size == 2 || size == 4 || size == 8,
                  "bad read size ", size);
+    const Addr off = addr & (pageSize - 1);
+    if (off + size <= pageSize) {
+        // Within one page: one lookup, one little-endian copy.
+        const Page *page = findPage(addr);
+        if (!page)
+            return 0;
+        u64 value = 0;
+        std::memcpy(&value, page->data() + off, size);
+        return value;
+    }
     u64 value = 0;
     for (unsigned i = 0; i < size; ++i) {
         const Addr byte_addr = addr + i;
@@ -42,6 +66,11 @@ SparseMemory::write(Addr addr, unsigned size, u64 value)
 {
     NWSIM_ASSERT(size == 1 || size == 2 || size == 4 || size == 8,
                  "bad write size ", size);
+    const Addr off = addr & (pageSize - 1);
+    if (off + size <= pageSize) {
+        std::memcpy(getPage(addr).data() + off, &value, size);
+        return;
+    }
     for (unsigned i = 0; i < size; ++i) {
         const Addr byte_addr = addr + i;
         getPage(byte_addr)[byte_addr & (pageSize - 1)] =

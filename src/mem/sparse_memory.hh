@@ -27,6 +27,33 @@ class SparseMemory
     static constexpr unsigned pageShift = 12;
     static constexpr Addr pageSize = Addr{1} << pageShift;
 
+    SparseMemory() = default;
+    // The page-cache pointers refer into this instance's page map, so
+    // copies and moves start with a cold cache instead of inheriting
+    // pointers into the source's pages.
+    SparseMemory(const SparseMemory &o) : pages(o.pages) {}
+    SparseMemory(SparseMemory &&o) noexcept : pages(std::move(o.pages))
+    {
+        o.dropCache();
+    }
+
+    SparseMemory &
+    operator=(const SparseMemory &o)
+    {
+        pages = o.pages;
+        dropCache();
+        return *this;
+    }
+
+    SparseMemory &
+    operator=(SparseMemory &&o) noexcept
+    {
+        pages = std::move(o.pages);
+        dropCache();
+        o.dropCache();
+        return *this;
+    }
+
     /** Read @p size bytes (1/2/4/8) little-endian; zero if untouched. */
     u64 read(Addr addr, unsigned size) const;
 
@@ -48,7 +75,26 @@ class SparseMemory
     const Page *findPage(Addr addr) const;
     Page &getPage(Addr addr);
 
+    void
+    dropCache()
+    {
+        lastReadPageNo = ~Addr{0};
+        lastReadPage = nullptr;
+        lastWritePageNo = ~Addr{0};
+        lastWritePage = nullptr;
+    }
+
     std::unordered_map<Addr, Page> pages;
+
+    // One-entry page cache: almost every access hits the same page as
+    // its predecessor (straight-line fetch, stack traffic), so the hash
+    // lookup is skipped. Pages are never erased and unordered_map never
+    // moves its elements, so the cached pointers stay valid across
+    // inserts.
+    mutable Addr lastReadPageNo = ~Addr{0};
+    mutable const Page *lastReadPage = nullptr;
+    Addr lastWritePageNo = ~Addr{0};
+    Page *lastWritePage = nullptr;
 };
 
 } // namespace nwsim

@@ -3,7 +3,10 @@
 namespace nwsim
 {
 
-Tlb::Tlb(const TlbConfig &config) : cfg(config), entries(config.entries) {}
+Tlb::Tlb(const TlbConfig &config) : cfg(config), entries(config.entries)
+{
+    index.reserve(2 * config.entries);
+}
 
 unsigned
 Tlb::access(Addr addr)
@@ -11,22 +14,42 @@ Tlb::access(Addr addr)
     ++stat.accesses;
     ++useClock;
     const Addr vpn = addr >> cfg.pageShift;
-    Entry *victim = &entries[0];
-    for (Entry &e : entries) {
-        if (e.valid && e.vpn == vpn) {
-            e.lastUse = useClock;
+
+    if (mru != ~u32{0}) {
+        Entry &m = entries[mru];
+        if (m.valid && m.vpn == vpn) {
+            m.lastUse = useClock;
             return 0;
         }
+    }
+    const auto it = index.find(vpn);
+    if (it != index.end()) {
+        Entry &e = entries[it->second];
+        e.lastUse = useClock;
+        mru = it->second;
+        return 0;
+    }
+
+    // Miss: victim selection is the original full scan verbatim (last
+    // invalid entry, else least-recently-used), so replacement — and
+    // therefore every downstream timing — is unchanged.
+    ++stat.misses;
+    Entry *victim = &entries[0];
+    for (Entry &e : entries) {
         if (!e.valid) {
             victim = &e;
         } else if (victim->valid && e.lastUse < victim->lastUse) {
             victim = &e;
         }
     }
-    ++stat.misses;
+    if (victim->valid)
+        index.erase(victim->vpn);
     victim->valid = true;
     victim->vpn = vpn;
     victim->lastUse = useClock;
+    const u32 slot = static_cast<u32>(victim - entries.data());
+    index[vpn] = slot;
+    mru = slot;
     return cfg.missLatency;
 }
 
@@ -35,6 +58,8 @@ Tlb::flush()
 {
     for (Entry &e : entries)
         e.valid = false;
+    index.clear();
+    mru = ~u32{0};
 }
 
 } // namespace nwsim

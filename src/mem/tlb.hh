@@ -7,6 +7,7 @@
 #define NWSIM_MEM_TLB_HH
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.hh"
@@ -59,6 +60,15 @@ class Tlb
     TlbStats stat;
     u64 useClock = 0;
     std::vector<Entry> entries;
+    /**
+     * vpn -> entry slot, so a hit costs one hash probe instead of a
+     * full scan of the (128-entry, fully-associative) array; the LRU
+     * victim scan only runs on misses. Purely an access-path cache:
+     * hit/miss outcomes, stats, and replacement order are unchanged.
+     */
+    std::unordered_map<Addr, u32> index;
+    /** Most-recently-hit slot: skips even the hash probe on streaks. */
+    u32 mru = ~u32{0};
 };
 
 } // namespace nwsim

@@ -28,6 +28,8 @@ OutOfOrderCore::commitStage()
             cacheModel.recordAccess(e.storeData, e.memSize);
             NWSIM_ASSERT(lsqCount > 0, "lsq underflow at commit");
             --lsqCount;
+            if (!cfg.legacyScheduler)
+                storeIndex.remove(e.seq);
         } else if (e.isMem) {
             --lsqCount;
         }

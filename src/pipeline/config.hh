@@ -50,6 +50,16 @@ struct CoreConfig
      * of the same operand width tags.
      */
     bool earlyOutMultiply = false;
+    /**
+     * Use the original O(window)-per-cycle scan scheduler (full-RUU
+     * issue scan, wakeup broadcast, per-load store scan) instead of the
+     * event-driven one (ready queue, dependent lists, store address
+     * index). Timing and statistics are bit-identical either way
+     * (tests/test_sched_equivalence.cc); the flag exists so the two
+     * implementations can be diffed in the field and will be removed
+     * after one release.
+     */
+    bool legacyScheduler = false;
 
     BPredConfig bpred;
     MemSystemConfig mem;

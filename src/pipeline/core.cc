@@ -28,6 +28,24 @@ OutOfOrderCore::OutOfOrderCore(const CoreConfig &config,
         predictor = std::make_unique<CombiningPredictor>(cfg.bpred);
     }
     fetchPc = entry;
+
+    // Size every scheduler structure once; tick() never allocates in
+    // steady state. The completion horizon covers the worst chained
+    // memory latency (~143 cycles with Table 1 numbers) with room to
+    // spare; longer custom latencies spill to the wheel's overflow map.
+    window.init(cfg.ruuSize);
+    fetchQueue.init(cfg.fetchQueueSize);
+    completions.init(512, 8);
+    readyTimers.init(64, 4);
+    readyQueue.init(window.capacity());
+    deps.init(window.capacity());
+    storeIndex.init(cfg.lsqSize, window.capacity());
+    completedScratch.reserve(window.capacity());
+    readyScratch.reserve(window.capacity());
+    issueGroups.resize(cfg.numAlus);
+    for (IssueGroup &g : issueGroups)
+        g.members.reserve(cfg.packing.lanesPerAlu);
+    packedMembersScratch.reserve(cfg.packing.lanesPerAlu);
 }
 
 OutOfOrderCore::~OutOfOrderCore() = default;
@@ -98,7 +116,7 @@ OutOfOrderCore::deadlockDiagnostic(Cycle stalled_cycles) const
       << ", RUU " << window.size() << "/" << cfg.ruuSize << ", LSQ "
       << lsqCount << "/" << cfg.lsqSize << ", fetch queue "
       << fetchQueue.size() << "/" << cfg.fetchQueueSize
-      << ", pending completions " << completions.size();
+      << ", pending completions " << completions.pending();
     if (!window.empty()) {
         const RuuEntry &head = window.front();
         d << "\n  oldest in flight: seq " << head.seq << " pc 0x"
@@ -223,14 +241,43 @@ OutOfOrderCore::entryBySeq(InstSeq seq)
 void
 OutOfOrderCore::wakeDependents(InstSeq producer_seq)
 {
-    for (RuuEntry &e : window) {
-        if (e.state != EntryState::Dispatched)
-            continue;
-        if (!e.aReady && e.aProducer == producer_seq)
-            e.aReady = true;
-        if (!e.bReady && e.bProducer == producer_seq)
-            e.bReady = true;
+    if (cfg.legacyScheduler) {
+        // Legacy broadcast: scan the whole window for waiting consumers.
+        for (RuuEntry &e : window) {
+            if (e.state != EntryState::Dispatched)
+                continue;
+            if (!e.aReady && e.aProducer == producer_seq)
+                e.aReady = true;
+            if (!e.bReady && e.bProducer == producer_seq)
+                e.bReady = true;
+        }
+        return;
     }
+    // Event mode: walk exactly the consumers that registered on this
+    // producer at dispatch. The set is identical to the broadcast's
+    // (an edge exists iff the operand flag is still false), so the
+    // resulting flags — and all downstream timing — are bit-identical.
+    deps.wake(producer_seq,
+              [this](InstSeq consumer, unsigned op) {
+                  onOperandReady(consumer, op);
+              });
+}
+
+void
+OutOfOrderCore::onOperandReady(InstSeq consumer, unsigned op)
+{
+    RuuEntry *e = entryBySeq(consumer);
+    NWSIM_ASSERT(e && e->state == EntryState::Dispatched,
+                 "stale dependent edge");
+    if (op == 0)
+        e->aReady = true;
+    else
+        e->bReady = true;
+    // Wakeups happen in writeback, before this cycle's issue stage, so
+    // a newly ready entry is issuable this very cycle — same as the
+    // legacy scan observing the just-set flags.
+    if (issueReady(*e))
+        readyQueue.insert(consumer);
 }
 
 void
@@ -252,26 +299,38 @@ void
 OutOfOrderCore::squashAfter(InstSeq seq)
 {
     while (!window.empty() && window.back().seq > seq) {
-        trace(TraceStage::Squash, window.back());
+        RuuEntry &victim = window.back();
+        trace(TraceStage::Squash, victim);
         if (observer)
-            observer->onSquash(window.back());
-        undoEntry(window.back());
+            observer->onSquash(victim);
+        undoEntry(victim);
+        // Eagerly drop the victim's scheduler state: its pending
+        // completion timer (squashed seqs get reused after the rewind
+        // below, so a mispredict-heavy run would otherwise accumulate
+        // dead timer records until their cycle arrives), its dependence
+        // edges, its ready-queue slot, and its store-index chains.
+        if (victim.state == EntryState::Issued)
+            completions.purge(victim.seq, victim.completeCycle, curCycle);
+        if (!cfg.legacyScheduler) {
+            deps.unlinkConsumer(victim.seq);
+            readyQueue.erase(victim.seq);
+            if (victim.isSt)
+                storeIndex.remove(victim.seq);
+        }
         window.pop_back();
         ++stat.squashed;
     }
     fetchQueue.clear();
     fetchHalted = false;
     // Rewind the sequence counter so window seqs stay contiguous
-    // (entryBySeq relies on it). Stale completion-queue entries for the
-    // reused seqs are invalidated lazily by the state/cycle checks in
-    // writeback.
+    // (entryBySeq relies on it).
     nextSeq = seq + 1;
 }
 
 void
 OutOfOrderCore::scheduleCompletion(InstSeq seq, Cycle when)
 {
-    completions[when].push_back(seq);
+    completions.schedule(seq, when, curCycle);
 }
 
 } // namespace nwsim

@@ -23,8 +23,6 @@
 #ifndef NWSIM_PIPELINE_CORE_HH
 #define NWSIM_PIPELINE_CORE_HH
 
-#include <deque>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -36,6 +34,7 @@
 #include "pipeline/config.hh"
 #include "pipeline/observer.hh"
 #include "pipeline/ruu.hh"
+#include "pipeline/sched.hh"
 #include "pipeline/stats.hh"
 #include "pipeline/trace.hh"
 
@@ -116,7 +115,7 @@ class OutOfOrderCore
      * seqs). For observers/checkers; the entries are live pipeline
      * state, valid only until the next tick().
      */
-    const std::deque<RuuEntry> &inflight() const { return window; }
+    const InstRing<RuuEntry> &inflight() const { return window; }
 
     /** Architected register value (only meaningful when done()). */
     u64 reg(RegIndex index) const { return specRegs[index]; }
@@ -167,6 +166,22 @@ class OutOfOrderCore
     void scheduleCompletion(InstSeq seq, Cycle when);
     void recordIssue(RuuEntry &e);
     unsigned loadLatency(const RuuEntry &e, bool forwarded);
+    /** Issue/wake predicate: dispatched, operands ready, timer expired. */
+    bool
+    issueReady(const RuuEntry &e) const
+    {
+        return e.state == EntryState::Dispatched && e.aReady &&
+               e.bReady && e.earliestIssue <= curCycle;
+    }
+    /** Event-mode wake of one operand (DepGraph::wake callback). */
+    void onOperandReady(InstSeq consumer, unsigned op);
+    /** Shared per-entry issue attempt (both scheduler modes). */
+    void tryIssueEntry(RuuEntry &e, unsigned &slots, unsigned &alus,
+                       unsigned &mults, unsigned &ready_seen,
+                       unsigned &issued_now);
+    /** Drain expired earliest-issue timers into the ready queue. */
+    void drainReadyTimers();
+    void finishIssueGroups();
 
     /** Emit a trace event if a hook is installed. */
     void
@@ -190,9 +205,34 @@ class OutOfOrderCore
     std::array<InstSeq, numIntRegs> regProducer{};
     std::array<bool, numIntRegs> regFromLoad{};
 
-    std::deque<RuuEntry> window;
-    std::deque<FetchedInst> fetchQueue;
-    std::map<Cycle, std::vector<InstSeq>> completions;
+    InstRing<RuuEntry> window;
+    InstRing<FetchedInst> fetchQueue;
+
+    // ---- Event-driven scheduler state (sched.hh) -------------------------
+    /** Completion timers, both scheduler modes. */
+    EventWheel completions;
+    /** Earliest-issue (replay) timers; event mode only. */
+    EventWheel readyTimers;
+    /** Seq-ordered set of issuable entries; event mode only. */
+    ReadyQueue readyQueue;
+    /** Per-producer dependent lists; event mode only. */
+    DepGraph deps;
+    /** Block index over in-flight LSQ stores; event mode only. */
+    StoreAddrIndex storeIndex;
+
+    // Reused per-cycle scratch so steady-state tick() never allocates.
+    std::vector<InstSeq> completedScratch;
+    std::vector<InstSeq> readyScratch;
+
+    /** An ALU whose subword lanes are being filled this cycle. */
+    struct IssueGroup
+    {
+        PackKey key = PackKey::None;
+        std::vector<RuuEntry *> members;
+    };
+    std::vector<IssueGroup> issueGroups; // sized numAlus once
+    size_t issueGroupCount = 0;          // active groups this cycle
+    std::vector<const RuuEntry *> packedMembersScratch;
 
     Addr fetchPc;
     /** Absolute cycle count (never reset; stat.cycles is the window). */

@@ -4,6 +4,12 @@
  * functional-unit pool, with the paper's Section 5 operation packing
  * built into the selection loop ("the issue logic must keep track of
  * which issuing instructions are available for packing").
+ *
+ * Two scheduler implementations share the per-entry selection logic
+ * (tryIssueEntry): the legacy full-RUU scan, and the event-driven
+ * ready queue that visits only issuable entries in the same oldest-
+ * first order. Selection, packing, and statistics are bit-identical
+ * between the two (tests/test_sched_equivalence.cc).
  */
 
 #include "common/logging.hh"
@@ -28,18 +34,50 @@ bool
 OutOfOrderCore::loadBlocked(const RuuEntry &e, bool &forwarded)
 {
     forwarded = false;
-    for (const RuuEntry &s : window) {
-        if (s.seq >= e.seq)
-            break;
-        if (!s.isSt)
-            continue;
-        if (bytesOverlap(s.effAddr, s.memSize, e.effAddr, e.memSize)) {
-            if (s.state != EntryState::Completed)
-                return true;    // wait for the producing store
-            forwarded = true;
+    if (cfg.legacyScheduler) {
+        for (const RuuEntry &s : window) {
+            if (s.seq >= e.seq)
+                break;
+            if (!s.isSt)
+                continue;
+            if (bytesOverlap(s.effAddr, s.memSize, e.effAddr,
+                             e.memSize)) {
+                if (s.state != EntryState::Completed)
+                    return true; // wait for the producing store
+                forwarded = true;
+            }
         }
+        return false;
     }
-    return false;
+
+    // Event mode: only stores sharing an 8-byte block with the load can
+    // overlap it, so consult the store index's (at most two) chains
+    // instead of every older window entry. The blocked/forwarded
+    // outcome is order-independent — blocked iff any older overlapping
+    // store is incomplete — so chain order doesn't matter.
+    bool blocked = false;
+    bool fwd = false;
+    const auto visit = [&](InstSeq s) {
+        if (s >= e.seq)
+            return;
+        const RuuEntry *st = entryBySeq(s);
+        NWSIM_ASSERT(st && st->isSt, "stale store-index chain");
+        if (!bytesOverlap(st->effAddr, st->memSize, e.effAddr,
+                          e.memSize)) {
+            return;
+        }
+        if (st->state != EntryState::Completed)
+            blocked = true;
+        else
+            fwd = true;
+    };
+    const Addr b0 = StoreAddrIndex::blockOf(e.effAddr);
+    const Addr b1 = StoreAddrIndex::blockOf(e.effAddr + e.memSize - 1);
+    storeIndex.forEachStoreOnBlock(b0, visit);
+    if (b1 != b0)
+        storeIndex.forEachStoreOnBlock(b1, visit);
+    forwarded = fwd;
+    return blocked;
 }
 
 unsigned
@@ -60,6 +98,7 @@ OutOfOrderCore::recordIssue(RuuEntry &e)
 {
     const OpInfo &info = opInfo(e.inst.op);
     e.state = EntryState::Issued;
+    readyQueue.erase(e.seq);
     scheduleCompletion(e.seq, e.completeCycle);
     ++stat.issued;
     trace(TraceStage::Issue, e);
@@ -71,123 +110,167 @@ OutOfOrderCore::recordIssue(RuuEntry &e)
                          e.bFromLoad, e.inst.writesReg());
 }
 
+/**
+ * Try to issue one ready entry, honoring slot/unit limits and joining
+ * packing groups. Exactly the legacy selection-loop body: callers must
+ * visit entries oldest-first and only when issueReady() holds.
+ */
+void
+OutOfOrderCore::tryIssueEntry(RuuEntry &e, unsigned &slots,
+                              unsigned &alus, unsigned &mults,
+                              unsigned &ready_seen, unsigned &issued_now)
+{
+    const OpInfo &info = opInfo(e.inst.op);
+    const PackingConfig &pk = cfg.packing;
+
+    bool forwarded = false;
+    if (info.opClass == OpClass::MemRead && loadBlocked(e, forwarded))
+        return;
+
+    ++ready_seen;
+
+    if (info.opClass == OpClass::IntMult ||
+        info.opClass == OpClass::IntDiv) {
+        if (mults >= cfg.numMultDiv || slots >= cfg.issueWidth)
+            return;
+        if (curCycle < multDivBusyUntil)
+            return;     // unpipelined divide in progress
+        ++mults;
+        ++slots;
+        unsigned latency = info.latency;
+        // Early-out multiply (PPC603-style, paper Section 2.3):
+        // narrow operands finish in fewer cycles.
+        if (cfg.earlyOutMultiply && info.opClass == OpClass::IntMult &&
+            pairClass(e.opA(), e.opB()) == WidthClass::Narrow16) {
+            latency = 1;
+        }
+        if (!info.pipelined)
+            multDivBusyUntil = curCycle + latency;
+        e.completeCycle = curCycle + latency;
+        recordIssue(e);
+        ++issued_now;
+        return;
+    }
+
+    if (info.opClass == OpClass::Other) {
+        if (slots >= cfg.issueWidth)
+            return;
+        ++slots;
+        e.completeCycle = curCycle + 1;
+        recordIssue(e);
+        ++issued_now;
+        return;
+    }
+
+    // ---- ALU-class operation (arith/logic/shift/mem/control) ----------
+    const bool strict = pk.enabled && !e.noPack &&
+                        packEligible(e.inst, e.opA(), e.opB());
+    const bool replay = pk.enabled && pk.replay && !e.noPack &&
+                        replayEligible(e.inst, e.opA(), e.opB());
+    const PackKey key = info.packKey;
+
+    bool joined = false;
+    if (strict || replay) {
+        for (size_t i = 0; i < issueGroupCount; ++i) {
+            IssueGroup &g = issueGroups[i];
+            if (g.key != key || g.members.size() >= pk.lanesPerAlu)
+                continue;
+            if (!pk.groupCountsOneSlot && slots >= cfg.issueWidth)
+                break;
+            g.members.push_back(&e);
+            if (!pk.groupCountsOneSlot)
+                ++slots;
+            joined = true;
+            break;
+        }
+    }
+    if (!joined) {
+        if (alus >= cfg.numAlus || slots >= cfg.issueWidth)
+            return;
+        ++alus;
+        ++slots;
+        if (strict || replay) {
+            IssueGroup &g = issueGroups[issueGroupCount++];
+            g.key = key;
+            g.members.clear();
+            g.members.push_back(&e);
+        }
+    }
+
+    if (strict || replay)
+        ++packStat.packEligibleIssued;
+
+    e.completeCycle = (info.opClass == OpClass::MemRead)
+                          ? curCycle + loadLatency(e, forwarded)
+                          : curCycle + info.latency;
+    recordIssue(e);
+    ++issued_now;
+}
+
+void
+OutOfOrderCore::drainReadyTimers()
+{
+    readyScratch.clear();
+    readyTimers.drain(curCycle, readyScratch);
+    for (const InstSeq seq : readyScratch) {
+        RuuEntry *e = entryBySeq(seq);
+        // A timer can outlive its instruction (squash reuses seqs);
+        // re-validating the issue predicate here makes stale timers
+        // harmless — the insert is idempotent, and an entry passing the
+        // predicate belongs in the ready queue regardless of which
+        // event claims it.
+        if (e && issueReady(*e))
+            readyQueue.insert(seq);
+    }
+}
+
 void
 OutOfOrderCore::issueStage()
 {
     unsigned slots = 0;
     unsigned alus = 0;
     unsigned mults = 0;
-
-    /** An ALU whose subword lanes are being filled this cycle. */
-    struct Group
-    {
-        PackKey key;
-        std::vector<RuuEntry *> members;
-    };
-    std::vector<Group> groups;
-
-    const PackingConfig &pk = cfg.packing;
-
     unsigned ready_seen = 0;
     unsigned issued_now = 0;
+    issueGroupCount = 0;
 
-    for (RuuEntry &e : window) {
-        if (e.state != EntryState::Dispatched)
-            continue;
-        if (e.earliestIssue > curCycle)
-            continue;
-        if (!e.aReady || !e.bReady)
-            continue;
-
-        const OpInfo &info = opInfo(e.inst.op);
-
-        bool forwarded = false;
-        if (info.opClass == OpClass::MemRead && loadBlocked(e, forwarded))
-            continue;
-
-        ++ready_seen;
-
-        if (info.opClass == OpClass::IntMult ||
-            info.opClass == OpClass::IntDiv) {
-            if (mults >= cfg.numMultDiv || slots >= cfg.issueWidth)
+    if (cfg.legacyScheduler) {
+        // Legacy: scan the whole RUU every cycle.
+        for (RuuEntry &e : window) {
+            if (!issueReady(e))
                 continue;
-            if (curCycle < multDivBusyUntil)
-                continue;   // unpipelined divide in progress
-            ++mults;
-            ++slots;
-            unsigned latency = info.latency;
-            // Early-out multiply (PPC603-style, paper Section 2.3):
-            // narrow operands finish in fewer cycles.
-            if (cfg.earlyOutMultiply &&
-                info.opClass == OpClass::IntMult &&
-                pairClass(e.opA(), e.opB()) == WidthClass::Narrow16) {
-                latency = 1;
-            }
-            if (!info.pipelined)
-                multDivBusyUntil = curCycle + latency;
-            e.completeCycle = curCycle + latency;
-            recordIssue(e);
-            ++issued_now;
-            continue;
+            tryIssueEntry(e, slots, alus, mults, ready_seen, issued_now);
         }
-
-        if (info.opClass == OpClass::Other) {
-            if (slots >= cfg.issueWidth)
-                continue;
-            ++slots;
-            e.completeCycle = curCycle + 1;
-            recordIssue(e);
-            ++issued_now;
-            continue;
+    } else {
+        // Event mode: visit only the ready set, in the same oldest-
+        // first order the scan produces. Entries that cannot issue
+        // (unit/slot limits, blocked loads) keep their ready bit and
+        // are revisited next cycle.
+        drainReadyTimers();
+        if (!window.empty()) {
+            readyQueue.forEachReady(
+                window.front().seq, window.size(), [&](InstSeq seq) {
+                    RuuEntry *e = entryBySeq(seq);
+                    NWSIM_ASSERT(e && issueReady(*e), "stale ready bit");
+                    tryIssueEntry(*e, slots, alus, mults, ready_seen,
+                                  issued_now);
+                });
         }
-
-        // ---- ALU-class operation (arith/logic/shift/mem/control) ------
-        const bool strict = pk.enabled && !e.noPack &&
-                            packEligible(e.inst, e.opA(), e.opB());
-        const bool replay = pk.enabled && pk.replay && !e.noPack &&
-                            replayEligible(e.inst, e.opA(), e.opB());
-        const PackKey key = info.packKey;
-
-        bool joined = false;
-        if (strict || replay) {
-            for (Group &g : groups) {
-                if (g.key != key || g.members.size() >= pk.lanesPerAlu)
-                    continue;
-                if (!pk.groupCountsOneSlot && slots >= cfg.issueWidth)
-                    break;
-                g.members.push_back(&e);
-                if (!pk.groupCountsOneSlot)
-                    ++slots;
-                joined = true;
-                break;
-            }
-        }
-        if (!joined) {
-            if (alus >= cfg.numAlus || slots >= cfg.issueWidth)
-                continue;
-            ++alus;
-            ++slots;
-            if (strict || replay)
-                groups.push_back({key, {&e}});
-        }
-
-        if (strict || replay)
-            ++packStat.packEligibleIssued;
-
-        e.completeCycle =
-            (info.opClass == OpClass::MemRead)
-                ? curCycle + loadLatency(e, forwarded)
-                : curCycle + info.latency;
-        recordIssue(e);
-        ++issued_now;
     }
 
     stat.readyOpsSum += ready_seen;
     if (issued_now < ready_seen)
         ++stat.issueLimitedCycles;
 
+    finishIssueGroups();
+}
+
+void
+OutOfOrderCore::finishIssueGroups()
+{
     // A group that actually gathered >= 2 instructions is a packed issue.
-    for (const Group &g : groups) {
+    for (size_t i = 0; i < issueGroupCount; ++i) {
+        const IssueGroup &g = issueGroups[i];
         if (g.members.size() < 2)
             continue;
         ++packStat.packedGroups;
@@ -201,9 +284,9 @@ OutOfOrderCore::issueStage()
             }
         }
         if (observer) {
-            const std::vector<const RuuEntry *> members(
-                g.members.begin(), g.members.end());
-            observer->onPackedGroup(members);
+            packedMembersScratch.assign(g.members.begin(),
+                                        g.members.end());
+            observer->onPackedGroup(packedMembersScratch);
         }
     }
 }

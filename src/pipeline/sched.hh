@@ -1,0 +1,640 @@
+/**
+ * @file
+ * Event-driven scheduler plumbing for the out-of-order core.
+ *
+ * The original core was written in the SimpleScalar sim-outorder idiom:
+ * every cycle rescans the whole RUU to find ready instructions, every
+ * completion broadcasts across the window to wake dependents, and every
+ * load walks all older window entries to order against stores. Those
+ * loops make tick() O(window) or worse even when nothing happens. The
+ * structures here make every scheduling step proportional to the number
+ * of *events* instead, while preserving the exact selection order of
+ * the scan-based code (oldest first, per-cycle insertion order):
+ *
+ *  - InstRing       fixed-capacity ring buffers for the RUU window and
+ *                   fetch queue (no deque node churn: steady-state
+ *                   push/pop performs zero heap allocations)
+ *  - ReadyQueue     seq-ordered ready set as a circular bitmap; insert,
+ *                   erase, and oldest-first iteration over set bits
+ *  - EventWheel     calendar wheel of (cycle -> seq list) events that
+ *                   replaces std::map<Cycle, std::vector<InstSeq>>,
+ *                   preserving per-cycle insertion order bit-exactly
+ *  - DepGraph       per-producer dependent lists recorded at dispatch,
+ *                   replacing the O(window) wakeup broadcast
+ *  - StoreAddrIndex 8-byte-block hash index over in-flight LSQ stores,
+ *                   replacing per-load scans over all older entries
+ *
+ * All structures are sized once at core construction and recycle nodes
+ * through intrusive free lists, so the steady-state scheduler performs
+ * no heap allocations (verified by tests/test_sched_equivalence.cc).
+ */
+
+#ifndef NWSIM_PIPELINE_SCHED_HH
+#define NWSIM_PIPELINE_SCHED_HH
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace nwsim
+{
+
+/** Null index for the intrusive node pools below. */
+constexpr u32 schedNil = ~u32{0};
+
+/** Smallest power of two >= @p n (and >= 2). */
+inline size_t
+ceilPow2(size_t n)
+{
+    size_t p = 2;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+/**
+ * Fixed-capacity circular buffer indexed like a deque (0 = oldest).
+ * Elements are assigned in place and never destroyed on pop, so T must
+ * be trivially reusable (the RUU entry and fetched-instruction records
+ * are plain value types). Capacity is rounded up to a power of two.
+ */
+template <typename T>
+class InstRing
+{
+  public:
+    void
+    init(size_t capacity)
+    {
+        cap = ceilPow2(capacity);
+        buf.resize(cap);
+        head = 0;
+        count = 0;
+    }
+
+    bool empty() const { return count == 0; }
+    size_t size() const { return count; }
+    size_t capacity() const { return cap; }
+
+    T &front() { return buf[head]; }
+    const T &front() const { return buf[head]; }
+    T &back() { return buf[(head + count - 1) & (cap - 1)]; }
+    const T &back() const { return buf[(head + count - 1) & (cap - 1)]; }
+
+    T &operator[](size_t i) { return buf[(head + i) & (cap - 1)]; }
+
+    const T &
+    operator[](size_t i) const
+    {
+        return buf[(head + i) & (cap - 1)];
+    }
+
+    void
+    push_back(const T &v)
+    {
+        NWSIM_ASSERT(count < cap, "ring overflow");
+        buf[(head + count) & (cap - 1)] = v;
+        ++count;
+    }
+
+    void
+    pop_front()
+    {
+        NWSIM_ASSERT(count > 0, "ring underflow");
+        head = (head + 1) & (cap - 1);
+        --count;
+    }
+
+    void
+    pop_back()
+    {
+        NWSIM_ASSERT(count > 0, "ring underflow");
+        --count;
+    }
+
+    void
+    clear()
+    {
+        head = 0;
+        count = 0;
+    }
+
+    template <typename Ring, typename Ref>
+    struct Iter
+    {
+        Ring *ring;
+        size_t idx;
+        Ref operator*() const { return (*ring)[idx]; }
+
+        Iter &
+        operator++()
+        {
+            ++idx;
+            return *this;
+        }
+
+        bool operator!=(const Iter &o) const { return idx != o.idx; }
+    };
+
+    using iterator = Iter<InstRing, T &>;
+    using const_iterator = Iter<const InstRing, const T &>;
+
+    iterator begin() { return {this, 0}; }
+    iterator end() { return {this, count}; }
+    const_iterator begin() const { return {this, 0}; }
+    const_iterator end() const { return {this, count}; }
+
+  private:
+    std::vector<T> buf;
+    size_t cap = 0;
+    size_t head = 0;
+    size_t count = 0;
+};
+
+/**
+ * The issue stage's ready queue: the set of RUU entries whose operands
+ * are ready and whose earliest-issue cycle has arrived, kept as a
+ * circular bitmap indexed by sequence number. Because the window holds
+ * contiguous seqs and its size never exceeds the (power-of-two)
+ * capacity, `seq & (cap - 1)` is collision-free among live entries, and
+ * iterating slots from the oldest seq's position reproduces the
+ * oldest-first order of the legacy full-window scan exactly.
+ */
+class ReadyQueue
+{
+  public:
+    void
+    init(size_t window_capacity)
+    {
+        cap = std::max<size_t>(ceilPow2(window_capacity), 64);
+        words.assign(cap / 64, 0);
+    }
+
+    void
+    insert(InstSeq seq)
+    {
+        const size_t s = slot(seq);
+        words[s >> 6] |= u64{1} << (s & 63);
+    }
+
+    void
+    erase(InstSeq seq)
+    {
+        const size_t s = slot(seq);
+        words[s >> 6] &= ~(u64{1} << (s & 63));
+    }
+
+    bool
+    contains(InstSeq seq) const
+    {
+        const size_t s = slot(seq);
+        return (words[s >> 6] >> (s & 63)) & 1;
+    }
+
+    void clear() { std::fill(words.begin(), words.end(), 0); }
+
+    /**
+     * Visit every queued seq oldest-first for a window of @p count
+     * contiguous seqs starting at @p front_seq. The callback may erase
+     * the seq it is visiting (and only that one).
+     */
+    template <typename Fn>
+    void
+    forEachReady(InstSeq front_seq, size_t count, Fn &&fn) const
+    {
+        if (count == 0)
+            return;
+        const size_t start = slot(front_seq);
+        const size_t first = std::min(count, cap - start);
+        scan(start, start + first, front_seq - start, fn);
+        if (first < count)
+            scan(0, count - first, front_seq + (cap - start), fn);
+    }
+
+  private:
+    size_t slot(InstSeq seq) const { return seq & (cap - 1); }
+
+    /** Visit set bits in [lo, hi); seq of slot s is base + s. */
+    template <typename Fn>
+    void
+    scan(size_t lo, size_t hi, InstSeq base, Fn &&fn) const
+    {
+        for (size_t w = lo >> 6; w <= (hi - 1) >> 6; ++w) {
+            u64 bits = words[w];
+            if (w == lo >> 6)
+                bits &= ~u64{0} << (lo & 63);
+            if (w == (hi - 1) >> 6 && (hi & 63) != 0)
+                bits &= (u64{1} << (hi & 63)) - 1;
+            while (bits) {
+                const unsigned b =
+                    static_cast<unsigned>(std::countr_zero(bits));
+                bits &= bits - 1;
+                fn(base + (w << 6) + b);
+            }
+        }
+    }
+
+    std::vector<u64> words;
+    size_t cap = 0;
+};
+
+/**
+ * Calendar wheel of (cycle -> seq list) timer events: completion times
+ * and earliest-issue (replay) times. Replaces the allocating
+ * std::map<Cycle, std::vector<InstSeq>> with preallocated per-slot
+ * vectors; events beyond the horizon spill to an overflow map (never
+ * reached with the Table 1 latencies, kept for arbitrary configs).
+ *
+ * Per-cycle event order matches the map-of-vectors exactly: events for
+ * one cycle drain in scheduling order (an overflow event for cycle C is
+ * by construction scheduled before any wheel event for C, since it was
+ * scheduled >= horizon cycles out).
+ */
+class EventWheel
+{
+  public:
+    void
+    init(size_t horizon_slots, size_t reserve_per_slot)
+    {
+        horizon = ceilPow2(horizon_slots);
+        slots.assign(horizon, {});
+        for (std::vector<InstSeq> &s : slots)
+            s.reserve(reserve_per_slot);
+        overflow.clear();
+        pendingCount = 0;
+    }
+
+    /** Schedule @p seq's event at cycle @p when (must be > @p now). */
+    void
+    schedule(InstSeq seq, Cycle when, Cycle now)
+    {
+        ++pendingCount;
+        if (when - now < horizon)
+            slots[when & (horizon - 1)].push_back(seq);
+        else
+            overflow[when].push_back(seq);
+    }
+
+    /** Append cycle @p now's events to @p out in scheduling order. */
+    void
+    drain(Cycle now, std::vector<InstSeq> &out)
+    {
+        if (!overflow.empty() && overflow.begin()->first == now) {
+            std::vector<InstSeq> &v = overflow.begin()->second;
+            pendingCount -= v.size();
+            out.insert(out.end(), v.begin(), v.end());
+            overflow.erase(overflow.begin());
+        }
+        std::vector<InstSeq> &slot = slots[now & (horizon - 1)];
+        pendingCount -= slot.size();
+        out.insert(out.end(), slot.begin(), slot.end());
+        slot.clear();
+    }
+
+    /**
+     * Eagerly remove the event (@p seq at cycle @p when) if it is still
+     * pending — the squash path uses this so dead scheduler state never
+     * outlives its instruction. Stable: surviving events keep their
+     * relative order.
+     */
+    void
+    purge(InstSeq seq, Cycle when, Cycle now)
+    {
+        if (when - now < horizon &&
+            eraseOne(slots[when & (horizon - 1)], seq)) {
+            return;
+        }
+        const auto it = overflow.find(when);
+        if (it != overflow.end() && eraseOne(it->second, seq) &&
+            it->second.empty()) {
+            overflow.erase(it);
+        }
+    }
+
+    /** Scheduled-but-undrained event count (watchdog diagnostic). */
+    size_t pending() const { return pendingCount; }
+
+  private:
+    bool
+    eraseOne(std::vector<InstSeq> &v, InstSeq seq)
+    {
+        for (auto it = v.begin(); it != v.end(); ++it) {
+            if (*it == seq) {
+                v.erase(it);
+                --pendingCount;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    std::vector<std::vector<InstSeq>> slots;
+    std::map<Cycle, std::vector<InstSeq>> overflow;
+    size_t horizon = 0;
+    size_t pendingCount = 0;
+};
+
+/**
+ * Per-producer dependent lists, recorded at dispatch: each in-flight
+ * consumer holds at most two edges (operand A / operand B) to the
+ * not-yet-completed producers it waits on. Completion walks exactly the
+ * waiting consumers instead of broadcasting across the window; a squash
+ * unlinks the squashed consumer's edges in O(1), so the pool of
+ * 2 x window-capacity nodes can never be exhausted.
+ */
+class DepGraph
+{
+  public:
+    void
+    init(size_t window_capacity)
+    {
+        cap = ceilPow2(window_capacity);
+        nodes.resize(2 * cap);
+        heads.assign(cap, schedNil);
+        consumerNode.assign(2 * cap, schedNil);
+        for (size_t i = 0; i < nodes.size(); ++i)
+            nodes[i].next = static_cast<u32>(i + 1);
+        nodes.back().next = schedNil;
+        freeHead = 0;
+    }
+
+    /** @p consumer waits on @p producer for operand @p op (0=A, 1=B). */
+    void
+    link(InstSeq producer, InstSeq consumer, unsigned op)
+    {
+        NWSIM_ASSERT(freeHead != schedNil, "dependent pool exhausted");
+        const u32 n = freeHead;
+        Node &node = nodes[n];
+        freeHead = node.next;
+
+        const size_t p = slot(producer);
+        node.consumer = consumer;
+        node.op = static_cast<u8>(op);
+        node.producerSlot = static_cast<u32>(p);
+        node.prev = schedNil;
+        node.next = heads[p];
+        if (heads[p] != schedNil)
+            nodes[heads[p]].prev = n;
+        heads[p] = n;
+        consumerNode[slot(consumer) * 2 + op] = n;
+    }
+
+    /** Drop both of @p consumer's edges (squash path), O(1). */
+    void
+    unlinkConsumer(InstSeq consumer)
+    {
+        for (unsigned op = 0; op < 2; ++op) {
+            u32 &ref = consumerNode[slot(consumer) * 2 + op];
+            if (ref == schedNil)
+                continue;
+            removeNode(ref);
+            ref = schedNil;
+        }
+    }
+
+    /**
+     * Producer @p producer completed: visit and clear its dependent
+     * list. fn(consumer_seq, operand) runs once per recorded edge.
+     */
+    template <typename Fn>
+    void
+    wake(InstSeq producer, Fn &&fn)
+    {
+        const size_t p = slot(producer);
+        u32 n = heads[p];
+        heads[p] = schedNil;
+        while (n != schedNil) {
+            Node &node = nodes[n];
+            const u32 next = node.next;
+            const InstSeq consumer = node.consumer;
+            const unsigned op = node.op;
+            consumerNode[slot(consumer) * 2 + op] = schedNil;
+            node.next = freeHead;
+            freeHead = n;
+            fn(consumer, op);
+            n = next;
+        }
+    }
+
+  private:
+    struct Node
+    {
+        InstSeq consumer = 0;
+        u32 prev = schedNil;
+        u32 next = schedNil;
+        u32 producerSlot = 0;
+        u8 op = 0;
+    };
+
+    size_t slot(InstSeq seq) const { return seq & (cap - 1); }
+
+    void
+    removeNode(u32 n)
+    {
+        Node &node = nodes[n];
+        if (node.prev == schedNil)
+            heads[node.producerSlot] = node.next;
+        else
+            nodes[node.prev].next = node.next;
+        if (node.next != schedNil)
+            nodes[node.next].prev = node.prev;
+        node.next = freeHead;
+        freeHead = n;
+    }
+
+    std::vector<Node> nodes;
+    std::vector<u32> heads;        // per producer window slot
+    std::vector<u32> consumerNode; // per consumer window slot x operand
+    size_t cap = 0;
+    u32 freeHead = schedNil;
+};
+
+/**
+ * Address index over the in-flight LSQ stores: an open-addressing hash
+ * table from 8-byte-aligned memory block to the chain of stores
+ * touching that block. A load consults only the (at most two) blocks it
+ * covers instead of scanning every older window entry, making both the
+ * issue-stage ordering check and dispatch's speculative load-value
+ * forwarding near-O(1) per load. Deletion uses backward-shift, so
+ * lookups never cross tombstones.
+ */
+class StoreAddrIndex
+{
+  public:
+    void
+    init(size_t lsq_capacity, size_t window_capacity)
+    {
+        wcap = ceilPow2(window_capacity);
+        tableCap = ceilPow2(std::max<size_t>(4 * lsq_capacity, 16));
+        hashShift = 64 - static_cast<unsigned>(
+                             std::countr_zero(u64{tableCap}));
+        table.assign(tableCap, Bucket{});
+        nodes.resize(2 * lsq_capacity);
+        storeNode.assign(2 * wcap, schedNil);
+        for (size_t i = 0; i < nodes.size(); ++i)
+            nodes[i].next = static_cast<u32>(i + 1);
+        nodes.back().next = schedNil;
+        freeHead = 0;
+    }
+
+    /** 8-byte block covering @p addr. */
+    static Addr blockOf(Addr addr) { return addr >> 3; }
+
+    /** Register the dispatched store @p seq covering [ea, ea+size). */
+    void
+    add(InstSeq seq, Addr ea, unsigned size)
+    {
+        const Addr b0 = blockOf(ea);
+        const Addr b1 = blockOf(ea + size - 1);
+        addToBlock(seq, b0, 0);
+        if (b1 != b0)
+            addToBlock(seq, b1, 1);
+    }
+
+    /** Drop store @p seq (commit or squash), O(1) amortized. */
+    void
+    remove(InstSeq seq)
+    {
+        for (unsigned i = 0; i < 2; ++i) {
+            u32 &ref = storeNode[slot(seq) * 2 + i];
+            if (ref == schedNil)
+                continue;
+            removeNode(ref);
+            ref = schedNil;
+        }
+    }
+
+    /** Visit the seq of every in-flight store touching @p block. */
+    template <typename Fn>
+    void
+    forEachStoreOnBlock(Addr block, Fn &&fn) const
+    {
+        const size_t b = find(block);
+        if (b == notFound)
+            return;
+        for (u32 n = table[b].head; n != schedNil; n = nodes[n].next)
+            fn(nodes[n].seq);
+    }
+
+  private:
+    struct Bucket
+    {
+        Addr block = 0;
+        u32 head = schedNil;
+        bool used = false;
+    };
+
+    struct Node
+    {
+        InstSeq seq = 0;
+        u32 prev = schedNil;
+        u32 next = schedNil;
+        u32 bucket = 0;
+    };
+
+    static constexpr size_t notFound = ~size_t{0};
+
+    size_t slot(InstSeq seq) const { return seq & (wcap - 1); }
+
+    size_t
+    hash(Addr block) const
+    {
+        return static_cast<size_t>((block * 0x9e3779b97f4a7c15ULL) >>
+                                   hashShift);
+    }
+
+    size_t
+    find(Addr block) const
+    {
+        size_t i = hash(block);
+        while (table[i].used) {
+            if (table[i].block == block)
+                return i;
+            i = (i + 1) & (tableCap - 1);
+        }
+        return notFound;
+    }
+
+    void
+    addToBlock(InstSeq seq, Addr block, unsigned which)
+    {
+        NWSIM_ASSERT(freeHead != schedNil, "store index pool exhausted");
+        size_t i = hash(block);
+        while (table[i].used && table[i].block != block)
+            i = (i + 1) & (tableCap - 1);
+        if (!table[i].used) {
+            table[i].used = true;
+            table[i].block = block;
+            table[i].head = schedNil;
+        }
+
+        const u32 n = freeHead;
+        Node &node = nodes[n];
+        freeHead = node.next;
+        node.seq = seq;
+        node.bucket = static_cast<u32>(i);
+        node.prev = schedNil;
+        node.next = table[i].head;
+        if (table[i].head != schedNil)
+            nodes[table[i].head].prev = n;
+        table[i].head = n;
+        storeNode[slot(seq) * 2 + which] = n;
+    }
+
+    void
+    removeNode(u32 n)
+    {
+        Node &node = nodes[n];
+        const u32 bucket = node.bucket;
+        if (node.prev == schedNil)
+            table[bucket].head = node.next;
+        else
+            nodes[node.prev].next = node.next;
+        if (node.next != schedNil)
+            nodes[node.next].prev = node.prev;
+        node.next = freeHead;
+        freeHead = n;
+        if (table[bucket].head == schedNil)
+            eraseBucket(bucket);
+    }
+
+    /** Backward-shift deletion of an emptied bucket. */
+    void
+    eraseBucket(size_t i)
+    {
+        table[i].used = false;
+        size_t j = i;
+        size_t k = i;
+        for (;;) {
+            k = (k + 1) & (tableCap - 1);
+            if (!table[k].used)
+                break;
+            const size_t ideal = hash(table[k].block);
+            // k can fill hole j only if its probe path passes through j.
+            if (((k - ideal) & (tableCap - 1)) <
+                ((k - j) & (tableCap - 1))) {
+                continue;
+            }
+            table[j] = table[k];
+            for (u32 n = table[j].head; n != schedNil; n = nodes[n].next)
+                nodes[n].bucket = static_cast<u32>(j);
+            table[k].used = false;
+            j = k;
+        }
+    }
+
+    std::vector<Bucket> table;
+    std::vector<Node> nodes;
+    std::vector<u32> storeNode; // per window slot x block-membership
+    size_t wcap = 0;
+    size_t tableCap = 0;
+    unsigned hashShift = 0;
+    u32 freeHead = schedNil;
+};
+
+} // namespace nwsim
+
+#endif // NWSIM_PIPELINE_SCHED_HH

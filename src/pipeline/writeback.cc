@@ -13,16 +13,17 @@ namespace nwsim
 void
 OutOfOrderCore::writebackStage()
 {
-    const auto it = completions.find(curCycle);
-    if (it == completions.end())
-        return;
-    // Detach the list: squashes may mutate the window mid-walk.
-    const std::vector<InstSeq> seqs = std::move(it->second);
-    completions.erase(it);
+    // Detach this cycle's completion events into the reused scratch
+    // list: squashes may mutate the window (and purge future timers)
+    // mid-walk.
+    completedScratch.clear();
+    completions.drain(curCycle, completedScratch);
 
-    for (const InstSeq seq : seqs) {
+    for (const InstSeq seq : completedScratch) {
         RuuEntry *e = entryBySeq(seq);
-        // Lazy invalidation: squashed or replay-rescheduled entries.
+        // Timers are purged eagerly on squash, so these guards only
+        // skip events orphaned mid-walk by a same-cycle mispredict
+        // squash earlier in this loop.
         if (!e || e->state != EntryState::Issued ||
             e->completeCycle != curCycle) {
             continue;
@@ -42,6 +43,13 @@ OutOfOrderCore::writebackStage()
                 e->replaySpec = false;
                 e->noPack = true;
                 e->earliestIssue = curCycle + cfg.packing.replayPenalty;
+                // Event mode re-inserts the entry into the ready queue
+                // when the penalty expires. A zero penalty lands on the
+                // current cycle's wheel slot, which this cycle's issue
+                // stage (it runs after writeback) still drains — same
+                // cycle the legacy scan would first see it again.
+                if (!cfg.legacyScheduler)
+                    readyTimers.schedule(seq, e->earliestIssue, curCycle);
                 ++packStat.replayTraps;
                 trace(TraceStage::Replay, *e);
                 continue;

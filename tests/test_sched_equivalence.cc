@@ -1,0 +1,353 @@
+/**
+ * Event-driven scheduler equivalence suite (docs/PERF.md).
+ *
+ * The scheduler rewrite (pipeline/sched.hh) must be a pure perf
+ * optimization: every statistic and every architected result must be
+ * bit-identical to the legacy O(window)-scan code it replaced, which is
+ * kept behind CoreConfig::legacyScheduler for exactly this comparison.
+ *
+ *  - Grid bit-identity: every workload x a config grid covering all
+ *    packing modes, both issue widths, 8-wide decode, and perfect
+ *    prediction, compared through the campaign wire format — one
+ *    mismatched bit anywhere in the full stat block fails.
+ *  - Differential: a branchy, memory-carried program retires the exact
+ *    golden-model architectural state under both schedulers.
+ *  - Checkers: the cosim oracle + invariant checker stay clean on the
+ *    event path.
+ *  - Allocation-free steady state: tick() performs zero heap
+ *    allocations once warm (counted via replaced global operator new).
+ *  - Eager squash purge: pending completion events always equal the
+ *    window's Issued-entry count, even across mispredict squashes, and
+ *    drain to zero at halt.
+ */
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include <gtest/gtest.h>
+
+#include "check/session.hh"
+#include "exp/configs.hh"
+#include "exp/wire.hh"
+#include "pipeline/observer.hh"
+#include "sim_test_util.hh"
+#include "workloads/workload.hh"
+
+// ---- Global allocation counter (zero-alloc steady-state test) ----------
+
+namespace
+{
+
+std::atomic<size_t> allocCount{0};
+std::atomic<bool> countAllocs{false};
+
+void *
+countedAlloc(std::size_t n)
+{
+    if (countAllocs.load(std::memory_order_relaxed))
+        allocCount.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(n ? n : 1))
+        return p;
+    throw std::bad_alloc{};
+}
+
+} // namespace
+
+void *operator new(std::size_t n) { return countedAlloc(n); }
+void *operator new[](std::size_t n) { return countedAlloc(n); }
+void operator delete(void *p) noexcept { std::free(p); }
+void operator delete[](void *p) noexcept { std::free(p); }
+void operator delete(void *p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void *p, std::size_t) noexcept { std::free(p); }
+
+namespace nwsim
+{
+
+/** White-box probe (friend of OutOfOrderCore). */
+class CoreInspector
+{
+  public:
+    explicit CoreInspector(OutOfOrderCore &c) : core(c) {}
+
+    /** Scheduled-but-undrained completion events. */
+    size_t
+    pendingCompletions() const
+    {
+        return core.completions.pending();
+    }
+
+    /** Entries currently executing in a functional unit. */
+    size_t
+    issuedInWindow() const
+    {
+        size_t n = 0;
+        for (const RuuEntry &e : core.window)
+            if (e.state == EntryState::Issued)
+                ++n;
+        return n;
+    }
+
+  private:
+    OutOfOrderCore &core;
+};
+
+} // namespace nwsim
+
+namespace
+{
+
+using namespace nwsim;
+using test::buildProgram;
+using test::fastMemory;
+
+/**
+ * Run @p prog under @p spec (plus `+legacy` when asked) and serialize
+ * the complete outcome — every CoreStats / packing / gating / width /
+ * bpred field plus the architected result — through the byte-exact
+ * campaign wire format. Both variants are labeled identically so the
+ * blobs differ iff the simulation did.
+ */
+std::string
+packedRun(const Program &prog, const std::string &workload,
+          const std::string &spec, bool legacy, const RunOptions &opts)
+{
+    const CoreConfig cfg =
+        exp::configBySpec(legacy ? spec + "+legacy" : spec);
+    exp::JobOutcome o;
+    o.workload = workload;
+    o.configSpec = spec;
+    o.ok = true;
+    o.status = exp::JobStatus::Ok;
+    o.attempts = 1;
+    o.result = runProgram(prog, cfg, opts, workload, spec);
+    return exp::packJobOutcome(o);
+}
+
+// ---- 1. Grid bit-identity ----------------------------------------------
+
+TEST(SchedEquivalence, GridBitIdentical)
+{
+    // Strict + replay packing, both issue widths, 8-wide decode, and
+    // perfect prediction: every scheduler code path the configs reach.
+    const std::vector<std::string> specs = {
+        "baseline",
+        "packing",
+        "packing-replay",
+        "issue8",
+        "packing-replay+decode8+perfect",
+    };
+    RunOptions opts;
+    opts.warmupInsts = 3000;
+    opts.measureInsts = 12000;
+
+    for (const Workload &w : allWorkloads()) {
+        const Program prog = w.program();
+        for (const std::string &spec : specs) {
+            SCOPED_TRACE(w.name + "/" + spec);
+            const std::string event =
+                packedRun(prog, w.name, spec, false, opts);
+            const std::string legacy =
+                packedRun(prog, w.name, spec, true, opts);
+            EXPECT_EQ(event, legacy);
+        }
+    }
+}
+
+TEST(SchedEquivalence, DeepWindowBitIdentical)
+{
+    // One long run: deep enough to wrap every ring/wheel/bitmap many
+    // times and to exercise replay traps at realistic density.
+    RunOptions opts;
+    opts.warmupInsts = 20000;
+    opts.measureInsts = 120000;
+    const Program prog = workloadByName("perl").program();
+    EXPECT_EQ(packedRun(prog, "perl", "packing-replay", false, opts),
+              packedRun(prog, "perl", "packing-replay", true, opts));
+}
+
+// ---- 2. Differential vs the golden model, both schedulers --------------
+
+Program
+branchyMemProgram()
+{
+    // LCG-driven data-dependent branches over a small store/load
+    // working set: mispredict squashes, store-to-load forwarding, and
+    // partial-width (32-bit over 64-bit) overlap on every iteration.
+    return buildProgram([](Assembler &as) {
+        as.li(1, 0x1234567);
+        as.li(9, 1103515245);
+        as.li(2, 4000);        // iterations
+        as.li(8, 0);           // checksum accumulator
+        as.addi(10, 30, -256); // scratch buffer below the stack top
+        as.label("loop");
+        as.mul(1, 1, 9);
+        as.addi(1, 1, 12345);
+        as.srli(3, 1, 13);
+        as.andi(3, 3, 1);
+        as.stq(1, 0, 10);
+        as.beq(3, "skip");
+        as.stl(8, 4, 10);      // overlaps the stq's upper half
+        as.ldq(4, 0, 10);
+        as.add(8, 8, 4);
+        as.label("skip");
+        as.ldl(5, 0, 10);
+        as.xor_(8, 8, 5);
+        as.subi(2, 2, 1);
+        as.bne(2, "loop");
+        as.halt();
+    });
+}
+
+TEST(SchedEquivalence, DifferentialBothSchedulers)
+{
+    const Program prog = branchyMemProgram();
+    for (const bool legacy : {false, true}) {
+        SCOPED_TRACE(legacy ? "legacy" : "event");
+        const CoreConfig cfg = fastMemory(exp::configBySpec(
+            legacy ? "packing-replay+legacy" : "packing-replay"));
+        test::CoreRun run = test::runDifferential(prog, cfg);
+        EXPECT_GT(run.core->stats().mispredictSquashes, 20u);
+    }
+}
+
+// ---- 3. Cosim oracle + invariant checker on the event path -------------
+
+TEST(SchedEquivalence, CheckersCleanOnEventScheduler)
+{
+    RunOptions opts;
+    opts.warmupInsts = 2000;
+    opts.measureInsts = 10000;
+    for (const char *spec : {"packing-replay", "issue8"}) {
+        SCOPED_TRACE(spec);
+        const CheckedRunOutcome out =
+            runCheckedProgram(workloadByName("li").program(),
+                              exp::configBySpec(spec), opts, "li", spec);
+        EXPECT_TRUE(out.ok) << out.report;
+        EXPECT_GT(out.commitsChecked, 0u);
+    }
+}
+
+// ---- 4. Zero heap allocations in steady-state tick() -------------------
+
+TEST(SchedEquivalence, SteadyStateTickDoesNotAllocate)
+{
+    const Program prog = buildProgram([](Assembler &as) {
+        as.li(1, 0x1234567);
+        as.li(2, 20000); // iterations (never reached; run() bounds us)
+        as.addi(10, 30, -256);
+        as.label("loop");
+        as.mul(3, 1, 1);
+        as.addi(1, 1, 7);
+        as.stq(3, 0, 10);
+        as.ldq(4, 0, 10);
+        as.add(5, 4, 3);
+        as.andi(6, 5, 255);
+        as.stl(6, 8, 10);
+        as.ldl(7, 8, 10);
+        as.add(8, 8, 7);
+        as.subi(2, 2, 1);
+        as.bne(2, "loop");
+        as.halt();
+    });
+
+    // Self-check the counter first: a fresh vector must register, or
+    // the zero-allocation assertion below would pass vacuously.
+    allocCount.store(0);
+    countAllocs.store(true);
+    {
+        std::vector<u64> probe(64);
+        probe[0] = 1;
+    }
+    countAllocs.store(false);
+    ASSERT_GT(allocCount.load(), 0u) << "operator new not intercepted";
+
+    const CoreConfig cfg =
+        fastMemory(exp::configBySpec("packing-replay"));
+    SparseMemory mem;
+    prog.load(mem);
+    OutOfOrderCore core(cfg, mem, prog.entry);
+
+    // Warm: touch every page, fill the predictor, grow every scratch
+    // vector and wheel slot to its steady-state capacity.
+    core.run(30000);
+    ASSERT_FALSE(core.done());
+
+    allocCount.store(0);
+    countAllocs.store(true);
+    core.run(3000);
+    countAllocs.store(false);
+    EXPECT_EQ(allocCount.load(), 0u)
+        << "tick() allocated in steady state";
+}
+
+// ---- 5. Eager purge of squashed completion events ----------------------
+
+/** Counts squashes that killed an executing (Issued) entry. */
+class SquashProbe : public CoreObserver
+{
+  public:
+    size_t issuedSquashed = 0;
+
+    void
+    onSquash(const RuuEntry &e) override
+    {
+        if (e.state == EntryState::Issued)
+            ++issuedSquashed;
+    }
+};
+
+TEST(SchedEquivalence, SquashPurgesPendingCompletions)
+{
+    // The branch depends on a multiply chain (resolves late) while the
+    // speculated path issues long-latency multiplies immediately, so
+    // mispredict squashes routinely kill Issued entries whose
+    // completion events are still pending — exactly what the eager
+    // purge must remove.
+    const Program prog = buildProgram([](Assembler &as) {
+        as.li(1, 12345);
+        as.li(9, 1103515245);
+        as.li(2, 1500); // iterations
+        as.li(8, 1);
+        as.label("loop");
+        as.mul(1, 1, 9);
+        as.addi(1, 1, 12345);
+        as.srli(3, 1, 13);
+        as.andi(3, 3, 1);
+        as.beq(3, "skip");
+        as.mul(4, 8, 9); // operands ready at once: issues immediately
+        as.mul(5, 4, 9);
+        as.add(8, 8, 5);
+        as.label("skip");
+        as.subi(2, 2, 1);
+        as.bne(2, "loop");
+        as.halt();
+    });
+
+    for (const bool legacy : {false, true}) {
+        SCOPED_TRACE(legacy ? "legacy" : "event");
+        const CoreConfig cfg = fastMemory(exp::configBySpec(
+            legacy ? "baseline+legacy" : "baseline"));
+        SparseMemory mem;
+        prog.load(mem);
+        OutOfOrderCore core(cfg, mem, prog.entry);
+        SquashProbe probe;
+        core.setObserver(&probe);
+        CoreInspector insp(core);
+
+        u64 guard = 0;
+        while (!core.done() && guard++ < 500000) {
+            core.tick();
+            // With lazy invalidation, events of squashed Issued entries
+            // would linger and pending would exceed the Issued count.
+            ASSERT_EQ(insp.pendingCompletions(), insp.issuedInWindow());
+        }
+        EXPECT_TRUE(core.done());
+        EXPECT_EQ(insp.pendingCompletions(), 0u);
+        EXPECT_GT(core.stats().mispredictSquashes, 20u);
+        EXPECT_GT(probe.issuedSquashed, 0u);
+        core.setObserver(nullptr);
+    }
+}
+
+} // namespace

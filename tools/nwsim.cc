@@ -8,6 +8,16 @@
  *     nwsim run <workload | file.s> [options]
  *         Simulate a built-in workload or an assembly source file.
  *
+ *     nwsim bench [--suite smoke|all] [--workloads a,b] [--configs ...]
+ *                 [--warmup N] [--measure N] [--jobs N] [--json FILE]
+ *                 [--no-legacy] [--no-progress]
+ *         Measure host-side simulation speed (docs/PERF.md): run the
+ *         workload × config grid on the event-driven scheduler and the
+ *         legacy +legacy scan path, print per-variant KIPS and the
+ *         wall-clock speedup, and write BENCH_simspeed.json (--json
+ *         overrides the path). Exits nonzero if any job fails or the
+ *         measured KIPS is zero.
+ *
  * Options:
  *     --config SPEC     a full campaign config spec: base preset
  *                       (baseline | packing | packing-replay | issue8)
@@ -43,6 +53,7 @@
 #include "common/logging.hh"
 #include "driver/runner.hh"
 #include "driver/table.hh"
+#include "exp/bench.hh"
 #include "exp/configs.hh"
 #include "workloads/kernels.hh"
 
@@ -59,7 +70,11 @@ usage()
         << "       nwsim run <workload|file.s> [--config SPEC]\n"
         << "                 [--decode8] [--perfect-bp]\n"
         << "                 [--early-out-mult] [--warmup N]\n"
-        << "                 [--measure N] [--trace] [--csv] [--check]\n";
+        << "                 [--measure N] [--trace] [--csv] [--check]\n"
+        << "       nwsim bench [--suite smoke|all] [--workloads a,b]\n"
+        << "                 [--configs s1,s2] [--warmup N] [--measure N]\n"
+        << "                 [--jobs N] [--json FILE] [--no-legacy]\n"
+        << "                 [--no-progress]\n";
     return exitcode::Usage;
 }
 
@@ -150,6 +165,128 @@ report(const RunResult &r, bool csv)
               << r.packing.replayTraps << " replay traps\n";
 }
 
+std::vector<std::string>
+splitList(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : csv) {
+        if (c == ',') {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+int
+benchMain(int argc, char **argv)
+{
+    exp::BenchOptions bopts;
+    bopts.runOpts = resolveRunOptions();
+    bool progress = true;
+    bool window_overridden = false;
+    std::string suite = "all";
+    std::string json_path = "BENCH_simspeed.json";
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(exitcode::Usage);
+            }
+            return argv[++i];
+        };
+        if (arg == "--suite")
+            suite = next();
+        else if (arg == "--workloads")
+            bopts.workloads = splitList(next());
+        else if (arg == "--configs")
+            bopts.configs = splitList(next());
+        else if (arg == "--warmup") {
+            bopts.runOpts.warmupInsts =
+                std::strtoull(next().c_str(), nullptr, 0);
+            window_overridden = true;
+        } else if (arg == "--measure") {
+            bopts.runOpts.measureInsts =
+                std::strtoull(next().c_str(), nullptr, 0);
+            window_overridden = true;
+        } else if (arg == "--jobs")
+            bopts.jobs = static_cast<unsigned>(
+                std::strtoul(next().c_str(), nullptr, 0));
+        else if (arg == "--json")
+            json_path = next();
+        else if (arg == "--no-legacy")
+            bopts.compareLegacy = false;
+        else if (arg == "--no-progress")
+            progress = false;
+        else
+            return usage();
+    }
+
+    if (suite == "smoke") {
+        // The ctest `perf` entry: a 2x2 grid with short windows, enough
+        // to sanity-check the measurement plumbing in seconds.
+        if (bopts.workloads.empty())
+            bopts.workloads = {"perl", "gsm-decode"};
+        if (bopts.configs.empty())
+            bopts.configs = {"baseline", "packing-replay"};
+        if (!window_overridden) {
+            bopts.runOpts.warmupInsts = 2000;
+            bopts.runOpts.measureInsts = 10000;
+        }
+    } else if (suite != "all") {
+        return usage();
+    }
+    if (progress)
+        bopts.progress = &std::cerr;
+
+    const exp::BenchReport report = exp::runSpeedBench(bopts);
+    const exp::BenchAggregate ev = exp::benchAggregate(report.event);
+
+    std::cout << "event-driven scheduler: "
+              << Table::num(ev.seconds, 2) << "s for "
+              << Table::num(ev.committedKinsts, 0) << " kinsts = "
+              << Table::num(ev.kips(), 0) << " KIPS ("
+              << Table::num(ev.cyclesPerSecond() / 1e6, 2)
+              << " Mcycles/s)\n";
+    if (report.options.compareLegacy) {
+        const exp::BenchAggregate lg = exp::benchAggregate(report.legacy);
+        std::cout << "legacy scan scheduler:  "
+                  << Table::num(lg.seconds, 2) << "s for "
+                  << Table::num(lg.committedKinsts, 0) << " kinsts = "
+                  << Table::num(lg.kips(), 0) << " KIPS ("
+                  << Table::num(lg.cyclesPerSecond() / 1e6, 2)
+                  << " Mcycles/s)\n"
+                  << "speedup (wall-clock):   "
+                  << Table::num(report.speedup(), 2) << "x\n";
+    }
+
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        if (!out)
+            NWSIM_FATAL("cannot write ", json_path);
+        exp::writeBenchJson(out, report);
+        std::cerr << "wrote " << json_path << "\n";
+    }
+
+    if (!report.ok()) {
+        std::cerr << "nwsim bench: job failures (see above)\n";
+        return 1;
+    }
+    if (ev.kips() <= 0.0) {
+        std::cerr << "nwsim bench: measured zero KIPS — timing broken\n";
+        return 1;
+    }
+    return 0;
+}
+
 int
 runMain(int argc, char **argv)
 {
@@ -158,6 +295,8 @@ runMain(int argc, char **argv)
     const std::string cmd = argv[1];
     if (cmd == "list")
         return listWorkloads();
+    if (cmd == "bench")
+        return benchMain(argc, argv);
     if (cmd != "run" || argc < 3)
         return usage();
 
