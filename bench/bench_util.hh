@@ -2,6 +2,14 @@
  * @file
  * Shared helpers for the experiment benches: run a workload set on a
  * configuration and print paper-style tables.
+ *
+ * Every bench funnels its simulations through the campaign engine's
+ * Executor API (exp/campaign.hh) rather than a hand-rolled loop: one
+ * Campaign per (config, workload-set), executed in parallel, with the
+ * same retry/classification machinery the sweeps use. Per-job results
+ * are bit-identical to a serial run (see campaign.hh's determinism
+ * guarantee), so the printed tables are unchanged — the benches are
+ * just faster and share one execution path with nwsweep.
  */
 
 #ifndef NWSIM_BENCH_BENCH_UTIL_HH
@@ -15,6 +23,7 @@
 #include "driver/presets.hh"
 #include "driver/runner.hh"
 #include "driver/table.hh"
+#include "exp/campaign.hh"
 #include "workloads/kernels.hh"
 
 namespace nwsim::bench
@@ -30,31 +39,49 @@ header(const std::string &artifact, const std::string &what)
               << "==============================================\n";
 }
 
+/**
+ * Run @p workloads on @p cfg as one parallel campaign and return the
+ * results in workload order. @p config_name is the label used in stats
+ * and tables; the CoreConfig itself travels with each job, so bench
+ * configs that no spec string can express work unchanged (and survive
+ * a remote executor's serialization). A failed job surfaces as the
+ * campaign's classified exception, like the old direct call would.
+ */
+inline std::vector<RunResult>
+runWorkloads(const std::vector<Workload> &workloads,
+             const CoreConfig &cfg, const std::string &config_name)
+{
+    const RunOptions opts = resolveRunOptions();
+    exp::Campaign campaign;
+    for (const Workload &w : workloads) {
+        exp::SimJob job;
+        job.workload = w.name;
+        job.configSpec = config_name;
+        job.config = cfg;
+        job.opts = opts;
+        campaign.add(std::move(job));
+    }
+    const exp::ResultSet results = campaign.run({});
+    std::vector<RunResult> out;
+    out.reserve(workloads.size());
+    for (const Workload &w : workloads)
+        out.push_back(results.get(w.name, config_name));
+    return out;
+}
+
 /** Run every workload of @p suite on @p cfg. */
 inline std::vector<RunResult>
 runSuite(const std::string &suite, const CoreConfig &cfg,
          const std::string &config_name)
 {
-    const RunOptions opts = resolveRunOptions();
-    std::vector<RunResult> out;
-    for (const Workload &w : suiteWorkloads(suite)) {
-        out.push_back(
-            runProgram(w.program(), cfg, opts, w.name, config_name));
-    }
-    return out;
+    return runWorkloads(suiteWorkloads(suite), cfg, config_name);
 }
 
 /** Run all 14 workloads on @p cfg. */
 inline std::vector<RunResult>
 runAll(const CoreConfig &cfg, const std::string &config_name)
 {
-    const RunOptions opts = resolveRunOptions();
-    std::vector<RunResult> out;
-    for (const Workload &w : allWorkloads()) {
-        out.push_back(
-            runProgram(w.program(), cfg, opts, w.name, config_name));
-    }
-    return out;
+    return runWorkloads(allWorkloads(), cfg, config_name);
 }
 
 /** Arithmetic mean of @p f over the results of one suite. */

@@ -1,0 +1,81 @@
+# The loopback distributed smoke under AddressSanitizer (nested build),
+# driven by ctest (labels `dist;sanitize`) as:
+#
+#   cmake -DSOURCE_DIR=<repo> -DWORK_DIR=<scratch> -P RunAsanDistSmoke.cmake
+#
+# The remote executor's socket plumbing, frame reassembly, fork-per-job
+# worker daemons, and driver-side reassignment bookkeeping must all be
+# memory-clean while a real two-worker sweep runs — and the distributed
+# JSON must still match the thread executor byte for byte.
+#
+# Shares ${WORK_DIR}/asan-build with the ASan fault drill (ctest
+# serializes them via RESOURCE_LOCK), so the instrumented tree is only
+# built once per ctest invocation.
+
+if(NOT SOURCE_DIR OR NOT WORK_DIR)
+    message(FATAL_ERROR "usage: cmake -DSOURCE_DIR=<repo> "
+                        "-DWORK_DIR=<scratch> -P RunAsanDistSmoke.cmake")
+endif()
+
+set(build_dir "${WORK_DIR}/asan-build")
+file(MAKE_DIRECTORY "${build_dir}")
+
+message(STATUS "ASan dist smoke: configuring in ${build_dir}")
+execute_process(
+    COMMAND "${CMAKE_COMMAND}" -S "${SOURCE_DIR}" -B "${build_dir}"
+            -DNWSIM_SANITIZE=address
+            -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    RESULT_VARIABLE rc)
+if(rc)
+    message(FATAL_ERROR "ASan dist smoke: configure failed (${rc})")
+endif()
+
+message(STATUS "ASan dist smoke: building nwsweep")
+execute_process(
+    COMMAND "${CMAKE_COMMAND}" --build "${build_dir}" --target nwsweep
+            --parallel 4
+    RESULT_VARIABLE rc)
+if(rc)
+    message(FATAL_ERROR "ASan dist smoke: build failed (${rc})")
+endif()
+
+set(nwsweep "${build_dir}/tools/nwsweep")
+set(thread_json "${WORK_DIR}/asan_dist_thread.json")
+set(remote_json "${WORK_DIR}/asan_dist_remote.json")
+file(REMOVE "${thread_json}" "${remote_json}")
+
+# detect_leaks off for the sweep itself: worker daemons leave their
+# session via _Exit (deliberately — a forked child must not run the
+# parent's destructors), which LeakSanitizer would misread.
+set(asan_env "ASAN_OPTIONS=detect_leaks=0:allocator_may_return_null=1")
+
+message(STATUS "ASan dist smoke: thread-executor reference run")
+execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E env "${asan_env}"
+            "${nwsweep}" --suite smoke --no-progress
+            --json-no-timing --json "${thread_json}"
+    RESULT_VARIABLE rc)
+if(rc)
+    message(FATAL_ERROR "ASan dist smoke: thread run failed (${rc})")
+endif()
+
+message(STATUS "ASan dist smoke: two-worker loopback distributed run")
+execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E env "${asan_env}"
+            "${nwsweep}" --suite smoke --no-progress
+            --json-no-timing --json "${remote_json}"
+            --spawn-workers 2
+    RESULT_VARIABLE rc)
+if(rc)
+    message(FATAL_ERROR "ASan dist smoke: distributed run failed (${rc})")
+endif()
+
+execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E compare_files
+            "${thread_json}" "${remote_json}"
+    RESULT_VARIABLE rc)
+if(rc)
+    message(FATAL_ERROR "ASan dist smoke: distributed JSON differs "
+                        "from the thread executor's")
+endif()
+message(STATUS "ASan dist smoke: clean and byte-identical")

@@ -1,0 +1,50 @@
+# Loopback distributed-campaign smoke, driven by ctest (label `dist`):
+#
+#   cmake -DNWSWEEP=<nwsweep binary> -DWORK_DIR=<scratch> -P RunDistSmoke.cmake
+#
+# Runs the smoke grid twice — once on the in-process thread executor,
+# once distributed over two freshly forked loopback worker daemons
+# (--spawn-workers, a real TCP topology) with a journal — and requires
+# the two --json-no-timing documents to be byte-identical. This is the
+# executor API's core promise: per-job statistics do not depend on
+# which backend ran the job, how many workers there were, or where
+# they lived.
+
+if(NOT NWSWEEP OR NOT WORK_DIR)
+    message(FATAL_ERROR "usage: cmake -DNWSWEEP=<nwsweep> "
+                        "-DWORK_DIR=<scratch> -P RunDistSmoke.cmake")
+endif()
+
+set(thread_json "${WORK_DIR}/dist_smoke_thread.json")
+set(remote_json "${WORK_DIR}/dist_smoke_remote.json")
+set(journal "${WORK_DIR}/dist_smoke.nwj")
+file(REMOVE "${thread_json}" "${remote_json}" "${journal}")
+
+message(STATUS "dist smoke: thread-executor reference run")
+execute_process(
+    COMMAND "${NWSWEEP}" --suite smoke --no-progress
+            --json-no-timing --json "${thread_json}"
+    RESULT_VARIABLE rc)
+if(rc)
+    message(FATAL_ERROR "dist smoke: thread run failed (${rc})")
+endif()
+
+message(STATUS "dist smoke: two-worker loopback distributed run")
+execute_process(
+    COMMAND "${NWSWEEP}" --suite smoke --no-progress
+            --json-no-timing --json "${remote_json}"
+            --spawn-workers 2 --journal "${journal}"
+    RESULT_VARIABLE rc)
+if(rc)
+    message(FATAL_ERROR "dist smoke: distributed run failed (${rc})")
+endif()
+
+execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E compare_files
+            "${thread_json}" "${remote_json}"
+    RESULT_VARIABLE rc)
+if(rc)
+    message(FATAL_ERROR "dist smoke: distributed JSON differs from the "
+                        "thread executor's (determinism regression)")
+endif()
+message(STATUS "dist smoke: byte-identical across executors")

@@ -10,7 +10,7 @@ exitCodeFor(ErrorKind kind)
       case ErrorKind::BadInput:
         return exitcode::BadInput;
       case ErrorKind::ResourceLimit:
-        return exitcode::Failure;
+        return exitcode::ResourceLimit;
       case ErrorKind::Internal:
         return exitcode::Internal;
     }

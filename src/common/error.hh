@@ -55,6 +55,7 @@ constexpr int CheckDivergence = 4; ///< cosim/invariant checker fired
 constexpr int Timeout = 5;         ///< wall-clock watchdog killed the run
 constexpr int Crash = 6;           ///< fatal signal (SIGSEGV, ...)
 constexpr int Internal = 7;        ///< ErrorKind::Internal
+constexpr int ResourceLimit = 8;   ///< ErrorKind::ResourceLimit (rlimit/OOM)
 } // namespace exitcode
 
 /** Exit code for @p kind (exitcode::BadInput / Internal / Failure). */

@@ -13,8 +13,8 @@
 #include "common/error.hh"
 #include "exp/bundle.hh"
 #include "exp/configs.hh"
+#include "exp/executor.hh"
 #include "exp/isolate.hh"
-#include "exp/job_pool.hh"
 #include "exp/journal.hh"
 #include "exp/progress.hh"
 #include "pipeline/flight_recorder.hh"
@@ -245,34 +245,23 @@ Campaign::run(const CampaignOptions &copts) const
                                                     !copts.resume);
     }
 
-    const unsigned workers = std::max<unsigned>(
-        1, static_cast<unsigned>(std::min<size_t>(
-               resolveJobCount(copts.jobs), std::max<size_t>(1, todo.size()))));
+    // The backend owns *how* the remaining jobs run; everything above
+    // and below (resume adoption, journal, progress, merge) is
+    // backend-independent — see docs/CAMPAIGN.md "Executors".
+    const std::unique_ptr<Executor> executor = makeExecutor(copts);
+    const unsigned workers = executor->lanes(copts, todo.size());
     ProgressMeter meter(todo.size(), workers, copts.progress);
 
     // Journal appends and the meter share one serialization point: the
-    // pool's on_done hook (thread mode) or the parent's poll loop
-    // (isolate mode) — both deliver completions one at a time.
+    // executor's on_done hook, which every backend delivers one
+    // completion at a time.
     auto record = [&](size_t i) {
         if (journal)
             journal->append(outcomes[i]);
         meter.jobDone(outcomes[i].label(), outcomes[i].ok);
     };
 
-    if (copts.isolate) {
-        runJobsIsolated(jobList, todo, copts, workers, outcomes, record);
-    } else {
-        JobPool pool(workers);
-        std::vector<std::function<void()>> tasks;
-        tasks.reserve(todo.size());
-        for (const size_t i : todo) {
-            tasks.push_back([this, i, &copts, &outcomes] {
-                outcomes[i] =
-                    executeJobWithRetries(jobList[i], i, copts);
-            });
-        }
-        pool.run(tasks, [&](size_t t) { record(todo[t]); });
-    }
+    executor->execute(jobList, todo, copts, outcomes, record);
     meter.finish();
 
     return ResultSet(std::move(outcomes), workers);

@@ -59,6 +59,23 @@ struct SimJob
     std::string label() const { return workload + "/" + configSpec; }
 };
 
+/**
+ * Which Executor backend runs the jobs (docs/CAMPAIGN.md "Executors").
+ * Auto picks Remote when workerHosts is non-empty, Fork when isolate
+ * is set, and Thread otherwise — existing callers keep their behavior
+ * without naming an executor.
+ */
+enum class ExecutorKind
+{
+    Auto,
+    Thread, ///< in-process JobPool fan-out (fastest, no fault walls)
+    Fork,   ///< one forked child per job (crash/hang/rlimit isolation)
+    Remote, ///< stream jobs to `nwsweep serve` daemons over TCP
+};
+
+/** Printable kind name ("auto", "thread", "fork", "remote"). */
+const char *executorKindName(ExecutorKind kind);
+
 /** Campaign execution knobs. */
 struct CampaignOptions
 {
@@ -93,6 +110,35 @@ struct CampaignOptions
      * merge their journaled outcomes into the ResultSet.
      */
     bool resume = false;
+    /** Backend selection; Auto derives it from workerHosts/isolate. */
+    ExecutorKind executor = ExecutorKind::Auto;
+    /**
+     * `host:port` worker daemons for the remote executor (each one an
+     * `nwsweep serve` instance). Non-empty implies ExecutorKind::Remote
+     * under Auto.
+     */
+    std::vector<std::string> workerHosts;
+    /** Jobs kept in flight per connected worker daemon. */
+    unsigned remoteWindow = 4;
+    /**
+     * Socket silence (no outcome, no heartbeat) after which the driver
+     * declares a worker lost and reassigns its in-flight jobs. Workers
+     * heartbeat every second, so this only fires on real loss.
+     */
+    double workerLossSeconds = 15.0;
+    /** Reconnection attempts per lost worker before retiring it. */
+    unsigned reconnectAttempts = 2;
+    /**
+     * Address-space cap per isolated child, MiB (0 = none). A job that
+     * outgrows it fails allocation inside the child and is recorded as
+     * a classified resource-limit outcome instead of paging the host.
+     */
+    u64 rlimitMemMb = 0;
+    /**
+     * CPU-time cap per isolated child, seconds (0 = none). Exceeding
+     * it delivers SIGXCPU, classified as a resource-limit outcome.
+     */
+    double rlimitCpuSeconds = 0.0;
 };
 
 /** A named batch of SimJobs executed as one parallel fan-out. */

@@ -1,0 +1,99 @@
+#include "exp/executor.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "exp/isolate.hh"
+#include "exp/job_pool.hh"
+#include "exp/remote.hh"
+
+namespace nwsim::exp
+{
+
+const char *
+executorKindName(ExecutorKind kind)
+{
+    switch (kind) {
+    case ExecutorKind::Auto:
+        return "auto";
+    case ExecutorKind::Thread:
+        return "thread";
+    case ExecutorKind::Fork:
+        return "fork";
+    case ExecutorKind::Remote:
+        return "remote";
+    }
+    return "?";
+}
+
+unsigned
+Executor::lanes(const CampaignOptions &copts, size_t njobs) const
+{
+    return std::max<unsigned>(
+        1, static_cast<unsigned>(
+               std::min<size_t>(resolveJobCount(copts.jobs),
+                                std::max<size_t>(1, njobs))));
+}
+
+void
+ThreadExecutor::execute(const std::vector<SimJob> &jobs,
+                        const std::vector<size_t> &indices,
+                        const CampaignOptions &copts,
+                        std::vector<JobOutcome> &outcomes,
+                        const std::function<void(size_t)> &on_done)
+{
+    JobPool pool(lanes(copts, indices.size()));
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(indices.size());
+    for (const size_t i : indices) {
+        tasks.push_back([&jobs, i, &copts, &outcomes] {
+            outcomes[i] = executeJobWithRetries(jobs[i], i, copts);
+        });
+    }
+    pool.run(tasks, [&](size_t t) {
+        if (on_done)
+            on_done(indices[t]);
+    });
+}
+
+void
+ForkExecutor::execute(const std::vector<SimJob> &jobs,
+                      const std::vector<size_t> &indices,
+                      const CampaignOptions &copts,
+                      std::vector<JobOutcome> &outcomes,
+                      const std::function<void(size_t)> &on_done)
+{
+    runJobsIsolated(jobs, indices, copts, lanes(copts, indices.size()),
+                    outcomes, on_done);
+}
+
+ExecutorKind
+resolveExecutorKind(const CampaignOptions &copts)
+{
+    if (copts.executor != ExecutorKind::Auto)
+        return copts.executor;
+    if (!copts.workerHosts.empty())
+        return ExecutorKind::Remote;
+    return copts.isolate ? ExecutorKind::Fork : ExecutorKind::Thread;
+}
+
+std::unique_ptr<Executor>
+makeExecutor(const CampaignOptions &copts)
+{
+    switch (resolveExecutorKind(copts)) {
+    case ExecutorKind::Thread:
+        return std::make_unique<ThreadExecutor>();
+    case ExecutorKind::Fork:
+        return std::make_unique<ForkExecutor>();
+    case ExecutorKind::Remote:
+        if (copts.workerHosts.empty())
+            NWSIM_FATAL("remote executor requested without worker "
+                        "hosts (use --workers host:port[,...])");
+        return std::make_unique<RemoteExecutor>();
+    case ExecutorKind::Auto:
+        break; // resolveExecutorKind never returns Auto
+    }
+    NWSIM_FATAL("unresolvable executor kind");
+}
+
+} // namespace nwsim::exp

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Pluggable campaign execution backends.
+ *
+ * Campaign::run owns everything about *what* runs (the job list, resume
+ * adoption, journaling, progress); an Executor owns *where and how* the
+ * remaining jobs execute. The contract is identical for all backends:
+ *
+ *  - execute jobs[i] for exactly the given indices,
+ *  - write outcomes[i] for exactly those indices,
+ *  - call on_done(i), serialized (never two calls at once), as each
+ *    terminal outcome lands — journal appends and the progress meter
+ *    hang off that hook, and
+ *  - never throw for a *job* failure (those are classified outcomes);
+ *    throw SimError only when the backend itself cannot run (bad worker
+ *    address, every worker lost, ...).
+ *
+ * Because every job writes only its own outcome slot, per-job statistics
+ * are bit-identical regardless of backend, worker count, or host
+ * topology — tests/test_distributed.cc holds the three implementations
+ * to byte-identical no-timing JSON.
+ *
+ * Backends:
+ *  - ThreadExecutor  in-process JobPool fan-out (fastest; a crashing
+ *                    job would take the driver with it),
+ *  - ForkExecutor    one forked child per job with crash/hang/rlimit
+ *                    classification (exp/isolate.cc), and
+ *  - RemoteExecutor  streams jobs to `nwsweep serve` worker daemons
+ *                    over TCP (exp/remote.hh).
+ */
+
+#ifndef NWSIM_EXP_EXECUTOR_HH
+#define NWSIM_EXP_EXECUTOR_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "exp/campaign.hh"
+
+namespace nwsim::exp
+{
+
+/** One campaign execution backend (see file comment for the contract). */
+class Executor
+{
+  public:
+    virtual ~Executor() = default;
+
+    /** Backend name for logs/errors ("thread", "fork", "remote"). */
+    virtual const char *name() const = 0;
+
+    /**
+     * Concurrent lanes this backend will actually use for @p njobs jobs
+     * (feeds the progress meter's ETA and ResultSet::workersUsed).
+     */
+    virtual unsigned lanes(const CampaignOptions &copts,
+                           size_t njobs) const;
+
+    /** Run jobs[i] for every i in @p indices; see the file contract. */
+    virtual void execute(const std::vector<SimJob> &jobs,
+                         const std::vector<size_t> &indices,
+                         const CampaignOptions &copts,
+                         std::vector<JobOutcome> &outcomes,
+                         const std::function<void(size_t)> &on_done) = 0;
+};
+
+/** In-process JobPool fan-out (the default backend). */
+class ThreadExecutor final : public Executor
+{
+  public:
+    const char *name() const override { return "thread"; }
+    void execute(const std::vector<SimJob> &jobs,
+                 const std::vector<size_t> &indices,
+                 const CampaignOptions &copts,
+                 std::vector<JobOutcome> &outcomes,
+                 const std::function<void(size_t)> &on_done) override;
+};
+
+/** One forked child per job (exp/isolate.cc). */
+class ForkExecutor final : public Executor
+{
+  public:
+    const char *name() const override { return "fork"; }
+    void execute(const std::vector<SimJob> &jobs,
+                 const std::vector<size_t> &indices,
+                 const CampaignOptions &copts,
+                 std::vector<JobOutcome> &outcomes,
+                 const std::function<void(size_t)> &on_done) override;
+};
+
+/** Resolve Auto to a concrete kind (never returns Auto). */
+ExecutorKind resolveExecutorKind(const CampaignOptions &copts);
+
+/**
+ * Construct the backend CampaignOptions asks for. Throws BadInputError
+ * for an inconsistent request (e.g. ExecutorKind::Remote with no
+ * workerHosts).
+ */
+std::unique_ptr<Executor> makeExecutor(const CampaignOptions &copts);
+
+} // namespace nwsim::exp
+
+#endif // NWSIM_EXP_EXECUTOR_HH

@@ -9,8 +9,11 @@
 #include <filesystem>
 #include <sstream>
 
+#include <cmath>
+
 #include <fcntl.h>
 #include <poll.h>
+#include <sys/resource.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -82,9 +85,11 @@ armCrashHandlers()
 {
     // SIGABRT included: the parent's soft timeout kill is SIGABRT, so a
     // hung job dumps its recorder before dying, and so does a
-    // std::terminate. SIGKILL (the hard kill) is not catchable by design.
+    // std::terminate. SIGXCPU included: the soft CPU rlimit fires it,
+    // and the recorder shows what the runaway job was doing. SIGKILL
+    // (the hard kill) is not catchable by design.
     static const int signals[] = {SIGSEGV, SIGBUS, SIGILL, SIGFPE,
-                                  SIGABRT};
+                                  SIGABRT, SIGXCPU};
     struct sigaction sa;
     std::memset(&sa, 0, sizeof(sa));
     sa.sa_handler = crashHandler;
@@ -106,10 +111,39 @@ outcomeExitCode(const JobOutcome &o)
     switch (o.errorKind) {
     case FailKind::BadInput:
         return exitcode::BadInput;
+    case FailKind::ResourceLimit:
+        return exitcode::ResourceLimit;
     case FailKind::Internal:
         return exitcode::Internal;
     default:
         return exitcode::Failure;
+    }
+}
+
+/**
+ * Cap this (child) process with the per-job rlimits. RLIMIT_AS rather
+ * than RLIMIT_RSS: modern kernels ignore RSS limits, while an
+ * address-space cap turns a runaway allocation into a clean
+ * std::bad_alloc inside the child — which the retry loop classifies as
+ * a resource-limit failure — before the host starts paging. The CPU
+ * cap's soft limit delivers SIGXCPU (caught, recorder dumped,
+ * re-raised); the hard limit is one second later as a backstop.
+ */
+void
+applyJobRlimits(const CampaignOptions &copts)
+{
+    if (copts.rlimitMemMb > 0) {
+        struct rlimit rl;
+        rl.rlim_cur = rl.rlim_max = copts.rlimitMemMb << 20;
+        setrlimit(RLIMIT_AS, &rl);
+    }
+    if (copts.rlimitCpuSeconds > 0) {
+        const rlim_t secs = static_cast<rlim_t>(
+            std::max(1.0, std::ceil(copts.rlimitCpuSeconds)));
+        struct rlimit rl;
+        rl.rlim_cur = secs;
+        rl.rlim_max = secs + 1;
+        setrlimit(RLIMIT_CPU, &rl);
     }
 }
 
@@ -124,6 +158,7 @@ childRun(const SimJob &job, size_t job_index,
         std::filesystem::create_directories(
             bundlePathFor(copts.bundleDir, job), ec);
     }
+    applyJobRlimits(copts);
     armCrashHandlers();
 
     const JobOutcome out = executeJobWithRetries(job, job_index, copts);
@@ -169,25 +204,73 @@ signalLabel(int sig)
     return "signal " + std::to_string(sig);
 }
 
-/** Classify a reaped child that did not deliver a valid outcome blob. */
+} // namespace
+
+void
+setCrashDump(const FlightRecorder *recorder,
+             const std::string *events_path)
+{
+    gCrashRecorder = recorder;
+    gCrashEventsPath = events_path;
+}
+
+std::pair<pid_t, int>
+forkIsolatedJob(const SimJob &job, size_t job_index,
+                const CampaignOptions &copts,
+                const std::vector<int> &child_close_fds)
+{
+    int fds[2];
+    if (pipe(fds) < 0) {
+        throw ResourceLimitError(std::string("pipe: ") +
+                                 std::strerror(errno));
+    }
+    const pid_t pid = fork();
+    if (pid == 0) {
+        ::close(fds[0]);
+        for (const int fd : child_close_fds)
+            ::close(fd);
+        childRun(job, job_index, copts, fds[1]); // never returns
+    }
+    if (pid < 0) {
+        const int err = errno;
+        ::close(fds[0]);
+        ::close(fds[1]);
+        throw ResourceLimitError(std::string("fork: ") +
+                                 std::strerror(err));
+    }
+    ::close(fds[1]);
+    return {pid, fds[0]};
+}
+
 JobOutcome
-classifyDeadChild(const SimJob &job, const ChildProc &c, int wait_status,
-                  const CampaignOptions &copts)
+classifyIsolatedExit(const SimJob &job, int wait_status, bool timed_out,
+                     double wall_seconds, const CampaignOptions &copts)
 {
     JobOutcome out;
     out.workload = job.workload;
     out.configSpec = job.configSpec;
     out.ok = false;
     out.attempts = 1;
-    out.wallSeconds =
-        std::chrono::duration<double>(Clock::now() - c.start).count();
+    out.wallSeconds = wall_seconds;
 
-    if (c.timedOut) {
+    if (timed_out) {
         out.status = JobStatus::Timeout;
         out.errorKind = FailKind::ResourceLimit;
         std::ostringstream msg;
         msg << "timed out: exceeded " << copts.timeoutSeconds
             << "s wall-clock limit";
+        out.error = msg.str();
+    } else if (WIFSIGNALED(wait_status) &&
+               WTERMSIG(wait_status) == SIGXCPU &&
+               copts.rlimitCpuSeconds > 0) {
+        // The per-job CPU rlimit fired: a runaway job, classified —
+        // not a simulator crash.
+        out.status = JobStatus::Failed;
+        out.errorKind = FailKind::ResourceLimit;
+        out.termSignal = SIGXCPU;
+        std::ostringstream msg;
+        msg << "resource limit: exceeded " << copts.rlimitCpuSeconds
+            << "s CPU limit (SIGXCPU)";
         out.error = msg.str();
     } else if (WIFSIGNALED(wait_status)) {
         out.status = JobStatus::Crashed;
@@ -215,16 +298,6 @@ classifyDeadChild(const SimJob &job, const ChildProc &c, int wait_status,
     return out;
 }
 
-} // namespace
-
-void
-setCrashDump(const FlightRecorder *recorder,
-             const std::string *events_path)
-{
-    gCrashRecorder = recorder;
-    gCrashEventsPath = events_path;
-}
-
 void
 runJobsIsolated(const std::vector<SimJob> &jobs,
                 const std::vector<size_t> &indices,
@@ -237,44 +310,25 @@ runJobsIsolated(const std::vector<SimJob> &jobs,
     const auto grace = std::chrono::seconds(2);
 
     auto spawn = [&](size_t idx) {
-        int fds[2];
-        if (pipe(fds) < 0) {
+        std::pair<pid_t, int> child;
+        try {
+            child = forkIsolatedJob(jobs[idx], idx, copts);
+        } catch (const SimError &e) {
             JobOutcome out;
             out.workload = jobs[idx].workload;
             out.configSpec = jobs[idx].configSpec;
             out.status = JobStatus::Failed;
             out.errorKind = FailKind::ResourceLimit;
             out.attempts = 1;
-            out.error = std::string("pipe: ") + std::strerror(errno);
+            out.error = e.what();
             outcomes[idx] = std::move(out);
             if (on_done)
                 on_done(idx);
             return;
         }
-        const pid_t pid = fork();
-        if (pid == 0) {
-            ::close(fds[0]);
-            childRun(jobs[idx], idx, copts, fds[1]); // never returns
-        }
-        if (pid < 0) {
-            ::close(fds[0]);
-            ::close(fds[1]);
-            JobOutcome out;
-            out.workload = jobs[idx].workload;
-            out.configSpec = jobs[idx].configSpec;
-            out.status = JobStatus::Failed;
-            out.errorKind = FailKind::ResourceLimit;
-            out.attempts = 1;
-            out.error = std::string("fork: ") + std::strerror(errno);
-            outcomes[idx] = std::move(out);
-            if (on_done)
-                on_done(idx);
-            return;
-        }
-        ::close(fds[1]);
         ChildProc c;
-        c.pid = pid;
-        c.fd = fds[0];
+        c.pid = child.first;
+        c.fd = child.second;
         c.jobIdx = idx;
         c.start = Clock::now();
         if (copts.timeoutSeconds > 0) {
@@ -294,8 +348,11 @@ runJobsIsolated(const std::vector<SimJob> &jobs,
         if (!c.timedOut && unpackJobOutcome(c.buf, out)) {
             outcomes[c.jobIdx] = std::move(out);
         } else {
-            outcomes[c.jobIdx] =
-                classifyDeadChild(jobs[c.jobIdx], c, status, copts);
+            outcomes[c.jobIdx] = classifyIsolatedExit(
+                jobs[c.jobIdx], status, c.timedOut,
+                std::chrono::duration<double>(Clock::now() - c.start)
+                    .count(),
+                copts);
         }
         if (on_done)
             on_done(c.jobIdx);

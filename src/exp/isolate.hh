@@ -24,7 +24,10 @@
 
 #include <cstddef>
 #include <functional>
+#include <utility>
 #include <vector>
+
+#include <sys/types.h>
 
 #include "exp/campaign.hh"
 
@@ -48,6 +51,32 @@ void runJobsIsolated(const std::vector<SimJob> &jobs,
                      const CampaignOptions &copts, unsigned workers,
                      std::vector<JobOutcome> &outcomes,
                      const std::function<void(size_t)> &on_done);
+
+/**
+ * Fork one isolated child for @p job: the child applies the per-job
+ * rlimits (CampaignOptions::rlimitMemMb / rlimitCpuSeconds), arms the
+ * crash handlers, runs the standard retry loop, writes its packed
+ * JobOutcome up the returned pipe, and _exits with the taxonomy code.
+ * Returns {pid, read-end fd}; throws ResourceLimitError if pipe() or
+ * fork() itself fails. Shared by the fork executor and the `nwsweep
+ * serve` worker daemon (exp/remote.cc); the daemon lists its sockets
+ * in @p child_close_fds so an orphaned job child can never hold the
+ * driver connection or the listen port open past the worker's death.
+ */
+std::pair<pid_t, int>
+forkIsolatedJob(const SimJob &job, size_t job_index,
+                const CampaignOptions &copts,
+                const std::vector<int> &child_close_fds = {});
+
+/**
+ * Classify a reaped isolated child that did not deliver a valid
+ * outcome blob: watchdog timeout, CPU-rlimit kill (SIGXCPU →
+ * resource-limit), crash signal, or a silent exit. Writes a reproducer
+ * bundle when @p copts.bundleDir is set.
+ */
+JobOutcome classifyIsolatedExit(const SimJob &job, int wait_status,
+                                bool timed_out, double wall_seconds,
+                                const CampaignOptions &copts);
 
 /**
  * Register the flight recorder (and the path to dump it to) that a

@@ -1,0 +1,1119 @@
+#include "exp/remote.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <ostream>
+#include <sstream>
+
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/error.hh"
+#include "common/logging.hh"
+#include "exp/isolate.hh"
+#include "exp/job_pool.hh"
+#include "exp/wire.hh"
+
+namespace nwsim::exp
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/** Both sides heartbeat at this cadence while a session is open. */
+constexpr double kHeartbeatSeconds = 1.0;
+/** Deadline for the version handshake after connect/accept. */
+constexpr double kHandshakeSeconds = 10.0;
+/** Driver silence after which a worker assumes the driver died. */
+constexpr double kDriverLossSeconds = 30.0;
+/** Connect timeout when (re)dialing a worker. */
+constexpr double kConnectSeconds = 5.0;
+/** Poll tick: heartbeats, watchdogs and loss checks ride on it. */
+constexpr int kPollMs = 200;
+
+double
+secondsSince(Clock::time_point t)
+{
+    return std::chrono::duration<double>(Clock::now() - t).count();
+}
+
+/**
+ * A dying peer must never kill the process with SIGPIPE — every send
+ * error is handled as worker/driver loss instead.
+ */
+void
+armSigpipeIgnore()
+{
+    ::signal(SIGPIPE, SIG_IGN);
+}
+
+// ---- socket plumbing -----------------------------------------------------
+
+bool
+sendAll(int fd, std::string_view bytes)
+{
+    const char *p = bytes.data();
+    size_t left = bytes.size();
+    while (left) {
+        const ssize_t n = ::send(fd, p, left, 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += static_cast<size_t>(n);
+        left -= static_cast<size_t>(n);
+    }
+    return true;
+}
+
+/** Bind+listen; returns the fd and writes the bound port (ephemeral). */
+int
+tcpListen(const std::string &host, unsigned port, unsigned &bound_port)
+{
+    struct addrinfo hints;
+    std::memset(&hints, 0, sizeof(hints));
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    hints.ai_flags = AI_PASSIVE;
+    struct addrinfo *res = nullptr;
+    const std::string service = std::to_string(port);
+    const int gai = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                                  service.c_str(), &hints, &res);
+    if (gai != 0) {
+        throw ResourceLimitError("cannot resolve listen address " +
+                                 host + ": " + gai_strerror(gai));
+    }
+    int fd = -1;
+    std::string err = "no usable address";
+    for (struct addrinfo *ai = res; ai; ai = ai->ai_next) {
+        fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+        if (fd < 0) {
+            err = std::string("socket: ") + std::strerror(errno);
+            continue;
+        }
+        const int one = 1;
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+        if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 &&
+            ::listen(fd, 16) == 0) {
+            break;
+        }
+        err = std::string("bind/listen: ") + std::strerror(errno);
+        ::close(fd);
+        fd = -1;
+    }
+    ::freeaddrinfo(res);
+    if (fd < 0) {
+        throw ResourceLimitError("cannot listen on " + host + ":" +
+                                 std::to_string(port) + ": " + err);
+    }
+    struct sockaddr_in sa;
+    socklen_t salen = sizeof(sa);
+    bound_port = port;
+    if (::getsockname(fd, reinterpret_cast<struct sockaddr *>(&sa),
+                      &salen) == 0) {
+        bound_port = ntohs(sa.sin_port);
+    }
+    return fd;
+}
+
+/** Connect with a deadline; -1 + @p err on failure (worker just down). */
+int
+tcpConnect(const std::string &host, unsigned port, double timeout_s,
+           std::string &err)
+{
+    struct addrinfo hints;
+    std::memset(&hints, 0, sizeof(hints));
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    struct addrinfo *res = nullptr;
+    const std::string service = std::to_string(port);
+    const int gai =
+        ::getaddrinfo(host.c_str(), service.c_str(), &hints, &res);
+    if (gai != 0) {
+        err = std::string("resolve: ") + gai_strerror(gai);
+        return -1;
+    }
+    int fd = -1;
+    err = "no usable address";
+    for (struct addrinfo *ai = res; ai; ai = ai->ai_next) {
+        fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+        if (fd < 0) {
+            err = std::string("socket: ") + std::strerror(errno);
+            continue;
+        }
+        const int flags = ::fcntl(fd, F_GETFL, 0);
+        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+        int rc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+        if (rc < 0 && errno == EINPROGRESS) {
+            struct pollfd pfd = {fd, POLLOUT, 0};
+            rc = ::poll(&pfd, 1,
+                        static_cast<int>(timeout_s * 1000.0));
+            if (rc > 0) {
+                int soerr = 0;
+                socklen_t len = sizeof(soerr);
+                ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len);
+                rc = soerr == 0 ? 0 : -1;
+                errno = soerr;
+            } else {
+                if (rc == 0)
+                    errno = ETIMEDOUT;
+                rc = -1;
+            }
+        }
+        if (rc == 0) {
+            ::fcntl(fd, F_SETFL, flags);
+            const int one = 1;
+            ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                         sizeof(one));
+            break;
+        }
+        err = std::string("connect: ") + std::strerror(errno);
+        ::close(fd);
+        fd = -1;
+    }
+    ::freeaddrinfo(res);
+    return fd;
+}
+
+// ---- frame-level receive -------------------------------------------------
+
+enum class Recv : u8
+{
+    Frame,    ///< out holds a decoded frame
+    Eof,      ///< peer closed (or socket error)
+    TimedOut, ///< deadline passed with no full frame
+    Protocol, ///< unrecoverable stream error, message in err
+};
+
+/**
+ * Block until one full frame, EOF, or the deadline. Used only for the
+ * handshake — steady-state traffic goes through the main poll loops.
+ */
+Recv
+recvFrameBlocking(int fd, FrameReader &reader, Frame &out,
+                  double timeout_s, std::string &err)
+{
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(timeout_s));
+    for (;;) {
+        const int have = reader.next(out, &err);
+        if (have > 0)
+            return Recv::Frame;
+        if (have < 0)
+            return Recv::Protocol;
+        const auto left =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - Clock::now())
+                .count();
+        if (left <= 0)
+            return Recv::TimedOut;
+        struct pollfd pfd = {fd, POLLIN, 0};
+        const int rc = ::poll(&pfd, 1, static_cast<int>(left));
+        if (rc < 0 && errno != EINTR)
+            return Recv::Eof;
+        if (rc <= 0)
+            continue;
+        char chunk[4096];
+        const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        if (n > 0)
+            reader.feed(chunk, static_cast<size_t>(n));
+        else if (n == 0 || errno != EINTR)
+            return Recv::Eof;
+    }
+}
+
+// ---- hello payloads ------------------------------------------------------
+
+/**
+ * The driver's Hello carries its job-execution policy so a worker runs
+ * jobs exactly as a local fork executor would: same retry budget, same
+ * watchdog, same rlimits. Versions go first so a mismatched peer is
+ * detected before any policy field is parsed.
+ */
+std::string
+packDriverHello(const CampaignOptions &copts)
+{
+    WireSink s;
+    s.u32v(kProtocolVersion);
+    s.u8v(kWireVersion);
+    s.u32v(copts.maxAttempts);
+    s.f64v(copts.timeoutSeconds);
+    s.f64v(copts.backoffBaseSeconds);
+    s.u64v(copts.rlimitMemMb);
+    s.f64v(copts.rlimitCpuSeconds);
+    return s.take();
+}
+
+struct PeerVersions
+{
+    u32 proto = 0;
+    u8 wire = 0;
+
+    bool
+    matches() const
+    {
+        return proto == kProtocolVersion && wire == kWireVersion;
+    }
+
+    std::string
+    text() const
+    {
+        return "protocol " + std::to_string(proto) + " / wire format " +
+               std::to_string(wire);
+    }
+};
+
+std::string
+ownVersionsText()
+{
+    return PeerVersions{kProtocolVersion, kWireVersion}.text();
+}
+
+/** Parse the leading versions; false only on a truncated payload. */
+bool
+parseVersions(WireSource &src, PeerVersions &v)
+{
+    return src.u32v(v.proto) && src.u8v(v.wire);
+}
+
+bool
+parseDriverHello(std::string_view payload, PeerVersions &v,
+                 CampaignOptions &policy)
+{
+    WireSource src(payload);
+    if (!parseVersions(src, v))
+        return false;
+    if (!v.matches())
+        return true; // policy fields may not parse; versions suffice
+    return src.uns(policy.maxAttempts) &&
+           src.f64v(policy.timeoutSeconds) &&
+           src.f64v(policy.backoffBaseSeconds) &&
+           src.u64v(policy.rlimitMemMb) &&
+           src.f64v(policy.rlimitCpuSeconds);
+}
+
+std::string
+packWorkerHello(unsigned slots)
+{
+    WireSink s;
+    s.u32v(kProtocolVersion);
+    s.u8v(kWireVersion);
+    s.u32v(slots);
+    return s.take();
+}
+
+// ---- worker-side session -------------------------------------------------
+
+/** One forked isolated child a worker session is running. */
+struct SessionChild
+{
+    pid_t pid = -1;
+    int fd = -1;
+    u64 jobIdx = 0;
+    SimJob job;
+    std::string buf;
+    Clock::time_point start;
+    Clock::time_point deadline;
+    Clock::time_point killAt;
+    bool deadlineArmed = false;
+    bool timedOut = false;
+};
+
+int
+reapStatus(pid_t pid)
+{
+    int status = 0;
+    while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    return status;
+}
+
+void
+killChildren(std::vector<SessionChild> &kids)
+{
+    for (SessionChild &c : kids) {
+        ::kill(c.pid, SIGKILL);
+        reapStatus(c.pid);
+        ::close(c.fd);
+    }
+    kids.clear();
+}
+
+void
+sessionLog(std::ostream *log, const std::string &line)
+{
+    if (log)
+        *log << "nwsweep worker: " << line << std::endl;
+}
+
+/**
+ * Serve one driver connection to completion: handshake, then a poll
+ * loop interleaving connection traffic with the isolated children's
+ * pipes and watchdogs. Returns when the driver says Goodbye, vanishes,
+ * or breaks protocol; never throws across the accept loop.
+ */
+void
+runWorkerSession(int cfd, int lfd, unsigned slots, std::ostream *log)
+{
+    FrameReader reader;
+    Frame frame;
+    std::string err;
+
+    const Recv hs =
+        recvFrameBlocking(cfd, reader, frame, kHandshakeSeconds, err);
+    if (hs != Recv::Frame || frame.type != FrameType::HelloDriver) {
+        sessionLog(log, hs == Recv::Protocol
+                            ? "rejected connection: " + err
+                            : "connection closed before handshake");
+        return;
+    }
+
+    PeerVersions driver;
+    CampaignOptions policy;
+    bool parsed = parseDriverHello(frame.payload, driver, policy);
+    if (!parsed || !driver.matches()) {
+        const std::string msg =
+            "version mismatch: worker speaks " + ownVersionsText() +
+            ", driver sent " +
+            (parsed ? driver.text() : "an unparseable hello") +
+            " — rebuild so both sides run the same nwsim version";
+        sessionLog(log, msg);
+        sendAll(cfd, encodeFrame(FrameType::Error, msg));
+        return;
+    }
+    policy.progress = nullptr;
+    policy.bundleDir.clear();
+    policy.journal.clear();
+    if (!sendAll(cfd, encodeFrame(FrameType::HelloWorker,
+                                  packWorkerHello(slots)))) {
+        return;
+    }
+    sessionLog(log, "session open (" + std::to_string(slots) +
+                        " job slots)");
+
+    std::deque<std::pair<u64, SimJob>> queue;
+    std::vector<SessionChild> kids;
+    const auto grace = std::chrono::seconds(2);
+    Clock::time_point lastDriver = Clock::now();
+    Clock::time_point lastBeat = Clock::now();
+    u64 jobsRun = 0;
+
+    auto spawn = [&](u64 idx, SimJob job) {
+        JobOutcome spawnFail;
+        try {
+            // Job children must not inherit the sockets: an orphaned
+            // child would otherwise hold the driver connection (and
+            // the listen port) open after this worker dies, delaying
+            // the driver's loss detection by a full silence window.
+            const std::pair<pid_t, int> child = forkIsolatedJob(
+                job, static_cast<size_t>(idx), policy, {cfd, lfd});
+            SessionChild c;
+            c.pid = child.first;
+            c.fd = child.second;
+            c.jobIdx = idx;
+            c.job = std::move(job);
+            c.start = Clock::now();
+            if (policy.timeoutSeconds > 0) {
+                c.deadline =
+                    c.start +
+                    std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(
+                            policy.timeoutSeconds));
+                c.deadlineArmed = true;
+            }
+            kids.push_back(std::move(c));
+            return true;
+        } catch (const SimError &e) {
+            spawnFail.workload = job.workload;
+            spawnFail.configSpec = job.configSpec;
+            spawnFail.status = JobStatus::Failed;
+            spawnFail.errorKind = FailKind::ResourceLimit;
+            spawnFail.attempts = 1;
+            spawnFail.error = e.what();
+        }
+        WireSink s;
+        s.u64v(idx);
+        s.raw(packJobOutcome(spawnFail));
+        return sendAll(cfd, encodeFrame(FrameType::Outcome, s.take()));
+    };
+
+    // Child outcome up to the driver: forward the child's own packed
+    // blob verbatim when it delivered one (byte-exact), otherwise pack
+    // the parent-side classification (crash/timeout/rlimit).
+    auto finalize = [&](SessionChild &c) {
+        ::close(c.fd);
+        const int status = reapStatus(c.pid);
+        std::string blob;
+        JobOutcome probe;
+        if (!c.timedOut && unpackJobOutcome(c.buf, probe)) {
+            blob = std::move(c.buf);
+        } else {
+            blob = packJobOutcome(classifyIsolatedExit(
+                c.job, status, c.timedOut, secondsSince(c.start),
+                policy));
+        }
+        ++jobsRun;
+        WireSink s;
+        s.u64v(c.jobIdx);
+        s.raw(blob);
+        return sendAll(cfd, encodeFrame(FrameType::Outcome, s.take()));
+    };
+
+    for (;;) {
+        while (kids.size() < slots && !queue.empty()) {
+            auto [idx, job] = std::move(queue.front());
+            queue.pop_front();
+            if (!spawn(idx, std::move(job))) {
+                killChildren(kids);
+                return; // send failed: driver is gone
+            }
+        }
+
+        std::vector<pollfd> fds(kids.size() + 1);
+        fds[0] = {cfd, POLLIN, 0};
+        for (size_t i = 0; i < kids.size(); ++i)
+            fds[i + 1] = {kids[i].fd, POLLIN, 0};
+
+        const int rc = ::poll(fds.data(), fds.size(), kPollMs);
+        if (rc < 0 && errno != EINTR) {
+            killChildren(kids);
+            return;
+        }
+
+        // Connection traffic first: new jobs, heartbeats, Goodbye.
+        if (fds[0].revents & (POLLIN | POLLHUP | POLLERR)) {
+            char chunk[65536];
+            const ssize_t n = ::read(cfd, chunk, sizeof(chunk));
+            if (n > 0) {
+                reader.feed(chunk, static_cast<size_t>(n));
+                lastDriver = Clock::now();
+            } else if (n == 0 || errno != EINTR) {
+                sessionLog(log, "driver disconnected; reaping " +
+                                    std::to_string(kids.size()) +
+                                    " running jobs");
+                killChildren(kids);
+                return;
+            }
+            int have = 0;
+            while ((have = reader.next(frame, &err)) > 0) {
+                switch (frame.type) {
+                case FrameType::Job: {
+                    WireSource src(frame.payload);
+                    u64 idx = 0;
+                    SimJob job;
+                    WireError werr = WireError::Corrupt;
+                    if (src.u64v(idx))
+                        werr = unpackSimJobSpec(src.rest(), job);
+                    if (werr != WireError::None) {
+                        const std::string msg =
+                            "job spec rejected (" +
+                            std::string(wireErrorName(werr)) +
+                            "); worker speaks " + ownVersionsText();
+                        sessionLog(log, msg);
+                        sendAll(cfd,
+                                encodeFrame(FrameType::Error, msg));
+                        killChildren(kids);
+                        return;
+                    }
+                    queue.emplace_back(idx, std::move(job));
+                    break;
+                }
+                case FrameType::Goodbye:
+                    sessionLog(log,
+                               "session done (" +
+                                   std::to_string(jobsRun) +
+                                   " jobs run)");
+                    killChildren(kids); // stragglers driver gave up on
+                    return;
+                case FrameType::Heartbeat:
+                case FrameType::HelloDriver:
+                    break;
+                default:
+                    sessionLog(log, "unexpected frame from driver");
+                    break;
+                }
+            }
+            if (have < 0) {
+                sessionLog(log, "protocol error: " + err);
+                sendAll(cfd, encodeFrame(FrameType::Error, err));
+                killChildren(kids);
+                return;
+            }
+        }
+
+        // Children: drain pipes, finalize on EOF, run the kill ladder.
+        for (size_t i = kids.size(); i-- > 0;) {
+            if (!(fds[i + 1].revents & (POLLIN | POLLHUP | POLLERR)))
+                continue;
+            char chunk[4096];
+            const ssize_t n = ::read(kids[i].fd, chunk, sizeof(chunk));
+            if (n > 0) {
+                kids[i].buf.append(chunk, static_cast<size_t>(n));
+            } else if (n == 0 || errno != EINTR) {
+                const bool sent = finalize(kids[i]);
+                kids.erase(kids.begin() + static_cast<long>(i));
+                if (!sent) {
+                    killChildren(kids);
+                    return;
+                }
+            }
+        }
+        const Clock::time_point now = Clock::now();
+        for (SessionChild &c : kids) {
+            if (!c.deadlineArmed)
+                continue;
+            if (!c.timedOut && now >= c.deadline) {
+                c.timedOut = true;
+                c.killAt = now + grace;
+                ::kill(c.pid, SIGABRT);
+            } else if (c.timedOut && now >= c.killAt) {
+                ::kill(c.pid, SIGKILL);
+                c.killAt = now + grace;
+            }
+        }
+
+        if (secondsSince(lastBeat) >= kHeartbeatSeconds) {
+            lastBeat = Clock::now();
+            if (!sendAll(cfd,
+                         encodeFrame(FrameType::Heartbeat, {}))) {
+                killChildren(kids);
+                return;
+            }
+        }
+        if (secondsSince(lastDriver) > kDriverLossSeconds) {
+            sessionLog(log, "driver silent; abandoning session");
+            killChildren(kids);
+            return;
+        }
+    }
+}
+
+} // namespace
+
+// ---- frame codec ---------------------------------------------------------
+
+std::string
+encodeFrame(FrameType type, std::string_view payload)
+{
+    NWSIM_ASSERT(payload.size() <= kMaxFramePayload,
+                 "frame payload of ", payload.size(), " bytes");
+    WireSink s;
+    s.magic(kFrameMagic);
+    s.u8v(static_cast<u8>(type));
+    s.u32v(static_cast<u32>(payload.size()));
+    s.raw(payload);
+    return s.take();
+}
+
+int
+FrameReader::next(Frame &out, std::string *err)
+{
+    constexpr size_t kHeader = 4 + 1 + 4;
+    if (buf.size() < kHeader)
+        return 0;
+    if (std::memcmp(buf.data(), kFrameMagic, 4) != 0) {
+        if (err)
+            *err = "bad frame magic (peer is not an nwsim campaign "
+                   "endpoint, or the stream desynchronized)";
+        return -1;
+    }
+    const u8 type = static_cast<u8>(buf[4]);
+    u32 len = 0;
+    for (int i = 0; i < 4; ++i)
+        len |= static_cast<u32>(static_cast<u8>(buf[5 + i])) << (8 * i);
+    if (len > kMaxFramePayload) {
+        if (err)
+            *err = "oversized frame (" + std::to_string(len) +
+                   " bytes; limit " + std::to_string(kMaxFramePayload) +
+                   ")";
+        return -1;
+    }
+    if (type < static_cast<u8>(FrameType::HelloDriver) ||
+        type > static_cast<u8>(FrameType::Error)) {
+        if (err)
+            *err = "unknown frame type " + std::to_string(type);
+        return -1;
+    }
+    if (buf.size() < kHeader + len)
+        return 0;
+    out.type = static_cast<FrameType>(type);
+    out.payload = buf.substr(kHeader, len);
+    buf.erase(0, kHeader + len);
+    return 1;
+}
+
+// ---- worker daemon -------------------------------------------------------
+
+void
+serveWorker(const ServeOptions &opts)
+{
+    armSigpipeIgnore();
+    unsigned port = opts.port;
+    int lfd = opts.listenFd;
+    if (lfd < 0)
+        lfd = tcpListen(opts.bindHost, opts.port, port);
+    const unsigned slots = resolveJobCount(opts.jobs);
+    if (opts.log) {
+        *opts.log << "nwsweep worker: listening on " << opts.bindHost
+                  << ":" << port << " (" << slots << " job slots"
+                  << (opts.once ? ", single session" : "") << ")"
+                  << std::endl;
+    }
+    for (;;) {
+        const int cfd = ::accept(lfd, nullptr, nullptr);
+        if (cfd < 0) {
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            ::close(lfd);
+            throw ResourceLimitError(std::string("accept: ") +
+                                     std::strerror(errno));
+        }
+        const int one = 1;
+        ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        runWorkerSession(cfd, lfd, slots, opts.log);
+        ::close(cfd);
+        if (opts.once)
+            break;
+    }
+    ::close(lfd);
+}
+
+// ---- loopback fleet ------------------------------------------------------
+
+LocalWorkerFleet::LocalWorkerFleet(unsigned count,
+                                   unsigned jobs_per_worker)
+{
+    for (unsigned i = 0; i < count; ++i) {
+        unsigned port = 0;
+        const int lfd = tcpListen("127.0.0.1", 0, port);
+        const pid_t pid = ::fork();
+        if (pid == 0) {
+            // Worker child: serve one session on the inherited socket
+            // and exit. _Exit so the parent image's atexit/static
+            // destructors never run twice.
+            try {
+                ServeOptions so;
+                so.listenFd = lfd;
+                so.jobs = jobs_per_worker;
+                so.once = true;
+                serveWorker(so);
+            } catch (...) {
+            }
+            std::_Exit(0);
+        }
+        ::close(lfd);
+        if (pid < 0) {
+            const int err = errno;
+            for (size_t k = 0; k < pids.size(); ++k)
+                kill(k);
+            throw ResourceLimitError(
+                std::string("fork (worker fleet): ") +
+                std::strerror(err));
+        }
+        pids.push_back(pid);
+        hostList.push_back("127.0.0.1:" + std::to_string(port));
+    }
+}
+
+LocalWorkerFleet::~LocalWorkerFleet()
+{
+    for (size_t i = 0; i < pids.size(); ++i)
+        kill(i);
+}
+
+void
+LocalWorkerFleet::kill(size_t i)
+{
+    if (i >= pids.size() || pids[i] < 0)
+        return;
+    ::kill(pids[i], SIGKILL);
+    reapStatus(pids[i]);
+    pids[i] = -1;
+}
+
+// ---- driver --------------------------------------------------------------
+
+namespace
+{
+
+/** Driver-side view of one worker daemon. */
+struct Peer
+{
+    std::string host;
+    unsigned port = 0;
+    int fd = -1;
+    bool alive = false;
+    unsigned reconnectsLeft = 0;
+    unsigned slots = 0;
+    FrameReader reader;
+    std::deque<size_t> queue;     ///< assigned, not yet sent
+    std::vector<size_t> inflight; ///< sent, no outcome yet
+    Clock::time_point lastSeen;
+    Clock::time_point lastBeat;
+
+    std::string
+    name() const
+    {
+        return host + ":" + std::to_string(port);
+    }
+};
+
+void
+parseHostPort(const std::string &spec, Peer &peer)
+{
+    const size_t colon = spec.rfind(':');
+    unsigned long port = 0;
+    if (colon != std::string::npos && colon + 1 < spec.size()) {
+        char *end = nullptr;
+        port = std::strtoul(spec.c_str() + colon + 1, &end, 10);
+        if (end && *end != '\0')
+            port = 0;
+    }
+    if (colon == std::string::npos || colon == 0 || port == 0 ||
+        port > 65535) {
+        NWSIM_FATAL("bad worker address '", spec,
+                    "' (expected host:port)");
+    }
+    peer.host = spec.substr(0, colon);
+    peer.port = static_cast<unsigned>(port);
+}
+
+/**
+ * Dial and handshake one worker. Connection-level failures (refused,
+ * timeout, EOF) return false — the worker may just be down, which the
+ * loss machinery handles. Version mismatches and protocol errors are
+ * NWSIM_FATAL: a misbuilt fleet must stop the sweep loudly, not bleed
+ * jobs through reassignment.
+ */
+bool
+connectPeer(Peer &peer, const CampaignOptions &copts)
+{
+    std::string err;
+    const int fd = tcpConnect(peer.host, peer.port, kConnectSeconds,
+                              err);
+    if (fd < 0)
+        return false;
+    peer.reader = FrameReader();
+    if (!sendAll(fd, encodeFrame(FrameType::HelloDriver,
+                                 packDriverHello(copts)))) {
+        ::close(fd);
+        return false;
+    }
+    Frame frame;
+    const Recv hs = recvFrameBlocking(fd, peer.reader, frame,
+                                      kHandshakeSeconds, err);
+    if (hs == Recv::Protocol) {
+        ::close(fd);
+        NWSIM_FATAL("worker ", peer.name(), ": ", err);
+    }
+    if (hs != Recv::Frame) {
+        ::close(fd);
+        return false;
+    }
+    if (frame.type == FrameType::Error) {
+        ::close(fd);
+        NWSIM_FATAL("worker ", peer.name(), " refused the session: ",
+                    frame.payload);
+    }
+    PeerVersions worker;
+    u32 slots = 0;
+    WireSource src(frame.payload);
+    if (frame.type != FrameType::HelloWorker ||
+        !parseVersions(src, worker) ||
+        (worker.matches() && !src.u32v(slots))) {
+        ::close(fd);
+        NWSIM_FATAL("worker ", peer.name(),
+                    " answered the handshake with garbage");
+    }
+    if (!worker.matches()) {
+        ::close(fd);
+        NWSIM_FATAL("worker ", peer.name(),
+                    " version mismatch: driver speaks ",
+                    ownVersionsText(), ", worker answered ",
+                    worker.text(),
+                    " — rebuild so both sides run the same nwsim "
+                    "version");
+    }
+    peer.fd = fd;
+    peer.slots = slots;
+    peer.alive = true;
+    peer.lastSeen = peer.lastBeat = Clock::now();
+    return true;
+}
+
+} // namespace
+
+unsigned
+RemoteExecutor::lanes(const CampaignOptions &copts, size_t njobs) const
+{
+    const size_t cap = copts.workerHosts.size() *
+                       std::max<size_t>(1, copts.remoteWindow);
+    return std::max<unsigned>(
+        1, static_cast<unsigned>(
+               std::min(cap, std::max<size_t>(1, njobs))));
+}
+
+void
+RemoteExecutor::execute(const std::vector<SimJob> &jobs,
+                        const std::vector<size_t> &indices,
+                        const CampaignOptions &copts,
+                        std::vector<JobOutcome> &outcomes,
+                        const std::function<void(size_t)> &on_done)
+{
+    // A fully-journaled resume has nothing left to run; don't demand a
+    // live fleet just to do nothing.
+    if (indices.empty())
+        return;
+
+    armSigpipeIgnore();
+    for (const size_t i : indices) {
+        if (jobs[i].runner) {
+            NWSIM_FATAL("job ", jobs[i].label(),
+                        " has a custom in-process runner; such jobs "
+                        "cannot be serialized to remote workers — run "
+                        "this campaign with the thread or fork "
+                        "executor");
+        }
+    }
+
+    std::vector<Peer> peers(copts.workerHosts.size());
+    for (size_t i = 0; i < peers.size(); ++i) {
+        parseHostPort(copts.workerHosts[i], peers[i]);
+        peers[i].reconnectsLeft = copts.reconnectAttempts;
+        if (!connectPeer(peers[i], copts)) {
+            NWSIM_WARN("worker ", peers[i].name(),
+                       " unreachable at campaign start");
+        }
+    }
+    std::vector<size_t> aliveIdx;
+    for (size_t i = 0; i < peers.size(); ++i)
+        if (peers[i].alive)
+            aliveIdx.push_back(i);
+    if (aliveIdx.empty()) {
+        throw ResourceLimitError(
+            "no remote workers reachable (" +
+            std::to_string(peers.size()) + " configured)");
+    }
+
+    // Deterministic initial assignment: the k-th job goes to the k-th
+    // reachable worker, round-robin in --workers order. Determinism of
+    // the *stats* never depends on this — every job is bit-identical
+    // wherever it runs — but a stable assignment makes sweeps easy to
+    // reason about and reproduce.
+    for (size_t k = 0; k < indices.size(); ++k)
+        peers[aliveIdx[k % aliveIdx.size()]].queue.push_back(
+            indices[k]);
+
+    std::vector<char> done(outcomes.size(), 0);
+    size_t remaining = indices.size();
+    const unsigned window = std::max<unsigned>(1, copts.remoteWindow);
+
+    // Forward declaration dance: losePeer and redistribute recurse
+    // through sendWindow failures.
+    std::function<void(Peer &)> losePeer;
+
+    auto anyAlive = [&]() {
+        for (const Peer &p : peers)
+            if (p.alive)
+                return true;
+        return false;
+    };
+
+    auto sendWindow = [&](Peer &p) {
+        while (p.alive && p.inflight.size() < window &&
+               !p.queue.empty()) {
+            const size_t idx = p.queue.front();
+            if (done[idx]) {
+                p.queue.pop_front();
+                continue;
+            }
+            WireSink s;
+            s.u64v(static_cast<u64>(idx));
+            s.raw(packSimJobSpec(jobs[idx]));
+            if (!sendAll(p.fd,
+                         encodeFrame(FrameType::Job, s.take()))) {
+                losePeer(p);
+                return;
+            }
+            p.queue.pop_front();
+            p.inflight.push_back(idx);
+        }
+    };
+
+    losePeer = [&](Peer &p) {
+        if (p.alive) {
+            ::close(p.fd);
+            p.fd = -1;
+            p.alive = false;
+        }
+        // Anything sent but unanswered must run again; the worker may
+        // have died mid-job. Outcomes are idempotent (bit-identical
+        // stats), so a duplicate from a slow-but-alive worker is
+        // harmlessly dropped via done[].
+        for (const size_t idx : p.inflight)
+            if (!done[idx])
+                p.queue.push_front(idx);
+        p.inflight.clear();
+
+        while (p.reconnectsLeft > 0) {
+            --p.reconnectsLeft;
+            NWSIM_WARN("worker ", p.name(), " lost; reconnecting (",
+                       p.reconnectsLeft, " attempts left)");
+            if (connectPeer(p, copts))
+                return;
+        }
+        if (p.queue.empty())
+            return;
+        NWSIM_WARN("worker ", p.name(), " retired; reassigning ",
+                   p.queue.size(), " jobs");
+        std::vector<Peer *> survivors;
+        for (Peer &q : peers)
+            if (q.alive)
+                survivors.push_back(&q);
+        if (survivors.empty()) {
+            throw ResourceLimitError(
+                "all remote workers lost with " +
+                std::to_string(remaining) +
+                " jobs incomplete (completed outcomes are in the "
+                "journal; rerun with --resume)");
+        }
+        size_t rr = 0;
+        while (!p.queue.empty()) {
+            survivors[rr % survivors.size()]->queue.push_back(
+                p.queue.front());
+            p.queue.pop_front();
+            ++rr;
+        }
+    };
+
+    auto handleFrame = [&](Peer &p, const Frame &frame) {
+        switch (frame.type) {
+        case FrameType::Outcome: {
+            WireSource src(frame.payload);
+            u64 idx = 0;
+            JobOutcome out;
+            WireError werr = WireError::Corrupt;
+            if (src.u64v(idx) && idx < outcomes.size())
+                werr = unpackJobOutcomeErr(src.rest(), out);
+            if (werr != WireError::None) {
+                NWSIM_FATAL("worker ", p.name(),
+                            " sent an undecodable outcome (",
+                            wireErrorName(werr),
+                            "); driver speaks ", ownVersionsText());
+            }
+            auto &fl = p.inflight;
+            fl.erase(std::remove(fl.begin(), fl.end(),
+                                 static_cast<size_t>(idx)),
+                     fl.end());
+            if (!done[idx]) {
+                done[idx] = 1;
+                --remaining;
+                outcomes[idx] = std::move(out);
+                if (on_done)
+                    on_done(static_cast<size_t>(idx));
+            }
+            break;
+        }
+        case FrameType::Error:
+            NWSIM_FATAL("worker ", p.name(), ": ", frame.payload);
+        case FrameType::Heartbeat:
+        case FrameType::HelloWorker:
+        case FrameType::Goodbye:
+            break;
+        default:
+            break;
+        }
+    };
+
+    Frame frame;
+    std::string err;
+    while (remaining > 0) {
+        for (Peer &p : peers)
+            sendWindow(p);
+        if (!anyAlive()) {
+            throw ResourceLimitError(
+                "all remote workers lost with " +
+                std::to_string(remaining) +
+                " jobs incomplete (completed outcomes are in the "
+                "journal; rerun with --resume)");
+        }
+
+        std::vector<pollfd> fds;
+        std::vector<size_t> fdPeer;
+        for (size_t i = 0; i < peers.size(); ++i) {
+            if (!peers[i].alive)
+                continue;
+            fds.push_back({peers[i].fd, POLLIN, 0});
+            fdPeer.push_back(i);
+        }
+        const int rc = ::poll(fds.data(), fds.size(), kPollMs);
+        if (rc < 0 && errno != EINTR) {
+            NWSIM_PANIC("poll failed in remote campaign: ",
+                        std::strerror(errno));
+        }
+
+        for (size_t f = 0; f < fds.size(); ++f) {
+            Peer &p = peers[fdPeer[f]];
+            if (!p.alive ||
+                !(fds[f].revents & (POLLIN | POLLHUP | POLLERR)))
+                continue;
+            char chunk[65536];
+            const ssize_t n = ::read(p.fd, chunk, sizeof(chunk));
+            if (n > 0) {
+                p.reader.feed(chunk, static_cast<size_t>(n));
+                p.lastSeen = Clock::now();
+                int have = 0;
+                while (p.alive &&
+                       (have = p.reader.next(frame, &err)) > 0)
+                    handleFrame(p, frame);
+                if (have < 0)
+                    NWSIM_FATAL("worker ", p.name(), ": ", err);
+            } else if (n == 0 || errno != EINTR) {
+                losePeer(p);
+            }
+        }
+
+        const Clock::time_point now = Clock::now();
+        for (Peer &p : peers) {
+            if (!p.alive)
+                continue;
+            if (copts.workerLossSeconds > 0 &&
+                secondsSince(p.lastSeen) > copts.workerLossSeconds) {
+                NWSIM_WARN("worker ", p.name(), " silent for ",
+                           copts.workerLossSeconds, "s");
+                losePeer(p);
+            } else if (std::chrono::duration<double>(now - p.lastBeat)
+                           .count() >= kHeartbeatSeconds) {
+                p.lastBeat = now;
+                if (!sendAll(p.fd,
+                             encodeFrame(FrameType::Heartbeat, {})))
+                    losePeer(p);
+            }
+        }
+    }
+
+    for (Peer &p : peers) {
+        if (!p.alive)
+            continue;
+        sendAll(p.fd, encodeFrame(FrameType::Goodbye, {}));
+        ::close(p.fd);
+        p.alive = false;
+    }
+}
+
+} // namespace nwsim::exp

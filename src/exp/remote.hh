@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Distributed campaign execution over TCP (docs/CAMPAIGN.md
+ * "Executors", docs/ROBUSTNESS.md "Worker loss").
+ *
+ * Topology: one driver (`nwsweep --workers host:port[,...]`) streams
+ * jobs to any number of worker daemons (`nwsweep serve --listen PORT`).
+ * A worker runs each job through the same fork-isolated retry loop the
+ * local fork executor uses (exp/isolate.cc) — crashes, hangs, and
+ * rlimit overruns on a worker come back as the same classified
+ * JobOutcomes a local sweep would record.
+ *
+ * Protocol: length-prefixed frames, every one opening with a 4-byte
+ * magic; the handshake exchanges protocol and wire-format versions and
+ * fails fast (a clear error naming both sides) on any mismatch, so a
+ * mixed-version driver/worker pair can never silently misparse. Job
+ * specs travel as packSimJobSpec blobs (full CoreConfig — custom
+ * configs survive), outcomes as packJobOutcome blobs (exp/wire.hh).
+ * Both sides heartbeat once a second.
+ *
+ * Fault model: the driver assigns jobs deterministically by index,
+ * keeps a bounded in-flight window per worker, and on worker loss
+ * (EOF, socket error, or heartbeat silence) reconnects and — if the
+ * worker stays dead — reassigns its jobs to the survivors. Completed
+ * outcomes are journaled by Campaign::run as they land, so a killed
+ * driver resumes via `--resume` and a killed worker costs only its
+ * in-flight jobs' compute. Per-job statistics are bit-identical to a
+ * local run regardless of worker count, topology, or mid-sweep loss
+ * (tests/test_distributed.cc).
+ */
+
+#ifndef NWSIM_EXP_REMOTE_HH
+#define NWSIM_EXP_REMOTE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+#include "exp/executor.hh"
+
+namespace nwsim::exp
+{
+
+// ---- protocol (exposed for tests) ---------------------------------------
+
+/** Bump on any framing/handshake change; exchanged in Hello frames. */
+inline constexpr u32 kProtocolVersion = 1;
+
+/** Magic opening every frame on the wire. */
+inline constexpr char kFrameMagic[4] = {'N', 'W', 'R', 'C'};
+
+/** Refuse frames beyond this payload size (a desynced/hostile peer). */
+inline constexpr u64 kMaxFramePayload = 64ull << 20;
+
+/** Frame types (u8 on the wire). */
+enum class FrameType : u8
+{
+    HelloDriver = 1, ///< proto+wire versions, exec policy (driver→worker)
+    HelloWorker = 2, ///< proto+wire versions, slot count (worker→driver)
+    Job = 3,         ///< u64 job index + packSimJobSpec blob
+    Outcome = 4,     ///< u64 job index + packJobOutcome blob
+    Heartbeat = 5,   ///< empty; liveness, both directions
+    Goodbye = 6,     ///< driver is done; worker ends the session
+    Error = 7,       ///< fatal protocol error message, then close
+};
+
+/** One decoded frame. */
+struct Frame
+{
+    FrameType type = FrameType::Heartbeat;
+    std::string payload;
+};
+
+/** [magic][type u8][len u32][payload] — the only bytes on the wire. */
+std::string encodeFrame(FrameType type, std::string_view payload);
+
+/**
+ * Incremental frame decoder over a TCP byte stream. feed() bytes as
+ * they arrive; next() yields +1 per decoded frame, 0 when more bytes
+ * are needed, -1 on an unrecoverable protocol error (bad magic,
+ * oversized length — @p err says which; the connection must be
+ * dropped, the stream cannot resynchronize).
+ */
+class FrameReader
+{
+  public:
+    void feed(const char *data, size_t n) { buf.append(data, n); }
+    int next(Frame &out, std::string *err);
+
+  private:
+    std::string buf;
+};
+
+// ---- worker daemon -------------------------------------------------------
+
+/** `nwsweep serve` knobs. */
+struct ServeOptions
+{
+    /** Interface to bind ("0.0.0.0" = any). */
+    std::string bindHost = "0.0.0.0";
+    /** TCP port; 0 picks an ephemeral one (logged at startup). */
+    unsigned port = 0;
+    /**
+     * Adopt an already-listening socket instead of binding (the
+     * loopback fleet passes one so the port is known pre-fork).
+     */
+    int listenFd = -1;
+    /** Concurrent isolated children; 0 = NWSIM_JOBS env or hardware. */
+    unsigned jobs = 0;
+    /** Exit after one driver session instead of serving forever. */
+    bool once = false;
+    /** Daemon log stream (nullptr = silent). */
+    std::ostream *log = nullptr;
+};
+
+/**
+ * Run a worker daemon: accept one driver connection at a time, run its
+ * jobs in forked isolated children (honoring the exec policy — retries,
+ * watchdog, rlimits — the driver's Hello carries), stream outcomes
+ * back, heartbeat, and clean up orphaned children if the driver
+ * vanishes. Returns after one session with ServeOptions::once, else
+ * serves until killed. Throws SimError if the socket cannot be set up.
+ */
+void serveWorker(const ServeOptions &opts);
+
+/**
+ * A fleet of loopback worker daemons forked from this process — one
+ * `serveWorker(once=true)` child per worker. Powers `nwsweep
+ * --spawn-workers N` and the distributed tests: a real TCP topology
+ * with no external orchestration. The destructor kills and reaps any
+ * worker still running.
+ */
+class LocalWorkerFleet
+{
+  public:
+    /** Fork @p count workers, each with @p jobs_per_worker child slots. */
+    LocalWorkerFleet(unsigned count, unsigned jobs_per_worker);
+    ~LocalWorkerFleet();
+
+    LocalWorkerFleet(const LocalWorkerFleet &) = delete;
+    LocalWorkerFleet &operator=(const LocalWorkerFleet &) = delete;
+
+    /** "127.0.0.1:port" for every worker, in spawn order. */
+    const std::vector<std::string> &hosts() const { return hostList; }
+
+    /** SIGKILL worker @p i now (worker-loss drills). No-op if reaped. */
+    void kill(size_t i);
+
+  private:
+    std::vector<std::string> hostList;
+    std::vector<pid_t> pids;
+};
+
+// ---- driver --------------------------------------------------------------
+
+/** Streams jobs to `nwsweep serve` daemons (CampaignOptions::workerHosts). */
+class RemoteExecutor final : public Executor
+{
+  public:
+    const char *name() const override { return "remote"; }
+    unsigned lanes(const CampaignOptions &copts,
+                   size_t njobs) const override;
+    void execute(const std::vector<SimJob> &jobs,
+                 const std::vector<size_t> &indices,
+                 const CampaignOptions &copts,
+                 std::vector<JobOutcome> &outcomes,
+                 const std::function<void(size_t)> &on_done) override;
+};
+
+} // namespace nwsim::exp
+
+#endif // NWSIM_EXP_REMOTE_HH

@@ -6,114 +6,42 @@
 namespace nwsim::exp
 {
 
+void
+WireSink::f64v(double v)
+{
+    u64v(std::bit_cast<u64>(v));
+}
+
+bool
+WireSource::f64v(double &v)
+{
+    u64 bits = 0;
+    if (!u64v(bits))
+        return false;
+    v = std::bit_cast<double>(bits);
+    return true;
+}
+
+WireError
+WireSource::header(const char magic[4])
+{
+    if (data.size() < 5)
+        return WireError::Truncated;
+    if (std::memcmp(data.data(), magic, 4) != 0)
+        return WireError::BadMagic;
+    pos = 4;
+    u8 version = 0;
+    u8v(version);
+    if (version != kWireVersion)
+        return WireError::VersionMismatch;
+    return WireError::None;
+}
+
 namespace
 {
 
-constexpr u8 kWireVersion = 1;
-
-/** Little-endian primitive encoder. */
-class ByteSink
-{
-  public:
-    void
-    u8v(u8 v)
-    {
-        bytes.push_back(static_cast<char>(v));
-    }
-
-    void
-    u64v(u64 v)
-    {
-        for (int i = 0; i < 8; ++i)
-            bytes.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-    }
-
-    void
-    f64v(double v)
-    {
-        u64v(std::bit_cast<u64>(v));
-    }
-
-    void
-    str(const std::string &s)
-    {
-        u64v(s.size());
-        bytes.append(s);
-    }
-
-    std::string take() { return std::move(bytes); }
-
-  private:
-    std::string bytes;
-};
-
-/** Little-endian primitive decoder; all reads fail-stop on underrun. */
-class ByteSource
-{
-  public:
-    explicit ByteSource(std::string_view view) : data(view) {}
-
-    bool
-    u8v(u8 &v)
-    {
-        if (pos + 1 > data.size())
-            return fail();
-        v = static_cast<u8>(data[pos++]);
-        return true;
-    }
-
-    bool
-    u64v(u64 &v)
-    {
-        if (pos + 8 > data.size())
-            return fail();
-        v = 0;
-        for (int i = 0; i < 8; ++i)
-            v |= static_cast<u64>(static_cast<u8>(data[pos + i]))
-                 << (8 * i);
-        pos += 8;
-        return true;
-    }
-
-    bool
-    f64v(double &v)
-    {
-        u64 bits = 0;
-        if (!u64v(bits))
-            return false;
-        v = std::bit_cast<double>(bits);
-        return true;
-    }
-
-    bool
-    str(std::string &s)
-    {
-        u64 n = 0;
-        if (!u64v(n) || pos + n > data.size())
-            return fail();
-        s.assign(data.substr(pos, n));
-        pos += n;
-        return true;
-    }
-
-    bool exhausted() const { return ok_ && pos == data.size(); }
-    bool ok() const { return ok_; }
-
-  private:
-    bool
-    fail()
-    {
-        ok_ = false;
-        return false;
-    }
-
-    std::string_view data;
-    size_t pos = 0;
-    bool ok_ = true;
-};
-
 void
-packRunResult(ByteSink &s, const RunResult &r)
+packRunResult(WireSink &s, const RunResult &r)
 {
     s.str(r.workload);
     s.str(r.configName);
@@ -177,7 +105,7 @@ packRunResult(ByteSink &s, const RunResult &r)
 }
 
 bool
-unpackRunResult(ByteSource &s, RunResult &r)
+unpackRunResult(WireSource &s, RunResult &r)
 {
     s.str(r.workload);
     s.str(r.configName);
@@ -248,12 +176,188 @@ unpackRunResult(ByteSource &s, RunResult &r)
     return s.ok();
 }
 
+void
+packCacheConfig(WireSink &s, const CacheConfig &c)
+{
+    s.str(c.name);
+    s.u64v(c.sizeBytes);
+    s.u32v(c.assoc);
+    s.u32v(c.blockBytes);
+    s.u32v(c.hitLatency);
+}
+
+bool
+unpackCacheConfig(WireSource &s, CacheConfig &c)
+{
+    s.str(c.name);
+    s.u64v(c.sizeBytes);
+    s.uns(c.assoc);
+    s.uns(c.blockBytes);
+    s.uns(c.hitLatency);
+    return s.ok();
+}
+
+void
+packTlbConfig(WireSink &s, const TlbConfig &t)
+{
+    s.str(t.name);
+    s.u32v(t.entries);
+    s.u32v(t.pageShift);
+    s.u32v(t.missLatency);
+}
+
+bool
+unpackTlbConfig(WireSource &s, TlbConfig &t)
+{
+    s.str(t.name);
+    s.uns(t.entries);
+    s.uns(t.pageShift);
+    s.uns(t.missLatency);
+    return s.ok();
+}
+
+void
+packCoreConfig(WireSink &s, const CoreConfig &c)
+{
+    s.u32v(c.ruuSize);
+    s.u32v(c.lsqSize);
+    s.u32v(c.fetchQueueSize);
+    s.u32v(c.fetchWidth);
+    s.u32v(c.decodeWidth);
+    s.u32v(c.issueWidth);
+    s.u32v(c.commitWidth);
+    s.u32v(c.numAlus);
+    s.u32v(c.numMultDiv);
+    s.u32v(c.mispredictPenalty);
+    s.boolv(c.perfectBPred);
+    s.u64v(c.watchdogCycles);
+    s.boolv(c.earlyOutMultiply);
+    s.boolv(c.legacyScheduler);
+
+    const BPredConfig &b = c.bpred;
+    s.u32v(b.selectorEntries);
+    s.u32v(b.selectorBits);
+    s.u32v(b.globalEntries);
+    s.u32v(b.globalBits);
+    s.u32v(b.globalHistBits);
+    s.u32v(b.localHistEntries);
+    s.u32v(b.localHistBits);
+    s.u32v(b.localPredEntries);
+    s.u32v(b.localPredBits);
+    s.u32v(b.btbEntries);
+    s.u32v(b.btbAssoc);
+    s.u32v(b.rasEntries);
+
+    packCacheConfig(s, c.mem.l1i);
+    packCacheConfig(s, c.mem.l1d);
+    packCacheConfig(s, c.mem.l2);
+    s.u32v(c.mem.memoryLatency);
+    packTlbConfig(s, c.mem.itlb);
+    packTlbConfig(s, c.mem.dtlb);
+
+    const PackingConfig &p = c.packing;
+    s.boolv(p.enabled);
+    s.boolv(p.replay);
+    s.u32v(p.lanesPerAlu);
+    s.boolv(p.groupCountsOneSlot);
+    s.u32v(p.replayPenalty);
+
+    const GatingConfig &g = c.gating;
+    s.boolv(g.enabled);
+    s.boolv(g.gate33);
+    s.boolv(g.zeroDetectOnLoads);
+    s.f64v(g.devices.adder64);
+    s.f64v(g.devices.multiplier64);
+    s.f64v(g.devices.logic64);
+    s.f64v(g.devices.shifter64);
+    s.f64v(g.devices.zeroDetect);
+    s.f64v(g.devices.mux);
+}
+
+bool
+unpackCoreConfig(WireSource &s, CoreConfig &c)
+{
+    s.uns(c.ruuSize);
+    s.uns(c.lsqSize);
+    s.uns(c.fetchQueueSize);
+    s.uns(c.fetchWidth);
+    s.uns(c.decodeWidth);
+    s.uns(c.issueWidth);
+    s.uns(c.commitWidth);
+    s.uns(c.numAlus);
+    s.uns(c.numMultDiv);
+    s.uns(c.mispredictPenalty);
+    s.boolv(c.perfectBPred);
+    s.u64v(c.watchdogCycles);
+    s.boolv(c.earlyOutMultiply);
+    s.boolv(c.legacyScheduler);
+
+    BPredConfig &b = c.bpred;
+    s.uns(b.selectorEntries);
+    s.uns(b.selectorBits);
+    s.uns(b.globalEntries);
+    s.uns(b.globalBits);
+    s.uns(b.globalHistBits);
+    s.uns(b.localHistEntries);
+    s.uns(b.localHistBits);
+    s.uns(b.localPredEntries);
+    s.uns(b.localPredBits);
+    s.uns(b.btbEntries);
+    s.uns(b.btbAssoc);
+    s.uns(b.rasEntries);
+
+    unpackCacheConfig(s, c.mem.l1i);
+    unpackCacheConfig(s, c.mem.l1d);
+    unpackCacheConfig(s, c.mem.l2);
+    s.uns(c.mem.memoryLatency);
+    unpackTlbConfig(s, c.mem.itlb);
+    unpackTlbConfig(s, c.mem.dtlb);
+
+    PackingConfig &p = c.packing;
+    s.boolv(p.enabled);
+    s.boolv(p.replay);
+    s.uns(p.lanesPerAlu);
+    s.boolv(p.groupCountsOneSlot);
+    s.uns(p.replayPenalty);
+
+    GatingConfig &g = c.gating;
+    s.boolv(g.enabled);
+    s.boolv(g.gate33);
+    s.boolv(g.zeroDetectOnLoads);
+    s.f64v(g.devices.adder64);
+    s.f64v(g.devices.multiplier64);
+    s.f64v(g.devices.logic64);
+    s.f64v(g.devices.shifter64);
+    s.f64v(g.devices.zeroDetect);
+    s.f64v(g.devices.mux);
+    return s.ok();
+}
+
 } // namespace
+
+const char *
+wireErrorName(WireError err)
+{
+    switch (err) {
+    case WireError::None:
+        return "";
+    case WireError::Truncated:
+        return "truncated";
+    case WireError::BadMagic:
+        return "bad-magic";
+    case WireError::VersionMismatch:
+        return "version-mismatch";
+    case WireError::Corrupt:
+        return "corrupt";
+    }
+    return "?";
+}
 
 std::string
 packJobOutcome(const JobOutcome &outcome)
 {
-    ByteSink s;
+    WireSink s;
+    s.magic(kOutcomeMagic);
     s.u8v(kWireVersion);
     s.str(outcome.workload);
     s.str(outcome.configSpec);
@@ -270,13 +374,14 @@ packJobOutcome(const JobOutcome &outcome)
     return s.take();
 }
 
-bool
-unpackJobOutcome(std::string_view blob, JobOutcome &out)
+WireError
+unpackJobOutcomeErr(std::string_view blob, JobOutcome &out)
 {
-    ByteSource s(blob);
-    u8 version = 0;
-    if (!s.u8v(version) || version != kWireVersion)
-        return false;
+    WireSource s(blob);
+    if (const WireError err = s.header(kOutcomeMagic);
+        err != WireError::None) {
+        return err;
+    }
 
     JobOutcome o;
     u8 ok8 = 0, status8 = 0, kind8 = 0;
@@ -291,9 +396,11 @@ unpackJobOutcome(std::string_view blob, JobOutcome &out)
     s.str(o.error);
     s.str(o.bundlePath);
     s.f64v(o.wallSeconds);
-    if (!s.ok() || status8 > static_cast<u8>(JobStatus::Timeout) ||
+    if (!s.ok())
+        return WireError::Truncated;
+    if (status8 > static_cast<u8>(JobStatus::Timeout) ||
         kind8 > static_cast<u8>(FailKind::Unknown)) {
-        return false;
+        return WireError::Corrupt;
     }
     o.ok = ok8 != 0;
     o.status = static_cast<JobStatus>(status8);
@@ -301,11 +408,57 @@ unpackJobOutcome(std::string_view blob, JobOutcome &out)
     o.termSignal = static_cast<int>(sig);
     o.attempts = static_cast<unsigned>(attempts);
     if (o.ok && !unpackRunResult(s, o.result))
-        return false;
+        return WireError::Truncated;
     if (!s.exhausted())
-        return false;
+        return WireError::Corrupt; // trailing garbage
     out = std::move(o);
-    return true;
+    return WireError::None;
+}
+
+bool
+unpackJobOutcome(std::string_view blob, JobOutcome &out)
+{
+    return unpackJobOutcomeErr(blob, out) == WireError::None;
+}
+
+std::string
+packSimJobSpec(const SimJob &job)
+{
+    WireSink s;
+    s.magic(kJobSpecMagic);
+    s.u8v(kWireVersion);
+    s.str(job.workload);
+    s.str(job.configSpec);
+    s.str(job.asmText);
+    s.u64v(job.opts.warmupInsts);
+    s.u64v(job.opts.measureInsts);
+    s.boolv(job.opts.fastWarmup);
+    packCoreConfig(s, job.config);
+    return s.take();
+}
+
+WireError
+unpackSimJobSpec(std::string_view blob, SimJob &out)
+{
+    WireSource s(blob);
+    if (const WireError err = s.header(kJobSpecMagic);
+        err != WireError::None) {
+        return err;
+    }
+
+    SimJob job;
+    s.str(job.workload);
+    s.str(job.configSpec);
+    s.str(job.asmText);
+    s.u64v(job.opts.warmupInsts);
+    s.u64v(job.opts.measureInsts);
+    s.boolv(job.opts.fastWarmup);
+    if (!unpackCoreConfig(s, job.config))
+        return WireError::Truncated;
+    if (!s.exhausted())
+        return WireError::Corrupt;
+    out = std::move(job);
+    return WireError::None;
 }
 
 std::string

@@ -1,18 +1,27 @@
 /**
  * @file
- * Byte-exact (de)serialization of campaign job outcomes.
+ * Byte-exact (de)serialization of campaign jobs and outcomes.
  *
- * Two consumers, one format:
+ * Three consumers, one format:
  *  - process-isolated jobs: the forked child packs its JobOutcome and
- *    writes it up a pipe; the parent unpacks it (exp/isolate.cc), and
+ *    writes it up a pipe; the parent unpacks it (exp/isolate.cc),
  *  - the campaign journal: each record embeds the packed outcome in
  *    hex so `nwsweep --resume` reconstructs a finished job exactly
- *    (exp/journal.cc).
+ *    (exp/journal.cc), and
+ *  - distributed campaigns: the remote executor streams packed SimJob
+ *    specs down to worker daemons and packed JobOutcomes back up over
+ *    TCP (exp/remote.cc).
+ *
+ * Every blob opens with a 4-byte magic and a version byte, so a reader
+ * from a different build generation fails fast with a classified
+ * WireError instead of silently misparsing — mixed-version
+ * driver/worker pairs are refused at the first blob (and already at
+ * the protocol handshake, exp/remote.cc).
  *
  * Every numeric field is encoded explicitly (u64 little-endian, doubles
  * bit-cast), never memcpy'd as a struct, so the encoding is independent
- * of padding and byte-stable across builds — the resume drill's
- * bit-identical-JSON guarantee rests on this.
+ * of padding and byte-stable across builds — the resume drill's and the
+ * distributed executor's bit-identical-JSON guarantees rest on this.
  */
 
 #ifndef NWSIM_EXP_WIRE_HH
@@ -21,21 +30,229 @@
 #include <string>
 #include <string_view>
 
+#include "exp/campaign.hh"
 #include "exp/result_set.hh"
 
 namespace nwsim::exp
 {
 
+/**
+ * Version byte shared by every wire blob (outcomes and job specs).
+ * Bump whenever any packed field is added, removed, or re-ordered;
+ * readers refuse other versions with WireError::VersionMismatch.
+ */
+inline constexpr u8 kWireVersion = 2;
+
+/** Magic opening a packed JobOutcome blob. */
+inline constexpr char kOutcomeMagic[4] = {'N', 'W', 'O', 'B'};
+/** Magic opening a packed SimJob spec blob. */
+inline constexpr char kJobSpecMagic[4] = {'N', 'W', 'J', 'B'};
+
+/** Why a wire blob was rejected (None = parsed successfully). */
+enum class WireError : u8
+{
+    None,            ///< parsed successfully
+    Truncated,       ///< ran out of bytes mid-field (torn write)
+    BadMagic,        ///< does not start with the expected magic
+    VersionMismatch, ///< right magic, other format generation
+    Corrupt,         ///< framed correctly but contents are invalid
+};
+
+/** Printable reason ("truncated", "bad-magic", ...; "" for None). */
+const char *wireErrorName(WireError err);
+
+/**
+ * Little-endian primitive encoder shared by the blob packers here and
+ * the TCP frame layer (exp/remote.cc).
+ */
+class WireSink
+{
+  public:
+    void
+    u8v(u8 v)
+    {
+        bytes.push_back(static_cast<char>(v));
+    }
+
+    void
+    boolv(bool v)
+    {
+        u8v(v ? 1 : 0);
+    }
+
+    void
+    u32v(u32 v)
+    {
+        for (int i = 0; i < 4; ++i)
+            bytes.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+
+    void
+    u64v(u64 v)
+    {
+        for (int i = 0; i < 8; ++i)
+            bytes.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+
+    void f64v(double v);
+
+    void
+    str(const std::string &s)
+    {
+        u64v(s.size());
+        bytes.append(s);
+    }
+
+    void
+    magic(const char m[4])
+    {
+        bytes.append(m, 4);
+    }
+
+    void
+    raw(std::string_view v)
+    {
+        bytes.append(v);
+    }
+
+    std::string take() { return std::move(bytes); }
+
+  private:
+    std::string bytes;
+};
+
+/** Little-endian primitive decoder; all reads fail-stop on underrun. */
+class WireSource
+{
+  public:
+    explicit WireSource(std::string_view view) : data(view) {}
+
+    bool
+    u8v(u8 &v)
+    {
+        if (pos + 1 > data.size())
+            return fail();
+        v = static_cast<u8>(data[pos++]);
+        return true;
+    }
+
+    bool
+    boolv(bool &v)
+    {
+        u8 b = 0;
+        if (!u8v(b))
+            return false;
+        v = b != 0;
+        return true;
+    }
+
+    bool
+    u32v(u32 &v)
+    {
+        if (pos + 4 > data.size())
+            return fail();
+        v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<u32>(static_cast<u8>(data[pos + i]))
+                 << (8 * i);
+        pos += 4;
+        return true;
+    }
+
+    bool
+    u64v(u64 &v)
+    {
+        if (pos + 8 > data.size())
+            return fail();
+        v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<u64>(static_cast<u8>(data[pos + i]))
+                 << (8 * i);
+        pos += 8;
+        return true;
+    }
+
+    /** unsigned via u32 (every config count fits comfortably). */
+    bool
+    uns(unsigned &v)
+    {
+        u32 x = 0;
+        if (!u32v(x))
+            return false;
+        v = x;
+        return true;
+    }
+
+    bool f64v(double &v);
+
+    bool
+    str(std::string &s)
+    {
+        u64 n = 0;
+        if (!u64v(n) || pos + n > data.size() || pos + n < pos)
+            return fail();
+        s.assign(data.substr(pos, n));
+        pos += n;
+        return true;
+    }
+
+    /**
+     * Classify the blob header: BadMagic / VersionMismatch / Truncated
+     * fail fast before any payload field is touched.
+     */
+    WireError header(const char magic[4]);
+
+    /** Everything from the cursor to the end (for nested blobs). */
+    std::string_view
+    rest()
+    {
+        std::string_view r = data.substr(pos);
+        pos = data.size();
+        return r;
+    }
+
+    bool exhausted() const { return ok_ && pos == data.size(); }
+    bool ok() const { return ok_; }
+
+  private:
+    bool
+    fail()
+    {
+        ok_ = false;
+        return false;
+    }
+
+    std::string_view data;
+    size_t pos = 0;
+    bool ok_ = true;
+};
+
 /** Serialize a full JobOutcome (including RunResult when ok). */
 std::string packJobOutcome(const JobOutcome &outcome);
 
 /**
- * Rebuild a JobOutcome from packJobOutcome bytes.
- * @return false (leaving @p out untouched) on truncation, trailing
- * garbage, or a version mismatch — a torn journal record or a child
- * that died mid-write must not produce a half-filled outcome.
+ * Rebuild a JobOutcome from packJobOutcome bytes, reporting *why* a bad
+ * blob was rejected so protocol layers can fail fast with a clear
+ * message (version skew) or tolerate it (torn journal record). @p out
+ * is untouched unless the result is WireError::None.
  */
+WireError unpackJobOutcomeErr(std::string_view blob, JobOutcome &out);
+
+/** unpackJobOutcomeErr without the reason (journal's tolerant path). */
 bool unpackJobOutcome(std::string_view blob, JobOutcome &out);
+
+/**
+ * Serialize everything a remote worker needs to run @p job: labels,
+ * the full CoreConfig (every field, nested configs included — custom
+ * configs that no spec string can express survive the trip), the
+ * RunOptions window, and any custom asmText. A SimJob carrying a
+ * custom `runner` closure is not serializable; callers must refuse
+ * such jobs before packing (RemoteExecutor does, with a clear error).
+ */
+std::string packSimJobSpec(const SimJob &job);
+
+/** Rebuild a SimJob from packSimJobSpec bytes (runner stays empty). */
+WireError unpackSimJobSpec(std::string_view blob, SimJob &out);
 
 /** Lower-case hex of @p bytes (journal-safe single token). */
 std::string toHex(std::string_view bytes);

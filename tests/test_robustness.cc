@@ -82,7 +82,8 @@ TEST(ErrorTaxonomy, KindsMapToDistinctExitCodes)
 {
     EXPECT_EQ(exitCodeFor(ErrorKind::BadInput), exitcode::BadInput);
     EXPECT_EQ(exitCodeFor(ErrorKind::Internal), exitcode::Internal);
-    EXPECT_EQ(exitCodeFor(ErrorKind::ResourceLimit), exitcode::Failure);
+    EXPECT_EQ(exitCodeFor(ErrorKind::ResourceLimit),
+              exitcode::ResourceLimit);
 
     EXPECT_FALSE(errorKindRetryable(ErrorKind::BadInput));
     EXPECT_FALSE(errorKindRetryable(ErrorKind::Internal));
@@ -521,6 +522,65 @@ TEST(Campaign, IsolatedHangIsKilledByTheWatchdog)
     ASSERT_NE(o, nullptr);
     EXPECT_EQ(o->status, JobStatus::Timeout);
     EXPECT_NE(o->error.find("timed out"), std::string::npos);
+}
+
+TEST(Campaign, CpuRlimitKillIsClassifiedAsResourceLimit)
+{
+    exp::Campaign c;
+    SimJob spin;
+    spin.workload = "spin";
+    spin.configSpec = "cfg";
+    spin.runner = [](const SimJob &) -> RunResult {
+        // Burn CPU (a sleep would never trip RLIMIT_CPU).
+        volatile unsigned long v = 0;
+        for (;;)
+            v += 1;
+    };
+    c.add(spin);
+
+    CampaignOptions copts;
+    copts.isolate = true;
+    copts.jobs = 1;
+    copts.maxAttempts = 1;
+    copts.rlimitCpuSeconds = 1.0;
+    copts.timeoutSeconds = 30.0; // backstop only; SIGXCPU fires first
+    const exp::ResultSet rs = c.run(copts);
+
+    const JobOutcome *o = rs.find("spin", "cfg");
+    ASSERT_NE(o, nullptr);
+    EXPECT_EQ(o->status, JobStatus::Failed);
+    EXPECT_EQ(o->errorKind, FailKind::ResourceLimit);
+    EXPECT_EQ(o->termSignal, SIGXCPU);
+    EXPECT_NE(o->error.find("CPU limit"), std::string::npos);
+}
+
+TEST(Campaign, MemRlimitTurnsRunawayAllocationIntoResourceLimit)
+{
+    exp::Campaign c;
+    SimJob hog;
+    hog.workload = "hog";
+    hog.configSpec = "cfg";
+    hog.runner = [](const SimJob &) -> RunResult {
+        // Far beyond the cap below: under RLIMIT_AS this is a clean
+        // std::bad_alloc inside the child, not an OOM-killed host.
+        std::vector<char> ballast(4ull << 30);
+        ballast[0] = 1;
+        return {};
+    };
+    c.add(hog);
+
+    CampaignOptions copts;
+    copts.isolate = true;
+    copts.jobs = 1;
+    copts.maxAttempts = 1;
+    copts.rlimitMemMb = 512;
+    const exp::ResultSet rs = c.run(copts);
+
+    const JobOutcome *o = rs.find("hog", "cfg");
+    ASSERT_NE(o, nullptr);
+    EXPECT_FALSE(o->ok);
+    EXPECT_EQ(o->status, JobStatus::Failed);
+    EXPECT_EQ(o->errorKind, FailKind::ResourceLimit);
 }
 
 // ---- reproducer bundles -------------------------------------------------

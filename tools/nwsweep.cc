@@ -6,11 +6,32 @@
  *     nwsweep [--suite spec|media|all|smoke] [--workloads a,b,c]
  *             [--configs spec,spec,...] [--jobs N]
  *             [--json FILE] [--csv FILE] [--warmup N] [--measure N]
+ *             [--executor auto|thread|fork|remote]
  *             [--isolate] [--timeout SECS] [--retries N]
  *             [--backoff SECS] [--bundle-dir DIR]
+ *             [--rlimit-mem MB] [--rlimit-cpu SECS]
  *             [--journal FILE] [--resume] [--json-no-timing]
+ *             [--workers host:port[,host:port...]]
+ *             [--spawn-workers N] [--worker-loss SECS]
  *             [--inject-fault hang|crash|oom[,...]]
  *             [--no-progress] [--list-configs]
+ *     nwsweep serve [--listen PORT] [--bind HOST] [--jobs N] [--once]
+ *
+ * Executors (docs/CAMPAIGN.md "Executors"): the campaign dispatches to
+ * a pluggable backend — in-process threads (fastest), fork-per-job
+ * (crash/hang/rlimit isolation), or remote workers over TCP. --executor
+ * auto picks remote when --workers is set, fork under --isolate, and
+ * threads otherwise. Per-job statistics are bit-identical across all
+ * three (--json-no-timing documents are byte-identical).
+ *
+ * Distributed sweeps: start `nwsweep serve --listen 7070` on each
+ * worker host, then drive with --workers hostA:7070,hostB:7070. Each
+ * worker runs jobs through the same fork-isolated retry loop as
+ * --isolate, honoring the driver's --timeout/--retries/--rlimit-*
+ * policy. --spawn-workers N forks N loopback worker daemons for a
+ * one-command distributed run (used by the `dist` ctest label).
+ * Combined with --journal, a killed driver resumes with --resume and a
+ * killed worker only costs its in-flight jobs' compute.
  *
  * Defaults: --suite all, --configs baseline,packing,packing-replay,issue8
  * (the Figure 10/11 grid), --jobs hardware_concurrency (or NWSIM_JOBS).
@@ -33,13 +54,15 @@
  * Exit status: 0 if every job succeeded (and, with --inject-fault, the
  * drill verified); 1 if any job faulted or the drill failed; 2 on usage
  * errors; 3 on bad input (unknown workload/config, unwritable file);
- * 7 on an internal error.
+ * 7 on an internal error; 8 when the campaign infrastructure hits a
+ * resource limit (e.g. every remote worker was lost mid-sweep).
  */
 
 #include <csignal>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -49,6 +72,7 @@
 #include "common/logging.hh"
 #include "exp/campaign.hh"
 #include "exp/configs.hh"
+#include "exp/remote.hh"
 #include "workloads/kernels.hh"
 
 using namespace nwsim;
@@ -64,13 +88,67 @@ usage()
         << "               [--workloads a,b,c] [--configs s1,s2,...]\n"
         << "               [--jobs N] [--json FILE] [--csv FILE]\n"
         << "               [--warmup N] [--measure N]\n"
+        << "               [--executor auto|thread|fork|remote]\n"
         << "               [--isolate] [--timeout SECS] [--retries N]\n"
         << "               [--backoff SECS] [--bundle-dir DIR]\n"
+        << "               [--rlimit-mem MB] [--rlimit-cpu SECS]\n"
         << "               [--journal FILE] [--resume]\n"
         << "               [--json-no-timing]\n"
+        << "               [--workers host:port[,host:port...]]\n"
+        << "               [--spawn-workers N] [--window N]\n"
+        << "               [--worker-loss SECS]\n"
         << "               [--inject-fault hang|crash|oom[,...]]\n"
-        << "               [--no-progress] [--list-configs]\n";
+        << "               [--no-progress] [--list-configs]\n"
+        << "       nwsweep serve [--listen PORT] [--bind HOST]\n"
+        << "                     [--jobs N] [--once]\n";
     return exitcode::Usage;
+}
+
+/** `nwsweep serve`: run a worker daemon until killed (or --once). */
+int
+serveMain(int argc, char **argv)
+{
+    exp::ServeOptions sopts;
+    sopts.log = &std::cerr;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(exitcode::Usage);
+            }
+            return argv[++i];
+        };
+        if (arg == "--listen")
+            sopts.port = static_cast<unsigned>(
+                std::strtoul(next().c_str(), nullptr, 0));
+        else if (arg == "--bind")
+            sopts.bindHost = next();
+        else if (arg == "--jobs")
+            sopts.jobs = static_cast<unsigned>(
+                std::strtoul(next().c_str(), nullptr, 0));
+        else if (arg == "--once")
+            sopts.once = true;
+        else
+            return usage();
+    }
+    exp::serveWorker(sopts);
+    return 0;
+}
+
+exp::ExecutorKind
+parseExecutorKind(const std::string &name)
+{
+    if (name == "auto")
+        return exp::ExecutorKind::Auto;
+    if (name == "thread")
+        return exp::ExecutorKind::Thread;
+    if (name == "fork")
+        return exp::ExecutorKind::Fork;
+    if (name == "remote")
+        return exp::ExecutorKind::Remote;
+    NWSIM_FATAL("unknown executor \"", name,
+                "\" (auto|thread|fork|remote)");
 }
 
 int
@@ -197,6 +275,7 @@ runMain(int argc, char **argv)
     std::vector<std::string> faults;
     std::string json_path, csv_path;
     unsigned jobs = 0;
+    unsigned spawn_workers = 0;
     bool progress = true;
     bool json_timing = true;
     RunOptions opts = resolveRunOptions();
@@ -244,6 +323,24 @@ runMain(int argc, char **argv)
                 std::strtod(next().c_str(), nullptr);
         else if (arg == "--bundle-dir")
             copts.bundleDir = next();
+        else if (arg == "--executor")
+            copts.executor = parseExecutorKind(next());
+        else if (arg == "--workers")
+            copts.workerHosts = splitList(next());
+        else if (arg == "--spawn-workers")
+            spawn_workers = static_cast<unsigned>(
+                std::strtoul(next().c_str(), nullptr, 0));
+        else if (arg == "--window")
+            copts.remoteWindow = static_cast<unsigned>(
+                std::strtoul(next().c_str(), nullptr, 0));
+        else if (arg == "--worker-loss")
+            copts.workerLossSeconds =
+                std::strtod(next().c_str(), nullptr);
+        else if (arg == "--rlimit-mem")
+            copts.rlimitMemMb = std::strtoull(next().c_str(), nullptr, 0);
+        else if (arg == "--rlimit-cpu")
+            copts.rlimitCpuSeconds =
+                std::strtod(next().c_str(), nullptr);
         else if (arg == "--journal")
             copts.journal = next();
         else if (arg == "--resume")
@@ -264,6 +361,11 @@ runMain(int argc, char **argv)
     if (copts.resume && copts.journal.empty()) {
         std::cerr << "nwsweep: --resume requires --journal\n";
         return usage();
+    }
+    if (copts.rlimitMemMb > 0 || copts.rlimitCpuSeconds > 0) {
+        // rlimits apply to isolated children; remote workers fork those
+        // themselves, so only a plain local run needs the upgrade.
+        copts.isolate = true;
     }
     if (!faults.empty()) {
         // Faulting jobs take the process down with them by design; the
@@ -307,10 +409,23 @@ runMain(int argc, char **argv)
     copts.jobs = jobs;
     copts.progress = progress ? &std::cerr : nullptr;
 
+    // --spawn-workers: fork a loopback worker fleet and drive it like
+    // any other remote topology. The fleet object must outlive run().
+    std::unique_ptr<exp::LocalWorkerFleet> fleet;
+    if (spawn_workers > 0) {
+        fleet = std::make_unique<exp::LocalWorkerFleet>(spawn_workers,
+                                                        jobs);
+        copts.workerHosts = fleet->hosts();
+    }
+
     std::cerr << "nwsweep: " << campaign.jobs().size() << " jobs ("
               << workloads.size() << " workloads x " << configs.size()
               << " configs), warmup " << opts.warmupInsts << ", measure "
               << opts.measureInsts;
+    std::cerr << ", executor "
+              << exp::executorKindName(exp::resolveExecutorKind(copts));
+    if (!copts.workerHosts.empty())
+        std::cerr << " (" << copts.workerHosts.size() << " workers)";
     if (copts.isolate) {
         std::cerr << ", isolated";
         if (copts.timeoutSeconds > 0)
@@ -375,6 +490,8 @@ int
 main(int argc, char **argv)
 {
     try {
+        if (argc > 1 && std::string(argv[1]) == "serve")
+            return serveMain(argc, argv);
         return runMain(argc, argv);
     } catch (const SimError &e) {
         std::cerr << "nwsweep: " << errorKindName(e.kind()) << ": "
