@@ -1,0 +1,52 @@
+# Configure a nested UBSan build of the campaign engine, build nwsweep,
+# and run the smoke suite in sampled mode (docs/SAMPLING.md) under
+# halt_on_error=1. Driven by ctest (see tests/CMakeLists.txt, labels
+# `sample;sanitize`) as:
+#
+#   cmake -DSOURCE_DIR=... -DWORK_DIR=... -P RunUbsanSampleSmoke.cmake
+#
+# Undefined behaviour anywhere on the sampled path — the functional
+# stream, the architectural-state transplant into each probe core, the
+# interval aggregation and error-bar statistics — fails the test. The
+# build tree is shared with RunUbsanSmoke.cmake (same flags), guarded
+# by the ubsan_build ctest resource lock.
+
+if(NOT SOURCE_DIR OR NOT WORK_DIR)
+    message(FATAL_ERROR "usage: cmake -DSOURCE_DIR=<repo> "
+                        "-DWORK_DIR=<scratch> -P RunUbsanSampleSmoke.cmake")
+endif()
+
+set(build_dir "${WORK_DIR}/ubsan-build")
+file(MAKE_DIRECTORY "${build_dir}")
+
+message(STATUS "UBSan sampled smoke: configuring in ${build_dir}")
+execute_process(
+    COMMAND "${CMAKE_COMMAND}" -S "${SOURCE_DIR}" -B "${build_dir}"
+            -DNWSIM_SANITIZE=undefined
+            -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    RESULT_VARIABLE rc)
+if(rc)
+    message(FATAL_ERROR "UBSan sampled smoke: configure failed (${rc})")
+endif()
+
+message(STATUS "UBSan sampled smoke: building nwsweep")
+execute_process(
+    COMMAND "${CMAKE_COMMAND}" --build "${build_dir}" --target nwsweep
+            --parallel 4
+    RESULT_VARIABLE rc)
+if(rc)
+    message(FATAL_ERROR "UBSan sampled smoke: build failed (${rc})")
+endif()
+
+message(STATUS "UBSan sampled smoke: running the sampled smoke suite")
+execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E env UBSAN_OPTIONS=halt_on_error=1
+            "${build_dir}/tools/nwsweep" --suite smoke --jobs 2
+            --configs
+            "baseline+sample=4000:500:1500,packing-replay+sample=4000:500:1500:rand:7"
+            --no-progress --json "${WORK_DIR}/ubsan_sampled_smoke.json"
+    RESULT_VARIABLE rc)
+if(rc)
+    message(FATAL_ERROR "UBSan sampled smoke: nwsweep failed (${rc})")
+endif()
+message(STATUS "UBSan sampled smoke: clean")

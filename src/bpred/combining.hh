@@ -51,6 +51,16 @@ struct BPredStats
     u64 condDirectionWrong = 0;
     u64 targetWrong = 0;
 
+    /** Sum @p other's counters into this one (sampled-run intervals). */
+    void
+    accumulate(const BPredStats &other)
+    {
+        lookups += other.lookups;
+        condLookups += other.condLookups;
+        condDirectionWrong += other.condDirectionWrong;
+        targetWrong += other.targetWrong;
+    }
+
     double
     condMispredictRate() const
     {

@@ -507,4 +507,99 @@ shrinkFuzzCase(const FuzzCase &failing,
     return out;
 }
 
+namespace
+{
+
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    size_t start = 0;
+    while (start < text.size()) {
+        size_t nl = text.find('\n', start);
+        if (nl == std::string::npos)
+            nl = text.size();
+        lines.push_back(text.substr(start, nl - start));
+        start = nl + 1;
+    }
+    return lines;
+}
+
+std::string
+joinLines(const std::vector<std::string> &lines)
+{
+    std::string text;
+    for (const std::string &line : lines) {
+        text += line;
+        text += '\n';
+    }
+    return text;
+}
+
+} // namespace
+
+AsmShrinkOutcome
+shrinkAsmLines(const std::string &asm_text,
+               const std::function<bool(const std::string &)> &still_fails,
+               unsigned max_attempts)
+{
+    AsmShrinkOutcome out;
+    std::vector<std::string> lines = splitLines(asm_text);
+    out.originalLines = lines.size();
+    out.minimizedText = asm_text;
+    out.minimizedLines = lines.size();
+
+    const auto tryLines = [&](const std::vector<std::string> &cand) {
+        ++out.attempts;
+        return still_fails(joinLines(cand));
+    };
+
+    if (max_attempts == 0 || !tryLines(lines))
+        return out;
+    out.reproduced = true;
+
+    // Greedy chunked line removal to a fixed point — the same ddmin
+    // schedule as shrinkFuzzCase, but with no structural knowledge:
+    // soundness comes from the predicate rejecting any candidate that
+    // stops assembling or stops failing.
+    bool changed = true;
+    while (changed && out.attempts < max_attempts) {
+        changed = false;
+        size_t chunk = std::max<size_t>(lines.size() / 2, 1);
+        for (;; chunk /= 2) {
+            size_t start = 0;
+            while (start < lines.size() && out.attempts < max_attempts) {
+                const size_t end = std::min(start + chunk, lines.size());
+                // Never propose the empty program: a reproducer that
+                // fails with zero instructions reproduces nothing.
+                if (end - start == lines.size()) {
+                    start = end;
+                    continue;
+                }
+                std::vector<std::string> candidate;
+                candidate.reserve(lines.size() - (end - start));
+                candidate.insert(candidate.end(), lines.begin(),
+                                 lines.begin() +
+                                     static_cast<ptrdiff_t>(start));
+                candidate.insert(candidate.end(),
+                                 lines.begin() +
+                                     static_cast<ptrdiff_t>(end),
+                                 lines.end());
+                if (tryLines(candidate)) {
+                    lines = std::move(candidate);
+                    changed = true;
+                } else {
+                    start = end;
+                }
+            }
+            if (chunk == 1)
+                break;
+        }
+    }
+
+    out.minimizedText = joinLines(lines);
+    out.minimizedLines = lines.size();
+    return out;
+}
+
 } // namespace nwsim

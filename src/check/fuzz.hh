@@ -17,6 +17,7 @@
 #ifndef NWSIM_CHECK_FUZZ_HH
 #define NWSIM_CHECK_FUZZ_HH
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -141,6 +142,35 @@ struct ShrinkOutcome
  */
 ShrinkOutcome shrinkFuzzCase(const FuzzCase &failing,
                              const std::vector<FuzzConfig> &matrix);
+
+/** Result of line-level ddmin over a failing `.s` reproducer. */
+struct AsmShrinkOutcome
+{
+    /** Minimized source (== input when nothing could be removed). */
+    std::string minimizedText;
+    size_t originalLines = 0;
+    size_t minimizedLines = 0;
+    /** Predicate runs spent (the first one re-proves the input fails). */
+    unsigned attempts = 0;
+    /** False if the input itself passed the predicate: nothing shrunk. */
+    bool reproduced = false;
+};
+
+/**
+ * Line-level counterpart of shrinkFuzzCase for reproducers that exist
+ * only as assembly text (campaign crash bundles, docs/ROBUSTNESS.md):
+ * greedily drop chunks of lines, halving the chunk size to a fixed
+ * point ddmin-style, keeping each candidate @p still_fails accepts.
+ * The predicate owns re-assembly and re-execution — a candidate that
+ * no longer assembles, runs clean, or fails differently must return
+ * false. Never proposes the empty program. Deterministic; gives up
+ * after @p max_attempts predicate runs so shrinking can never stall
+ * the campaign that triggered it.
+ */
+AsmShrinkOutcome shrinkAsmLines(
+    const std::string &asm_text,
+    const std::function<bool(const std::string &)> &still_fails,
+    unsigned max_attempts = 200);
 
 } // namespace nwsim
 

@@ -61,6 +61,22 @@ struct GatingStats
     double saved16MwSum = 0.0;
     double saved33MwSum = 0.0;
 
+    /** Sum @p other's counters into this one (sampled-run intervals). */
+    void
+    accumulate(const GatingStats &other)
+    {
+        ops += other.ops;
+        gated16 += other.gated16;
+        gated33 += other.gated33;
+        gatedLoadSourced += other.gatedLoadSourced;
+        blockedByLoad += other.blockedByLoad;
+        baselineMwSum += other.baselineMwSum;
+        gatedMwSum += other.gatedMwSum;
+        overheadMwSum += other.overheadMwSum;
+        saved16MwSum += other.saved16MwSum;
+        saved33MwSum += other.saved33MwSum;
+    }
+
     /** Net savings (Figure 6): saved@16 + saved@33 - overhead. */
     double
     netSavedMwSum() const

@@ -51,6 +51,17 @@ struct PackingStats
     u64 replaySpeculations = 0; ///< instructions packed via replay rule
     u64 replayTraps = 0;        ///< of those, squashed and re-issued
     u64 packEligibleIssued = 0; ///< issued ops that were pack-eligible
+
+    /** Sum @p other's counters into this one (sampled-run intervals). */
+    void
+    accumulate(const PackingStats &other)
+    {
+        packedGroups += other.packedGroups;
+        packedInsts += other.packedInsts;
+        replaySpeculations += other.replaySpeculations;
+        replayTraps += other.replayTraps;
+        packEligibleIssued += other.packEligibleIssued;
+    }
 };
 
 /**

@@ -1,6 +1,7 @@
 #include "core/profiler.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/logging.hh"
 
@@ -46,6 +47,69 @@ widthCategoryName(WidthCategory cat)
     }
 }
 
+size_t
+PcWidthMap::slotFor(Addr pc) const
+{
+    // Fibonacci hashing: multiply by 2^64/phi and keep the top bits.
+    // PCs are small, 4-aligned, and densely clustered — exactly the
+    // distribution a masked identity hash would pile into a few runs.
+    const int shift = 64 - std::countr_zero(keys.size());
+    return static_cast<size_t>((pc * 0x9E3779B97F4A7C15ull) >> shift);
+}
+
+void
+PcWidthMap::grow()
+{
+    const size_t newCap = keys.empty() ? 1024 : keys.size() * 2;
+    std::vector<Addr> oldKeys = std::move(keys);
+    std::vector<u8> oldVals = std::move(vals);
+    keys.assign(newCap, kEmpty);
+    vals.assign(newCap, 0);
+    const size_t mask = newCap - 1;
+    for (size_t i = 0; i < oldKeys.size(); ++i) {
+        if (oldKeys[i] == kEmpty)
+            continue;
+        size_t slot = slotFor(oldKeys[i]);
+        while (keys[slot] != kEmpty)
+            slot = (slot + 1) & mask;
+        keys[slot] = oldKeys[i];
+        vals[slot] = oldVals[i];
+    }
+}
+
+u8 &
+PcWidthMap::findOrInsert(Addr pc)
+{
+    NWSIM_ASSERT(pc != kEmpty, "reserved sentinel PC");
+    // Grow at ~70% load so probe chains stay short.
+    if (keys.empty() || used * 10 >= keys.size() * 7)
+        grow();
+    const size_t mask = keys.size() - 1;
+    size_t slot = slotFor(pc);
+    while (keys[slot] != kEmpty && keys[slot] != pc)
+        slot = (slot + 1) & mask;
+    if (keys[slot] == kEmpty) {
+        keys[slot] = pc;
+        ++used;
+    }
+    return vals[slot];
+}
+
+u8
+PcWidthMap::lookup(Addr pc) const
+{
+    if (keys.empty())
+        return 0;
+    const size_t mask = keys.size() - 1;
+    size_t slot = slotFor(pc);
+    while (keys[slot] != kEmpty) {
+        if (keys[slot] == pc)
+            return vals[slot];
+        slot = (slot + 1) & mask;
+    }
+    return 0;
+}
+
 void
 WidthProfiler::recordOp(Addr pc, OpClass cls, u64 a, u64 b)
 {
@@ -63,7 +127,7 @@ WidthProfiler::recordOp(Addr pc, OpClass cls, u64 a, u64 b)
     else if (wc == WidthClass::Narrow33)
         ++narrow33ByCat[cat];
 
-    u8 &seen = pcWidthSeen[pc];
+    u8 &seen = pcWidthSeen.findOrInsert(pc);
     seen |= (wc == WidthClass::Narrow16) ? 1 : 2;
 }
 
@@ -71,6 +135,21 @@ void
 WidthProfiler::reset()
 {
     *this = WidthProfiler{};
+}
+
+void
+WidthProfiler::merge(const WidthProfiler &other)
+{
+    opCount += other.opCount;
+    for (size_t w = 0; w < widthHist.size(); ++w)
+        widthHist[w] += other.widthHist[w];
+    for (size_t c = 0; c < numCats; ++c) {
+        narrow16ByCat[c] += other.narrow16ByCat[c];
+        narrow33ByCat[c] += other.narrow33ByCat[c];
+    }
+    other.pcWidthSeen.forEach([this](Addr pc, u8 bits) {
+        pcWidthSeen.findOrInsert(pc) |= bits;
+    });
 }
 
 double
@@ -132,7 +211,10 @@ WidthProfiler::snapshot() const
     snap.widthHist = widthHist;
     snap.narrow16ByCat = narrow16ByCat;
     snap.narrow33ByCat = narrow33ByCat;
-    snap.pcWidthSeen.assign(pcWidthSeen.begin(), pcWidthSeen.end());
+    snap.pcWidthSeen.reserve(pcWidthSeen.size());
+    pcWidthSeen.forEach([&snap](Addr pc, u8 bits) {
+        snap.pcWidthSeen.emplace_back(pc, bits);
+    });
     std::sort(snap.pcWidthSeen.begin(), snap.pcWidthSeen.end());
     return snap;
 }
@@ -145,8 +227,8 @@ WidthProfiler::fromSnapshot(const WidthProfilerSnapshot &snap)
     p.widthHist = snap.widthHist;
     p.narrow16ByCat = snap.narrow16ByCat;
     p.narrow33ByCat = snap.narrow33ByCat;
-    p.pcWidthSeen.insert(snap.pcWidthSeen.begin(),
-                         snap.pcWidthSeen.end());
+    for (const auto &[pc, bits] : snap.pcWidthSeen)
+        p.pcWidthSeen.findOrInsert(pc) = bits;
     return p;
 }
 
@@ -156,10 +238,10 @@ WidthProfiler::fluctuationPercent() const
     if (pcWidthSeen.empty())
         return 0.0;
     u64 fluctuating = 0;
-    for (const auto &[pc, seen] : pcWidthSeen) {
+    pcWidthSeen.forEach([&fluctuating](Addr, u8 seen) {
         if (seen == 3)
             ++fluctuating;
-    }
+    });
     return 100.0 * static_cast<double>(fluctuating) /
            static_cast<double>(pcWidthSeen.size());
 }

@@ -8,7 +8,6 @@
 #define NWSIM_CORE_PROFILER_HH
 
 #include <array>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -52,6 +51,55 @@ struct WidthProfilerSnapshot
 };
 
 /**
+ * Open-addressing PC -> width-seen-bits map for the Figure 2
+ * fluctuation statistic. recordOp() hits this table once per executed
+ * integer-unit op, making it the hottest map in the simulator; a flat
+ * power-of-two table with linear probing keeps the common case (PC
+ * already present) to one cache line, where unordered_map chases a
+ * bucket pointer per lookup.
+ */
+class PcWidthMap
+{
+  public:
+    /**
+     * Width-seen bits for @p pc, inserting 0 if absent. The reference
+     * is invalidated by the next findOrInsert (the table may grow).
+     */
+    u8 &findOrInsert(Addr pc);
+
+    /** Width-seen bits for @p pc, or 0 if the PC was never recorded. */
+    u8 lookup(Addr pc) const;
+
+    u64 size() const { return used; }
+    bool empty() const { return used == 0; }
+
+    /** Visit every (pc, bits) entry, in unspecified order. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (size_t i = 0; i < keys.size(); ++i) {
+            if (keys[i] != kEmpty)
+                fn(keys[i], vals[i]);
+        }
+    }
+
+  private:
+    /**
+     * Empty-slot sentinel. Instruction PCs are 4-byte aligned, so the
+     * all-ones address can never be recorded.
+     */
+    static constexpr Addr kEmpty = ~Addr{0};
+
+    size_t slotFor(Addr pc) const;
+    void grow();
+
+    std::vector<Addr> keys;
+    std::vector<u8> vals;
+    u64 used = 0;
+};
+
+/**
  * Collects per-operation operand-width statistics.
  *
  * recordOp() is called once per executed integer-unit operation with the
@@ -67,6 +115,14 @@ class WidthProfiler
 
     /** Reset all statistics (end of warmup). */
     void reset();
+
+    /**
+     * Fold @p other's statistics into this profiler, as if every
+     * operation both saw had been recorded here (histograms summed,
+     * per-PC width-seen bits OR-ed). Used by the sampled-simulation
+     * aggregator to combine measurement intervals.
+     */
+    void merge(const WidthProfiler &other);
 
     // ---- Figure 1: cumulative operand-width distribution --------------
 
@@ -123,7 +179,7 @@ class WidthProfiler
     std::array<u64, numCats> narrow33ByCat{};
 
     /** bit0: executed narrow-16; bit1: executed wider than 16. */
-    std::unordered_map<Addr, u8> pcWidthSeen;
+    PcWidthMap pcWidthSeen;
 };
 
 } // namespace nwsim

@@ -18,6 +18,42 @@
 namespace nwsim
 {
 
+/**
+ * SMARTS-style sampled-simulation schedule (src/sample/,
+ * docs/SAMPLING.md): instead of one contiguous detailed window, the run
+ * becomes a stream of intervals — functional fast-forward (no detailed
+ * state), detailed warmup (primes caches/TLB/predictors, stats
+ * discarded), detailed measurement — repeating every @p periodInsts
+ * until the RunOptions instruction budget is spent. Expressed in config
+ * specs as the `+sample=period:warmup:measure[:rand[:seed]]` modifier.
+ */
+struct SampleOptions
+{
+    bool enabled = false;
+    /** Instructions between successive sample-interval starts. */
+    u64 periodInsts = 0;
+    /** Detailed-warmup instructions per interval (not recorded). */
+    u64 warmupInsts = 0;
+    /** Detailed-measurement instructions per interval. */
+    u64 measureInsts = 0;
+    /**
+     * Place each interval at a seeded-random offset within its period
+     * instead of at the period start (guards against programs whose
+     * phase length resonates with a fixed period).
+     */
+    bool randomize = false;
+    /** Offset-RNG seed (randomize mode; deterministic per seed). */
+    u64 seed = 0;
+
+    /** Functional-only instructions per period (ff phase length). */
+    u64
+    fastForwardInsts() const
+    {
+        const u64 detailed = warmupInsts + measureInsts;
+        return periodInsts > detailed ? periodInsts - detailed : 0;
+    }
+};
+
 /** Simulation window sizes (env-overridable, see resolveRunOptions). */
 struct RunOptions
 {
@@ -30,6 +66,13 @@ struct RunOptions
      * predictor only, Section 3.2); false = detailed-core warmup.
      */
     bool fastWarmup = true;
+    /**
+     * Sampled-simulation schedule. When enabled, warmupInsts +
+     * measureInsts is reinterpreted as the *total functional-stream
+     * budget* the interval schedule spreads over, so a sampled job
+     * covers the same program region as its full-detail twin.
+     */
+    SampleOptions sample;
 };
 
 /**
@@ -37,6 +80,36 @@ struct RunOptions
  * benchmark suite can be scaled up or down without recompiling.
  */
 RunOptions resolveRunOptions(RunOptions defaults = {});
+
+/**
+ * Error-bar annotations carried by a sampled RunResult. The sample
+ * layer (src/sample/aggregate.hh) computes these from the per-interval
+ * measurements and stamps them here, precomputed, so the driver layer
+ * and the result sinks (JSON/CSV/wire) need no statistics code.
+ */
+struct SampleSummary
+{
+    /** True when the result came from a sampled run. */
+    bool sampled = false;
+    /** Measurement intervals the estimates are computed over. */
+    u64 intervals = 0;
+    /** Functional-stream instructions the schedule covered. */
+    u64 streamInsts = 0;
+
+    /** One metric's error bar (mean of per-interval values). */
+    struct Estimate
+    {
+        double mean = 0.0;
+        /** Coefficient of variation, stddev / |mean|. */
+        double cov = 0.0;
+        /** Half-width of the 95% confidence interval. */
+        double ci95 = 0.0;
+    };
+
+    /** Indexed by sample::SampleMetric (ipc, packed, gating, power). */
+    static constexpr size_t kNumMetrics = 4;
+    Estimate metrics[kNumMetrics];
+};
 
 /** Everything measured in one run. */
 struct RunResult
@@ -52,6 +125,8 @@ struct RunResult
     WidthProfiler profiler;
     double l1dMissRate = 0.0;
     double l1iMissRate = 0.0;
+    /** Error bars when this result came from a sampled run. */
+    SampleSummary sample;
 
     double ipc() const { return core.ipc(); }
 

@@ -23,6 +23,11 @@ benchAggregate(const ResultSet &results)
         agg.seconds += o.wallSeconds;
         agg.committedKinsts +=
             static_cast<double>(o.result.measuredCommitted) / 1000.0;
+        if (o.result.sample.sampled) {
+            agg.streamKinsts +=
+                static_cast<double>(o.result.sample.streamInsts) /
+                1000.0;
+        }
         agg.simCycles += o.result.core.cycles;
     }
     return agg;
@@ -69,6 +74,16 @@ runSpeedBench(const BenchOptions &options)
             Campaign::grid(o.workloads, legacy_specs, o.runOpts)
                 .run(copts);
     }
+
+    if (o.compareSampled) {
+        std::vector<std::string> sampled_specs;
+        sampled_specs.reserve(o.configs.size());
+        for (const std::string &spec : o.configs)
+            sampled_specs.push_back(spec + "+" + o.sampleModifier);
+        report.sampled =
+            Campaign::grid(o.workloads, sampled_specs, o.runOpts)
+                .run(copts);
+    }
     return report;
 }
 
@@ -87,6 +102,10 @@ writeVariant(JsonWriter &j, const char *name, const ResultSet &results)
     j.key("sim_cycles").value(agg.simCycles);
     j.key("kips").value(agg.kips());
     j.key("sim_cycles_per_second").value(agg.cyclesPerSecond());
+    if (agg.streamKinsts > 0.0) {
+        j.key("stream_kinsts").value(agg.streamKinsts);
+        j.key("effective_kips").value(agg.effectiveKips());
+    }
     j.key("per_job").beginArray();
     for (const JobOutcome &o : results.outcomes()) {
         j.beginObject();
@@ -128,6 +147,10 @@ writeBenchJson(std::ostream &os, const BenchReport &report)
     if (o.compareLegacy) {
         writeVariant(j, "legacy", report.legacy);
         j.key("speedup_wall_clock").value(report.speedup());
+    }
+    if (o.compareSampled) {
+        writeVariant(j, "sampled", report.sampled);
+        j.key("sample_modifier").value(o.sampleModifier);
     }
     j.endObject();
 }

@@ -40,6 +40,14 @@ struct BenchOptions
     unsigned jobs = 1;
     /** Also time the `+legacy` scan scheduler and report the speedup. */
     bool compareLegacy = true;
+    /**
+     * Also time the grid in sampled mode (docs/SAMPLING.md): the same
+     * stream budget covered by `+sampleModifier` probes, reporting
+     * effective KIPS (stream instructions per wall second).
+     */
+    bool compareSampled = true;
+    /** Schedule appended to each spec for the sampled variant. */
+    std::string sampleModifier = "sample=50000:2000:8000";
     /** Campaign progress stream (nullptr = silent). */
     std::ostream *progress = nullptr;
 };
@@ -53,12 +61,22 @@ struct BenchAggregate
     double seconds = 0.0;
     /** Detailed-mode committed instructions, thousands. */
     double committedKinsts = 0.0;
+    /** Functional-stream instructions covered (sampled runs only). */
+    double streamKinsts = 0.0;
     u64 simCycles = 0;
 
     double
     kips() const
     {
         return seconds > 0.0 ? committedKinsts / seconds : 0.0;
+    }
+
+    /** Workload progress per wall second: a sampled run's headline
+     *  (thousands of stream instructions covered per second). */
+    double
+    effectiveKips() const
+    {
+        return seconds > 0.0 ? streamKinsts / seconds : 0.0;
     }
 
     double
@@ -81,12 +99,15 @@ struct BenchReport
     ResultSet event;
     /** Legacy-scan outcomes (empty unless options.compareLegacy). */
     ResultSet legacy;
+    /** Sampled-mode outcomes (empty unless options.compareSampled). */
+    ResultSet sampled;
 
     bool
     ok() const
     {
         return event.allOk() &&
-               (!options.compareLegacy || legacy.allOk());
+               (!options.compareLegacy || legacy.allOk()) &&
+               (!options.compareSampled || sampled.allOk());
     }
 
     /** End-to-end wall-clock speedup, legacy / event (0 if unknown). */

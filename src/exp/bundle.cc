@@ -5,8 +5,12 @@
 #include <sstream>
 #include <system_error>
 
+#include "asm/textasm.hh"
+#include "check/fuzz.hh"
+#include "common/error.hh"
 #include "exp/campaign.hh"
 #include "exp/result_set.hh"
+#include "sample/controller.hh"
 
 namespace fs = std::filesystem;
 
@@ -32,6 +36,34 @@ sanitize(const std::string &label)
     return out;
 }
 
+/**
+ * Shrinker predicate: a candidate source reproduces the bundled fault
+ * iff it still assembles, still runs the job's exact execution path
+ * (sampled or full-detail), and still throws a SimError of the same
+ * class. A clean run, a different class, or an exception outside the
+ * taxonomy all reject the candidate.
+ */
+bool
+reproducesFault(const std::string &text, const SimJob &job,
+                FailKind kind)
+{
+    try {
+        const Program prog = assembleText(text);
+        if (job.opts.sample.enabled) {
+            sample::runSampledProgram(prog, job.config, job.opts,
+                                      job.workload, job.configSpec);
+        } else {
+            runProgram(prog, job.config, job.opts, job.workload,
+                       job.configSpec);
+        }
+    } catch (const SimError &e) {
+        return failKindOf(e.kind()) == kind;
+    } catch (...) {
+        return false;
+    }
+    return false;
+}
+
 } // namespace
 
 std::string
@@ -49,7 +81,7 @@ bundleEventsPath(const std::string &base, const SimJob &job)
 std::string
 writeReproducerBundle(const std::string &base, const SimJob &job,
                       const JobOutcome &outcome,
-                      const std::string &events)
+                      const std::string &events, bool shrink)
 {
     const std::string dir = bundlePathFor(base, job);
     std::error_code ec;
@@ -61,6 +93,26 @@ writeReproducerBundle(const std::string &base, const SimJob &job,
     if (hasAsm) {
         std::ofstream src(dir + "/repro.s");
         src << job.asmText;
+    }
+
+    // Close the crash → bundle → shrink loop: minimize the source while
+    // the fault is hot. Exception-class faults only — replaying them
+    // in-process is exactly as safe as the attempt that just ran (and
+    // in fork isolation this executes inside the sandboxed child).
+    AsmShrinkOutcome minimized;
+    const bool tryShrink = shrink && hasAsm &&
+                           outcome.status == JobStatus::Failed &&
+                           outcome.errorKind != FailKind::None &&
+                           outcome.errorKind != FailKind::Unknown;
+    if (tryShrink) {
+        minimized = shrinkAsmLines(
+            job.asmText, [&](const std::string &text) {
+                return reproducesFault(text, job, outcome.errorKind);
+            });
+        if (minimized.reproduced) {
+            std::ofstream min(dir + "/repro.min.s");
+            min << minimized.minimizedText;
+        }
     }
 
     const std::string eventsPath = dir + "/events.log";
@@ -96,6 +148,14 @@ writeReproducerBundle(const std::string &base, const SimJob &job,
         << "events:     events.log (flight recorder, oldest first)\n";
     if (hasAsm)
         man << "source:     repro.s\n";
+    if (minimized.reproduced) {
+        man << "minimized:  repro.min.s (" << minimized.minimizedLines
+            << " of " << minimized.originalLines << " lines, "
+            << minimized.attempts << " shrink runs)\n";
+    } else if (tryShrink) {
+        man << "minimized:  (fault did not reproduce on replay; "
+            << "repro.s kept as-is)\n";
+    }
     man.flush();
     return man ? dir : "";
 }

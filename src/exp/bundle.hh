@@ -8,6 +8,7 @@
  *         MANIFEST.txt   what happened + the exact replay command
  *         events.log     flight recorder: last-K pipeline events
  *         repro.s        assembly source (only for asmText jobs)
+ *         repro.min.s    ddmin-shrunk source (exception faults only)
  *
  * The MANIFEST's replay line is a ready-to-run `nwsim run ... --check`
  * invocation, so a crash found by a sweep feeds straight into the
@@ -41,11 +42,20 @@ std::string bundleEventsPath(const std::string &base, const SimJob &job);
  * from @p events unless a crash handler already left one behind.
  * Returns the bundle directory, or "" if it could not be written
  * (bundles are best-effort; a full disk must not fail the campaign).
+ *
+ * With @p shrink set, an asmText job whose fault was a classified
+ * exception (status Failed — never a signal or timeout, whose replay
+ * could take the caller down with it) additionally gets the ddmin line
+ * shrinker (check/fuzz.hh) run over its source: the minimized program
+ * is stored as repro.min.s next to the original and recorded in the
+ * MANIFEST. Only the in-process attempt path passes true; parents
+ * completing a crashed child's bundle must not replay the fault.
  */
 std::string writeReproducerBundle(const std::string &base,
                                   const SimJob &job,
                                   const JobOutcome &outcome,
-                                  const std::string &events);
+                                  const std::string &events,
+                                  bool shrink = false);
 
 } // namespace nwsim::exp
 

@@ -18,6 +18,7 @@
 #include "exp/journal.hh"
 #include "exp/progress.hh"
 #include "pipeline/flight_recorder.hh"
+#include "sample/controller.hh"
 #include "workloads/kernels.hh"
 
 namespace nwsim::exp
@@ -45,6 +46,7 @@ Campaign::grid(const std::vector<std::string> &workloads,
             job.configSpec = spec;
             job.config = cfg;
             job.opts = opts;
+            job.opts.sample = sampleBySpec(spec);
             c.add(std::move(job));
         }
     }
@@ -73,21 +75,6 @@ retryBackoffSeconds(size_t job_index, unsigned attempt,
 
 namespace
 {
-
-/** FailKind of a SimError class (taxonomy in common/error.hh). */
-FailKind
-failKindOf(ErrorKind kind)
-{
-    switch (kind) {
-    case ErrorKind::BadInput:
-        return FailKind::BadInput;
-    case ErrorKind::ResourceLimit:
-        return FailKind::ResourceLimit;
-    case ErrorKind::Internal:
-        return FailKind::Internal;
-    }
-    return FailKind::Unknown;
-}
 
 Program
 jobProgram(const SimJob &job)
@@ -122,12 +109,17 @@ executeJobAttempt(const SimJob &job, const CampaignOptions &copts,
     using Clock = std::chrono::steady_clock;
     const Clock::time_point t0 = Clock::now();
     try {
-        out.result =
-            job.runner
-                ? job.runner(job)
-                : runProgram(jobProgram(job), job.config, job.opts,
-                             job.workload, job.configSpec,
-                             recorder.get());
+        if (job.runner) {
+            out.result = job.runner(job);
+        } else if (job.opts.sample.enabled) {
+            out.result = sample::runSampledProgram(
+                jobProgram(job), job.config, job.opts, job.workload,
+                job.configSpec, recorder.get());
+        } else {
+            out.result =
+                runProgram(jobProgram(job), job.config, job.opts,
+                           job.workload, job.configSpec, recorder.get());
+        }
         out.ok = true;
         out.status = JobStatus::Ok;
         out.errorKind = FailKind::None;
@@ -191,8 +183,8 @@ executeJobWithRetries(const SimJob &job, size_t job_index,
 
     if (!copts.bundleDir.empty()) {
         if (!out.ok && out.errorKind == FailKind::Internal) {
-            out.bundlePath =
-                writeReproducerBundle(copts.bundleDir, job, out, events);
+            out.bundlePath = writeReproducerBundle(
+                copts.bundleDir, job, out, events, /*shrink=*/true);
         } else if (out.ok) {
             // Isolated children pre-create the bundle directory for the
             // crash handler; drop it again if the job finished cleanly

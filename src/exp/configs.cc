@@ -1,5 +1,7 @@
 #include "exp/configs.hh"
 
+#include <cstdlib>
+
 #include "common/logging.hh"
 #include "driver/presets.hh"
 
@@ -28,12 +30,67 @@ configModifiers()
         {"earlyout", "PPC603-style early-out multiplies (Section 2.3)"},
         {"nogate33", "disable the 33-bit gating signal (Figure 6)"},
         {"legacy", "O(window)-scan scheduler (sim-speed A/B; same stats)"},
+        {"sample=P:W:M",
+         "SMARTS sampling: detailed W-warmup/M-measure probe every P "
+         "insts (+`:rand[:seed]` randomizes the probe offset)"},
     };
     return mods;
 }
 
 namespace
 {
+
+/**
+ * Parse a `sample=period:warmup:measure[:rand[:seed]]` modifier into
+ * @p out. Returns false (leaving @p out untouched) on malformed syntax;
+ * semantic validation (period >= warmup+measure, measure > 0) happens
+ * in sample::validateSampleOptions when the schedule is used.
+ */
+bool
+parseSampleModifier(const std::string &mod, SampleOptions &out)
+{
+    const std::string body = mod.substr(std::string("sample=").size());
+    std::vector<std::string> fields;
+    std::string cur;
+    for (char c : body) {
+        if (c == ':') {
+            fields.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    fields.push_back(cur);
+    if (fields.size() < 3 || fields.size() > 5)
+        return false;
+
+    u64 nums[3];
+    for (size_t i = 0; i < 3; ++i) {
+        if (fields[i].empty() ||
+            fields[i].find_first_not_of("0123456789") != std::string::npos)
+            return false;
+        nums[i] = std::strtoull(fields[i].c_str(), nullptr, 10);
+    }
+
+    SampleOptions s;
+    s.enabled = true;
+    s.periodInsts = nums[0];
+    s.warmupInsts = nums[1];
+    s.measureInsts = nums[2];
+    if (fields.size() >= 4) {
+        if (fields[3] != "rand")
+            return false;
+        s.randomize = true;
+        if (fields.size() == 5) {
+            if (fields[4].empty() || fields[4].find_first_not_of(
+                                         "0123456789") != std::string::npos)
+                return false;
+            s.seed = std::strtoull(fields[4].c_str(), nullptr, 10);
+        }
+    }
+    out = s;
+    return true;
+}
 
 bool
 resolveSpec(const std::string &spec, CoreConfig &out)
@@ -81,7 +138,13 @@ resolveSpec(const std::string &spec, CoreConfig &out)
             out.gating.gate33 = false;
         else if (mod == "legacy")
             out.legacyScheduler = true;
-        else
+        else if (mod.rfind("sample=", 0) == 0) {
+            // Run-schedule modifier: validated here, extracted by
+            // sampleBySpec; no effect on the CoreConfig itself.
+            SampleOptions ignored;
+            if (!parseSampleModifier(mod, ignored))
+                return false;
+        } else
             return false;
     }
     return true;
@@ -97,9 +160,29 @@ configBySpec(const std::string &spec)
         NWSIM_FATAL("unknown config spec \"", spec,
                     "\" (bases: baseline, packing, packing-replay, "
                     "issue8; modifiers: +decode8, +perfect, +earlyout, "
-                    "+nogate33, +legacy)");
+                    "+nogate33, +legacy, +sample=P:W:M[:rand[:seed]])");
     }
     return cfg;
+}
+
+SampleOptions
+sampleBySpec(const std::string &spec)
+{
+    SampleOptions s;
+    size_t pos = 0;
+    while ((pos = spec.find('+', pos)) != std::string::npos) {
+        ++pos;
+        const size_t end = spec.find('+', pos);
+        const std::string mod = spec.substr(
+            pos, end == std::string::npos ? std::string::npos : end - pos);
+        if (mod.rfind("sample=", 0) == 0 &&
+            !parseSampleModifier(mod, s)) {
+            NWSIM_FATAL("malformed sample modifier \"+", mod,
+                        "\" (want +sample=period:warmup:measure"
+                        "[:rand[:seed]])");
+        }
+    }
+    return s;
 }
 
 bool

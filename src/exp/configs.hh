@@ -15,6 +15,13 @@
  *     baseline+earlyout           PPC603-style early-out multiplies
  *     baseline+legacy             O(window)-scan scheduler (sim-speed
  *                                 A/B baseline; stats are identical)
+ *     packing+sample=200000:2000:8000
+ *                                 SMARTS-style sampled run: one
+ *                                 2k-warmup/8k-measure detailed probe
+ *                                 per 200k-instruction period
+ *                                 (docs/SAMPLING.md); optional
+ *                                 `:rand[:seed]` tail randomizes the
+ *                                 probe offset within each period
  */
 
 #ifndef NWSIM_EXP_CONFIGS_HH
@@ -23,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "driver/runner.hh"
 #include "pipeline/config.hh"
 
 namespace nwsim::exp
@@ -49,6 +57,15 @@ CoreConfig configBySpec(const std::string &spec);
 
 /** True if @p spec resolves (for argument validation without exiting). */
 bool isValidConfigSpec(const std::string &spec);
+
+/**
+ * Extract the sampled-simulation schedule from a spec's `+sample=`
+ * modifier (`period:warmup:measure[:rand[:seed]]`). Returns a
+ * disabled SampleOptions when the spec has no sample modifier.
+ * Sampling is a run-schedule property, not a core property, which is
+ * why it resolves separately from configBySpec.
+ */
+SampleOptions sampleBySpec(const std::string &spec);
 
 } // namespace nwsim::exp
 

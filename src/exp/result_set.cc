@@ -7,6 +7,7 @@
 
 #include "common/logging.hh"
 #include "exp/json.hh"
+#include "sample/aggregate.hh"
 
 namespace nwsim::exp
 {
@@ -43,6 +44,20 @@ failKindName(FailKind kind)
         return "unknown";
     }
     return "?";
+}
+
+FailKind
+failKindOf(ErrorKind kind)
+{
+    switch (kind) {
+      case ErrorKind::BadInput:
+        return FailKind::BadInput;
+      case ErrorKind::ResourceLimit:
+        return FailKind::ResourceLimit;
+      case ErrorKind::Internal:
+        return FailKind::Internal;
+    }
+    return FailKind::Unknown;
 }
 
 bool
@@ -138,7 +153,18 @@ ResultSet::toTable() const
             continue;
         }
         const RunResult &r = o.result;
-        t.addRow({o.workload, o.configSpec, Table::num(r.ipc(), 3),
+        // Sampled results carry an error bar on the table's headline.
+        std::string ipc_cell = Table::num(r.ipc(), 3);
+        if (r.sample.sampled) {
+            ipc_cell += "±";
+            ipc_cell += Table::num(
+                r.sample
+                    .metrics[static_cast<size_t>(
+                        sample::SampleMetric::Ipc)]
+                    .ci95,
+                3);
+        }
+        t.addRow({o.workload, o.configSpec, ipc_cell,
                   Table::num(r.gating.reductionPercent(), 1),
                   std::to_string(r.packing.packedInsts),
                   std::to_string(r.packing.replayTraps),
@@ -183,6 +209,7 @@ writeStats(JsonWriter &j, const RunResult &r)
     j.key("reduction_pct").value(r.gating.reductionPercent());
     j.key("gated16_ops").value(r.gating.gated16);
     j.key("gated33_ops").value(r.gating.gated33);
+    j.key("gating_ops").value(r.gating.ops);
     j.endObject();
 
     j.key("packing").beginObject();
@@ -192,6 +219,23 @@ writeStats(JsonWriter &j, const RunResult &r)
     j.key("replay_traps").value(r.packing.replayTraps);
     j.key("pack_eligible_issued").value(r.packing.packEligibleIssued);
     j.endObject();
+
+    if (r.sample.sampled) {
+        j.key("sample").beginObject();
+        j.key("intervals").value(r.sample.intervals);
+        j.key("stream_insts").value(r.sample.streamInsts);
+        for (size_t m = 0; m < SampleSummary::kNumMetrics; ++m) {
+            const SampleSummary::Estimate &e = r.sample.metrics[m];
+            j.key(sample::sampleMetricName(
+                     static_cast<sample::SampleMetric>(m)))
+                .beginObject();
+            j.key("mean").value(e.mean);
+            j.key("cov").value(e.cov);
+            j.key("ci95").value(e.ci95);
+            j.endObject();
+        }
+        j.endObject();
+    }
 
     j.endObject();
 }
@@ -253,7 +297,8 @@ ResultSet::writeCsv(std::ostream &os) const
           "cycles,ipc,l1d_miss_rate,l1i_miss_rate,cond_mispredict_rate,"
           "narrow16_pct,narrow33_pct,fluctuation_pct,"
           "power_baseline_mw,power_optimized_mw,power_reduction_pct,"
-          "packed_groups,packed_insts,replay_traps\n";
+          "packed_groups,packed_insts,replay_traps,"
+          "sample_intervals,sample_stream_insts,ipc_ci95\n";
     for (const JobOutcome &o : all) {
         std::ostringstream row;
         row << o.workload << ',' << o.configSpec << ','
@@ -274,9 +319,19 @@ ResultSet::writeCsv(std::ostream &os) const
                 << r.gating.reductionPercent() << ','
                 << r.packing.packedGroups << ','
                 << r.packing.packedInsts << ','
-                << r.packing.replayTraps;
+                << r.packing.replayTraps << ',';
+            if (r.sample.sampled) {
+                row << r.sample.intervals << ','
+                    << r.sample.streamInsts << ','
+                    << r.sample
+                           .metrics[static_cast<size_t>(
+                               sample::SampleMetric::Ipc)]
+                           .ci95;
+            } else {
+                row << ",,";
+            }
         } else {
-            for (int i = 0; i < 14; ++i)
+            for (int i = 0; i < 17; ++i)
                 row << ',';
         }
         os << row.str() << '\n';

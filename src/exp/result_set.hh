@@ -46,6 +46,9 @@ enum class FailKind : u8
 /** Printable kind ("", "bad-input", ..., "unknown"). */
 const char *failKindName(FailKind kind);
 
+/** FailKind of a SimError class (taxonomy in common/error.hh). */
+FailKind failKindOf(ErrorKind kind);
+
 /** True if a job that failed this way might succeed on retry. */
 bool failKindRetryable(FailKind kind);
 

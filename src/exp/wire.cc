@@ -102,6 +102,16 @@ packRunResult(WireSink &s, const RunResult &r)
 
     s.f64v(r.l1dMissRate);
     s.f64v(r.l1iMissRate);
+
+    const SampleSummary &ss = r.sample;
+    s.boolv(ss.sampled);
+    s.u64v(ss.intervals);
+    s.u64v(ss.streamInsts);
+    for (const SampleSummary::Estimate &e : ss.metrics) {
+        s.f64v(e.mean);
+        s.f64v(e.cov);
+        s.f64v(e.ci95);
+    }
 }
 
 bool
@@ -173,6 +183,16 @@ unpackRunResult(WireSource &s, RunResult &r)
 
     s.f64v(r.l1dMissRate);
     s.f64v(r.l1iMissRate);
+
+    SampleSummary &ss = r.sample;
+    s.boolv(ss.sampled);
+    s.u64v(ss.intervals);
+    s.u64v(ss.streamInsts);
+    for (SampleSummary::Estimate &e : ss.metrics) {
+        s.f64v(e.mean);
+        s.f64v(e.cov);
+        s.f64v(e.ci95);
+    }
     return s.ok();
 }
 
@@ -433,6 +453,13 @@ packSimJobSpec(const SimJob &job)
     s.u64v(job.opts.warmupInsts);
     s.u64v(job.opts.measureInsts);
     s.boolv(job.opts.fastWarmup);
+    const SampleOptions &so = job.opts.sample;
+    s.boolv(so.enabled);
+    s.u64v(so.periodInsts);
+    s.u64v(so.warmupInsts);
+    s.u64v(so.measureInsts);
+    s.boolv(so.randomize);
+    s.u64v(so.seed);
     packCoreConfig(s, job.config);
     return s.take();
 }
@@ -453,6 +480,13 @@ unpackSimJobSpec(std::string_view blob, SimJob &out)
     s.u64v(job.opts.warmupInsts);
     s.u64v(job.opts.measureInsts);
     s.boolv(job.opts.fastWarmup);
+    SampleOptions &so = job.opts.sample;
+    s.boolv(so.enabled);
+    s.u64v(so.periodInsts);
+    s.u64v(so.warmupInsts);
+    s.u64v(so.measureInsts);
+    s.boolv(so.randomize);
+    s.u64v(so.seed);
     if (!unpackCoreConfig(s, job.config))
         return WireError::Truncated;
     if (!s.exhausted())

@@ -41,7 +41,7 @@ namespace nwsim::exp
  * Bump whenever any packed field is added, removed, or re-ordered;
  * readers refuse other versions with WireError::VersionMismatch.
  */
-inline constexpr u8 kWireVersion = 2;
+inline constexpr u8 kWireVersion = 3;
 
 /** Magic opening a packed JobOutcome blob. */
 inline constexpr char kOutcomeMagic[4] = {'N', 'W', 'O', 'B'};

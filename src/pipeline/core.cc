@@ -131,6 +131,19 @@ OutOfOrderCore::deadlockDiagnostic(Cycle stalled_cycles) const
     return d.str();
 }
 
+void
+OutOfOrderCore::seedArchRegs(const std::array<u64, numIntRegs> &regs)
+{
+    NWSIM_ASSERT(window.empty() && fetchQueue.empty(),
+                 "seedArchRegs with in-flight instructions");
+    specRegs = regs;
+    specRegs[zeroReg] = 0;
+    if (oracle) {
+        for (RegIndex r = 0; r < numIntRegs; ++r)
+            oracle->setReg(r, regs[r]);
+    }
+}
+
 u64
 OutOfOrderCore::fastForward(u64 insts)
 {
@@ -296,35 +309,60 @@ OutOfOrderCore::undoEntry(RuuEntry &e)
 }
 
 void
+OutOfOrderCore::squashVictim(RuuEntry &victim)
+{
+    trace(TraceStage::Squash, victim);
+    if (observer)
+        observer->onSquash(victim);
+    undoEntry(victim);
+    // Eagerly drop the victim's scheduler state: its pending
+    // completion timer (squashed seqs get reused after the rewind
+    // below, so a mispredict-heavy run would otherwise accumulate
+    // dead timer records until their cycle arrives), its dependence
+    // edges, its ready-queue slot, and its store-index chains.
+    if (victim.state == EntryState::Issued)
+        completions.purge(victim.seq, victim.completeCycle, curCycle);
+    if (!cfg.legacyScheduler) {
+        deps.unlinkConsumer(victim.seq);
+        readyQueue.erase(victim.seq);
+        if (victim.isSt)
+            storeIndex.remove(victim.seq);
+    }
+    window.pop_back();
+    ++stat.squashed;
+}
+
+void
 OutOfOrderCore::squashAfter(InstSeq seq)
 {
-    while (!window.empty() && window.back().seq > seq) {
-        RuuEntry &victim = window.back();
-        trace(TraceStage::Squash, victim);
-        if (observer)
-            observer->onSquash(victim);
-        undoEntry(victim);
-        // Eagerly drop the victim's scheduler state: its pending
-        // completion timer (squashed seqs get reused after the rewind
-        // below, so a mispredict-heavy run would otherwise accumulate
-        // dead timer records until their cycle arrives), its dependence
-        // edges, its ready-queue slot, and its store-index chains.
-        if (victim.state == EntryState::Issued)
-            completions.purge(victim.seq, victim.completeCycle, curCycle);
-        if (!cfg.legacyScheduler) {
-            deps.unlinkConsumer(victim.seq);
-            readyQueue.erase(victim.seq);
-            if (victim.isSt)
-                storeIndex.remove(victim.seq);
-        }
-        window.pop_back();
-        ++stat.squashed;
-    }
+    while (!window.empty() && window.back().seq > seq)
+        squashVictim(window.back());
     fetchQueue.clear();
     fetchHalted = false;
     // Rewind the sequence counter so window seqs stay contiguous
     // (entryBySeq relies on it).
     nextSeq = seq + 1;
+}
+
+void
+OutOfOrderCore::drainInFlight()
+{
+    if (!window.empty()) {
+        // The oldest in-flight entry is the next instruction to commit,
+        // so it is always on the architected path: resume fetch there.
+        const Addr resume = window.front().pc;
+        const InstSeq restart = window.front().seq;
+        while (!window.empty())
+            squashVictim(window.back());
+        nextSeq = restart;
+        fetchPc = resume;
+    } else if (!fetchQueue.empty()) {
+        // Nothing dispatched: the fetch queue's head was fetched from
+        // the architected PC.
+        fetchPc = fetchQueue.front().pc;
+    }
+    fetchQueue.clear();
+    fetchHalted = false;
 }
 
 void

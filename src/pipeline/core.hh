@@ -87,8 +87,28 @@ class OutOfOrderCore
      */
     u64 fastForward(u64 insts);
 
+    /**
+     * Seed the architected register file from a functional stream (the
+     * sampled-simulation controller transplants FuncSim state into a
+     * fresh detailed core at each sample point). Also seeds the
+     * perfect-prediction oracle so it replays the same path.
+     *
+     * @pre no in-flight instructions (call before the first tick()).
+     */
+    void seedArchRegs(const std::array<u64, numIntRegs> &regs);
+
     /** True once HALT has committed. */
     bool done() const { return simDone; }
+
+    /**
+     * Squash every in-flight instruction and rewind fetch to the oldest
+     * uncommitted PC, leaving the machine at the architected state of
+     * the last commit. Stores only touch memory at commit, so this is
+     * always safe. Restores fastForward()'s empty-pipeline precondition
+     * mid-run — the sampled-simulation controller drains between a
+     * measurement interval and the next fast-forward segment.
+     */
+    void drainInFlight();
 
     /** Zero all measurement counters, keeping microarchitectural state. */
     void resetStats();
@@ -162,6 +182,7 @@ class OutOfOrderCore
     /** Occupancy report for the watchdog's DeadlockError. */
     std::string deadlockDiagnostic(Cycle stalled_cycles) const;
     void squashAfter(InstSeq seq);
+    void squashVictim(RuuEntry &victim);
     void undoEntry(RuuEntry &e);
     void scheduleCompletion(InstSeq seq, Cycle when);
     void recordIssue(RuuEntry &e);

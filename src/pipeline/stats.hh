@@ -32,6 +32,23 @@ struct CoreStats
     /** Sum over cycles of ready-to-issue instructions (pressure). */
     u64 readyOpsSum = 0;
 
+    /** Sum @p other's counters into this one (sampled-run intervals). */
+    void
+    accumulate(const CoreStats &other)
+    {
+        cycles += other.cycles;
+        fetched += other.fetched;
+        dispatched += other.dispatched;
+        issued += other.issued;
+        committed += other.committed;
+        squashed += other.squashed;
+        mispredictSquashes += other.mispredictSquashes;
+        loadsForwarded += other.loadsForwarded;
+        windowFullStalls += other.windowFullStalls;
+        issueLimitedCycles += other.issueLimitedCycles;
+        readyOpsSum += other.readyOpsSum;
+    }
+
     double
     ipc() const
     {

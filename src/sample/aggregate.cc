@@ -1,0 +1,207 @@
+#include "sample/aggregate.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace nwsim::sample
+{
+
+double
+studentT975(u64 dof)
+{
+    // Two-sided 95% (upper 97.5%) quantiles. Exact through 30 degrees
+    // of freedom — sampled runs with fewer intervals are exactly where
+    // the normal approximation is most wrong — then the standard
+    // 40/60/120 rows with linear interpolation, tailing into 1.96.
+    static const double exact[] = {
+        0.0,    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365,
+        2.306,  2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131,
+        2.120,  2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069,
+        2.064,  2.060,  2.056, 2.052, 2.048, 2.045, 2.042,
+    };
+    if (dof == 0)
+        return 0.0;
+    if (dof <= 30)
+        return exact[dof];
+    struct Row
+    {
+        u64 dof;
+        double t;
+    };
+    static const Row rows[] = {{30, 2.042}, {40, 2.021}, {60, 2.000},
+                               {120, 1.980}};
+    for (size_t i = 1; i < std::size(rows); ++i) {
+        if (dof <= rows[i].dof) {
+            const Row &lo = rows[i - 1];
+            const Row &hi = rows[i];
+            const double f = static_cast<double>(dof - lo.dof) /
+                             static_cast<double>(hi.dof - lo.dof);
+            return lo.t + f * (hi.t - lo.t);
+        }
+    }
+    return 1.96;
+}
+
+double
+MetricEstimate::cov() const
+{
+    return mean != 0.0 ? stddev / std::fabs(mean) : 0.0;
+}
+
+double
+MetricEstimate::ciHalfWidth95() const
+{
+    if (n < 2)
+        return 0.0;
+    return studentT975(n - 1) * stddev /
+           std::sqrt(static_cast<double>(n));
+}
+
+bool
+MetricEstimate::contains(double value) const
+{
+    const double half = ciHalfWidth95();
+    return value >= mean - half && value <= mean + half;
+}
+
+const char *
+sampleMetricName(SampleMetric metric)
+{
+    switch (metric) {
+      case SampleMetric::Ipc:
+        return "ipc";
+      case SampleMetric::PackedRate:
+        return "packed_rate";
+      case SampleMetric::GatingRate:
+        return "gating_rate";
+      case SampleMetric::PowerReduction:
+        return "power_reduction_pct";
+      default:
+        return "?";
+    }
+}
+
+double
+sampleMetricValue(SampleMetric metric, const RunResult &r)
+{
+    switch (metric) {
+      case SampleMetric::Ipc:
+        return r.ipc();
+      case SampleMetric::PackedRate:
+        return r.core.committed
+                   ? static_cast<double>(r.packing.packedInsts) /
+                         static_cast<double>(r.core.committed)
+                   : 0.0;
+      case SampleMetric::GatingRate:
+        return r.gating.ops
+                   ? static_cast<double>(r.gating.gated16 +
+                                         r.gating.gated33) /
+                         static_cast<double>(r.gating.ops)
+                   : 0.0;
+      case SampleMetric::PowerReduction:
+        return r.gating.reductionPercent();
+      default:
+        NWSIM_PANIC("bad sample metric");
+    }
+}
+
+namespace
+{
+
+void
+sumInto(RunResult &a, const RunResult &b)
+{
+    a.warmupCommitted += b.warmupCommitted;
+    a.measuredCommitted += b.measuredCommitted;
+    a.core.accumulate(b.core);
+    a.gating.accumulate(b.gating);
+    a.packing.accumulate(b.packing);
+    a.bpred.accumulate(b.bpred);
+    a.profiler.merge(b.profiler);
+}
+
+} // namespace
+
+void
+SampleAggregator::addInterval(const RunResult &interval)
+{
+    IntervalSample s;
+    for (size_t m = 0;
+         m < static_cast<size_t>(SampleMetric::NumMetrics); ++m) {
+        s.values[m] =
+            sampleMetricValue(static_cast<SampleMetric>(m), interval);
+    }
+    samples.push_back(s);
+
+    if (!haveSum) {
+        sum = interval;
+        haveSum = true;
+    } else {
+        sumInto(sum, interval);
+    }
+    // Miss rates are ratios; weight them by the interval's commits so
+    // the aggregate approximates the ratio over all measured work.
+    const double w = static_cast<double>(interval.core.committed);
+    l1dMissWeighted += interval.l1dMissRate * w;
+    l1iMissWeighted += interval.l1iMissRate * w;
+}
+
+void
+SampleAggregator::merge(const SampleAggregator &other)
+{
+    // Append, don't interleave: per-metric mean/stddev are symmetric in
+    // the sample order, so any merge grouping yields the same estimate.
+    samples.insert(samples.end(), other.samples.begin(),
+                   other.samples.end());
+    if (other.haveSum) {
+        if (!haveSum) {
+            sum = other.sum;
+            haveSum = true;
+        } else {
+            sumInto(sum, other.sum);
+        }
+    }
+    l1dMissWeighted += other.l1dMissWeighted;
+    l1iMissWeighted += other.l1iMissWeighted;
+}
+
+MetricEstimate
+SampleAggregator::estimate(SampleMetric metric) const
+{
+    const size_t m = static_cast<size_t>(metric);
+    NWSIM_ASSERT(m < static_cast<size_t>(SampleMetric::NumMetrics),
+                 "bad sample metric");
+    MetricEstimate est;
+    est.n = intervals();
+    if (est.n == 0)
+        return est;
+
+    double total = 0.0;
+    for (const IntervalSample &s : samples)
+        total += s.values[m];
+    est.mean = total / static_cast<double>(est.n);
+
+    if (est.n >= 2) {
+        double sq = 0.0;
+        for (const IntervalSample &s : samples) {
+            const double d = s.values[m] - est.mean;
+            sq += d * d;
+        }
+        est.stddev = std::sqrt(sq / static_cast<double>(est.n - 1));
+    }
+    return est;
+}
+
+RunResult
+SampleAggregator::aggregate() const
+{
+    NWSIM_ASSERT(haveSum, "aggregate() with no intervals");
+    RunResult r = sum;
+    const double commits = static_cast<double>(r.core.committed);
+    r.l1dMissRate = commits > 0.0 ? l1dMissWeighted / commits : 0.0;
+    r.l1iMissRate = commits > 0.0 ? l1iMissWeighted / commits : 0.0;
+    return r;
+}
+
+} // namespace nwsim::sample

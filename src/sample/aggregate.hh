@@ -1,0 +1,121 @@
+/**
+ * @file
+ * SampleAggregator: merges per-interval measurement results from a
+ * sampled simulation (src/sample/controller.hh) into whole-run
+ * estimates with statistical error bars.
+ *
+ * Two complementary views of the same intervals:
+ *
+ *  - *Summed counters*: every RunResult counter (cycles, commits,
+ *    packed instructions, gated ops, power sums, width histograms) is
+ *    accumulated across intervals, so ratio statistics computed from
+ *    the aggregate (IPC, packing rate, power reduction) are
+ *    ratio-of-sums over everything measured — the best point estimate.
+ *  - *Per-interval samples*: the headline ratios of each interval are
+ *    kept individually, giving mean, coefficient of variation, and a
+ *    95% confidence interval (Student-t) per metric — the error bar
+ *    that turns "IPC 1.23" into "IPC 1.23 ± 0.02".
+ *
+ * Aggregators merge associatively (stratified merge): splitting the
+ * interval stream across workers and merging the pieces yields exactly
+ * the estimates of one sequential aggregation, in any grouping.
+ */
+
+#ifndef NWSIM_SAMPLE_AGGREGATE_HH
+#define NWSIM_SAMPLE_AGGREGATE_HH
+
+#include <vector>
+
+#include "driver/runner.hh"
+
+namespace nwsim::sample
+{
+
+/** Mean / CoV / 95% CI of one metric over the measured intervals. */
+struct MetricEstimate
+{
+    /** Intervals the estimate is computed over. */
+    u64 n = 0;
+    double mean = 0.0;
+    /** Sample standard deviation (n-1 denominator; 0 when n < 2). */
+    double stddev = 0.0;
+
+    /** Coefficient of variation, stddev / |mean| (0 when mean is 0). */
+    double cov() const;
+
+    /**
+     * Half-width of the 95% confidence interval of the mean,
+     * t_{0.975,n-1} * stddev / sqrt(n) (0 when n < 2).
+     */
+    double ciHalfWidth95() const;
+
+    /** True if @p value lies within mean ± ciHalfWidth95(). */
+    bool contains(double value) const;
+};
+
+/**
+ * Two-sided 97.5% Student-t quantile for @p dof degrees of freedom
+ * (exact table through 30, interpolated beyond, 1.96 asymptote).
+ * Exposed for the unit-test fixtures.
+ */
+double studentT975(u64 dof);
+
+/** Which per-interval metrics carry error bars. */
+enum class SampleMetric : u8
+{
+    Ipc,            ///< committed / cycles
+    PackedRate,     ///< packed insts / committed
+    GatingRate,     ///< (gated16 + gated33) / profiled ops
+    PowerReduction, ///< gating power reduction, percent
+    NumMetrics,
+};
+
+/** Printable metric name ("ipc", "packed_rate", ...). */
+const char *sampleMetricName(SampleMetric metric);
+
+/** Value of @p metric computed from one (or an aggregated) result. */
+double sampleMetricValue(SampleMetric metric, const RunResult &r);
+
+/** Statistical whole-run estimate assembled from sampled intervals. */
+class SampleAggregator
+{
+  public:
+    /** Fold in one measured interval's statistics. */
+    void addInterval(const RunResult &interval);
+
+    /** Fold in everything @p other has seen (stratified merge). */
+    void merge(const SampleAggregator &other);
+
+    u64 intervals() const { return static_cast<u64>(samples.size()); }
+
+    /** Error-bar estimate of @p metric over the intervals so far. */
+    MetricEstimate estimate(SampleMetric metric) const;
+
+    /**
+     * The whole-run RunResult: all counters summed across intervals
+     * (profiler histograms merged, cache miss rates weighted by
+     * interval commits), labels taken from the first interval. The
+     * caller stamps the SampleSummary (sample-schedule metadata the
+     * aggregator does not know) on top.
+     */
+    RunResult aggregate() const;
+
+  private:
+    /** Headline ratios of one interval, in SampleMetric order. */
+    struct IntervalSample
+    {
+        double values[static_cast<size_t>(SampleMetric::NumMetrics)] =
+            {};
+    };
+
+    std::vector<IntervalSample> samples;
+    RunResult sum;
+    bool haveSum = false;
+    /** Commit-weighted miss-rate accumulators (rates are not summable). */
+    double l1dMissWeighted = 0.0;
+    double l1iMissWeighted = 0.0;
+};
+
+} // namespace nwsim::sample
+
+#endif // NWSIM_SAMPLE_AGGREGATE_HH

@@ -1,0 +1,150 @@
+#include "sample/controller.hh"
+
+#include "common/logging.hh"
+#include "mem/cache.hh"
+
+namespace nwsim::sample
+{
+
+namespace
+{
+
+/**
+ * splitmix64: tiny, statelessly-seedable generator for the randomized
+ * interval offsets. Chosen over <random> engines so the offset sequence
+ * is a fixed function of (seed, interval index) — identical across
+ * standard libraries, executors, and resumed campaigns.
+ */
+u64
+splitmix64(u64 x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+double
+deltaMissRate(const CacheStats &before, const CacheStats &after)
+{
+    const u64 accesses = after.accesses - before.accesses;
+    const u64 misses = after.misses - before.misses;
+    return accesses ? static_cast<double>(misses) /
+                          static_cast<double>(accesses)
+                    : 0.0;
+}
+
+} // namespace
+
+void
+validateSampleOptions(const SampleOptions &s)
+{
+    if (!s.enabled)
+        return;
+    if (s.measureInsts == 0)
+        NWSIM_FATAL("sample schedule needs measure > 0");
+    if (s.periodInsts < s.warmupInsts + s.measureInsts) {
+        NWSIM_FATAL("sample period ", s.periodInsts,
+                    " smaller than warmup+measure ",
+                    s.warmupInsts + s.measureInsts);
+    }
+}
+
+RunResult
+runSampledProgram(const Program &program, const CoreConfig &config,
+                  const RunOptions &opts, const std::string &name,
+                  const std::string &config_name, CoreObserver *observer)
+{
+    const SampleOptions &s = opts.sample;
+    NWSIM_ASSERT(s.enabled, "runSampledProgram without +sample");
+    validateSampleOptions(s);
+
+    // One persistent core carries the whole run: its fastForward()
+    // functionally warms caches, TLBs, and the branch predictor across
+    // the skipped stretches, so each measurement interval starts from
+    // the same long-horizon microarchitectural state a contiguous
+    // detailed run would have (SMARTS' functional warming).
+    SparseMemory memory;
+    program.load(memory);
+    OutOfOrderCore core(config, memory, program.entry);
+    if (observer)
+        core.setObserver(observer);
+
+    // Same total program region as the full-detail twin would cover.
+    const u64 budget = opts.warmupInsts + opts.measureInsts;
+    const u64 detailed = s.warmupInsts + s.measureInsts;
+    const u64 slack = s.periodInsts - detailed;
+
+    SampleAggregator agg;
+    u64 position = 0;   // architected instructions consumed so far
+    u64 period = 0;
+    while (!core.done() && position < budget) {
+        // Sample point for this period: the detailed probe sits at the
+        // period start (so a budget smaller than one period still
+        // yields an interval), or at a seeded-random offset within the
+        // period's slack when randomized.
+        u64 offset = 0;
+        if (s.randomize)
+            offset = splitmix64(s.seed ^ period) % (slack + 1);
+        const u64 sampleAt = period * s.periodInsts + offset;
+        ++period;
+        if (sampleAt >= budget)
+            break;
+
+        // Fast-forward to the sample point. The previous interval's
+        // in-flight instructions are squashed first (fetch resumes at
+        // the architected PC), then the skipped stretch executes in
+        // functional-warming mode.
+        if (sampleAt > position) {
+            core.drainInFlight();
+            position += core.fastForward(sampleAt - position);
+            if (core.done())
+                break;
+        }
+
+        // Detailed warmup refills the pipeline and settles the timing
+        // state; nothing it commits is recorded.
+        const u64 warmed = core.run(s.warmupInsts);
+        const CacheStats l1d0 = core.memSystem().l1d().stats();
+        const CacheStats l1i0 = core.memSystem().l1i().stats();
+        core.resetStats();
+        const u64 measured = core.run(s.measureInsts);
+        position += warmed + measured;
+        if (measured == 0)
+            break;      // halted during warmup: nothing to record
+
+        RunResult interval = collectRunResult(core, name, config_name);
+        interval.warmupCommitted = warmed;
+        // Cache counters accumulate for the life of the core (functional
+        // warming depends on that); report this interval's rates from
+        // the deltas instead.
+        interval.l1dMissRate =
+            deltaMissRate(l1d0, core.memSystem().l1d().stats());
+        interval.l1iMissRate =
+            deltaMissRate(l1i0, core.memSystem().l1i().stats());
+        agg.addInterval(interval);
+    }
+
+    if (agg.intervals() == 0) {
+        NWSIM_FATAL("sampled run of ", name, " measured no intervals ",
+                    "(budget ", budget, ", period ", s.periodInsts, ")");
+    }
+
+    RunResult result = agg.aggregate();
+    result.workload = name;
+    result.configName = config_name;
+    result.sample.sampled = true;
+    result.sample.intervals = agg.intervals();
+    result.sample.streamInsts = position;
+    for (size_t m = 0; m < SampleSummary::kNumMetrics; ++m) {
+        const MetricEstimate est =
+            agg.estimate(static_cast<SampleMetric>(m));
+        SampleSummary::Estimate &out = result.sample.metrics[m];
+        out.mean = est.mean;
+        out.cov = est.cov();
+        out.ci95 = est.ciHalfWidth95();
+    }
+    return result;
+}
+
+} // namespace nwsim::sample

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * SamplingController: SMARTS-style sampled simulation (docs/SAMPLING.md).
+ *
+ * Instead of one contiguous detailed window, the workload runs as a
+ * stream of intervals on ONE persistent OutOfOrderCore, alternating
+ * between functional-warming fast-forward and detailed probes:
+ *
+ *     |-- warmup --|-- measure --|---- fast-forward ----|  (one period)
+ *       detailed       detailed     functional warming
+ *       (no stats)     (recorded)   (caches/TLB/bpred live)
+ *
+ * The probe sits at the start of each period (so budgets smaller than
+ * one period still measure an interval); randomized schedules slide it
+ * to a seeded-random offset within the period's slack instead.
+ *
+ * The fast-forward segments run through OutOfOrderCore::fastForward,
+ * which executes functionally but keeps updating the caches, TLBs, and
+ * branch predictor — SMARTS' functional warming. That long-horizon
+ * microarchitectural state is what makes short measurement intervals
+ * unbiased: data a program touches early and re-reads late is warm at
+ * the probe, exactly as it would be in a contiguous detailed run. (A
+ * purely functional fast-forward — cold structures rebuilt by a few
+ * thousand detailed warmup instructions per probe — systematically
+ * underestimates IPC on phase-changing workloads; no affordable
+ * detailed warmup recovers state accumulated over hundreds of
+ * thousands of instructions.)
+ *
+ * At each sample point the controller drains the pipeline
+ * (drainInFlight squashes in-flight work and rewinds fetch to the
+ * architected PC), fast-forwards to the probe, runs the detailed
+ * warmup to refill the pipeline and settle timing state, resets the
+ * measurement counters, and records one measurement interval into the
+ * SampleAggregator. Repeats every periodInsts until the instruction
+ * budget is spent or the workload halts.
+ */
+
+#ifndef NWSIM_SAMPLE_CONTROLLER_HH
+#define NWSIM_SAMPLE_CONTROLLER_HH
+
+#include "sample/aggregate.hh"
+
+namespace nwsim
+{
+class CoreObserver;
+}
+
+namespace nwsim::sample
+{
+
+/**
+ * Sampled counterpart of runProgram(): run @p program on @p config
+ * through the opts.sample interval schedule, with opts.warmupInsts +
+ * opts.measureInsts as the total functional-stream budget. The returned
+ * RunResult carries summed counters across measurement intervals and a
+ * stamped SampleSummary with per-metric error bars.
+ *
+ * @p observer, if non-null, is attached to every probe core.
+ */
+RunResult runSampledProgram(const Program &program,
+                            const CoreConfig &config,
+                            const RunOptions &opts,
+                            const std::string &name,
+                            const std::string &config_name,
+                            CoreObserver *observer = nullptr);
+
+/** Validate @p s (period fits warmup+measure, measure > 0); FATAL on
+ *  nonsense so bad `+sample=` specs die before jobs are queued. */
+void validateSampleOptions(const SampleOptions &s);
+
+} // namespace nwsim::sample
+
+#endif // NWSIM_SAMPLE_CONTROLLER_HH

@@ -92,5 +92,84 @@ TEST(Profiler, EmptyProfilerIsZero)
     EXPECT_DOUBLE_EQ(p.fluctuationPercent(), 0.0);
 }
 
+// ---- PcWidthMap (open-addressing per-PC table) --------------------------
+
+TEST(PcWidthMap, InsertLookupAndSize)
+{
+    PcWidthMap map;
+    EXPECT_TRUE(map.empty());
+    EXPECT_EQ(map.lookup(0x100), 0u);
+
+    map.findOrInsert(0x100) |= 1;
+    map.findOrInsert(0x104) |= 2;
+    map.findOrInsert(0x100) |= 2;  // existing entry, same slot
+    EXPECT_EQ(map.size(), 2u);
+    EXPECT_EQ(map.lookup(0x100), 3u);
+    EXPECT_EQ(map.lookup(0x104), 2u);
+    EXPECT_EQ(map.lookup(0x108), 0u);
+}
+
+TEST(PcWidthMap, SurvivesGrowthAcrossManyPcs)
+{
+    // Far more PCs than the initial capacity: multiple rehash rounds.
+    PcWidthMap map;
+    constexpr u64 n = 10000;
+    for (u64 i = 0; i < n; ++i)
+        map.findOrInsert(0x400000 + 4 * i) |= 1 + (i % 2);
+    EXPECT_EQ(map.size(), n);
+    for (u64 i = 0; i < n; ++i)
+        EXPECT_EQ(map.lookup(0x400000 + 4 * i), 1 + (i % 2)) << i;
+
+    u64 visited = 0;
+    map.forEach([&](Addr, u8 bits) {
+        ++visited;
+        EXPECT_NE(bits, 0u);
+    });
+    EXPECT_EQ(visited, n);
+}
+
+TEST(Profiler, MergeOrsPcBitsAndSumsHistograms)
+{
+    // PC 0x20 is narrow in one interval and wide in the other: only the
+    // merged profiler can see the fluctuation.
+    WidthProfiler a;
+    a.recordOp(0x10, OpClass::IntAlu, 1, 2);
+    a.recordOp(0x20, OpClass::IntAlu, 1, 2);
+    WidthProfiler b;
+    b.recordOp(0x20, OpClass::IntAlu, u64{1} << 20, 2);
+
+    EXPECT_DOUBLE_EQ(a.fluctuationPercent(), 0.0);
+    EXPECT_DOUBLE_EQ(b.fluctuationPercent(), 0.0);
+    a.merge(b);
+    EXPECT_EQ(a.totalOps(), 3u);
+    EXPECT_DOUBLE_EQ(a.fluctuationPercent(), 50.0);  // 0x20 of {0x10,0x20}
+}
+
+TEST(Profiler, SnapshotRoundTripsAndIsSorted)
+{
+    WidthProfiler p;
+    // Insert in descending PC order; the snapshot must still be sorted.
+    p.recordOp(0x300, OpClass::IntAlu, u64{1} << 40, 1);
+    p.recordOp(0x200, OpClass::IntAlu, 7, 1);
+    p.recordOp(0x100, OpClass::IntAlu, 1, u64{1} << 20);
+    p.recordOp(0x100, OpClass::IntAlu, 1, 2);
+
+    const WidthProfilerSnapshot snap = p.snapshot();
+    ASSERT_EQ(snap.pcWidthSeen.size(), 3u);
+    EXPECT_LT(snap.pcWidthSeen[0].first, snap.pcWidthSeen[1].first);
+    EXPECT_LT(snap.pcWidthSeen[1].first, snap.pcWidthSeen[2].first);
+
+    const WidthProfiler back = WidthProfiler::fromSnapshot(snap);
+    EXPECT_EQ(back.totalOps(), p.totalOps());
+    EXPECT_DOUBLE_EQ(back.fluctuationPercent(), p.fluctuationPercent());
+    EXPECT_DOUBLE_EQ(back.cumulativePercent(16),
+                     p.cumulativePercent(16));
+    // Bit-stable: snapshotting the rebuilt profiler reproduces the
+    // original image exactly.
+    const WidthProfilerSnapshot snap2 = back.snapshot();
+    EXPECT_EQ(snap2.pcWidthSeen, snap.pcWidthSeen);
+    EXPECT_EQ(snap2.widthHist, snap.widthHist);
+}
+
 } // namespace
 } // namespace nwsim

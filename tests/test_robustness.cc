@@ -16,6 +16,7 @@
 #include <thread>
 
 #include "asm/textasm.hh"
+#include "check/fuzz.hh"
 #include "common/error.hh"
 #include "common/logging.hh"
 #include "exp/bundle.hh"
@@ -615,6 +616,100 @@ TEST(Bundle, ManifestEventsAndSourceAreReplayable)
     EXPECT_EQ(slurp(dir + "/events.log"), "c42 commit ...\n");
     EXPECT_EQ(exp::bundleEventsPath(base, job), dir + "/events.log");
     fs::remove_all(base);
+}
+
+// ---- reproducer shrinking (crash → bundle → shrink loop) ----------------
+
+TEST(AsmShrink, DdminReducesToTheFailingCore)
+{
+    // The "fault" needs both needle lines; everything else is chaff the
+    // shrinker must strip.
+    const std::string text = "pad0\npad1\nNEEDLE_A\npad2\npad3\n"
+                             "pad4\nNEEDLE_B\npad5\n";
+    const auto failsWithBothNeedles = [](const std::string &t) {
+        return t.find("NEEDLE_A") != std::string::npos &&
+               t.find("NEEDLE_B") != std::string::npos;
+    };
+    const AsmShrinkOutcome out =
+        shrinkAsmLines(text, failsWithBothNeedles);
+    EXPECT_TRUE(out.reproduced);
+    EXPECT_EQ(out.originalLines, 8u);
+    EXPECT_EQ(out.minimizedLines, 2u);
+    EXPECT_EQ(out.minimizedText, "NEEDLE_A\nNEEDLE_B\n");
+    EXPECT_GT(out.attempts, 1u);
+}
+
+TEST(AsmShrink, NonReproducingInputIsLeftUntouched)
+{
+    const std::string text = "one\ntwo\n";
+    const AsmShrinkOutcome out =
+        shrinkAsmLines(text, [](const std::string &) { return false; });
+    EXPECT_FALSE(out.reproduced);
+    EXPECT_EQ(out.minimizedText, text);
+    EXPECT_EQ(out.attempts, 1u);
+}
+
+TEST(AsmShrink, AttemptBudgetBoundsTheWork)
+{
+    std::string text;
+    for (int i = 0; i < 64; ++i)
+        text += "line" + std::to_string(i) + "\n";
+    unsigned calls = 0;
+    const AsmShrinkOutcome out = shrinkAsmLines(
+        text,
+        [&calls](const std::string &t) {
+            ++calls;
+            return t.find("line63") != std::string::npos;
+        },
+        /*max_attempts=*/10);
+    EXPECT_TRUE(out.reproduced);
+    EXPECT_LE(out.attempts, 10u);
+    EXPECT_EQ(out.attempts, calls);
+    // Partial progress is fine; losing the failing line is not.
+    EXPECT_NE(out.minimizedText.find("line63"), std::string::npos);
+}
+
+TEST(Bundle, InternalAsmFaultIsShrunkIntoTheBundle)
+{
+    // A hair-trigger deadlock watchdog makes any program an Internal
+    // fault (the pipeline never commits within 1 cycle of filling), so
+    // the full loop runs: fail → bundle → ddmin → repro.min.s.
+    const std::string dir = tempPath("bundle_shrink");
+    fs::remove_all(dir);
+    SimJob job;
+    job.workload = "wedged";
+    job.configSpec = "baseline";
+    job.config = exp::configBySpec("baseline");
+    job.config.watchdogCycles = 1;
+    job.opts.warmupInsts = 0;
+    job.opts.measureInsts = 10000;
+    job.opts.fastWarmup = false;
+    job.asmText = "li r1, 1\nli r2, 2\nli r3, 3\n"
+                  "addi r1, r1, 1\naddi r2, r2, 1\nhalt\n";
+
+    CampaignOptions copts;
+    copts.maxAttempts = 1;
+    copts.bundleDir = dir;
+    const JobOutcome out = exp::executeJobWithRetries(job, 0, copts);
+    EXPECT_EQ(out.status, JobStatus::Failed);
+    EXPECT_EQ(out.errorKind, FailKind::Internal);
+    ASSERT_FALSE(out.bundlePath.empty());
+
+    const std::string manifest = slurp(out.bundlePath + "/MANIFEST.txt");
+    EXPECT_NE(manifest.find("minimized:  repro.min.s"),
+              std::string::npos);
+    EXPECT_EQ(slurp(out.bundlePath + "/repro.s"), job.asmText);
+
+    // The minimized program must itself still reproduce the fault.
+    const std::string minimized = slurp(out.bundlePath + "/repro.min.s");
+    ASSERT_FALSE(minimized.empty());
+    EXPECT_LT(minimized.size(), job.asmText.size());
+    const Program prog = assembleText(minimized);
+    SparseMemory mem;
+    prog.load(mem);
+    OutOfOrderCore core(job.config, mem, prog.entry);
+    EXPECT_THROW(core.run(100000), DeadlockError);
+    fs::remove_all(dir);
 }
 
 // ---- core deadlock watchdog ---------------------------------------------

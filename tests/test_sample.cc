@@ -1,0 +1,389 @@
+/**
+ * Sampled-simulation subsystem (src/sample/, docs/SAMPLING.md): the
+ * aggregator's statistics against hand-computed fixtures, stratified-
+ * merge associativity, the `+sample=` spec grammar, controller
+ * behavior (small budgets, randomized schedules, warmup sensitivity),
+ * wire round-trips of the sample fields, and determinism of sampled
+ * campaigns across worker counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hh"
+#include "exp/campaign.hh"
+#include "exp/configs.hh"
+#include "exp/wire.hh"
+#include "sample/aggregate.hh"
+#include "sample/controller.hh"
+#include "workloads/kernels.hh"
+
+namespace nwsim
+{
+namespace
+{
+
+using sample::MetricEstimate;
+using sample::SampleAggregator;
+using sample::SampleMetric;
+using sample::studentT975;
+
+/** Interval fixture with every headline ratio under direct control. */
+RunResult
+fakeInterval(u64 committed, u64 cycles, u64 packed, u64 gating_ops,
+             u64 gated16, double l1d_miss = 0.0)
+{
+    RunResult r;
+    r.workload = "fixture";
+    r.configName = "cfg";
+    r.measuredCommitted = committed;
+    r.core.committed = committed;
+    r.core.cycles = cycles;
+    r.packing.packedInsts = packed;
+    r.gating.ops = gating_ops;
+    r.gating.gated16 = gated16;
+    r.gating.baselineMwSum = 100.0;
+    r.gating.gatedMwSum = 60.0;
+    r.l1dMissRate = l1d_miss;
+    return r;
+}
+
+// ---- Student-t quantiles ------------------------------------------------
+
+TEST(SampleStats, StudentTQuantilesMatchTheTable)
+{
+    EXPECT_DOUBLE_EQ(studentT975(0), 0.0);
+    EXPECT_DOUBLE_EQ(studentT975(1), 12.706);  // two intervals
+    EXPECT_DOUBLE_EQ(studentT975(10), 2.228);
+    EXPECT_DOUBLE_EQ(studentT975(30), 2.042);
+    // Interpolated region: dof 50 sits halfway between the 40 and 60
+    // rows (2.021 and 2.000).
+    EXPECT_NEAR(studentT975(50), 2.0105, 1e-9);
+    // Asymptote.
+    EXPECT_DOUBLE_EQ(studentT975(100000), 1.96);
+}
+
+// ---- hand-computed error bars -------------------------------------------
+
+TEST(SampleStats, IpcErrorBarMatchesHandComputation)
+{
+    // IPC samples 1.0, 2.0, 3.0: mean 2, sample stddev 1 (n-1 = 2),
+    // CoV 0.5, CI half-width t(2) * 1 / sqrt(3) = 4.303 / 1.732...
+    SampleAggregator agg;
+    agg.addInterval(fakeInterval(1000, 1000, 0, 0, 0));
+    agg.addInterval(fakeInterval(2000, 1000, 0, 0, 0));
+    agg.addInterval(fakeInterval(3000, 1000, 0, 0, 0));
+
+    const MetricEstimate est = agg.estimate(SampleMetric::Ipc);
+    EXPECT_EQ(est.n, 3u);
+    EXPECT_DOUBLE_EQ(est.mean, 2.0);
+    EXPECT_DOUBLE_EQ(est.stddev, 1.0);
+    EXPECT_DOUBLE_EQ(est.cov(), 0.5);
+    EXPECT_NEAR(est.ciHalfWidth95(), 4.303 / std::sqrt(3.0), 1e-12);
+    EXPECT_TRUE(est.contains(2.0));
+    EXPECT_FALSE(est.contains(5.0));
+}
+
+TEST(SampleStats, PackedAndGatingRatesArePerIntervalRatios)
+{
+    // Packed rates 0.5 and 0.25; gating rates 0.1 and 0.3.
+    SampleAggregator agg;
+    agg.addInterval(fakeInterval(1000, 1000, 500, 1000, 100));
+    agg.addInterval(fakeInterval(2000, 1000, 500, 1000, 300));
+
+    const MetricEstimate packed =
+        agg.estimate(SampleMetric::PackedRate);
+    EXPECT_DOUBLE_EQ(packed.mean, (0.5 + 0.25) / 2.0);
+    const MetricEstimate gating =
+        agg.estimate(SampleMetric::GatingRate);
+    EXPECT_DOUBLE_EQ(gating.mean, (0.1 + 0.3) / 2.0);
+    // Power reduction is 40% in both fixtures: zero spread.
+    const MetricEstimate power =
+        agg.estimate(SampleMetric::PowerReduction);
+    EXPECT_DOUBLE_EQ(power.mean, 40.0);
+    EXPECT_DOUBLE_EQ(power.stddev, 0.0);
+}
+
+TEST(SampleStats, SingleIntervalHasNoErrorBar)
+{
+    SampleAggregator agg;
+    agg.addInterval(fakeInterval(1500, 1000, 0, 0, 0));
+    const MetricEstimate est = agg.estimate(SampleMetric::Ipc);
+    EXPECT_EQ(est.n, 1u);
+    EXPECT_DOUBLE_EQ(est.mean, 1.5);
+    EXPECT_DOUBLE_EQ(est.stddev, 0.0);
+    EXPECT_DOUBLE_EQ(est.ciHalfWidth95(), 0.0);
+}
+
+// ---- stratified merge ---------------------------------------------------
+
+TEST(SampleStats, MergeMatchesSequentialAggregationInAnyGrouping)
+{
+    const RunResult intervals[] = {
+        fakeInterval(1000, 900, 100, 800, 80, 0.02),
+        fakeInterval(1200, 1000, 300, 900, 90, 0.01),
+        fakeInterval(800, 1100, 200, 700, 200, 0.05),
+        fakeInterval(1500, 1000, 600, 1000, 10, 0.03),
+        fakeInterval(900, 950, 50, 850, 400, 0.00),
+    };
+
+    SampleAggregator sequential;
+    for (const RunResult &r : intervals)
+        sequential.addInterval(r);
+
+    // Split 2 / 2 / 1 across three aggregators, merge right-to-left.
+    SampleAggregator a, b, c;
+    a.addInterval(intervals[0]);
+    a.addInterval(intervals[1]);
+    b.addInterval(intervals[2]);
+    b.addInterval(intervals[3]);
+    c.addInterval(intervals[4]);
+    b.merge(c);
+    a.merge(b);
+
+    EXPECT_EQ(a.intervals(), sequential.intervals());
+    for (size_t m = 0;
+         m < static_cast<size_t>(SampleMetric::NumMetrics); ++m) {
+        const auto metric = static_cast<SampleMetric>(m);
+        const MetricEstimate lhs = a.estimate(metric);
+        const MetricEstimate rhs = sequential.estimate(metric);
+        EXPECT_DOUBLE_EQ(lhs.mean, rhs.mean) << sampleMetricName(metric);
+        EXPECT_DOUBLE_EQ(lhs.stddev, rhs.stddev)
+            << sampleMetricName(metric);
+    }
+
+    const RunResult lhs = a.aggregate();
+    const RunResult rhs = sequential.aggregate();
+    EXPECT_EQ(lhs.core.committed, rhs.core.committed);
+    EXPECT_EQ(lhs.core.cycles, rhs.core.cycles);
+    EXPECT_EQ(lhs.packing.packedInsts, rhs.packing.packedInsts);
+    EXPECT_DOUBLE_EQ(lhs.l1dMissRate, rhs.l1dMissRate);
+}
+
+TEST(SampleStats, AggregateIsRatioOfSums)
+{
+    // Two intervals with very different cycle counts: the aggregate IPC
+    // must be (sum committed) / (sum cycles), not the mean of ratios.
+    SampleAggregator agg;
+    agg.addInterval(fakeInterval(1000, 500, 0, 0, 0, 0.10));
+    agg.addInterval(fakeInterval(1000, 2000, 0, 0, 0, 0.40));
+
+    const RunResult total = agg.aggregate();
+    EXPECT_DOUBLE_EQ(total.ipc(), 2000.0 / 2500.0);
+    // Miss rates are commit-weighted (equal commits here: plain mean).
+    EXPECT_DOUBLE_EQ(total.l1dMissRate, 0.25);
+}
+
+// ---- spec grammar -------------------------------------------------------
+
+TEST(SampleSpec, ModifierParsesAllFields)
+{
+    const SampleOptions off = exp::sampleBySpec("baseline");
+    EXPECT_FALSE(off.enabled);
+
+    const SampleOptions s =
+        exp::sampleBySpec("packing+sample=50000:2000:8000");
+    EXPECT_TRUE(s.enabled);
+    EXPECT_EQ(s.periodInsts, 50000u);
+    EXPECT_EQ(s.warmupInsts, 2000u);
+    EXPECT_EQ(s.measureInsts, 8000u);
+    EXPECT_FALSE(s.randomize);
+
+    const SampleOptions r =
+        exp::sampleBySpec("baseline+sample=50000:2000:8000:rand:77");
+    EXPECT_TRUE(r.randomize);
+    EXPECT_EQ(r.seed, 77u);
+}
+
+TEST(SampleSpec, MalformedModifiersAreRejected)
+{
+    EXPECT_THROW(exp::sampleBySpec("baseline+sample=abc"),
+                 BadInputError);
+    EXPECT_THROW(exp::sampleBySpec("baseline+sample=1000:10"),
+                 BadInputError);
+    EXPECT_THROW(exp::sampleBySpec("baseline+sample=1000:10:20:wat"),
+                 BadInputError);
+    // Schedule nonsense dies in validation: measure 0, period smaller
+    // than the detailed portion.
+    SampleOptions zero_measure;
+    zero_measure.enabled = true;
+    zero_measure.periodInsts = 1000;
+    zero_measure.measureInsts = 0;
+    EXPECT_THROW(sample::validateSampleOptions(zero_measure),
+                 BadInputError);
+    SampleOptions tight;
+    tight.enabled = true;
+    tight.periodInsts = 100;
+    tight.warmupInsts = 80;
+    tight.measureInsts = 40;
+    EXPECT_THROW(sample::validateSampleOptions(tight), BadInputError);
+}
+
+// ---- controller ---------------------------------------------------------
+
+RunOptions
+sampledOpts(u64 budget, u64 period, u64 warmup, u64 measure)
+{
+    RunOptions opts;
+    opts.warmupInsts = 0;
+    opts.measureInsts = budget;
+    opts.sample.enabled = true;
+    opts.sample.periodInsts = period;
+    opts.sample.warmupInsts = warmup;
+    opts.sample.measureInsts = measure;
+    return opts;
+}
+
+TEST(SampleController, BudgetSmallerThanOnePeriodStillMeasures)
+{
+    const Program prog = workloadByName("perl").program();
+    const RunOptions opts = sampledOpts(20000, 1000000, 1000, 4000);
+    const RunResult r = sample::runSampledProgram(
+        prog, exp::configBySpec("baseline"), opts, "perl", "baseline");
+    EXPECT_TRUE(r.sample.sampled);
+    EXPECT_EQ(r.sample.intervals, 1u);
+    EXPECT_GT(r.ipc(), 0.0);
+}
+
+TEST(SampleController, RepeatedRunsAreDeterministic)
+{
+    const Program prog = workloadByName("li").program();
+    RunOptions opts = sampledOpts(120000, 30000, 1000, 4000);
+    opts.sample.randomize = true;
+    opts.sample.seed = 7;
+    const RunResult a = sample::runSampledProgram(
+        prog, exp::configBySpec("packing"), opts, "li", "packing");
+    const RunResult b = sample::runSampledProgram(
+        prog, exp::configBySpec("packing"), opts, "li", "packing");
+    EXPECT_EQ(a.core.cycles, b.core.cycles);
+    EXPECT_EQ(a.core.committed, b.core.committed);
+    EXPECT_EQ(a.sample.intervals, b.sample.intervals);
+    EXPECT_DOUBLE_EQ(a.sample.metrics[0].mean, b.sample.metrics[0].mean);
+    EXPECT_DOUBLE_EQ(a.sample.metrics[0].ci95, b.sample.metrics[0].ci95);
+}
+
+TEST(SampleController, ZeroDetailedWarmupDiverges)
+{
+    // Warmup-sensitivity regression: per-interval detailed warmup is
+    // what primes caches and predictors after each functional
+    // fast-forward. Dropping it must visibly change the measurement —
+    // if this test ever starts failing because the two runs agree, the
+    // warmup phase has stopped doing its job.
+    const Program prog = workloadByName("go").program();
+    const CoreConfig cfg = exp::configBySpec("baseline");
+    const RunResult warmed = sample::runSampledProgram(
+        prog, cfg, sampledOpts(150000, 30000, 2000, 4000), "go",
+        "baseline");
+    const RunResult cold = sample::runSampledProgram(
+        prog, cfg, sampledOpts(150000, 30000, 0, 4000), "go",
+        "baseline");
+    EXPECT_EQ(warmed.sample.intervals, cold.sample.intervals);
+    const double warmed_ipc = warmed.sample.metrics[0].mean;
+    const double cold_ipc = cold.sample.metrics[0].mean;
+    EXPECT_GT(std::fabs(warmed_ipc - cold_ipc), 1e-3)
+        << "zero-warmup sampled run agreed with the warmed run";
+}
+
+// ---- wire round-trip ----------------------------------------------------
+
+TEST(SampleWire, RunResultRoundTripsSampleSummary)
+{
+    exp::JobOutcome out;
+    out.workload = "perl";
+    out.configSpec = "baseline+sample=50000:2000:8000";
+    out.ok = true;
+    out.status = exp::JobStatus::Ok;
+    out.attempts = 1;
+    out.result.workload = "perl";
+    out.result.sample.sampled = true;
+    out.result.sample.intervals = 9;
+    out.result.sample.streamInsts = 410000;
+    out.result.sample.metrics[0] = {1.426, 0.018, 0.020};
+    out.result.sample.metrics[3] = {12.5, 0.5, 1.25};
+
+    exp::JobOutcome back;
+    ASSERT_TRUE(exp::unpackJobOutcome(exp::packJobOutcome(out), back));
+    EXPECT_TRUE(back.result.sample.sampled);
+    EXPECT_EQ(back.result.sample.intervals, 9u);
+    EXPECT_EQ(back.result.sample.streamInsts, 410000u);
+    EXPECT_DOUBLE_EQ(back.result.sample.metrics[0].mean, 1.426);
+    EXPECT_DOUBLE_EQ(back.result.sample.metrics[0].cov, 0.018);
+    EXPECT_DOUBLE_EQ(back.result.sample.metrics[0].ci95, 0.020);
+    EXPECT_DOUBLE_EQ(back.result.sample.metrics[3].ci95, 1.25);
+}
+
+TEST(SampleWire, JobSpecRoundTripsSampleOptions)
+{
+    exp::SimJob job;
+    job.workload = "li";
+    job.configSpec = "packing+sample=50000:2000:8000:rand:42";
+    job.config = exp::configBySpec("packing");
+    job.opts.sample = exp::sampleBySpec(job.configSpec);
+
+    exp::SimJob back;
+    ASSERT_EQ(exp::unpackSimJobSpec(exp::packSimJobSpec(job), back),
+              exp::WireError::None);
+    EXPECT_TRUE(back.opts.sample.enabled);
+    EXPECT_EQ(back.opts.sample.periodInsts, 50000u);
+    EXPECT_EQ(back.opts.sample.warmupInsts, 2000u);
+    EXPECT_EQ(back.opts.sample.measureInsts, 8000u);
+    EXPECT_TRUE(back.opts.sample.randomize);
+    EXPECT_EQ(back.opts.sample.seed, 42u);
+}
+
+// ---- campaign determinism -----------------------------------------------
+
+std::string
+sampledGridJson(unsigned jobs, exp::ExecutorKind executor)
+{
+    RunOptions opts;
+    opts.warmupInsts = 0;
+    opts.measureInsts = 60000;
+    exp::Campaign c = exp::Campaign::grid(
+        {"perl", "li"}, {"baseline+sample=20000:1000:4000"}, opts);
+    exp::CampaignOptions copts;
+    copts.jobs = jobs;
+    copts.executor = executor;
+    const exp::ResultSet rs = c.run(copts);
+    EXPECT_TRUE(rs.allOk());
+    std::ostringstream os;
+    rs.writeJson(os, /*include_timing=*/false);
+    return os.str();
+}
+
+TEST(SampleCampaign, JsonIsIdenticalAcrossWorkerCountsAndExecutors)
+{
+    const std::string serial =
+        sampledGridJson(1, exp::ExecutorKind::Thread);
+    EXPECT_EQ(serial, sampledGridJson(4, exp::ExecutorKind::Thread));
+    EXPECT_EQ(serial, sampledGridJson(2, exp::ExecutorKind::Fork));
+}
+
+TEST(SampleCampaign, TableAndCsvCarryErrorBars)
+{
+    RunOptions opts;
+    opts.warmupInsts = 0;
+    opts.measureInsts = 60000;
+    exp::Campaign c = exp::Campaign::grid(
+        {"perl"}, {"baseline+sample=20000:1000:4000"}, opts);
+    const exp::ResultSet rs = c.run({});
+    ASSERT_TRUE(rs.allOk());
+
+    const std::string table = rs.toTable().render();
+    EXPECT_NE(table.find("±"), std::string::npos);
+
+    std::ostringstream csv;
+    rs.writeCsv(csv);
+    EXPECT_NE(csv.str().find("sample_intervals"), std::string::npos);
+    EXPECT_NE(csv.str().find("ipc_ci95"), std::string::npos);
+
+    std::ostringstream json;
+    rs.writeJson(json, /*include_timing=*/false);
+    EXPECT_NE(json.str().find("\"sample\""), std::string::npos);
+    EXPECT_NE(json.str().find("\"intervals\""), std::string::npos);
+}
+
+} // namespace
+} // namespace nwsim

@@ -10,20 +10,26 @@
  *
  *     nwsim bench [--suite smoke|all] [--workloads a,b] [--configs ...]
  *                 [--warmup N] [--measure N] [--jobs N] [--json FILE]
- *                 [--no-legacy] [--no-progress]
+ *                 [--no-legacy] [--no-sample] [--sample-schedule P:W:M]
+ *                 [--no-progress]
  *         Measure host-side simulation speed (docs/PERF.md): run the
- *         workload × config grid on the event-driven scheduler and the
- *         legacy +legacy scan path, print per-variant KIPS and the
- *         wall-clock speedup, and write BENCH_simspeed.json (--json
- *         overrides the path). Exits nonzero if any job fails or the
- *         measured KIPS is zero.
+ *         workload × config grid on the event-driven scheduler, the
+ *         legacy +legacy scan path, and the sampled mode
+ *         (docs/SAMPLING.md; effective KIPS = stream insts per wall
+ *         second), print per-variant KIPS and the wall-clock speedup,
+ *         and write BENCH_simspeed.json (--json overrides the path).
+ *         Exits nonzero if any job fails or the measured KIPS is zero.
  *
  * Options:
  *     --config SPEC     a full campaign config spec: base preset
  *                       (baseline | packing | packing-replay | issue8)
  *                       plus +modifiers, e.g. packing-replay+decode8
- *                       (default: baseline) — same grammar as nwsweep,
- *                       so a reproducer bundle's replay line pastes
+ *                       or packing+sample=200000:2000:8000 for a
+ *                       SMARTS-style sampled run with error bars
+ *                       (docs/SAMPLING.md; --warmup + --measure become
+ *                       the functional-stream budget). Default:
+ *                       baseline — same grammar as nwsweep, so a
+ *                       reproducer bundle's replay line pastes
  *                       straight into nwsim
  *     --decode8         widen fetch/decode to 8 (Section 5.4)
  *     --perfect-bp      perfect branch prediction (oracle fetch)
@@ -55,6 +61,7 @@
 #include "driver/table.hh"
 #include "exp/bench.hh"
 #include "exp/configs.hh"
+#include "sample/controller.hh"
 #include "workloads/kernels.hh"
 
 using namespace nwsim;
@@ -74,6 +81,7 @@ usage()
         << "       nwsim bench [--suite smoke|all] [--workloads a,b]\n"
         << "                 [--configs s1,s2] [--warmup N] [--measure N]\n"
         << "                 [--jobs N] [--json FILE] [--no-legacy]\n"
+        << "                 [--no-sample] [--sample-schedule P:W:M]\n"
         << "                 [--no-progress]\n";
     return exitcode::Usage;
 }
@@ -137,6 +145,20 @@ report(const RunResult &r, bool csv)
                   << "packed_groups," << r.packing.packedGroups << "\n"
                   << "packed_insts," << r.packing.packedInsts << "\n"
                   << "replay_traps," << r.packing.replayTraps << "\n";
+        if (r.sample.sampled) {
+            std::cout << "sample_intervals," << r.sample.intervals
+                      << "\n"
+                      << "sample_stream_insts," << r.sample.streamInsts
+                      << "\n";
+            for (size_t m = 0; m < SampleSummary::kNumMetrics; ++m) {
+                const char *name = sample::sampleMetricName(
+                    static_cast<sample::SampleMetric>(m));
+                const SampleSummary::Estimate &e = r.sample.metrics[m];
+                std::cout << name << "_mean," << e.mean << "\n"
+                          << name << "_cov," << e.cov << "\n"
+                          << name << "_ci95," << e.ci95 << "\n";
+            }
+        }
         return;
     }
     std::cout << "== " << r.workload << " on " << r.configName << " ==\n"
@@ -163,6 +185,15 @@ report(const RunResult &r, bool csv)
               << "packing:        " << r.packing.packedInsts
               << " insts in " << r.packing.packedGroups << " groups, "
               << r.packing.replayTraps << " replay traps\n";
+    if (r.sample.sampled) {
+        const auto &ipc = r.sample.metrics[static_cast<size_t>(
+            sample::SampleMetric::Ipc)];
+        std::cout << "sampled:        " << r.sample.intervals
+                  << " intervals over " << r.sample.streamInsts
+                  << " stream insts; IPC " << Table::num(ipc.mean, 3)
+                  << " ± " << Table::num(ipc.ci95, 3) << " (95% CI, CoV "
+                  << Table::num(100.0 * ipc.cov, 1) << "%)\n";
+    }
 }
 
 std::vector<std::string>
@@ -224,6 +255,10 @@ benchMain(int argc, char **argv)
             json_path = next();
         else if (arg == "--no-legacy")
             bopts.compareLegacy = false;
+        else if (arg == "--no-sample")
+            bopts.compareSampled = false;
+        else if (arg == "--sample-schedule")
+            bopts.sampleModifier = "sample=" + next();
         else if (arg == "--no-progress")
             progress = false;
         else
@@ -266,6 +301,17 @@ benchMain(int argc, char **argv)
                   << " Mcycles/s)\n"
                   << "speedup (wall-clock):   "
                   << Table::num(report.speedup(), 2) << "x\n";
+    }
+    if (report.options.compareSampled) {
+        const exp::BenchAggregate sm =
+            exp::benchAggregate(report.sampled);
+        std::cout << "sampled mode (+" << report.options.sampleModifier
+                  << "): " << Table::num(sm.seconds, 2) << "s covering "
+                  << Table::num(sm.streamKinsts, 0)
+                  << " stream kinsts = "
+                  << Table::num(sm.effectiveKips(), 0)
+                  << " effective KIPS (" << Table::num(sm.kips(), 0)
+                  << " detailed KIPS)\n";
     }
 
     if (!json_path.empty()) {
@@ -393,6 +439,14 @@ runMain(int argc, char **argv)
         std::cerr << "check: " << out.commitsChecked
                   << " commits verified in lockstep, invariants clean\n";
         report(out.result, csv);
+        return 0;
+    }
+
+    opts.sample = exp::sampleBySpec(spec);
+    if (opts.sample.enabled) {
+        report(sample::runSampledProgram(prog, cfg, opts, target,
+                                         config_name),
+               csv);
         return 0;
     }
 
