@@ -4,8 +4,10 @@
 #   cmake -DNWSIM=<nwsim binary> -DWORK_DIR=<scratch> -P RunBenchSmoke.cmake
 #
 # `nwsim bench` itself enforces the hard floor (every job ok, non-zero
-# KIPS on the event scheduler) via its exit code; this wrapper checks
-# that the emitted document carries the schema docs/PERF.md promises.
+# KIPS on the decode-cached variant) via its exit code; this wrapper
+# checks that the emitted document carries the schema docs/PERF.md
+# promises and that the decode caches are actually earning their keep
+# (>95% hit rate on the smoke grid's hot loops).
 
 if(NOT NWSIM OR NOT WORK_DIR)
     message(FATAL_ERROR "usage: cmake -DNWSIM=<nwsim> "
@@ -27,9 +29,10 @@ file(READ "${json}" doc)
 foreach(key
         "\"bench\"" "\"workloads\"" "\"configs\""
         "\"warmup_insts\"" "\"measure_insts\""
-        "\"event\"" "\"legacy\"" "\"per_job\""
+        "\"event\"" "\"uncached\"" "\"per_job\""
         "\"total_seconds\"" "\"committed_kinsts\"" "\"sim_cycles\""
         "\"kips\"" "\"sim_cycles_per_second\""
+        "\"decode_lookups\"" "\"decode_hits\"" "\"decode_hit_rate\""
         "\"speedup_wall_clock\"")
     string(FIND "${doc}" "${key}" pos)
     if(pos EQUAL -1)
@@ -37,4 +40,17 @@ foreach(key
                 "perf smoke: ${json} is missing key ${key}")
     endif()
 endforeach()
-message(STATUS "perf smoke: clean")
+
+# The "event" variant is written first, so the document's first
+# decode_hit_rate is the decode-cached grid's. The smoke workloads are
+# loop kernels: anything under 95% means chaining or invalidation broke.
+string(REGEX MATCH "\"decode_hit_rate\": ([0-9.eE+-]+)" _ "${doc}")
+if(NOT CMAKE_MATCH_1)
+    message(FATAL_ERROR "perf smoke: could not parse decode_hit_rate")
+endif()
+set(hit_rate "${CMAKE_MATCH_1}")
+if(hit_rate LESS_EQUAL 0.95)
+    message(FATAL_ERROR
+            "perf smoke: decode-cache hit rate ${hit_rate} <= 0.95")
+endif()
+message(STATUS "perf smoke: clean (decode hit rate ${hit_rate})")

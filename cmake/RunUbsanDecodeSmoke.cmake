@@ -1,0 +1,76 @@
+# Configure a nested UBSan build, build nwsim, and run decode-cached
+# simulations under halt_on_error=1. Driven by ctest (see
+# tests/CMakeLists.txt, label `sanitize`) as:
+#
+#   cmake -DSOURCE_DIR=... -DWORK_DIR=... -P RunUbsanDecodeSmoke.cmake
+#
+# Undefined behaviour anywhere on the decode-cache paths — the
+# basic-block decode, the threaded micro-op dispatch, the memoized
+# block chaining, the fetch-block cache, or the generation-keyed
+# invalidation — fails the test. Three runs cover the cache's three
+# consumers: a checked run (cosim oracle's golden FuncSim), a sampled
+# run (fastForward streams crossing the drainInFlight seam every
+# interval), and an uncached control run (`+nodecodecache` must stay
+# UB-clean too). The build tree is shared with RunUbsanSmoke.cmake /
+# RunUbsanSampleSmoke.cmake (same flags), guarded by the ubsan_build
+# ctest resource lock.
+
+if(NOT SOURCE_DIR OR NOT WORK_DIR)
+    message(FATAL_ERROR "usage: cmake -DSOURCE_DIR=<repo> "
+                        "-DWORK_DIR=<scratch> -P RunUbsanDecodeSmoke.cmake")
+endif()
+
+set(build_dir "${WORK_DIR}/ubsan-build")
+file(MAKE_DIRECTORY "${build_dir}")
+
+message(STATUS "UBSan decode smoke: configuring in ${build_dir}")
+execute_process(
+    COMMAND "${CMAKE_COMMAND}" -S "${SOURCE_DIR}" -B "${build_dir}"
+            -DNWSIM_SANITIZE=undefined
+            -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    RESULT_VARIABLE rc)
+if(rc)
+    message(FATAL_ERROR "UBSan decode smoke: configure failed (${rc})")
+endif()
+
+message(STATUS "UBSan decode smoke: building nwsim")
+execute_process(
+    COMMAND "${CMAKE_COMMAND}" --build "${build_dir}" --target nwsim
+            --parallel 4
+    RESULT_VARIABLE rc)
+if(rc)
+    message(FATAL_ERROR "UBSan decode smoke: build failed (${rc})")
+endif()
+
+message(STATUS "UBSan decode smoke: checked run (decode-cached cosim)")
+execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E env UBSAN_OPTIONS=halt_on_error=1
+            "${build_dir}/tools/nwsim" run li --check
+            --warmup 2000 --measure 10000
+    RESULT_VARIABLE rc)
+if(rc)
+    message(FATAL_ERROR "UBSan decode smoke: checked run failed (${rc})")
+endif()
+
+message(STATUS "UBSan decode smoke: sampled run (fastForward streams)")
+execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E env UBSAN_OPTIONS=halt_on_error=1
+            "${build_dir}/tools/nwsim" run perl
+            --config "packing-replay+sample=4000:500:1500"
+            --warmup 3000 --measure 30000
+    RESULT_VARIABLE rc)
+if(rc)
+    message(FATAL_ERROR "UBSan decode smoke: sampled run failed (${rc})")
+endif()
+
+message(STATUS "UBSan decode smoke: uncached control run")
+execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E env UBSAN_OPTIONS=halt_on_error=1
+            "${build_dir}/tools/nwsim" run perl
+            --config "packing-replay+nodecodecache"
+            --warmup 2000 --measure 10000
+    RESULT_VARIABLE rc)
+if(rc)
+    message(FATAL_ERROR "UBSan decode smoke: uncached run failed (${rc})")
+endif()
+message(STATUS "UBSan decode smoke: clean")

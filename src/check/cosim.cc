@@ -69,11 +69,12 @@ formatDivergence(const Divergence &d)
     return os.str();
 }
 
-CosimOracle::CosimOracle(const Program &golden)
+CosimOracle::CosimOracle(const Program &golden, bool use_decode_cache)
     : mem(std::make_unique<SparseMemory>())
 {
     golden.load(*mem);
-    func = std::make_unique<FuncSim>(*mem, golden.entry);
+    func = std::make_unique<FuncSim>(*mem, golden.entry,
+                                     layout::stackTop, use_decode_cache);
 }
 
 void

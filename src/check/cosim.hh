@@ -74,8 +74,13 @@ class CosimOracle : public CoreObserver
      *               normally the same image the core executes (the
      *               fuzzer passes the unmutated image when drilling
      *               fault injection).
+     * @param use_decode_cache Step the golden model through the
+     *               basic-block decode cache (match the checked core's
+     *               CoreConfig::decodeCache so `+nodecodecache` runs
+     *               exercise the plain interpreter end to end).
      */
-    explicit CosimOracle(const Program &golden);
+    explicit CosimOracle(const Program &golden,
+                         bool use_decode_cache = true);
 
     /**
      * Advance the golden model @p insts instructions without checking,

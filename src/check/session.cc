@@ -9,8 +9,13 @@ CheckSession::CheckSession(OutOfOrderCore &core_, const Program &golden,
                            CheckOptions opts_)
     : core(core_), opts(opts_)
 {
-    if (opts.cosim)
-        cosim = std::make_unique<CosimOracle>(golden);
+    if (opts.cosim) {
+        // Match the checked core's decode-cache setting so
+        // `+nodecodecache` differential runs exercise the plain
+        // interpreter on the golden side too.
+        cosim = std::make_unique<CosimOracle>(
+            golden, core.config().decodeCache);
+    }
     if (opts.invariants) {
         inv = std::make_unique<InvariantChecker>(core);
         inv->setStopOnViolation(opts.stopEarly);

@@ -127,6 +127,14 @@ struct RunResult
     double l1iMissRate = 0.0;
     /** Error bars when this result came from a sampled run. */
     SampleSummary sample;
+    /**
+     * Decode-cache health (fastForward block cache + fetch cache).
+     * A host-side metric — never part of simulated statistics, and
+     * excluded from stat-identity comparisons (all-zero under
+     * `+nodecodecache`). Cumulative over the whole run, not reset
+     * with resetStats().
+     */
+    DecodeCacheStats decodeCache;
 
     double ipc() const { return core.ipc(); }
 

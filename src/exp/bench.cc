@@ -29,6 +29,7 @@ benchAggregate(const ResultSet &results)
                 1000.0;
         }
         agg.simCycles += o.result.core.cycles;
+        agg.decode.accumulate(o.result.decodeCache);
     }
     return agg;
 }
@@ -51,9 +52,9 @@ runSpeedBench(const BenchOptions &options)
     for (const std::string &spec : o.configs) {
         if (!isValidConfigSpec(spec))
             NWSIM_FATAL("unknown config spec \"", spec, "\"");
-        if (spec.find("legacy") != std::string::npos) {
-            NWSIM_FATAL("bench adds +legacy itself; drop it from \"",
-                        spec, "\"");
+        if (spec.find("nodecodecache") != std::string::npos) {
+            NWSIM_FATAL("bench adds +nodecodecache itself; drop it "
+                        "from \"", spec, "\"");
         }
     }
 
@@ -65,13 +66,13 @@ runSpeedBench(const BenchOptions &options)
     report.event =
         Campaign::grid(o.workloads, o.configs, o.runOpts).run(copts);
 
-    if (o.compareLegacy) {
-        std::vector<std::string> legacy_specs;
-        legacy_specs.reserve(o.configs.size());
+    if (o.compareUncached) {
+        std::vector<std::string> uncached_specs;
+        uncached_specs.reserve(o.configs.size());
         for (const std::string &spec : o.configs)
-            legacy_specs.push_back(spec + "+legacy");
-        report.legacy =
-            Campaign::grid(o.workloads, legacy_specs, o.runOpts)
+            uncached_specs.push_back(spec + "+nodecodecache");
+        report.uncached =
+            Campaign::grid(o.workloads, uncached_specs, o.runOpts)
                 .run(copts);
     }
 
@@ -106,6 +107,9 @@ writeVariant(JsonWriter &j, const char *name, const ResultSet &results)
         j.key("stream_kinsts").value(agg.streamKinsts);
         j.key("effective_kips").value(agg.effectiveKips());
     }
+    j.key("decode_lookups").value(agg.decode.lookups);
+    j.key("decode_hits").value(agg.decode.hits);
+    j.key("decode_hit_rate").value(agg.decode.hitRate());
     j.key("per_job").beginArray();
     for (const JobOutcome &o : results.outcomes()) {
         j.beginObject();
@@ -144,8 +148,8 @@ writeBenchJson(std::ostream &os, const BenchReport &report)
     j.endObject();
 
     writeVariant(j, "event", report.event);
-    if (o.compareLegacy) {
-        writeVariant(j, "legacy", report.legacy);
+    if (o.compareUncached) {
+        writeVariant(j, "uncached", report.uncached);
         j.key("speedup_wall_clock").value(report.speedup());
     }
     if (o.compareSampled) {

@@ -1,13 +1,13 @@
 /**
  * @file
  * Self-profiling simulation-speed benchmark (docs/PERF.md): runs a
- * workload × config grid through the campaign engine twice — once on
- * the event-driven scheduler, once on the legacy O(window)-scan path
- * (`+legacy` modifier) — and reports host-side simulation speed (KIPS:
- * thousands of detailed-mode committed instructions per wall-clock
- * second) plus the end-to-end speedup. `nwsim bench` drives this and
- * emits BENCH_simspeed.json so the repo's perf trajectory is recorded
- * run over run.
+ * workload × config grid through the campaign engine twice — once with
+ * the decode caches on (the default), once decoding every instruction
+ * (`+nodecodecache` modifier) — and reports host-side simulation speed
+ * (KIPS: thousands of detailed-mode committed instructions per
+ * wall-clock second) plus the end-to-end speedup and decode-cache hit
+ * rates. `nwsim bench` drives this and emits BENCH_simspeed.json so
+ * the repo's perf trajectory is recorded run over run.
  */
 
 #ifndef NWSIM_EXP_BENCH_HH
@@ -38,8 +38,8 @@ struct BenchOptions
      * quick relative comparisons.
      */
     unsigned jobs = 1;
-    /** Also time the `+legacy` scan scheduler and report the speedup. */
-    bool compareLegacy = true;
+    /** Also time `+nodecodecache` runs and report the speedup. */
+    bool compareUncached = true;
     /**
      * Also time the grid in sampled mode (docs/SAMPLING.md): the same
      * stream budget covered by `+sampleModifier` probes, reporting
@@ -52,7 +52,7 @@ struct BenchOptions
     std::ostream *progress = nullptr;
 };
 
-/** Whole-grid totals for one scheduler variant. */
+/** Whole-grid totals for one variant. */
 struct BenchAggregate
 {
     size_t jobs = 0;
@@ -64,6 +64,8 @@ struct BenchAggregate
     /** Functional-stream instructions covered (sampled runs only). */
     double streamKinsts = 0.0;
     u64 simCycles = 0;
+    /** Decode-cache counters summed over the grid (host metric). */
+    DecodeCacheStats decode;
 
     double
     kips() const
@@ -90,15 +92,15 @@ struct BenchAggregate
 /** Grid totals of one variant's outcomes. */
 BenchAggregate benchAggregate(const ResultSet &results);
 
-/** The measurement: both variants' outcomes plus the resolved grid. */
+/** The measurement: each variant's outcomes plus the resolved grid. */
 struct BenchReport
 {
     /** Options as resolved (workload/config defaults filled in). */
     BenchOptions options;
-    /** Event-driven scheduler outcomes. */
+    /** Decode-cached outcomes (the default configuration). */
     ResultSet event;
-    /** Legacy-scan outcomes (empty unless options.compareLegacy). */
-    ResultSet legacy;
+    /** `+nodecodecache` outcomes (empty unless compareUncached). */
+    ResultSet uncached;
     /** Sampled-mode outcomes (empty unless options.compareSampled). */
     ResultSet sampled;
 
@@ -106,22 +108,22 @@ struct BenchReport
     ok() const
     {
         return event.allOk() &&
-               (!options.compareLegacy || legacy.allOk()) &&
+               (!options.compareUncached || uncached.allOk()) &&
                (!options.compareSampled || sampled.allOk());
     }
 
-    /** End-to-end wall-clock speedup, legacy / event (0 if unknown). */
+    /** End-to-end wall-clock speedup, uncached / event (0 if unknown). */
     double
     speedup() const
     {
         const double ev = benchAggregate(event).seconds;
-        const double lg = benchAggregate(legacy).seconds;
-        return (ev > 0.0 && lg > 0.0) ? lg / ev : 0.0;
+        const double un = benchAggregate(uncached).seconds;
+        return (ev > 0.0 && un > 0.0) ? un / ev : 0.0;
     }
 };
 
 /**
- * Run the grid (event-driven first, then legacy so host cache warmth
+ * Run the grid (decode-cached first, then uncached so host cache warmth
  * biases against the reported speedup, keeping the number conservative).
  */
 BenchReport runSpeedBench(const BenchOptions &options);

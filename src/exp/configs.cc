@@ -29,7 +29,9 @@ configModifiers()
         {"perfect", "perfect branch prediction (oracle fetch)"},
         {"earlyout", "PPC603-style early-out multiplies (Section 2.3)"},
         {"nogate33", "disable the 33-bit gating signal (Figure 6)"},
-        {"legacy", "O(window)-scan scheduler (sim-speed A/B; same stats)"},
+        {"nodecodecache",
+         "bypass the decode caches (sim-speed A/B; same stats; needed "
+         "for self-modifying code)"},
         {"sample=P:W:M",
          "SMARTS sampling: detailed W-warmup/M-measure probe every P "
          "insts (+`:rand[:seed]` randomizes the probe offset)"},
@@ -136,8 +138,8 @@ resolveSpec(const std::string &spec, CoreConfig &out)
             out.earlyOutMultiply = true;
         else if (mod == "nogate33")
             out.gating.gate33 = false;
-        else if (mod == "legacy")
-            out.legacyScheduler = true;
+        else if (mod == "nodecodecache")
+            out.decodeCache = false;
         else if (mod.rfind("sample=", 0) == 0) {
             // Run-schedule modifier: validated here, extracted by
             // sampleBySpec; no effect on the CoreConfig itself.
@@ -160,7 +162,8 @@ configBySpec(const std::string &spec)
         NWSIM_FATAL("unknown config spec \"", spec,
                     "\" (bases: baseline, packing, packing-replay, "
                     "issue8; modifiers: +decode8, +perfect, +earlyout, "
-                    "+nogate33, +legacy, +sample=P:W:M[:rand[:seed]])");
+                    "+nogate33, +nodecodecache, "
+                    "+sample=P:W:M[:rand[:seed]])");
     }
     return cfg;
 }

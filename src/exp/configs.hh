@@ -13,7 +13,7 @@
  *     packing-replay+decode8      §5.4 8-wide decode variant
  *     packing+perfect             perfect branch prediction
  *     baseline+earlyout           PPC603-style early-out multiplies
- *     baseline+legacy             O(window)-scan scheduler (sim-speed
+ *     baseline+nodecodecache      bypass the decode caches (sim-speed
  *                                 A/B baseline; stats are identical)
  *     packing+sample=200000:2000:8000
  *                                 SMARTS-style sampled run: one

@@ -41,6 +41,19 @@ namespace
 {
 
 void
+packSampleSummaryFields(WireSink &s, const SampleSummary &ss)
+{
+    s.boolv(ss.sampled);
+    s.u64v(ss.intervals);
+    s.u64v(ss.streamInsts);
+    for (const SampleSummary::Estimate &e : ss.metrics) {
+        s.f64v(e.mean);
+        s.f64v(e.cov);
+        s.f64v(e.ci95);
+    }
+}
+
+void
 packRunResult(WireSink &s, const RunResult &r)
 {
     s.str(r.workload);
@@ -103,15 +116,11 @@ packRunResult(WireSink &s, const RunResult &r)
     s.f64v(r.l1dMissRate);
     s.f64v(r.l1iMissRate);
 
-    const SampleSummary &ss = r.sample;
-    s.boolv(ss.sampled);
-    s.u64v(ss.intervals);
-    s.u64v(ss.streamInsts);
-    for (const SampleSummary::Estimate &e : ss.metrics) {
-        s.f64v(e.mean);
-        s.f64v(e.cov);
-        s.f64v(e.ci95);
-    }
+    packSampleSummaryFields(s, r.sample);
+
+    // Host-side decode-cache health (v4).
+    s.u64v(r.decodeCache.lookups);
+    s.u64v(r.decodeCache.hits);
 }
 
 bool
@@ -193,6 +202,9 @@ unpackRunResult(WireSource &s, RunResult &r)
         s.f64v(e.cov);
         s.f64v(e.ci95);
     }
+
+    s.u64v(r.decodeCache.lookups);
+    s.u64v(r.decodeCache.hits);
     return s.ok();
 }
 
@@ -252,7 +264,7 @@ packCoreConfig(WireSink &s, const CoreConfig &c)
     s.boolv(c.perfectBPred);
     s.u64v(c.watchdogCycles);
     s.boolv(c.earlyOutMultiply);
-    s.boolv(c.legacyScheduler);
+    s.boolv(c.decodeCache);
 
     const BPredConfig &b = c.bpred;
     s.u32v(b.selectorEntries);
@@ -310,7 +322,7 @@ unpackCoreConfig(WireSource &s, CoreConfig &c)
     s.boolv(c.perfectBPred);
     s.u64v(c.watchdogCycles);
     s.boolv(c.earlyOutMultiply);
-    s.boolv(c.legacyScheduler);
+    s.boolv(c.decodeCache);
 
     BPredConfig &b = c.bpred;
     s.uns(b.selectorEntries);
@@ -493,6 +505,14 @@ unpackSimJobSpec(std::string_view blob, SimJob &out)
         return WireError::Corrupt;
     out = std::move(job);
     return WireError::None;
+}
+
+std::string
+packSampleSummary(const SampleSummary &summary)
+{
+    WireSink s;
+    packSampleSummaryFields(s, summary);
+    return s.take();
 }
 
 std::string

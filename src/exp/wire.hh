@@ -41,7 +41,7 @@ namespace nwsim::exp
  * Bump whenever any packed field is added, removed, or re-ordered;
  * readers refuse other versions with WireError::VersionMismatch.
  */
-inline constexpr u8 kWireVersion = 3;
+inline constexpr u8 kWireVersion = 4;
 
 /** Magic opening a packed JobOutcome blob. */
 inline constexpr char kOutcomeMagic[4] = {'N', 'W', 'O', 'B'};
@@ -253,6 +253,15 @@ std::string packSimJobSpec(const SimJob &job);
 
 /** Rebuild a SimJob from packSimJobSpec bytes (runner stays empty). */
 WireError unpackSimJobSpec(std::string_view blob, SimJob &out);
+
+/**
+ * Serialize just a SampleSummary (the error-bar block packRunResult
+ * embeds), byte-for-byte as it appears on the wire. Exists so tests
+ * can compare sampled-run summaries as opaque blobs — e.g. the
+ * decode-cache seam test proving `+nodecodecache` runs produce an
+ * identical SampleSummary (tests/test_decode_cache.cc).
+ */
+std::string packSampleSummary(const SampleSummary &summary);
 
 /** Lower-case hex of @p bytes (journal-safe single token). */
 std::string toHex(std::string_view bytes);

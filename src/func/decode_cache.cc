@@ -1,0 +1,250 @@
+#include "func/decode_cache.hh"
+
+#include "common/logging.hh"
+#include "func/semantics.hh"
+#include "isa/encode.hh"
+
+namespace nwsim
+{
+
+namespace
+{
+
+using Regs = std::array<u64, numIntRegs>;
+
+/**
+ * Every exec function mirrors the uncached interpreter exactly: read
+ * both source registers first (so rc == ra/rb aliasing behaves the
+ * same), compute through func/semantics.hh, then perform the guarded
+ * destination write. writesReg() excludes the zero register, so
+ * regs[zeroReg] stays 0 without a branchless fixup.
+ */
+
+void
+execAlu(const MicroOp &u, Regs &regs, SparseMemory &, UopOut &out)
+{
+    const Inst &inst = u.inst;
+    const u64 a = regs[inst.ra];
+    const OperandPair ops = dataflowOperands(inst, a, regs[inst.rb]);
+    const u64 result = aluResult(inst, ops.a, ops.b, u.pc);
+    out.result = result;
+    out.nextPc = u.pc + 4;
+    if (inst.writesReg())
+        regs[inst.rc] = result;
+}
+
+void
+execLoad(const MicroOp &u, Regs &regs, SparseMemory &mem, UopOut &out)
+{
+    const Inst &inst = u.inst;
+    const Addr ea = effectiveAddr(inst, regs[inst.ra]);
+    const u64 result = loadValue(inst.op, mem.read(ea, u.memSize));
+    out.effAddr = ea;
+    out.result = result;
+    out.nextPc = u.pc + 4;
+    if (inst.writesReg())
+        regs[inst.rc] = result;
+}
+
+void
+execStore(const MicroOp &u, Regs &regs, SparseMemory &mem, UopOut &out)
+{
+    const Inst &inst = u.inst;
+    const Addr ea = effectiveAddr(inst, regs[inst.ra]);
+    const u64 data = regs[inst.rb];
+    mem.write(ea, u.memSize, data);
+    out.effAddr = ea;
+    out.storeData = data;
+    out.nextPc = u.pc + 4;
+    if (inst.writesReg())
+        regs[inst.rc] = 0;
+}
+
+void
+execBranch(const MicroOp &u, Regs &regs, SparseMemory &, UopOut &out)
+{
+    const Inst &inst = u.inst;
+    const u64 a = regs[inst.ra];
+    const OperandPair ops = dataflowOperands(inst, a, regs[inst.rb]);
+    const bool taken = branchTaken(inst.op, a);
+    const u64 result = aluResult(inst, ops.a, ops.b, u.pc);
+    out.taken = taken;
+    out.nextPc = taken ? u.takenTarget : u.pc + 4;
+    out.result = result;
+    if (inst.writesReg())
+        regs[inst.rc] = result;
+}
+
+void
+execJump(const MicroOp &u, Regs &regs, SparseMemory &, UopOut &out)
+{
+    const Inst &inst = u.inst;
+    const u64 a = regs[inst.ra];
+    const u64 b_reg = regs[inst.rb];
+    const OperandPair ops = dataflowOperands(inst, a, b_reg);
+    const u64 result = aluResult(inst, ops.a, ops.b, u.pc);
+    out.taken = true;
+    out.nextPc = b_reg;
+    out.result = result;
+    if (inst.writesReg())
+        regs[inst.rc] = result;
+}
+
+void
+execOther(const MicroOp &u, Regs &regs, SparseMemory &, UopOut &out)
+{
+    out.nextPc = u.pc + 4;
+    if (u.inst.writesReg())
+        regs[u.inst.rc] = 0;
+}
+
+void
+execHalt(const MicroOp &u, Regs &, SparseMemory &, UopOut &out)
+{
+    out.halted = true;
+    out.nextPc = u.pc;
+}
+
+constexpr Addr kEmptyKey = ~Addr{0};
+
+} // namespace
+
+MicroOp
+decodeMicroOp(Addr pc, const Inst &inst)
+{
+    const OpInfo &info = opInfo(inst.op);
+    MicroOp u;
+    u.inst = inst;
+    u.pc = pc;
+    u.opClass = info.opClass;
+    u.isControl = isControl(inst.op);
+    switch (info.opClass) {
+      case OpClass::MemRead:
+        u.fn = execLoad;
+        u.memSize = memAccessSize(inst.op);
+        break;
+      case OpClass::MemWrite:
+        u.fn = execStore;
+        u.memSize = memAccessSize(inst.op);
+        break;
+      case OpClass::Branch:
+        u.fn = execBranch;
+        u.takenTarget = inst.branchTarget(pc);
+        break;
+      case OpClass::Jump:
+        u.fn = execJump;
+        break;
+      case OpClass::Other:
+        u.isHalt = inst.op == Opcode::HALT;
+        u.fn = u.isHalt ? execHalt : execOther;
+        break;
+      default:
+        u.fn = execAlu;
+        break;
+    }
+    return u;
+}
+
+DecodeCache::DecodeCache(const SparseMemory &memory)
+    : mem(memory), gen(memory.generation())
+{
+    keys.assign(1024, kEmptyKey);
+    slots.assign(1024, kNoBlock);
+}
+
+bool
+DecodeCache::refresh()
+{
+    if (mem.generation() == gen)
+        return false;
+    invalidate();
+    gen = mem.generation();
+    return true;
+}
+
+void
+DecodeCache::invalidate()
+{
+    blocks.clear();
+    std::fill(keys.begin(), keys.end(), kEmptyKey);
+    std::fill(slots.begin(), slots.end(), kNoBlock);
+    used = 0;
+}
+
+const DecodeCache::Block &
+DecodeCache::blockAt(Addr pc)
+{
+    return blocks[indexAt(pc)];
+}
+
+u32
+DecodeCache::indexAt(Addr pc)
+{
+    ++stat.lookups;
+    const size_t mask = keys.size() - 1;
+    size_t i = (pc >> 2) & mask;
+    while (keys[i] != kEmptyKey) {
+        if (keys[i] == pc) {
+            ++stat.hits;
+            return slots[i];
+        }
+        i = (i + 1) & mask;
+    }
+    return decodeBlock(pc);
+}
+
+u32
+DecodeCache::decodeBlock(Addr pc)
+{
+    blocks.emplace_back();
+    Block &b = blocks.back();
+    b.startPc = pc;
+    b.ops.reserve(8);
+    Addr cur = pc;
+    for (size_t n = 0; n < kMaxBlockOps; ++n) {
+        const auto word = static_cast<MachineWord>(mem.read(cur, 4));
+        const MicroOp u = decodeMicroOp(cur, decode(word));
+        b.ops.push_back(u);
+        cur += 4;
+        if (u.isControl || u.isHalt)
+            break;
+    }
+    const u32 index = static_cast<u32>(blocks.size() - 1);
+    insertKey(pc, index);
+    return index;
+}
+
+void
+DecodeCache::insertKey(Addr pc, u32 index)
+{
+    if ((used + 1) * 4 > keys.size() * 3)
+        grow();
+    const size_t mask = keys.size() - 1;
+    size_t i = (pc >> 2) & mask;
+    while (keys[i] != kEmptyKey)
+        i = (i + 1) & mask;
+    keys[i] = pc;
+    slots[i] = index;
+    ++used;
+}
+
+void
+DecodeCache::grow()
+{
+    const size_t cap = keys.size() * 2;
+    keys.assign(cap, kEmptyKey);
+    slots.assign(cap, kNoBlock);
+    used = 0;
+    const size_t mask = cap - 1;
+    for (size_t idx = 0; idx < blocks.size(); ++idx) {
+        const Addr pc = blocks[idx].startPc;
+        size_t i = (pc >> 2) & mask;
+        while (keys[i] != kEmptyKey)
+            i = (i + 1) & mask;
+        keys[i] = pc;
+        slots[i] = static_cast<u32>(idx);
+        ++used;
+    }
+}
+
+} // namespace nwsim

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Basic-block decode cache with threaded micro-op dispatch.
+ *
+ * The functional paths (FuncSim stepping, the cosim oracle, and the
+ * out-of-order core's fastForward warmup) used to re-decode every
+ * instruction word on every visit. This cache decodes each basic block
+ * once into a dense array of pre-resolved micro-ops — operand sources,
+ * access sizes, and static branch targets baked in, execution reduced
+ * to one indirect call through a per-op function pointer — so hot loops
+ * run straight out of the cache.
+ *
+ * Blocks:
+ *  - start at any executed PC (a branch into the middle of an existing
+ *    block simply creates a new, overlapping block — blocks are keyed
+ *    by their *start* PC, so overlap is harmless and cheap);
+ *  - end at the first control transfer or HALT, or at kMaxBlockOps;
+ *  - memoize their fall-through successor (chainSeq) and, for a
+ *    displacement-branch terminator, the static taken-target block
+ *    (chainTaken), so steady-state execution follows block-to-block
+ *    links without re-hashing.
+ *
+ * Invalidation is wholesale and keyed to SparseMemory::generation(),
+ * which the program loader's writeBlock() bumps: (re)loading an image
+ * over the memory drops every cached block on the next refresh().
+ * Plain data stores do not invalidate — self-modifying code must run
+ * with the `+nodecodecache` escape hatch (docs/SIMULATOR.md).
+ *
+ * Semantics are shared verbatim with the uncached interpreters via
+ * func/semantics.hh; tests/test_decode_cache.cc proves cached and
+ * uncached runs identical in final state and in every statistic.
+ */
+
+#ifndef NWSIM_FUNC_DECODE_CACHE_HH
+#define NWSIM_FUNC_DECODE_CACHE_HH
+
+#include <array>
+#include <deque>
+#include <vector>
+
+#include "isa/inst.hh"
+#include "isa/opcode.hh"
+#include "mem/sparse_memory.hh"
+
+namespace nwsim
+{
+
+/**
+ * Decode-cache health counters (host-side metric, NOT a simulation
+ * statistic: deliberately kept out of CoreStats so cached and uncached
+ * runs stay stat-identical; surfaced through `nwsim bench --json`).
+ */
+struct DecodeCacheStats
+{
+    /** Block (func cache) or instruction (fetch cache) lookups. */
+    u64 lookups = 0;
+    /** Lookups satisfied without decoding. */
+    u64 hits = 0;
+
+    double
+    hitRate() const
+    {
+        return lookups ? static_cast<double>(hits) /
+                             static_cast<double>(lookups)
+                       : 0.0;
+    }
+
+    void
+    accumulate(const DecodeCacheStats &o)
+    {
+        lookups += o.lookups;
+        hits += o.hits;
+    }
+};
+
+struct MicroOp;
+
+/**
+ * What one micro-op execution produced. Callers layer their own
+ * side effects (memsys warming, predictor training, FuncStep records)
+ * on top of these fields.
+ */
+struct UopOut
+{
+    Addr nextPc = 0;
+    u64 result = 0;
+    Addr effAddr = 0;
+    u64 storeData = 0;
+    bool taken = false;
+    bool halted = false;
+};
+
+/**
+ * Threaded-dispatch entry point: executes the op against a register
+ * file and memory (including the destination-register write), filling
+ * @p out. One function per op class, resolved once at decode.
+ */
+using UopExecFn = void (*)(const MicroOp &uop,
+                           std::array<u64, numIntRegs> &regs,
+                           SparseMemory &mem, UopOut &out);
+
+/** One pre-decoded instruction. */
+struct MicroOp
+{
+    UopExecFn fn = nullptr;
+    Inst inst;
+    Addr pc = 0;
+    /** Static target of a displacement-branch terminator. */
+    Addr takenTarget = 0;
+    OpClass opClass = OpClass::Other;
+    /** Access size for loads/stores (0 otherwise). */
+    unsigned memSize = 0;
+    bool isHalt = false;
+    /** Control transfer (predictor-warming sites in fastForward). */
+    bool isControl = false;
+};
+
+/** The block cache. One instance per (SparseMemory, interpreter). */
+class DecodeCache
+{
+  public:
+    static constexpr u32 kNoBlock = ~u32{0};
+    /** Straight-line cap so pathological code can't make giant blocks. */
+    static constexpr size_t kMaxBlockOps = 64;
+
+    /** A decoded basic block: ops at startPc, startPc+4, ... */
+    struct Block
+    {
+        Addr startPc = 0;
+        std::vector<MicroOp> ops;
+        /** Memoized successor block indexes (lazily resolved). */
+        mutable u32 seqNext = kNoBlock;
+        mutable u32 takenNext = kNoBlock;
+
+        /** PC after the last op (fall-through resume point). */
+        Addr
+        endPc() const
+        {
+            return startPc + 4 * static_cast<Addr>(ops.size());
+        }
+    };
+
+    explicit DecodeCache(const SparseMemory &memory);
+
+    /**
+     * Revalidate against the backing memory's image generation,
+     * dropping every block if a new program was loaded since the last
+     * call. @return true if the cache was invalidated (callers must
+     * drop any Block pointers they hold).
+     */
+    bool refresh();
+
+    /** Lookup-or-decode the block starting exactly at @p pc. */
+    const Block &blockAt(Addr pc);
+
+    /** Fall-through successor of @p b (memoized). */
+    const Block &
+    chainSeq(const Block &b)
+    {
+        if (b.seqNext != kNoBlock) {
+            ++stat.lookups;
+            ++stat.hits;
+            return blocks[b.seqNext];
+        }
+        const u32 idx = indexAt(b.endPc());
+        b.seqNext = idx;
+        return blocks[idx];
+    }
+
+    /** Static taken-target successor of @p b's branch terminator. */
+    const Block &
+    chainTaken(const Block &b)
+    {
+        if (b.takenNext != kNoBlock) {
+            ++stat.lookups;
+            ++stat.hits;
+            return blocks[b.takenNext];
+        }
+        const u32 idx = indexAt(b.ops.back().takenTarget);
+        b.takenNext = idx;
+        return blocks[idx];
+    }
+
+    /** Drop every cached block (capacity is kept). */
+    void invalidate();
+
+    const DecodeCacheStats &stats() const { return stat; }
+    size_t blockCount() const { return blocks.size(); }
+
+  private:
+    /** Find-or-decode, returning the block's index. */
+    u32 indexAt(Addr pc);
+    u32 decodeBlock(Addr pc);
+    void insertKey(Addr pc, u32 index);
+    void grow();
+
+    const SparseMemory &mem;
+    /** deque: stable element addresses across insertions. */
+    std::deque<Block> blocks;
+    /** Open-addressing start-PC index (power-of-two, linear probe). */
+    std::vector<Addr> keys;
+    std::vector<u32> slots;
+    size_t used = 0;
+    u64 gen;
+    DecodeCacheStats stat;
+};
+
+/** Decode one instruction into its micro-op (exposed for tests). */
+MicroOp decodeMicroOp(Addr pc, const Inst &inst);
+
+} // namespace nwsim
+
+#endif // NWSIM_FUNC_DECODE_CACHE_HH

@@ -6,10 +6,13 @@
 namespace nwsim
 {
 
-FuncSim::FuncSim(SparseMemory &memory, Addr entry, Addr stack_pointer)
+FuncSim::FuncSim(SparseMemory &memory, Addr entry, Addr stack_pointer,
+                 bool use_decode_cache)
     : mem(memory), pcReg(entry)
 {
     regs[spReg] = stack_pointer;
+    if (use_decode_cache)
+        dcache = std::make_unique<DecodeCache>(memory);
 }
 
 void
@@ -19,8 +22,76 @@ FuncSim::setReg(RegIndex index, u64 value)
         regs[index] = value;
 }
 
+const MicroOp &
+FuncSim::currentUop()
+{
+    if (dcache->refresh())
+        curBlock = nullptr;
+    if (!curBlock || curBlock->ops[curIdx].pc != pcReg) {
+        curBlock = &dcache->blockAt(pcReg);
+        curIdx = 0;
+    }
+    return curBlock->ops[curIdx];
+}
+
+void
+FuncSim::advanceCursor(const MicroOp &u, Addr next_pc)
+{
+    if (next_pc == u.pc + 4) {
+        if (curIdx + 1 < curBlock->ops.size()) {
+            ++curIdx;
+            return;
+        }
+        curBlock = &dcache->chainSeq(*curBlock);
+    } else if (u.opClass == OpClass::Branch) {
+        // A taken branch is always its block's terminator, so the
+        // memoized static-target link applies.
+        curBlock = &dcache->chainTaken(*curBlock);
+    } else {
+        // Indirect jump: the target is dynamic, re-hash.
+        curBlock = &dcache->blockAt(next_pc);
+    }
+    curIdx = 0;
+}
+
 FuncStep
 FuncSim::step()
+{
+    if (!dcache)
+        return stepUncached();
+
+    FuncStep out;
+    out.pc = pcReg;
+    if (isHalted) {
+        out.halted = true;
+        out.nextPc = pcReg;
+        return out;
+    }
+
+    const MicroOp &u = currentUop();
+    out.inst = u.inst;
+    ++instsExecuted;
+
+    UopOut r;
+    u.fn(u, regs, mem, r);
+    if (u.isHalt)
+        isHalted = true;
+
+    out.taken = r.taken;
+    out.result = r.result;
+    out.effAddr = r.effAddr;
+    out.memSize = u.memSize;
+    out.storeData = r.storeData;
+    out.nextPc = r.nextPc;
+    out.halted = isHalted;
+    pcReg = r.nextPc;
+    if (!isHalted)
+        advanceCursor(u, r.nextPc);
+    return out;
+}
+
+FuncStep
+FuncSim::stepUncached()
 {
     FuncStep out;
     out.pc = pcReg;
@@ -91,10 +162,30 @@ FuncSim::step()
 u64
 FuncSim::run(u64 max_steps)
 {
+    if (!dcache) {
+        u64 done = 0;
+        while (done < max_steps && !isHalted) {
+            stepUncached();
+            ++done;
+        }
+        return done;
+    }
+
+    // Threaded fast path: execute block-to-block out of the decode
+    // cache, skipping the FuncStep bookkeeping step() carries.
     u64 done = 0;
     while (done < max_steps && !isHalted) {
-        step();
+        const MicroOp &u = currentUop();
+        ++instsExecuted;
         ++done;
+        if (u.isHalt) {
+            isHalted = true;
+            break;      // pcReg stays at the HALT
+        }
+        UopOut r;
+        u.fn(u, regs, mem, r);
+        pcReg = r.nextPc;
+        advanceCursor(u, r.nextPc);
     }
     return done;
 }

@@ -14,8 +14,10 @@
 #define NWSIM_FUNC_FUNC_SIM_HH
 
 #include <array>
+#include <memory>
 
 #include "asm/layout.hh"
+#include "func/decode_cache.hh"
 #include "func/semantics.hh"
 #include "mem/sparse_memory.hh"
 
@@ -46,8 +48,16 @@ struct FuncStep
 class FuncSim
 {
   public:
+    /**
+     * @param use_decode_cache Thread execution through a basic-block
+     * decode cache (func/decode_cache.hh). Semantics are identical
+     * either way (tests/test_decode_cache.cc); pass false to keep an
+     * uncached reference interpreter, e.g. for differential testing or
+     * self-modifying programs (`+nodecodecache`).
+     */
     FuncSim(SparseMemory &memory, Addr entry,
-            Addr stack_pointer = layout::stackTop);
+            Addr stack_pointer = layout::stackTop,
+            bool use_decode_cache = true);
 
     /** Execute one instruction. No-op (returns halted step) after HALT. */
     FuncStep step();
@@ -62,12 +72,32 @@ class FuncSim
     u64 instCount() const { return instsExecuted; }
     const std::array<u64, numIntRegs> &regFile() const { return regs; }
 
+    /** Block-cache health counters (all-zero when uncached). */
+    const DecodeCacheStats &
+    decodeCacheStats() const
+    {
+        static const DecodeCacheStats empty{};
+        return dcache ? dcache->stats() : empty;
+    }
+
   private:
+    /** Original decode-every-step interpreter (no cache). */
+    FuncStep stepUncached();
+    /** Point the block cursor at pcReg (refresh + lookup as needed). */
+    const MicroOp &currentUop();
+    /** Move the cursor past @p u given its outcome @p next_pc. */
+    void advanceCursor(const MicroOp &u, Addr next_pc);
+
     SparseMemory &mem;
     std::array<u64, numIntRegs> regs{};
     Addr pcReg;
     bool isHalted = false;
     u64 instsExecuted = 0;
+
+    /** Null when constructed with use_decode_cache = false. */
+    std::unique_ptr<DecodeCache> dcache;
+    const DecodeCache::Block *curBlock = nullptr;
+    size_t curIdx = 0;
 };
 
 } // namespace nwsim

@@ -81,6 +81,7 @@ SparseMemory::write(Addr addr, unsigned size, u64 value)
 void
 SparseMemory::writeBlock(Addr addr, const void *data, size_t len)
 {
+    ++gen;
     const u8 *src = static_cast<const u8 *>(data);
     for (size_t i = 0; i < len; ++i)
         getPage(addr + i)[(addr + i) & (pageSize - 1)] = src[i];

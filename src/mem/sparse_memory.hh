@@ -31,8 +31,9 @@ class SparseMemory
     // The page-cache pointers refer into this instance's page map, so
     // copies and moves start with a cold cache instead of inheriting
     // pointers into the source's pages.
-    SparseMemory(const SparseMemory &o) : pages(o.pages) {}
-    SparseMemory(SparseMemory &&o) noexcept : pages(std::move(o.pages))
+    SparseMemory(const SparseMemory &o) : pages(o.pages), gen(o.gen) {}
+    SparseMemory(SparseMemory &&o) noexcept
+        : pages(std::move(o.pages)), gen(o.gen)
     {
         o.dropCache();
     }
@@ -41,6 +42,8 @@ class SparseMemory
     operator=(const SparseMemory &o)
     {
         pages = o.pages;
+        // A full image replacement: cached decodes are stale.
+        ++gen;
         dropCache();
         return *this;
     }
@@ -49,6 +52,7 @@ class SparseMemory
     operator=(SparseMemory &&o) noexcept
     {
         pages = std::move(o.pages);
+        ++gen;
         dropCache();
         o.dropCache();
         return *this;
@@ -60,7 +64,10 @@ class SparseMemory
     /** Write the low @p size bytes of @p value little-endian. */
     void write(Addr addr, unsigned size, u64 value);
 
-    /** Copy a block in (used by the program loader). */
+    /**
+     * Copy a block in (used by the program loader). Bumps generation()
+     * so decode caches over this memory invalidate on program (re)load.
+     */
     void writeBlock(Addr addr, const void *data, size_t len);
 
     /** Copy a block out (used by tests and workload checksums). */
@@ -68,6 +75,17 @@ class SparseMemory
 
     /** Number of pages currently allocated. */
     size_t numPages() const { return pages.size(); }
+
+    /**
+     * Image generation: incremented by every writeBlock(), i.e. every
+     * program (re)load. Decode caches (func/decode_cache.hh and the
+     * fetch-side cache) key their validity on it, so loading a new
+     * image over this memory invalidates cached decodes wholesale.
+     * Plain write() — data stores, including self-modifying stores to
+     * the text segment — does NOT bump it; runs that modify their own
+     * code must use the +nodecodecache escape hatch.
+     */
+    u64 generation() const { return gen; }
 
   private:
     using Page = std::vector<u8>;
@@ -85,6 +103,7 @@ class SparseMemory
     }
 
     std::unordered_map<Addr, Page> pages;
+    u64 gen = 0;
 
     // One-entry page cache: almost every access hits the same page as
     // its predecessor (straight-line fetch, stack traffic), so the hash

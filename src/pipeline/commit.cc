@@ -28,8 +28,7 @@ OutOfOrderCore::commitStage()
             cacheModel.recordAccess(e.storeData, e.memSize);
             NWSIM_ASSERT(lsqCount > 0, "lsq underflow at commit");
             --lsqCount;
-            if (!cfg.legacyScheduler)
-                storeIndex.remove(e.seq);
+            storeIndex.remove(e.seq);
         } else if (e.isMem) {
             --lsqCount;
         }

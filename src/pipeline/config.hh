@@ -51,15 +51,16 @@ struct CoreConfig
      */
     bool earlyOutMultiply = false;
     /**
-     * Use the original O(window)-per-cycle scan scheduler (full-RUU
-     * issue scan, wakeup broadcast, per-load store scan) instead of the
-     * event-driven one (ready queue, dependent lists, store address
-     * index). Timing and statistics are bit-identical either way
-     * (tests/test_sched_equivalence.cc); the flag exists so the two
-     * implementations can be diffed in the field and will be removed
-     * after one release.
+     * Thread the functional paths (fastForward warmup, the perfect-
+     * prediction oracle) through the basic-block decode cache and the
+     * fetch stage through the PC-tagged decoded-instruction cache
+     * (func/decode_cache.hh). Timing and statistics are bit-identical
+     * either way (tests/test_decode_cache.cc); disable via the
+     * `+nodecodecache` spec modifier for differential testing or
+     * self-modifying programs (the caches only invalidate on program
+     * (re)load, not on data stores into the text segment).
      */
-    bool legacyScheduler = false;
+    bool decodeCache = true;
 
     BPredConfig bpred;
     MemSystemConfig mem;

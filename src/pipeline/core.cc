@@ -22,10 +22,14 @@ OutOfOrderCore::OutOfOrderCore(const CoreConfig &config,
     specRegs[spReg] = stack_pointer;
     if (cfg.perfectBPred) {
         oracleMem = std::make_unique<SparseMemory>(memory);
-        oracle =
-            std::make_unique<FuncSim>(*oracleMem, entry, stack_pointer);
+        oracle = std::make_unique<FuncSim>(*oracleMem, entry,
+                                           stack_pointer, cfg.decodeCache);
     } else {
         predictor = std::make_unique<CombiningPredictor>(cfg.bpred);
+    }
+    if (cfg.decodeCache) {
+        ffCache = std::make_unique<DecodeCache>(memory);
+        fetchCache.init(4096);
     }
     fetchPc = entry;
 
@@ -151,7 +155,77 @@ OutOfOrderCore::fastForward(u64 insts)
                  "fastForward with in-flight instructions");
     if (simDone)
         return 0;
+    if (!ffCache)
+        return fastForwardUncached(insts);
 
+    // Threaded fast path: execute pre-decoded basic blocks out of the
+    // decode cache, chasing memoized block links instead of re-decoding
+    // every instruction. Warming side effects (MemSystem, predictor,
+    // oracle lockstep, regFromLoad) are issued per micro-op in exactly
+    // the order fastForwardUncached produces them.
+    ffCache->refresh();
+    const DecodeCache::Block *blk = &ffCache->blockAt(fetchPc);
+    size_t idx = 0;
+    u64 done = 0;
+    while (done < insts) {
+        const MicroOp &u = blk->ops[idx];
+        memsys.instLatency(u.pc);
+        if (u.isHalt) {
+            // Stop just short so the HALT itself retires in detailed
+            // mode and done() behaves uniformly.
+            return done;
+        }
+        ++done;
+
+        UopOut r;
+        u.fn(u, specRegs, mem, r);
+        if (u.opClass == OpClass::MemRead ||
+            u.opClass == OpClass::MemWrite) {
+            memsys.dataLatency(r.effAddr);
+        }
+        if (u.isControl)
+            warmControl(u.pc, u.inst, r.taken, r.nextPc);
+        if (cfg.perfectBPred)
+            oracle->step();     // keep the oracle in lockstep
+        if (u.inst.writesReg())
+            regFromLoad[u.inst.rc] = u.opClass == OpClass::MemRead;
+        fetchPc = r.nextPc;
+
+        if (r.nextPc == u.pc + 4) {
+            if (idx + 1 < blk->ops.size()) {
+                ++idx;
+                continue;
+            }
+            blk = &ffCache->chainSeq(*blk);
+        } else if (u.opClass == OpClass::Branch) {
+            // A taken branch terminates its block; the memoized
+            // static-target link applies.
+            blk = &ffCache->chainTaken(*blk);
+        } else {
+            // Indirect jump: dynamic target, re-hash.
+            blk = &ffCache->blockAt(r.nextPc);
+        }
+        idx = 0;
+    }
+    return done;
+}
+
+void
+OutOfOrderCore::warmControl(Addr pc, const Inst &inst, bool taken,
+                            Addr next_pc)
+{
+    // Warm the predictor exactly as fetch + commit would.
+    if (!predictor)
+        return;
+    const Prediction pred = predictor->predict(pc, inst);
+    if (pred.taken != taken || (taken && pred.target != next_pc))
+        predictor->repair(inst, pred, taken);
+    predictor->resolve(pc, inst, pred, taken, next_pc);
+}
+
+u64
+OutOfOrderCore::fastForwardUncached(u64 insts)
+{
     u64 done = 0;
     while (done < insts) {
         const Addr pc = fetchPc;
@@ -205,15 +279,8 @@ OutOfOrderCore::fastForward(u64 insts)
             break;
         }
 
-        // Warm the predictor exactly as fetch + commit would.
-        if (isControl(inst.op) && predictor) {
-            const Prediction pred = predictor->predict(pc, inst);
-            if (pred.taken != taken ||
-                (taken && pred.target != next_pc)) {
-                predictor->repair(inst, pred, taken);
-            }
-            predictor->resolve(pc, inst, pred, taken, next_pc);
-        }
+        if (isControl(inst.op))
+            warmControl(pc, inst, taken, next_pc);
         if (cfg.perfectBPred)
             oracle->step();     // keep the oracle in lockstep
 
@@ -254,20 +321,8 @@ OutOfOrderCore::entryBySeq(InstSeq seq)
 void
 OutOfOrderCore::wakeDependents(InstSeq producer_seq)
 {
-    if (cfg.legacyScheduler) {
-        // Legacy broadcast: scan the whole window for waiting consumers.
-        for (RuuEntry &e : window) {
-            if (e.state != EntryState::Dispatched)
-                continue;
-            if (!e.aReady && e.aProducer == producer_seq)
-                e.aReady = true;
-            if (!e.bReady && e.bProducer == producer_seq)
-                e.bReady = true;
-        }
-        return;
-    }
-    // Event mode: walk exactly the consumers that registered on this
-    // producer at dispatch. The set is identical to the broadcast's
+    // Walk exactly the consumers that registered on this producer at
+    // dispatch. The set is identical to a full-window broadcast scan's
     // (an edge exists iff the operand flag is still false), so the
     // resulting flags — and all downstream timing — are bit-identical.
     deps.wake(producer_seq,
@@ -287,8 +342,7 @@ OutOfOrderCore::onOperandReady(InstSeq consumer, unsigned op)
     else
         e->bReady = true;
     // Wakeups happen in writeback, before this cycle's issue stage, so
-    // a newly ready entry is issuable this very cycle — same as the
-    // legacy scan observing the just-set flags.
+    // a newly ready entry is issuable this very cycle.
     if (issueReady(*e))
         readyQueue.insert(consumer);
 }
@@ -322,12 +376,10 @@ OutOfOrderCore::squashVictim(RuuEntry &victim)
     // edges, its ready-queue slot, and its store-index chains.
     if (victim.state == EntryState::Issued)
         completions.purge(victim.seq, victim.completeCycle, curCycle);
-    if (!cfg.legacyScheduler) {
-        deps.unlinkConsumer(victim.seq);
-        readyQueue.erase(victim.seq);
-        if (victim.isSt)
-            storeIndex.remove(victim.seq);
-    }
+    deps.unlinkConsumer(victim.seq);
+    readyQueue.erase(victim.seq);
+    if (victim.isSt)
+        storeIndex.remove(victim.seq);
     window.pop_back();
     ++stat.squashed;
 }

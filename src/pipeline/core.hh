@@ -30,8 +30,10 @@
 #include "core/cache_gating.hh"
 #include "core/profiler.hh"
 #include "core/width_predictor.hh"
+#include "func/decode_cache.hh"
 #include "func/func_sim.hh"
 #include "pipeline/config.hh"
+#include "pipeline/fetch_cache.hh"
 #include "pipeline/observer.hh"
 #include "pipeline/ruu.hh"
 #include "pipeline/sched.hh"
@@ -152,6 +154,22 @@ class OutOfOrderCore
     const CoreConfig &config() const { return cfg; }
     Cycle now() const { return curCycle; }
 
+    /**
+     * Combined decode-cache health counters: the fastForward block
+     * cache plus the fetch stage's decoded-instruction cache. A host
+     * metric, not a simulation statistic (all-zero with
+     * `+nodecodecache`; excluded from stat-identity comparisons).
+     */
+    DecodeCacheStats
+    decodeCacheStats() const
+    {
+        DecodeCacheStats s;
+        if (ffCache)
+            s.accumulate(ffCache->stats());
+        s.accumulate(fetchCache.stats());
+        return s;
+    }
+
   private:
     friend class CoreInspector;   // white-box unit tests
 
@@ -179,6 +197,10 @@ class OutOfOrderCore
     u64 speculativeLoadValue(Addr addr, unsigned size, InstSeq before);
     bool loadBlocked(const RuuEntry &e, bool &forwarded);
     void wakeDependents(InstSeq producer_seq);
+    /** Decode-every-instruction fastForward (`+nodecodecache`). */
+    u64 fastForwardUncached(u64 insts);
+    /** Per-instruction warming shared by both fastForward paths. */
+    void warmControl(Addr pc, const Inst &inst, bool taken, Addr next_pc);
     /** Occupancy report for the watchdog's DeadlockError. */
     std::string deadlockDiagnostic(Cycle stalled_cycles) const;
     void squashAfter(InstSeq seq);
@@ -196,7 +218,7 @@ class OutOfOrderCore
     }
     /** Event-mode wake of one operand (DepGraph::wake callback). */
     void onOperandReady(InstSeq consumer, unsigned op);
-    /** Shared per-entry issue attempt (both scheduler modes). */
+    /** Per-entry issue attempt (resource accounting + packing). */
     void tryIssueEntry(RuuEntry &e, unsigned &slots, unsigned &alus,
                        unsigned &mults, unsigned &ready_seen,
                        unsigned &issued_now);
@@ -221,6 +243,12 @@ class OutOfOrderCore
     std::unique_ptr<SparseMemory> oracleMem;
     std::unique_ptr<FuncSim> oracle;
 
+    // Decode caches (null/empty with cfg.decodeCache off): the
+    // basic-block cache threading fastForward, and the fetch stage's
+    // PC-tagged decoded-instruction cache.
+    std::unique_ptr<DecodeCache> ffCache;
+    FetchDecodeCache fetchCache;
+
     // Speculative in-fetch-order register state (execute-at-dispatch).
     std::array<u64, numIntRegs> specRegs{};
     std::array<InstSeq, numIntRegs> regProducer{};
@@ -230,15 +258,15 @@ class OutOfOrderCore
     InstRing<FetchedInst> fetchQueue;
 
     // ---- Event-driven scheduler state (sched.hh) -------------------------
-    /** Completion timers, both scheduler modes. */
+    /** Completion timers. */
     EventWheel completions;
-    /** Earliest-issue (replay) timers; event mode only. */
+    /** Earliest-issue (replay) timers. */
     EventWheel readyTimers;
-    /** Seq-ordered set of issuable entries; event mode only. */
+    /** Seq-ordered set of issuable entries. */
     ReadyQueue readyQueue;
-    /** Per-producer dependent lists; event mode only. */
+    /** Per-producer dependent lists. */
     DepGraph deps;
-    /** Block index over in-flight LSQ stores; event mode only. */
+    /** Block index over in-flight LSQ stores. */
     StoreAddrIndex storeIndex;
 
     // Reused per-cycle scratch so steady-state tick() never allocates.

@@ -45,40 +45,24 @@ OutOfOrderCore::speculativeLoadValue(Addr addr, unsigned size,
     for (unsigned i = 0; i < size; ++i) {
         const Addr byte_addr = addr + i;
         u8 byte = static_cast<u8>(mem.read(byte_addr, 1));
-        if (cfg.legacyScheduler) {
-            // Window-order scan; later (younger) stores overwrite.
-            for (const RuuEntry &e : window) {
-                if (e.seq >= before)
-                    break;
-                if (!e.isSt)
-                    continue;
-                if (byte_addr >= e.effAddr &&
-                    byte_addr < e.effAddr + e.memSize) {
+        // Every store covering this byte lives on the byte's block
+        // chain; pick the youngest by seq (chain order is arbitrary,
+        // the max-seq reduction restores fetch order).
+        InstSeq best = 0;
+        storeIndex.forEachStoreOnBlock(
+            StoreAddrIndex::blockOf(byte_addr), [&](InstSeq s) {
+                if (s >= before || s <= best)
+                    return;
+                const RuuEntry *st = entryBySeq(s);
+                NWSIM_ASSERT(st && st->isSt, "stale store-index chain");
+                if (byte_addr >= st->effAddr &&
+                    byte_addr < st->effAddr + st->memSize) {
+                    best = s;
                     byte = static_cast<u8>(
-                        e.storeData >> (8 * (byte_addr - e.effAddr)));
+                        st->storeData >>
+                        (8 * (byte_addr - st->effAddr)));
                 }
-            }
-        } else {
-            // Event mode: every store covering this byte lives on the
-            // byte's block chain; pick the youngest by seq (chain order
-            // is arbitrary, the max-seq reduction restores it).
-            InstSeq best = 0;
-            storeIndex.forEachStoreOnBlock(
-                StoreAddrIndex::blockOf(byte_addr), [&](InstSeq s) {
-                    if (s >= before || s <= best)
-                        return;
-                    const RuuEntry *st = entryBySeq(s);
-                    NWSIM_ASSERT(st && st->isSt,
-                                 "stale store-index chain");
-                    if (byte_addr >= st->effAddr &&
-                        byte_addr < st->effAddr + st->memSize) {
-                        best = s;
-                        byte = static_cast<u8>(
-                            st->storeData >>
-                            (8 * (byte_addr - st->effAddr)));
-                    }
-                });
-        }
+            });
         value |= static_cast<u64>(byte) << (8 * i);
     }
     return value;
@@ -182,22 +166,20 @@ OutOfOrderCore::dispatchStage()
             ++lsqCount;
         trace(TraceStage::Dispatch, e);
         window.push_back(e);
-        if (!cfg.legacyScheduler) {
-            // Register the scheduler events this entry will produce or
-            // consume: dependence edges on unready operands (waking it
-            // later costs O(consumers), not O(window)), its ready-queue
-            // slot if it is born issuable (the issue stage ran earlier
-            // this tick, so it is first considered next cycle — same as
-            // the scan), and its store-index chains for load ordering.
-            if (!e.aReady)
-                deps.link(e.aProducer, e.seq, 0);
-            if (!e.bReady)
-                deps.link(e.bProducer, e.seq, 1);
-            if (issueReady(e))
-                readyQueue.insert(e.seq);
-            if (e.isSt)
-                storeIndex.add(e.seq, e.effAddr, e.memSize);
-        }
+        // Register the scheduler events this entry will produce or
+        // consume: dependence edges on unready operands (waking it
+        // later costs O(consumers), not O(window)), its ready-queue
+        // slot if it is born issuable (the issue stage ran earlier
+        // this tick, so it is first considered next cycle), and its
+        // store-index chains for load ordering.
+        if (!e.aReady)
+            deps.link(e.aProducer, e.seq, 0);
+        if (!e.bReady)
+            deps.link(e.bProducer, e.seq, 1);
+        if (issueReady(e))
+            readyQueue.insert(e.seq);
+        if (e.isSt)
+            storeIndex.add(e.seq, e.effAddr, e.memSize);
         if (observer)
             observer->onDispatch(window.back());
         fetchQueue.pop_front();

@@ -30,8 +30,13 @@ OutOfOrderCore::fetchStage()
             break;
         }
 
-        const auto word = static_cast<MachineWord>(mem.read(fetchPc, 4));
-        const Inst inst = decode(word);
+        // Decoded-instruction cache: skips the read+decode for hot
+        // fetch groups. Host-side only — instLatency above already
+        // charged the I-cache timing, so this is timing-invisible.
+        const Inst inst =
+            cfg.decodeCache
+                ? fetchCache.lookup(fetchPc, mem)
+                : decode(static_cast<MachineWord>(mem.read(fetchPc, 4)));
 
         FetchedInst f;
         f.pc = fetchPc;

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Fetch-block decode cache: a direct-mapped, PC-tagged cache of decoded
+ * instructions, so detailed mode stops re-decoding hot fetch groups.
+ *
+ * Purely a host-side optimization: it replaces only the
+ * `decode(mem.read(pc, 4))` work in the fetch stage — the I-cache/TLB
+ * timing model (MemSystem::instLatency) still sees every fetch, so
+ * simulated timing is bit-identical with the cache on or off
+ * (tests/test_decode_cache.cc). Validity is keyed to the backing
+ * memory's image generation, exactly like func/decode_cache.hh: a
+ * program (re)load flushes every tag; data stores do not (the
+ * `+nodecodecache` modifier covers self-modifying code).
+ */
+
+#ifndef NWSIM_PIPELINE_FETCH_CACHE_HH
+#define NWSIM_PIPELINE_FETCH_CACHE_HH
+
+#include <vector>
+
+#include "func/decode_cache.hh"
+#include "isa/encode.hh"
+#include "mem/sparse_memory.hh"
+
+namespace nwsim
+{
+
+/** Direct-mapped decoded-Inst cache for the fetch stage. */
+class FetchDecodeCache
+{
+  public:
+    /** Size the table (power of two); uninitialized = disabled. */
+    void
+    init(size_t num_slots)
+    {
+        entries.assign(num_slots, Entry{});
+        mask = num_slots - 1;
+    }
+
+    /** Decoded instruction at @p pc (decode-and-fill on miss). */
+    const Inst &
+    lookup(Addr pc, const SparseMemory &mem)
+    {
+        if (mem.generation() != gen) {
+            for (Entry &e : entries)
+                e.tag = kEmptyTag;
+            gen = mem.generation();
+        }
+        ++stat.lookups;
+        Entry &e = entries[(pc >> 2) & mask];
+        if (e.tag == pc) {
+            ++stat.hits;
+            return e.inst;
+        }
+        e.tag = pc;
+        e.inst = decode(static_cast<MachineWord>(mem.read(pc, 4)));
+        return e.inst;
+    }
+
+    const DecodeCacheStats &stats() const { return stat; }
+
+  private:
+    static constexpr Addr kEmptyTag = ~Addr{0};
+
+    struct Entry
+    {
+        Addr tag = kEmptyTag;
+        Inst inst;
+    };
+
+    std::vector<Entry> entries;
+    size_t mask = 0;
+    u64 gen = 0;
+    DecodeCacheStats stat;
+};
+
+} // namespace nwsim
+
+#endif // NWSIM_PIPELINE_FETCH_CACHE_HH

@@ -5,11 +5,10 @@
  * built into the selection loop ("the issue logic must keep track of
  * which issuing instructions are available for packing").
  *
- * Two scheduler implementations share the per-entry selection logic
- * (tryIssueEntry): the legacy full-RUU scan, and the event-driven
- * ready queue that visits only issuable entries in the same oldest-
- * first order. Selection, packing, and statistics are bit-identical
- * between the two (tests/test_sched_equivalence.cc).
+ * The event-driven ready queue visits only issuable entries, in the
+ * same oldest-first order a full-RUU scan would produce; selection,
+ * packing, and statistics match a reference re-simulation exactly
+ * (tests/test_sched_equivalence.cc).
  */
 
 #include "common/logging.hh"
@@ -34,27 +33,11 @@ bool
 OutOfOrderCore::loadBlocked(const RuuEntry &e, bool &forwarded)
 {
     forwarded = false;
-    if (cfg.legacyScheduler) {
-        for (const RuuEntry &s : window) {
-            if (s.seq >= e.seq)
-                break;
-            if (!s.isSt)
-                continue;
-            if (bytesOverlap(s.effAddr, s.memSize, e.effAddr,
-                             e.memSize)) {
-                if (s.state != EntryState::Completed)
-                    return true; // wait for the producing store
-                forwarded = true;
-            }
-        }
-        return false;
-    }
-
-    // Event mode: only stores sharing an 8-byte block with the load can
-    // overlap it, so consult the store index's (at most two) chains
-    // instead of every older window entry. The blocked/forwarded
-    // outcome is order-independent — blocked iff any older overlapping
-    // store is incomplete — so chain order doesn't matter.
+    // Only stores sharing an 8-byte block with the load can overlap
+    // it, so consult the store index's (at most two) chains instead of
+    // every older window entry. The blocked/forwarded outcome is
+    // order-independent — blocked iff any older overlapping store is
+    // incomplete — so chain order doesn't matter.
     bool blocked = false;
     bool fwd = false;
     const auto visit = [&](InstSeq s) {
@@ -112,8 +95,8 @@ OutOfOrderCore::recordIssue(RuuEntry &e)
 
 /**
  * Try to issue one ready entry, honoring slot/unit limits and joining
- * packing groups. Exactly the legacy selection-loop body: callers must
- * visit entries oldest-first and only when issueReady() holds.
+ * packing groups. Callers must visit entries oldest-first and only
+ * when issueReady() holds.
  */
 void
 OutOfOrderCore::tryIssueEntry(RuuEntry &e, unsigned &slots,
@@ -234,28 +217,18 @@ OutOfOrderCore::issueStage()
     unsigned issued_now = 0;
     issueGroupCount = 0;
 
-    if (cfg.legacyScheduler) {
-        // Legacy: scan the whole RUU every cycle.
-        for (RuuEntry &e : window) {
-            if (!issueReady(e))
-                continue;
-            tryIssueEntry(e, slots, alus, mults, ready_seen, issued_now);
-        }
-    } else {
-        // Event mode: visit only the ready set, in the same oldest-
-        // first order the scan produces. Entries that cannot issue
-        // (unit/slot limits, blocked loads) keep their ready bit and
-        // are revisited next cycle.
-        drainReadyTimers();
-        if (!window.empty()) {
-            readyQueue.forEachReady(
-                window.front().seq, window.size(), [&](InstSeq seq) {
-                    RuuEntry *e = entryBySeq(seq);
-                    NWSIM_ASSERT(e && issueReady(*e), "stale ready bit");
-                    tryIssueEntry(*e, slots, alus, mults, ready_seen,
-                                  issued_now);
-                });
-        }
+    // Visit only the ready set, oldest-first. Entries that cannot
+    // issue (unit/slot limits, blocked loads) keep their ready bit and
+    // are revisited next cycle.
+    drainReadyTimers();
+    if (!window.empty()) {
+        readyQueue.forEachReady(
+            window.front().seq, window.size(), [&](InstSeq seq) {
+                RuuEntry *e = entryBySeq(seq);
+                NWSIM_ASSERT(e && issueReady(*e), "stale ready bit");
+                tryIssueEntry(*e, slots, alus, mults, ready_seen,
+                              issued_now);
+            });
     }
 
     stat.readyOpsSum += ready_seen;

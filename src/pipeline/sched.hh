@@ -161,7 +161,7 @@ class InstRing
  * contiguous seqs and its size never exceeds the (power-of-two)
  * capacity, `seq & (cap - 1)` is collision-free among live entries, and
  * iterating slots from the oldest seq's position reproduces the
- * oldest-first order of the legacy full-window scan exactly.
+ * oldest-first order of a full-window scan exactly.
  */
 class ReadyQueue
 {

@@ -43,13 +43,11 @@ OutOfOrderCore::writebackStage()
                 e->replaySpec = false;
                 e->noPack = true;
                 e->earliestIssue = curCycle + cfg.packing.replayPenalty;
-                // Event mode re-inserts the entry into the ready queue
-                // when the penalty expires. A zero penalty lands on the
-                // current cycle's wheel slot, which this cycle's issue
-                // stage (it runs after writeback) still drains — same
-                // cycle the legacy scan would first see it again.
-                if (!cfg.legacyScheduler)
-                    readyTimers.schedule(seq, e->earliestIssue, curCycle);
+                // Re-insert into the ready queue when the penalty
+                // expires. A zero penalty lands on the current cycle's
+                // wheel slot, which this cycle's issue stage (it runs
+                // after writeback) still drains.
+                readyTimers.schedule(seq, e->earliestIssue, curCycle);
                 ++packStat.replayTraps;
                 trace(TraceStage::Replay, *e);
                 continue;

@@ -133,6 +133,9 @@ runSampledProgram(const Program &program, const CoreConfig &config,
     RunResult result = agg.aggregate();
     result.workload = name;
     result.configName = config_name;
+    // Decode-cache counters are cumulative host metrics, not interval
+    // statistics: stamp the final values rather than aggregating.
+    result.decodeCache = core.decodeCacheStats();
     result.sample.sampled = true;
     result.sample.intervals = agg.intervals();
     result.sample.streamInsts = position;

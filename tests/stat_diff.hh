@@ -1,0 +1,217 @@
+/**
+ * Field-level RunResult comparison for equivalence tests.
+ *
+ * statIdentical() walks every statistic a RunResult carries — core
+ * pipeline counters, gating/packing/bpred stats, the full width-profile
+ * snapshot (histogram buckets and per-PC width bits included), miss
+ * rates, and the sampled-run error bars — comparing each field exactly
+ * (doubles by bit pattern: equivalence suites assert determinism, not
+ * tolerance) and naming every mismatch with its expected and actual
+ * value. A failure reads
+ *
+ *     stat mismatch in 2 field(s):
+ *       core.cycles: 10233 != 10240
+ *       profiler.widthHist[17]: 412 != 409
+ *
+ * instead of the byte offset a wire-blob compare would give.
+ *
+ * Deliberately NOT compared: workload/configName labels (callers often
+ * label variants differently on purpose), warmupCommitted (compared
+ * separately where it matters), and RunResult::decodeCache — the
+ * decode-cache counters are a host-side metric that legitimately
+ * differs between `+nodecodecache` A/B runs whose *simulation* must be
+ * identical (tests/test_decode_cache.cc).
+ */
+
+#ifndef NWSIM_TESTS_STAT_DIFF_HH
+#define NWSIM_TESTS_STAT_DIFF_HH
+
+#include <bit>
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "driver/runner.hh"
+
+namespace nwsim::test
+{
+
+/** Accumulates named field mismatches between two RunResults. */
+class StatDiff
+{
+  public:
+    void
+    field(const std::string &name, u64 expected, u64 actual)
+    {
+        if (expected != actual) {
+            add(name, std::to_string(expected),
+                std::to_string(actual));
+        }
+    }
+
+    /**
+     * Doubles compare by bit pattern: these suites assert two runs are
+     * the *same computation*, where even 1-ulp drift is a finding.
+     */
+    void
+    field(const std::string &name, double expected, double actual)
+    {
+        if (std::bit_cast<u64>(expected) != std::bit_cast<u64>(actual))
+            add(name, fmt(expected), fmt(actual));
+    }
+
+    bool clean() const { return count == 0; }
+
+    ::testing::AssertionResult
+    result() const
+    {
+        if (clean())
+            return ::testing::AssertionSuccess();
+        return ::testing::AssertionFailure()
+               << "stat mismatch in " << count << " field(s):\n"
+               << report;
+    }
+
+  private:
+    static std::string
+    fmt(double v)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        return buf;
+    }
+
+    void
+    add(const std::string &name, const std::string &expected,
+        const std::string &actual)
+    {
+        ++count;
+        // Cap the report so a totally divergent pair stays readable.
+        if (count <= 32) {
+            report += "  " + name + ": " + expected + " != " + actual +
+                      "\n";
+        } else if (count == 33) {
+            report += "  ... (further mismatches elided)\n";
+        }
+    }
+
+    size_t count = 0;
+    std::string report;
+};
+
+/**
+ * Compare every simulation statistic of @p expected and @p actual,
+ * returning a gtest assertion naming each mismatched field.
+ */
+inline ::testing::AssertionResult
+statIdentical(const RunResult &expected, const RunResult &actual)
+{
+    StatDiff d;
+
+    d.field("measuredCommitted", expected.measuredCommitted,
+            actual.measuredCommitted);
+
+    const CoreStats &ce = expected.core, &ca = actual.core;
+    d.field("core.cycles", ce.cycles, ca.cycles);
+    d.field("core.fetched", ce.fetched, ca.fetched);
+    d.field("core.dispatched", ce.dispatched, ca.dispatched);
+    d.field("core.issued", ce.issued, ca.issued);
+    d.field("core.committed", ce.committed, ca.committed);
+    d.field("core.squashed", ce.squashed, ca.squashed);
+    d.field("core.mispredictSquashes", ce.mispredictSquashes,
+            ca.mispredictSquashes);
+    d.field("core.loadsForwarded", ce.loadsForwarded,
+            ca.loadsForwarded);
+    d.field("core.windowFullStalls", ce.windowFullStalls,
+            ca.windowFullStalls);
+    d.field("core.issueLimitedCycles", ce.issueLimitedCycles,
+            ca.issueLimitedCycles);
+    d.field("core.readyOpsSum", ce.readyOpsSum, ca.readyOpsSum);
+
+    const GatingStats &ge = expected.gating, &ga = actual.gating;
+    d.field("gating.ops", ge.ops, ga.ops);
+    d.field("gating.gated16", ge.gated16, ga.gated16);
+    d.field("gating.gated33", ge.gated33, ga.gated33);
+    d.field("gating.gatedLoadSourced", ge.gatedLoadSourced,
+            ga.gatedLoadSourced);
+    d.field("gating.blockedByLoad", ge.blockedByLoad,
+            ga.blockedByLoad);
+    d.field("gating.baselineMwSum", ge.baselineMwSum,
+            ga.baselineMwSum);
+    d.field("gating.gatedMwSum", ge.gatedMwSum, ga.gatedMwSum);
+    d.field("gating.overheadMwSum", ge.overheadMwSum,
+            ga.overheadMwSum);
+    d.field("gating.saved16MwSum", ge.saved16MwSum, ga.saved16MwSum);
+    d.field("gating.saved33MwSum", ge.saved33MwSum, ga.saved33MwSum);
+
+    const PackingStats &pe = expected.packing, &pa = actual.packing;
+    d.field("packing.packedGroups", pe.packedGroups, pa.packedGroups);
+    d.field("packing.packedInsts", pe.packedInsts, pa.packedInsts);
+    d.field("packing.replaySpeculations", pe.replaySpeculations,
+            pa.replaySpeculations);
+    d.field("packing.replayTraps", pe.replayTraps, pa.replayTraps);
+    d.field("packing.packEligibleIssued", pe.packEligibleIssued,
+            pa.packEligibleIssued);
+
+    const BPredStats &be = expected.bpred, &ba = actual.bpred;
+    d.field("bpred.lookups", be.lookups, ba.lookups);
+    d.field("bpred.condLookups", be.condLookups, ba.condLookups);
+    d.field("bpred.condDirectionWrong", be.condDirectionWrong,
+            ba.condDirectionWrong);
+    d.field("bpred.targetWrong", be.targetWrong, ba.targetWrong);
+
+    const WidthProfilerSnapshot we = expected.profiler.snapshot();
+    const WidthProfilerSnapshot wa = actual.profiler.snapshot();
+    d.field("profiler.opCount", we.opCount, wa.opCount);
+    for (size_t i = 0; i < we.widthHist.size(); ++i) {
+        d.field("profiler.widthHist[" + std::to_string(i) + "]",
+                we.widthHist[i], wa.widthHist[i]);
+    }
+    for (size_t i = 0; i < we.narrow16ByCat.size(); ++i) {
+        d.field("profiler.narrow16ByCat[" + std::to_string(i) + "]",
+                we.narrow16ByCat[i], wa.narrow16ByCat[i]);
+    }
+    for (size_t i = 0; i < we.narrow33ByCat.size(); ++i) {
+        d.field("profiler.narrow33ByCat[" + std::to_string(i) + "]",
+                we.narrow33ByCat[i], wa.narrow33ByCat[i]);
+    }
+    d.field("profiler.pcWidthSeen.size", we.pcWidthSeen.size(),
+            wa.pcWidthSeen.size());
+    if (we.pcWidthSeen.size() == wa.pcWidthSeen.size()) {
+        for (size_t i = 0; i < we.pcWidthSeen.size(); ++i) {
+            char label[48];
+            std::snprintf(label, sizeof(label),
+                          "profiler.pcWidthSeen[0x%llx]",
+                          static_cast<unsigned long long>(
+                              we.pcWidthSeen[i].first));
+            d.field(label + std::string(".pc"), we.pcWidthSeen[i].first,
+                    wa.pcWidthSeen[i].first);
+            d.field(label + std::string(".bits"),
+                    static_cast<u64>(we.pcWidthSeen[i].second),
+                    static_cast<u64>(wa.pcWidthSeen[i].second));
+        }
+    }
+
+    d.field("l1dMissRate", expected.l1dMissRate, actual.l1dMissRate);
+    d.field("l1iMissRate", expected.l1iMissRate, actual.l1iMissRate);
+
+    const SampleSummary &se = expected.sample, &sa = actual.sample;
+    d.field("sample.sampled", static_cast<u64>(se.sampled),
+            static_cast<u64>(sa.sampled));
+    d.field("sample.intervals", se.intervals, sa.intervals);
+    d.field("sample.streamInsts", se.streamInsts, sa.streamInsts);
+    for (size_t m = 0; m < SampleSummary::kNumMetrics; ++m) {
+        const std::string p = "sample.metrics[" + std::to_string(m) +
+                              "].";
+        d.field(p + "mean", se.metrics[m].mean, sa.metrics[m].mean);
+        d.field(p + "cov", se.metrics[m].cov, sa.metrics[m].cov);
+        d.field(p + "ci95", se.metrics[m].ci95, sa.metrics[m].ci95);
+    }
+
+    return d.result();
+}
+
+} // namespace nwsim::test
+
+#endif // NWSIM_TESTS_STAT_DIFF_HH

@@ -1,0 +1,331 @@
+/**
+ * Decode-cache equivalence suite (src/func/decode_cache.hh,
+ * src/pipeline/fetch_cache.hh).
+ *
+ * The basic-block decode cache and the fetch-block decode cache must be
+ * pure host-side speedups: simulation semantics, timing, and every
+ * reported statistic must be identical with the caches on (the default)
+ * and off (`+nodecodecache`). This suite is the proof, diffed per named
+ * stat field (tests/stat_diff.hh):
+ *
+ *  - Grid stat-identity: every workload x a config grid covering all
+ *    packing modes, both issue widths, 8-wide decode, and perfect
+ *    prediction — cached vs uncached, every field compared by name.
+ *  - Deep-window identity: one long packing-replay run.
+ *  - Interpreter identity: FuncSim cached vs uncached retire the same
+ *    architected state, instruction count, and halt PC.
+ *  - Block boundaries: branching into the middle of a cached block,
+ *    backward-branch loop re-entry (with hit-rate assertions), and
+ *    wholesale invalidation when a new program image is loaded.
+ *  - Fuzz: 64 seeded nwfuzz programs agree cached vs uncached, and a
+ *    slice of them runs clean under the full check session (cosim
+ *    oracle + invariant checker), whose golden model is itself
+ *    decode-cached.
+ *  - Sampled seam: the drainInFlight -> fastForward handoff of sampled
+ *    runs produces byte-identical SampleSummary wire blobs with and
+ *    without the caches.
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/fuzz.hh"
+#include "check/session.hh"
+#include "exp/configs.hh"
+#include "exp/wire.hh"
+#include "func/decode_cache.hh"
+#include "func/func_sim.hh"
+#include "sample/controller.hh"
+#include "sim_test_util.hh"
+#include "stat_diff.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace nwsim;
+using test::buildProgram;
+using test::fastMemory;
+using test::statIdentical;
+
+/** Run @p prog under @p spec, optionally with the caches bypassed. */
+RunResult
+run(const Program &prog, const std::string &workload,
+    const std::string &spec, bool uncached, const RunOptions &opts)
+{
+    const CoreConfig cfg = exp::configBySpec(
+        uncached ? spec + "+nodecodecache" : spec);
+    return runProgram(prog, cfg, opts, workload, spec);
+}
+
+// ---- 1. Grid stat-identity ---------------------------------------------
+
+TEST(DecodeCache, GridStatIdentical)
+{
+    // Strict + replay packing, both issue widths, 8-wide decode, and
+    // perfect prediction (the latter exercises the oracle FuncSim in
+    // lockstep with fastForward): every consumer of the caches.
+    const std::vector<std::string> specs = {
+        "baseline",
+        "packing",
+        "packing-replay",
+        "issue8",
+        "packing-replay+decode8+perfect",
+    };
+    RunOptions opts;
+    opts.warmupInsts = 3000;
+    opts.measureInsts = 12000;
+
+    for (const Workload &w : allWorkloads()) {
+        const Program prog = w.program();
+        for (const std::string &spec : specs) {
+            SCOPED_TRACE(w.name + "/" + spec);
+            const RunResult cached =
+                run(prog, w.name, spec, false, opts);
+            const RunResult uncached =
+                run(prog, w.name, spec, true, opts);
+            EXPECT_TRUE(statIdentical(cached, uncached));
+            EXPECT_EQ(cached.warmupCommitted, uncached.warmupCommitted);
+            // The caches were actually in play on the cached side...
+            EXPECT_GT(cached.decodeCache.lookups, 0u);
+            // ...and actually bypassed on the uncached side.
+            EXPECT_EQ(uncached.decodeCache.lookups, 0u);
+        }
+    }
+}
+
+TEST(DecodeCache, DeepWindowStatIdentical)
+{
+    // One long run: deep enough to wrap every ring/wheel/bitmap many
+    // times, exercise replay traps at realistic density, and hit the
+    // fastForward warmup path with a fully chained block cache.
+    RunOptions opts;
+    opts.warmupInsts = 20000;
+    opts.measureInsts = 120000;
+    const Program prog = workloadByName("perl").program();
+    const RunResult cached =
+        run(prog, "perl", "packing-replay", false, opts);
+    const RunResult uncached =
+        run(prog, "perl", "packing-replay", true, opts);
+    EXPECT_TRUE(statIdentical(cached, uncached));
+    EXPECT_GT(cached.decodeCache.hitRate(), 0.95);
+}
+
+// ---- 2. Interpreter identity -------------------------------------------
+
+void
+expectFuncSimIdentical(const Program &prog, u64 max_steps)
+{
+    SparseMemory memCached, memUncached;
+    prog.load(memCached);
+    prog.load(memUncached);
+    FuncSim cached(memCached, prog.entry);
+    FuncSim uncached(memUncached, prog.entry, layout::stackTop,
+                     /*use_decode_cache=*/false);
+    cached.run(max_steps);
+    uncached.run(max_steps);
+
+    EXPECT_EQ(cached.pc(), uncached.pc());
+    EXPECT_EQ(cached.halted(), uncached.halted());
+    EXPECT_EQ(cached.instCount(), uncached.instCount());
+    for (unsigned r = 0; r < numIntRegs; ++r) {
+        const auto ri = static_cast<RegIndex>(r);
+        EXPECT_EQ(cached.reg(ri), uncached.reg(ri))
+            << "register r" << r;
+    }
+}
+
+TEST(DecodeCache, FuncSimIdenticalOnWorkloads)
+{
+    for (const char *wname : {"perl", "gsm-decode", "li"}) {
+        SCOPED_TRACE(wname);
+        expectFuncSimIdentical(workloadByName(wname).program(), 200000);
+    }
+}
+
+// ---- 3. Block-boundary edge cases --------------------------------------
+
+TEST(DecodeCache, BranchIntoMidBlockCreatesOverlappingBlock)
+{
+    // The fall-through path decodes one straight-line block; the
+    // backward branch then re-enters at its *middle*. Blocks are keyed
+    // by start PC, so the re-entry must decode a fresh, overlapping
+    // block rather than corrupt or split the first one.
+    const Program prog = buildProgram([](Assembler &as) {
+        as.li(1, 0);
+        as.li(2, 3); // outer trips
+        as.label("head");
+        as.addi(1, 1, 1); // block A starts here...
+        as.label("mid");
+        as.addi(1, 1, 16); // ...branch target lands here, mid-A
+        as.addi(1, 1, 256);
+        as.subi(2, 2, 1);
+        as.bne(2, "mid");
+        as.halt();
+    });
+    SparseMemory mem;
+    prog.load(mem);
+
+    DecodeCache dc(mem);
+    dc.refresh();
+    const DecodeCache::Block &a = dc.blockAt(prog.entry);
+    EXPECT_EQ(a.startPc, prog.entry);
+    ASSERT_GT(a.ops.size(), 3u);
+    // The branch terminator's taken target sits inside block A.
+    const Addr mid = a.ops.back().takenTarget;
+    ASSERT_GT(mid, a.startPc);
+    ASSERT_LT(mid, a.endPc());
+
+    const size_t before = dc.blockCount();
+    const DecodeCache::Block &m = dc.chainTaken(a);
+    EXPECT_EQ(m.startPc, mid);
+    EXPECT_EQ(dc.blockCount(), before + 1)
+        << "mid-block entry must create a new overlapping block";
+    // Overlap is real: both blocks decode the shared tail identically.
+    const size_t off = (mid - a.startPc) / 4;
+    ASSERT_EQ(a.ops.size() - off, m.ops.size());
+    for (size_t i = 0; i < m.ops.size(); ++i) {
+        EXPECT_EQ(a.ops[off + i].pc, m.ops[i].pc);
+        EXPECT_EQ(a.ops[off + i].inst.op, m.ops[i].inst.op);
+    }
+    // Block A is untouched by the overlap.
+    EXPECT_EQ(dc.blockAt(prog.entry).ops.size(), a.ops.size());
+
+    // And the program itself runs identically either way.
+    expectFuncSimIdentical(prog, 1000);
+}
+
+TEST(DecodeCache, LoopReentryHitsMemoizedChain)
+{
+    // A tight backward-branch loop: after the first trip every block
+    // transition must be served by the memoized seq/taken links.
+    const Program prog = buildProgram([](Assembler &as) {
+        as.li(1, 0);
+        as.li(2, 5000);
+        as.label("loop");
+        as.addi(1, 1, 3);
+        as.xori(3, 1, 0x55);
+        as.add(1, 1, 3);
+        as.subi(2, 2, 1);
+        as.bne(2, "loop");
+        as.halt();
+    });
+    SparseMemory mem;
+    prog.load(mem);
+    FuncSim sim(mem, prog.entry);
+    sim.run(100000);
+    EXPECT_TRUE(sim.halted());
+
+    const DecodeCacheStats &dc = sim.decodeCacheStats();
+    EXPECT_GT(dc.lookups, 4000u);
+    EXPECT_GT(dc.hitRate(), 0.99)
+        << "loop re-entry should be all memoized-chain hits";
+}
+
+TEST(DecodeCache, ProgramReloadInvalidates)
+{
+    const Program progA = buildProgram([](Assembler &as) {
+        as.xor_(1, 1, 1);
+        as.halt();
+    });
+    const Program progB = buildProgram([](Assembler &as) {
+        as.mul(2, 2, 2); // different op at the same PC
+        as.halt();
+    });
+    ASSERT_EQ(progA.entry, progB.entry);
+
+    SparseMemory mem;
+    DecodeCache dc(mem); // bound before any image exists
+    progA.load(mem);
+    EXPECT_TRUE(dc.refresh()) << "image load must bump the generation";
+    const Opcode opA = dc.blockAt(progA.entry).ops[0].inst.op;
+    EXPECT_FALSE(dc.refresh()) << "no reload, cache must stay valid";
+    EXPECT_GT(dc.blockCount(), 0u);
+
+    // Loading a new image over the same memory bumps the generation;
+    // the next refresh must drop every block and re-decode.
+    progB.load(mem);
+    EXPECT_TRUE(dc.refresh());
+    EXPECT_EQ(dc.blockCount(), 0u);
+    const Opcode opB = dc.blockAt(progB.entry).ops[0].inst.op;
+    EXPECT_NE(opA, opB) << "stale block survived the reload";
+}
+
+// ---- 4. Fuzzed programs ------------------------------------------------
+
+TEST(DecodeCache, FuzzSeedsIdenticalCachedVsUncached)
+{
+    // 64 seeded random programs (narrow-width/carry-boundary biased,
+    // data-dependent branches): the interpreters must agree on every
+    // architected register, the instruction count, and the halt PC.
+    for (u64 seed = 1; seed <= 64; ++seed) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        const FuzzCase fc = generateFuzzCase(seed);
+        const Program prog = materializeFuzzCase(fc);
+        expectFuncSimIdentical(prog, 4 * fuzzCaseInstCount(fc));
+    }
+}
+
+TEST(DecodeCache, FuzzSeedsCleanUnderCheckSession)
+{
+    // A slice of the seeds through the full check session: the cosim
+    // oracle (decode-cached golden model) and the invariant checker
+    // stay clean against the decode-cached detailed core.
+    const std::vector<FuzzConfig> matrix = {
+        {"baseline", exp::configBySpec("baseline")},
+        {"packing-replay", exp::configBySpec("packing-replay")},
+    };
+    for (u64 seed = 1; seed <= 8; ++seed) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        const FuzzCase fc = generateFuzzCase(seed);
+        const auto failure = runFuzzCase(fc, matrix);
+        EXPECT_FALSE(failure.has_value())
+            << failure->configName << ": " << failure->report;
+    }
+}
+
+// ---- 5. Sampled-run seam (drainInFlight -> fastForward) ----------------
+
+TEST(DecodeCache, SampledSummaryWireIdentical)
+{
+    // Sampled runs alternate detailed windows with fastForward streams
+    // — every interval crosses the drainInFlight -> fastForward seam.
+    // The interval schedule, the per-interval measurements, and hence
+    // the packed SampleSummary error bars must not depend on whether
+    // fastForward is decode-cached. Randomized-offset mode included:
+    // its offsets derive from the instruction stream positions the
+    // cached path must reproduce exactly.
+    const std::vector<std::string> specs = {
+        "baseline+sample=4000:500:1500",
+        "packing-replay+sample=4000:500:1500:rand:7",
+    };
+    RunOptions base;
+    base.warmupInsts = 3000;
+    base.measureInsts = 30000;
+
+    for (const char *wname : {"perl", "gsm-decode"}) {
+        const Program prog = workloadByName(wname).program();
+        for (const std::string &spec : specs) {
+            SCOPED_TRACE(std::string(wname) + "/" + spec);
+            RunOptions opts = base;
+            opts.sample = exp::sampleBySpec(spec);
+            ASSERT_TRUE(opts.sample.enabled);
+
+            const RunResult cached = sample::runSampledProgram(
+                prog, exp::configBySpec(spec), opts, wname, spec);
+            const RunResult uncached = sample::runSampledProgram(
+                prog, exp::configBySpec(spec + "+nodecodecache"), opts,
+                wname, spec);
+
+            EXPECT_TRUE(cached.sample.sampled);
+            EXPECT_GT(cached.sample.intervals, 3u);
+            EXPECT_EQ(exp::packSampleSummary(cached.sample),
+                      exp::packSampleSummary(uncached.sample));
+            EXPECT_TRUE(statIdentical(cached, uncached));
+        }
+    }
+}
+
+} // namespace

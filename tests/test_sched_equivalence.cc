@@ -1,21 +1,23 @@
 /**
- * Event-driven scheduler equivalence suite (docs/PERF.md).
+ * Event-driven scheduler invariant suite (docs/PERF.md).
  *
- * The scheduler rewrite (pipeline/sched.hh) must be a pure perf
- * optimization: every statistic and every architected result must be
- * bit-identical to the legacy O(window)-scan code it replaced, which is
- * kept behind CoreConfig::legacyScheduler for exactly this comparison.
+ * The scheduler rewrite (pipeline/sched.hh) replaced the original
+ * O(window)-scan loops; the scan implementation has since been retired
+ * entirely (its bit-identity was proven while both existed, and the
+ * decode-cache suite now carries the same A/B methodology against
+ * `+nodecodecache`). What remains here are the invariants that keep the
+ * event path honest on its own:
  *
- *  - Grid bit-identity: every workload x a config grid covering all
- *    packing modes, both issue widths, 8-wide decode, and perfect
- *    prediction, compared through the campaign wire format — one
- *    mismatched bit anywhere in the full stat block fails.
+ *  - Determinism: repeated runs of the same workload x config produce
+ *    field-identical statistics, diffed per named field
+ *    (tests/stat_diff.hh) so a regression reports *which* counter
+ *    drifted, not a byte offset.
  *  - Differential: a branchy, memory-carried program retires the exact
- *    golden-model architectural state under both schedulers.
- *  - Checkers: the cosim oracle + invariant checker stay clean on the
- *    event path.
- *  - Allocation-free steady state: tick() performs zero heap
- *    allocations once warm (counted via replaced global operator new).
+ *    golden-model architectural state.
+ *  - Checkers: the cosim oracle + invariant checker stay clean.
+ *  - Allocation-free steady state: neither tick() nor the decode-cached
+ *    fastForward loop performs heap allocations once warm (counted via
+ *    replaced global operator new).
  *  - Eager squash purge: pending completion events always equal the
  *    window's Issued-entry count, even across mispredict squashes, and
  *    drain to zero at halt.
@@ -29,12 +31,12 @@
 
 #include "check/session.hh"
 #include "exp/configs.hh"
-#include "exp/wire.hh"
 #include "pipeline/observer.hh"
 #include "sim_test_util.hh"
+#include "stat_diff.hh"
 #include "workloads/workload.hh"
 
-// ---- Global allocation counter (zero-alloc steady-state test) ----------
+// ---- Global allocation counter (zero-alloc steady-state tests) ---------
 
 namespace
 {
@@ -100,36 +102,15 @@ namespace
 using namespace nwsim;
 using test::buildProgram;
 using test::fastMemory;
+using test::statIdentical;
 
-/**
- * Run @p prog under @p spec (plus `+legacy` when asked) and serialize
- * the complete outcome — every CoreStats / packing / gating / width /
- * bpred field plus the architected result — through the byte-exact
- * campaign wire format. Both variants are labeled identically so the
- * blobs differ iff the simulation did.
- */
-std::string
-packedRun(const Program &prog, const std::string &workload,
-          const std::string &spec, bool legacy, const RunOptions &opts)
-{
-    const CoreConfig cfg =
-        exp::configBySpec(legacy ? spec + "+legacy" : spec);
-    exp::JobOutcome o;
-    o.workload = workload;
-    o.configSpec = spec;
-    o.ok = true;
-    o.status = exp::JobStatus::Ok;
-    o.attempts = 1;
-    o.result = runProgram(prog, cfg, opts, workload, spec);
-    return exp::packJobOutcome(o);
-}
+// ---- 1. Field-level determinism ----------------------------------------
 
-// ---- 1. Grid bit-identity ----------------------------------------------
-
-TEST(SchedEquivalence, GridBitIdentical)
+TEST(SchedEquivalence, GridDeterministicFieldIdentical)
 {
     // Strict + replay packing, both issue widths, 8-wide decode, and
     // perfect prediction: every scheduler code path the configs reach.
+    // Two independent runs per cell must agree on every named stat.
     const std::vector<std::string> specs = {
         "baseline",
         "packing",
@@ -141,32 +122,22 @@ TEST(SchedEquivalence, GridBitIdentical)
     opts.warmupInsts = 3000;
     opts.measureInsts = 12000;
 
-    for (const Workload &w : allWorkloads()) {
-        const Program prog = w.program();
+    for (const char *wname : {"perl", "gsm-decode"}) {
+        const Program prog = workloadByName(wname).program();
         for (const std::string &spec : specs) {
-            SCOPED_TRACE(w.name + "/" + spec);
-            const std::string event =
-                packedRun(prog, w.name, spec, false, opts);
-            const std::string legacy =
-                packedRun(prog, w.name, spec, true, opts);
-            EXPECT_EQ(event, legacy);
+            SCOPED_TRACE(std::string(wname) + "/" + spec);
+            const CoreConfig cfg = exp::configBySpec(spec);
+            const RunResult a =
+                runProgram(prog, cfg, opts, wname, spec);
+            const RunResult b =
+                runProgram(prog, cfg, opts, wname, spec);
+            EXPECT_TRUE(statIdentical(a, b));
+            EXPECT_EQ(a.warmupCommitted, b.warmupCommitted);
         }
     }
 }
 
-TEST(SchedEquivalence, DeepWindowBitIdentical)
-{
-    // One long run: deep enough to wrap every ring/wheel/bitmap many
-    // times and to exercise replay traps at realistic density.
-    RunOptions opts;
-    opts.warmupInsts = 20000;
-    opts.measureInsts = 120000;
-    const Program prog = workloadByName("perl").program();
-    EXPECT_EQ(packedRun(prog, "perl", "packing-replay", false, opts),
-              packedRun(prog, "perl", "packing-replay", true, opts));
-}
-
-// ---- 2. Differential vs the golden model, both schedulers --------------
+// ---- 2. Differential vs the golden model -------------------------------
 
 Program
 branchyMemProgram()
@@ -199,16 +170,13 @@ branchyMemProgram()
     });
 }
 
-TEST(SchedEquivalence, DifferentialBothSchedulers)
+TEST(SchedEquivalence, DifferentialGoldenModel)
 {
     const Program prog = branchyMemProgram();
-    for (const bool legacy : {false, true}) {
-        SCOPED_TRACE(legacy ? "legacy" : "event");
-        const CoreConfig cfg = fastMemory(exp::configBySpec(
-            legacy ? "packing-replay+legacy" : "packing-replay"));
-        test::CoreRun run = test::runDifferential(prog, cfg);
-        EXPECT_GT(run.core->stats().mispredictSquashes, 20u);
-    }
+    const CoreConfig cfg =
+        fastMemory(exp::configBySpec("packing-replay"));
+    test::CoreRun run = test::runDifferential(prog, cfg);
+    EXPECT_GT(run.core->stats().mispredictSquashes, 20u);
 }
 
 // ---- 3. Cosim oracle + invariant checker on the event path -------------
@@ -228,13 +196,14 @@ TEST(SchedEquivalence, CheckersCleanOnEventScheduler)
     }
 }
 
-// ---- 4. Zero heap allocations in steady-state tick() -------------------
+// ---- 4. Zero heap allocations in steady state --------------------------
 
-TEST(SchedEquivalence, SteadyStateTickDoesNotAllocate)
+Program
+steadyLoopProgram(i64 iterations)
 {
-    const Program prog = buildProgram([](Assembler &as) {
+    return buildProgram([iterations](Assembler &as) {
         as.li(1, 0x1234567);
-        as.li(2, 20000); // iterations (never reached; run() bounds us)
+        as.li(2, iterations);
         as.addi(10, 30, -256);
         as.label("loop");
         as.mul(3, 1, 1);
@@ -250,9 +219,15 @@ TEST(SchedEquivalence, SteadyStateTickDoesNotAllocate)
         as.bne(2, "loop");
         as.halt();
     });
+}
 
-    // Self-check the counter first: a fresh vector must register, or
-    // the zero-allocation assertion below would pass vacuously.
+/**
+ * Self-check the counter: a fresh vector must register, or the
+ * zero-allocation assertions would pass vacuously.
+ */
+void
+assertCounterLive()
+{
     allocCount.store(0);
     countAllocs.store(true);
     {
@@ -261,6 +236,12 @@ TEST(SchedEquivalence, SteadyStateTickDoesNotAllocate)
     }
     countAllocs.store(false);
     ASSERT_GT(allocCount.load(), 0u) << "operator new not intercepted";
+}
+
+TEST(SchedEquivalence, SteadyStateTickDoesNotAllocate)
+{
+    const Program prog = steadyLoopProgram(20000);
+    assertCounterLive();
 
     const CoreConfig cfg =
         fastMemory(exp::configBySpec("packing-replay"));
@@ -279,6 +260,47 @@ TEST(SchedEquivalence, SteadyStateTickDoesNotAllocate)
     countAllocs.store(false);
     EXPECT_EQ(allocCount.load(), 0u)
         << "tick() allocated in steady state";
+}
+
+TEST(SchedEquivalence, WarmFastForwardDoesNotAllocate)
+{
+    // Once the basic-block decode cache holds the loop, the threaded
+    // fastForward dispatch must run allocation-free: no block decodes,
+    // no hash growth, no per-instruction scratch.
+    const Program prog = steadyLoopProgram(20000);
+    assertCounterLive();
+
+    const CoreConfig cfg =
+        fastMemory(exp::configBySpec("packing-replay"));
+    ASSERT_TRUE(cfg.decodeCache);
+    SparseMemory mem;
+    prog.load(mem);
+    OutOfOrderCore core(cfg, mem, prog.entry);
+
+    // A fastForward call can end mid-block, and the *next* call then
+    // decodes one fresh block starting at that interior PC — a
+    // call-boundary artifact, not steady state. Chunks are a multiple
+    // of the loop-body length (11 instructions), so every call enters
+    // at the same loop offset and the second warm call pre-decodes the
+    // measured call's entry block.
+    constexpr u64 kChunk = 11 * 2000;
+    // Warm: decode the loop's blocks, memoize their chain links, touch
+    // every memory page and predictor table the loop reaches.
+    ASSERT_EQ(core.fastForward(kChunk), kChunk);
+    ASSERT_EQ(core.fastForward(kChunk), kChunk);
+
+    allocCount.store(0);
+    countAllocs.store(true);
+    const u64 measured = core.fastForward(kChunk);
+    countAllocs.store(false);
+    EXPECT_EQ(measured, kChunk);
+    EXPECT_EQ(allocCount.load(), 0u)
+        << "decode-cached fastForward allocated in steady state";
+
+    // And the warm loop really was served by the cache.
+    const DecodeCacheStats dc = core.decodeCacheStats();
+    EXPECT_GT(dc.lookups, 0u);
+    EXPECT_GT(dc.hitRate(), 0.99);
 }
 
 // ---- 5. Eager purge of squashed completion events ----------------------
@@ -324,30 +346,26 @@ TEST(SchedEquivalence, SquashPurgesPendingCompletions)
         as.halt();
     });
 
-    for (const bool legacy : {false, true}) {
-        SCOPED_TRACE(legacy ? "legacy" : "event");
-        const CoreConfig cfg = fastMemory(exp::configBySpec(
-            legacy ? "baseline+legacy" : "baseline"));
-        SparseMemory mem;
-        prog.load(mem);
-        OutOfOrderCore core(cfg, mem, prog.entry);
-        SquashProbe probe;
-        core.setObserver(&probe);
-        CoreInspector insp(core);
+    const CoreConfig cfg = fastMemory(exp::configBySpec("baseline"));
+    SparseMemory mem;
+    prog.load(mem);
+    OutOfOrderCore core(cfg, mem, prog.entry);
+    SquashProbe probe;
+    core.setObserver(&probe);
+    CoreInspector insp(core);
 
-        u64 guard = 0;
-        while (!core.done() && guard++ < 500000) {
-            core.tick();
-            // With lazy invalidation, events of squashed Issued entries
-            // would linger and pending would exceed the Issued count.
-            ASSERT_EQ(insp.pendingCompletions(), insp.issuedInWindow());
-        }
-        EXPECT_TRUE(core.done());
-        EXPECT_EQ(insp.pendingCompletions(), 0u);
-        EXPECT_GT(core.stats().mispredictSquashes, 20u);
-        EXPECT_GT(probe.issuedSquashed, 0u);
-        core.setObserver(nullptr);
+    u64 guard = 0;
+    while (!core.done() && guard++ < 500000) {
+        core.tick();
+        // With lazy invalidation, events of squashed Issued entries
+        // would linger and pending would exceed the Issued count.
+        ASSERT_EQ(insp.pendingCompletions(), insp.issuedInWindow());
     }
+    EXPECT_TRUE(core.done());
+    EXPECT_EQ(insp.pendingCompletions(), 0u);
+    EXPECT_GT(core.stats().mispredictSquashes, 20u);
+    EXPECT_GT(probe.issuedSquashed, 0u);
+    core.setObserver(nullptr);
 }
 
 } // namespace

@@ -10,15 +10,16 @@
  *
  *     nwsim bench [--suite smoke|all] [--workloads a,b] [--configs ...]
  *                 [--warmup N] [--measure N] [--jobs N] [--json FILE]
- *                 [--no-legacy] [--no-sample] [--sample-schedule P:W:M]
- *                 [--no-progress]
+ *                 [--no-uncached] [--no-sample]
+ *                 [--sample-schedule P:W:M] [--no-progress]
  *         Measure host-side simulation speed (docs/PERF.md): run the
- *         workload × config grid on the event-driven scheduler, the
- *         legacy +legacy scan path, and the sampled mode
- *         (docs/SAMPLING.md; effective KIPS = stream insts per wall
- *         second), print per-variant KIPS and the wall-clock speedup,
- *         and write BENCH_simspeed.json (--json overrides the path).
- *         Exits nonzero if any job fails or the measured KIPS is zero.
+ *         workload × config grid with the decode caches on (default),
+ *         with +nodecodecache, and in sampled mode (docs/SAMPLING.md;
+ *         effective KIPS = stream insts per wall second), print
+ *         per-variant KIPS, decode-cache hit rate, and the wall-clock
+ *         speedup, and write BENCH_simspeed.json (--json overrides the
+ *         path). Exits nonzero if any job fails or the measured KIPS
+ *         is zero.
  *
  * Options:
  *     --config SPEC     a full campaign config spec: base preset
@@ -80,7 +81,7 @@ usage()
         << "                 [--measure N] [--trace] [--csv] [--check]\n"
         << "       nwsim bench [--suite smoke|all] [--workloads a,b]\n"
         << "                 [--configs s1,s2] [--warmup N] [--measure N]\n"
-        << "                 [--jobs N] [--json FILE] [--no-legacy]\n"
+        << "                 [--jobs N] [--json FILE] [--no-uncached]\n"
         << "                 [--no-sample] [--sample-schedule P:W:M]\n"
         << "                 [--no-progress]\n";
     return exitcode::Usage;
@@ -253,8 +254,8 @@ benchMain(int argc, char **argv)
                 std::strtoul(next().c_str(), nullptr, 0));
         else if (arg == "--json")
             json_path = next();
-        else if (arg == "--no-legacy")
-            bopts.compareLegacy = false;
+        else if (arg == "--no-uncached")
+            bopts.compareUncached = false;
         else if (arg == "--no-sample")
             bopts.compareSampled = false;
         else if (arg == "--sample-schedule")
@@ -285,19 +286,22 @@ benchMain(int argc, char **argv)
     const exp::BenchReport report = exp::runSpeedBench(bopts);
     const exp::BenchAggregate ev = exp::benchAggregate(report.event);
 
-    std::cout << "event-driven scheduler: "
+    std::cout << "decode-cached (default): "
               << Table::num(ev.seconds, 2) << "s for "
               << Table::num(ev.committedKinsts, 0) << " kinsts = "
               << Table::num(ev.kips(), 0) << " KIPS ("
               << Table::num(ev.cyclesPerSecond() / 1e6, 2)
-              << " Mcycles/s)\n";
-    if (report.options.compareLegacy) {
-        const exp::BenchAggregate lg = exp::benchAggregate(report.legacy);
-        std::cout << "legacy scan scheduler:  "
-                  << Table::num(lg.seconds, 2) << "s for "
-                  << Table::num(lg.committedKinsts, 0) << " kinsts = "
-                  << Table::num(lg.kips(), 0) << " KIPS ("
-                  << Table::num(lg.cyclesPerSecond() / 1e6, 2)
+              << " Mcycles/s, "
+              << Table::num(100.0 * ev.decode.hitRate(), 1)
+              << "% decode hits)\n";
+    if (report.options.compareUncached) {
+        const exp::BenchAggregate un =
+            exp::benchAggregate(report.uncached);
+        std::cout << "uncached (+nodecodecache): "
+                  << Table::num(un.seconds, 2) << "s for "
+                  << Table::num(un.committedKinsts, 0) << " kinsts = "
+                  << Table::num(un.kips(), 0) << " KIPS ("
+                  << Table::num(un.cyclesPerSecond() / 1e6, 2)
                   << " Mcycles/s)\n"
                   << "speedup (wall-clock):   "
                   << Table::num(report.speedup(), 2) << "x\n";
