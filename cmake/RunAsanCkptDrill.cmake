@@ -1,0 +1,96 @@
+# Kill/resume checkpoint drill under AddressSanitizer (nested build).
+# Driven by ctest (see tests/CMakeLists.txt, labels `ckpt;sanitize`) as:
+#
+#   cmake -DSOURCE_DIR=... -DWORK_DIR=... -P RunAsanCkptDrill.cmake
+#
+# The hard variant of the round-trip smoke: the run is SIGKILLed (via
+# the NWSIM_CKPT_TEST_KILL_AT hook) right after a checkpoint lands — no
+# handler runs, no cleanup happens — and the rerun must recover from the
+# orphaned snapshot with statistics byte-identical to an uninterrupted
+# run. ASan instruments the checkpoint writer, the deserializer on the
+# resume path, and the core state injection for memory errors.
+#
+# Shares the instrumented build tree with the other asan_build-locked
+# drills (same nested build directory and cache).
+
+if(NOT SOURCE_DIR OR NOT WORK_DIR)
+    message(FATAL_ERROR "usage: cmake -DSOURCE_DIR=<repo> "
+                        "-DWORK_DIR=<scratch> -P RunAsanCkptDrill.cmake")
+endif()
+
+set(build_dir "${WORK_DIR}/asan-build")
+file(MAKE_DIRECTORY "${build_dir}")
+
+message(STATUS "ASan ckpt drill: configuring in ${build_dir}")
+execute_process(
+    COMMAND "${CMAKE_COMMAND}" -S "${SOURCE_DIR}" -B "${build_dir}"
+            -DNWSIM_SANITIZE=address
+            -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    RESULT_VARIABLE rc)
+if(rc)
+    message(FATAL_ERROR "ASan ckpt drill: configure failed (${rc})")
+endif()
+
+message(STATUS "ASan ckpt drill: building nwsim")
+execute_process(
+    COMMAND "${CMAKE_COMMAND}" --build "${build_dir}" --target nwsim
+            --parallel 4
+    RESULT_VARIABLE rc)
+if(rc)
+    message(FATAL_ERROR "ASan ckpt drill: build failed (${rc})")
+endif()
+
+set(nwsim "${build_dir}/tools/nwsim")
+set(scratch "${WORK_DIR}/asan_ckpt_drill")
+file(REMOVE_RECURSE "${scratch}")
+file(MAKE_DIRECTORY "${scratch}")
+
+set(run_args run perl --warmup 2000 --measure 10000 --ckpt-every 3000 --csv)
+
+message(STATUS "ASan ckpt drill: uninterrupted reference run")
+execute_process(
+    COMMAND "${nwsim}" ${run_args}
+    OUTPUT_FILE "${scratch}/reference.csv"
+    RESULT_VARIABLE rc)
+if(rc)
+    message(FATAL_ERROR "ASan ckpt drill: reference run failed (${rc})")
+endif()
+
+# SIGKILL is not interceptable: the process dies with no atexit, no
+# stack unwind, no ASan teardown — exactly the orphaned-snapshot case
+# the resume path must handle.
+message(STATUS "ASan ckpt drill: SIGKILL after the 6000-inst checkpoint")
+execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E env NWSIM_CKPT_TEST_KILL_AT=6000
+            "${nwsim}" ${run_args} --ckpt-dir "${scratch}/ckpts"
+    OUTPUT_FILE "${scratch}/killed.csv"
+    RESULT_VARIABLE rc)
+if(rc EQUAL 0)
+    message(FATAL_ERROR "ASan ckpt drill: kill run exited 0 — the "
+                        "SIGKILL hook never fired")
+endif()
+
+file(GLOB snapshots "${scratch}/ckpts/*.nwck")
+if(NOT snapshots)
+    message(FATAL_ERROR "ASan ckpt drill: SIGKILL left no durable "
+                        ".nwck snapshot in ${scratch}/ckpts")
+endif()
+
+message(STATUS "ASan ckpt drill: resuming from the orphaned snapshot")
+execute_process(
+    COMMAND "${nwsim}" ${run_args} --ckpt-dir "${scratch}/ckpts"
+    OUTPUT_FILE "${scratch}/resumed.csv"
+    RESULT_VARIABLE rc)
+if(rc)
+    message(FATAL_ERROR "ASan ckpt drill: resumed run failed (${rc})")
+endif()
+
+execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E compare_files
+            "${scratch}/reference.csv" "${scratch}/resumed.csv"
+    RESULT_VARIABLE rc)
+if(rc)
+    message(FATAL_ERROR "ASan ckpt drill: resumed statistics differ "
+                        "from the uninterrupted reference")
+endif()
+message(STATUS "ASan ckpt drill: clean")

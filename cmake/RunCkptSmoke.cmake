@@ -1,0 +1,76 @@
+# Checkpoint/restore round-trip smoke (docs/CHECKPOINT.md). Driven by
+# ctest (see tests/CMakeLists.txt, labels `ckpt;robustness`) as:
+#
+#   cmake -DNWSIM=<nwsim binary> -DWORK_DIR=<scratch> -P RunCkptSmoke.cmake
+#
+# The drill exercises the whole interrupt/resume loop at the CLI level:
+#
+#   1. Reference run with a checkpoint cadence but no --ckpt-dir.
+#   2. The same run with --ckpt-dir, interrupted mid-simulation via the
+#      NWSIM_CKPT_TEST_STOP_AT hook — must exit with status 9
+#      (interrupted) and leave a durable .nwck snapshot behind.
+#   3. Rerun of the identical command — must resume from the snapshot,
+#      finish with CSV statistics byte-identical to the reference, and
+#      unlink the consumed checkpoint.
+
+if(NOT NWSIM OR NOT WORK_DIR)
+    message(FATAL_ERROR "usage: cmake -DNWSIM=<binary> "
+                        "-DWORK_DIR=<scratch> -P RunCkptSmoke.cmake")
+endif()
+
+set(scratch "${WORK_DIR}/ckpt_smoke")
+file(REMOVE_RECURSE "${scratch}")
+file(MAKE_DIRECTORY "${scratch}")
+
+set(run_args run perl --warmup 2000 --measure 10000 --ckpt-every 3000 --csv)
+
+message(STATUS "ckpt smoke: uninterrupted reference run")
+execute_process(
+    COMMAND "${NWSIM}" ${run_args}
+    OUTPUT_FILE "${scratch}/reference.csv"
+    RESULT_VARIABLE rc)
+if(rc)
+    message(FATAL_ERROR "ckpt smoke: reference run failed (${rc})")
+endif()
+
+message(STATUS "ckpt smoke: interrupting at instruction 6000")
+execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E env NWSIM_CKPT_TEST_STOP_AT=6000
+            "${NWSIM}" ${run_args} --ckpt-dir "${scratch}/ckpts"
+    OUTPUT_FILE "${scratch}/interrupted.csv"
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 9)
+    message(FATAL_ERROR "ckpt smoke: interrupted run exited ${rc}, "
+                        "want 9 (exitcode::Interrupted)")
+endif()
+
+file(GLOB snapshots "${scratch}/ckpts/*.nwck")
+if(NOT snapshots)
+    message(FATAL_ERROR "ckpt smoke: interrupt left no .nwck snapshot "
+                        "in ${scratch}/ckpts")
+endif()
+
+message(STATUS "ckpt smoke: resuming from the snapshot")
+execute_process(
+    COMMAND "${NWSIM}" ${run_args} --ckpt-dir "${scratch}/ckpts"
+    OUTPUT_FILE "${scratch}/resumed.csv"
+    RESULT_VARIABLE rc)
+if(rc)
+    message(FATAL_ERROR "ckpt smoke: resumed run failed (${rc})")
+endif()
+
+execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E compare_files
+            "${scratch}/reference.csv" "${scratch}/resumed.csv"
+    RESULT_VARIABLE rc)
+if(rc)
+    message(FATAL_ERROR "ckpt smoke: resumed statistics differ from the "
+                        "uninterrupted reference")
+endif()
+
+file(GLOB leftovers "${scratch}/ckpts/*.nwck")
+if(leftovers)
+    message(FATAL_ERROR "ckpt smoke: consumed checkpoint not unlinked: "
+                        "${leftovers}")
+endif()
+message(STATUS "ckpt smoke: resumed run bit-identical, snapshot consumed")

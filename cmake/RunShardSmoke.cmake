@@ -1,0 +1,46 @@
+# Shard-invariance smoke (docs/CHECKPOINT.md "Sharded sampled runs").
+# Driven by ctest (see tests/CMakeLists.txt, label `ckpt`) as:
+#
+#   cmake -DNWSWEEP=<nwsweep binary> -DWORK_DIR=<scratch> -P RunShardSmoke.cmake
+#
+# The same sampled smoke sweep with --shard 1 and --shard 3: the planner
+# fast-forwards the functional stream once per job, fans the sample
+# periods across shard jobs, and the driver merges the shards back —
+# the merged --json-no-timing documents must be byte-identical for
+# every shard count (the canonical interval-order float fold in
+# SampleAggregator::aggregate is what makes this exact, not merely
+# close).
+
+if(NOT NWSWEEP OR NOT WORK_DIR)
+    message(FATAL_ERROR "usage: cmake -DNWSWEEP=<binary> "
+                        "-DWORK_DIR=<scratch> -P RunShardSmoke.cmake")
+endif()
+
+set(scratch "${WORK_DIR}/shard_smoke")
+file(REMOVE_RECURSE "${scratch}")
+file(MAKE_DIRECTORY "${scratch}")
+
+set(sweep_args --suite smoke --jobs 4 --no-progress --json-no-timing
+    --configs "baseline+sample=4000:500:1500")
+
+foreach(k 1 3)
+    message(STATUS "shard smoke: sweeping with --shard ${k}")
+    execute_process(
+        COMMAND "${NWSWEEP}" ${sweep_args} --shard ${k}
+                --json "${scratch}/shard${k}.json"
+        RESULT_VARIABLE rc)
+    if(rc)
+        message(FATAL_ERROR "shard smoke: --shard ${k} sweep "
+                            "failed (${rc})")
+    endif()
+endforeach()
+
+execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E compare_files
+            "${scratch}/shard1.json" "${scratch}/shard3.json"
+    RESULT_VARIABLE rc)
+if(rc)
+    message(FATAL_ERROR "shard smoke: merged statistics depend on the "
+                        "shard count (shard1.json != shard3.json)")
+endif()
+message(STATUS "shard smoke: merged sweeps byte-identical across K")

@@ -9,6 +9,7 @@
 #include <optional>
 #include <vector>
 
+#include "ckpt/serial.hh"
 #include "common/types.hh"
 
 namespace nwsim
@@ -25,6 +26,55 @@ class Btb
 
     /** Record/refresh the target of the branch at @p pc. */
     void update(Addr pc, Addr target);
+
+    /** Serialize the replacement clock and every valid entry. */
+    void
+    saveState(ckpt::ByteSink &sink) const
+    {
+        sink.u64v(useClock);
+        u64 valid = 0;
+        for (const auto &set : sets)
+            for (const Entry &e : set)
+                valid += e.valid ? 1 : 0;
+        sink.u64v(valid);
+        for (u32 si = 0; si < sets.size(); ++si) {
+            for (u32 way = 0; way < sets[si].size(); ++way) {
+                const Entry &e = sets[si][way];
+                if (!e.valid)
+                    continue;
+                sink.u32v(si);
+                sink.u32v(way);
+                sink.u64v(e.tag);
+                sink.u64v(e.target);
+                sink.u64v(e.lastUse);
+            }
+        }
+    }
+
+    /** Restore saveState() data; false on malformed input. */
+    bool
+    loadState(ckpt::ByteSource &src)
+    {
+        u64 clock = 0, valid = 0;
+        if (!src.u64v(clock) || !src.u64v(valid))
+            return false;
+        for (auto &set : sets)
+            for (Entry &e : set)
+                e = Entry{};
+        for (u64 i = 0; i < valid; ++i) {
+            u32 si = 0, way = 0;
+            u64 tag = 0, target = 0, last_use = 0;
+            if (!src.u32v(si) || !src.u32v(way) || !src.u64v(tag) ||
+                !src.u64v(target) || !src.u64v(last_use)) {
+                return false;
+            }
+            if (si >= sets.size() || way >= sets[si].size())
+                return false;
+            sets[si][way] = Entry{tag, target, true, last_use};
+        }
+        useClock = clock;
+        return true;
+    }
 
   private:
     struct Entry

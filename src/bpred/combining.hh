@@ -118,6 +118,87 @@ class CombiningPredictor
     const BPredStats &stats() const { return stat; }
     u64 globalHistory() const { return ghist; }
 
+    /** Serialize stats, histories, counters, BTB, and RAS. */
+    void
+    saveState(ckpt::ByteSink &sink) const
+    {
+        sink.u64v(stat.lookups);
+        sink.u64v(stat.condLookups);
+        sink.u64v(stat.condDirectionWrong);
+        sink.u64v(stat.targetWrong);
+        sink.u64v(ghist);
+        auto table8 = [&sink](const std::vector<u8> &t) {
+            sink.u64v(t.size());
+            for (u8 v : t)
+                sink.u8v(v);
+        };
+        table8(selector);
+        table8(globalPred);
+        sink.u64v(localHist.size());
+        for (u16 v : localHist)
+            sink.u32v(v);
+        table8(localPred);
+        sink.boolv(lastLocalTaken);
+        sink.boolv(lastGlobalTaken);
+        btb.saveState(sink);
+        ras.saveState(sink);
+    }
+
+    /** Restore saveState() data; false on malformed input. */
+    bool
+    loadState(ckpt::ByteSource &src)
+    {
+        BPredStats st;
+        if (!src.u64v(st.lookups) || !src.u64v(st.condLookups) ||
+            !src.u64v(st.condDirectionWrong) ||
+            !src.u64v(st.targetWrong)) {
+            return false;
+        }
+        u64 hist = 0;
+        if (!src.u64v(hist))
+            return false;
+        auto table8 = [&src](std::vector<u8> &t) {
+            u64 count = 0;
+            if (!src.u64v(count) || count != t.size())
+                return false;
+            for (u8 &v : t) {
+                if (!src.u8v(v))
+                    return false;
+            }
+            return true;
+        };
+        std::vector<u8> sel = selector, glob = globalPred,
+                        local = localPred;
+        std::vector<u16> lhist(localHist.size());
+        if (!table8(sel) || !table8(glob))
+            return false;
+        u64 count = 0;
+        if (!src.u64v(count) || count != lhist.size())
+            return false;
+        for (u16 &v : lhist) {
+            u32 x = 0;
+            if (!src.u32v(x) || x > 0xffff)
+                return false;
+            v = static_cast<u16>(x);
+        }
+        if (!table8(local))
+            return false;
+        bool last_local = false, last_global = false;
+        if (!src.boolv(last_local) || !src.boolv(last_global))
+            return false;
+        if (!btb.loadState(src) || !ras.loadState(src))
+            return false;
+        stat = st;
+        ghist = hist;
+        selector = std::move(sel);
+        globalPred = std::move(glob);
+        localHist = std::move(lhist);
+        localPred = std::move(local);
+        lastLocalTaken = last_local;
+        lastGlobalTaken = last_global;
+        return true;
+    }
+
   private:
     bool predictDirection(Addr pc);
     void trainDirection(Addr pc, u64 hist_at_predict, bool taken);

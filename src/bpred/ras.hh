@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "ckpt/serial.hh"
 #include "common/types.hh"
 
 namespace nwsim
@@ -32,6 +33,36 @@ class Ras
 
     void push(Addr return_addr);
     Addr pop();
+
+    /** Serialize the full stack + top index (checkpointing). */
+    void
+    saveState(ckpt::ByteSink &sink) const
+    {
+        sink.u64v(stack.size());
+        for (Addr a : stack)
+            sink.u64v(a);
+        sink.u32v(topIndex);
+    }
+
+    /** Restore saveState() data; false on malformed input. */
+    bool
+    loadState(ckpt::ByteSource &src)
+    {
+        u64 count = 0;
+        if (!src.u64v(count) || count != stack.size())
+            return false;
+        std::vector<Addr> loaded(stack.size());
+        for (Addr &a : loaded) {
+            if (!src.u64v(a))
+                return false;
+        }
+        u32 top = 0;
+        if (!src.u32v(top) || top >= stack.size())
+            return false;
+        stack = std::move(loaded);
+        topIndex = top;
+        return true;
+    }
 
   private:
     std::vector<Addr> stack;

@@ -1,0 +1,214 @@
+#include "ckpt/checkpoint.hh"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace nwsim::ckpt
+{
+
+const char *
+ckptKindName(CkptKind kind)
+{
+    switch (kind) {
+    case CkptKind::Full:
+        return "full";
+    case CkptKind::Functional:
+        return "functional";
+    }
+    return "?";
+}
+
+namespace
+{
+
+void
+packMeta(ByteSink &s, const CheckpointMeta &meta)
+{
+    s.str(meta.workload);
+    s.str(meta.configSpec);
+    s.u8v(static_cast<u8>(meta.kind));
+    s.u64v(meta.position);
+}
+
+bool
+unpackMeta(ByteSource &s, CheckpointMeta &meta)
+{
+    u8 kind8 = 0;
+    if (!s.str(meta.workload) || !s.str(meta.configSpec) ||
+        !s.u8v(kind8) || !s.u64v(meta.position)) {
+        return false;
+    }
+    if (kind8 > static_cast<u8>(CkptKind::Functional))
+        return false;
+    meta.kind = static_cast<CkptKind>(kind8);
+    return true;
+}
+
+/** Read a whole file; false with errno-style message on failure. */
+bool
+slurp(const std::string &path, std::string &out, std::string &error)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+        error = std::strerror(errno);
+        return false;
+    }
+    out.clear();
+    char buf[1 << 16];
+    for (;;) {
+        const ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            error = std::strerror(errno);
+            ::close(fd);
+            return false;
+        }
+        if (n == 0)
+            break;
+        out.append(buf, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return true;
+}
+
+WireError
+parseCheckpoint(std::string_view file, CheckpointMeta &meta,
+                std::string &payload)
+{
+    ByteSource s(file);
+    if (const WireError err = s.header(kCkptMagic, kCkptVersion);
+        err != WireError::None) {
+        return err;
+    }
+    u64 len = 0;
+    if (!s.u64v(len))
+        return WireError::Truncated;
+    std::string_view body;
+    if (!s.take(len, body))
+        return WireError::Truncated;
+    u64 sum = 0;
+    if (!s.u64v(sum))
+        return WireError::Truncated;
+    if (!s.exhausted())
+        return WireError::Corrupt; // trailing garbage
+    if (fnv1a64(body) != sum)
+        return WireError::Corrupt;
+
+    ByteSource b(body);
+    if (!unpackMeta(b, meta))
+        return WireError::Corrupt;
+    payload.assign(b.rest());
+    return WireError::None;
+}
+
+} // namespace
+
+bool
+writeCheckpointFile(const std::string &path, const CheckpointMeta &meta,
+                    std::string_view payload, std::string &error)
+{
+    ByteSink body;
+    packMeta(body, meta);
+    body.raw(payload);
+    const std::string body_bytes = body.take();
+
+    ByteSink file;
+    file.magic(kCkptMagic);
+    file.u8v(kCkptVersion);
+    file.u64v(body_bytes.size());
+    file.raw(body_bytes);
+    file.u64v(fnv1a64(body_bytes));
+    const std::string bytes = file.take();
+
+    const std::string tmp = path + ".tmp";
+    const int fd =
+        ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+               0644);
+    if (fd < 0) {
+        error = tmp + ": " + std::strerror(errno);
+        return false;
+    }
+    size_t off = 0;
+    while (off < bytes.size()) {
+        const ssize_t n =
+            ::write(fd, bytes.data() + off, bytes.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            error = tmp + ": " + std::strerror(errno);
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            return false;
+        }
+        off += static_cast<size_t>(n);
+    }
+    // fsync before rename: the rename must never land before the data,
+    // or a crash between them leaves a durable-looking torn file.
+    if (::fsync(fd) != 0 || ::close(fd) != 0) {
+        error = tmp + ": " + std::strerror(errno);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        error = path + ": " + std::strerror(errno);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+WireError
+readCheckpointFile(const std::string &path, CheckpointMeta &meta,
+                   std::string &payload)
+{
+    std::string file, error;
+    if (!slurp(path, file, error))
+        return WireError::Truncated;
+    return parseCheckpoint(file, meta, payload);
+}
+
+WireError
+probeCheckpoint(const std::string &path, CheckpointMeta &meta)
+{
+    std::string payload;
+    return readCheckpointFile(path, meta, payload);
+}
+
+bool
+checkpointExists(const std::string &path)
+{
+    struct stat st{};
+    return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+namespace
+{
+volatile sig_atomic_t interruptFlag = 0;
+} // namespace
+
+void
+requestInterrupt()
+{
+    interruptFlag = 1;
+}
+
+bool
+interruptRequested()
+{
+    return interruptFlag != 0;
+}
+
+void
+clearInterrupt()
+{
+    interruptFlag = 0;
+}
+
+} // namespace nwsim::ckpt

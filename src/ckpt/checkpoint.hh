@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Checkpoint file format and durability (docs/CHECKPOINT.md).
+ *
+ * A checkpoint is one file:
+ *
+ *   "NWCK" | version u8 | payload-length u64 | payload | fnv1a64 u64
+ *
+ * The payload opens with a CheckpointMeta — which workload/config-spec
+ * the state belongs to, what kind of state it is, and the stream
+ * position (retired instructions) it captures — followed by the
+ * machine-state blob (OutOfOrderCore::saveState or FuncSim + memory for
+ * functional shard checkpoints, plus the runner's own cursors).
+ *
+ * Durability rules:
+ *  - writes go to "<path>.tmp", fsync, then rename(2): a reader never
+ *    sees a half-written file, no matter when the writer is SIGKILLed;
+ *  - reads verify magic, version, framing, and checksum before any
+ *    payload field is parsed, and classify every malformed file as a
+ *    WireError — a torn or bit-flipped checkpoint is a diagnosed
+ *    "start fresh", never undefined behavior;
+ *  - restores additionally refuse a checkpoint whose meta does not
+ *    match the job about to run (wrong workload or config spec).
+ */
+
+#ifndef NWSIM_CKPT_CHECKPOINT_HH
+#define NWSIM_CKPT_CHECKPOINT_HH
+
+#include <string>
+#include <string_view>
+
+#include "ckpt/serial.hh"
+
+namespace nwsim::ckpt
+{
+
+/** Checkpoint file magic. */
+inline constexpr char kCkptMagic[5] = "NWCK";
+
+/** Checkpoint format generation; bump on any layout change. */
+inline constexpr u8 kCkptVersion = 1;
+
+/**
+ * Default checkpoint cadence (retired instructions between writes) when
+ * a job enables checkpointing without an explicit `+ckpt=N`. At typical
+ * simulation speeds this is seconds of progress per write, keeping the
+ * write overhead well under the documented 5% budget.
+ */
+inline constexpr u64 kDefaultCkptEvery = 1000000;
+
+/** What machine state a checkpoint payload carries. */
+enum class CkptKind : u8
+{
+    /** Full detailed-core state (OutOfOrderCore::saveState). */
+    Full = 0,
+    /** Functional stream state only (shard planner checkpoints). */
+    Functional = 1,
+};
+
+/** Printable kind name ("full" / "functional"). */
+const char *ckptKindName(CkptKind kind);
+
+/**
+ * Identity and position of a checkpoint: enough to decide whether the
+ * file may seed a given job, and where that job resumes.
+ */
+struct CheckpointMeta
+{
+    std::string workload;
+    std::string configSpec;
+    CkptKind kind = CkptKind::Full;
+    /**
+     * Stream position in retired instructions: warmup-consumed plus
+     * measured-committed for detailed runs, functional instructions
+     * executed for sampled/shard runs.
+     */
+    u64 position = 0;
+
+    bool
+    matches(const std::string &wl, const std::string &spec) const
+    {
+        return workload == wl && configSpec == spec;
+    }
+};
+
+/**
+ * Atomically write a checkpoint file: meta + @p payload framed,
+ * checksummed, written to "<path>.tmp", fsynced, renamed onto @p path.
+ * Returns false (leaving any previous checkpoint at @p path intact) if
+ * any filesystem step fails; @p error then holds a diagnostic.
+ */
+bool writeCheckpointFile(const std::string &path,
+                         const CheckpointMeta &meta,
+                         std::string_view payload, std::string &error);
+
+/**
+ * Read and verify a checkpoint file. On WireError::None, @p meta and
+ * @p payload hold the decoded contents. Classification:
+ *  - Truncated: unreadable/short file or framing underrun (torn write
+ *    that escaped the tmp+rename discipline, e.g. a copied partial);
+ *  - BadMagic / VersionMismatch: not a checkpoint / other generation;
+ *  - Corrupt: framing intact but checksum or meta fields invalid.
+ */
+WireError readCheckpointFile(const std::string &path,
+                             CheckpointMeta &meta, std::string &payload);
+
+/**
+ * Cheap existence + header probe: decode just the meta (full checksum
+ * still verified — checkpoints are small). Used by the crash/timeout
+ * classifier to stamp checkpoint provenance on a dead job's outcome.
+ */
+WireError probeCheckpoint(const std::string &path, CheckpointMeta &meta);
+
+/** True if a regular file exists at @p path. */
+bool checkpointExists(const std::string &path);
+
+// ---- Graceful-shutdown interrupt flag ---------------------------------
+//
+// SIGTERM handlers set this (async-signal-safe); checkpointed runners
+// poll it at checkpoint-safe points, write a final checkpoint, and
+// throw InterruptedError. Process-global on purpose: one flag per
+// (single-job) worker child.
+
+/** Request an interrupt (async-signal-safe; callable from a handler). */
+void requestInterrupt();
+
+/** True once requestInterrupt() has been called. */
+bool interruptRequested();
+
+/** Reset the flag (test isolation; start of a new in-process run). */
+void clearInterrupt();
+
+} // namespace nwsim::ckpt
+
+#endif // NWSIM_CKPT_CHECKPOINT_HH

@@ -1,0 +1,481 @@
+#include "ckpt/run.hh"
+
+#include <algorithm>
+#include <csignal>
+#include <cstdlib>
+
+#include <unistd.h>
+
+#include "common/error.hh"
+#include "common/logging.hh"
+#include "func/func_sim.hh"
+#include "mem/cache.hh"
+#include "pipeline/core.hh"
+#include "sample/controller.hh"
+
+namespace nwsim::ckpt
+{
+
+namespace
+{
+
+/** Payload discriminator after the meta (detailed vs sampled state). */
+constexpr u8 kPayloadDetailed = 0;
+constexpr u8 kPayloadSampled = 1;
+
+/**
+ * Deterministic kill/stop injection for the robustness tests:
+ *  - NWSIM_CKPT_TEST_KILL_AT=N  raise(SIGKILL) at the first safe point
+ *    at or past stream position N (after the checkpoint write, so a
+ *    durable checkpoint exists to resume from);
+ *  - NWSIM_CKPT_TEST_STOP_AT=N  requestInterrupt() there instead (the
+ *    graceful path: final checkpoint + InterruptedError).
+ * Both fire only when the run *crosses* the threshold — a restored run
+ * that starts at or past N does not re-fire.
+ */
+struct TestHooks
+{
+    u64 stopAt = 0;
+    u64 killAt = 0;
+};
+
+TestHooks
+readTestHooks()
+{
+    TestHooks t;
+    if (const char *v = std::getenv("NWSIM_CKPT_TEST_STOP_AT"))
+        t.stopAt = std::strtoull(v, nullptr, 0);
+    if (const char *v = std::getenv("NWSIM_CKPT_TEST_KILL_AT"))
+        t.killAt = std::strtoull(v, nullptr, 0);
+    return t;
+}
+
+bool
+crossed(u64 threshold, u64 start_position, u64 position)
+{
+    return threshold != 0 && start_position < threshold &&
+           threshold <= position;
+}
+
+void
+fireTestHooks(const TestHooks &t, u64 start_position, u64 position)
+{
+    if (crossed(t.killAt, start_position, position))
+        ::raise(SIGKILL);
+    if (crossed(t.stopAt, start_position, position))
+        requestInterrupt();
+}
+
+bool
+writeJobCkpt(const CkptRunPolicy &policy, u64 position,
+             std::string_view payload)
+{
+    if (policy.path.empty())
+        return false;
+    CheckpointMeta meta;
+    meta.workload = policy.workload;
+    meta.configSpec = policy.configSpec;
+    meta.kind = CkptKind::Full;
+    meta.position = position;
+    std::string error;
+    if (!writeCheckpointFile(policy.path, meta, payload, error)) {
+        // Non-fatal: the run continues, it just can't resume from here.
+        NWSIM_WARN("checkpoint write failed: ", error);
+        return false;
+    }
+    return true;
+}
+
+/**
+ * Load and validate the job's checkpoint payload, if any. A missing
+ * file is a silent fresh start; a torn/corrupt/mismatched one is
+ * diagnosed and ignored (fresh start) — never an error, so a damaged
+ * checkpoint can only cost progress, not the job.
+ */
+bool
+readJobCkpt(const CkptRunPolicy &policy, std::string &payload)
+{
+    if (policy.path.empty() || !checkpointExists(policy.path))
+        return false;
+    CheckpointMeta meta;
+    const WireError err = readCheckpointFile(policy.path, meta, payload);
+    if (err != WireError::None) {
+        NWSIM_WARN("ignoring checkpoint ", policy.path, " (",
+                   wireErrorName(err), "); starting fresh");
+        return false;
+    }
+    if (meta.kind != CkptKind::Full ||
+        !meta.matches(policy.workload, policy.configSpec)) {
+        NWSIM_WARN("ignoring checkpoint ", policy.path, " for ",
+                   meta.workload, "/", meta.configSpec, " (job is ",
+                   policy.workload, "/", policy.configSpec,
+                   "); starting fresh");
+        return false;
+    }
+    return true;
+}
+
+double
+deltaMissRate(const CacheStats &before, const CacheStats &after)
+{
+    const u64 accesses = after.accesses - before.accesses;
+    const u64 misses = after.misses - before.misses;
+    return accesses ? static_cast<double>(misses) /
+                          static_cast<double>(accesses)
+                    : 0.0;
+}
+
+/**
+ * Detailed-mode checkpointed run. `+ckpt=N` defines the cadence as part
+ * of the run's semantics: the measurement window executes in N-retired-
+ * instruction chunks with a pipeline drain at every interior cadence
+ * boundary, whether or not a checkpoint file is configured and whether
+ * or not the run was ever interrupted. Any two runs of the same spec —
+ * uninterrupted, or killed and resumed any number of times — therefore
+ * drain and chunk at identical stream positions, which is what makes
+ * their results bit-identical under tests/stat_diff.hh.
+ */
+RunResult
+runDetailedCheckpointed(const Program &program, const CoreConfig &config,
+                        const RunOptions &opts, const std::string &name,
+                        const std::string &config_name,
+                        const CkptRunPolicy &policy,
+                        CoreObserver *observer)
+{
+    const u64 cadence = policy.everyInsts;
+    SparseMemory memory;
+    program.load(memory);
+    OutOfOrderCore core(config, memory, program.entry);
+
+    bool in_measure = false;
+    u64 warmup_committed = 0;
+    u64 measured = 0;
+
+    std::string payload;
+    if (readJobCkpt(policy, payload)) {
+        ByteSource src(payload);
+        u8 mode = 0;
+        if (!src.u8v(mode) || mode != kPayloadDetailed ||
+            !src.boolv(in_measure) || !src.u64v(warmup_committed) ||
+            !src.u64v(measured) || !core.loadState(src) ||
+            !src.exhausted()) {
+            // The checksum passed, so this is not disk corruption: the
+            // file disagrees with the code reading it.
+            NWSIM_PANIC("checkpoint ", policy.path,
+                        " passed its checksum but failed to parse");
+        }
+        NWSIM_WARN("resuming ", name, " from checkpoint at position ",
+                   warmup_committed + measured);
+    }
+    if (observer)
+        core.setObserver(observer);
+
+    const TestHooks hooks = readTestHooks();
+    const u64 start_position = warmup_committed + measured;
+    u64 position = start_position;
+    u64 next_ckpt = (position / cadence + 1) * cadence;
+
+    const auto safePoint = [&]() {
+        ByteSink sink;
+        sink.u8v(kPayloadDetailed);
+        sink.boolv(in_measure);
+        sink.u64v(warmup_committed);
+        sink.u64v(measured);
+        core.saveState(sink);
+        writeJobCkpt(policy, position, sink.take());
+        fireTestHooks(hooks, start_position, position);
+        if (interruptRequested())
+            throw InterruptedError(policy.path, position);
+    };
+
+    if (!in_measure) {
+        while (warmup_committed < opts.warmupInsts && !core.done()) {
+            const u64 chunk = std::min(
+                opts.warmupInsts - warmup_committed, next_ckpt - position);
+            const u64 got = opts.fastWarmup ? core.fastForward(chunk)
+                                            : core.run(chunk);
+            warmup_committed += got;
+            position += got;
+            if (got < chunk)
+                break;  // reached HALT (or stopped short)
+            if (position == next_ckpt) {
+                if (!opts.fastWarmup)
+                    core.drainInFlight();
+                safePoint();
+                next_ckpt += cadence;
+            }
+        }
+        if (core.done()) {
+            NWSIM_WARN("workload ", name, " halted during warmup (",
+                       warmup_committed, " insts); measuring anyway");
+        }
+        core.resetStats();
+        in_measure = true;
+    }
+
+    while (measured < opts.measureInsts && !core.done()) {
+        const u64 chunk =
+            std::min(opts.measureInsts - measured, next_ckpt - position);
+        const u64 got = core.run(chunk);
+        measured += got;
+        position += got;
+        if (got < chunk)
+            break;
+        // Interior boundaries only: the final chunk ends the window
+        // with the pipeline state a plain run would have.
+        if (position == next_ckpt && measured < opts.measureInsts) {
+            core.drainInFlight();
+            safePoint();
+            next_ckpt += cadence;
+        }
+    }
+    if (measured < opts.measureInsts && !core.done())
+        NWSIM_WARN("workload ", name, " measured only ", measured,
+                   " insts");
+
+    RunResult result = collectRunResult(core, name, config_name);
+    result.warmupCommitted = warmup_committed;
+    if (!policy.path.empty())
+        ::unlink(policy.path.c_str());
+    return result;
+}
+
+/**
+ * Sampled-mode checkpointed run. Checkpoints ride the stream's natural
+ * safe points — interval boundaries (where the next fast-forward would
+ * drain anyway) and fast-forward chunk boundaries (window empty) — so
+ * a sampled `+ckpt=N` run is stat-identical to the plain sampled run,
+ * interrupted or not.
+ */
+RunResult
+runSampledCheckpointed(const Program &program, const CoreConfig &config,
+                       const RunOptions &opts, const std::string &name,
+                       const std::string &config_name,
+                       const CkptRunPolicy &policy,
+                       CoreObserver *observer)
+{
+    const u64 cadence = policy.everyInsts;
+    const TestHooks th = readTestHooks();
+
+    std::string payload;
+    const bool have = readJobCkpt(policy, payload);
+
+    u64 start_position = 0;
+    u64 next_ckpt = cadence;
+    sample::SampleHooks hooks;
+    hooks.ffChunkInsts = cadence;
+    if (have) {
+        hooks.onStart = [&, payload](OutOfOrderCore &core,
+                                     sample::SampleAggregator &agg,
+                                     u64 &position, u64 &period) {
+            ByteSource src(payload);
+            u8 mode = 0;
+            if (!src.u8v(mode) || mode != kPayloadSampled ||
+                !src.u64v(position) || !src.u64v(period) ||
+                !agg.loadState(src) || !core.loadState(src) ||
+                !src.exhausted()) {
+                NWSIM_PANIC("checkpoint ", policy.path,
+                            " passed its checksum but failed to parse");
+            }
+            NWSIM_WARN("resuming ", name,
+                       " from checkpoint at position ", position);
+            start_position = position;
+            next_ckpt = position + cadence;
+        };
+    }
+    hooks.atSafePoint = [&](OutOfOrderCore &core,
+                            sample::SampleAggregator &agg, u64 position,
+                            u64 period) {
+        const bool due = position >= next_ckpt;
+        const bool injected =
+            crossed(th.stopAt, start_position, position) ||
+            crossed(th.killAt, start_position, position);
+        if (!due && !injected && !interruptRequested())
+            return;
+        // No-op mid-fast-forward (already drained); stat-invisible at
+        // interval boundaries (the next iteration drains anyway, and
+        // the squashes land in warmup state resetStats() discards).
+        core.drainInFlight();
+        ByteSink sink;
+        sink.u8v(kPayloadSampled);
+        sink.u64v(position);
+        sink.u64v(period);
+        agg.saveState(sink);
+        core.saveState(sink);
+        writeJobCkpt(policy, position, sink.take());
+        if (due)
+            next_ckpt = (position / cadence + 1) * cadence;
+        fireTestHooks(th, start_position, position);
+        if (interruptRequested())
+            throw InterruptedError(policy.path, position);
+    };
+
+    RunResult result = sample::runSampledProgram(
+        program, config, opts, name, config_name, observer, &hooks);
+    if (!policy.path.empty())
+        ::unlink(policy.path.c_str());
+    return result;
+}
+
+} // namespace
+
+RunResult
+runCheckpointedProgram(const Program &program, const CoreConfig &config,
+                       const RunOptions &opts, const std::string &name,
+                       const std::string &config_name,
+                       const CkptRunPolicy &policy,
+                       CoreObserver *observer)
+{
+    NWSIM_ASSERT(policy.everyInsts > 0,
+                 "runCheckpointedProgram without a cadence");
+    if (opts.sample.enabled) {
+        return runSampledCheckpointed(program, config, opts, name,
+                                      config_name, policy, observer);
+    }
+    return runDetailedCheckpointed(program, config, opts, name,
+                                   config_name, policy, observer);
+}
+
+ShardPlan
+planShards(const Program &program, const CoreConfig &config,
+           const RunOptions &opts, u64 shard_count)
+{
+    const SampleOptions &s = opts.sample;
+    NWSIM_ASSERT(s.enabled, "planShards without a sample schedule");
+    NWSIM_ASSERT(shard_count > 0, "planShards with zero shards");
+    sample::validateSampleOptions(s);
+    const u64 budget = opts.warmupInsts + opts.measureInsts;
+    const u64 detailed = s.warmupInsts + s.measureInsts;
+
+    // The schedule is a pure function of the options: count its
+    // periods without touching the stream.
+    ShardPlan plan;
+    while (plan.totalPeriods * s.periodInsts +
+               sample::sampleOffset(s, plan.totalPeriods) <
+           budget) {
+        ++plan.totalPeriods;
+    }
+    if (plan.totalPeriods == 0)
+        return plan;
+    const u64 nshards = std::min(shard_count, plan.totalPeriods);
+
+    // One functional pass over the stream, snapshotting at each shard
+    // boundary. This is the planner's whole cost: no detailed probes.
+    SparseMemory memory;
+    program.load(memory);
+    FuncSim stream(memory, program.entry, layout::stackTop,
+                   config.decodeCache);
+    u64 position = 0;
+    u64 next_shard = 0;
+    for (u64 p = 0; p < plan.totalPeriods; ++p) {
+        if (next_shard < nshards &&
+            p == next_shard * plan.totalPeriods / nshards) {
+            ShardAssignment a;
+            a.startPeriod = p;
+            a.endPeriod =
+                (next_shard + 1) * plan.totalPeriods / nshards;
+            if (p > 0) {
+                ByteSink sink;
+                memory.saveState(sink);
+                stream.saveState(sink);
+                a.ckptBlob = sink.take();
+            }
+            plan.shards.push_back(std::move(a));
+            ++next_shard;
+        }
+        // Advance exactly as runShardProgram does: to the sample
+        // point, then past the probe's detailed budget. Both calls
+        // no-op once the stream halts, so post-halt snapshots capture
+        // the same (halted) state a continuous run would carry.
+        const u64 sample_at =
+            p * s.periodInsts + sample::sampleOffset(s, p);
+        if (sample_at > position)
+            position += stream.run(sample_at - position);
+        position += stream.run(detailed);
+    }
+    return plan;
+}
+
+ShardRunOutput
+runShardProgram(const Program &program, const CoreConfig &config,
+                const RunOptions &opts, const std::string &name,
+                const std::string &config_name, u64 start_period,
+                u64 end_period, const std::string &ckpt_blob,
+                CoreObserver *observer)
+{
+    const SampleOptions &s = opts.sample;
+    NWSIM_ASSERT(s.enabled, "runShardProgram without a sample schedule");
+    sample::validateSampleOptions(s);
+    const u64 budget = opts.warmupInsts + opts.measureInsts;
+    const u64 detailed = s.warmupInsts + s.measureInsts;
+
+    SparseMemory memory;
+    program.load(memory);
+    FuncSim stream(memory, program.entry, layout::stackTop,
+                   config.decodeCache);
+    if (!ckpt_blob.empty()) {
+        ByteSource src(ckpt_blob);
+        if (!memory.loadState(src) || !stream.loadState(src) ||
+            !src.exhausted()) {
+            NWSIM_FATAL("shard checkpoint blob for ", name,
+                        " is corrupt");
+        }
+    }
+    u64 position = stream.instCount();
+
+    sample::SampleAggregator agg;
+    for (u64 p = start_period; p < end_period; ++p) {
+        if (interruptRequested()) {
+            // No file checkpoint: the shard's assignment (its spec +
+            // blob) is its restart point.
+            throw InterruptedError(std::string(), position);
+        }
+        const u64 sample_at =
+            p * s.periodInsts + sample::sampleOffset(s, p);
+        if (sample_at >= budget)
+            break;
+        if (sample_at > position)
+            position += stream.run(sample_at - position);
+        if (stream.halted())
+            break;
+
+        // Probe on a cold disposable core over a *copy* of the stream's
+        // memory: probe stores must never feed back into the stream.
+        SparseMemory probe_mem(memory);
+        OutOfOrderCore core(config, probe_mem, stream.pc());
+        if (observer)
+            core.setObserver(observer);
+        core.seedArchRegs(stream.regFile());
+
+        const u64 warmed = core.run(s.warmupInsts);
+        const CacheStats l1d0 = core.memSystem().l1d().stats();
+        const CacheStats l1i0 = core.memSystem().l1i().stats();
+        core.resetStats();
+        const u64 measured = core.run(s.measureInsts);
+        if (measured) {
+            RunResult interval =
+                collectRunResult(core, name, config_name);
+            interval.warmupCommitted = warmed;
+            interval.l1dMissRate =
+                deltaMissRate(l1d0, core.memSystem().l1d().stats());
+            interval.l1iMissRate =
+                deltaMissRate(l1i0, core.memSystem().l1i().stats());
+            agg.addInterval(interval);
+        }
+
+        // The stream advances by exactly the probe's detailed budget,
+        // functionally: position stays a pure function of the
+        // schedule, independent of what the probe committed.
+        position += stream.run(detailed);
+    }
+
+    ShardRunOutput out;
+    ByteSink sink;
+    agg.saveState(sink);
+    out.aggBlob = sink.take();
+    out.intervals = agg.intervals();
+    out.streamInsts = position;
+    return out;
+}
+
+} // namespace nwsim::ckpt

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Checkpointed and sharded run drivers (docs/CHECKPOINT.md).
+ *
+ * Three entry points layered over the plain runners:
+ *
+ *  - runCheckpointedProgram(): runProgram()/runSampledProgram() with a
+ *    checkpoint cadence. The run restores implicitly from the policy's
+ *    checkpoint file when a valid, matching one exists, writes a fresh
+ *    checkpoint every `everyInsts` retired instructions, and — when a
+ *    graceful shutdown is requested (ckpt::requestInterrupt, wired to
+ *    SIGTERM by the campaign engine) — writes a final checkpoint at the
+ *    next safe point and throws InterruptedError.
+ *
+ *  - planShards(): split one sampled job's interval schedule into K
+ *    contiguous period ranges, fast-forwarding the functional stream
+ *    once to capture a functional checkpoint at each range boundary.
+ *
+ *  - runShardProgram(): execute one period range from its functional
+ *    checkpoint, probing each sample point on a disposable detailed
+ *    core, and return the serialized SampleAggregator for the driver's
+ *    shard-order merge (exp/shard.hh).
+ *
+ * Shard semantics — probe-isolated sampling: the persistent stream is
+ * pure functional execution, and each probe runs on a cold disposable
+ * core over a *copy* of the stream's memory, so probes never feed back
+ * into stream state. Stream position is therefore a pure function of
+ * the sample schedule, which is what lets the planner plan without
+ * running probes — and what makes the merged result bit-identical for
+ * every shard count K (K=1 is the reference the tests compare against).
+ */
+
+#ifndef NWSIM_CKPT_RUN_HH
+#define NWSIM_CKPT_RUN_HH
+
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.hh"
+#include "driver/runner.hh"
+
+namespace nwsim
+{
+class CoreObserver;
+}
+
+namespace nwsim::ckpt
+{
+
+/** Where checkpoints go and which job identity they are bound to. */
+struct CkptRunPolicy
+{
+    /**
+     * Checkpoint file path ("" = keep the cadence's drain semantics but
+     * persist nothing — a `+ckpt=N` run's statistics must not depend on
+     * whether a checkpoint directory happens to be configured).
+     */
+    std::string path;
+    /** Meta binding: restore refuses a checkpoint from another job. */
+    std::string workload;
+    std::string configSpec;
+    /** Cadence in retired instructions; must be > 0. */
+    u64 everyInsts = kDefaultCkptEvery;
+};
+
+/**
+ * Checkpointed counterpart of runProgram()/runSampledProgram()
+ * (dispatches on opts.sample.enabled). Restores from policy.path when
+ * a valid matching checkpoint exists; a missing, torn, corrupt, or
+ * mismatched file is diagnosed and the run starts fresh. Deletes the
+ * checkpoint on successful completion.
+ *
+ * Throws InterruptedError (carrying the final checkpoint's path and
+ * position) if ckpt::interruptRequested() becomes true mid-run.
+ */
+RunResult runCheckpointedProgram(const Program &program,
+                                 const CoreConfig &config,
+                                 const RunOptions &opts,
+                                 const std::string &name,
+                                 const std::string &config_name,
+                                 const CkptRunPolicy &policy,
+                                 CoreObserver *observer = nullptr);
+
+/** One shard: a contiguous period range + its starting stream state. */
+struct ShardAssignment
+{
+    u64 startPeriod = 0;
+    /** One past the last period this shard probes. */
+    u64 endPeriod = 0;
+    /**
+     * Functional checkpoint of the stream at startPeriod (memory +
+     * FuncSim state); empty for shard 0, which starts fresh. Travels
+     * inside the job spec, so a killed shard job simply restarts from
+     * it — the shard's assignment is its own checkpoint.
+     */
+    std::string ckptBlob;
+};
+
+/** planShards() result. */
+struct ShardPlan
+{
+    /** Periods the schedule yields before the budget ends. */
+    u64 totalPeriods = 0;
+    std::vector<ShardAssignment> shards;
+};
+
+/**
+ * Split @p opts.sample's schedule into @p shard_count contiguous period
+ * ranges, executing the functional stream once (no probes) to capture
+ * each range's starting state. Ranges are balanced; when the schedule
+ * has fewer periods than requested shards, the plan has fewer shards.
+ */
+ShardPlan planShards(const Program &program, const CoreConfig &config,
+                     const RunOptions &opts, u64 shard_count);
+
+/** What one shard hands back for the driver-side merge. */
+struct ShardRunOutput
+{
+    /** SampleAggregator::saveState blob (exp/shard.hh merges these). */
+    std::string aggBlob;
+    u64 intervals = 0;
+    /** Stream position when the shard finished (schedule bookkeeping). */
+    u64 streamInsts = 0;
+};
+
+/**
+ * Execute periods [start_period, end_period) from @p ckpt_blob
+ * (planShards output; empty = fresh stream). Probes that measure
+ * nothing (stream halted) are skipped; a shard whose whole range lies
+ * past the halt returns zero intervals.
+ *
+ * Throws InterruptedError (no checkpoint — the shard's assignment is
+ * its restart point) on a graceful-shutdown request.
+ */
+ShardRunOutput runShardProgram(const Program &program,
+                               const CoreConfig &config,
+                               const RunOptions &opts,
+                               const std::string &name,
+                               const std::string &config_name,
+                               u64 start_period, u64 end_period,
+                               const std::string &ckpt_blob,
+                               CoreObserver *observer = nullptr);
+
+} // namespace nwsim::ckpt
+
+#endif // NWSIM_CKPT_RUN_HH

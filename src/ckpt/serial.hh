@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Byte-exact little-endian serialization primitives.
+ *
+ * Home of the encoder/decoder pair that every binary format in the
+ * tree shares: campaign outcome/job-spec blobs and the TCP frame layer
+ * (exp/wire.hh re-exports these as WireSink/WireSource), and the
+ * checkpoint subsystem's machine-state snapshots (ckpt/checkpoint.hh).
+ *
+ * Header-only on purpose: component state serializers
+ * (SparseMemory::saveState, Cache::saveState, OutOfOrderCore::saveState,
+ * ...) live in low-level libraries that must not depend on the campaign
+ * engine, so the primitives they encode with cannot live in nwsim_exp.
+ *
+ * Every numeric field is encoded explicitly (u64 little-endian, doubles
+ * bit-cast), never memcpy'd as a struct, so encodings are independent
+ * of padding and byte-stable across builds; all reads fail-stop on
+ * underrun and report a classified WireError instead of misparsing.
+ */
+
+#ifndef NWSIM_CKPT_SERIAL_HH
+#define NWSIM_CKPT_SERIAL_HH
+
+#include <bit>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/types.hh"
+
+namespace nwsim::ckpt
+{
+
+/** Why a binary blob was rejected (None = parsed successfully). */
+enum class WireError : u8
+{
+    None,            ///< parsed successfully
+    Truncated,       ///< ran out of bytes mid-field (torn write)
+    BadMagic,        ///< does not start with the expected magic
+    VersionMismatch, ///< right magic, other format generation
+    Corrupt,         ///< framed correctly but contents are invalid
+};
+
+/** Printable reason ("truncated", "bad-magic", ...; "" for None). */
+inline const char *
+wireErrorName(WireError err)
+{
+    switch (err) {
+    case WireError::None:
+        return "";
+    case WireError::Truncated:
+        return "truncated";
+    case WireError::BadMagic:
+        return "bad-magic";
+    case WireError::VersionMismatch:
+        return "version-mismatch";
+    case WireError::Corrupt:
+        return "corrupt";
+    }
+    return "?";
+}
+
+/** FNV-1a 64-bit hash (journal records, checkpoint checksums). */
+inline u64
+fnv1a64(std::string_view bytes)
+{
+    u64 hash = 0xcbf29ce484222325ULL;
+    for (char c : bytes) {
+        hash ^= static_cast<u8>(c);
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+/** Little-endian primitive encoder. */
+class ByteSink
+{
+  public:
+    void
+    u8v(u8 v)
+    {
+        bytes.push_back(static_cast<char>(v));
+    }
+
+    void
+    boolv(bool v)
+    {
+        u8v(v ? 1 : 0);
+    }
+
+    void
+    u32v(u32 v)
+    {
+        for (int i = 0; i < 4; ++i)
+            bytes.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+
+    void
+    u64v(u64 v)
+    {
+        for (int i = 0; i < 8; ++i)
+            bytes.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+
+    void
+    f64v(double v)
+    {
+        u64v(std::bit_cast<u64>(v));
+    }
+
+    void
+    str(const std::string &s)
+    {
+        u64v(s.size());
+        bytes.append(s);
+    }
+
+    void
+    magic(const char m[4])
+    {
+        bytes.append(m, 4);
+    }
+
+    void
+    raw(std::string_view v)
+    {
+        bytes.append(v);
+    }
+
+    size_t size() const { return bytes.size(); }
+
+    std::string take() { return std::move(bytes); }
+
+  private:
+    std::string bytes;
+};
+
+/** Little-endian primitive decoder; all reads fail-stop on underrun. */
+class ByteSource
+{
+  public:
+    explicit ByteSource(std::string_view view) : data(view) {}
+
+    bool
+    u8v(u8 &v)
+    {
+        if (pos + 1 > data.size())
+            return fail();
+        v = static_cast<u8>(data[pos++]);
+        return true;
+    }
+
+    bool
+    boolv(bool &v)
+    {
+        u8 b = 0;
+        if (!u8v(b))
+            return false;
+        v = b != 0;
+        return true;
+    }
+
+    bool
+    u32v(u32 &v)
+    {
+        if (pos + 4 > data.size())
+            return fail();
+        v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<u32>(static_cast<u8>(data[pos + i]))
+                 << (8 * i);
+        pos += 4;
+        return true;
+    }
+
+    bool
+    u64v(u64 &v)
+    {
+        if (pos + 8 > data.size())
+            return fail();
+        v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<u64>(static_cast<u8>(data[pos + i]))
+                 << (8 * i);
+        pos += 8;
+        return true;
+    }
+
+    /** unsigned via u32 (every config count fits comfortably). */
+    bool
+    uns(unsigned &v)
+    {
+        u32 x = 0;
+        if (!u32v(x))
+            return false;
+        v = x;
+        return true;
+    }
+
+    bool
+    f64v(double &v)
+    {
+        u64 bits = 0;
+        if (!u64v(bits))
+            return false;
+        v = std::bit_cast<double>(bits);
+        return true;
+    }
+
+    bool
+    str(std::string &s)
+    {
+        u64 n = 0;
+        if (!u64v(n) || pos + n > data.size() || pos + n < pos)
+            return fail();
+        s.assign(data.substr(pos, n));
+        pos += n;
+        return true;
+    }
+
+    /**
+     * Classify the blob header: BadMagic / VersionMismatch / Truncated
+     * fail fast before any payload field is touched.
+     */
+    WireError
+    header(const char magic[4], u8 version)
+    {
+        if (data.size() < 5)
+            return WireError::Truncated;
+        if (std::memcmp(data.data(), magic, 4) != 0)
+            return WireError::BadMagic;
+        pos = 4;
+        u8 got = 0;
+        u8v(got);
+        if (got != version)
+            return WireError::VersionMismatch;
+        return WireError::None;
+    }
+
+    /** Exactly @p n raw bytes from the cursor (page images). */
+    bool
+    take(size_t n, std::string_view &out)
+    {
+        if (pos + n > data.size() || pos + n < pos)
+            return fail();
+        out = data.substr(pos, n);
+        pos += n;
+        return true;
+    }
+
+    /** Everything from the cursor to the end (for nested blobs). */
+    std::string_view
+    rest()
+    {
+        std::string_view r = data.substr(pos);
+        pos = data.size();
+        return r;
+    }
+
+    bool exhausted() const { return ok_ && pos == data.size(); }
+    bool ok() const { return ok_; }
+
+    /**
+     * Bytes left to read. Bound untrusted element counts against this
+     * before reserving containers, so a corrupt count fails cleanly
+     * instead of attempting a huge allocation.
+     */
+    size_t remaining() const { return data.size() - pos; }
+
+  private:
+    bool
+    fail()
+    {
+        ok_ = false;
+        return false;
+    }
+
+    std::string_view data;
+    size_t pos = 0;
+    bool ok_ = true;
+};
+
+} // namespace nwsim::ckpt
+
+#endif // NWSIM_CKPT_SERIAL_HH

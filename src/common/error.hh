@@ -30,6 +30,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/types.hh"
+
 namespace nwsim
 {
 
@@ -56,6 +58,7 @@ constexpr int Timeout = 5;         ///< wall-clock watchdog killed the run
 constexpr int Crash = 6;           ///< fatal signal (SIGSEGV, ...)
 constexpr int Internal = 7;        ///< ErrorKind::Internal
 constexpr int ResourceLimit = 8;   ///< ErrorKind::ResourceLimit (rlimit/OOM)
+constexpr int Interrupted = 9;     ///< stopped at a checkpoint (SIGTERM)
 } // namespace exitcode
 
 /** Exit code for @p kind (exitcode::BadInput / Internal / Failure). */
@@ -124,6 +127,37 @@ class DeadlockError : public InternalError
 {
   public:
     explicit DeadlockError(const std::string &msg) : InternalError(msg) {}
+};
+
+/**
+ * A graceful-shutdown request (SIGTERM -> ckpt::requestInterrupt())
+ * stopped the run at a checkpoint-safe point after the final checkpoint
+ * was written. NOT a SimError: interruption is not a failure — the
+ * campaign engine records the job as JobStatus::Interrupted with its
+ * checkpoint provenance so a resumed campaign continues from there, and
+ * isolated children exit with exitcode::Interrupted.
+ */
+class InterruptedError : public std::runtime_error
+{
+  public:
+    /**
+     * @param ckpt_path     Checkpoint written on the way out ("" if the
+     *                      run had no checkpoint cadence configured).
+     * @param ckpt_position Stream position (retired instructions) the
+     *                      checkpoint captures.
+     */
+    InterruptedError(std::string ckpt_path, u64 ckpt_position)
+        : std::runtime_error("interrupted at checkpoint"),
+          path(std::move(ckpt_path)), position(ckpt_position)
+    {
+    }
+
+    const std::string &ckptPath() const { return path; }
+    u64 ckptPosition() const { return position; }
+
+  private:
+    std::string path;
+    u64 position;
 };
 
 } // namespace nwsim

@@ -18,6 +18,7 @@
 #ifndef NWSIM_CORE_CACHE_GATING_HH
 #define NWSIM_CORE_CACHE_GATING_HH
 
+#include "ckpt/serial.hh"
 #include "core/width.hh"
 
 namespace nwsim
@@ -91,6 +92,34 @@ class CacheGatingModel
 
     const CacheGatingStats &stats() const { return stat; }
     const CacheGatingConfig &config() const { return cfg; }
+
+    /** Serialize accumulated stats (the model's only mutable state). */
+    void
+    saveState(ckpt::ByteSink &sink) const
+    {
+        sink.u64v(stat.accesses);
+        sink.u64v(stat.gated16);
+        sink.u64v(stat.gated33);
+        sink.u64v(stat.gatedBySize);
+        sink.f64v(stat.baselineMwSum);
+        sink.f64v(stat.gatedMwSum);
+        sink.f64v(stat.overheadMwSum);
+    }
+
+    /** Restore saveState() data; false on malformed input. */
+    bool
+    loadState(ckpt::ByteSource &src)
+    {
+        CacheGatingStats st;
+        if (!src.u64v(st.accesses) || !src.u64v(st.gated16) ||
+            !src.u64v(st.gated33) || !src.u64v(st.gatedBySize) ||
+            !src.f64v(st.baselineMwSum) || !src.f64v(st.gatedMwSum) ||
+            !src.f64v(st.overheadMwSum)) {
+            return false;
+        }
+        stat = st;
+        return true;
+    }
 
   private:
     CacheGatingConfig cfg;

@@ -13,6 +13,7 @@
 #ifndef NWSIM_CORE_GATING_HH
 #define NWSIM_CORE_GATING_HH
 
+#include "ckpt/serial.hh"
 #include "core/width.hh"
 #include "power/device_model.hh"
 
@@ -137,6 +138,39 @@ class ClockGatingModel
     const GatingStats &stats() const { return stat; }
     const GatingConfig &config() const { return cfg; }
     const DeviceModel &devices() const { return model; }
+
+    /** Serialize accumulated stats (the model's only mutable state). */
+    void
+    saveState(ckpt::ByteSink &sink) const
+    {
+        sink.u64v(stat.ops);
+        sink.u64v(stat.gated16);
+        sink.u64v(stat.gated33);
+        sink.u64v(stat.gatedLoadSourced);
+        sink.u64v(stat.blockedByLoad);
+        sink.f64v(stat.baselineMwSum);
+        sink.f64v(stat.gatedMwSum);
+        sink.f64v(stat.overheadMwSum);
+        sink.f64v(stat.saved16MwSum);
+        sink.f64v(stat.saved33MwSum);
+    }
+
+    /** Restore saveState() data; false on malformed input. */
+    bool
+    loadState(ckpt::ByteSource &src)
+    {
+        GatingStats st;
+        if (!src.u64v(st.ops) || !src.u64v(st.gated16) ||
+            !src.u64v(st.gated33) || !src.u64v(st.gatedLoadSourced) ||
+            !src.u64v(st.blockedByLoad) ||
+            !src.f64v(st.baselineMwSum) || !src.f64v(st.gatedMwSum) ||
+            !src.f64v(st.overheadMwSum) || !src.f64v(st.saved16MwSum) ||
+            !src.f64v(st.saved33MwSum)) {
+            return false;
+        }
+        stat = st;
+        return true;
+    }
 
   private:
     GatingConfig cfg;

@@ -20,6 +20,7 @@
 
 #include <vector>
 
+#include "ckpt/serial.hh"
 #include "core/width.hh"
 
 namespace nwsim
@@ -74,6 +75,41 @@ class WidthPredictor
     void reset();
 
     const WidthPredictorStats &stats() const { return stat; }
+
+    /** Serialize stats + counter table (checkpointing). */
+    void
+    saveState(ckpt::ByteSink &sink) const
+    {
+        sink.u64v(stat.predictions);
+        sink.u64v(stat.correct);
+        sink.u64v(stat.falseNarrow);
+        sink.u64v(stat.missedNarrow);
+        sink.u64v(counters.size());
+        for (u8 c : counters)
+            sink.u8v(c);
+    }
+
+    /** Restore saveState() data; false on malformed input. */
+    bool
+    loadState(ckpt::ByteSource &src)
+    {
+        WidthPredictorStats st;
+        if (!src.u64v(st.predictions) || !src.u64v(st.correct) ||
+            !src.u64v(st.falseNarrow) || !src.u64v(st.missedNarrow)) {
+            return false;
+        }
+        u64 count = 0;
+        if (!src.u64v(count) || count != counters.size())
+            return false;
+        std::vector<u8> loaded(counters.size());
+        for (u8 &c : loaded) {
+            if (!src.u8v(c))
+                return false;
+        }
+        stat = st;
+        counters = std::move(loaded);
+        return true;
+    }
 
   private:
     unsigned indexOf(Addr pc) const;

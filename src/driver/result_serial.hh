@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Field-level RunResult encoder/decoder shared by every binary format
+ * that embeds one: campaign outcome blobs (exp/wire.cc), checkpoint
+ * payloads, and the sample-aggregator state blobs that sharded runs
+ * merge (sample/aggregate.cc). One encoding, one field order — a
+ * RunResult round-tripped through any of those channels is bit-exact
+ * under tests/stat_diff.hh.
+ *
+ * No envelope here: callers frame these fields with their own magic,
+ * version, and checksum.
+ */
+
+#ifndef NWSIM_DRIVER_RESULT_SERIAL_HH
+#define NWSIM_DRIVER_RESULT_SERIAL_HH
+
+#include "ckpt/serial.hh"
+#include "driver/runner.hh"
+
+namespace nwsim
+{
+
+inline void
+packSampleSummaryFields(ckpt::ByteSink &s, const SampleSummary &ss)
+{
+    s.boolv(ss.sampled);
+    s.u64v(ss.intervals);
+    s.u64v(ss.streamInsts);
+    for (const SampleSummary::Estimate &e : ss.metrics) {
+        s.f64v(e.mean);
+        s.f64v(e.cov);
+        s.f64v(e.ci95);
+    }
+}
+
+inline bool
+unpackSampleSummaryFields(ckpt::ByteSource &s, SampleSummary &ss)
+{
+    s.boolv(ss.sampled);
+    s.u64v(ss.intervals);
+    s.u64v(ss.streamInsts);
+    for (SampleSummary::Estimate &e : ss.metrics) {
+        s.f64v(e.mean);
+        s.f64v(e.cov);
+        s.f64v(e.ci95);
+    }
+    return s.ok();
+}
+
+inline void
+packRunResultFields(ckpt::ByteSink &s, const RunResult &r)
+{
+    s.str(r.workload);
+    s.str(r.configName);
+    s.u64v(r.warmupCommitted);
+    s.u64v(r.measuredCommitted);
+
+    const CoreStats &c = r.core;
+    s.u64v(c.cycles);
+    s.u64v(c.fetched);
+    s.u64v(c.dispatched);
+    s.u64v(c.issued);
+    s.u64v(c.committed);
+    s.u64v(c.squashed);
+    s.u64v(c.mispredictSquashes);
+    s.u64v(c.loadsForwarded);
+    s.u64v(c.windowFullStalls);
+    s.u64v(c.issueLimitedCycles);
+    s.u64v(c.readyOpsSum);
+
+    const GatingStats &g = r.gating;
+    s.u64v(g.ops);
+    s.u64v(g.gated16);
+    s.u64v(g.gated33);
+    s.u64v(g.gatedLoadSourced);
+    s.u64v(g.blockedByLoad);
+    s.f64v(g.baselineMwSum);
+    s.f64v(g.gatedMwSum);
+    s.f64v(g.overheadMwSum);
+    s.f64v(g.saved16MwSum);
+    s.f64v(g.saved33MwSum);
+
+    const PackingStats &p = r.packing;
+    s.u64v(p.packedGroups);
+    s.u64v(p.packedInsts);
+    s.u64v(p.replaySpeculations);
+    s.u64v(p.replayTraps);
+    s.u64v(p.packEligibleIssued);
+
+    const BPredStats &b = r.bpred;
+    s.u64v(b.lookups);
+    s.u64v(b.condLookups);
+    s.u64v(b.condDirectionWrong);
+    s.u64v(b.targetWrong);
+
+    const WidthProfilerSnapshot w = r.profiler.snapshot();
+    s.u64v(w.opCount);
+    for (u64 h : w.widthHist)
+        s.u64v(h);
+    for (u64 n : w.narrow16ByCat)
+        s.u64v(n);
+    for (u64 n : w.narrow33ByCat)
+        s.u64v(n);
+    s.u64v(w.pcWidthSeen.size());
+    for (const auto &[pc, seen] : w.pcWidthSeen) {
+        s.u64v(pc);
+        s.u8v(seen);
+    }
+
+    s.f64v(r.l1dMissRate);
+    s.f64v(r.l1iMissRate);
+
+    packSampleSummaryFields(s, r.sample);
+
+    // Host-side decode-cache health.
+    s.u64v(r.decodeCache.lookups);
+    s.u64v(r.decodeCache.hits);
+}
+
+inline bool
+unpackRunResultFields(ckpt::ByteSource &s, RunResult &r)
+{
+    s.str(r.workload);
+    s.str(r.configName);
+    s.u64v(r.warmupCommitted);
+    s.u64v(r.measuredCommitted);
+
+    CoreStats &c = r.core;
+    s.u64v(c.cycles);
+    s.u64v(c.fetched);
+    s.u64v(c.dispatched);
+    s.u64v(c.issued);
+    s.u64v(c.committed);
+    s.u64v(c.squashed);
+    s.u64v(c.mispredictSquashes);
+    s.u64v(c.loadsForwarded);
+    s.u64v(c.windowFullStalls);
+    s.u64v(c.issueLimitedCycles);
+    s.u64v(c.readyOpsSum);
+
+    GatingStats &g = r.gating;
+    s.u64v(g.ops);
+    s.u64v(g.gated16);
+    s.u64v(g.gated33);
+    s.u64v(g.gatedLoadSourced);
+    s.u64v(g.blockedByLoad);
+    s.f64v(g.baselineMwSum);
+    s.f64v(g.gatedMwSum);
+    s.f64v(g.overheadMwSum);
+    s.f64v(g.saved16MwSum);
+    s.f64v(g.saved33MwSum);
+
+    PackingStats &p = r.packing;
+    s.u64v(p.packedGroups);
+    s.u64v(p.packedInsts);
+    s.u64v(p.replaySpeculations);
+    s.u64v(p.replayTraps);
+    s.u64v(p.packEligibleIssued);
+
+    BPredStats &b = r.bpred;
+    s.u64v(b.lookups);
+    s.u64v(b.condLookups);
+    s.u64v(b.condDirectionWrong);
+    s.u64v(b.targetWrong);
+
+    WidthProfilerSnapshot w;
+    s.u64v(w.opCount);
+    for (u64 &h : w.widthHist)
+        s.u64v(h);
+    for (u64 &n : w.narrow16ByCat)
+        s.u64v(n);
+    for (u64 &n : w.narrow33ByCat)
+        s.u64v(n);
+    u64 pcs = 0;
+    // Each entry is 9 encoded bytes; bound the count so a corrupt blob
+    // fails cleanly instead of attempting a huge reserve.
+    if (s.u64v(pcs) && pcs <= s.remaining() / 9) {
+        w.pcWidthSeen.reserve(pcs);
+        for (u64 i = 0; i < pcs && s.ok(); ++i) {
+            u64 pc = 0;
+            u8 seen = 0;
+            s.u64v(pc);
+            s.u8v(seen);
+            w.pcWidthSeen.emplace_back(pc, seen);
+        }
+    } else if (s.ok()) {
+        return false;
+    }
+    r.profiler = WidthProfiler::fromSnapshot(w);
+
+    s.f64v(r.l1dMissRate);
+    s.f64v(r.l1iMissRate);
+
+    unpackSampleSummaryFields(s, r.sample);
+
+    s.u64v(r.decodeCache.lookups);
+    s.u64v(r.decodeCache.hits);
+    return s.ok();
+}
+
+} // namespace nwsim
+
+#endif // NWSIM_DRIVER_RESULT_SERIAL_HH

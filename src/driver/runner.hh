@@ -73,6 +73,16 @@ struct RunOptions
      * covers the same program region as its full-detail twin.
      */
     SampleOptions sample;
+    /**
+     * Checkpoint cadence, retired (stream) instructions between
+     * machine-state snapshots (src/ckpt/, docs/CHECKPOINT.md); 0
+     * disables checkpointing. Expressed in config specs as the
+     * `+ckpt=N` modifier. In detailed mode a cadence boundary drains
+     * the pipeline (deterministically — resumed and uninterrupted runs
+     * of the same spec drain identically); in sampled mode snapshots
+     * ride the schedule's existing zero-perturbation safe points.
+     */
+    u64 ckptEveryInsts = 0;
 };
 
 /**

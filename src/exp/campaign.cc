@@ -10,7 +10,9 @@
 #include <thread>
 
 #include "asm/textasm.hh"
+#include "ckpt/run.hh"
 #include "common/error.hh"
+#include "common/logging.hh"
 #include "exp/bundle.hh"
 #include "exp/configs.hh"
 #include "exp/executor.hh"
@@ -47,6 +49,10 @@ Campaign::grid(const std::vector<std::string> &workloads,
             job.config = cfg;
             job.opts = opts;
             job.opts.sample = sampleBySpec(spec);
+            // A `+ckpt=N` modifier overrides any CLI-level cadence the
+            // caller put in opts (and 0 means "keep the caller's").
+            if (const u64 every = ckptBySpec(spec))
+                job.opts.ckptEveryInsts = every;
             c.add(std::move(job));
         }
     }
@@ -73,6 +79,23 @@ retryBackoffSeconds(size_t job_index, unsigned attempt,
     return base_seconds * static_cast<double>(1ULL << doublings) * jitter;
 }
 
+std::string
+ckptPathFor(const std::string &ckpt_dir, const std::string &job_label)
+{
+    // Same filesystem-safe flattening the bundle writer uses, but into
+    // a single file name rather than a directory.
+    std::string tag;
+    tag.reserve(job_label.size());
+    for (char c : job_label) {
+        const bool safe = (c >= 'a' && c <= 'z') ||
+                          (c >= 'A' && c <= 'Z') ||
+                          (c >= '0' && c <= '9') || c == '_' ||
+                          c == '.' || c == '-';
+        tag.push_back(safe ? c : '-');
+    }
+    return ckpt_dir + "/" + tag + ".nwck";
+}
+
 namespace
 {
 
@@ -81,6 +104,30 @@ jobProgram(const SimJob &job)
 {
     return job.asmText.empty() ? workloadByName(job.workload).program()
                                : assembleText(job.asmText);
+}
+
+/**
+ * Run one shard slice (ckpt/run.hh) and dress its output as a
+ * JobOutcome: the serialized aggregator rides in shardAgg for the
+ * driver-side exact merge, and the skeleton RunResult carries only the
+ * schedule bookkeeping (interval/stream counts) — per-shard stats are
+ * not meaningful on their own.
+ */
+RunResult
+runShardJob(const SimJob &job, JobOutcome &out, CoreObserver *observer)
+{
+    const ckpt::ShardRunOutput so = ckpt::runShardProgram(
+        jobProgram(job), job.config, job.opts, job.workload,
+        job.configSpec, job.shard.startPeriod, job.shard.endPeriod,
+        job.shard.ckptBlob, observer);
+    out.shardAgg = so.aggBlob;
+    RunResult r;
+    r.workload = job.workload;
+    r.configName = job.configSpec;
+    r.sample.sampled = true;
+    r.sample.intervals = so.intervals;
+    r.sample.streamInsts = so.streamInsts;
+    return r;
 }
 
 /**
@@ -93,7 +140,7 @@ executeJobAttempt(const SimJob &job, const CampaignOptions &copts,
 {
     JobOutcome out;
     out.workload = job.workload;
-    out.configSpec = job.configSpec;
+    out.configSpec = job.outcomeSpec();
 
     // The recorder rides the standard runProgram path; custom runners
     // own their whole run and can attach their own observer.
@@ -111,6 +158,18 @@ executeJobAttempt(const SimJob &job, const CampaignOptions &copts,
     try {
         if (job.runner) {
             out.result = job.runner(job);
+        } else if (job.shard.enabled) {
+            out.result = runShardJob(job, out, recorder.get());
+        } else if (job.opts.ckptEveryInsts > 0) {
+            ckpt::CkptRunPolicy policy;
+            if (!copts.ckptDir.empty())
+                policy.path = ckptPathFor(copts.ckptDir, job.label());
+            policy.workload = job.workload;
+            policy.configSpec = job.configSpec;
+            policy.everyInsts = job.opts.ckptEveryInsts;
+            out.result = ckpt::runCheckpointedProgram(
+                jobProgram(job), job.config, job.opts, job.workload,
+                job.configSpec, policy, recorder.get());
         } else if (job.opts.sample.enabled) {
             out.result = sample::runSampledProgram(
                 jobProgram(job), job.config, job.opts, job.workload,
@@ -123,6 +182,16 @@ executeJobAttempt(const SimJob &job, const CampaignOptions &copts,
         out.ok = true;
         out.status = JobStatus::Ok;
         out.errorKind = FailKind::None;
+    } catch (const InterruptedError &e) {
+        // Not a failure: the run stopped gracefully at a checkpoint.
+        // Non-terminal — the journal skips it and retry loops stop, so
+        // the job re-runs (from e.ckptPath()) on the next resume.
+        out.ok = false;
+        out.status = JobStatus::Interrupted;
+        out.errorKind = FailKind::None;
+        out.error = "interrupted (graceful shutdown)";
+        out.ckptPath = e.ckptPath();
+        out.ckptPosition = e.ckptPosition();
     } catch (const SimError &e) {
         out.ok = false;
         out.status = JobStatus::Failed;
@@ -218,6 +287,29 @@ Campaign::run(const CampaignOptions &copts) const
             byLabel.erase(it);
             fromJournal[i] = 1;
         }
+        // Every journaled record must belong to this sweep. A leftover
+        // means the journal was written by a *different* grid —
+        // resuming would silently mix two campaigns' results, so fail
+        // fast with enough context to spot the mismatch.
+        if (!byLabel.empty()) {
+            std::string sample;
+            size_t shown = 0;
+            for (const auto &[label, o] : byLabel) {
+                if (shown++ == 3) {
+                    sample += ", ...";
+                    break;
+                }
+                if (!sample.empty())
+                    sample += ", ";
+                sample += label;
+            }
+            NWSIM_FATAL("journal ", copts.journal, " holds ",
+                        byLabel.size(),
+                        " job(s) not in this sweep (", sample,
+                        ") — it belongs to a different campaign; "
+                        "pass a matching grid or a fresh --journal "
+                        "path");
+        }
     }
 
     std::vector<size_t> todo;
@@ -248,7 +340,10 @@ Campaign::run(const CampaignOptions &copts) const
     // executor's on_done hook, which every backend delivers one
     // completion at a time.
     auto record = [&](size_t i) {
-        if (journal)
+        // Interrupted is not terminal: journaling it would make resume
+        // adopt a half-finished job as done. The checkpoint file on
+        // disk is its record; the next run re-executes from it.
+        if (journal && outcomes[i].status != JobStatus::Interrupted)
             journal->append(outcomes[i]);
         meter.jobDone(outcomes[i].label(), outcomes[i].ok);
     };

@@ -35,6 +35,27 @@
 namespace nwsim::exp
 {
 
+/**
+ * Assignment of one shard of a sampled run (exp/shard.hh): the shard
+ * planner fast-forwards the functional stream once, snapshots it at K
+ * period boundaries, and fans one SimJob per shard carrying its start
+ * state. Shard outcomes merge back through SampleAggregator::merge,
+ * bit-identical to the unsharded schedule.
+ */
+struct ShardSpec
+{
+    bool enabled = false;
+    /** First sample period this shard measures (inclusive). */
+    u64 startPeriod = 0;
+    /** One past the last period this shard measures. */
+    u64 endPeriod = 0;
+    /**
+     * Functional checkpoint (ckpt/checkpoint.hh, CkptKind::Functional)
+     * positioning the stream at startPeriod's boundary.
+     */
+    std::string ckptBlob;
+};
+
 /** One simulation: a workload on a configuration over a window. */
 struct SimJob
 {
@@ -55,8 +76,27 @@ struct SimJob
      * tests and custom experiments). Must be thread-safe.
      */
     std::function<RunResult(const SimJob &)> runner;
+    /** Shard assignment when this job is one slice of a sampled run. */
+    ShardSpec shard;
 
-    std::string label() const { return workload + "/" + configSpec; }
+    /**
+     * Config-spec label for this job's JobOutcome: the spec, plus the
+     * shard suffix for shard jobs — so JobOutcome::label() equals
+     * label() and journal adoption matches one record per shard (the
+     * shard merge strips the suffix back off, exp/shard.cc).
+     */
+    std::string
+    outcomeSpec() const
+    {
+        std::string s = configSpec;
+        if (shard.enabled) {
+            s += "#shard" + std::to_string(shard.startPeriod) + "-" +
+                 std::to_string(shard.endPeriod);
+        }
+        return s;
+    }
+
+    std::string label() const { return workload + "/" + outcomeSpec(); }
 };
 
 /**
@@ -139,7 +179,20 @@ struct CampaignOptions
      * it delivers SIGXCPU, classified as a resource-limit outcome.
      */
     double rlimitCpuSeconds = 0.0;
+    /**
+     * Directory for per-job checkpoint files ("" = none). Jobs whose
+     * RunOptions carry a ckptEveryInsts cadence snapshot machine state
+     * here at `<dir>/<sanitized label>.nwck`; a retry, a `--resume`, or
+     * a reassigned remote job finding a valid matching snapshot resumes
+     * mid-simulation instead of from instruction zero
+     * (docs/CHECKPOINT.md).
+     */
+    std::string ckptDir;
 };
+
+/** Checkpoint-file path for @p job_label under @p ckpt_dir. */
+std::string ckptPathFor(const std::string &ckpt_dir,
+                        const std::string &job_label);
 
 /** A named batch of SimJobs executed as one parallel fan-out. */
 class Campaign

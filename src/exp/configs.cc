@@ -35,12 +35,36 @@ configModifiers()
         {"sample=P:W:M",
          "SMARTS sampling: detailed W-warmup/M-measure probe every P "
          "insts (+`:rand[:seed]` randomizes the probe offset)"},
+        {"ckpt=N",
+         "checkpoint machine state every N retired insts "
+         "(docs/CHECKPOINT.md); part of the run's semantics — detailed "
+         "runs drain the pipeline at every cadence boundary"},
     };
     return mods;
 }
 
 namespace
 {
+
+/**
+ * Parse a `ckpt=N` modifier (checkpoint cadence, retired instructions).
+ * Returns false on malformed syntax or a zero cadence — a cadence of
+ * zero means "no checkpointing", which is spelled by omitting the
+ * modifier, not by `+ckpt=0`.
+ */
+bool
+parseCkptModifier(const std::string &mod, u64 &out)
+{
+    const std::string body = mod.substr(std::string("ckpt=").size());
+    if (body.empty() ||
+        body.find_first_not_of("0123456789") != std::string::npos)
+        return false;
+    const u64 n = std::strtoull(body.c_str(), nullptr, 10);
+    if (n == 0)
+        return false;
+    out = n;
+    return true;
+}
 
 /**
  * Parse a `sample=period:warmup:measure[:rand[:seed]]` modifier into
@@ -146,6 +170,11 @@ resolveSpec(const std::string &spec, CoreConfig &out)
             SampleOptions ignored;
             if (!parseSampleModifier(mod, ignored))
                 return false;
+        } else if (mod.rfind("ckpt=", 0) == 0) {
+            // Run-schedule modifier like +sample=; see ckptBySpec.
+            u64 ignored;
+            if (!parseCkptModifier(mod, ignored))
+                return false;
         } else
             return false;
     }
@@ -163,7 +192,7 @@ configBySpec(const std::string &spec)
                     "\" (bases: baseline, packing, packing-replay, "
                     "issue8; modifiers: +decode8, +perfect, +earlyout, "
                     "+nogate33, +nodecodecache, "
-                    "+sample=P:W:M[:rand[:seed]])");
+                    "+sample=P:W:M[:rand[:seed]], +ckpt=N)");
     }
     return cfg;
 }
@@ -186,6 +215,23 @@ sampleBySpec(const std::string &spec)
         }
     }
     return s;
+}
+
+u64
+ckptBySpec(const std::string &spec)
+{
+    u64 every = 0;
+    size_t pos = 0;
+    while ((pos = spec.find('+', pos)) != std::string::npos) {
+        ++pos;
+        const size_t end = spec.find('+', pos);
+        const std::string mod = spec.substr(
+            pos, end == std::string::npos ? std::string::npos : end - pos);
+        if (mod.rfind("ckpt=", 0) == 0 && !parseCkptModifier(mod, every))
+            NWSIM_FATAL("malformed checkpoint modifier \"+", mod,
+                        "\" (want +ckpt=N with N > 0)");
+    }
+    return every;
 }
 
 bool

@@ -67,6 +67,17 @@ bool isValidConfigSpec(const std::string &spec);
  */
 SampleOptions sampleBySpec(const std::string &spec);
 
+/**
+ * Extract the checkpoint cadence from a spec's `+ckpt=N` modifier
+ * (retired instructions between snapshots; 0 when absent). Like
+ * sampling, checkpointing is a run-schedule property — and part of the
+ * run's semantics: a detailed `+ckpt=N` run drains the pipeline at
+ * every cadence boundary whether or not a checkpoint directory is
+ * configured, so its statistics never depend on where (or whether)
+ * snapshots land on disk (docs/CHECKPOINT.md).
+ */
+u64 ckptBySpec(const std::string &spec);
+
 } // namespace nwsim::exp
 
 #endif // NWSIM_EXP_CONFIGS_HH

@@ -17,6 +17,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "ckpt/checkpoint.hh"
 #include "common/error.hh"
 #include "common/logging.hh"
 #include "exp/bundle.hh"
@@ -98,12 +99,37 @@ armCrashHandlers()
         sigaction(sig, &sa, nullptr);
 }
 
+/**
+ * SIGTERM inside a child is a graceful-shutdown request, not a crash:
+ * raise the checkpoint interrupt flag and let the simulation reach its
+ * next safe point, write a final checkpoint, and report an Interrupted
+ * outcome (exit code 9) through the normal pipe path.
+ */
+void
+termHandler(int)
+{
+    ckpt::requestInterrupt();
+}
+
+void
+armTermHandler()
+{
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = termHandler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_RESTART;
+    sigaction(SIGTERM, &sa, nullptr);
+}
+
 /** Child side of the taxonomy: the _exit code for a terminal outcome. */
 int
 outcomeExitCode(const JobOutcome &o)
 {
     if (o.ok)
         return exitcode::Ok;
+    if (o.status == JobStatus::Interrupted)
+        return exitcode::Interrupted;
     if (o.status == JobStatus::Timeout)
         return exitcode::Timeout;
     if (o.status == JobStatus::Crashed)
@@ -160,6 +186,7 @@ childRun(const SimJob &job, size_t job_index,
     }
     applyJobRlimits(copts);
     armCrashHandlers();
+    armTermHandler();
 
     const JobOutcome out = executeJobWithRetries(job, job_index, copts);
     const std::string blob = packJobOutcome(out);
@@ -248,7 +275,7 @@ classifyIsolatedExit(const SimJob &job, int wait_status, bool timed_out,
 {
     JobOutcome out;
     out.workload = job.workload;
-    out.configSpec = job.configSpec;
+    out.configSpec = job.outcomeSpec();
     out.ok = false;
     out.attempts = 1;
     out.wallSeconds = wall_seconds;
@@ -289,6 +316,23 @@ classifyIsolatedExit(const SimJob &job, int wait_status, bool timed_out,
                     " without reporting an outcome";
     }
 
+    // The child died without reporting an outcome, so the last durable
+    // checkpoint — if the job was writing them — is only discoverable
+    // from disk. Probe it (header + checksum validation, payload
+    // discarded) so retries and journal readers know where the job can
+    // restart from.
+    if (!copts.ckptDir.empty() && job.opts.ckptEveryInsts > 0) {
+        const std::string path = ckptPathFor(copts.ckptDir, job.label());
+        ckpt::CheckpointMeta meta;
+        if (ckpt::checkpointExists(path) &&
+            ckpt::probeCheckpoint(path, meta) ==
+                ckpt::WireError::None &&
+            meta.matches(job.workload, job.configSpec)) {
+            out.ckptPath = path;
+            out.ckptPosition = meta.position;
+        }
+    }
+
     // The child's crash handler may already have dropped events.log in
     // the bundle directory; this fills in MANIFEST.txt around it.
     if (!copts.bundleDir.empty()) {
@@ -316,7 +360,7 @@ runJobsIsolated(const std::vector<SimJob> &jobs,
         } catch (const SimError &e) {
             JobOutcome out;
             out.workload = jobs[idx].workload;
-            out.configSpec = jobs[idx].configSpec;
+            out.configSpec = jobs[idx].outcomeSpec();
             out.status = JobStatus::Failed;
             out.errorKind = FailKind::ResourceLimit;
             out.attempts = 1;

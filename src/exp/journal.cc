@@ -11,14 +11,32 @@ namespace nwsim::exp
 namespace
 {
 
-constexpr const char *kMagic = "nwj1";
+constexpr const char *kMagic = "nwj2";
+/** Previous format (no checkpoint token): diagnosed, never parsed. */
+constexpr const char *kMagicV1 = "nwj1";
 
 /** Checksum input: every token of the record except the checksum. */
 std::string
 checksumPayload(const std::string &workload, const std::string &config,
-                const std::string &status, const std::string &hex)
+                const std::string &status, const std::string &ckpt,
+                const std::string &hex)
 {
-    return workload + " " + config + " " + status + " " + hex;
+    return workload + " " + config + " " + status + " " + ckpt + " " +
+           hex;
+}
+
+/**
+ * Human-greppable checkpoint token: the stream position of the job's
+ * last durable checkpoint, or "-" when it never wrote one. (The full
+ * ckptPath/ckptPosition pair rides in the packed payload; this token
+ * exists so `grep timeout journal` shows how far each job got.)
+ */
+std::string
+ckptToken(const JobOutcome &outcome)
+{
+    return outcome.ckptPath.empty()
+               ? std::string("-")
+               : std::to_string(outcome.ckptPosition);
 }
 
 } // namespace
@@ -38,7 +56,8 @@ CampaignJournal::formatRecord(const JobOutcome &outcome)
     const std::string hex = toHex(packJobOutcome(outcome));
     const std::string payload =
         checksumPayload(outcome.workload, outcome.configSpec,
-                        jobStatusName(outcome.status), hex);
+                        jobStatusName(outcome.status), ckptToken(outcome),
+                        hex);
     std::ostringstream line;
     line << kMagic << " " << payload << " " << std::hex
          << fnv1a64(payload);
@@ -59,14 +78,15 @@ bool
 CampaignJournal::parseRecord(const std::string &line, JobOutcome &result)
 {
     std::istringstream in(line);
-    std::string magic, workload, config, status, hex, crc, extra;
-    if (!(in >> magic >> workload >> config >> status >> hex >> crc) ||
+    std::string magic, workload, config, status, ckpt, hex, crc, extra;
+    if (!(in >> magic >> workload >> config >> status >> ckpt >> hex >>
+          crc) ||
         (in >> extra) || magic != kMagic) {
         return false;
     }
 
     const std::string payload =
-        checksumPayload(workload, config, status, hex);
+        checksumPayload(workload, config, status, ckpt, hex);
     std::ostringstream want;
     want << std::hex << fnv1a64(payload);
     if (crc != want.str())
@@ -79,7 +99,7 @@ CampaignJournal::parseRecord(const std::string &line, JobOutcome &result)
     // The redundant label tokens exist for grep-ability; they must
     // agree with the packed payload or the record is corrupt.
     if (o.workload != workload || o.configSpec != config ||
-        status != jobStatusName(o.status)) {
+        status != jobStatusName(o.status) || ckpt != ckptToken(o)) {
         return false;
     }
     result = std::move(o);
@@ -103,6 +123,11 @@ CampaignJournal::load(const std::string &path)
         JobOutcome o;
         if (parseRecord(line, o)) {
             records.push_back(std::move(o));
+        } else if (line.rfind(kMagicV1, 0) == 0) {
+            ++bad;
+            NWSIM_WARN("journal ", path, " line ", lineNo,
+                       ": old nwj1-format record skipped (pre-checkpoint "
+                       "journal; the job will re-run)");
         } else {
             ++bad;
             NWSIM_WARN("journal ", path, " line ", lineNo,

@@ -5,7 +5,12 @@
  *
  * One line per terminal job outcome:
  *
- *     nwj1 <workload> <config-spec> <status> <hex(packJobOutcome)> <fnv>
+ *     nwj2 <workload> <config-spec> <status> <ckpt> <hex(packJobOutcome)> <fnv>
+ *
+ * where <ckpt> is the stream position of the job's last durable
+ * checkpoint, "-" when it never wrote one (Interrupted outcomes are not
+ * journaled at all — they are non-terminal; the checkpoint file is
+ * their record and the next resume re-runs the job from it).
  *
  * Each record is buffered into a single line and flushed in one write,
  * and carries an FNV-1a checksum over its payload, so a record is either

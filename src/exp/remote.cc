@@ -60,6 +60,31 @@ armSigpipeIgnore()
     ::signal(SIGPIPE, SIG_IGN);
 }
 
+// ---- worker graceful shutdown (SIGTERM) ----------------------------------
+
+volatile sig_atomic_t gServeStop = 0;
+
+void
+serveStopHandler(int)
+{
+    gServeStop = 1;
+}
+
+/**
+ * Arm SIGTERM as the worker's graceful-shutdown request. Deliberately
+ * no SA_RESTART: the blocking accept() must return EINTR so an idle
+ * daemon notices the request immediately.
+ */
+void
+armServeStopHandler()
+{
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = serveStopHandler;
+    sigemptyset(&sa.sa_mask);
+    ::sigaction(SIGTERM, &sa, nullptr);
+}
+
 // ---- socket plumbing -----------------------------------------------------
 
 bool
@@ -368,7 +393,8 @@ sessionLog(std::ostream *log, const std::string &line)
  * or breaks protocol; never throws across the accept loop.
  */
 void
-runWorkerSession(int cfd, int lfd, unsigned slots, std::ostream *log)
+runWorkerSession(int cfd, int lfd, unsigned slots,
+                 const std::string &ckpt_dir, std::ostream *log)
 {
     FrameReader reader;
     Frame frame;
@@ -399,6 +425,9 @@ runWorkerSession(int cfd, int lfd, unsigned slots, std::ostream *log)
     policy.progress = nullptr;
     policy.bundleDir.clear();
     policy.journal.clear();
+    // Checkpoints are worker-local (the driver's paths mean nothing
+    // here); the serve-side --ckpt-dir decides where they go.
+    policy.ckptDir = ckpt_dir;
     if (!sendAll(cfd, encodeFrame(FrameType::HelloWorker,
                                   packWorkerHello(slots)))) {
         return;
@@ -412,6 +441,7 @@ runWorkerSession(int cfd, int lfd, unsigned slots, std::ostream *log)
     Clock::time_point lastDriver = Clock::now();
     Clock::time_point lastBeat = Clock::now();
     u64 jobsRun = 0;
+    bool stopping = false;
 
     auto spawn = [&](u64 idx, SimJob job) {
         JobOutcome spawnFail;
@@ -475,7 +505,29 @@ runWorkerSession(int cfd, int lfd, unsigned slots, std::ostream *log)
     };
 
     for (;;) {
-        while (kids.size() < slots && !queue.empty()) {
+        // Graceful shutdown: stop launching, forward SIGTERM to the
+        // in-flight children (each checkpoints at its next safe point
+        // and reports Interrupted through its pipe), then keep the
+        // loop running so those outcomes still flush to the driver.
+        if (gServeStop && !stopping) {
+            stopping = true;
+            sessionLog(log, "SIGTERM: checkpointing " +
+                                std::to_string(kids.size()) +
+                                " in-flight job(s), dropping " +
+                                std::to_string(queue.size()) +
+                                " queued");
+            queue.clear(); // never started; the driver reassigns them
+            for (SessionChild &c : kids)
+                ::kill(c.pid, SIGTERM);
+        }
+        if (stopping && kids.empty()) {
+            sessionLog(log, "shutdown complete (" +
+                                std::to_string(jobsRun) +
+                                " jobs run); closing session");
+            return;
+        }
+
+        while (!stopping && kids.size() < slots && !queue.empty()) {
             auto [idx, job] = std::move(queue.front());
             queue.pop_front();
             if (!spawn(idx, std::move(job))) {
@@ -663,6 +715,7 @@ void
 serveWorker(const ServeOptions &opts)
 {
     armSigpipeIgnore();
+    armServeStopHandler();
     unsigned port = opts.port;
     int lfd = opts.listenFd;
     if (lfd < 0)
@@ -674,9 +727,11 @@ serveWorker(const ServeOptions &opts)
                   << (opts.once ? ", single session" : "") << ")"
                   << std::endl;
     }
-    for (;;) {
+    while (!gServeStop) {
         const int cfd = ::accept(lfd, nullptr, nullptr);
         if (cfd < 0) {
+            // SIGTERM interrupts the blocking accept (no SA_RESTART);
+            // the loop condition turns that into a clean exit.
             if (errno == EINTR || errno == ECONNABORTED)
                 continue;
             ::close(lfd);
@@ -685,10 +740,14 @@ serveWorker(const ServeOptions &opts)
         }
         const int one = 1;
         ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-        runWorkerSession(cfd, lfd, slots, opts.log);
+        runWorkerSession(cfd, lfd, slots, opts.ckptDir, opts.log);
         ::close(cfd);
         if (opts.once)
             break;
+    }
+    if (gServeStop && opts.log) {
+        *opts.log << "nwsweep worker: SIGTERM shutdown, exiting"
+                  << std::endl;
     }
     ::close(lfd);
 }
@@ -696,7 +755,8 @@ serveWorker(const ServeOptions &opts)
 // ---- loopback fleet ------------------------------------------------------
 
 LocalWorkerFleet::LocalWorkerFleet(unsigned count,
-                                   unsigned jobs_per_worker)
+                                   unsigned jobs_per_worker,
+                                   const std::string &ckpt_dir)
 {
     for (unsigned i = 0; i < count; ++i) {
         unsigned port = 0;
@@ -711,6 +771,7 @@ LocalWorkerFleet::LocalWorkerFleet(unsigned count,
                 so.listenFd = lfd;
                 so.jobs = jobs_per_worker;
                 so.once = true;
+                so.ckptDir = ckpt_dir;
                 serveWorker(so);
             } catch (...) {
             }
@@ -744,6 +805,24 @@ LocalWorkerFleet::kill(size_t i)
     ::kill(pids[i], SIGKILL);
     reapStatus(pids[i]);
     pids[i] = -1;
+}
+
+void
+LocalWorkerFleet::term(size_t i)
+{
+    if (i >= pids.size() || pids[i] < 0)
+        return;
+    ::kill(pids[i], SIGTERM);
+}
+
+int
+LocalWorkerFleet::waitExit(size_t i)
+{
+    if (i >= pids.size() || pids[i] < 0)
+        return -1;
+    const int status = reapStatus(pids[i]);
+    pids[i] = -1;
+    return status;
 }
 
 // ---- driver --------------------------------------------------------------
@@ -1020,13 +1099,25 @@ RemoteExecutor::execute(const std::vector<SimJob> &jobs,
             fl.erase(std::remove(fl.begin(), fl.end(),
                                  static_cast<size_t>(idx)),
                      fl.end());
-            if (!done[idx]) {
-                done[idx] = 1;
-                --remaining;
-                outcomes[idx] = std::move(out);
-                if (on_done)
-                    on_done(static_cast<size_t>(idx));
+            if (done[idx])
+                break;
+            if (out.status == JobStatus::Interrupted) {
+                // Non-terminal: the worker checkpointed the job mid-run
+                // (graceful shutdown) — re-enqueue it. Back on a worker
+                // that sees the same checkpoint directory it resumes
+                // mid-simulation; elsewhere it restarts from zero. The
+                // dying worker's send window drains via losePeer.
+                NWSIM_WARN("worker ", p.name(), " interrupted job ",
+                           out.label(), " at position ",
+                           out.ckptPosition, "; re-enqueueing");
+                p.queue.push_back(static_cast<size_t>(idx));
+                break;
             }
+            done[idx] = 1;
+            --remaining;
+            outcomes[idx] = std::move(out);
+            if (on_done)
+                on_done(static_cast<size_t>(idx));
             break;
         }
         case FrameType::Error:

@@ -113,6 +113,15 @@ struct ServeOptions
     bool once = false;
     /** Daemon log stream (nullptr = silent). */
     std::ostream *log = nullptr;
+    /**
+     * Worker-local checkpoint directory ("" = none). A worker-side
+     * knob, deliberately not shipped in the driver's Hello: the path
+     * must make sense on the worker's filesystem. Jobs with a `+ckpt=N`
+     * cadence snapshot here, so a worker that dies and is re-driven —
+     * or is SIGTERMed and restarted — resumes its jobs mid-simulation
+     * as long as the replacement worker sees the same directory.
+     */
+    std::string ckptDir;
 };
 
 /**
@@ -122,6 +131,12 @@ struct ServeOptions
  * back, heartbeat, and clean up orphaned children if the driver
  * vanishes. Returns after one session with ServeOptions::once, else
  * serves until killed. Throws SimError if the socket cannot be set up.
+ *
+ * Graceful shutdown: on SIGTERM the worker stops launching queued jobs,
+ * forwards SIGTERM to its in-flight children — each checkpoints at its
+ * next safe point and reports an Interrupted outcome — flushes those
+ * outcomes to the driver (which re-enqueues the jobs), closes the
+ * session, and returns so the daemon exits 0 (docs/CHECKPOINT.md).
  */
 void serveWorker(const ServeOptions &opts);
 
@@ -135,8 +150,14 @@ void serveWorker(const ServeOptions &opts);
 class LocalWorkerFleet
 {
   public:
-    /** Fork @p count workers, each with @p jobs_per_worker child slots. */
-    LocalWorkerFleet(unsigned count, unsigned jobs_per_worker);
+    /**
+     * Fork @p count workers, each with @p jobs_per_worker child slots;
+     * @p ckpt_dir, if non-empty, is every worker's local checkpoint
+     * directory (they share the filesystem, so a killed worker's jobs
+     * resume from its checkpoints wherever they land next).
+     */
+    LocalWorkerFleet(unsigned count, unsigned jobs_per_worker,
+                     const std::string &ckpt_dir = "");
     ~LocalWorkerFleet();
 
     LocalWorkerFleet(const LocalWorkerFleet &) = delete;
@@ -147,6 +168,16 @@ class LocalWorkerFleet
 
     /** SIGKILL worker @p i now (worker-loss drills). No-op if reaped. */
     void kill(size_t i);
+
+    /**
+     * SIGTERM worker @p i (graceful-shutdown drills): it checkpoints
+     * in-flight jobs, flushes outcomes, and exits 0 on its own. Does
+     * not reap — pair with waitExit() or the destructor.
+     */
+    void term(size_t i);
+
+    /** Reap worker @p i and return its exit status (waitpid status). */
+    int waitExit(size_t i);
 
   private:
     std::vector<std::string> hostList;

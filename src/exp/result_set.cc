@@ -24,6 +24,8 @@ jobStatusName(JobStatus status)
         return "crashed";
       case JobStatus::Timeout:
         return "timeout";
+      case JobStatus::Interrupted:
+        return "interrupted";
     }
     return "?";
 }
@@ -86,6 +88,13 @@ JobOutcome::statusText() const
       }
       case JobStatus::Timeout:
         return "timeout";
+      case JobStatus::Interrupted: {
+        std::string text = "interrupted";
+        if (!ckptPath.empty()) {
+            text += "(ckpt@" + std::to_string(ckptPosition) + ")";
+        }
+        return text;
+      }
       case JobStatus::Failed:
         return std::string("FAILED[") + failKindName(errorKind) +
                "]: " + error;

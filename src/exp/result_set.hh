@@ -25,9 +25,16 @@ enum class JobStatus : u8
     Failed,   ///< threw an exception (see error / errorKind)
     Crashed,  ///< isolated child died on a fatal signal (termSignal)
     Timeout,  ///< killed by the wall-clock watchdog
+    /**
+     * Stopped gracefully mid-run at a checkpoint (SIGTERM shutdown,
+     * docs/CHECKPOINT.md). NOT terminal: the journal skips it and the
+     * remote driver re-enqueues it, so the job re-runs — resuming from
+     * ckptPath — instead of being recorded as failed.
+     */
+    Interrupted,
 };
 
-/** Printable status ("ok", "failed", "crashed", "timeout"). */
+/** Printable status ("ok", "failed", "crashed", "timeout", ...). */
 const char *jobStatusName(JobStatus status);
 
 /**
@@ -71,6 +78,22 @@ struct JobOutcome
     std::string bundlePath;
     /** Wall-clock of the successful (or last) attempt, seconds. */
     double wallSeconds = 0.0;
+    /**
+     * Last durable checkpoint this job wrote ("" = none): where a
+     * retry or resume restarts the simulation from (docs/CHECKPOINT.md).
+     * Stamped by the in-child runner on interrupt/failure, or probed
+     * from disk by the parent when the child died without reporting
+     * (SIGKILL, timeout).
+     */
+    std::string ckptPath;
+    /** Stream position (retired insts) of that checkpoint. */
+    u64 ckptPosition = 0;
+    /**
+     * Serialized SampleAggregator of a shard job (exp/shard.hh); lets
+     * the driver merge shards exactly (ratio-of-sums over raw interval
+     * samples) instead of from the lossy mean/cov/ci95 summary.
+     */
+    std::string shardAgg;
     /** Simulation statistics; meaningful only when ok. */
     RunResult result;
 

@@ -1,0 +1,174 @@
+#include "exp/shard.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+
+#include "asm/textasm.hh"
+#include "ckpt/run.hh"
+#include "common/error.hh"
+#include "sample/aggregate.hh"
+#include "workloads/kernels.hh"
+
+namespace nwsim::exp
+{
+
+namespace
+{
+
+Program
+shardProgram(const SimJob &job)
+{
+    return job.asmText.empty() ? workloadByName(job.workload).program()
+                               : assembleText(job.asmText);
+}
+
+/** Parent spec of a shard label ("cfg#shard0-3" → "cfg", start → 0). */
+std::string
+parentSpec(const std::string &spec, u64 *start_period)
+{
+    const size_t pos = spec.find("#shard");
+    if (pos == std::string::npos)
+        return spec;
+    if (start_period) {
+        *start_period =
+            std::strtoull(spec.c_str() + pos + 6, nullptr, 10);
+    }
+    return spec.substr(0, pos);
+}
+
+/** Merge one parent's shard outcomes (any order) into its outcome. */
+JobOutcome
+mergeGroup(std::vector<JobOutcome> shards)
+{
+    const auto startOf = [](const JobOutcome &o) {
+        u64 start = 0;
+        parentSpec(o.configSpec, &start);
+        return start;
+    };
+    std::sort(shards.begin(), shards.end(),
+              [&](const JobOutcome &a, const JobOutcome &b) {
+                  return startOf(a) < startOf(b);
+              });
+
+    JobOutcome merged;
+    merged.workload = shards.front().workload;
+    merged.configSpec = parentSpec(shards.front().configSpec, nullptr);
+    for (const JobOutcome &s : shards) {
+        merged.wallSeconds += s.wallSeconds;
+        merged.attempts = std::max(merged.attempts, s.attempts);
+    }
+
+    // A failed shard leaves a hole in the interval stream, so the
+    // parent cannot produce valid whole-run statistics: propagate the
+    // first failure (in period order) with the shard range named.
+    for (const JobOutcome &s : shards) {
+        if (s.ok)
+            continue;
+        merged.ok = false;
+        merged.status = s.status;
+        merged.errorKind = s.errorKind;
+        merged.termSignal = s.termSignal;
+        merged.bundlePath = s.bundlePath;
+        merged.error = s.configSpec.substr(
+                           parentSpec(s.configSpec, nullptr).size()) +
+                       ": " + s.error;
+        return merged;
+    }
+
+    sample::SampleAggregator agg;
+    u64 streamInsts = 0;
+    for (const JobOutcome &s : shards) {
+        streamInsts = std::max(streamInsts, s.result.sample.streamInsts);
+        ckpt::ByteSource src(s.shardAgg);
+        sample::SampleAggregator part;
+        if (!part.loadState(src) || !src.exhausted()) {
+            NWSIM_FATAL("shard outcome ", s.label(),
+                        " carries a corrupt aggregator blob (",
+                        s.shardAgg.size(), " bytes) — cannot merge");
+        }
+        agg.merge(part);
+    }
+    if (agg.intervals() == 0) {
+        NWSIM_FATAL("sharded run of ", merged.label(),
+                    " measured no intervals across ", shards.size(),
+                    " shard(s)");
+    }
+
+    RunResult r = agg.aggregate();
+    r.workload = merged.workload;
+    r.configName = merged.configSpec;
+    r.sample.sampled = true;
+    r.sample.intervals = agg.intervals();
+    r.sample.streamInsts = streamInsts;
+    for (size_t m = 0; m < SampleSummary::kNumMetrics; ++m) {
+        const sample::MetricEstimate est =
+            agg.estimate(static_cast<sample::SampleMetric>(m));
+        SampleSummary::Estimate &out = r.sample.metrics[m];
+        out.mean = est.mean;
+        out.cov = est.cov();
+        out.ci95 = est.ciHalfWidth95();
+    }
+    merged.result = std::move(r);
+    merged.ok = true;
+    merged.status = JobStatus::Ok;
+    merged.errorKind = FailKind::None;
+    return merged;
+}
+
+} // namespace
+
+std::vector<SimJob>
+planShardJobs(const std::vector<SimJob> &jobs, u64 shard_count)
+{
+    NWSIM_ASSERT(shard_count > 0, "shard count must be positive");
+    std::vector<SimJob> out;
+    out.reserve(jobs.size());
+    for (const SimJob &job : jobs) {
+        if (!job.opts.sample.enabled || job.shard.enabled ||
+            job.runner) {
+            out.push_back(job);
+            continue;
+        }
+        const ckpt::ShardPlan plan = ckpt::planShards(
+            shardProgram(job), job.config, job.opts, shard_count);
+        for (const ckpt::ShardAssignment &a : plan.shards) {
+            SimJob s = job;
+            s.shard.enabled = true;
+            s.shard.startPeriod = a.startPeriod;
+            s.shard.endPeriod = a.endPeriod;
+            s.shard.ckptBlob = a.ckptBlob;
+            out.push_back(std::move(s));
+        }
+    }
+    return out;
+}
+
+std::vector<JobOutcome>
+mergeShardOutcomes(std::vector<JobOutcome> outcomes)
+{
+    std::vector<JobOutcome> out;
+    out.reserve(outcomes.size());
+    // Parent label → slot in `out` where its merged outcome lands (the
+    // position of its first shard, preserving grid order).
+    std::map<std::string, size_t> slotOf;
+    std::map<std::string, std::vector<JobOutcome>> groups;
+    for (JobOutcome &o : outcomes) {
+        if (o.configSpec.find("#shard") == std::string::npos) {
+            out.push_back(std::move(o));
+            continue;
+        }
+        const std::string parent =
+            o.workload + "/" + parentSpec(o.configSpec, nullptr);
+        if (slotOf.find(parent) == slotOf.end()) {
+            slotOf.emplace(parent, out.size());
+            out.emplace_back(); // placeholder, filled after grouping
+        }
+        groups[parent].push_back(std::move(o));
+    }
+    for (auto &[parent, shards] : groups)
+        out[slotOf[parent]] = mergeGroup(std::move(shards));
+    return out;
+}
+
+} // namespace nwsim::exp

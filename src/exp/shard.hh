@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Sharded sampled campaigns (docs/CHECKPOINT.md "Sharding"): split each
+ * sampled job's interval schedule into K contiguous period ranges, run
+ * every range as its own SimJob on any executor — threads, forked
+ * children, remote workers — and merge the per-shard SampleAggregator
+ * blobs back into one whole-run outcome.
+ *
+ * The merge is exact, not approximate: shards ship their serialized
+ * aggregators (JobOutcome::shardAgg), so the driver re-runs the same
+ * ratio-of-sums over the same raw interval samples a single-shard run
+ * would accumulate. The merged result is bit-identical for every shard
+ * count K (tests/test_ckpt.cc compares K against 1 field by field).
+ *
+ * Each shard job carries its functional start checkpoint inline in
+ * SimJob::shard — the assignment is its own restart point, so a killed
+ * or reassigned shard simply re-runs with no shared state beyond the
+ * job spec itself.
+ */
+
+#ifndef NWSIM_EXP_SHARD_HH
+#define NWSIM_EXP_SHARD_HH
+
+#include <vector>
+
+#include "exp/campaign.hh"
+
+namespace nwsim::exp
+{
+
+/**
+ * Expand every sampled job of @p jobs into up to @p shard_count shard
+ * jobs (ckpt::planShards fast-forwards the functional stream once per
+ * job to capture each range's starting state). Jobs that are not
+ * sampled, already sharded, or carry a custom runner pass through
+ * unchanged. Schedules with fewer periods than @p shard_count yield
+ * fewer shards.
+ */
+std::vector<SimJob> planShardJobs(const std::vector<SimJob> &jobs,
+                                  u64 shard_count);
+
+/**
+ * Merge shard outcomes (configSpec carrying the "#shard<a>-<b>" suffix
+ * SimJob::outcomeSpec stamps) into one outcome per parent job, in the
+ * position of the parent's first shard; non-shard outcomes pass through
+ * unchanged, order otherwise preserved. Aggregators merge in period
+ * order; a failed shard fails the whole parent with that shard's
+ * classification (its error message names the shard range).
+ */
+std::vector<JobOutcome>
+mergeShardOutcomes(std::vector<JobOutcome> outcomes);
+
+} // namespace nwsim::exp
+
+#endif // NWSIM_EXP_SHARD_HH

@@ -3,210 +3,13 @@
 #include <bit>
 #include <cstring>
 
+#include "driver/result_serial.hh"
+
 namespace nwsim::exp
 {
 
-void
-WireSink::f64v(double v)
-{
-    u64v(std::bit_cast<u64>(v));
-}
-
-bool
-WireSource::f64v(double &v)
-{
-    u64 bits = 0;
-    if (!u64v(bits))
-        return false;
-    v = std::bit_cast<double>(bits);
-    return true;
-}
-
-WireError
-WireSource::header(const char magic[4])
-{
-    if (data.size() < 5)
-        return WireError::Truncated;
-    if (std::memcmp(data.data(), magic, 4) != 0)
-        return WireError::BadMagic;
-    pos = 4;
-    u8 version = 0;
-    u8v(version);
-    if (version != kWireVersion)
-        return WireError::VersionMismatch;
-    return WireError::None;
-}
-
 namespace
 {
-
-void
-packSampleSummaryFields(WireSink &s, const SampleSummary &ss)
-{
-    s.boolv(ss.sampled);
-    s.u64v(ss.intervals);
-    s.u64v(ss.streamInsts);
-    for (const SampleSummary::Estimate &e : ss.metrics) {
-        s.f64v(e.mean);
-        s.f64v(e.cov);
-        s.f64v(e.ci95);
-    }
-}
-
-void
-packRunResult(WireSink &s, const RunResult &r)
-{
-    s.str(r.workload);
-    s.str(r.configName);
-    s.u64v(r.warmupCommitted);
-    s.u64v(r.measuredCommitted);
-
-    const CoreStats &c = r.core;
-    s.u64v(c.cycles);
-    s.u64v(c.fetched);
-    s.u64v(c.dispatched);
-    s.u64v(c.issued);
-    s.u64v(c.committed);
-    s.u64v(c.squashed);
-    s.u64v(c.mispredictSquashes);
-    s.u64v(c.loadsForwarded);
-    s.u64v(c.windowFullStalls);
-    s.u64v(c.issueLimitedCycles);
-    s.u64v(c.readyOpsSum);
-
-    const GatingStats &g = r.gating;
-    s.u64v(g.ops);
-    s.u64v(g.gated16);
-    s.u64v(g.gated33);
-    s.u64v(g.gatedLoadSourced);
-    s.u64v(g.blockedByLoad);
-    s.f64v(g.baselineMwSum);
-    s.f64v(g.gatedMwSum);
-    s.f64v(g.overheadMwSum);
-    s.f64v(g.saved16MwSum);
-    s.f64v(g.saved33MwSum);
-
-    const PackingStats &p = r.packing;
-    s.u64v(p.packedGroups);
-    s.u64v(p.packedInsts);
-    s.u64v(p.replaySpeculations);
-    s.u64v(p.replayTraps);
-    s.u64v(p.packEligibleIssued);
-
-    const BPredStats &b = r.bpred;
-    s.u64v(b.lookups);
-    s.u64v(b.condLookups);
-    s.u64v(b.condDirectionWrong);
-    s.u64v(b.targetWrong);
-
-    const WidthProfilerSnapshot w = r.profiler.snapshot();
-    s.u64v(w.opCount);
-    for (u64 h : w.widthHist)
-        s.u64v(h);
-    for (u64 n : w.narrow16ByCat)
-        s.u64v(n);
-    for (u64 n : w.narrow33ByCat)
-        s.u64v(n);
-    s.u64v(w.pcWidthSeen.size());
-    for (const auto &[pc, seen] : w.pcWidthSeen) {
-        s.u64v(pc);
-        s.u8v(seen);
-    }
-
-    s.f64v(r.l1dMissRate);
-    s.f64v(r.l1iMissRate);
-
-    packSampleSummaryFields(s, r.sample);
-
-    // Host-side decode-cache health (v4).
-    s.u64v(r.decodeCache.lookups);
-    s.u64v(r.decodeCache.hits);
-}
-
-bool
-unpackRunResult(WireSource &s, RunResult &r)
-{
-    s.str(r.workload);
-    s.str(r.configName);
-    s.u64v(r.warmupCommitted);
-    s.u64v(r.measuredCommitted);
-
-    CoreStats &c = r.core;
-    s.u64v(c.cycles);
-    s.u64v(c.fetched);
-    s.u64v(c.dispatched);
-    s.u64v(c.issued);
-    s.u64v(c.committed);
-    s.u64v(c.squashed);
-    s.u64v(c.mispredictSquashes);
-    s.u64v(c.loadsForwarded);
-    s.u64v(c.windowFullStalls);
-    s.u64v(c.issueLimitedCycles);
-    s.u64v(c.readyOpsSum);
-
-    GatingStats &g = r.gating;
-    s.u64v(g.ops);
-    s.u64v(g.gated16);
-    s.u64v(g.gated33);
-    s.u64v(g.gatedLoadSourced);
-    s.u64v(g.blockedByLoad);
-    s.f64v(g.baselineMwSum);
-    s.f64v(g.gatedMwSum);
-    s.f64v(g.overheadMwSum);
-    s.f64v(g.saved16MwSum);
-    s.f64v(g.saved33MwSum);
-
-    PackingStats &p = r.packing;
-    s.u64v(p.packedGroups);
-    s.u64v(p.packedInsts);
-    s.u64v(p.replaySpeculations);
-    s.u64v(p.replayTraps);
-    s.u64v(p.packEligibleIssued);
-
-    BPredStats &b = r.bpred;
-    s.u64v(b.lookups);
-    s.u64v(b.condLookups);
-    s.u64v(b.condDirectionWrong);
-    s.u64v(b.targetWrong);
-
-    WidthProfilerSnapshot w;
-    s.u64v(w.opCount);
-    for (u64 &h : w.widthHist)
-        s.u64v(h);
-    for (u64 &n : w.narrow16ByCat)
-        s.u64v(n);
-    for (u64 &n : w.narrow33ByCat)
-        s.u64v(n);
-    u64 pcs = 0;
-    if (s.u64v(pcs)) {
-        w.pcWidthSeen.reserve(pcs);
-        for (u64 i = 0; i < pcs && s.ok(); ++i) {
-            u64 pc = 0;
-            u8 seen = 0;
-            s.u64v(pc);
-            s.u8v(seen);
-            w.pcWidthSeen.emplace_back(pc, seen);
-        }
-    }
-    r.profiler = WidthProfiler::fromSnapshot(w);
-
-    s.f64v(r.l1dMissRate);
-    s.f64v(r.l1iMissRate);
-
-    SampleSummary &ss = r.sample;
-    s.boolv(ss.sampled);
-    s.u64v(ss.intervals);
-    s.u64v(ss.streamInsts);
-    for (SampleSummary::Estimate &e : ss.metrics) {
-        s.f64v(e.mean);
-        s.f64v(e.cov);
-        s.f64v(e.ci95);
-    }
-
-    s.u64v(r.decodeCache.lookups);
-    s.u64v(r.decodeCache.hits);
-    return s.ok();
-}
 
 void
 packCacheConfig(WireSink &s, const CacheConfig &c)
@@ -367,24 +170,6 @@ unpackCoreConfig(WireSource &s, CoreConfig &c)
 
 } // namespace
 
-const char *
-wireErrorName(WireError err)
-{
-    switch (err) {
-    case WireError::None:
-        return "";
-    case WireError::Truncated:
-        return "truncated";
-    case WireError::BadMagic:
-        return "bad-magic";
-    case WireError::VersionMismatch:
-        return "version-mismatch";
-    case WireError::Corrupt:
-        return "corrupt";
-    }
-    return "?";
-}
-
 std::string
 packJobOutcome(const JobOutcome &outcome)
 {
@@ -401,8 +186,12 @@ packJobOutcome(const JobOutcome &outcome)
     s.str(outcome.error);
     s.str(outcome.bundlePath);
     s.f64v(outcome.wallSeconds);
+    // Checkpoint provenance + shard merge blob (v5).
+    s.str(outcome.ckptPath);
+    s.u64v(outcome.ckptPosition);
+    s.str(outcome.shardAgg);
     if (outcome.ok)
-        packRunResult(s, outcome.result);
+        packRunResultFields(s, outcome.result);
     return s.take();
 }
 
@@ -410,7 +199,7 @@ WireError
 unpackJobOutcomeErr(std::string_view blob, JobOutcome &out)
 {
     WireSource s(blob);
-    if (const WireError err = s.header(kOutcomeMagic);
+    if (const WireError err = s.header(kOutcomeMagic, kWireVersion);
         err != WireError::None) {
         return err;
     }
@@ -428,9 +217,12 @@ unpackJobOutcomeErr(std::string_view blob, JobOutcome &out)
     s.str(o.error);
     s.str(o.bundlePath);
     s.f64v(o.wallSeconds);
+    s.str(o.ckptPath);
+    s.u64v(o.ckptPosition);
+    s.str(o.shardAgg);
     if (!s.ok())
         return WireError::Truncated;
-    if (status8 > static_cast<u8>(JobStatus::Timeout) ||
+    if (status8 > static_cast<u8>(JobStatus::Interrupted) ||
         kind8 > static_cast<u8>(FailKind::Unknown)) {
         return WireError::Corrupt;
     }
@@ -439,7 +231,7 @@ unpackJobOutcomeErr(std::string_view blob, JobOutcome &out)
     o.errorKind = static_cast<FailKind>(kind8);
     o.termSignal = static_cast<int>(sig);
     o.attempts = static_cast<unsigned>(attempts);
-    if (o.ok && !unpackRunResult(s, o.result))
+    if (o.ok && !unpackRunResultFields(s, o.result))
         return WireError::Truncated;
     if (!s.exhausted())
         return WireError::Corrupt; // trailing garbage
@@ -472,6 +264,12 @@ packSimJobSpec(const SimJob &job)
     s.u64v(so.measureInsts);
     s.boolv(so.randomize);
     s.u64v(so.seed);
+    // Checkpoint cadence + shard assignment (v5).
+    s.u64v(job.opts.ckptEveryInsts);
+    s.boolv(job.shard.enabled);
+    s.u64v(job.shard.startPeriod);
+    s.u64v(job.shard.endPeriod);
+    s.str(job.shard.ckptBlob);
     packCoreConfig(s, job.config);
     return s.take();
 }
@@ -480,7 +278,7 @@ WireError
 unpackSimJobSpec(std::string_view blob, SimJob &out)
 {
     WireSource s(blob);
-    if (const WireError err = s.header(kJobSpecMagic);
+    if (const WireError err = s.header(kJobSpecMagic, kWireVersion);
         err != WireError::None) {
         return err;
     }
@@ -499,6 +297,11 @@ unpackSimJobSpec(std::string_view blob, SimJob &out)
     s.u64v(so.measureInsts);
     s.boolv(so.randomize);
     s.u64v(so.seed);
+    s.u64v(job.opts.ckptEveryInsts);
+    s.boolv(job.shard.enabled);
+    s.u64v(job.shard.startPeriod);
+    s.u64v(job.shard.endPeriod);
+    s.str(job.shard.ckptBlob);
     if (!unpackCoreConfig(s, job.config))
         return WireError::Truncated;
     if (!s.exhausted())
@@ -511,7 +314,7 @@ std::string
 packSampleSummary(const SampleSummary &summary)
 {
     WireSink s;
-    packSampleSummaryFields(s, summary);
+    nwsim::packSampleSummaryFields(s, summary);
     return s.take();
 }
 
@@ -552,17 +355,6 @@ fromHex(std::string_view hex, std::string &bytes)
     }
     bytes = std::move(out);
     return true;
-}
-
-u64
-fnv1a64(std::string_view bytes)
-{
-    u64 hash = 0xcbf29ce484222325ULL;
-    for (char c : bytes) {
-        hash ^= static_cast<u8>(c);
-        hash *= 0x100000001b3ULL;
-    }
-    return hash;
 }
 
 } // namespace nwsim::exp

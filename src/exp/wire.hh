@@ -30,6 +30,7 @@
 #include <string>
 #include <string_view>
 
+#include "ckpt/serial.hh"
 #include "exp/campaign.hh"
 #include "exp/result_set.hh"
 
@@ -40,192 +41,29 @@ namespace nwsim::exp
  * Version byte shared by every wire blob (outcomes and job specs).
  * Bump whenever any packed field is added, removed, or re-ordered;
  * readers refuse other versions with WireError::VersionMismatch.
+ *
+ * v5: JobOutcome gains checkpoint provenance (ckptPath/ckptPosition)
+ * and the shard aggregator blob; SimJob gains the checkpoint cadence
+ * and the shard assignment (exp/shard.hh).
  */
-inline constexpr u8 kWireVersion = 4;
+inline constexpr u8 kWireVersion = 5;
 
 /** Magic opening a packed JobOutcome blob. */
 inline constexpr char kOutcomeMagic[4] = {'N', 'W', 'O', 'B'};
 /** Magic opening a packed SimJob spec blob. */
 inline constexpr char kJobSpecMagic[4] = {'N', 'W', 'J', 'B'};
 
-/** Why a wire blob was rejected (None = parsed successfully). */
-enum class WireError : u8
-{
-    None,            ///< parsed successfully
-    Truncated,       ///< ran out of bytes mid-field (torn write)
-    BadMagic,        ///< does not start with the expected magic
-    VersionMismatch, ///< right magic, other format generation
-    Corrupt,         ///< framed correctly but contents are invalid
-};
-
-/** Printable reason ("truncated", "bad-magic", ...; "" for None). */
-const char *wireErrorName(WireError err);
-
 /**
- * Little-endian primitive encoder shared by the blob packers here and
- * the TCP frame layer (exp/remote.cc).
+ * The serialization primitives live in ckpt/serial.hh (header-only, so
+ * low-level libraries can serialize machine state without depending on
+ * the campaign engine); these aliases keep the wire layer's historical
+ * names for its consumers (isolate/journal/remote/tests).
  */
-class WireSink
-{
-  public:
-    void
-    u8v(u8 v)
-    {
-        bytes.push_back(static_cast<char>(v));
-    }
-
-    void
-    boolv(bool v)
-    {
-        u8v(v ? 1 : 0);
-    }
-
-    void
-    u32v(u32 v)
-    {
-        for (int i = 0; i < 4; ++i)
-            bytes.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-    }
-
-    void
-    u64v(u64 v)
-    {
-        for (int i = 0; i < 8; ++i)
-            bytes.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-    }
-
-    void f64v(double v);
-
-    void
-    str(const std::string &s)
-    {
-        u64v(s.size());
-        bytes.append(s);
-    }
-
-    void
-    magic(const char m[4])
-    {
-        bytes.append(m, 4);
-    }
-
-    void
-    raw(std::string_view v)
-    {
-        bytes.append(v);
-    }
-
-    std::string take() { return std::move(bytes); }
-
-  private:
-    std::string bytes;
-};
-
-/** Little-endian primitive decoder; all reads fail-stop on underrun. */
-class WireSource
-{
-  public:
-    explicit WireSource(std::string_view view) : data(view) {}
-
-    bool
-    u8v(u8 &v)
-    {
-        if (pos + 1 > data.size())
-            return fail();
-        v = static_cast<u8>(data[pos++]);
-        return true;
-    }
-
-    bool
-    boolv(bool &v)
-    {
-        u8 b = 0;
-        if (!u8v(b))
-            return false;
-        v = b != 0;
-        return true;
-    }
-
-    bool
-    u32v(u32 &v)
-    {
-        if (pos + 4 > data.size())
-            return fail();
-        v = 0;
-        for (int i = 0; i < 4; ++i)
-            v |= static_cast<u32>(static_cast<u8>(data[pos + i]))
-                 << (8 * i);
-        pos += 4;
-        return true;
-    }
-
-    bool
-    u64v(u64 &v)
-    {
-        if (pos + 8 > data.size())
-            return fail();
-        v = 0;
-        for (int i = 0; i < 8; ++i)
-            v |= static_cast<u64>(static_cast<u8>(data[pos + i]))
-                 << (8 * i);
-        pos += 8;
-        return true;
-    }
-
-    /** unsigned via u32 (every config count fits comfortably). */
-    bool
-    uns(unsigned &v)
-    {
-        u32 x = 0;
-        if (!u32v(x))
-            return false;
-        v = x;
-        return true;
-    }
-
-    bool f64v(double &v);
-
-    bool
-    str(std::string &s)
-    {
-        u64 n = 0;
-        if (!u64v(n) || pos + n > data.size() || pos + n < pos)
-            return fail();
-        s.assign(data.substr(pos, n));
-        pos += n;
-        return true;
-    }
-
-    /**
-     * Classify the blob header: BadMagic / VersionMismatch / Truncated
-     * fail fast before any payload field is touched.
-     */
-    WireError header(const char magic[4]);
-
-    /** Everything from the cursor to the end (for nested blobs). */
-    std::string_view
-    rest()
-    {
-        std::string_view r = data.substr(pos);
-        pos = data.size();
-        return r;
-    }
-
-    bool exhausted() const { return ok_ && pos == data.size(); }
-    bool ok() const { return ok_; }
-
-  private:
-    bool
-    fail()
-    {
-        ok_ = false;
-        return false;
-    }
-
-    std::string_view data;
-    size_t pos = 0;
-    bool ok_ = true;
-};
+using WireError = ckpt::WireError;
+using WireSink = ckpt::ByteSink;
+using WireSource = ckpt::ByteSource;
+using ckpt::fnv1a64;
+using ckpt::wireErrorName;
 
 /** Serialize a full JobOutcome (including RunResult when ok). */
 std::string packJobOutcome(const JobOutcome &outcome);
@@ -268,9 +106,6 @@ std::string toHex(std::string_view bytes);
 
 /** Decode toHex output; false on odd length or non-hex characters. */
 bool fromHex(std::string_view hex, std::string &bytes);
-
-/** FNV-1a 64-bit hash (journal record checksums). */
-u64 fnv1a64(std::string_view bytes);
 
 } // namespace nwsim::exp
 

@@ -80,6 +80,50 @@ class FuncSim
         return dcache ? dcache->stats() : empty;
     }
 
+    /**
+     * Serialize architected state: registers, PC, halt flag, retired
+     * count. The backing SparseMemory is serialized by its owner; the
+     * decode cache is a host-side structure that refreshes lazily.
+     */
+    void
+    saveState(ckpt::ByteSink &sink) const
+    {
+        for (u64 r : regs)
+            sink.u64v(r);
+        sink.u64v(pcReg);
+        sink.boolv(isHalted);
+        sink.u64v(instsExecuted);
+    }
+
+    /**
+     * Restore saveState() data; false on malformed input. Resets the
+     * block cursor — the next step re-resolves it from the (possibly
+     * restored) memory image.
+     */
+    bool
+    loadState(ckpt::ByteSource &src)
+    {
+        std::array<u64, numIntRegs> loaded{};
+        for (u64 &r : loaded) {
+            if (!src.u64v(r))
+                return false;
+        }
+        Addr pc = 0;
+        bool halted_flag = false;
+        u64 count = 0;
+        if (!src.u64v(pc) || !src.boolv(halted_flag) ||
+            !src.u64v(count)) {
+            return false;
+        }
+        regs = loaded;
+        pcReg = pc;
+        isHalted = halted_flag;
+        instsExecuted = count;
+        curBlock = nullptr;
+        curIdx = 0;
+        return true;
+    }
+
   private:
     /** Original decode-every-step interpreter (no cache). */
     FuncStep stepUncached();

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/serial.hh"
 #include "common/types.hh"
 
 namespace nwsim
@@ -64,6 +65,65 @@ class Cache
 
     const CacheConfig &config() const { return cfg; }
     const CacheStats &stats() const { return stat; }
+
+    /**
+     * Serialize stats, replacement clock, and every valid line
+     * (checkpointing). Geometry is not serialized: restore requires an
+     * identically configured cache (the checkpoint envelope binds the
+     * config spec, ckpt/checkpoint.hh).
+     */
+    void
+    saveState(ckpt::ByteSink &sink) const
+    {
+        sink.u64v(stat.accesses);
+        sink.u64v(stat.misses);
+        sink.u64v(useClock);
+        u64 valid = 0;
+        for (const auto &set : sets)
+            for (const Line &line : set)
+                valid += line.valid ? 1 : 0;
+        sink.u64v(valid);
+        for (u32 si = 0; si < sets.size(); ++si) {
+            for (u32 way = 0; way < sets[si].size(); ++way) {
+                const Line &line = sets[si][way];
+                if (!line.valid)
+                    continue;
+                sink.u32v(si);
+                sink.u32v(way);
+                sink.u64v(line.tag);
+                sink.u64v(line.lastUse);
+            }
+        }
+    }
+
+    /** Restore saveState() data; false on malformed input. */
+    bool
+    loadState(ckpt::ByteSource &src)
+    {
+        CacheStats st;
+        u64 clock = 0, valid = 0;
+        if (!src.u64v(st.accesses) || !src.u64v(st.misses) ||
+            !src.u64v(clock) || !src.u64v(valid)) {
+            return false;
+        }
+        for (auto &set : sets)
+            for (Line &line : set)
+                line = Line{};
+        for (u64 i = 0; i < valid; ++i) {
+            u32 si = 0, way = 0;
+            u64 tag = 0, last_use = 0;
+            if (!src.u32v(si) || !src.u32v(way) || !src.u64v(tag) ||
+                !src.u64v(last_use)) {
+                return false;
+            }
+            if (si >= sets.size() || way >= sets[si].size())
+                return false;
+            sets[si][way] = Line{tag, true, last_use};
+        }
+        stat = st;
+        useClock = clock;
+        return true;
+    }
 
   private:
     struct Line

@@ -52,6 +52,26 @@ class MemSystem
     const Tlb &itlb() const { return iTlb; }
     const Tlb &dtlb() const { return dTlb; }
 
+    /** Serialize every level's warmed state + stats (checkpointing). */
+    void
+    saveState(ckpt::ByteSink &sink) const
+    {
+        l1iCache.saveState(sink);
+        l1dCache.saveState(sink);
+        l2Cache.saveState(sink);
+        iTlb.saveState(sink);
+        dTlb.saveState(sink);
+    }
+
+    /** Restore saveState() data; false on malformed input. */
+    bool
+    loadState(ckpt::ByteSource &src)
+    {
+        return l1iCache.loadState(src) && l1dCache.loadState(src) &&
+               l2Cache.loadState(src) && iTlb.loadState(src) &&
+               dTlb.loadState(src);
+    }
+
   private:
     unsigned throughHierarchy(Cache &l1, Addr addr);
 

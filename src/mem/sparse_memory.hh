@@ -10,11 +10,13 @@
 #ifndef NWSIM_MEM_SPARSE_MEMORY_HH
 #define NWSIM_MEM_SPARSE_MEMORY_HH
 
+#include <algorithm>
 #include <cstring>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "ckpt/serial.hh"
 #include "common/types.hh"
 
 namespace nwsim
@@ -86,6 +88,63 @@ class SparseMemory
      * code must use the +nodecodecache escape hatch.
      */
     u64 generation() const { return gen; }
+
+    /**
+     * Serialize the full image (checkpointing, docs/CHECKPOINT.md):
+     * pages sorted by page number, so the encoding is byte-stable
+     * regardless of hash-map iteration order.
+     */
+    void
+    saveState(ckpt::ByteSink &sink) const
+    {
+        std::vector<std::pair<Addr, const Page *>> sorted;
+        sorted.reserve(pages.size());
+        for (const auto &[page_no, page] : pages)
+            sorted.emplace_back(page_no, &page);
+        std::sort(sorted.begin(), sorted.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.first < b.first;
+                  });
+        sink.u64v(sorted.size());
+        for (const auto &[page_no, page] : sorted) {
+            sink.u64v(page_no);
+            sink.raw({reinterpret_cast<const char *>(page->data()),
+                      page->size()});
+        }
+    }
+
+    /**
+     * Replace the image with serialized state. Bumps generation() so
+     * decode caches keyed on it invalidate wholesale instead of serving
+     * blocks decoded from the pre-restore image; false on malformed
+     * input (the caller classifies it as a corrupt checkpoint).
+     */
+    bool
+    loadState(ckpt::ByteSource &src)
+    {
+        u64 count = 0;
+        // Each page is 8 + pageSize encoded bytes; a count the remaining
+        // bytes cannot hold is corruption — reject before reserving.
+        if (!src.u64v(count) ||
+            count > src.remaining() / (8 + pageSize)) {
+            return false;
+        }
+        std::unordered_map<Addr, Page> loaded;
+        loaded.reserve(count);
+        for (u64 i = 0; i < count; ++i) {
+            u64 page_no = 0;
+            std::string_view bytes;
+            if (!src.u64v(page_no) || !src.take(pageSize, bytes))
+                return false;
+            Page page(pageSize);
+            std::memcpy(page.data(), bytes.data(), pageSize);
+            loaded.emplace(page_no, std::move(page));
+        }
+        pages = std::move(loaded);
+        ++gen;
+        dropCache();
+        return true;
+    }
 
   private:
     using Page = std::vector<u8>;

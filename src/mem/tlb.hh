@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "ckpt/serial.hh"
 #include "common/types.hh"
 
 namespace nwsim
@@ -47,6 +48,56 @@ class Tlb
 
     const TlbConfig &config() const { return cfg; }
     const TlbStats &stats() const { return stat; }
+
+    /** Serialize stats, replacement clock, and entries (checkpointing). */
+    void
+    saveState(ckpt::ByteSink &sink) const
+    {
+        sink.u64v(stat.accesses);
+        sink.u64v(stat.misses);
+        sink.u64v(useClock);
+        sink.u64v(entries.size());
+        for (const Entry &e : entries) {
+            sink.u64v(e.vpn);
+            sink.boolv(e.valid);
+            sink.u64v(e.lastUse);
+        }
+    }
+
+    /**
+     * Restore saveState() data, rebuilding the vpn->slot index and
+     * resetting the MRU hint (both purely access-path caches); false on
+     * malformed input or a geometry mismatch.
+     */
+    bool
+    loadState(ckpt::ByteSource &src)
+    {
+        TlbStats st;
+        u64 clock = 0, count = 0;
+        if (!src.u64v(st.accesses) || !src.u64v(st.misses) ||
+            !src.u64v(clock) || !src.u64v(count)) {
+            return false;
+        }
+        if (count != entries.size())
+            return false;
+        std::vector<Entry> loaded(entries.size());
+        for (Entry &e : loaded) {
+            if (!src.u64v(e.vpn) || !src.boolv(e.valid) ||
+                !src.u64v(e.lastUse)) {
+                return false;
+            }
+        }
+        entries = std::move(loaded);
+        index.clear();
+        for (u32 slot = 0; slot < entries.size(); ++slot) {
+            if (entries[slot].valid)
+                index[entries[slot].vpn] = slot;
+        }
+        mru = ~u32{0};
+        stat = st;
+        useClock = clock;
+        return true;
+    }
 
   private:
     struct Entry

@@ -423,4 +423,174 @@ OutOfOrderCore::scheduleCompletion(InstSeq seq, Cycle when)
     completions.schedule(seq, when, curCycle);
 }
 
+void
+OutOfOrderCore::saveState(ckpt::ByteSink &sink) const
+{
+    NWSIM_ASSERT(window.empty() && fetchQueue.empty(),
+                 "saveState with in-flight instructions");
+    mem.saveState(sink);
+
+    for (u64 r : specRegs)
+        sink.u64v(r);
+    for (InstSeq p : regProducer)
+        sink.u64v(p);
+    for (bool f : regFromLoad)
+        sink.boolv(f);
+
+    sink.u64v(fetchPc);
+    sink.u64v(nextSeq);
+    sink.u64v(curCycle);
+    // Not cleared by drainInFlight(): an I-cache miss scheduled before
+    // the drain still blocks fetch until this cycle.
+    sink.u64v(fetchResumeCycle);
+    sink.boolv(fetchHalted);
+    sink.u64v(multDivBusyUntil);
+    sink.boolv(simDone);
+
+    sink.u64v(stat.cycles);
+    sink.u64v(stat.fetched);
+    sink.u64v(stat.dispatched);
+    sink.u64v(stat.issued);
+    sink.u64v(stat.committed);
+    sink.u64v(stat.squashed);
+    sink.u64v(stat.mispredictSquashes);
+    sink.u64v(stat.loadsForwarded);
+    sink.u64v(stat.windowFullStalls);
+    sink.u64v(stat.issueLimitedCycles);
+    sink.u64v(stat.readyOpsSum);
+
+    memsys.saveState(sink);
+
+    sink.boolv(cfg.perfectBPred);
+    if (cfg.perfectBPred) {
+        oracleMem->saveState(sink);
+        oracle->saveState(sink);
+    } else {
+        predictor->saveState(sink);
+    }
+
+    const WidthProfilerSnapshot snap = widthProfiler.snapshot();
+    sink.u64v(snap.opCount);
+    for (u64 v : snap.widthHist)
+        sink.u64v(v);
+    for (u64 v : snap.narrow16ByCat)
+        sink.u64v(v);
+    for (u64 v : snap.narrow33ByCat)
+        sink.u64v(v);
+    sink.u64v(snap.pcWidthSeen.size());
+    for (const auto &[pc, bits] : snap.pcWidthSeen) {
+        sink.u64v(pc);
+        sink.u8v(bits);
+    }
+
+    widthPred.saveState(sink);
+    gatingModel.saveState(sink);
+    cacheModel.saveState(sink);
+
+    sink.u64v(packStat.packedGroups);
+    sink.u64v(packStat.packedInsts);
+    sink.u64v(packStat.replaySpeculations);
+    sink.u64v(packStat.replayTraps);
+    sink.u64v(packStat.packEligibleIssued);
+}
+
+bool
+OutOfOrderCore::loadState(ckpt::ByteSource &src)
+{
+    NWSIM_ASSERT(window.empty() && fetchQueue.empty(),
+                 "loadState with in-flight instructions");
+    if (!mem.loadState(src))
+        return false;
+
+    for (u64 &r : specRegs) {
+        if (!src.u64v(r))
+            return false;
+    }
+    for (InstSeq &p : regProducer) {
+        if (!src.u64v(p))
+            return false;
+    }
+    for (size_t i = 0; i < regFromLoad.size(); ++i) {
+        bool f = false;
+        if (!src.boolv(f))
+            return false;
+        regFromLoad[i] = f;
+    }
+
+    if (!src.u64v(fetchPc) || !src.u64v(nextSeq) ||
+        !src.u64v(curCycle) || !src.u64v(fetchResumeCycle) ||
+        !src.boolv(fetchHalted) || !src.u64v(multDivBusyUntil) ||
+        !src.boolv(simDone)) {
+        return false;
+    }
+
+    if (!src.u64v(stat.cycles) || !src.u64v(stat.fetched) ||
+        !src.u64v(stat.dispatched) || !src.u64v(stat.issued) ||
+        !src.u64v(stat.committed) || !src.u64v(stat.squashed) ||
+        !src.u64v(stat.mispredictSquashes) ||
+        !src.u64v(stat.loadsForwarded) ||
+        !src.u64v(stat.windowFullStalls) ||
+        !src.u64v(stat.issueLimitedCycles) ||
+        !src.u64v(stat.readyOpsSum)) {
+        return false;
+    }
+
+    if (!memsys.loadState(src))
+        return false;
+
+    bool perfect = false;
+    if (!src.boolv(perfect) || perfect != cfg.perfectBPred)
+        return false;
+    if (cfg.perfectBPred) {
+        if (!oracleMem->loadState(src) || !oracle->loadState(src))
+            return false;
+    } else if (!predictor->loadState(src)) {
+        return false;
+    }
+
+    WidthProfilerSnapshot snap;
+    if (!src.u64v(snap.opCount))
+        return false;
+    for (u64 &v : snap.widthHist) {
+        if (!src.u64v(v))
+            return false;
+    }
+    for (u64 &v : snap.narrow16ByCat) {
+        if (!src.u64v(v))
+            return false;
+    }
+    for (u64 &v : snap.narrow33ByCat) {
+        if (!src.u64v(v))
+            return false;
+    }
+    u64 npc = 0;
+    // Each entry is 9 encoded bytes; a count the remaining bytes cannot
+    // hold is corruption — reject before reserving.
+    if (!src.u64v(npc) || npc > src.remaining() / 9)
+        return false;
+    snap.pcWidthSeen.reserve(npc);
+    for (u64 i = 0; i < npc; ++i) {
+        u64 pc = 0;
+        u8 bits = 0;
+        if (!src.u64v(pc) || !src.u8v(bits))
+            return false;
+        snap.pcWidthSeen.emplace_back(pc, bits);
+    }
+    widthProfiler = WidthProfiler::fromSnapshot(snap);
+
+    if (!widthPred.loadState(src) || !gatingModel.loadState(src) ||
+        !cacheModel.loadState(src)) {
+        return false;
+    }
+
+    if (!src.u64v(packStat.packedGroups) ||
+        !src.u64v(packStat.packedInsts) ||
+        !src.u64v(packStat.replaySpeculations) ||
+        !src.u64v(packStat.replayTraps) ||
+        !src.u64v(packStat.packEligibleIssued)) {
+        return false;
+    }
+    return true;
+}
+
 } // namespace nwsim

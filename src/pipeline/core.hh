@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/serial.hh"
 #include "core/cache_gating.hh"
 #include "core/profiler.hh"
 #include "core/width_predictor.hh"
@@ -169,6 +170,30 @@ class OutOfOrderCore
         s.accumulate(fetchCache.stats());
         return s;
     }
+
+    /**
+     * Serialize the full machine state — architected registers and
+     * backing memory, fetch/timing cursors, warmed caches/TLBs/branch
+     * predictor (or the perfect-prediction oracle), and every
+     * measurement counter — into @p sink.
+     *
+     * @pre no in-flight instructions (drainInFlight() first, or call at
+     * an interval boundary). The scheduler structures are empty at such
+     * a point, so they are not serialized; host-side decode caches
+     * rebuild lazily and are not serialized either.
+     */
+    void saveState(ckpt::ByteSink &sink) const;
+
+    /**
+     * Restore saveState() data into this core. Returns false (leaving
+     * the core unusable — discard it) on malformed input or a
+     * configuration mismatch (e.g. different predictor geometry).
+     *
+     * @pre a freshly constructed core over the same program image and
+     * CoreConfig as the one that saved. The backing SparseMemory is
+     * overwritten with the checkpointed image.
+     */
+    bool loadState(ckpt::ByteSource &src);
 
   private:
     friend class CoreInspector;   // white-box unit tests

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "driver/result_serial.hh"
 
 namespace nwsim::sample
 {
@@ -132,6 +133,17 @@ SampleAggregator::addInterval(const RunResult &interval)
         s.values[m] =
             sampleMetricValue(static_cast<SampleMetric>(m), interval);
     }
+    // Float summands, folded in interval order by aggregate(). Miss
+    // rates are ratios; weight them by the interval's commits so the
+    // aggregate approximates the ratio over all measured work.
+    const double w = static_cast<double>(interval.core.committed);
+    s.floatSums[0] = interval.gating.baselineMwSum;
+    s.floatSums[1] = interval.gating.gatedMwSum;
+    s.floatSums[2] = interval.gating.overheadMwSum;
+    s.floatSums[3] = interval.gating.saved16MwSum;
+    s.floatSums[4] = interval.gating.saved33MwSum;
+    s.floatSums[5] = interval.l1dMissRate * w;
+    s.floatSums[6] = interval.l1iMissRate * w;
     samples.push_back(s);
 
     if (!haveSum) {
@@ -140,11 +152,6 @@ SampleAggregator::addInterval(const RunResult &interval)
     } else {
         sumInto(sum, interval);
     }
-    // Miss rates are ratios; weight them by the interval's commits so
-    // the aggregate approximates the ratio over all measured work.
-    const double w = static_cast<double>(interval.core.committed);
-    l1dMissWeighted += interval.l1dMissRate * w;
-    l1iMissWeighted += interval.l1iMissRate * w;
 }
 
 void
@@ -162,8 +169,6 @@ SampleAggregator::merge(const SampleAggregator &other)
             sumInto(sum, other.sum);
         }
     }
-    l1dMissWeighted += other.l1dMissWeighted;
-    l1iMissWeighted += other.l1iMissWeighted;
 }
 
 MetricEstimate
@@ -193,14 +198,80 @@ SampleAggregator::estimate(SampleMetric metric) const
     return est;
 }
 
+void
+SampleAggregator::saveState(ckpt::ByteSink &sink) const
+{
+    sink.u64v(samples.size());
+    for (const IntervalSample &s : samples) {
+        for (double v : s.values)
+            sink.f64v(v);
+        for (double v : s.floatSums)
+            sink.f64v(v);
+    }
+    sink.boolv(haveSum);
+    if (haveSum)
+        packRunResultFields(sink, sum);
+}
+
+bool
+SampleAggregator::loadState(ckpt::ByteSource &src)
+{
+    constexpr size_t nDoubles =
+        static_cast<size_t>(SampleMetric::NumMetrics) +
+        IntervalSample::kNumFloatSums;
+    u64 count = 0;
+    // Each sample is 8 * nDoubles encoded bytes; a count the remaining
+    // bytes cannot hold is corruption — reject before reserving.
+    if (!src.u64v(count) || count > src.remaining() / (8 * nDoubles))
+        return false;
+    std::vector<IntervalSample> loaded;
+    loaded.reserve(count);
+    for (u64 i = 0; i < count; ++i) {
+        IntervalSample s;
+        for (double &v : s.values) {
+            if (!src.f64v(v))
+                return false;
+        }
+        for (double &v : s.floatSums) {
+            if (!src.f64v(v))
+                return false;
+        }
+        loaded.push_back(s);
+    }
+    bool have = false;
+    if (!src.boolv(have))
+        return false;
+    RunResult loaded_sum;
+    if (have && !unpackRunResultFields(src, loaded_sum))
+        return false;
+    samples = std::move(loaded);
+    haveSum = have;
+    sum = std::move(loaded_sum);
+    return true;
+}
+
 RunResult
 SampleAggregator::aggregate() const
 {
     NWSIM_ASSERT(haveSum, "aggregate() with no intervals");
     RunResult r = sum;
+    // Fold every float-summed quantity over the intervals in order —
+    // the canonical sequence that makes sharded merges bit-exact (the
+    // running totals sumInto() left in r.gating were grouping-dependent;
+    // overwrite them).
+    double fold[IntervalSample::kNumFloatSums] = {};
+    for (const IntervalSample &s : samples) {
+        for (size_t i = 0; i < IntervalSample::kNumFloatSums; ++i)
+            fold[i] += s.floatSums[i];
+    }
+    r.gating.baselineMwSum = fold[0];
+    r.gating.gatedMwSum = fold[1];
+    r.gating.overheadMwSum = fold[2];
+    r.gating.saved16MwSum = fold[3];
+    r.gating.saved33MwSum = fold[4];
     const double commits = static_cast<double>(r.core.committed);
-    r.l1dMissRate = commits > 0.0 ? l1dMissWeighted / commits : 0.0;
-    r.l1iMissRate = commits > 0.0 ? l1iMissWeighted / commits : 0.0;
+    r.l1dMissRate = commits > 0.0 ? fold[5] / commits : 0.0;
+    r.l1iMissRate = commits > 0.0 ? fold[6] / commits : 0.0;
     return r;
 }
 

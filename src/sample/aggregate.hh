@@ -26,6 +26,7 @@
 
 #include <vector>
 
+#include "ckpt/serial.hh"
 #include "driver/runner.hh"
 
 namespace nwsim::sample
@@ -100,20 +101,41 @@ class SampleAggregator
      */
     RunResult aggregate() const;
 
+    /**
+     * Serialize the complete aggregator state — per-interval samples,
+     * summed counters, and the weighted miss-rate accumulators. A
+     * restored aggregator continues (or merges) exactly where this one
+     * stood: sampled-mode checkpoints and sharded runs' merge blobs
+     * both ride on this.
+     */
+    void saveState(ckpt::ByteSink &sink) const;
+
+    /** Restore saveState() data; false on malformed input. */
+    bool loadState(ckpt::ByteSource &src);
+
   private:
-    /** Headline ratios of one interval, in SampleMetric order. */
+    /** Per-interval record: headline ratios plus float summands. */
     struct IntervalSample
     {
+        /** Headline ratios, in SampleMetric order. */
         double values[static_cast<size_t>(SampleMetric::NumMetrics)] =
             {};
+        /**
+         * The interval's floating-point summed quantities (gating mW
+         * sums, commit-weighted miss rates). Kept per interval — not as
+         * running totals — so aggregate() can fold them in interval
+         * order: float addition is not associative, and folding a
+         * canonical sequence is what keeps a K-shard merge bit-identical
+         * to a single-shard run for every K.
+         */
+        static constexpr size_t kNumFloatSums = 7;
+        double floatSums[kNumFloatSums] = {};
     };
 
     std::vector<IntervalSample> samples;
+    /** Integer counters summed across intervals (order-independent). */
     RunResult sum;
     bool haveSum = false;
-    /** Commit-weighted miss-rate accumulators (rates are not summable). */
-    double l1dMissWeighted = 0.0;
-    double l1iMissWeighted = 0.0;
 };
 
 } // namespace nwsim::sample

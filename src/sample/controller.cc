@@ -36,6 +36,15 @@ deltaMissRate(const CacheStats &before, const CacheStats &after)
 
 } // namespace
 
+u64
+sampleOffset(const SampleOptions &s, u64 period)
+{
+    if (!s.randomize)
+        return 0;
+    const u64 slack = s.periodInsts - (s.warmupInsts + s.measureInsts);
+    return splitmix64(s.seed ^ period) % (slack + 1);
+}
+
 void
 validateSampleOptions(const SampleOptions &s)
 {
@@ -53,7 +62,8 @@ validateSampleOptions(const SampleOptions &s)
 RunResult
 runSampledProgram(const Program &program, const CoreConfig &config,
                   const RunOptions &opts, const std::string &name,
-                  const std::string &config_name, CoreObserver *observer)
+                  const std::string &config_name, CoreObserver *observer,
+                  const SampleHooks *hooks)
 {
     const SampleOptions &s = opts.sample;
     NWSIM_ASSERT(s.enabled, "runSampledProgram without +sample");
@@ -72,21 +82,19 @@ runSampledProgram(const Program &program, const CoreConfig &config,
 
     // Same total program region as the full-detail twin would cover.
     const u64 budget = opts.warmupInsts + opts.measureInsts;
-    const u64 detailed = s.warmupInsts + s.measureInsts;
-    const u64 slack = s.periodInsts - detailed;
 
     SampleAggregator agg;
     u64 position = 0;   // architected instructions consumed so far
     u64 period = 0;
+    if (hooks && hooks->onStart)
+        hooks->onStart(core, agg, position, period);
     while (!core.done() && position < budget) {
         // Sample point for this period: the detailed probe sits at the
         // period start (so a budget smaller than one period still
         // yields an interval), or at a seeded-random offset within the
         // period's slack when randomized.
-        u64 offset = 0;
-        if (s.randomize)
-            offset = splitmix64(s.seed ^ period) % (slack + 1);
-        const u64 sampleAt = period * s.periodInsts + offset;
+        const u64 sampleAt =
+            period * s.periodInsts + sampleOffset(s, period);
         ++period;
         if (sampleAt >= budget)
             break;
@@ -97,7 +105,22 @@ runSampledProgram(const Program &program, const CoreConfig &config,
         // functional-warming mode.
         if (sampleAt > position) {
             core.drainInFlight();
-            position += core.fastForward(sampleAt - position);
+            // Chunked so the safe-point hook fires inside long skipped
+            // stretches; a short return means the stream reached HALT
+            // and the probe below retires it.
+            while (position < sampleAt) {
+                u64 chunk = sampleAt - position;
+                if (hooks && hooks->ffChunkInsts &&
+                    chunk > hooks->ffChunkInsts) {
+                    chunk = hooks->ffChunkInsts;
+                }
+                const u64 ffed = core.fastForward(chunk);
+                position += ffed;
+                if (ffed < chunk)
+                    break;
+                if (position < sampleAt && hooks && hooks->atSafePoint)
+                    hooks->atSafePoint(core, agg, position, period - 1);
+            }
             if (core.done())
                 break;
         }
@@ -123,6 +146,8 @@ runSampledProgram(const Program &program, const CoreConfig &config,
         interval.l1iMissRate =
             deltaMissRate(l1i0, core.memSystem().l1i().stats());
         agg.addInterval(interval);
+        if (hooks && hooks->atSafePoint)
+            hooks->atSafePoint(core, agg, position, period);
     }
 
     if (agg.intervals() == 0) {

@@ -38,15 +38,62 @@
 #ifndef NWSIM_SAMPLE_CONTROLLER_HH
 #define NWSIM_SAMPLE_CONTROLLER_HH
 
+#include <functional>
+
 #include "sample/aggregate.hh"
 
 namespace nwsim
 {
 class CoreObserver;
+class OutOfOrderCore;
 }
 
 namespace nwsim::sample
 {
+
+/**
+ * Checkpoint seams in the sampled stream (src/ckpt/run.cc installs
+ * these; plain sampled runs pass none and are untouched).
+ *
+ * Both hooks fire only at *checkpoint-safe* points — the pipeline
+ * window is empty (mid-fast-forward) or about to be drained anyway
+ * (interval boundary, where the squashes land in warmup state the next
+ * resetStats() discards) — so a run with hooks installed is
+ * stat-identical to the same run without them.
+ *
+ * The (position, period) pair passed around is the full stream cursor:
+ * restarting the interval loop with those values recomputes the same
+ * sample schedule (offsets are a pure function of seed and period) and
+ * continues the stream exactly where it stood.
+ */
+struct SampleHooks
+{
+    /**
+     * Cap each fastForward call at this many instructions so the
+     * atSafePoint hook fires inside long skipped stretches too.
+     * 0 = unchunked.
+     */
+    u64 ffChunkInsts = 0;
+
+    /**
+     * Called once, before the interval loop, on the freshly constructed
+     * core: restore a checkpoint into (core, agg) and advance
+     * position/period to the checkpointed stream cursor.
+     */
+    std::function<void(OutOfOrderCore &core, SampleAggregator &agg,
+                       u64 &position, u64 &period)>
+        onStart;
+
+    /**
+     * Called at each checkpoint-safe point with the stream cursor a
+     * resumed run would restart from. The core is drained at
+     * mid-fast-forward points; at interval boundaries the hook may
+     * drain it (the drain is stat-invisible there).
+     */
+    std::function<void(OutOfOrderCore &core, SampleAggregator &agg,
+                       u64 position, u64 period)>
+        atSafePoint;
+};
 
 /**
  * Sampled counterpart of runProgram(): run @p program on @p config
@@ -56,17 +103,28 @@ namespace nwsim::sample
  * stamped SampleSummary with per-metric error bars.
  *
  * @p observer, if non-null, is attached to every probe core.
+ * @p hooks, if non-null, installs checkpoint seams (see SampleHooks).
  */
 RunResult runSampledProgram(const Program &program,
                             const CoreConfig &config,
                             const RunOptions &opts,
                             const std::string &name,
                             const std::string &config_name,
-                            CoreObserver *observer = nullptr);
+                            CoreObserver *observer = nullptr,
+                            const SampleHooks *hooks = nullptr);
 
 /** Validate @p s (period fits warmup+measure, measure > 0); FATAL on
  *  nonsense so bad `+sample=` specs die before jobs are queued. */
 void validateSampleOptions(const SampleOptions &s);
+
+/**
+ * Probe offset inside period @p period: 0 for deterministic schedules,
+ * a seeded-random slide within the period's slack when randomized. A
+ * pure function of (s, period) — the interval controller, the shard
+ * planner, and every shard runner recompute the identical schedule
+ * from it, which is what makes sharded runs mergeable.
+ */
+u64 sampleOffset(const SampleOptions &s, u64 period);
 
 } // namespace nwsim::sample
 

@@ -1,0 +1,632 @@
+/**
+ * Checkpoint/restore (docs/CHECKPOINT.md): the NWCK file format's
+ * durability and fuzz resistance, checkpointed detailed and sampled
+ * runs that resume bit-identically after an interrupt, fork-isolated
+ * jobs SIGKILLed mid-run and resumed from their last durable
+ * checkpoint, graceful worker shutdown over the remote executor, and
+ * sharded sampled campaigns whose merged statistics are invariant in
+ * the shard count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <csignal>
+#include <sys/wait.h>
+
+#include "ckpt/checkpoint.hh"
+#include "ckpt/run.hh"
+#include "common/error.hh"
+#include "exp/campaign.hh"
+#include "exp/configs.hh"
+#include "exp/journal.hh"
+#include "exp/remote.hh"
+#include "exp/shard.hh"
+#include "sample/controller.hh"
+#include "stat_diff.hh"
+#include "workloads/workload.hh"
+
+namespace nwsim
+{
+namespace
+{
+
+/** Fresh scratch directory under the test's cwd. */
+std::string
+scratchDir(const std::string &name)
+{
+    const std::string dir = "ckpt_test_" + name;
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir;
+}
+
+/** Clear interrupt flag + test-hook env between drills. */
+void
+resetCkptTestState()
+{
+    ckpt::clearInterrupt();
+    ::unsetenv("NWSIM_CKPT_TEST_STOP_AT");
+    ::unsetenv("NWSIM_CKPT_TEST_KILL_AT");
+}
+
+RunOptions
+detailedOpts(u64 every = 3000)
+{
+    RunOptions opts;
+    opts.warmupInsts = 2000;
+    opts.measureInsts = 10000;
+    opts.ckptEveryInsts = every;
+    return opts;
+}
+
+RunOptions
+sampledOpts(u64 every = 30000)
+{
+    RunOptions opts;
+    opts.warmupInsts = 50000;
+    opts.measureInsts = 150000;
+    opts.sample = exp::sampleBySpec("baseline+sample=40000:1000:4000");
+    opts.ckptEveryInsts = every;
+    return opts;
+}
+
+RunResult
+runCkpt(const RunOptions &opts, const std::string &path,
+        const std::string &workload = "perl")
+{
+    ckpt::CkptRunPolicy policy;
+    policy.path = path;
+    policy.workload = workload;
+    policy.configSpec = "baseline";
+    policy.everyInsts = opts.ckptEveryInsts;
+    return ckpt::runCheckpointedProgram(
+        workloadByName(workload).program(), exp::configBySpec("baseline"),
+        opts, workload, "baseline", policy);
+}
+
+// ---- NWCK file format ----------------------------------------------------
+
+TEST(CkptFile, RoundTripAndProbe)
+{
+    const std::string dir = scratchDir("roundtrip");
+    const std::string path = dir + "/a.nwck";
+
+    ckpt::CheckpointMeta meta;
+    meta.workload = "perl";
+    meta.configSpec = "baseline+ckpt=5000";
+    meta.kind = ckpt::CkptKind::Full;
+    meta.position = 123456;
+    const std::string payload("\x00\x01machine-state\xff\x7f", 18);
+
+    std::string error;
+    ASSERT_TRUE(ckpt::writeCheckpointFile(path, meta, payload, error))
+        << error;
+    EXPECT_TRUE(ckpt::checkpointExists(path));
+    // The tmp staging file must not survive a successful rename.
+    EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+
+    ckpt::CheckpointMeta back;
+    std::string got;
+    ASSERT_EQ(ckpt::readCheckpointFile(path, back, got),
+              ckpt::WireError::None);
+    EXPECT_EQ(back.workload, meta.workload);
+    EXPECT_EQ(back.configSpec, meta.configSpec);
+    EXPECT_EQ(back.kind, meta.kind);
+    EXPECT_EQ(back.position, meta.position);
+    EXPECT_EQ(got, payload);
+    EXPECT_TRUE(back.matches("perl", "baseline+ckpt=5000"));
+    EXPECT_FALSE(back.matches("perl", "baseline"));
+
+    ckpt::CheckpointMeta probed;
+    ASSERT_EQ(ckpt::probeCheckpoint(path, probed),
+              ckpt::WireError::None);
+    EXPECT_EQ(probed.position, meta.position);
+
+    // Overwrite is atomic: the new contents fully replace the old.
+    meta.position = 999;
+    ASSERT_TRUE(ckpt::writeCheckpointFile(path, meta, "v2", error));
+    ASSERT_EQ(ckpt::readCheckpointFile(path, back, got),
+              ckpt::WireError::None);
+    EXPECT_EQ(back.position, 999u);
+    EXPECT_EQ(got, "v2");
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(CkptFile, MissingAndForeignFilesAreClassified)
+{
+    const std::string dir = scratchDir("classify");
+    ckpt::CheckpointMeta meta;
+    std::string payload;
+
+    EXPECT_FALSE(ckpt::checkpointExists(dir + "/absent.nwck"));
+    EXPECT_EQ(ckpt::readCheckpointFile(dir + "/absent.nwck", meta,
+                                       payload),
+              ckpt::WireError::Truncated);
+
+    // A non-checkpoint file must be BadMagic, not a misparse.
+    const std::string junk = dir + "/junk.nwck";
+    {
+        std::FILE *f = std::fopen(junk.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        std::fputs("HTTP/1.1 200 OK\r\n\r\nhello", f);
+        std::fclose(f);
+    }
+    EXPECT_EQ(ckpt::readCheckpointFile(junk, meta, payload),
+              ckpt::WireError::BadMagic);
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(CkptFile, ByteFlipAndTruncationFuzzAlwaysClassified)
+{
+    const std::string dir = scratchDir("fuzz");
+    const std::string path = dir + "/seed.nwck";
+
+    ckpt::CheckpointMeta meta;
+    meta.workload = "perl";
+    meta.configSpec = "baseline";
+    meta.position = 42;
+    std::string payload;
+    for (int i = 0; i < 256; ++i)
+        payload.push_back(static_cast<char>(i));
+    std::string error;
+    ASSERT_TRUE(ckpt::writeCheckpointFile(path, meta, payload, error));
+
+    std::string bytes;
+    {
+        std::FILE *f = std::fopen(path.c_str(), "rb");
+        ASSERT_NE(f, nullptr);
+        char buf[4096];
+        size_t n = 0;
+        while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+            bytes.append(buf, n);
+        std::fclose(f);
+    }
+
+    const std::string mutated = dir + "/mutated.nwck";
+    std::mt19937 rng(1999); // fixed seed: deterministic corpus
+    size_t rejected = 0;
+    for (int iter = 0; iter < 500; ++iter) {
+        std::string blob = bytes;
+        blob[rng() % blob.size()] ^=
+            static_cast<char>(1u << (rng() % 8));
+        if (iter % 3 == 0)
+            blob.resize(rng() % (blob.size() + 1));
+        {
+            std::FILE *f = std::fopen(mutated.c_str(), "wb");
+            ASSERT_NE(f, nullptr);
+            std::fwrite(blob.data(), 1, blob.size(), f);
+            std::fclose(f);
+        }
+        // Every mutation must classify or parse — never crash, hang,
+        // or return None with altered contents (the checksum covers
+        // every payload byte).
+        ckpt::CheckpointMeta m;
+        std::string p;
+        const ckpt::WireError err =
+            ckpt::readCheckpointFile(mutated, m, p);
+        if (err != ckpt::WireError::None) {
+            ++rejected;
+        } else {
+            EXPECT_EQ(p, payload);
+            EXPECT_EQ(m.position, meta.position);
+        }
+    }
+    // A single byte flip can only go unnoticed by colliding FNV-1a;
+    // with this corpus every mutation is caught.
+    EXPECT_GT(rejected, 450u);
+
+    std::filesystem::remove_all(dir);
+}
+
+// ---- checkpointed detailed runs ------------------------------------------
+
+TEST(DetailedCkpt, StatsIndependentOfCheckpointPath)
+{
+    resetCkptTestState();
+    const std::string dir = scratchDir("pathless");
+    const RunResult without = runCkpt(detailedOpts(), "");
+    const RunResult with = runCkpt(detailedOpts(), dir + "/p.nwck");
+    EXPECT_TRUE(test::statIdentical(without, with));
+    // Deleted after a successful run.
+    EXPECT_FALSE(ckpt::checkpointExists(dir + "/p.nwck"));
+    std::filesystem::remove_all(dir);
+}
+
+TEST(DetailedCkpt, InterruptThenResumeIsBitIdentical)
+{
+    resetCkptTestState();
+    const std::string dir = scratchDir("detailed_resume");
+    const std::string path = dir + "/job.nwck";
+
+    const RunResult reference = runCkpt(detailedOpts(), "");
+
+    ::setenv("NWSIM_CKPT_TEST_STOP_AT", "6000", 1);
+    EXPECT_THROW(runCkpt(detailedOpts(), path), InterruptedError);
+    resetCkptTestState();
+    ASSERT_TRUE(ckpt::checkpointExists(path));
+
+    ckpt::CheckpointMeta meta;
+    ASSERT_EQ(ckpt::probeCheckpoint(path, meta), ckpt::WireError::None);
+    EXPECT_GE(meta.position, 6000u);
+
+    const RunResult resumed = runCkpt(detailedOpts(), path);
+    EXPECT_TRUE(test::statIdentical(reference, resumed));
+    EXPECT_FALSE(ckpt::checkpointExists(path));
+    std::filesystem::remove_all(dir);
+}
+
+TEST(DetailedCkpt, MismatchedCheckpointIsRefusedAndRunStartsFresh)
+{
+    resetCkptTestState();
+    const std::string dir = scratchDir("mismatch");
+    const std::string path = dir + "/job.nwck";
+
+    // Interrupt a gsm-decode run, then hand its checkpoint to a perl
+    // job: the meta binding must refuse it and run fresh (identical to
+    // a run with no checkpoint at all).
+    ::setenv("NWSIM_CKPT_TEST_STOP_AT", "6000", 1);
+    EXPECT_THROW(runCkpt(detailedOpts(), path, "gsm-decode"),
+                 InterruptedError);
+    resetCkptTestState();
+    ASSERT_TRUE(ckpt::checkpointExists(path));
+
+    const RunResult reference = runCkpt(detailedOpts(), "");
+    const RunResult fresh = runCkpt(detailedOpts(), path);
+    EXPECT_TRUE(test::statIdentical(reference, fresh));
+    std::filesystem::remove_all(dir);
+}
+
+// ---- checkpointed sampled runs -------------------------------------------
+
+TEST(SampledCkpt, MatchesPlainSampledRun)
+{
+    resetCkptTestState();
+    const RunOptions opts = sampledOpts();
+    const RunResult plain = sample::runSampledProgram(
+        workloadByName("perl").program(), exp::configBySpec("baseline"),
+        opts, "perl", "baseline");
+    const RunResult ckpted = runCkpt(opts, "");
+    EXPECT_TRUE(test::statIdentical(plain, ckpted));
+}
+
+TEST(SampledCkpt, InterruptThenResumeIsBitIdentical)
+{
+    resetCkptTestState();
+    const std::string dir = scratchDir("sampled_resume");
+    const std::string path = dir + "/job.nwck";
+
+    const RunResult reference = runCkpt(sampledOpts(), "");
+
+    ::setenv("NWSIM_CKPT_TEST_STOP_AT", "90000", 1);
+    EXPECT_THROW(runCkpt(sampledOpts(), path), InterruptedError);
+    resetCkptTestState();
+    ASSERT_TRUE(ckpt::checkpointExists(path));
+
+    const RunResult resumed = runCkpt(sampledOpts(), path);
+    EXPECT_TRUE(test::statIdentical(reference, resumed));
+    EXPECT_FALSE(ckpt::checkpointExists(path));
+    std::filesystem::remove_all(dir);
+}
+
+// ---- sharded sampled campaigns -------------------------------------------
+
+/** Thread-executor sweep of @p jobs merged back to per-parent results. */
+std::vector<exp::JobOutcome>
+runSharded(const std::vector<std::string> &workloads, u64 shards)
+{
+    exp::Campaign grid = exp::Campaign::grid(
+        workloads, {"baseline+sample=40000:1000:4000"}, sampledOpts(0));
+    exp::Campaign c;
+    for (exp::SimJob &job : exp::planShardJobs(grid.jobs(), shards))
+        c.add(std::move(job));
+    return exp::mergeShardOutcomes(c.run({}).outcomes());
+}
+
+TEST(Shard, MergedStatsInvariantInShardCount)
+{
+    resetCkptTestState();
+    const std::vector<std::string> wl = {"perl", "gsm-decode"};
+    const std::vector<exp::JobOutcome> one = runSharded(wl, 1);
+    const std::vector<exp::JobOutcome> three = runSharded(wl, 3);
+    const std::vector<exp::JobOutcome> five = runSharded(wl, 5);
+
+    ASSERT_EQ(one.size(), wl.size());
+    ASSERT_EQ(three.size(), wl.size());
+    ASSERT_EQ(five.size(), wl.size());
+    for (size_t i = 0; i < wl.size(); ++i) {
+        ASSERT_TRUE(one[i].ok) << one[i].error;
+        ASSERT_TRUE(three[i].ok) << three[i].error;
+        // The shard suffix is stripped back off by the merge.
+        EXPECT_EQ(one[i].label(), three[i].label());
+        EXPECT_EQ(one[i].configSpec.find("#shard"), std::string::npos);
+        EXPECT_TRUE(
+            test::statIdentical(one[i].result, three[i].result))
+            << one[i].label();
+        EXPECT_TRUE(test::statIdentical(one[i].result, five[i].result))
+            << one[i].label();
+    }
+}
+
+TEST(Shard, FailedShardFailsParentWithRangeNamed)
+{
+    std::vector<exp::JobOutcome> outcomes(2);
+    outcomes[0].workload = "perl";
+    outcomes[0].configSpec = "spec#shard0-2";
+    outcomes[0].ok = true;
+    outcomes[0].status = exp::JobStatus::Ok;
+    outcomes[1].workload = "perl";
+    outcomes[1].configSpec = "spec#shard2-4";
+    outcomes[1].ok = false;
+    outcomes[1].status = exp::JobStatus::Crashed;
+    outcomes[1].termSignal = SIGSEGV;
+    outcomes[1].error = "isolated job killed by SIGSEGV";
+
+    const std::vector<exp::JobOutcome> merged =
+        exp::mergeShardOutcomes(std::move(outcomes));
+    ASSERT_EQ(merged.size(), 1u);
+    EXPECT_FALSE(merged[0].ok);
+    EXPECT_EQ(merged[0].status, exp::JobStatus::Crashed);
+    EXPECT_EQ(merged[0].configSpec, "spec");
+    EXPECT_NE(merged[0].error.find("#shard2-4"), std::string::npos);
+}
+
+// ---- campaign integration ------------------------------------------------
+
+exp::Campaign
+ckptGrid()
+{
+    return exp::Campaign::grid({"perl"}, {"baseline"}, detailedOpts());
+}
+
+TEST(Campaign, InterruptedJobSkipsJournalAndResumesFromCheckpoint)
+{
+    resetCkptTestState();
+    const std::string dir = scratchDir("campaign_resume");
+    const std::string journal = dir + "/sweep.nwj";
+
+    const exp::ResultSet reference = ckptGrid().run({});
+    ASSERT_TRUE(reference.allOk());
+
+    exp::CampaignOptions copts;
+    copts.journal = journal;
+    copts.ckptDir = dir;
+    copts.jobs = 1;
+
+    ::setenv("NWSIM_CKPT_TEST_STOP_AT", "6000", 1);
+    const exp::ResultSet interrupted = ckptGrid().run(copts);
+    resetCkptTestState();
+
+    ASSERT_EQ(interrupted.size(), 1u);
+    const exp::JobOutcome &stopped = interrupted.outcomes()[0];
+    EXPECT_EQ(stopped.status, exp::JobStatus::Interrupted);
+    EXPECT_FALSE(stopped.ok);
+    EXPECT_FALSE(stopped.ckptPath.empty());
+    EXPECT_GE(stopped.ckptPosition, 6000u);
+    ASSERT_TRUE(ckpt::checkpointExists(stopped.ckptPath));
+
+    // Interrupted is not terminal: the journal must not hold a record
+    // for the job, so a resume re-runs it (from the checkpoint).
+    EXPECT_TRUE(exp::CampaignJournal::load(journal).empty());
+
+    copts.resume = true;
+    const exp::ResultSet resumed = ckptGrid().run(copts);
+    ASSERT_TRUE(resumed.allOk());
+    EXPECT_TRUE(test::statIdentical(reference.outcomes()[0].result,
+                                    resumed.outcomes()[0].result));
+    EXPECT_EQ(exp::CampaignJournal::load(journal).size(), 1u);
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Campaign, ResumeRejectsJournalFromDifferentSweep)
+{
+    resetCkptTestState();
+    const std::string dir = scratchDir("foreign_journal");
+    const std::string journal = dir + "/other.nwj";
+
+    // Journal a different grid, then resume this one against it: the
+    // mismatch must fail fast, not silently mix two campaigns.
+    exp::CampaignOptions other;
+    other.journal = journal;
+    ASSERT_TRUE(exp::Campaign::grid({"gsm-decode"}, {"baseline"},
+                                    detailedOpts(0))
+                    .run(other)
+                    .allOk());
+
+    exp::CampaignOptions copts;
+    copts.journal = journal;
+    copts.resume = true;
+    EXPECT_THROW(ckptGrid().run(copts), BadInputError);
+
+    std::filesystem::remove_all(dir);
+}
+
+// ---- fork-isolated kill/resume -------------------------------------------
+
+TEST(ForkExec, SigkilledJobLeavesCheckpointAndResumes)
+{
+    resetCkptTestState();
+    const std::string dir = scratchDir("fork_kill");
+
+    const exp::ResultSet reference = ckptGrid().run({});
+
+    exp::CampaignOptions copts;
+    copts.isolate = true;
+    copts.ckptDir = dir;
+    copts.maxAttempts = 1;
+
+    // The child SIGKILLs itself right after the 6000-instruction
+    // checkpoint lands: no handler runs, no outcome is reported — the
+    // parent must classify the death AND recover the checkpoint
+    // provenance by probing the directory.
+    ::setenv("NWSIM_CKPT_TEST_KILL_AT", "6000", 1);
+    const exp::ResultSet killed = ckptGrid().run(copts);
+    resetCkptTestState();
+
+    ASSERT_EQ(killed.size(), 1u);
+    const exp::JobOutcome &dead = killed.outcomes()[0];
+    EXPECT_EQ(dead.status, exp::JobStatus::Crashed);
+    EXPECT_EQ(dead.termSignal, SIGKILL);
+    ASSERT_FALSE(dead.ckptPath.empty())
+        << "parent did not probe the checkpoint of a silent death";
+    EXPECT_GE(dead.ckptPosition, 6000u);
+    ASSERT_TRUE(ckpt::checkpointExists(dead.ckptPath));
+
+    // Re-run: the job resumes from the checkpoint and finishes with
+    // statistics bit-identical to the uninterrupted reference.
+    const exp::ResultSet resumed = ckptGrid().run(copts);
+    ASSERT_TRUE(resumed.allOk());
+    EXPECT_TRUE(test::statIdentical(reference.outcomes()[0].result,
+                                    resumed.outcomes()[0].result));
+    EXPECT_FALSE(ckpt::checkpointExists(dead.ckptPath));
+
+    std::filesystem::remove_all(dir);
+}
+
+// ---- remote workers: interrupt, re-enqueue, graceful shutdown ------------
+
+TEST(Remote, InterruptedJobIsReenqueuedAndResumedOnAWorker)
+{
+    resetCkptTestState();
+    const std::string dir = scratchDir("remote_resume");
+
+    const exp::Campaign campaign = exp::Campaign::grid(
+        {"perl", "gsm-decode"}, {"baseline"}, detailedOpts());
+    exp::CampaignOptions tc;
+    const exp::ResultSet reference = campaign.run(tc);
+    ASSERT_TRUE(reference.allOk());
+
+    // Every worker child inherits the STOP_AT hook: each job's first
+    // attempt checkpoints at 6000 and reports Interrupted; the driver
+    // re-enqueues it; the retry starts from the checkpoint (already
+    // past the threshold, so the hook stays quiet) and completes.
+    ::setenv("NWSIM_CKPT_TEST_STOP_AT", "6000", 1);
+    exp::LocalWorkerFleet fleet(2, 1, dir);
+    exp::CampaignOptions rc;
+    rc.workerHosts = fleet.hosts();
+    rc.remoteWindow = 1;
+    const exp::ResultSet remote = campaign.run(rc);
+    resetCkptTestState();
+
+    ASSERT_TRUE(remote.allOk());
+    for (size_t i = 0; i < reference.size(); ++i) {
+        EXPECT_TRUE(
+            test::statIdentical(reference.outcomes()[i].result,
+                                remote.outcomes()[i].result))
+            << reference.outcomes()[i].label();
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Remote, SigtermedWorkerShutsDownGracefullyAndSweepCompletes)
+{
+    resetCkptTestState();
+    const std::string dir = scratchDir("remote_term");
+
+    const exp::Campaign campaign = exp::Campaign::grid(
+        {"perl", "gsm-decode", "compress"}, {"baseline", "packing"},
+        detailedOpts());
+    const std::vector<exp::SimJob> &jobs = campaign.jobs();
+    std::vector<size_t> indices(jobs.size());
+    for (size_t i = 0; i < indices.size(); ++i)
+        indices[i] = i;
+
+    const exp::ResultSet reference = campaign.run({});
+    ASSERT_TRUE(reference.allOk());
+
+    auto fleet =
+        std::make_unique<exp::LocalWorkerFleet>(2, 1, dir);
+    exp::CampaignOptions rc;
+    rc.workerHosts = fleet->hosts();
+    rc.remoteWindow = 1;
+    rc.workerLossSeconds = 5.0;
+    rc.reconnectAttempts = 1;
+
+    // SIGTERM worker 0 as soon as the first outcome lands: it must
+    // checkpoint anything in flight, flush outcomes, and exit 0 on its
+    // own — and the sweep must still complete via the survivor.
+    std::vector<exp::JobOutcome> outcomes(jobs.size());
+    size_t landed = 0;
+    exp::RemoteExecutor ex;
+    ex.execute(jobs, indices, rc, outcomes, [&](size_t) {
+        if (++landed == 1)
+            fleet->term(0);
+    });
+
+    ASSERT_EQ(landed, jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        ASSERT_TRUE(outcomes[i].ok)
+            << outcomes[i].label() << ": " << outcomes[i].error;
+        EXPECT_TRUE(test::statIdentical(
+            reference.outcomes()[i].result, outcomes[i].result))
+            << outcomes[i].label();
+    }
+
+    // Graceful means exit code 0 — not a signal death.
+    const int status = fleet->waitExit(0);
+    ASSERT_TRUE(WIFEXITED(status))
+        << "worker 0 died on a signal instead of exiting";
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+
+    std::filesystem::remove_all(dir);
+}
+
+// ---- journal format ------------------------------------------------------
+
+TEST(Journal, CkptTokenRoundTripsAndOldFormatIsSkipped)
+{
+    exp::JobOutcome o;
+    o.workload = "perl";
+    o.configSpec = "baseline+ckpt=5000";
+    o.ok = false;
+    o.status = exp::JobStatus::Crashed;
+    o.termSignal = SIGKILL;
+    o.errorKind = exp::FailKind::Internal;
+    o.ckptPath = "ckpts/perl-baseline.nwck";
+    o.ckptPosition = 123000;
+
+    const std::string line = exp::CampaignJournal::formatRecord(o);
+    EXPECT_EQ(line.rfind("nwj2 ", 0), 0u);
+    EXPECT_NE(line.find(" 123000 "), std::string::npos);
+
+    exp::JobOutcome back;
+    ASSERT_TRUE(exp::CampaignJournal::parseRecord(line, back));
+    EXPECT_EQ(back.ckptPath, o.ckptPath);
+    EXPECT_EQ(back.ckptPosition, o.ckptPosition);
+
+    // Tampering with the ckpt token must be caught even though the
+    // token itself is outside the hex blob (it is re-derived and
+    // cross-checked against the payload).
+    std::string tampered = line;
+    tampered.replace(tampered.find(" 123000 "), 8, " 123001 ");
+    EXPECT_FALSE(exp::CampaignJournal::parseRecord(tampered, back));
+
+    // Pre-checkpoint journals (nwj1) are skipped, not misparsed: the
+    // affected jobs simply re-run.
+    const std::string dir = scratchDir("journal_v1");
+    const std::string path = dir + "/old.nwj";
+    {
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        ASSERT_NE(f, nullptr);
+        std::fputs("nwj1 perl baseline ok 0011 deadbeef\n", f);
+        std::fputs((line + "\n").c_str(), f);
+        std::fclose(f);
+    }
+    const std::vector<exp::JobOutcome> loaded =
+        exp::CampaignJournal::load(path);
+    ASSERT_EQ(loaded.size(), 1u);
+    EXPECT_EQ(loaded[0].ckptPosition, 123000u);
+    std::filesystem::remove_all(dir);
+}
+
+} // namespace
+} // namespace nwsim

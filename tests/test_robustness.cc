@@ -189,7 +189,8 @@ TEST(Journal, RecordRoundTrip)
     o.attempts = 1;
 
     const std::string line = exp::CampaignJournal::formatRecord(o);
-    EXPECT_EQ(line.find("nwj1 perl packing-replay+decode8 crashed "), 0u);
+    EXPECT_EQ(line.find("nwj2 perl packing-replay+decode8 crashed - "),
+              0u);
 
     JobOutcome back;
     ASSERT_TRUE(exp::CampaignJournal::parseRecord(line, back));

@@ -46,9 +46,13 @@
  *
  * Exit status (docs/ROBUSTNESS.md): 0 ok; 2 usage; 3 bad input
  * (unknown workload/config, malformed assembly); 4 check divergence;
- * 7 internal simulator error (panic, deadlock watchdog).
+ * 7 internal simulator error (panic, deadlock watchdog); 9 interrupted
+ * (SIGTERM during a --ckpt-every run — state checkpointed, rerun the
+ * same command to resume; docs/CHECKPOINT.md).
  */
 
+#include <csignal>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -56,11 +60,13 @@
 
 #include "asm/textasm.hh"
 #include "check/session.hh"
+#include "ckpt/run.hh"
 #include "common/error.hh"
 #include "common/logging.hh"
 #include "driver/runner.hh"
 #include "driver/table.hh"
 #include "exp/bench.hh"
+#include "exp/campaign.hh"
 #include "exp/configs.hh"
 #include "sample/controller.hh"
 #include "workloads/kernels.hh"
@@ -78,7 +84,9 @@ usage()
         << "       nwsim run <workload|file.s> [--config SPEC]\n"
         << "                 [--decode8] [--perfect-bp]\n"
         << "                 [--early-out-mult] [--warmup N]\n"
-        << "                 [--measure N] [--trace] [--csv] [--check]\n"
+        << "                 [--measure N] [--ckpt-every N]\n"
+        << "                 [--ckpt-dir DIR] [--trace] [--csv]\n"
+        << "                 [--check]\n"
         << "       nwsim bench [--suite smoke|all] [--workloads a,b]\n"
         << "                 [--configs s1,s2] [--warmup N] [--measure N]\n"
         << "                 [--jobs N] [--json FILE] [--no-uncached]\n"
@@ -352,6 +360,7 @@ runMain(int argc, char **argv)
 
     const std::string target = argv[2];
     std::string config_name = "baseline";
+    std::string ckpt_dir;
     bool decode8 = false, perfect = false, early_out = false;
     bool trace = false, csv = false, check = false;
     RunOptions opts = resolveRunOptions();
@@ -376,6 +385,11 @@ runMain(int argc, char **argv)
             opts.warmupInsts = std::strtoull(next().c_str(), nullptr, 0);
         else if (arg == "--measure")
             opts.measureInsts = std::strtoull(next().c_str(), nullptr, 0);
+        else if (arg == "--ckpt-every")
+            opts.ckptEveryInsts =
+                std::strtoull(next().c_str(), nullptr, 0);
+        else if (arg == "--ckpt-dir")
+            ckpt_dir = next();
         else if (arg == "--trace")
             trace = true;
         else if (arg == "--csv")
@@ -447,6 +461,32 @@ runMain(int argc, char **argv)
     }
 
     opts.sample = exp::sampleBySpec(spec);
+    if (const u64 every = exp::ckptBySpec(spec))
+        opts.ckptEveryInsts = every;
+
+    if (opts.ckptEveryInsts > 0) {
+        // Killable run: SIGTERM requests a graceful stop, the runner
+        // checkpoints at the next safe point, and a rerun of the same
+        // command resumes from it (docs/CHECKPOINT.md).
+        struct sigaction sa = {};
+        sa.sa_handler = [](int) { ckpt::requestInterrupt(); };
+        sa.sa_flags = SA_RESTART;
+        ::sigaction(SIGTERM, &sa, nullptr);
+
+        ckpt::CkptRunPolicy policy;
+        if (!ckpt_dir.empty()) {
+            std::filesystem::create_directories(ckpt_dir);
+            policy.path = exp::ckptPathFor(ckpt_dir, target + "/" + spec);
+        }
+        policy.workload = target;
+        policy.configSpec = spec;
+        policy.everyInsts = opts.ckptEveryInsts;
+        report(ckpt::runCheckpointedProgram(prog, cfg, opts, target,
+                                            config_name, policy),
+               csv);
+        return 0;
+    }
+
     if (opts.sample.enabled) {
         report(sample::runSampledProgram(prog, cfg, opts, target,
                                          config_name),
@@ -465,6 +505,13 @@ main(int argc, char **argv)
 {
     try {
         return runMain(argc, argv);
+    } catch (const InterruptedError &e) {
+        std::cerr << "nwsim: interrupted; rerun the same command to "
+                     "resume from "
+                  << (e.ckptPath().empty() ? "scratch (no --ckpt-dir)"
+                                           : e.ckptPath())
+                  << "\n";
+        return exitcode::Interrupted;
     } catch (const SimError &e) {
         std::cerr << "nwsim: " << errorKindName(e.kind()) << ": "
                   << e.what() << "\n";

@@ -73,6 +73,7 @@
 #include "exp/campaign.hh"
 #include "exp/configs.hh"
 #include "exp/remote.hh"
+#include "exp/shard.hh"
 #include "workloads/kernels.hh"
 
 using namespace nwsim;
@@ -93,14 +94,15 @@ usage()
         << "               [--backoff SECS] [--bundle-dir DIR]\n"
         << "               [--rlimit-mem MB] [--rlimit-cpu SECS]\n"
         << "               [--journal FILE] [--resume]\n"
-        << "               [--json-no-timing]\n"
+        << "               [--ckpt-dir DIR] [--ckpt-every N]\n"
+        << "               [--shard K] [--json-no-timing]\n"
         << "               [--workers host:port[,host:port...]]\n"
         << "               [--spawn-workers N] [--window N]\n"
         << "               [--worker-loss SECS]\n"
         << "               [--inject-fault hang|crash|oom[,...]]\n"
         << "               [--no-progress] [--list-configs]\n"
         << "       nwsweep serve [--listen PORT] [--bind HOST]\n"
-        << "                     [--jobs N] [--once]\n";
+        << "                     [--jobs N] [--once] [--ckpt-dir DIR]\n";
     return exitcode::Usage;
 }
 
@@ -129,7 +131,10 @@ serveMain(int argc, char **argv)
                 std::strtoul(next().c_str(), nullptr, 0));
         else if (arg == "--once")
             sopts.once = true;
-        else
+        else if (arg == "--ckpt-dir") {
+            sopts.ckptDir = next();
+            std::filesystem::create_directories(sopts.ckptDir);
+        } else
             return usage();
     }
     exp::serveWorker(sopts);
@@ -276,6 +281,7 @@ runMain(int argc, char **argv)
     std::string json_path, csv_path;
     unsigned jobs = 0;
     unsigned spawn_workers = 0;
+    u64 shard_count = 0;
     bool progress = true;
     bool json_timing = true;
     RunOptions opts = resolveRunOptions();
@@ -345,6 +351,13 @@ runMain(int argc, char **argv)
             copts.journal = next();
         else if (arg == "--resume")
             copts.resume = true;
+        else if (arg == "--ckpt-dir")
+            copts.ckptDir = next();
+        else if (arg == "--ckpt-every")
+            opts.ckptEveryInsts =
+                std::strtoull(next().c_str(), nullptr, 0);
+        else if (arg == "--shard")
+            shard_count = std::strtoull(next().c_str(), nullptr, 0);
         else if (arg == "--json-no-timing")
             json_timing = false;
         else if (arg == "--inject-fault")
@@ -402,19 +415,34 @@ runMain(int argc, char **argv)
                         "\" (see nwsweep --list-configs)");
     }
 
+    if (!copts.ckptDir.empty())
+        std::filesystem::create_directories(copts.ckptDir);
+
     exp::Campaign campaign = exp::Campaign::grid(workloads, configs, opts);
     for (const std::string &kind : faults)
         campaign.add(faultJob(kind));
+
+    // --shard K: split each sampled job's schedule into K slices that
+    // run as independent jobs and merge exactly afterwards.
+    if (shard_count > 0) {
+        exp::Campaign sharded;
+        for (exp::SimJob &job :
+             exp::planShardJobs(campaign.jobs(), shard_count))
+            sharded.add(std::move(job));
+        campaign = std::move(sharded);
+    }
 
     copts.jobs = jobs;
     copts.progress = progress ? &std::cerr : nullptr;
 
     // --spawn-workers: fork a loopback worker fleet and drive it like
     // any other remote topology. The fleet object must outlive run().
+    // Spawned workers inherit the driver's checkpoint directory (same
+    // machine, same filesystem).
     std::unique_ptr<exp::LocalWorkerFleet> fleet;
     if (spawn_workers > 0) {
-        fleet = std::make_unique<exp::LocalWorkerFleet>(spawn_workers,
-                                                        jobs);
+        fleet = std::make_unique<exp::LocalWorkerFleet>(
+            spawn_workers, jobs, copts.ckptDir);
         copts.workerHosts = fleet->hosts();
     }
 
@@ -433,7 +461,12 @@ runMain(int argc, char **argv)
     }
     std::cerr << "\n";
 
-    const exp::ResultSet results = campaign.run(copts);
+    exp::ResultSet results = campaign.run(copts);
+    if (shard_count > 0) {
+        results = exp::ResultSet(
+            exp::mergeShardOutcomes(results.outcomes()),
+            results.workersUsed());
+    }
 
     results.toTable().print();
     std::cout << "total simulated job time "
