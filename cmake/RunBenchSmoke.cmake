@@ -6,8 +6,10 @@
 # `nwsim bench` itself enforces the hard floor (every job ok, non-zero
 # KIPS on the decode-cached variant) via its exit code; this wrapper
 # checks that the emitted document carries the schema docs/PERF.md
-# promises and that the decode caches are actually earning their keep
-# (>95% hit rate on the smoke grid's hot loops).
+# promises, that the decode caches are actually earning their keep
+# (>95% hit rate on the smoke grid's hot loops), and that superblock
+# traces never make the sampled grid slower than its `+notrace` twin
+# (with a noise margin — the smoke windows are short).
 
 if(NOT NWSIM OR NOT WORK_DIR)
     message(FATAL_ERROR "usage: cmake -DNWSIM=<nwsim> "
@@ -16,9 +18,17 @@ endif()
 
 set(json "${WORK_DIR}/bench_smoke.json")
 
+# The explicit short sample schedule makes the smoke's sampled variants
+# actually fast-forward between probes (the default 50000-inst period
+# doesn't fit the smoke budget), so the traced stream runs for real.
+# The widened measure window keeps each variant's wall-clock long
+# enough that the traced-vs-untraced ratio below isn't pure scheduler
+# jitter on a loaded host.
 message(STATUS "perf smoke: running nwsim bench --suite smoke")
 execute_process(
     COMMAND "${NWSIM}" bench --suite smoke --no-progress
+            --warmup 10000 --measure 50000
+            --sample-schedule 4000:500:1500
             --json "${json}"
     RESULT_VARIABLE rc)
 if(rc)
@@ -28,11 +38,14 @@ endif()
 file(READ "${json}" doc)
 foreach(key
         "\"bench\"" "\"workloads\"" "\"configs\""
-        "\"warmup_insts\"" "\"measure_insts\""
+        "\"warmup_insts\"" "\"measure_insts\"" "\"dispatch\""
         "\"event\"" "\"uncached\"" "\"per_job\""
         "\"total_seconds\"" "\"committed_kinsts\"" "\"sim_cycles\""
         "\"kips\"" "\"sim_cycles_per_second\""
         "\"decode_lookups\"" "\"decode_hits\"" "\"decode_hit_rate\""
+        "\"superblock_formed\"" "\"superblock_entries\""
+        "\"superblock_traced_insts\"" "\"superblock_guard_exits\""
+        "\"sampled_notrace\"" "\"trace_speedup_effective\""
         "\"speedup_wall_clock\"")
     string(FIND "${doc}" "${key}" pos)
     if(pos EQUAL -1)
@@ -53,4 +66,50 @@ if(hit_rate LESS_EQUAL 0.95)
     message(FATAL_ERROR
             "perf smoke: decode-cache hit rate ${hit_rate} <= 0.95")
 endif()
-message(STATUS "perf smoke: clean (decode hit rate ${hit_rate})")
+
+# The trace layer must actually run: the sampled variant (third
+# superblock_traced_insts in document order, after event and uncached)
+# has to report traced coverage, or the promotion hook is dead. This
+# check is timing-free, so it can never flake.
+string(REGEX MATCHALL "\"superblock_traced_insts\": ([0-9]+)"
+       sbinsts "${doc}")
+list(LENGTH sbinsts nsbinsts)
+if(nsbinsts LESS 3)
+    message(FATAL_ERROR "perf smoke: expected superblock_traced_insts "
+                        "in >= 3 variants, found ${nsbinsts}")
+endif()
+list(GET sbinsts 2 sampled_sb_m)
+string(REGEX REPLACE ".*: " "" sampled_sb "${sampled_sb_m}")
+if(sampled_sb EQUAL 0)
+    message(FATAL_ERROR "perf smoke: sampled variant executed zero "
+                        "traced instructions — promotion hook dead?")
+endif()
+
+# Traced sampled runs must not be grossly slower than their +notrace
+# twins. effective_kips appears once per sampled variant, "sampled"
+# written before "sampled_notrace". This is a wall-clock ratio on a
+# sub-second run, so single-core CI hosts show real scheduling jitter;
+# the 0.6 factor tolerates that while still catching a trace layer
+# whose formation overhead outweighs its dispatch savings (docs/PERF.md
+# carries the controlled min-of-N measurement).
+string(REGEX MATCHALL "\"effective_kips\": ([0-9.eE+-]+)" ekips "${doc}")
+list(LENGTH ekips nekips)
+if(NOT nekips EQUAL 2)
+    message(FATAL_ERROR "perf smoke: expected 2 effective_kips entries "
+                        "(sampled, sampled_notrace), found ${nekips}")
+endif()
+list(GET ekips 0 traced_m)
+list(GET ekips 1 notrace_m)
+string(REGEX REPLACE ".*: " "" traced "${traced_m}")
+string(REGEX REPLACE ".*: " "" notrace "${notrace_m}")
+# CMake math() is integer-only; compare via scaled integers.
+string(REGEX REPLACE "\\..*" "" traced_int "${traced}")
+string(REGEX REPLACE "\\..*" "" notrace_int "${notrace}")
+math(EXPR lhs "100 * ${traced_int}")
+math(EXPR rhs "60 * ${notrace_int}")
+if(lhs LESS rhs)
+    message(FATAL_ERROR "perf smoke: traced sampled effective KIPS "
+            "${traced} < 0.6 * untraced ${notrace}")
+endif()
+message(STATUS "perf smoke: clean (decode hit rate ${hit_rate}, "
+               "traced ${traced} vs +notrace ${notrace} effective KIPS)")

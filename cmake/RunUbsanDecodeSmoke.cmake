@@ -6,14 +6,16 @@
 #
 # Undefined behaviour anywhere on the decode-cache paths — the
 # basic-block decode, the threaded micro-op dispatch, the memoized
-# block chaining, the fetch-block cache, or the generation-keyed
-# invalidation — fails the test. Three runs cover the cache's three
-# consumers: a checked run (cosim oracle's golden FuncSim), a sampled
-# run (fastForward streams crossing the drainInFlight seam every
-# interval), and an uncached control run (`+nodecodecache` must stay
-# UB-clean too). The build tree is shared with RunUbsanSmoke.cmake /
-# RunUbsanSampleSmoke.cmake (same flags), guarded by the ubsan_build
-# ctest resource lock.
+# block chaining, the fetch-block cache, the superblock trace executor
+# (direct-threaded computed-goto dispatch where the toolchain has it),
+# or the generation-keyed invalidation — fails the test. The runs cover
+# the cache's consumers: a checked run (cosim oracle's golden FuncSim),
+# a sampled run (fastForward streams crossing the drainInFlight seam
+# every interval), a trace-heavy run (deep fast-forward warmup so hot
+# loops promote to superblock traces and run through guard exits), and
+# `+notrace` / `+nodecodecache` control runs. The build tree is shared
+# with RunUbsanSmoke.cmake / RunUbsanSampleSmoke.cmake (same flags),
+# guarded by the ubsan_build ctest resource lock.
 
 if(NOT SOURCE_DIR OR NOT WORK_DIR)
     message(FATAL_ERROR "usage: cmake -DSOURCE_DIR=<repo> "
@@ -61,6 +63,29 @@ execute_process(
     RESULT_VARIABLE rc)
 if(rc)
     message(FATAL_ERROR "UBSan decode smoke: sampled run failed (${rc})")
+endif()
+
+message(STATUS "UBSan decode smoke: trace-heavy run (superblocks)")
+execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E env UBSAN_OPTIONS=halt_on_error=1
+            "${build_dir}/tools/nwsim" run compress
+            --warmup 300000 --measure 5000
+    RESULT_VARIABLE rc)
+if(rc)
+    message(FATAL_ERROR
+            "UBSan decode smoke: trace-heavy run failed (${rc})")
+endif()
+
+message(STATUS "UBSan decode smoke: +notrace control run")
+execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E env UBSAN_OPTIONS=halt_on_error=1
+            "${build_dir}/tools/nwsim" run compress
+            --config "baseline+notrace"
+            --warmup 50000 --measure 5000
+    RESULT_VARIABLE rc)
+if(rc)
+    message(FATAL_ERROR
+            "UBSan decode smoke: +notrace run failed (${rc})")
 endif()
 
 message(STATUS "UBSan decode smoke: uncached control run")

@@ -37,8 +37,13 @@ namespace nwsim::ckpt
 /** Checkpoint file magic. */
 inline constexpr char kCkptMagic[5] = "NWCK";
 
-/** Checkpoint format generation; bump on any layout change. */
-inline constexpr u8 kCkptVersion = 1;
+/**
+ * Checkpoint format generation; bump on any layout change.
+ *
+ * v2: embedded RunResult fields gained the superblock trace-cache
+ * counters (driver/result_serial.hh).
+ */
+inline constexpr u8 kCkptVersion = 2;
 
 /**
  * Default checkpoint cadence (retired instructions between writes) when

@@ -112,9 +112,15 @@ packRunResultFields(ckpt::ByteSink &s, const RunResult &r)
 
     packSampleSummaryFields(s, r.sample);
 
-    // Host-side decode-cache health.
+    // Host-side decode-cache and superblock trace-cache health.
     s.u64v(r.decodeCache.lookups);
     s.u64v(r.decodeCache.hits);
+    s.u64v(r.superblock.formed);
+    s.u64v(r.superblock.loopClosures);
+    s.u64v(r.superblock.entries);
+    s.u64v(r.superblock.tracedInsts);
+    s.u64v(r.superblock.guardExits);
+    s.u64v(r.superblock.invalidations);
 }
 
 inline bool
@@ -195,6 +201,12 @@ unpackRunResultFields(ckpt::ByteSource &s, RunResult &r)
 
     s.u64v(r.decodeCache.lookups);
     s.u64v(r.decodeCache.hits);
+    s.u64v(r.superblock.formed);
+    s.u64v(r.superblock.loopClosures);
+    s.u64v(r.superblock.entries);
+    s.u64v(r.superblock.tracedInsts);
+    s.u64v(r.superblock.guardExits);
+    s.u64v(r.superblock.invalidations);
     return s.ok();
 }
 

@@ -35,6 +35,7 @@ collectRunResult(const OutOfOrderCore &core, const std::string &name,
     result.l1dMissRate = core.memSystem().l1d().stats().missRate();
     result.l1iMissRate = core.memSystem().l1i().stats().missRate();
     result.decodeCache = core.decodeCacheStats();
+    result.superblock = core.superblockStats();
     return result;
 }
 

@@ -145,6 +145,13 @@ struct RunResult
      * with resetStats().
      */
     DecodeCacheStats decodeCache;
+    /**
+     * Superblock trace-cache health (func/superblock.hh). Same
+     * host-metric contract as decodeCache: never a simulated
+     * statistic, excluded from stat-identity, all-zero under
+     * `+notrace`/`+nodecodecache`, cumulative over the run.
+     */
+    SuperblockStats superblock;
 
     double ipc() const { return core.ipc(); }
 

@@ -1,11 +1,13 @@
 #include "exp/bench.hh"
 
+#include <cstdlib>
 #include <ostream>
 
 #include "common/logging.hh"
 #include "exp/campaign.hh"
 #include "exp/configs.hh"
 #include "exp/json.hh"
+#include "func/superblock.hh"
 #include "workloads/kernels.hh"
 
 namespace nwsim::exp
@@ -30,6 +32,7 @@ benchAggregate(const ResultSet &results)
         }
         agg.simCycles += o.result.core.cycles;
         agg.decode.accumulate(o.result.decodeCache);
+        agg.superblock.accumulate(o.result.superblock);
     }
     return agg;
 }
@@ -84,6 +87,18 @@ runSpeedBench(const BenchOptions &options)
         report.sampled =
             Campaign::grid(o.workloads, sampled_specs, o.runOpts)
                 .run(copts);
+        if (o.compareNoTrace) {
+            // Traced first, +notrace second: any host cache warmth
+            // carried across variants biases *against* the reported
+            // trace speedup, same convention as uncached.
+            std::vector<std::string> notrace_specs;
+            notrace_specs.reserve(sampled_specs.size());
+            for (const std::string &spec : sampled_specs)
+                notrace_specs.push_back(spec + "+notrace");
+            report.sampledNoTrace =
+                Campaign::grid(o.workloads, notrace_specs, o.runOpts)
+                    .run(copts);
+        }
     }
     return report;
 }
@@ -110,6 +125,10 @@ writeVariant(JsonWriter &j, const char *name, const ResultSet &results)
     j.key("decode_lookups").value(agg.decode.lookups);
     j.key("decode_hits").value(agg.decode.hits);
     j.key("decode_hit_rate").value(agg.decode.hitRate());
+    j.key("superblock_formed").value(agg.superblock.formed);
+    j.key("superblock_entries").value(agg.superblock.entries);
+    j.key("superblock_traced_insts").value(agg.superblock.tracedInsts);
+    j.key("superblock_guard_exits").value(agg.superblock.guardExits);
     j.key("per_job").beginArray();
     for (const JobOutcome &o : results.outcomes()) {
         j.beginObject();
@@ -145,6 +164,7 @@ writeBenchJson(std::ostream &os, const BenchReport &report)
     j.key("warmup_insts").value(o.runOpts.warmupInsts);
     j.key("measure_insts").value(o.runOpts.measureInsts);
     j.key("jobs").value(o.jobs ? o.jobs : 1u);
+    j.key("dispatch").value(sbDispatchKind());
     j.endObject();
 
     writeVariant(j, "event", report.event);
@@ -156,7 +176,80 @@ writeBenchJson(std::ostream &os, const BenchReport &report)
         writeVariant(j, "sampled", report.sampled);
         j.key("sample_modifier").value(o.sampleModifier);
     }
+    if (report.compareNoTrace()) {
+        writeVariant(j, "sampled_notrace", report.sampledNoTrace);
+        j.key("trace_speedup_effective")
+            .value(report.traceSpeedupEffective());
+    }
     j.endObject();
+}
+
+namespace
+{
+
+/**
+ * Extract `"metric": <number>` scoped to the named top-level variant
+ * object of a BENCH_simspeed.json document. Schema-targeted, not a
+ * general JSON parser: variant objects are the only places these
+ * metric keys appear, and `per_job` (the only nested array) is written
+ * after the scalars, so scanning forward from the variant key to the
+ * first match stays inside the right object.
+ */
+bool
+extractMetric(const std::string &doc, const std::string &variant,
+              const std::string &metric, double &out)
+{
+    const size_t vpos = doc.find("\"" + variant + "\": {");
+    if (vpos == std::string::npos)
+        return false;
+    const size_t stop = doc.find("\"per_job\"", vpos);
+    const size_t mpos = doc.find("\"" + metric + "\": ", vpos);
+    if (mpos == std::string::npos || (stop != std::string::npos &&
+                                      mpos > stop)) {
+        return false;
+    }
+    const char *num = doc.c_str() + mpos + metric.size() + 4;
+    char *end = nullptr;
+    out = std::strtod(num, &end);
+    return end != num;
+}
+
+void
+deltaIfPresent(const std::string &old_doc, const char *variant,
+               const char *metric, double new_value,
+               std::vector<BenchDelta> &out)
+{
+    double old_value = 0.0;
+    if (!extractMetric(old_doc, variant, metric, old_value))
+        return;
+    out.push_back({variant, metric, old_value, new_value});
+}
+
+} // namespace
+
+std::vector<BenchDelta>
+compareBenchJson(const std::string &old_doc, const BenchReport &report)
+{
+    std::vector<BenchDelta> deltas;
+    deltaIfPresent(old_doc, "event", "kips",
+                   benchAggregate(report.event).kips(), deltas);
+    if (report.options.compareUncached) {
+        deltaIfPresent(old_doc, "uncached", "kips",
+                       benchAggregate(report.uncached).kips(), deltas);
+    }
+    if (report.options.compareSampled) {
+        const BenchAggregate sm = benchAggregate(report.sampled);
+        deltaIfPresent(old_doc, "sampled", "kips", sm.kips(), deltas);
+        deltaIfPresent(old_doc, "sampled", "effective_kips",
+                       sm.effectiveKips(), deltas);
+    }
+    if (report.compareNoTrace()) {
+        deltaIfPresent(old_doc, "sampled_notrace", "effective_kips",
+                       benchAggregate(report.sampledNoTrace)
+                           .effectiveKips(),
+                       deltas);
+    }
+    return deltas;
 }
 
 } // namespace nwsim::exp

@@ -41,6 +41,13 @@ struct BenchOptions
     /** Also time `+nodecodecache` runs and report the speedup. */
     bool compareUncached = true;
     /**
+     * Also time the sampled grid with superblock traces disabled
+     * (`+notrace`), the A/B for the trace layer: fast-forward streams
+     * dominate sampled wall-clock, so effective KIPS traced vs
+     * untraced is the trace speedup. No effect unless compareSampled.
+     */
+    bool compareNoTrace = true;
+    /**
      * Also time the grid in sampled mode (docs/SAMPLING.md): the same
      * stream budget covered by `+sampleModifier` probes, reporting
      * effective KIPS (stream instructions per wall second).
@@ -66,6 +73,8 @@ struct BenchAggregate
     u64 simCycles = 0;
     /** Decode-cache counters summed over the grid (host metric). */
     DecodeCacheStats decode;
+    /** Superblock trace counters summed over the grid (host metric). */
+    SuperblockStats superblock;
 
     double
     kips() const
@@ -103,13 +112,22 @@ struct BenchReport
     ResultSet uncached;
     /** Sampled-mode outcomes (empty unless options.compareSampled). */
     ResultSet sampled;
+    /** Sampled `+notrace` outcomes (compareSampled && compareNoTrace). */
+    ResultSet sampledNoTrace;
+
+    bool
+    compareNoTrace() const
+    {
+        return options.compareSampled && options.compareNoTrace;
+    }
 
     bool
     ok() const
     {
         return event.allOk() &&
                (!options.compareUncached || uncached.allOk()) &&
-               (!options.compareSampled || sampled.allOk());
+               (!options.compareSampled || sampled.allOk()) &&
+               (!compareNoTrace() || sampledNoTrace.allOk());
     }
 
     /** End-to-end wall-clock speedup, uncached / event (0 if unknown). */
@@ -119,6 +137,17 @@ struct BenchReport
         const double ev = benchAggregate(event).seconds;
         const double un = benchAggregate(uncached).seconds;
         return (ev > 0.0 && un > 0.0) ? un / ev : 0.0;
+    }
+
+    /** Effective-KIPS speedup of traced over `+notrace` sampled runs
+     *  (0 if the notrace variant didn't run). */
+    double
+    traceSpeedupEffective() const
+    {
+        const double tr = benchAggregate(sampled).effectiveKips();
+        const double nt =
+            benchAggregate(sampledNoTrace).effectiveKips();
+        return (tr > 0.0 && nt > 0.0) ? tr / nt : 0.0;
     }
 };
 
@@ -130,6 +159,48 @@ BenchReport runSpeedBench(const BenchOptions &options);
 
 /** Emit the BENCH_simspeed.json document (schema in docs/PERF.md). */
 void writeBenchJson(std::ostream &os, const BenchReport &report);
+
+/**
+ * One metric's old-vs-new comparison from `nwsim bench --compare`:
+ * a headline speed number of one variant, paired with the value the
+ * reference BENCH_simspeed.json recorded for it.
+ */
+struct BenchDelta
+{
+    /** Variant key ("event", "uncached", "sampled", ...). */
+    std::string variant;
+    /** Metric key within the variant ("kips", "effective_kips"). */
+    std::string metric;
+    double oldValue = 0.0;
+    double newValue = 0.0;
+
+    /** Percent change, new over old (negative = slower). */
+    double
+    deltaPercent() const
+    {
+        return oldValue > 0.0
+                   ? 100.0 * (newValue / oldValue - 1.0)
+                   : 0.0;
+    }
+
+    /** Slower than the reference by more than @p threshold_pct. */
+    bool
+    regressed(double threshold_pct) const
+    {
+        return deltaPercent() < -threshold_pct;
+    }
+};
+
+/**
+ * Diff @p report against a previously written BENCH_simspeed.json
+ * document (`nwsim bench --compare old.json`): for every variant
+ * present in both, pair the headline speed metrics — kips for every
+ * variant, effective_kips for the sampled ones. Variants missing from
+ * either side are skipped, so reports from before a schema extension
+ * still compare.
+ */
+std::vector<BenchDelta> compareBenchJson(const std::string &old_doc,
+                                         const BenchReport &report);
 
 } // namespace nwsim::exp
 

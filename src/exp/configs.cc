@@ -32,6 +32,9 @@ configModifiers()
         {"nodecodecache",
          "bypass the decode caches (sim-speed A/B; same stats; needed "
          "for self-modifying code)"},
+        {"notrace",
+         "keep the decode cache but disable superblock traces in "
+         "fastForward (sim-speed A/B; same stats)"},
         {"sample=P:W:M",
          "SMARTS sampling: detailed W-warmup/M-measure probe every P "
          "insts (+`:rand[:seed]` randomizes the probe offset)"},
@@ -164,6 +167,8 @@ resolveSpec(const std::string &spec, CoreConfig &out)
             out.gating.gate33 = false;
         else if (mod == "nodecodecache")
             out.decodeCache = false;
+        else if (mod == "notrace")
+            out.superblockTraces = false;
         else if (mod.rfind("sample=", 0) == 0) {
             // Run-schedule modifier: validated here, extracted by
             // sampleBySpec; no effect on the CoreConfig itself.
@@ -191,7 +196,7 @@ configBySpec(const std::string &spec)
         NWSIM_FATAL("unknown config spec \"", spec,
                     "\" (bases: baseline, packing, packing-replay, "
                     "issue8; modifiers: +decode8, +perfect, +earlyout, "
-                    "+nogate33, +nodecodecache, "
+                    "+nogate33, +nodecodecache, +notrace, "
                     "+sample=P:W:M[:rand[:seed]], +ckpt=N)");
     }
     return cfg;

@@ -68,6 +68,7 @@ packCoreConfig(WireSink &s, const CoreConfig &c)
     s.u64v(c.watchdogCycles);
     s.boolv(c.earlyOutMultiply);
     s.boolv(c.decodeCache);
+    s.boolv(c.superblockTraces);
 
     const BPredConfig &b = c.bpred;
     s.u32v(b.selectorEntries);
@@ -126,6 +127,7 @@ unpackCoreConfig(WireSource &s, CoreConfig &c)
     s.u64v(c.watchdogCycles);
     s.boolv(c.earlyOutMultiply);
     s.boolv(c.decodeCache);
+    s.boolv(c.superblockTraces);
 
     BPredConfig &b = c.bpred;
     s.uns(b.selectorEntries);

@@ -45,8 +45,11 @@ namespace nwsim::exp
  * v5: JobOutcome gains checkpoint provenance (ckptPath/ckptPosition)
  * and the shard aggregator blob; SimJob gains the checkpoint cadence
  * and the shard assignment (exp/shard.hh).
+ *
+ * v6: RunResult gains the superblock trace-cache counters
+ * (func/superblock.hh); CoreConfig gains superblockTraces (+notrace).
  */
-inline constexpr u8 kWireVersion = 5;
+inline constexpr u8 kWireVersion = 6;
 
 /** Magic opening a packed JobOutcome blob. */
 inline constexpr char kOutcomeMagic[4] = {'N', 'W', 'O', 'B'};

@@ -174,22 +174,25 @@ DecodeCache::invalidate()
 const DecodeCache::Block &
 DecodeCache::blockAt(Addr pc)
 {
-    return blocks[indexAt(pc)];
+    ++stat.lookups;
+    bool decoded = false;
+    const u32 idx = findOrDecode(pc, decoded);
+    if (!decoded)
+        ++stat.hits;
+    return blocks[idx];
 }
 
 u32
-DecodeCache::indexAt(Addr pc)
+DecodeCache::findOrDecode(Addr pc, bool &decoded)
 {
-    ++stat.lookups;
     const size_t mask = keys.size() - 1;
     size_t i = (pc >> 2) & mask;
     while (keys[i] != kEmptyKey) {
-        if (keys[i] == pc) {
-            ++stat.hits;
+        if (keys[i] == pc)
             return slots[i];
-        }
         i = (i + 1) & mask;
     }
+    decoded = true;
     return decodeBlock(pc);
 }
 

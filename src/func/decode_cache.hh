@@ -54,7 +54,16 @@ struct DecodeCacheStats
 {
     /** Block (func cache) or instruction (fetch cache) lookups. */
     u64 lookups = 0;
-    /** Lookups satisfied without decoding. */
+    /**
+     * Lookups satisfied on the fast path: a blockAt() that found its
+     * block already decoded, or a chainSeq()/chainTaken() whose link
+     * was already memoized. A chain link's first resolution counts as
+     * a miss even when the successor block is already in the hash
+     * index — the probe it pays is exactly the cost the hit rate
+     * exists to expose. Every public lookup entry point counts one
+     * lookup and at most one hit, so the rate is comparable across
+     * paths.
+     */
     u64 hits = 0;
 
     double
@@ -131,6 +140,15 @@ class DecodeCache
         /** Memoized successor block indexes (lazily resolved). */
         mutable u32 seqNext = kNoBlock;
         mutable u32 takenNext = kNoBlock;
+        /**
+         * Superblock profiling (func/superblock.hh): block-entry count
+         * until promotion, and the terminating branch's last observed
+         * direction (the stitch heuristic). Host-side metadata like the
+         * memoized links — dropped with the block on invalidation,
+         * never serialized, no effect on simulated state.
+         */
+        mutable u32 heat = 0;
+        mutable bool lastTaken = false;
 
         /** PC after the last op (fall-through resume point). */
         Addr
@@ -157,28 +175,28 @@ class DecodeCache
     const Block &
     chainSeq(const Block &b)
     {
+        ++stat.lookups;
         if (b.seqNext != kNoBlock) {
-            ++stat.lookups;
             ++stat.hits;
             return blocks[b.seqNext];
         }
-        const u32 idx = indexAt(b.endPc());
-        b.seqNext = idx;
-        return blocks[idx];
+        bool decoded = false;
+        b.seqNext = findOrDecode(b.endPc(), decoded);
+        return blocks[b.seqNext];
     }
 
     /** Static taken-target successor of @p b's branch terminator. */
     const Block &
     chainTaken(const Block &b)
     {
+        ++stat.lookups;
         if (b.takenNext != kNoBlock) {
-            ++stat.lookups;
             ++stat.hits;
             return blocks[b.takenNext];
         }
-        const u32 idx = indexAt(b.ops.back().takenTarget);
-        b.takenNext = idx;
-        return blocks[idx];
+        bool decoded = false;
+        b.takenNext = findOrDecode(b.ops.back().takenTarget, decoded);
+        return blocks[b.takenNext];
     }
 
     /** Drop every cached block (capacity is kept). */
@@ -188,8 +206,12 @@ class DecodeCache
     size_t blockCount() const { return blocks.size(); }
 
   private:
-    /** Find-or-decode, returning the block's index. */
-    u32 indexAt(Addr pc);
+    /**
+     * Find-or-decode, returning the block's index; sets @p decoded when
+     * the block had to be decoded. Stat counting stays in the public
+     * entry points so each counts exactly one lookup.
+     */
+    u32 findOrDecode(Addr pc, bool &decoded);
     u32 decodeBlock(Addr pc);
     void insertKey(Addr pc, u32 index);
     void grow();

@@ -1,0 +1,474 @@
+#include "func/superblock.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace nwsim
+{
+
+namespace
+{
+
+constexpr Addr kEmptyKey = ~Addr{0};
+
+// The head block must always fit, so every trace carries at least one
+// real op before any end pseudo-op — a trace can therefore never exit
+// at its own start PC with zero instructions executed (which would
+// livelock the fastForward loop).
+static_assert(DecodeCache::kMaxBlockOps <= SuperblockCache::kMaxTraceOps);
+
+/**
+ * The executor. One template instantiation per warming mode (predictor
+ * vs perfect-prediction oracle lockstep), so the per-instruction path
+ * never branches on the mode. The op bodies are written once and
+ * expanded under both dispatch mechanisms:
+ *
+ *  - direct-threaded (NWSIM_DIRECT_THREADED): `goto *op->label`
+ *    straight from op to op through label pointers baked at trace
+ *    formation;
+ *  - call-threaded fallback: a for(;;)/switch loop over SbOp.
+ *
+ * Side-effect order per op replicates the block-granular fastForward
+ * loop exactly: budget check, instruction probe, HALT exit, execute,
+ * data probe (memory ops), predictor warming (control ops), oracle
+ * lockstep, regFromLoad. Stat-identity with `+notrace` and
+ * `+nodecodecache` depends on this ordering — change it only together
+ * with OutOfOrderCore::fastForward and the equivalence tests.
+ *
+ * Called with @p labels_out to retrieve the dispatch label table
+ * (trace formation bakes it into ops); @p tp / @p cp may be null only
+ * in that mode.
+ */
+template <bool kPerfect>
+SbExit
+runTraceImpl(const SbTrace *tp, SbContext *cp, u64 budget,
+             const void *const **labels_out)
+{
+#if NWSIM_DIRECT_THREADED
+    static const void *const labels[static_cast<size_t>(SbOp::kCount)] = {
+        &&L_AluF,    &&L_AluS,    &&L_LoadF,  &&L_LoadS,
+        &&L_StoreF,  &&L_StoreS,  &&L_GuardTF, &&L_GuardTS,
+        &&L_GuardNF, &&L_GuardNS, &&L_JumpF,  &&L_JumpS,
+        &&L_HaltF,   &&L_HaltS,   &&L_End,    &&L_EndLoop,
+    };
+    if (labels_out) {
+        *labels_out = labels;
+        return {};
+    }
+#else
+    if (labels_out) {
+        *labels_out = nullptr;
+        return {};
+    }
+#endif
+
+    const SbTrace &t = *tp;
+    SbContext &ctx = *cp;
+    const TraceOp *const base = t.ops.data();
+    const TraceOp *op = base;
+    u64 done = 0;
+    UopOut r;
+    SbExit ex;
+
+// Per-op building blocks, shared by every variant below.
+#define SB_BUDGET()                                                     \
+    do {                                                                \
+        if (done == budget) {                                           \
+            ex.nextPc = op->uop.pc;                                     \
+            goto exit_done;                                             \
+        }                                                               \
+    } while (0)
+#define SB_PROBE_F() ctx.memsys.instLatency(op->uop.pc)
+#define SB_PROBE_S() ctx.memsys.instSameLine(op->uop.pc)
+#define SB_ORACLE()                                                     \
+    do {                                                                \
+        if constexpr (kPerfect)                                         \
+            ctx.oracle->step();                                         \
+    } while (0)
+#define SB_WRITEBACK(from_load)                                         \
+    do {                                                                \
+        if (op->uop.inst.writesReg())                                   \
+            ctx.regFromLoad[op->uop.inst.rc] = (from_load);             \
+    } while (0)
+#define SB_WARM_BRANCH()                                                \
+    do {                                                                \
+        if constexpr (!kPerfect)                                        \
+            warmPredictor(*ctx.predictor, op->uop.pc, op->uop.inst,     \
+                          r.taken, r.nextPc);                           \
+    } while (0)
+
+#define SB_ALU(PROBE)                                                   \
+    SB_BUDGET();                                                        \
+    PROBE();                                                            \
+    ++done;                                                             \
+    op->uop.fn(op->uop, ctx.regs, ctx.mem, r);                          \
+    SB_ORACLE();                                                        \
+    SB_WRITEBACK(false);                                                \
+    SB_NEXT()
+#define SB_LOAD(PROBE)                                                  \
+    SB_BUDGET();                                                        \
+    PROBE();                                                            \
+    ++done;                                                             \
+    op->uop.fn(op->uop, ctx.regs, ctx.mem, r);                          \
+    ctx.memsys.dataLatency(r.effAddr);                                  \
+    SB_ORACLE();                                                        \
+    SB_WRITEBACK(true);                                                 \
+    SB_NEXT()
+#define SB_STORE(PROBE)                                                 \
+    SB_BUDGET();                                                        \
+    PROBE();                                                            \
+    ++done;                                                             \
+    op->uop.fn(op->uop, ctx.regs, ctx.mem, r);                          \
+    ctx.memsys.dataLatency(r.effAddr);                                  \
+    SB_ORACLE();                                                        \
+    SB_WRITEBACK(false);                                                \
+    SB_NEXT()
+/** Conditional branch stitched in direction EXPECT: exit when the
+ *  architectural outcome differs (r.nextPc is already correct). */
+#define SB_GUARD(PROBE, EXPECT)                                         \
+    SB_BUDGET();                                                        \
+    PROBE();                                                            \
+    ++done;                                                             \
+    op->uop.fn(op->uop, ctx.regs, ctx.mem, r);                          \
+    SB_WARM_BRANCH();                                                   \
+    SB_ORACLE();                                                        \
+    SB_WRITEBACK(false);                                                \
+    if (r.taken != (EXPECT))                                            \
+        goto exit_guard;                                                \
+    SB_NEXT()
+#define SB_JUMP(PROBE)                                                  \
+    SB_BUDGET();                                                        \
+    PROBE();                                                            \
+    ++done;                                                             \
+    op->uop.fn(op->uop, ctx.regs, ctx.mem, r);                          \
+    SB_WARM_BRANCH();                                                   \
+    SB_ORACLE();                                                        \
+    SB_WRITEBACK(false);                                                \
+    ex.nextPc = r.nextPc;                                               \
+    goto exit_done
+/** HALT: the probe is issued, the halt itself is not retired — the
+ *  detailed pipeline commits it (same contract as fastForward). */
+#define SB_HALT(PROBE)                                                  \
+    SB_BUDGET();                                                        \
+    PROBE();                                                            \
+    ex.nextPc = op->uop.pc;                                             \
+    ex.halted = true;                                                   \
+    goto exit_done
+
+#if NWSIM_DIRECT_THREADED
+#define SB_CASE(name) L_##name:
+#define SB_NEXT()                                                       \
+    do {                                                                \
+        ++op;                                                           \
+        goto *op->label;                                                \
+    } while (0)
+#define SB_RESTART()                                                    \
+    do {                                                                \
+        op = base;                                                      \
+        goto *op->label;                                                \
+    } while (0)
+
+    goto *op->label;
+#else
+#define SB_CASE(name) case SbOp::k##name:
+#define SB_NEXT() break
+#define SB_RESTART()                                                    \
+    op = base;                                                          \
+    break
+
+    for (;;) {
+        switch (op->kind) {
+#endif
+
+    SB_CASE(AluF) { SB_ALU(SB_PROBE_F); }
+    SB_CASE(AluS) { SB_ALU(SB_PROBE_S); }
+    SB_CASE(LoadF) { SB_LOAD(SB_PROBE_F); }
+    SB_CASE(LoadS) { SB_LOAD(SB_PROBE_S); }
+    SB_CASE(StoreF) { SB_STORE(SB_PROBE_F); }
+    SB_CASE(StoreS) { SB_STORE(SB_PROBE_S); }
+    SB_CASE(GuardTF) { SB_GUARD(SB_PROBE_F, true); }
+    SB_CASE(GuardTS) { SB_GUARD(SB_PROBE_S, true); }
+    SB_CASE(GuardNF) { SB_GUARD(SB_PROBE_F, false); }
+    SB_CASE(GuardNS) { SB_GUARD(SB_PROBE_S, false); }
+    SB_CASE(JumpF) { SB_JUMP(SB_PROBE_F); }
+    SB_CASE(JumpS) { SB_JUMP(SB_PROBE_S); }
+    SB_CASE(HaltF) { SB_HALT(SB_PROBE_F); }
+    SB_CASE(HaltS) { SB_HALT(SB_PROBE_S); }
+    SB_CASE(End)
+    {
+        ex.nextPc = op->uop.pc;
+        goto exit_done;
+    }
+    SB_CASE(EndLoop) { SB_RESTART(); }
+
+#if !NWSIM_DIRECT_THREADED
+          case SbOp::kCount:
+            NWSIM_PANIC("corrupt trace op kind");
+        }
+    }
+#endif
+
+exit_guard:
+    ex.nextPc = r.nextPc;
+    ex.guardExit = true;
+exit_done:
+    ex.executed = done;
+    return ex;
+
+#undef SB_BUDGET
+#undef SB_PROBE_F
+#undef SB_PROBE_S
+#undef SB_ORACLE
+#undef SB_WRITEBACK
+#undef SB_WARM_BRANCH
+#undef SB_ALU
+#undef SB_LOAD
+#undef SB_STORE
+#undef SB_GUARD
+#undef SB_JUMP
+#undef SB_HALT
+#undef SB_CASE
+#undef SB_NEXT
+#undef SB_RESTART
+}
+
+/** Dispatch label table for @p perfect-mode traces (null when the
+ *  build is call-threaded — ops then dispatch on SbOp). */
+const void *const *
+sbLabels(bool perfect)
+{
+    const void *const *tab = nullptr;
+    if (perfect)
+        runTraceImpl<true>(nullptr, nullptr, 0, &tab);
+    else
+        runTraceImpl<false>(nullptr, nullptr, 0, &tab);
+    return tab;
+}
+
+} // namespace
+
+SbExit
+runTrace(const SbTrace &t, SbContext &ctx, u64 budget, bool perfect)
+{
+    return perfect ? runTraceImpl<true>(&t, &ctx, budget, nullptr)
+                   : runTraceImpl<false>(&t, &ctx, budget, nullptr);
+}
+
+const char *
+sbDispatchKind()
+{
+#if NWSIM_DIRECT_THREADED
+    return "direct-threaded";
+#else
+    return "call-threaded";
+#endif
+}
+
+SuperblockCache::SuperblockCache(DecodeCache &decode_cache, bool perfect,
+                                 u64 i_block_bytes, unsigned i_page_shift)
+    : dc(decode_cache),
+      perfectMode(perfect),
+      iBlockShift(static_cast<unsigned>(std::countr_zero(i_block_bytes))),
+      iPageShift(i_page_shift)
+{
+    NWSIM_ASSERT(std::has_single_bit(i_block_bytes),
+                 "I-cache block size must be a power of two");
+    keys.assign(256, kEmptyKey);
+    slots.assign(256, kNoTrace);
+}
+
+u32
+SuperblockCache::find(Addr pc) const
+{
+    const size_t mask = keys.size() - 1;
+    size_t i = (pc >> 2) & mask;
+    while (keys[i] != kEmptyKey) {
+        if (keys[i] == pc)
+            return slots[i];
+        i = (i + 1) & mask;
+    }
+    return kNoTrace;
+}
+
+const SbTrace *
+SuperblockCache::traceAt(Addr pc) const
+{
+    const u32 idx = find(pc);
+    return idx == kNoTrace ? nullptr : &traces[idx];
+}
+
+namespace
+{
+
+/** Variant selection: S-flavors carry the bit-exact same-line probe. */
+SbOp
+traceOpKind(const MicroOp &u, bool same_line)
+{
+    if (u.isHalt)
+        return same_line ? SbOp::kHaltS : SbOp::kHaltF;
+    switch (u.opClass) {
+      case OpClass::MemRead:
+        return same_line ? SbOp::kLoadS : SbOp::kLoadF;
+      case OpClass::MemWrite:
+        return same_line ? SbOp::kStoreS : SbOp::kStoreF;
+      case OpClass::Jump:
+        return same_line ? SbOp::kJumpS : SbOp::kJumpF;
+      default:
+        return same_line ? SbOp::kAluS : SbOp::kAluF;
+    }
+}
+
+} // namespace
+
+const SbTrace &
+SuperblockCache::form(const DecodeCache::Block &head)
+{
+    traces.emplace_back();
+    SbTrace &t = traces.back();
+    t.startPc = head.startPc;
+    t.ops.reserve(kMaxTraceOps + 1);
+
+    // The same-line probe is exact only when the *previous executed
+    // fetch* touched the same I-cache block and page; track the
+    // predecessor op's PC in trace (= execution) order.
+    Addr prev_pc = 0;
+    bool have_prev = false;
+    const auto same_line = [&](Addr pc) {
+        return have_prev && (pc >> iBlockShift) == (prev_pc >> iBlockShift) &&
+               (pc >> iPageShift) == (prev_pc >> iPageShift);
+    };
+    const auto push = [&](const MicroOp &u, SbOp kind) {
+        TraceOp op;
+        op.uop = u;
+        op.kind = kind;
+        t.ops.push_back(op);
+    };
+    const auto push_end = [&](Addr resume_pc) {
+        TraceOp op;
+        op.uop.pc = resume_pc;
+        op.kind = SbOp::kEnd;
+        t.ops.push_back(op);
+    };
+
+    // Start PCs already stitched: an exact revisit that is not the head
+    // ends the trace (the revisited PC can form its own trace). Entering
+    // the *middle* of already-stitched code is allowed — the ops are
+    // simply appended again (self-overlapping trace), bounded by the op
+    // cap; guards keep every path architecturally exact.
+    std::vector<Addr> visited;
+    visited.reserve(32);
+
+    const DecodeCache::Block *b = &head;
+    for (;;) {
+        if (t.ops.size() + b->ops.size() > kMaxTraceOps) {
+            push_end(b->startPc);
+            break;
+        }
+        visited.push_back(b->startPc);
+        ++t.blockCount;
+
+        // All ops but a control/halt terminator are straight-line.
+        const MicroOp &term = b->ops.back();
+        for (size_t i = 0; i + 1 < b->ops.size(); ++i) {
+            const MicroOp &u = b->ops[i];
+            push(u, traceOpKind(u, same_line(u.pc)));
+            prev_pc = u.pc;
+            have_prev = true;
+        }
+
+        Addr cont = 0;
+        if (term.isHalt || term.opClass == OpClass::Jump) {
+            push(term, traceOpKind(term, same_line(term.pc)));
+            break;     // the op itself exits the trace
+        } else if (term.opClass == OpClass::Branch) {
+            // Stitch the direction the block-granular loop last saw;
+            // the other direction becomes the guard's side exit.
+            const bool expect = b->lastTaken;
+            const bool s = same_line(term.pc);
+            push(term, expect ? (s ? SbOp::kGuardTS : SbOp::kGuardTF)
+                              : (s ? SbOp::kGuardNS : SbOp::kGuardNF));
+            cont = expect ? term.takenTarget : term.pc + 4;
+        } else {
+            // kMaxBlockOps-capped block: plain op, fall through.
+            push(term, traceOpKind(term, same_line(term.pc)));
+            cont = b->endPc();
+        }
+        prev_pc = term.pc;
+        have_prev = true;
+
+        if (cont == t.startPc) {
+            TraceOp op;
+            op.kind = SbOp::kEndLoop;
+            t.ops.push_back(op);
+            t.loops = true;
+            break;
+        }
+        bool seen = false;
+        for (Addr pc : visited)
+            seen = seen || pc == cont;
+        if (seen || t.ops.size() >= kMaxTraceOps) {
+            push_end(cont);
+            break;
+        }
+        b = &dc.blockAt(cont);
+    }
+
+    if (const void *const *labels = sbLabels(perfectMode)) {
+        for (TraceOp &op : t.ops)
+            op.label = labels[static_cast<size_t>(op.kind)];
+    }
+
+    ++stat.formed;
+    if (t.loops)
+        ++stat.loopClosures;
+    const u32 index = static_cast<u32>(traces.size() - 1);
+    insertKey(t.startPc, index);
+    return t;
+}
+
+void
+SuperblockCache::invalidate()
+{
+    if (!traces.empty())
+        ++stat.invalidations;
+    traces.clear();
+    std::fill(keys.begin(), keys.end(), kEmptyKey);
+    std::fill(slots.begin(), slots.end(), kNoTrace);
+    used = 0;
+}
+
+void
+SuperblockCache::insertKey(Addr pc, u32 index)
+{
+    if ((used + 1) * 4 > keys.size() * 3)
+        grow();
+    const size_t mask = keys.size() - 1;
+    size_t i = (pc >> 2) & mask;
+    while (keys[i] != kEmptyKey)
+        i = (i + 1) & mask;
+    keys[i] = pc;
+    slots[i] = index;
+    ++used;
+}
+
+void
+SuperblockCache::grow()
+{
+    const size_t cap = keys.size() * 2;
+    keys.assign(cap, kEmptyKey);
+    slots.assign(cap, kNoTrace);
+    used = 0;
+    const size_t mask = cap - 1;
+    for (size_t idx = 0; idx < traces.size(); ++idx) {
+        const Addr pc = traces[idx].startPc;
+        size_t i = (pc >> 2) & mask;
+        while (keys[i] != kEmptyKey)
+            i = (i + 1) & mask;
+        keys[i] = pc;
+        slots[i] = static_cast<u32>(idx);
+        ++used;
+    }
+}
+
+} // namespace nwsim

@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Superblock traces: direct-threaded micro-op superblocks over the
+ * basic-block decode cache, for the functional fast-forward stream.
+ *
+ * The block cache (func/decode_cache.hh) made decoding free, but the
+ * core's fastForward still pays, per instruction, one indirect call
+ * plus a handful of "what kind of op is this" branches, and per block
+ * one chain hop. This layer profiles block entries (DecodeCache::Block
+ * heat counters) and, past a promotion threshold, stitches micro-ops
+ * across the observed directions of conditional branches into one
+ * dense trace:
+ *
+ *  - every conditional branch inside the trace becomes a *guard* op:
+ *    execution continues in-trace while the branch keeps going the way
+ *    it went when the trace was formed, and side-exits back to the
+ *    block-granular loop (returning the architecturally correct next
+ *    PC) the moment it goes the other way;
+ *  - a trace whose continuation reaches its own head closes into a
+ *    loop: steady-state iterations run with zero chain hops and zero
+ *    hash lookups;
+ *  - the warming work fastForward layers on top of execution —
+ *    MemSystem instruction/data probes, predictor training at control
+ *    ops, oracle lockstep in perfect-prediction mode, the regFromLoad
+ *    gating bookkeeping — is baked into per-op variants at formation
+ *    time, including a bit-exact "same I-line as the previous fetch"
+ *    probe (MemSystem::instSameLine) for straight-line runs;
+ *  - dispatch is direct-threaded where the toolchain supports computed
+ *    goto (`goto *op->label`, NWSIM_DIRECT_THREADED from the CMake
+ *    probe), with a portable call-threaded switch loop as fallback —
+ *    both share the same op bodies, so behavior is identical.
+ *
+ * The correctness contract is the decode cache's, one level up: traced
+ * execution is *stat-invisible*. Every warming side effect is issued in
+ * exactly the order the block-granular loop produces, so traced runs
+ * are field-exact-identical to `+notrace` and to `+nodecodecache`
+ * (tests/test_decode_cache.cc proves it over the grid, fuzz seeds, and
+ * sampled schedules). SuperblockStats is a host metric like
+ * DecodeCacheStats — never part of CoreStats.
+ *
+ * Traces copy their micro-ops, so they hold no pointers into the
+ * decode cache; both caches invalidate together on program reload
+ * (SparseMemory generation, DecodeCache::refresh). After the hot set
+ * is traced, execution allocates nothing.
+ */
+
+#ifndef NWSIM_FUNC_SUPERBLOCK_HH
+#define NWSIM_FUNC_SUPERBLOCK_HH
+
+#include <array>
+#include <deque>
+#include <vector>
+
+#include "bpred/combining.hh"
+#include "func/decode_cache.hh"
+#include "func/func_sim.hh"
+#include "mem/memsystem.hh"
+#include "mem/sparse_memory.hh"
+
+namespace nwsim
+{
+
+/**
+ * Warm the branch predictor for one executed control op exactly as
+ * fetch + commit would: predict (updating speculative history), repair
+ * on a wrong direction or target, resolve. Shared by the core's
+ * block-granular fastForward and the trace executor so the two paths
+ * cannot drift.
+ */
+inline void
+warmPredictor(CombiningPredictor &p, Addr pc, const Inst &inst,
+              bool taken, Addr next_pc)
+{
+    const Prediction pred = p.predict(pc, inst);
+    if (pred.taken != taken || (taken && pred.target != next_pc))
+        p.repair(inst, pred, taken);
+    p.resolve(pc, inst, pred, taken, next_pc);
+}
+
+/**
+ * Trace-cache health counters (host-side metric, NOT a simulation
+ * statistic — same convention as DecodeCacheStats: excluded from
+ * stat-identity, all-zero under `+notrace`/`+nodecodecache`, surfaced
+ * through `nwsim bench --json`).
+ */
+struct SuperblockStats
+{
+    /** Traces formed (one per promoted hot block-entry PC). */
+    u64 formed = 0;
+    /** Traces that close back on their own head (zero-hop loops). */
+    u64 loopClosures = 0;
+    /** Trace executions begun. */
+    u64 entries = 0;
+    /** Instructions retired inside traces. */
+    u64 tracedInsts = 0;
+    /** Side exits through a guard whose branch went the other way. */
+    u64 guardExits = 0;
+    /** Wholesale invalidations (program reload). */
+    u64 invalidations = 0;
+
+    void
+    accumulate(const SuperblockStats &o)
+    {
+        formed += o.formed;
+        loopClosures += o.loopClosures;
+        entries += o.entries;
+        tracedInsts += o.tracedInsts;
+        guardExits += o.guardExits;
+        invalidations += o.invalidations;
+    }
+};
+
+/**
+ * Trace-op variants. Each real-instruction kind comes in two flavors:
+ * `F` (full MemSystem::instLatency probe) and `S` (bit-exact same-line
+ * fast probe, baked when the op fetches from the same I-cache block
+ * and page as its predecessor in trace order). kEnd/kEndLoop are
+ * pseudo-ops carrying the trace's continuation; they execute no
+ * instruction.
+ */
+enum class SbOp : u8 {
+    kAluF,      ///< ALU / non-halt Other (no memory, no control)
+    kAluS,
+    kLoadF,     ///< MemRead + dataLatency warming
+    kLoadS,
+    kStoreF,    ///< MemWrite + dataLatency warming
+    kStoreS,
+    kGuardTF,   ///< conditional branch, stitched taken; not-taken exits
+    kGuardTS,
+    kGuardNF,   ///< conditional branch, stitched fall-through
+    kGuardNS,
+    kJumpF,     ///< indirect jump: warm, then exit to the dynamic target
+    kJumpS,
+    kHaltF,     ///< HALT: probe, then exit without retiring it
+    kHaltS,
+    kEnd,       ///< pseudo: exit, resume block-granular at uop.pc
+    kEndLoop,   ///< pseudo: restart the trace at its first op
+    kCount,
+};
+
+/** One trace entry: the decoded micro-op plus baked dispatch state. */
+struct TraceOp
+{
+    /** Semantics are the decode cache's, verbatim (executed via fn).
+     *  For kEnd, only `pc` is meaningful: the resume point. */
+    MicroOp uop;
+    /** Direct-threaded dispatch target (null in call-threaded builds). */
+    const void *label = nullptr;
+    SbOp kind = SbOp::kEnd;
+};
+
+/** A formed superblock trace. */
+struct SbTrace
+{
+    Addr startPc = 0;
+    std::vector<TraceOp> ops;
+    /** Trace closes back on startPc (ends in kEndLoop). */
+    bool loops = false;
+    /** Basic blocks stitched in (for tests/introspection). */
+    u32 blockCount = 0;
+};
+
+/** Everything the trace executor touches, borrowed from the core. */
+struct SbContext
+{
+    std::array<u64, numIntRegs> &regs;
+    std::array<bool, numIntRegs> &regFromLoad;
+    SparseMemory &mem;
+    MemSystem &memsys;
+    /** Predictor mode (null when perfect). */
+    CombiningPredictor *predictor;
+    /** Perfect-prediction mode: stepped in lockstep (null otherwise). */
+    FuncSim *oracle;
+};
+
+/** How one trace execution ended. */
+struct SbExit
+{
+    /** Architecturally correct resume PC for the block-granular loop. */
+    Addr nextPc = 0;
+    /** Instructions retired by this execution. */
+    u64 executed = 0;
+    /** Exited at a HALT (not retired, same as fastForward). */
+    bool halted = false;
+    /** Exited through a guard whose branch went the other way. */
+    bool guardExit = false;
+};
+
+/**
+ * Execute @p t against @p ctx, retiring at most @p budget instructions.
+ * @p perfect selects the oracle-lockstep executor instantiation; it
+ * must match ctx (oracle set, predictor null) and the mode the trace
+ * was formed for.
+ */
+SbExit runTrace(const SbTrace &t, SbContext &ctx, u64 budget,
+                bool perfect);
+
+/** "direct-threaded" or "call-threaded" — the dispatch mechanism this
+ *  binary was built with (NWSIM_DIRECT_THREADED probe). */
+const char *sbDispatchKind();
+
+/**
+ * The trace cache: profiles block entries, forms traces past the
+ * promotion threshold, and serves them back keyed by start PC. One
+ * instance per core, layered over that core's DecodeCache.
+ */
+class SuperblockCache
+{
+  public:
+    static constexpr u32 kNoTrace = ~u32{0};
+    /** Block entries before a start PC is promoted to a trace. */
+    static constexpr u32 kPromoteHeat = 16;
+    /** Real-op cap per trace (pseudo-ops ride on top). */
+    static constexpr size_t kMaxTraceOps = 256;
+
+    /**
+     * @param decode_cache The block cache execution runs out of.
+     * @param perfect      Oracle-lockstep mode (bakes executor labels).
+     * @param i_block_bytes L1 I-cache block size (same-line baking).
+     * @param i_page_shift  ITLB page shift (same-page baking).
+     */
+    SuperblockCache(DecodeCache &decode_cache, bool perfect,
+                    u64 i_block_bytes, unsigned i_page_shift);
+
+    /**
+     * Block-entry hook for the block-granular loop: returns the trace
+     * starting at @p blk's start PC if one exists, forming it first if
+     * this entry crosses the promotion threshold; null while cold.
+     */
+    const SbTrace *
+    enter(const DecodeCache::Block &blk)
+    {
+        const u32 idx = find(blk.startPc);
+        if (idx != kNoTrace)
+            return &traces[idx];
+        if (++blk.heat < kPromoteHeat)
+            return nullptr;
+        return &form(blk);
+    }
+
+    /** Account one finished trace execution. */
+    void
+    noteRun(const SbExit &ex)
+    {
+        ++stat.entries;
+        stat.tracedInsts += ex.executed;
+        if (ex.guardExit)
+            ++stat.guardExits;
+    }
+
+    /** Drop every trace (program reload; capacity is kept). */
+    void invalidate();
+
+    const SuperblockStats &stats() const { return stat; }
+    size_t traceCount() const { return traces.size(); }
+    /** Trace starting at @p pc, or null (tests/introspection). */
+    const SbTrace *traceAt(Addr pc) const;
+
+  private:
+    u32 find(Addr pc) const;
+    const SbTrace &form(const DecodeCache::Block &head);
+    void insertKey(Addr pc, u32 index);
+    void grow();
+
+    DecodeCache &dc;
+    const bool perfectMode;
+    const unsigned iBlockShift;
+    const unsigned iPageShift;
+    /** deque: stable element addresses across insertions. */
+    std::deque<SbTrace> traces;
+    /** Open-addressing start-PC index (power-of-two, linear probe). */
+    std::vector<Addr> keys;
+    std::vector<u32> slots;
+    size_t used = 0;
+    SuperblockStats stat;
+};
+
+} // namespace nwsim
+
+#endif // NWSIM_FUNC_SUPERBLOCK_HH

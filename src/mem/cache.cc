@@ -44,6 +44,7 @@ Cache::access(Addr addr)
     for (Line &line : set) {
         if (line.valid && line.tag == tag) {
             line.lastUse = useClock;
+            lastTouched = &line;
             return true;
         }
         if (!line.valid) {
@@ -56,6 +57,7 @@ Cache::access(Addr addr)
     victim->valid = true;
     victim->tag = tag;
     victim->lastUse = useClock;
+    lastTouched = victim;
     return false;
 }
 
@@ -77,6 +79,7 @@ Cache::flush()
     for (auto &set : sets)
         for (Line &line : set)
             line.valid = false;
+    lastTouched = nullptr;
 }
 
 } // namespace nwsim

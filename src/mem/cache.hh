@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "ckpt/serial.hh"
+#include "common/logging.hh"
 #include "common/types.hh"
 
 namespace nwsim
@@ -59,6 +60,31 @@ class Cache
 
     /** Probe without filling or updating LRU (used by tests). */
     bool probe(Addr addr) const;
+
+    /**
+     * Repeat-access fast path: access() for an address on the same
+     * block as this cache's immediately preceding access. That block is
+     * necessarily resident (the previous access filled it on a miss)
+     * and already the set's most-recently-used line, so the tag search
+     * is skipped; the access counter, replacement clock, and the line's
+     * LRU stamp advance exactly as access() would — all downstream
+     * state, including checkpoint bytes, is bit-identical. The
+     * superblock trace executor bakes this in for straight-line fetch
+     * runs within one I-cache block (func/superblock.hh).
+     *
+     * @pre the previous access() touched the block containing @p addr.
+     */
+    bool
+    sameBlockHit(Addr addr)
+    {
+        NWSIM_ASSERT(lastTouched && lastTouched->tag == tagOf(addr),
+                     "sameBlockHit: previous access touched another "
+                     "block in ", cfg.name);
+        ++stat.accesses;
+        ++useClock;
+        lastTouched->lastUse = useClock;
+        return true;
+    }
 
     /** Invalidate everything (used between benchmark configurations). */
     void flush();
@@ -122,6 +148,7 @@ class Cache
         }
         stat = st;
         useClock = clock;
+        lastTouched = nullptr;
         return true;
     }
 
@@ -142,6 +169,12 @@ class Cache
     unsigned blockShift;
     u64 useClock = 0;
     std::vector<std::vector<Line>> sets;
+    /**
+     * Line touched by the most recent access() (hit or fill) — the
+     * sameBlockHit() target. Purely an access-path cache: never
+     * serialized, reset on flush()/loadState().
+     */
+    Line *lastTouched = nullptr;
 };
 
 } // namespace nwsim

@@ -40,6 +40,25 @@ class MemSystem
     /** Latency of fetching the instruction block at @p addr. */
     unsigned instLatency(Addr addr);
 
+    /**
+     * instLatency() for a fetch on the same I-cache block (and page) as
+     * the immediately preceding instruction fetch: a guaranteed
+     * ITLB + L1i hit, satisfied with counter/LRU-clock updates only —
+     * machine state stays bit-identical to instLatency() while skipping
+     * both lookups. The I and D paths are split (iTlb/l1iCache vs
+     * dTlb/l1dCache), so intervening dataLatency() calls cannot break
+     * the precondition; only another instruction fetch can.
+     *
+     * @pre the previous instLatency() was for the same I-cache block.
+     */
+    unsigned
+    instSameLine(Addr addr)
+    {
+        iTlb.samePageHit(addr);
+        l1iCache.sameBlockHit(addr);
+        return l1iCache.config().hitLatency;
+    }
+
     /** Latency of a data access (load or store) at @p addr. */
     unsigned dataLatency(Addr addr);
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "ckpt/serial.hh"
+#include "common/logging.hh"
 #include "common/types.hh"
 
 namespace nwsim
@@ -43,6 +44,30 @@ class Tlb
      * @return extra latency in cycles (0 on hit, missLatency on miss).
      */
     unsigned access(Addr addr);
+
+    /**
+     * Repeat-access fast path: access() for an address on the same page
+     * as this TLB's immediately preceding access. That page's entry is
+     * necessarily resident and is the MRU slot, so even the hash probe
+     * is skipped; the access counter, replacement clock, and the
+     * entry's LRU stamp advance exactly as access() would —
+     * bit-identical state, checkpoints included. Baked into superblock
+     * trace ops for straight-line fetch runs (func/superblock.hh).
+     *
+     * @pre the previous access() touched the page containing @p addr.
+     */
+    unsigned
+    samePageHit(Addr addr)
+    {
+        NWSIM_ASSERT(mru != ~u32{0} && entries[mru].valid &&
+                         entries[mru].vpn == (addr >> cfg.pageShift),
+                     "samePageHit: previous access touched another "
+                     "page in ", cfg.name);
+        ++stat.accesses;
+        ++useClock;
+        entries[mru].lastUse = useClock;
+        return 0;
+    }
 
     void flush();
 

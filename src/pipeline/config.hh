@@ -61,6 +61,17 @@ struct CoreConfig
      * (re)load, not on data stores into the text segment).
      */
     bool decodeCache = true;
+    /**
+     * Layer superblock traces over the decode cache in fastForward
+     * (func/superblock.hh): hot block-entry PCs are stitched across
+     * their observed branch directions into direct-threaded micro-op
+     * traces with guard side-exits and baked-in warming. Timing and
+     * statistics are bit-identical either way (the trace executor
+     * replays the block loop's side effects in order); disable via the
+     * `+notrace` spec modifier for A/B sim-speed comparisons, one
+     * level above `+nodecodecache`. No effect when decodeCache is off.
+     */
+    bool superblockTraces = true;
 
     BPredConfig bpred;
     MemSystemConfig mem;

@@ -30,6 +30,11 @@ OutOfOrderCore::OutOfOrderCore(const CoreConfig &config,
     if (cfg.decodeCache) {
         ffCache = std::make_unique<DecodeCache>(memory);
         fetchCache.init(4096);
+        if (cfg.superblockTraces) {
+            sbCache = std::make_unique<SuperblockCache>(
+                *ffCache, cfg.perfectBPred, cfg.mem.l1i.blockBytes,
+                cfg.mem.itlb.pageShift);
+        }
     }
     fetchPc = entry;
 
@@ -163,11 +168,34 @@ OutOfOrderCore::fastForward(u64 insts)
     // every instruction. Warming side effects (MemSystem, predictor,
     // oracle lockstep, regFromLoad) are issued per micro-op in exactly
     // the order fastForwardUncached produces them.
-    ffCache->refresh();
+    //
+    // At every block boundary, hot start PCs escalate once more: the
+    // superblock cache (func/superblock.hh) serves direct-threaded
+    // traces stitched across observed branch directions, executing the
+    // same micro-ops with the same side-effect order and side-exiting
+    // back here the moment control flow leaves the stitched path.
+    if (ffCache->refresh() && sbCache)
+        sbCache->invalidate();
     const DecodeCache::Block *blk = &ffCache->blockAt(fetchPc);
     size_t idx = 0;
     u64 done = 0;
     while (done < insts) {
+        if (idx == 0 && sbCache) {
+            if (const SbTrace *t = sbCache->enter(*blk)) {
+                SbContext ctx{specRegs, regFromLoad, mem,
+                              memsys,   predictor.get(), oracle.get()};
+                const SbExit ex =
+                    runTrace(*t, ctx, insts - done, cfg.perfectBPred);
+                sbCache->noteRun(ex);
+                done += ex.executed;
+                fetchPc = ex.nextPc;
+                if (ex.halted || done == insts)
+                    return done;
+                blk = &ffCache->blockAt(ex.nextPc);
+                continue;
+            }
+        }
+
         const MicroOp &u = blk->ops[idx];
         memsys.instLatency(u.pc);
         if (u.isHalt) {
@@ -190,6 +218,13 @@ OutOfOrderCore::fastForward(u64 insts)
         if (u.inst.writesReg())
             regFromLoad[u.inst.rc] = u.opClass == OpClass::MemRead;
         fetchPc = r.nextPc;
+
+        if (u.opClass == OpClass::Branch) {
+            // Superblock profiling: remember the direction this block's
+            // terminator went, so trace formation stitches the path
+            // execution actually follows.
+            blk->lastTaken = r.taken;
+        }
 
         if (r.nextPc == u.pc + 4) {
             if (idx + 1 < blk->ops.size()) {
@@ -214,13 +249,12 @@ void
 OutOfOrderCore::warmControl(Addr pc, const Inst &inst, bool taken,
                             Addr next_pc)
 {
-    // Warm the predictor exactly as fetch + commit would.
+    // Warm the predictor exactly as fetch + commit would — through the
+    // same helper the superblock trace executor bakes in, so the two
+    // fastForward tiers cannot drift.
     if (!predictor)
         return;
-    const Prediction pred = predictor->predict(pc, inst);
-    if (pred.taken != taken || (taken && pred.target != next_pc))
-        predictor->repair(inst, pred, taken);
-    predictor->resolve(pc, inst, pred, taken, next_pc);
+    warmPredictor(*predictor, pc, inst, taken, next_pc);
 }
 
 u64

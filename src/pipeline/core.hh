@@ -33,6 +33,7 @@
 #include "core/width_predictor.hh"
 #include "func/decode_cache.hh"
 #include "func/func_sim.hh"
+#include "func/superblock.hh"
 #include "pipeline/config.hh"
 #include "pipeline/fetch_cache.hh"
 #include "pipeline/observer.hh"
@@ -172,6 +173,17 @@ class OutOfOrderCore
     }
 
     /**
+     * Superblock trace-cache health counters — a host metric with the
+     * same contract as decodeCacheStats() (all-zero under `+notrace`
+     * or `+nodecodecache`; excluded from stat-identity comparisons).
+     */
+    SuperblockStats
+    superblockStats() const
+    {
+        return sbCache ? sbCache->stats() : SuperblockStats{};
+    }
+
+    /**
      * Serialize the full machine state — architected registers and
      * backing memory, fetch/timing cursors, warmed caches/TLBs/branch
      * predictor (or the perfect-prediction oracle), and every
@@ -273,6 +285,9 @@ class OutOfOrderCore
     // PC-tagged decoded-instruction cache.
     std::unique_ptr<DecodeCache> ffCache;
     FetchDecodeCache fetchCache;
+    /** Superblock traces over ffCache (null with `+notrace` or
+     *  `+nodecodecache`); invalidated whenever ffCache is. */
+    std::unique_ptr<SuperblockCache> sbCache;
 
     // Speculative in-fetch-order register state (execute-at-dispatch).
     std::array<u64, numIntRegs> specRegs{};

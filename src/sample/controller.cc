@@ -158,9 +158,11 @@ runSampledProgram(const Program &program, const CoreConfig &config,
     RunResult result = agg.aggregate();
     result.workload = name;
     result.configName = config_name;
-    // Decode-cache counters are cumulative host metrics, not interval
-    // statistics: stamp the final values rather than aggregating.
+    // Decode-cache and trace-cache counters are cumulative host
+    // metrics, not interval statistics: stamp the final values rather
+    // than aggregating.
     result.decodeCache = core.decodeCacheStats();
+    result.superblock = core.superblockStats();
     result.sample.sampled = true;
     result.sample.intervals = agg.intervals();
     result.sample.streamInsts = position;

@@ -24,6 +24,17 @@
  *  - Sampled seam: the drainInFlight -> fastForward handoff of sampled
  *    runs produces byte-identical SampleSummary wire blobs with and
  *    without the caches.
+ *  - Superblock traces (src/func/superblock.hh): the trace layer above
+ *    the block cache must be stat-invisible too — guard side exits in
+ *    both directions, self-closing loop traces, oracle-lockstep
+ *    (perfect) mode, reload invalidation, and 64 fuzz seeds, each
+ *    compared traced vs `+notrace` / `+nodecodecache`. (The warm
+ *    zero-allocation assertion lives with the global operator-new
+ *    counter in tests/test_sched_equivalence.cc.)
+ *  - Exact stat counters: the lookup/hit bookkeeping is pinned to a
+ *    hand-walked CFG, including the chain-link asymmetry where a
+ *    link's first resolution is a miss even when the successor block
+ *    is already decoded.
  */
 
 #include <string>
@@ -37,6 +48,7 @@
 #include "exp/wire.hh"
 #include "func/decode_cache.hh"
 #include "func/func_sim.hh"
+#include "func/superblock.hh"
 #include "sample/controller.hh"
 #include "sim_test_util.hh"
 #include "stat_diff.hh"
@@ -326,6 +338,360 @@ TEST(DecodeCache, SampledSummaryWireIdentical)
             EXPECT_TRUE(statIdentical(cached, uncached));
         }
     }
+}
+
+// ---- 6. Superblock traces ----------------------------------------------
+
+/**
+ * Fast-forward @p prog to completion on a core built from @p spec,
+ * asserting the architected result matches the FuncSim golden model.
+ * Returns the superblock counters for trace-activity assertions.
+ */
+SuperblockStats
+ffGolden(const Program &prog, const std::string &spec, u64 budget)
+{
+    const test::GoldenRun golden = test::runGolden(prog);
+    EXPECT_TRUE(golden.halted) << "golden model did not halt";
+
+    SparseMemory mem;
+    prog.load(mem);
+    OutOfOrderCore core(exp::configBySpec(spec), mem, prog.entry);
+    // fastForward stops just short of HALT (the HALT itself retires in
+    // detailed mode), so a run to completion covers instCount - 1.
+    const u64 ffed = core.fastForward(budget);
+    EXPECT_LT(ffed, budget) << spec << ": program never reached HALT";
+    EXPECT_EQ(ffed + 1, golden.instCount) << spec;
+    for (RegIndex r = 0; r < numIntRegs; ++r)
+        EXPECT_EQ(core.reg(r), golden.regs[r]) << spec << " r" << int(r);
+    return core.superblockStats();
+}
+
+TEST(Superblock, GuardExitWhenTrainedTakenGoesNotTaken)
+{
+    // A counted loop: the backward branch is taken well past the
+    // promotion threshold, so the formed trace guards on TAKEN and
+    // closes into a loop. The final iteration falls through — the
+    // guard must side-exit to the architecturally correct fall-through
+    // PC (the HALT) instead of restarting the trace.
+    const Program prog = buildProgram([](Assembler &as) {
+        as.li(1, 0);
+        as.li(2, 300);
+        as.label("loop");
+        as.addi(1, 1, 3);
+        as.xori(3, 1, 0x55);
+        as.add(1, 1, 3);
+        as.subi(2, 2, 1);
+        as.bne(2, "loop");
+        as.halt();
+    });
+    const SuperblockStats traced = ffGolden(prog, "baseline", 100000);
+    EXPECT_GE(traced.formed, 1u);
+    EXPECT_GE(traced.loopClosures, 1u);
+    EXPECT_GE(traced.guardExits, 1u) << "loop-exit must leave via guard";
+    EXPECT_GT(traced.tracedInsts, 100u);
+
+    // The escape hatches really do disable the layer.
+    const SuperblockStats notrace =
+        ffGolden(prog, "baseline+notrace", 100000);
+    EXPECT_EQ(notrace.formed, 0u);
+    EXPECT_EQ(notrace.entries, 0u);
+    const SuperblockStats nodc =
+        ffGolden(prog, "baseline+nodecodecache", 100000);
+    EXPECT_EQ(nodc.formed, 0u);
+    EXPECT_EQ(nodc.entries, 0u);
+}
+
+TEST(Superblock, GuardExitWhenTrainedNotTakenGoesTaken)
+{
+    // A rarely-taken conditional inside a hot loop: at formation time
+    // the branch has gone not-taken on every observed trip, so the
+    // trace stitches the fall-through and guards on NOT-TAKEN. On the
+    // trips where it *is* taken the guard must side-exit to the static
+    // taken target (the "rare" block, which rejoins the loop).
+    const Program prog = buildProgram([](Assembler &as) {
+        as.li(1, 0);
+        as.li(2, 200);
+        as.label("loop");
+        as.andi(3, 2, 63); // zero when r2 % 64 == 0 (3 trips of 200)
+        as.addi(1, 1, 3);
+        as.beq(3, "rare");
+        as.label("cont");
+        as.subi(2, 2, 1);
+        as.bne(2, "loop");
+        as.halt();
+        as.label("rare");
+        as.addi(1, 1, 1000);
+        as.br("cont");
+    });
+    const SuperblockStats traced = ffGolden(prog, "baseline", 100000);
+    EXPECT_GE(traced.formed, 1u);
+    EXPECT_GE(traced.guardExits, 3u)
+        << "each rare-taken trip must leave via the not-taken guard";
+}
+
+TEST(Superblock, PerfectModeOracleLockstepIdentical)
+{
+    // Oracle-lockstep (perfect-prediction) traces: the specialized
+    // executor steps the golden FuncSim per retired instruction. Run a
+    // real workload traced vs +notrace and require field-exact stats.
+    RunOptions opts;
+    opts.warmupInsts = 20000;
+    opts.measureInsts = 20000;
+    const Program prog = workloadByName("perl").program();
+    const RunResult traced = runProgram(
+        prog, exp::configBySpec("baseline+perfect"), opts, "perl",
+        "baseline+perfect");
+    const RunResult notrace = runProgram(
+        prog, exp::configBySpec("baseline+perfect+notrace"), opts,
+        "perl", "baseline+perfect+notrace");
+    EXPECT_TRUE(statIdentical(traced, notrace));
+    EXPECT_EQ(traced.warmupCommitted, notrace.warmupCommitted);
+    EXPECT_GT(traced.superblock.formed, 0u);
+    EXPECT_GT(traced.superblock.tracedInsts, 0u);
+    EXPECT_EQ(notrace.superblock.formed, 0u);
+}
+
+TEST(Superblock, WorkloadsTracedStatIdenticalToNoTrace)
+{
+    // Predictor-warming mode over real workloads: traced vs +notrace,
+    // every stat field compared by name.
+    RunOptions opts;
+    opts.warmupInsts = 20000;
+    opts.measureInsts = 12000;
+    for (const char *wname : {"gcc", "m88ksim", "compress"}) {
+        SCOPED_TRACE(wname);
+        const Program prog = workloadByName(wname).program();
+        const RunResult traced = runProgram(
+            prog, exp::configBySpec("packing-replay"), opts, wname,
+            "packing-replay");
+        const RunResult notrace = runProgram(
+            prog, exp::configBySpec("packing-replay+notrace"), opts,
+            wname, "packing-replay+notrace");
+        EXPECT_TRUE(statIdentical(traced, notrace));
+        EXPECT_EQ(traced.warmupCommitted, notrace.warmupCommitted);
+        EXPECT_GT(traced.superblock.entries, 0u)
+            << "warmup never entered a trace";
+    }
+}
+
+TEST(Superblock, SelfOverlappingLoopTraceClosesOnItself)
+{
+    // The loop head sits mid-way through the entry block, so the loop
+    // body is an *overlapping* block (same tail instructions, different
+    // start PC). The trace formed at the loop head must close on its
+    // own head (kEndLoop), not chase the overlap.
+    const Program prog = buildProgram([](Assembler &as) {
+        as.li(1, 0);
+        as.li(2, 100);
+        as.label("loop");
+        as.addi(1, 1, 7);
+        as.subi(2, 2, 1);
+        as.bne(2, "loop");
+        as.halt();
+    });
+    SparseMemory mem;
+    prog.load(mem);
+    DecodeCache dc(mem);
+    dc.refresh();
+    SuperblockCache sb(dc, /*perfect=*/false, 64, 13);
+
+    // Entry block runs li..bne; its taken target is the mid-block loop
+    // head, which decodes as an overlapping block.
+    const DecodeCache::Block &entry = dc.blockAt(prog.entry);
+    const DecodeCache::Block &loop = dc.chainTaken(entry);
+    ASSERT_GT(loop.startPc, entry.startPc);
+    ASSERT_LT(loop.startPc, entry.endPc());
+
+    loop.lastTaken = true; // what the block loop would have recorded
+    const SbTrace *t = nullptr;
+    for (u32 i = 0; i < SuperblockCache::kPromoteHeat && !t; ++i)
+        t = sb.enter(loop);
+    ASSERT_NE(t, nullptr) << "promotion threshold did not trigger";
+    EXPECT_EQ(t->startPc, loop.startPc);
+    EXPECT_TRUE(t->loops);
+    EXPECT_EQ(t->blockCount, 1u);
+    ASSERT_FALSE(t->ops.empty());
+    EXPECT_EQ(t->ops.back().kind, SbOp::kEndLoop);
+    EXPECT_EQ(sb.stats().loopClosures, 1u);
+    EXPECT_EQ(sb.traceAt(loop.startPc), t);
+    EXPECT_EQ(sb.traceAt(prog.entry), nullptr);
+
+    // And the program is functionally unperturbed end to end.
+    ffGolden(prog, "baseline", 10000);
+}
+
+TEST(Superblock, ProgramReloadInvalidatesTraces)
+{
+    const Program progA = buildProgram([](Assembler &as) {
+        as.li(2, 50);
+        as.label("loop");
+        as.addi(1, 1, 1);
+        as.subi(2, 2, 1);
+        as.bne(2, "loop");
+        as.halt();
+    });
+    const Program progB = buildProgram([](Assembler &as) {
+        as.mul(2, 2, 2);
+        as.halt();
+    });
+
+    SparseMemory mem;
+    progA.load(mem);
+    DecodeCache dc(mem);
+    dc.refresh();
+    SuperblockCache sb(dc, /*perfect=*/false, 64, 13);
+
+    const DecodeCache::Block &entry = dc.blockAt(progA.entry);
+    const DecodeCache::Block &loop = dc.chainTaken(entry);
+    loop.lastTaken = true;
+    const SbTrace *t = nullptr;
+    for (u32 i = 0; i < SuperblockCache::kPromoteHeat && !t; ++i)
+        t = sb.enter(loop);
+    ASSERT_NE(t, nullptr);
+    EXPECT_EQ(sb.traceCount(), 1u);
+
+    // Reload: the decode cache notices the generation bump; the trace
+    // cache must be dropped with it (the core couples the two in
+    // fastForward via refresh() -> invalidate()).
+    progB.load(mem);
+    ASSERT_TRUE(dc.refresh());
+    sb.invalidate();
+    EXPECT_EQ(sb.traceCount(), 0u);
+    EXPECT_EQ(sb.traceAt(loop.startPc), nullptr);
+    EXPECT_EQ(sb.stats().invalidations, 1u);
+
+    // Invalidating an already-empty cache is not a new invalidation.
+    sb.invalidate();
+    EXPECT_EQ(sb.stats().invalidations, 1u);
+}
+
+TEST(Superblock, FuzzSeedsTracedIdenticalToUncached)
+{
+    // 64 seeded random programs through the traced fast-forward path
+    // vs the fully uncached interpreter loop: identical architected
+    // registers, instruction counts, and halting. The loop harness is
+    // cranked past the promotion threshold (kPromoteHeat entries of the
+    // loop-head block) so the runs actually exercise formed traces.
+    const CoreConfig traced = exp::configBySpec("baseline");
+    const CoreConfig uncached =
+        exp::configBySpec("baseline+nodecodecache");
+    FuzzParams params;
+    params.iterations = 3 * SuperblockCache::kPromoteHeat;
+    u64 totalEntries = 0;
+    for (u64 seed = 1; seed <= 64; ++seed) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        const FuzzCase fc = generateFuzzCase(seed, params);
+        const Program prog = materializeFuzzCase(fc);
+        // fuzzCaseInstCount is the *static* size; every loop iteration
+        // re-executes a slice of it, so scale by the harness trip count
+        // for a budget that lets the whole program run to HALT.
+        const u64 budget = (fc.iterations + 4) * fuzzCaseInstCount(fc);
+
+        SparseMemory m1, m2;
+        prog.load(m1);
+        prog.load(m2);
+        OutOfOrderCore c1(traced, m1, prog.entry);
+        OutOfOrderCore c2(uncached, m2, prog.entry);
+        const u64 n1 = c1.fastForward(budget);
+        const u64 n2 = c2.fastForward(budget);
+        EXPECT_EQ(n1, n2);
+        EXPECT_EQ(c1.done(), c2.done());
+        for (RegIndex r = 0; r < numIntRegs; ++r)
+            EXPECT_EQ(c1.reg(r), c2.reg(r)) << "r" << int(r);
+        totalEntries += c1.superblockStats().entries;
+    }
+    EXPECT_GT(totalEntries, 0u)
+        << "no fuzz seed ever promoted a trace — threshold too high "
+           "or the hook is dead";
+}
+
+TEST(Superblock, SampledScheduleTracedStatIdenticalToNoTrace)
+{
+    // Sampled runs interleave traced fast-forward streams with
+    // detailed windows; the interval measurements and error bars must
+    // not depend on the trace layer.
+    const std::string spec = "baseline+sample=4000:500:1500";
+    RunOptions opts;
+    opts.warmupInsts = 3000;
+    opts.measureInsts = 30000;
+    opts.sample = exp::sampleBySpec(spec);
+    ASSERT_TRUE(opts.sample.enabled);
+
+    const Program prog = workloadByName("perl").program();
+    const RunResult traced = sample::runSampledProgram(
+        prog, exp::configBySpec(spec), opts, "perl", spec);
+    const RunResult notrace = sample::runSampledProgram(
+        prog, exp::configBySpec(spec + "+notrace"), opts, "perl", spec);
+    EXPECT_TRUE(statIdentical(traced, notrace));
+    EXPECT_EQ(exp::packSampleSummary(traced.sample),
+              exp::packSampleSummary(notrace.sample));
+    EXPECT_GT(traced.superblock.entries, 0u);
+    EXPECT_EQ(notrace.superblock.entries, 0u);
+}
+
+// ---- 7. Exact stat counters on a hand-walked CFG -----------------------
+
+TEST(DecodeCacheStats, ExactCountersOnKnownCfg)
+{
+    // Block A ends in a branch whose taken target is A's own start (so
+    // the successor is already decoded when the chain link first
+    // resolves) and whose fall-through is fresh. Every lookup/hit
+    // transition is pinned exactly.
+    const Program prog = buildProgram([](Assembler &as) {
+        as.label("head");
+        as.addi(1, 1, 1);
+        as.subi(2, 2, 1);
+        as.bne(2, "head");
+        as.halt();
+    });
+    SparseMemory mem;
+    prog.load(mem);
+    DecodeCache dc(mem);
+    dc.refresh();
+
+    // First blockAt: decode. 1 lookup, 0 hits.
+    const DecodeCache::Block &a = dc.blockAt(prog.entry);
+    EXPECT_EQ(dc.stats().lookups, 1u);
+    EXPECT_EQ(dc.stats().hits, 0u);
+    EXPECT_EQ(dc.blockCount(), 1u);
+
+    // Repeat blockAt: hash hit. 2/1.
+    dc.blockAt(prog.entry);
+    EXPECT_EQ(dc.stats().lookups, 2u);
+    EXPECT_EQ(dc.stats().hits, 1u);
+
+    // First chainTaken: target is A itself — already decoded, but the
+    // *link* is unmemoized, so this is a miss (the probe is the cost
+    // the hit rate exposes). 3/1, and no new block.
+    const DecodeCache::Block &t = dc.chainTaken(a);
+    EXPECT_EQ(&t, &a);
+    EXPECT_EQ(dc.stats().lookups, 3u);
+    EXPECT_EQ(dc.stats().hits, 1u);
+    EXPECT_EQ(dc.blockCount(), 1u);
+
+    // Second chainTaken: memoized link. 4/2.
+    dc.chainTaken(a);
+    EXPECT_EQ(dc.stats().lookups, 4u);
+    EXPECT_EQ(dc.stats().hits, 2u);
+
+    // First chainSeq: fall-through (the HALT block) is fresh — miss
+    // and a decode. 5/2, 2 blocks.
+    const DecodeCache::Block &s = dc.chainSeq(a);
+    EXPECT_EQ(s.startPc, a.endPc());
+    EXPECT_EQ(dc.stats().lookups, 5u);
+    EXPECT_EQ(dc.stats().hits, 2u);
+    EXPECT_EQ(dc.blockCount(), 2u);
+
+    // Second chainSeq: memoized. 6/3.
+    dc.chainSeq(a);
+    EXPECT_EQ(dc.stats().lookups, 6u);
+    EXPECT_EQ(dc.stats().hits, 3u);
+
+    // blockAt on the halt block's PC: hash hit (decoded by the chain
+    // resolution above). 7/4.
+    dc.blockAt(a.endPc());
+    EXPECT_EQ(dc.stats().lookups, 7u);
+    EXPECT_EQ(dc.stats().hits, 4u);
 }
 
 } // namespace

@@ -264,9 +264,11 @@ TEST(SchedEquivalence, SteadyStateTickDoesNotAllocate)
 
 TEST(SchedEquivalence, WarmFastForwardDoesNotAllocate)
 {
-    // Once the basic-block decode cache holds the loop, the threaded
-    // fastForward dispatch must run allocation-free: no block decodes,
-    // no hash growth, no per-instruction scratch.
+    // Once the basic-block decode cache holds the loop — and, past the
+    // promotion threshold, the superblock trace cache holds its trace
+    // (func/superblock.hh) — the threaded fastForward dispatch must run
+    // allocation-free: no block decodes, no trace formation, no hash
+    // growth, no per-instruction scratch.
     const Program prog = steadyLoopProgram(20000);
     assertCounterLive();
 
@@ -297,10 +299,21 @@ TEST(SchedEquivalence, WarmFastForwardDoesNotAllocate)
     EXPECT_EQ(allocCount.load(), 0u)
         << "decode-cached fastForward allocated in steady state";
 
-    // And the warm loop really was served by the cache.
+    // And the warm loop really was served by the caches: once the hot
+    // loop promotes to a superblock trace, the block-cache loop sees
+    // only the cold decodes and occasional side-exit re-entries, so the
+    // honest steady-state assertion is that traced dispatch covered
+    // nearly everything — not a block-cache hit rate over a handful of
+    // residual lookups.
     const DecodeCacheStats dc = core.decodeCacheStats();
     EXPECT_GT(dc.lookups, 0u);
-    EXPECT_GT(dc.hitRate(), 0.99);
+    const SuperblockStats sb = core.superblockStats();
+    EXPECT_GT(sb.formed, 0u);
+    EXPECT_GT(sb.entries, 0u);
+    EXPECT_GT(sb.tracedInsts, 2 * kChunk)
+        << "the hot loop should run out of the formed trace";
+    EXPECT_LT(dc.lookups, kChunk / 10)
+        << "traced steady state should bypass per-block lookups";
 }
 
 // ---- 5. Eager purge of squashed completion events ----------------------

@@ -10,16 +10,25 @@
  *
  *     nwsim bench [--suite smoke|all] [--workloads a,b] [--configs ...]
  *                 [--warmup N] [--measure N] [--jobs N] [--json FILE]
- *                 [--no-uncached] [--no-sample]
+ *                 [--no-uncached] [--no-sample] [--no-trace-compare]
  *                 [--sample-schedule P:W:M] [--no-progress]
+ *                 [--compare OLD.json] [--threshold PCT]
  *         Measure host-side simulation speed (docs/PERF.md): run the
  *         workload × config grid with the decode caches on (default),
- *         with +nodecodecache, and in sampled mode (docs/SAMPLING.md;
- *         effective KIPS = stream insts per wall second), print
+ *         with +nodecodecache, in sampled mode (docs/SAMPLING.md;
+ *         effective KIPS = stream insts per wall second), and in
+ *         sampled `+notrace` mode (the superblock-trace A/B), print
  *         per-variant KIPS, decode-cache hit rate, and the wall-clock
  *         speedup, and write BENCH_simspeed.json (--json overrides the
- *         path). Exits nonzero if any job fails or the measured KIPS
- *         is zero.
+ *         path). With --compare, diff the headline speed metrics
+ *         against a previously written document and exit nonzero if
+ *         any variant regressed by more than --threshold percent
+ *         (default 10). Exits nonzero if any job fails or the measured
+ *         KIPS is zero.
+ *
+ *     nwsim --version
+ *         Print the version and the trace-dispatch mechanism this
+ *         binary was built with (direct-threaded | call-threaded).
  *
  * Options:
  *     --config SPEC     a full campaign config spec: base preset
@@ -68,6 +77,7 @@
 #include "exp/bench.hh"
 #include "exp/campaign.hh"
 #include "exp/configs.hh"
+#include "func/superblock.hh"
 #include "sample/controller.hh"
 #include "workloads/kernels.hh"
 
@@ -90,8 +100,10 @@ usage()
         << "       nwsim bench [--suite smoke|all] [--workloads a,b]\n"
         << "                 [--configs s1,s2] [--warmup N] [--measure N]\n"
         << "                 [--jobs N] [--json FILE] [--no-uncached]\n"
-        << "                 [--no-sample] [--sample-schedule P:W:M]\n"
-        << "                 [--no-progress]\n";
+        << "                 [--no-sample] [--no-trace-compare]\n"
+        << "                 [--sample-schedule P:W:M] [--no-progress]\n"
+        << "                 [--compare OLD.json] [--threshold PCT]\n"
+        << "       nwsim --version\n";
     return exitcode::Usage;
 }
 
@@ -233,6 +245,8 @@ benchMain(int argc, char **argv)
     bool window_overridden = false;
     std::string suite = "all";
     std::string json_path = "BENCH_simspeed.json";
+    std::string compare_path;
+    double threshold_pct = 10.0;
 
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -266,8 +280,14 @@ benchMain(int argc, char **argv)
             bopts.compareUncached = false;
         else if (arg == "--no-sample")
             bopts.compareSampled = false;
+        else if (arg == "--no-trace-compare")
+            bopts.compareNoTrace = false;
         else if (arg == "--sample-schedule")
             bopts.sampleModifier = "sample=" + next();
+        else if (arg == "--compare")
+            compare_path = next();
+        else if (arg == "--threshold")
+            threshold_pct = std::strtod(next().c_str(), nullptr);
         else if (arg == "--no-progress")
             progress = false;
         else
@@ -290,6 +310,18 @@ benchMain(int argc, char **argv)
     }
     if (progress)
         bopts.progress = &std::cerr;
+
+    // Read the reference before spending minutes measuring, so a bad
+    // path fails fast.
+    std::string old_doc;
+    if (!compare_path.empty()) {
+        std::ifstream in(compare_path);
+        if (!in)
+            NWSIM_FATAL("cannot read --compare file ", compare_path);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        old_doc = buf.str();
+    }
 
     const exp::BenchReport report = exp::runSpeedBench(bopts);
     const exp::BenchAggregate ev = exp::benchAggregate(report.event);
@@ -325,6 +357,20 @@ benchMain(int argc, char **argv)
                   << " effective KIPS (" << Table::num(sm.kips(), 0)
                   << " detailed KIPS)\n";
     }
+    if (report.compareNoTrace()) {
+        const exp::BenchAggregate nt =
+            exp::benchAggregate(report.sampledNoTrace);
+        std::cout << "sampled +notrace:       "
+                  << Table::num(nt.seconds, 2) << "s covering "
+                  << Table::num(nt.streamKinsts, 0)
+                  << " stream kinsts = "
+                  << Table::num(nt.effectiveKips(), 0)
+                  << " effective KIPS\n"
+                  << "trace speedup (effective KIPS, "
+                  << sbDispatchKind() << "): "
+                  << Table::num(report.traceSpeedupEffective(), 2)
+                  << "x\n";
+    }
 
     if (!json_path.empty()) {
         std::ofstream out(json_path);
@@ -342,6 +388,35 @@ benchMain(int argc, char **argv)
         std::cerr << "nwsim bench: measured zero KIPS — timing broken\n";
         return 1;
     }
+
+    if (!old_doc.empty()) {
+        const std::vector<exp::BenchDelta> deltas =
+            exp::compareBenchJson(old_doc, report);
+        if (deltas.empty()) {
+            std::cerr << "nwsim bench: --compare found no shared "
+                         "metrics in " << compare_path << "\n";
+            return 1;
+        }
+        size_t regressions = 0;
+        std::cout << "compare vs " << compare_path << " (threshold "
+                  << Table::num(threshold_pct, 1) << "%):\n";
+        for (const exp::BenchDelta &d : deltas) {
+            const bool bad = d.regressed(threshold_pct);
+            regressions += bad;
+            std::cout << "  " << d.variant << " " << d.metric << ": "
+                      << Table::num(d.oldValue, 0) << " -> "
+                      << Table::num(d.newValue, 0) << " ("
+                      << (d.deltaPercent() >= 0 ? "+" : "")
+                      << Table::num(d.deltaPercent(), 1) << "%)"
+                      << (bad ? "  REGRESSION" : "") << "\n";
+        }
+        if (regressions) {
+            std::cerr << "nwsim bench: " << regressions
+                      << " metric(s) regressed beyond "
+                      << Table::num(threshold_pct, 1) << "%\n";
+            return 1;
+        }
+    }
     return 0;
 }
 
@@ -351,6 +426,11 @@ runMain(int argc, char **argv)
     if (argc < 2)
         return usage();
     const std::string cmd = argv[1];
+    if (cmd == "--version" || cmd == "version") {
+        std::cout << "nwsim " << NWSIM_VERSION << " ("
+                  << sbDispatchKind() << " dispatch)\n";
+        return 0;
+    }
     if (cmd == "list")
         return listWorkloads();
     if (cmd == "bench")
