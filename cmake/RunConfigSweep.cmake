@@ -1,0 +1,97 @@
+# Declarative-sweep acceptance drill (docs/CONFIG.md "Sweep files").
+# Driven by ctest (see tests/CMakeLists.txt, labels `config;campaign`)
+# as:
+#
+#   cmake -DNWSWEEP=<nwsweep binary> -DSOURCE_DIR=<repo>
+#         -DWORK_DIR=<scratch> -P RunConfigSweep.cmake
+#
+# Runs the shipped 1000-scenario sweep (configs/sweep-1000.cfg: four
+# .cfg machines x 250 generated workloads, all sampled) entirely from
+# config files, then proves the campaign plumbing holds at that scale:
+#
+#   1. fresh journaled run -> reference --json-no-timing document;
+#   2. rerun with --resume on the same journal: every outcome must be
+#      adopted (no re-simulation) and the JSON byte-identical;
+#   3. fresh sharded run (--shard 2) with its own journal, then a
+#      sharded --resume rerun: byte-identical again.
+#
+# Sharded and unsharded documents are NOT compared to each other —
+# shard mode fast-forwards the functional stream and runs per-period
+# detail, which is a different (self-consistent) schedule; shard-count
+# invariance itself is RunShardSmoke.cmake's job.
+
+if(NOT NWSWEEP OR NOT SOURCE_DIR OR NOT WORK_DIR)
+    message(FATAL_ERROR "usage: cmake -DNWSWEEP=<binary> "
+                        "-DSOURCE_DIR=<repo> -DWORK_DIR=<scratch> "
+                        "-P RunConfigSweep.cmake")
+endif()
+
+set(scratch "${WORK_DIR}/config_sweep")
+file(REMOVE_RECURSE "${scratch}")
+file(MAKE_DIRECTORY "${scratch}")
+
+# The sweep file names its machines as sibling .cfg files, so nwsweep
+# must resolve them relative to the shipped configs/ directory.
+set(sweep_file "${SOURCE_DIR}/configs/sweep-1000.cfg")
+set(sweep_args --sweep "${sweep_file}" --no-progress --json-no-timing)
+
+message(STATUS "config sweep: fresh journaled 1000-scenario run")
+execute_process(
+    COMMAND "${NWSWEEP}" ${sweep_args}
+            --journal "${scratch}/sweep.journal"
+            --json "${scratch}/fresh.json"
+    RESULT_VARIABLE rc)
+if(rc)
+    message(FATAL_ERROR "config sweep: fresh run failed (${rc})")
+endif()
+
+message(STATUS "config sweep: --resume rerun from the journal")
+execute_process(
+    COMMAND "${NWSWEEP}" ${sweep_args}
+            --journal "${scratch}/sweep.journal" --resume
+            --json "${scratch}/resumed.json"
+    RESULT_VARIABLE rc)
+if(rc)
+    message(FATAL_ERROR "config sweep: resume rerun failed (${rc})")
+endif()
+
+execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E compare_files
+            "${scratch}/fresh.json" "${scratch}/resumed.json"
+    RESULT_VARIABLE rc)
+if(rc)
+    message(FATAL_ERROR "config sweep: resumed statistics differ from "
+                        "the fresh run (fresh.json != resumed.json)")
+endif()
+
+message(STATUS "config sweep: fresh sharded run (--shard 2)")
+execute_process(
+    COMMAND "${NWSWEEP}" ${sweep_args} --shard 2
+            --journal "${scratch}/shard.journal"
+            --json "${scratch}/shard_fresh.json"
+    RESULT_VARIABLE rc)
+if(rc)
+    message(FATAL_ERROR "config sweep: sharded run failed (${rc})")
+endif()
+
+message(STATUS "config sweep: sharded --resume rerun")
+execute_process(
+    COMMAND "${NWSWEEP}" ${sweep_args} --shard 2
+            --journal "${scratch}/shard.journal" --resume
+            --json "${scratch}/shard_resumed.json"
+    RESULT_VARIABLE rc)
+if(rc)
+    message(FATAL_ERROR "config sweep: sharded resume failed (${rc})")
+endif()
+
+execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E compare_files
+            "${scratch}/shard_fresh.json" "${scratch}/shard_resumed.json"
+    RESULT_VARIABLE rc)
+if(rc)
+    message(FATAL_ERROR "config sweep: sharded resume differs from the "
+                        "fresh sharded run")
+endif()
+
+message(STATUS "config sweep: 1000 scenarios, resume and shard drills "
+               "byte-identical")

@@ -1,0 +1,85 @@
+# Configure a nested UBSan build, build nwsim + nwsweep, and push the
+# declarative configuration surface (docs/CONFIG.md) through it under
+# halt_on_error=1. Driven by ctest (see tests/CMakeLists.txt, labels
+# `config;sanitize`) as:
+#
+#   cmake -DSOURCE_DIR=... -DWORK_DIR=... -P RunUbsanConfigSmoke.cmake
+#
+# Undefined behaviour anywhere on the config path — the sectioned
+# parser, $(var)/arithmetic substitution, the field-table binding, the
+# workload generator, or a .cfg-driven sweep — fails the test. The
+# build tree is shared with the other RunUbsan*.cmake scripts (same
+# flags), guarded by the ubsan_build ctest resource lock.
+
+if(NOT SOURCE_DIR OR NOT WORK_DIR)
+    message(FATAL_ERROR "usage: cmake -DSOURCE_DIR=<repo> "
+                        "-DWORK_DIR=<scratch> -P RunUbsanConfigSmoke.cmake")
+endif()
+
+set(build_dir "${WORK_DIR}/ubsan-build")
+file(MAKE_DIRECTORY "${build_dir}")
+
+message(STATUS "UBSan config smoke: configuring in ${build_dir}")
+execute_process(
+    COMMAND "${CMAKE_COMMAND}" -S "${SOURCE_DIR}" -B "${build_dir}"
+            -DNWSIM_SANITIZE=undefined
+            -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    RESULT_VARIABLE rc)
+if(rc)
+    message(FATAL_ERROR "UBSan config smoke: configure failed (${rc})")
+endif()
+
+message(STATUS "UBSan config smoke: building nwsim and nwsweep")
+execute_process(
+    COMMAND "${CMAKE_COMMAND}" --build "${build_dir}"
+            --target nwsim nwsweep --parallel 4
+    RESULT_VARIABLE rc)
+if(rc)
+    message(FATAL_ERROR "UBSan config smoke: build failed (${rc})")
+endif()
+
+set(env_cmd "${CMAKE_COMMAND}" -E env UBSAN_OPTIONS=halt_on_error=1)
+
+# Twin identity through the instrumented parser: the shipped .cfg of
+# every preset must resolve to the identical machine (config diff exits
+# nonzero on any differing field).
+foreach(preset baseline packing packing-replay issue8)
+    message(STATUS "UBSan config smoke: diff ${preset} vs its .cfg twin")
+    execute_process(
+        COMMAND ${env_cmd} "${build_dir}/tools/nwsim" config diff
+                "${preset}" "${SOURCE_DIR}/configs/${preset}.cfg"
+        OUTPUT_QUIET
+        RESULT_VARIABLE rc)
+    if(rc)
+        message(FATAL_ERROR "UBSan config smoke: ${preset} twin "
+                            "diverged or tripped UBSan (${rc})")
+    endif()
+endforeach()
+
+# A generated workload under the lockstep checker: wgen text emission,
+# assembly, and simulation on the instrumented build.
+message(STATUS "UBSan config smoke: checked wgen run")
+execute_process(
+    COMMAND ${env_cmd} "${build_dir}/tools/nwsim" run
+            "wgen:seed=7,ops=32,iters=8,w16=70,w33=15,w64=15" --check
+            --warmup 0 --measure 2000000
+    OUTPUT_QUIET
+    RESULT_VARIABLE rc)
+if(rc)
+    message(FATAL_ERROR "UBSan config smoke: wgen --check run "
+                        "failed (${rc})")
+endif()
+
+# A small .cfg-driven sweep end to end: sweep file parsing, machine
+# file inheritance, [workload] sections, and the campaign engine.
+message(STATUS "UBSan config smoke: .cfg-driven sweep")
+execute_process(
+    COMMAND ${env_cmd} "${build_dir}/tools/nwsweep"
+            --sweep "${SOURCE_DIR}/configs/sweep-example.cfg"
+            --jobs 2 --no-progress
+            --json "${WORK_DIR}/ubsan_config_sweep.json"
+    RESULT_VARIABLE rc)
+if(rc)
+    message(FATAL_ERROR "UBSan config smoke: sweep failed (${rc})")
+endif()
+message(STATUS "UBSan config smoke: clean")

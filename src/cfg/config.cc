@@ -1,0 +1,669 @@
+#include "cfg/config.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+
+namespace nwsim::cfg
+{
+
+namespace
+{
+
+/** Expansion/recursion bounds: a config file is driver input, so every
+ *  loop a hostile byte stream could inflate is capped. */
+constexpr size_t maxFileBytes = 4 * 1024 * 1024;
+constexpr size_t maxArrayExpansion = 100000;
+constexpr int maxSubstDepth = 32;
+constexpr int maxExprDepth = 64;
+
+[[noreturn]] void
+parseFail(const std::string &path, int line, const std::string &msg)
+{
+    NWSIM_FATAL(path, ":", line, ": ", msg);
+}
+
+bool
+isKeyStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isKeyChar(char c)
+{
+    // '-' admits workload/preset-style names ("narrow-mix",
+    // "packing-replay") as keys and section names; keys sit left of
+    // '=' so this never collides with subtraction in value
+    // expressions.
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '.' || c == '-';
+}
+
+bool
+validKeyName(const std::string &key)
+{
+    if (key.empty() || !isKeyStart(key[0]))
+        return false;
+    return std::all_of(key.begin(), key.end(), isKeyChar);
+}
+
+/** Strip a trailing '#'/';' comment, respecting quoted spans. */
+std::string
+stripComment(const std::string &line)
+{
+    char quote = 0;
+    for (size_t i = 0; i < line.size(); ++i) {
+        const char c = line[i];
+        if (quote) {
+            if (c == quote)
+                quote = 0;
+        } else if (c == '"' || c == '\'') {
+            quote = c;
+        } else if (c == '#' || c == ';') {
+            return line.substr(0, i);
+        }
+    }
+    return line;
+}
+
+struct RawEntry
+{
+    std::string key;
+    std::string value;      // raw, pre-substitution
+    bool quoted = false;
+    int line = 0;
+};
+
+struct RawSection
+{
+    std::string kind;
+    std::string name;
+    int line = 0;
+    std::vector<RawEntry> entries;
+};
+
+/** Parse `key[a:b]` / `key[i]` array suffixes. */
+struct ArrayRange
+{
+    bool isArray = false;
+    u64 lo = 0;
+    u64 hi = 0;
+};
+
+bool
+parseIndex(const std::string &text, u64 &out)
+{
+    if (text.empty() ||
+        text.find_first_not_of("0123456789") != std::string::npos)
+        return false;
+    if (text.size() > 9)
+        return false;   // caps any index at < 1e9 before strtoull
+    out = std::strtoull(text.c_str(), nullptr, 10);
+    return true;
+}
+
+ArrayRange
+splitArrayKey(const std::string &path, int line, std::string &key)
+{
+    ArrayRange range;
+    const size_t open = key.find('[');
+    if (open == std::string::npos)
+        return range;
+    if (key.back() != ']')
+        parseFail(path, line, "malformed array key \"" + key +
+                                  "\" (want key[lo:hi] or key[i])");
+    const std::string body =
+        key.substr(open + 1, key.size() - open - 2);
+    key = key.substr(0, open);
+    const size_t colon = body.find(':');
+    if (colon == std::string::npos) {
+        if (!parseIndex(body, range.lo))
+            parseFail(path, line,
+                      "malformed array index \"[" + body + "]\"");
+        range.hi = range.lo;
+    } else {
+        if (!parseIndex(body.substr(0, colon), range.lo) ||
+            !parseIndex(body.substr(colon + 1), range.hi))
+            parseFail(path, line,
+                      "malformed array range \"[" + body + "]\"");
+        if (range.hi < range.lo)
+            parseFail(path, line, "array range \"[" + body +
+                                      "]\" runs backwards");
+    }
+    if (range.hi - range.lo + 1 > maxArrayExpansion)
+        parseFail(path, line,
+                  "array range expands to more than " +
+                      std::to_string(maxArrayExpansion) + " entries");
+    range.isArray = true;
+    return range;
+}
+
+/** Replace every `$(i)` with the literal index (array expansion). */
+std::string
+substituteIndex(const std::string &value, u64 index)
+{
+    std::string out;
+    size_t pos = 0;
+    while (pos < value.size()) {
+        const size_t dollar = value.find("$(i)", pos);
+        if (dollar == std::string::npos) {
+            out.append(value, pos, std::string::npos);
+            break;
+        }
+        out.append(value, pos, dollar - pos);
+        out += std::to_string(index);
+        pos = dollar + 4;
+    }
+    return out;
+}
+
+/** Unquote a fully-quoted value; error on stray/unterminated quotes. */
+std::string
+unquoteValue(const std::string &path, int line, const std::string &raw,
+             bool &quoted)
+{
+    quoted = false;
+    if (raw.empty())
+        return raw;
+    const char q = raw[0];
+    if (q == '"' || q == '\'') {
+        if (raw.size() < 2 || raw.back() != q)
+            parseFail(path, line, "unterminated quoted value");
+        const std::string inner = raw.substr(1, raw.size() - 2);
+        if (inner.find(q) != std::string::npos)
+            parseFail(path, line, "stray quote inside quoted value");
+        quoted = true;
+        return inner;
+    }
+    if (raw.find('"') != std::string::npos ||
+        raw.find('\'') != std::string::npos)
+        parseFail(path, line, "stray quote in unquoted value");
+    return raw;
+}
+
+/** Expression evaluator: expr := term (('+'|'-') term)*, term :=
+ *  factor (('*'|'/') factor)*, factor := '-' factor | '(' expr ')' |
+ *  number. */
+struct ExprParser
+{
+    const std::string &text;
+    size_t pos = 0;
+    std::string err;
+
+    explicit ExprParser(const std::string &t) : text(t) {}
+
+    void
+    skipSpace()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    }
+
+    bool
+    fail(const std::string &msg)
+    {
+        if (err.empty())
+            err = msg;
+        return false;
+    }
+
+    bool
+    number(double &out)
+    {
+        skipSpace();
+        const size_t start = pos;
+        if (start >= text.size())
+            return fail("expected a number");
+        if (text.compare(pos, 2, "0x") == 0 ||
+            text.compare(pos, 2, "0X") == 0) {
+            size_t digits = pos + 2;
+            while (digits < text.size() &&
+                   std::isxdigit(
+                       static_cast<unsigned char>(text[digits])))
+                ++digits;
+            if (digits == pos + 2 || digits - pos > 18)
+                return fail("malformed hex literal");
+            out = static_cast<double>(std::strtoull(
+                text.substr(pos, digits - pos).c_str(), nullptr, 16));
+            pos = digits;
+            return true;
+        }
+        char *end = nullptr;
+        const double v = std::strtod(text.c_str() + start, &end);
+        if (end == text.c_str() + start)
+            return fail("expected a number at \"" + text.substr(start) +
+                        "\"");
+        pos = static_cast<size_t>(end - text.c_str());
+        out = v;
+        return true;
+    }
+
+    bool
+    factor(double &out, int depth)
+    {
+        if (depth > maxExprDepth)
+            return fail("expression nests too deeply");
+        skipSpace();
+        if (pos < text.size() && text[pos] == '-') {
+            ++pos;
+            if (!factor(out, depth + 1))
+                return false;
+            out = -out;
+            return true;
+        }
+        if (pos < text.size() && text[pos] == '(') {
+            ++pos;
+            if (!expr(out, depth + 1))
+                return false;
+            skipSpace();
+            if (pos >= text.size() || text[pos] != ')')
+                return fail("missing ')'");
+            ++pos;
+            return true;
+        }
+        return number(out);
+    }
+
+    bool
+    term(double &out, int depth)
+    {
+        if (!factor(out, depth))
+            return false;
+        for (;;) {
+            skipSpace();
+            if (pos >= text.size() ||
+                (text[pos] != '*' && text[pos] != '/'))
+                return true;
+            const char op = text[pos++];
+            double rhs = 0.0;
+            if (!factor(rhs, depth))
+                return false;
+            if (op == '/') {
+                if (rhs == 0.0)
+                    return fail("division by zero");
+                out /= rhs;
+            } else {
+                out *= rhs;
+            }
+        }
+    }
+
+    bool
+    expr(double &out, int depth)
+    {
+        if (depth > maxExprDepth)
+            return fail("expression nests too deeply");
+        if (!term(out, depth))
+            return false;
+        for (;;) {
+            skipSpace();
+            if (pos >= text.size() ||
+                (text[pos] != '+' && text[pos] != '-'))
+                return true;
+            const char op = text[pos++];
+            double rhs = 0.0;
+            if (!term(rhs, depth))
+                return false;
+            out = op == '+' ? out + rhs : out - rhs;
+        }
+    }
+};
+
+/** Variable-substitution context: section-local entries shadow
+ *  globals, exactly like SESC's per-section overrides. */
+struct SubstContext
+{
+    const std::string &path;
+    const RawSection &globals;
+    const RawSection &local;
+
+    const RawEntry *
+    lookup(const std::string &name) const
+    {
+        for (auto it = local.entries.rbegin();
+             it != local.entries.rend(); ++it)
+            if (it->key == name)
+                return &*it;
+        for (auto it = globals.entries.rbegin();
+             it != globals.entries.rend(); ++it)
+            if (it->key == name)
+                return &*it;
+        return nullptr;
+    }
+
+    std::vector<std::string>
+    knownNames() const
+    {
+        std::vector<std::string> names;
+        for (const RawEntry &e : globals.entries)
+            names.push_back(e.key);
+        for (const RawEntry &e : local.entries)
+            names.push_back(e.key);
+        return names;
+    }
+};
+
+std::string substituteVars(const SubstContext &ctx,
+                           const RawEntry &entry, int depth);
+
+/** Substitute one `$(name)` reference (recursively resolving the
+ *  referenced entry first). */
+std::string
+resolveReference(const SubstContext &ctx, const RawEntry &site,
+                 const std::string &name, int depth)
+{
+    if (depth > maxSubstDepth)
+        parseFail(ctx.path, site.line,
+                  "recursive $(" + name + ") substitution");
+    const RawEntry *target = ctx.lookup(name);
+    if (!target) {
+        std::string msg = "unknown variable $(" + name + ")";
+        const std::string hint = closestName(name, ctx.knownNames());
+        if (!hint.empty())
+            msg += " — did you mean $(" + hint + ")?";
+        parseFail(ctx.path, site.line, msg);
+    }
+    const std::string resolved = substituteVars(ctx, *target, depth + 1);
+    // Parenthesize non-trivial numeric text so `a = 1+2; b = $(a)*3`
+    // keeps its algebraic meaning; plain tokens substitute verbatim.
+    if (!site.quoted && !target->quoted &&
+        resolved.find_first_of("+-*/ ") != std::string::npos)
+        return "(" + resolved + ")";
+    return resolved;
+}
+
+std::string
+substituteVars(const SubstContext &ctx, const RawEntry &entry,
+               int depth)
+{
+    const std::string &value = entry.value;
+    if (value.find("$(") == std::string::npos)
+        return value;
+    std::string out;
+    size_t pos = 0;
+    while (pos < value.size()) {
+        const size_t dollar = value.find("$(", pos);
+        if (dollar == std::string::npos) {
+            out.append(value, pos, std::string::npos);
+            break;
+        }
+        out.append(value, pos, dollar - pos);
+        const size_t close = value.find(')', dollar + 2);
+        if (close == std::string::npos)
+            parseFail(ctx.path, entry.line,
+                      "unterminated $(...) reference");
+        const std::string name =
+            value.substr(dollar + 2, close - dollar - 2);
+        if (!validKeyName(name))
+            parseFail(ctx.path, entry.line,
+                      "malformed $(...) reference \"$(" + name + ")\"");
+        out += resolveReference(ctx, entry, name, depth);
+        pos = close + 1;
+    }
+    return out;
+}
+
+} // namespace
+
+const CfgEntry *
+CfgSection::find(const std::string &key) const
+{
+    for (auto it = entries.rbegin(); it != entries.rend(); ++it)
+        if (it->key == key)
+            return &*it;
+    return nullptr;
+}
+
+const CfgSection *
+ConfigFile::section(const std::string &kind,
+                    const std::string &name) const
+{
+    for (const CfgSection &s : sections)
+        if (s.kind == kind && s.name == name)
+            return &s;
+    return nullptr;
+}
+
+std::vector<const CfgSection *>
+ConfigFile::sectionsOf(const std::string &kind) const
+{
+    std::vector<const CfgSection *> out;
+    for (const CfgSection &s : sections)
+        if (s.kind == kind)
+            out.push_back(&s);
+    return out;
+}
+
+ConfigFile
+parseConfigText(const std::string &text, const std::string &display_path)
+{
+    if (text.size() > maxFileBytes)
+        parseFail(display_path, 1, "config file exceeds " +
+                                       std::to_string(maxFileBytes) +
+                                       " bytes");
+
+    // Pass 1: raw sections (comments stripped, arrays expanded).
+    std::vector<RawSection> raw(1);   // [0] = implicit global section
+    size_t lineStart = 0;
+    int lineNo = 0;
+    while (lineStart <= text.size()) {
+        size_t nl = text.find('\n', lineStart);
+        if (nl == std::string::npos)
+            nl = text.size();
+        std::string line = text.substr(lineStart, nl - lineStart);
+        lineStart = nl + 1;
+        ++lineNo;
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        line = trim(stripComment(line));
+        if (line.empty()) {
+            if (nl == text.size())
+                break;
+            continue;
+        }
+
+        if (line.front() == '[') {
+            if (line.back() != ']')
+                parseFail(display_path, lineNo,
+                          "section header missing closing ']'");
+            const std::string body =
+                trim(line.substr(1, line.size() - 2));
+            const std::vector<std::string> words = tokenize(body, " \t");
+            if (words.empty() || words.size() > 2 ||
+                !validKeyName(words[0]))
+                parseFail(display_path, lineNo,
+                          "malformed section header \"" + line +
+                              "\" (want [kind] or [kind name])");
+            RawSection section;
+            section.kind = toLower(words[0]);
+            if (words.size() == 2) {
+                if (!validKeyName(words[1]))
+                    parseFail(display_path, lineNo,
+                              "malformed section name \"" + words[1] +
+                                  "\"");
+                section.name = words[1];
+            }
+            section.line = lineNo;
+            raw.push_back(std::move(section));
+            if (nl == text.size())
+                break;
+            continue;
+        }
+
+        const size_t eq = line.find('=');
+        if (eq == std::string::npos)
+            parseFail(display_path, lineNo,
+                      "expected `key = value` or `[section]`, got \"" +
+                          line + "\"");
+        std::string key = trim(line.substr(0, eq));
+        const ArrayRange range = splitArrayKey(display_path, lineNo, key);
+        if (!validKeyName(key))
+            parseFail(display_path, lineNo,
+                      "malformed key \"" + key + "\"");
+        const std::string rawValue = trim(line.substr(eq + 1));
+        if (rawValue.empty())
+            parseFail(display_path, lineNo,
+                      "key \"" + key + "\" has no value");
+
+        RawSection &target = raw.back();
+        if (!range.isArray) {
+            target.entries.push_back({key, rawValue, false, lineNo});
+        } else {
+            for (u64 i = range.lo; i <= range.hi; ++i) {
+                target.entries.push_back(
+                    {key + "[" + std::to_string(i) + "]",
+                     substituteIndex(rawValue, i), false, lineNo});
+            }
+        }
+        if (nl == text.size())
+            break;
+    }
+
+    // Pass 2: quote handling + $(var) substitution.
+    ConfigFile file;
+    file.path = display_path;
+    for (RawSection &rs : raw) {
+        for (RawEntry &entry : rs.entries) {
+            entry.value = unquoteValue(display_path, entry.line,
+                                       entry.value, entry.quoted);
+        }
+    }
+    for (const RawSection &rs : raw) {
+        CfgSection section;
+        section.kind = rs.kind;
+        section.name = rs.name;
+        section.line = rs.line;
+        const SubstContext ctx{display_path, raw.front(), rs};
+        for (const RawEntry &entry : rs.entries) {
+            CfgValue value;
+            value.text = substituteVars(ctx, entry, 0);
+            value.quoted = entry.quoted;
+            value.line = entry.line;
+            section.entries.push_back({entry.key, value});
+        }
+        file.sections.push_back(std::move(section));
+    }
+    return file;
+}
+
+ConfigFile
+parseConfigFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        NWSIM_FATAL("cannot open config file \"", path, "\"");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parseConfigText(buf.str(), path);
+}
+
+bool
+evalExpression(const std::string &expr, double &out, std::string &err)
+{
+    ExprParser p(expr);
+    double value = 0.0;
+    if (!p.expr(value, 0)) {
+        err = p.err;
+        return false;
+    }
+    p.skipSpace();
+    if (p.pos != expr.size()) {
+        err = "trailing garbage \"" + expr.substr(p.pos) + "\"";
+        return false;
+    }
+    out = value;
+    return true;
+}
+
+std::string
+entryContext(const ConfigFile &file, const CfgEntry &entry)
+{
+    return file.path + ":" + std::to_string(entry.value.line) + ": ";
+}
+
+double
+entryNumber(const ConfigFile &file, const CfgEntry &entry)
+{
+    if (entry.value.quoted)
+        NWSIM_FATAL(entryContext(file, entry), "key \"", entry.key,
+                    "\" expects a number, got the string \"",
+                    entry.value.text, "\"");
+    double value = 0.0;
+    std::string err;
+    if (!evalExpression(entry.value.text, value, err))
+        NWSIM_FATAL(entryContext(file, entry), "key \"", entry.key,
+                    "\": ", err);
+    return value;
+}
+
+bool
+entryBool(const ConfigFile &file, const CfgEntry &entry)
+{
+    const std::string word = toLower(entry.value.text);
+    if (word == "true" || word == "yes" || word == "on")
+        return true;
+    if (word == "false" || word == "no" || word == "off")
+        return false;
+    double value = 0.0;
+    std::string err;
+    if (!entry.value.quoted &&
+        evalExpression(entry.value.text, value, err)) {
+        if (value == 0.0 || value == 1.0)
+            return value != 0.0;
+    }
+    NWSIM_FATAL(entryContext(file, entry), "key \"", entry.key,
+                "\" expects a boolean (true/false), got \"",
+                entry.value.text, "\"");
+}
+
+std::string
+closestName(const std::string &unknown,
+            const std::vector<std::string> &known)
+{
+    // Classic Levenshtein distance; inputs are short key names.
+    const auto distance = [](const std::string &a,
+                             const std::string &b) {
+        std::vector<size_t> row(b.size() + 1);
+        for (size_t j = 0; j <= b.size(); ++j)
+            row[j] = j;
+        for (size_t i = 1; i <= a.size(); ++i) {
+            size_t diag = row[0];
+            row[0] = i;
+            for (size_t j = 1; j <= b.size(); ++j) {
+                const size_t prev = row[j];
+                const size_t sub =
+                    diag + (std::tolower(static_cast<unsigned char>(
+                                a[i - 1])) ==
+                                    std::tolower(static_cast<unsigned char>(
+                                        b[j - 1]))
+                                ? 0
+                                : 1);
+                row[j] = std::min({row[j] + 1, row[j - 1] + 1, sub});
+                diag = prev;
+            }
+        }
+        return row[b.size()];
+    };
+
+    std::string best;
+    size_t bestDist = std::max<size_t>(2, unknown.size() / 3) + 1;
+    for (const std::string &candidate : known) {
+        if (candidate == unknown)
+            continue;
+        const size_t d = distance(unknown, candidate);
+        if (d < bestDist) {
+            bestDist = d;
+            best = candidate;
+        }
+    }
+    return best;
+}
+
+} // namespace nwsim::cfg

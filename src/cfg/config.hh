@@ -1,0 +1,128 @@
+/**
+ * @file
+ * SESC-style declarative config files (docs/CONFIG.md).
+ *
+ * The grammar is a tolerant sectioned key/value format modeled on the
+ * SESC simulator's `.conf` files:
+ *
+ *     # comment (';' also starts a comment)
+ *     issue = 4                     ; top-level variable
+ *     [machine]                     ; section
+ *     inherit = "baseline"          ; preset or another .cfg file
+ *     issueWidth = $(issue)         ; variable substitution
+ *     ruuSize = $(issue) * 20       ; arithmetic expressions
+ *     mem.l1d.sizeBytes = 64 * 1024 ; dotted field paths
+ *     [workload mix16]              ; named section instance
+ *     w16 = 80
+ *     [sweep]
+ *     workloads[0:9] = "wgen:seed=$(i)"   ; array keys expand over i
+ *
+ * The parser is hand-rolled and byte-tolerant: any malformed input —
+ * including arbitrary mutated bytes (tests/test_cfg.cc's fuzz drill) —
+ * produces a classified BadInputError carrying `file:line` context,
+ * never undefined behaviour. Key *meaning* (which keys exist, types,
+ * ranges) is owned by the binders layered on top (cfg/fields.hh,
+ * cfg/loader.hh, cfg/wgen.hh), which use closestName() for
+ * did-you-mean suggestions.
+ */
+
+#ifndef NWSIM_CFG_CONFIG_HH
+#define NWSIM_CFG_CONFIG_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace nwsim::cfg
+{
+
+/** One parsed value: substituted text plus source position. */
+struct CfgValue
+{
+    /** Trimmed value text, `$(var)` references already substituted;
+     *  quotes stripped when the value was quoted. */
+    std::string text;
+    /** True when the value was written as a quoted string — quoted
+     *  values are never evaluated as expressions. */
+    bool quoted = false;
+    /** 1-based source line (for binder diagnostics). */
+    int line = 0;
+};
+
+/** One `key = value` binding. */
+struct CfgEntry
+{
+    std::string key;
+    CfgValue value;
+};
+
+/** One `[kind]` or `[kind name]` section (plus the implicit global
+ *  section, kind == ""). */
+struct CfgSection
+{
+    std::string kind;
+    std::string name;
+    int line = 0;
+    std::vector<CfgEntry> entries;
+
+    /** Last binding of @p key, or nullptr (later bindings override). */
+    const CfgEntry *find(const std::string &key) const;
+};
+
+/** A fully parsed config file. */
+struct ConfigFile
+{
+    /** Display path for diagnostics ("<inline>" for text parses). */
+    std::string path;
+    /** sections[0] is always the implicit global section. */
+    std::vector<CfgSection> sections;
+
+    /** First `[kind name]` section, or nullptr. */
+    const CfgSection *section(const std::string &kind,
+                              const std::string &name = "") const;
+    /** Every `[kind ...]` section, in file order. */
+    std::vector<const CfgSection *> sectionsOf(
+        const std::string &kind) const;
+    const CfgSection &globals() const { return sections.front(); }
+};
+
+/**
+ * Parse config text. @p display_path labels diagnostics only; no file
+ * I/O happens. Throws BadInputError ("path:line: ...") on malformed
+ * input.
+ */
+ConfigFile parseConfigText(const std::string &text,
+                           const std::string &display_path = "<inline>");
+
+/** Read and parse @p path; BadInputError if unreadable or malformed. */
+ConfigFile parseConfigFile(const std::string &path);
+
+/**
+ * Evaluate @p expr as an arithmetic expression (+ - * / unary minus,
+ * parentheses, decimal/hex literals). Returns false (with a message in
+ * @p err) on malformed input — never throws, never UB.
+ */
+bool evalExpression(const std::string &expr, double &out,
+                    std::string &err);
+
+/**
+ * Coerce an entry's value to a number / boolean. Throws BadInputError
+ * with `file:line` context on type mismatch.
+ */
+double entryNumber(const ConfigFile &file, const CfgEntry &entry);
+bool entryBool(const ConfigFile &file, const CfgEntry &entry);
+
+/**
+ * Nearest name to @p unknown among @p known by edit distance — the
+ * did-you-mean suggestion. Empty when nothing is plausibly close.
+ */
+std::string closestName(const std::string &unknown,
+                        const std::vector<std::string> &known);
+
+/** "file:line: " diagnostic prefix for an entry. */
+std::string entryContext(const ConfigFile &file, const CfgEntry &entry);
+
+} // namespace nwsim::cfg
+
+#endif // NWSIM_CFG_CONFIG_HH

@@ -1,0 +1,287 @@
+#include "cfg/fields.hh"
+
+#include <charconv>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace nwsim::cfg
+{
+
+namespace
+{
+
+/** One row: accessors generated from the member path, so the table
+ *  cannot drift from the struct (a typo fails to compile). */
+#define NWSIM_CFG_FIELD(member, type, lo, hi, doc)                       \
+    FieldDesc                                                            \
+    {                                                                    \
+        #member, FieldType::type, static_cast<double>(lo),               \
+            static_cast<double>(hi), doc,                                \
+            +[](const CoreConfig &c) {                                   \
+                return static_cast<double>(c.member);                    \
+            },                                                           \
+            +[](CoreConfig &c, double v) {                               \
+                c.member = static_cast<decltype(c.member)>(v);           \
+            }                                                            \
+    }
+
+std::vector<FieldDesc>
+buildTable()
+{
+    return {
+        // --- pipeline geometry (paper Table 1) ---
+        NWSIM_CFG_FIELD(ruuSize, UInt, 1, 4096,
+                        "RUU (unified window/rename) entries"),
+        NWSIM_CFG_FIELD(lsqSize, UInt, 1, 4096,
+                        "load/store queue entries"),
+        NWSIM_CFG_FIELD(fetchQueueSize, UInt, 1, 1024,
+                        "fetch->decode queue entries"),
+        NWSIM_CFG_FIELD(fetchWidth, UInt, 1, 64,
+                        "instructions fetched per cycle"),
+        NWSIM_CFG_FIELD(decodeWidth, UInt, 1, 64,
+                        "instructions decoded per cycle"),
+        NWSIM_CFG_FIELD(issueWidth, UInt, 1, 64,
+                        "instructions issued per cycle"),
+        NWSIM_CFG_FIELD(commitWidth, UInt, 1, 64,
+                        "instructions committed per cycle"),
+        NWSIM_CFG_FIELD(numAlus, UInt, 1, 64, "integer ALUs"),
+        NWSIM_CFG_FIELD(numMultDiv, UInt, 1, 64,
+                        "integer multiply/divide units"),
+        NWSIM_CFG_FIELD(mispredictPenalty, UInt, 0, 1024,
+                        "extra redirect cycles after a misprediction"),
+        NWSIM_CFG_FIELD(perfectBPred, Bool, 0, 1,
+                        "oracle fetch instead of the combining "
+                        "predictor"),
+        NWSIM_CFG_FIELD(watchdogCycles, UInt, 0, 1e12,
+                        "cycles without a commit before DeadlockError "
+                        "(0 = disabled)"),
+        NWSIM_CFG_FIELD(earlyOutMultiply, Bool, 0, 1,
+                        "PPC603-style early-out multiply latency "
+                        "(Section 2.3)"),
+        NWSIM_CFG_FIELD(decodeCache, Bool, 0, 1,
+                        "decode caches on the functional and fetch "
+                        "paths (stats-identical; `+nodecodecache`)"),
+        NWSIM_CFG_FIELD(superblockTraces, Bool, 0, 1,
+                        "superblock traces over the decode cache in "
+                        "fastForward (stats-identical; `+notrace`)"),
+
+        // --- branch predictor (Table 1 combining predictor) ---
+        NWSIM_CFG_FIELD(bpred.selectorEntries, UInt, 1, 1 << 24,
+                        "selector table 2-bit counters"),
+        NWSIM_CFG_FIELD(bpred.selectorBits, UInt, 1, 16,
+                        "selector counter bits"),
+        NWSIM_CFG_FIELD(bpred.globalEntries, UInt, 1, 1 << 24,
+                        "global predictor counters"),
+        NWSIM_CFG_FIELD(bpred.globalBits, UInt, 1, 16,
+                        "global counter bits"),
+        NWSIM_CFG_FIELD(bpred.globalHistBits, UInt, 1, 30,
+                        "global history register bits"),
+        NWSIM_CFG_FIELD(bpred.localHistEntries, UInt, 1, 1 << 24,
+                        "per-PC local history entries"),
+        NWSIM_CFG_FIELD(bpred.localHistBits, UInt, 1, 30,
+                        "local history bits"),
+        NWSIM_CFG_FIELD(bpred.localPredEntries, UInt, 1, 1 << 24,
+                        "local predictor counters"),
+        NWSIM_CFG_FIELD(bpred.localPredBits, UInt, 1, 16,
+                        "local counter bits"),
+        NWSIM_CFG_FIELD(bpred.btbEntries, UInt, 1, 1 << 24,
+                        "branch target buffer entries (entries/assoc "
+                        "must be a power of two)"),
+        NWSIM_CFG_FIELD(bpred.btbAssoc, UInt, 1, 64,
+                        "BTB associativity"),
+        NWSIM_CFG_FIELD(bpred.rasEntries, UInt, 1, 4096,
+                        "return-address stack entries"),
+
+        // --- memory hierarchy (Table 1) ---
+        NWSIM_CFG_FIELD(mem.l1i.sizeBytes, UInt, 64, u64{1} << 32,
+                        "L1 I-cache bytes (sets must come out a power "
+                        "of two)"),
+        NWSIM_CFG_FIELD(mem.l1i.assoc, UInt, 1, 256,
+                        "L1 I-cache associativity"),
+        NWSIM_CFG_FIELD(mem.l1i.blockBytes, UInt, 8, 4096,
+                        "L1 I-cache block bytes (power of two)"),
+        NWSIM_CFG_FIELD(mem.l1i.hitLatency, UInt, 0, 1000,
+                        "L1 I-cache hit cycles"),
+        NWSIM_CFG_FIELD(mem.l1d.sizeBytes, UInt, 64, u64{1} << 32,
+                        "L1 D-cache bytes"),
+        NWSIM_CFG_FIELD(mem.l1d.assoc, UInt, 1, 256,
+                        "L1 D-cache associativity"),
+        NWSIM_CFG_FIELD(mem.l1d.blockBytes, UInt, 8, 4096,
+                        "L1 D-cache block bytes (power of two)"),
+        NWSIM_CFG_FIELD(mem.l1d.hitLatency, UInt, 0, 1000,
+                        "L1 D-cache hit cycles"),
+        NWSIM_CFG_FIELD(mem.l2.sizeBytes, UInt, 64, u64{1} << 34,
+                        "unified L2 bytes"),
+        NWSIM_CFG_FIELD(mem.l2.assoc, UInt, 1, 256,
+                        "L2 associativity"),
+        NWSIM_CFG_FIELD(mem.l2.blockBytes, UInt, 8, 4096,
+                        "L2 block bytes (power of two)"),
+        NWSIM_CFG_FIELD(mem.l2.hitLatency, UInt, 0, 1000,
+                        "L2 hit cycles"),
+        NWSIM_CFG_FIELD(mem.memoryLatency, UInt, 0, 100000,
+                        "main-memory cycles"),
+        NWSIM_CFG_FIELD(mem.itlb.entries, UInt, 1, 65536,
+                        "I-TLB entries (fully associative)"),
+        NWSIM_CFG_FIELD(mem.itlb.pageShift, UInt, 6, 30,
+                        "I-TLB page size, log2 bytes"),
+        NWSIM_CFG_FIELD(mem.itlb.missLatency, UInt, 0, 100000,
+                        "I-TLB miss cycles"),
+        NWSIM_CFG_FIELD(mem.dtlb.entries, UInt, 1, 65536,
+                        "D-TLB entries (fully associative)"),
+        NWSIM_CFG_FIELD(mem.dtlb.pageShift, UInt, 6, 30,
+                        "D-TLB page size, log2 bytes"),
+        NWSIM_CFG_FIELD(mem.dtlb.missLatency, UInt, 0, 100000,
+                        "D-TLB miss cycles"),
+
+        // --- operation packing (Section 5) ---
+        NWSIM_CFG_FIELD(packing.enabled, Bool, 0, 1,
+                        "pack narrow same-op instructions at issue "
+                        "(Section 5.2)"),
+        NWSIM_CFG_FIELD(packing.replay, Bool, 0, 1,
+                        "speculative replay packing (Section 5.3)"),
+        NWSIM_CFG_FIELD(packing.lanesPerAlu, UInt, 1, 8,
+                        "16-bit subword lanes per 64-bit ALU"),
+        NWSIM_CFG_FIELD(packing.groupCountsOneSlot, Bool, 0, 1,
+                        "a packed group consumes one issue slot"),
+        NWSIM_CFG_FIELD(packing.replayPenalty, UInt, 0, 1024,
+                        "cycles before a replay-trapped op re-issues"),
+
+        // --- clock gating + Table 4 power model (Section 4) ---
+        NWSIM_CFG_FIELD(gating.enabled, Bool, 0, 1,
+                        "operand-width clock-gating accounting"),
+        NWSIM_CFG_FIELD(gating.gate33, Bool, 0, 1,
+                        "33-bit gating control signal (Figure 5/6)"),
+        NWSIM_CFG_FIELD(gating.zeroDetectOnLoads, Bool, 0, 1,
+                        "width-tag values arriving from loads "
+                        "(Section 4.2)"),
+        NWSIM_CFG_FIELD(gating.devices.adder64, F64, 0, 1e9,
+                        "64-bit CLA adder mW (Table 4)"),
+        NWSIM_CFG_FIELD(gating.devices.multiplier64, F64, 0, 1e9,
+                        "64-bit Booth multiplier mW"),
+        NWSIM_CFG_FIELD(gating.devices.logic64, F64, 0, 1e9,
+                        "64-bit bit-wise logic mW"),
+        NWSIM_CFG_FIELD(gating.devices.shifter64, F64, 0, 1e9,
+                        "64-bit shifter mW"),
+        NWSIM_CFG_FIELD(gating.devices.zeroDetect, F64, 0, 1e9,
+                        "zero-detect logic mW per tagged result"),
+        NWSIM_CFG_FIELD(gating.devices.mux, F64, 0, 1e9,
+                        "result-bus mux mW per gated op"),
+    };
+}
+
+#undef NWSIM_CFG_FIELD
+
+} // namespace
+
+std::string
+FieldDesc::valueText(const CoreConfig &cfg) const
+{
+    const double v = get(cfg);
+    switch (type) {
+      case FieldType::Bool:
+        return v != 0.0 ? "true" : "false";
+      case FieldType::UInt: {
+        char buf[32];
+        const auto r = std::to_chars(buf, buf + sizeof(buf),
+                                     static_cast<u64>(v));
+        return std::string(buf, r.ptr);
+      }
+      case FieldType::F64: {
+        // Shortest representation that round-trips bit-exactly.
+        char buf[64];
+        const auto r = std::to_chars(buf, buf + sizeof(buf), v);
+        return std::string(buf, r.ptr);
+      }
+    }
+    return {};
+}
+
+const std::vector<FieldDesc> &
+coreConfigFields()
+{
+    static const std::vector<FieldDesc> table = buildTable();
+    return table;
+}
+
+const FieldDesc *
+findField(const std::string &name)
+{
+    for (const FieldDesc &f : coreConfigFields())
+        if (name == f.name)
+            return &f;
+    return nullptr;
+}
+
+const std::vector<std::string> &
+fieldNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> out;
+        for (const FieldDesc &f : coreConfigFields())
+            out.push_back(f.name);
+        return out;
+    }();
+    return names;
+}
+
+void
+checkFieldValue(const FieldDesc &field, double value,
+                const std::string &context)
+{
+    if (!std::isfinite(value))
+        NWSIM_FATAL(context, "field \"", field.name,
+                    "\" must be finite");
+    switch (field.type) {
+      case FieldType::Bool:
+        if (value != 0.0 && value != 1.0)
+            NWSIM_FATAL(context, "field \"", field.name,
+                        "\" is a boolean (true/false)");
+        return;
+      case FieldType::UInt:
+        if (value != std::floor(value))
+            NWSIM_FATAL(context, "field \"", field.name,
+                        "\" must be an integer, got ", value);
+        [[fallthrough]];
+      case FieldType::F64:
+        if (value < field.minValue || value > field.maxValue)
+            NWSIM_FATAL(context, "field \"", field.name, "\" = ", value,
+                        " is outside [", field.minValue, ", ",
+                        field.maxValue, "]");
+        return;
+    }
+}
+
+std::string
+dumpMachineSection(const CoreConfig &cfg)
+{
+    std::string out = "[machine]\n";
+    for (const FieldDesc &f : coreConfigFields()) {
+        out += f.name;
+        out += " = ";
+        out += f.valueText(cfg);
+        out += "\n";
+    }
+    return out;
+}
+
+std::vector<FieldDiff>
+diffConfigs(const CoreConfig &a, const CoreConfig &b)
+{
+    std::vector<FieldDiff> diffs;
+    for (const FieldDesc &f : coreConfigFields()) {
+        const std::string va = f.valueText(a);
+        const std::string vb = f.valueText(b);
+        if (va != vb)
+            diffs.push_back({&f, va, vb});
+    }
+    return diffs;
+}
+
+bool
+sameConfig(const CoreConfig &a, const CoreConfig &b)
+{
+    return diffConfigs(a, b).empty();
+}
+
+} // namespace nwsim::cfg

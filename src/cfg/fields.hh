@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Declarative field-descriptor table for the full CoreConfig surface.
+ *
+ * Every machine parameter the simulator exposes is one row: dotted name
+ * (matching the C++ member path, e.g. `mem.l1d.sizeBytes`), type,
+ * default, range, and doc string. The table is the single definition
+ * behind config-file binding (cfg/loader.hh), validation, canonical
+ * serialization (`nwsim config dump`), field-level diffing
+ * (`nwsim config diff`), and the auto-generated reference table in
+ * docs/CONFIG.md (`nwsim config fields --markdown`).
+ *
+ * Values move through a uniform double carrier: every integer field's
+ * range fits exactly in a double's 53-bit mantissa, booleans are 0/1,
+ * and true doubles round-trip through the shortest-representation
+ * formatter (fieldValueText), so parse -> dump -> parse is
+ * bit-identical.
+ */
+
+#ifndef NWSIM_CFG_FIELDS_HH
+#define NWSIM_CFG_FIELDS_HH
+
+#include <string>
+#include <vector>
+
+#include "pipeline/config.hh"
+
+namespace nwsim::cfg
+{
+
+enum class FieldType : u8
+{
+    UInt,   ///< unsigned / u64 integral field
+    Bool,   ///< boolean field (true/false)
+    F64,    ///< double field (power-model parameters)
+};
+
+/** One machine parameter. */
+struct FieldDesc
+{
+    const char *name;       ///< dotted path, e.g. "mem.l1d.sizeBytes"
+    FieldType type;
+    double minValue;        ///< inclusive bound (UInt/F64)
+    double maxValue;        ///< inclusive bound (UInt/F64)
+    const char *doc;
+    double (*get)(const CoreConfig &);
+    void (*set)(CoreConfig &, double);
+
+    /** Canonical text of this field's value in @p cfg. */
+    std::string valueText(const CoreConfig &cfg) const;
+};
+
+/** The full table, in canonical (dump) order. */
+const std::vector<FieldDesc> &coreConfigFields();
+
+/** Row for @p name, or nullptr. */
+const FieldDesc *findField(const std::string &name);
+
+/** Every field name (did-you-mean candidate list). */
+const std::vector<std::string> &fieldNames();
+
+/**
+ * Type/range-check @p value for @p field; on violation throws
+ * BadInputError prefixed with @p context ("file:line: " or "").
+ */
+void checkFieldValue(const FieldDesc &field, double value,
+                     const std::string &context);
+
+/**
+ * Canonical `[machine]` section for @p cfg: every field in table
+ * order, `name = value` per line. parse(dump(x)) == x bit-identically.
+ */
+std::string dumpMachineSection(const CoreConfig &cfg);
+
+/** One differing field between two configs. */
+struct FieldDiff
+{
+    const FieldDesc *field;
+    std::string a;
+    std::string b;
+};
+
+/** Fields whose values differ, in table order. */
+std::vector<FieldDiff> diffConfigs(const CoreConfig &a,
+                                   const CoreConfig &b);
+
+/** True when every field (== every simulated parameter) matches. */
+bool sameConfig(const CoreConfig &a, const CoreConfig &b);
+
+} // namespace nwsim::cfg
+
+#endif // NWSIM_CFG_FIELDS_HH

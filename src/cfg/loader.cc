@@ -1,0 +1,724 @@
+#include "cfg/loader.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <set>
+
+#include "cfg/fields.hh"
+#include "cfg/wgen.hh"
+#include "common/logging.hh"
+#include "common/strings.hh"
+#include "driver/presets.hh"
+#include "workloads/workload.hh"
+
+namespace nwsim::cfg
+{
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+constexpr int maxInheritDepth = 16;
+
+std::vector<std::string>
+splitOn(const std::string &text, char sep)
+{
+    std::vector<std::string> parts;
+    std::string cur;
+    for (char c : text) {
+        if (c == sep) {
+            parts.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    parts.push_back(cur);
+    return parts;
+}
+
+bool
+allDigits(const std::string &text)
+{
+    return !text.empty() &&
+           text.find_first_not_of("0123456789") == std::string::npos;
+}
+
+u64
+parseU64(const std::string &text, const std::string &context,
+         const std::string &what)
+{
+    if (!allDigits(text) || text.size() > 19)
+        NWSIM_FATAL(context, what, " \"", text,
+                    "\" must be a decimal integer");
+    return std::strtoull(text.c_str(), nullptr, 10);
+}
+
+/** `sample=P:W:M[:rand[:seed]]` — the one sample-schedule parser every
+ *  surface (spec modifier, [schedule] section) goes through. */
+SampleOptions
+parseSampleArg(const std::string &arg, const std::string &context)
+{
+    const std::vector<std::string> fields = splitOn(arg, ':');
+    if (fields.size() < 3 || fields.size() > 5)
+        NWSIM_FATAL(context, "malformed sample schedule \"", arg,
+                    "\" (want period:warmup:measure[:rand[:seed]])");
+    SampleOptions s;
+    s.enabled = true;
+    s.periodInsts = parseU64(fields[0], context, "sample period");
+    s.warmupInsts = parseU64(fields[1], context, "sample warmup");
+    s.measureInsts = parseU64(fields[2], context, "sample measure");
+    if (fields.size() >= 4) {
+        if (fields[3] != "rand")
+            NWSIM_FATAL(context, "malformed sample schedule \"", arg,
+                        "\" (4th field must be `rand`)");
+        s.randomize = true;
+        if (fields.size() == 5)
+            s.seed = parseU64(fields[4], context, "sample seed");
+    }
+    return s;
+}
+
+u64
+parseCkptArg(const std::string &arg, const std::string &context)
+{
+    const u64 every = parseU64(arg, context, "checkpoint cadence");
+    if (every == 0)
+        NWSIM_FATAL(context, "checkpoint cadence must be > 0 (omit the "
+                             "modifier to disable checkpointing)");
+    return every;
+}
+
+std::vector<PresetDef>
+buildPresets()
+{
+    return {
+        {"baseline", "paper Table 1 machine (4-issue, 4 ALUs)",
+         +[] { return presets::baseline(); }},
+        {"packing", "baseline + strict operation packing (Section 5.2)",
+         +[] { return presets::packing(/*replay=*/false); }},
+        {"packing-replay",
+         "baseline + speculative replay packing (Section 5.3)",
+         +[] { return presets::packing(/*replay=*/true); }},
+        {"issue8", "Figure 11's costly 8-issue/8-ALU comparison machine",
+         +[] { return presets::issue8(); }},
+    };
+}
+
+std::vector<ModifierDef>
+buildModifiers()
+{
+    return {
+        {"decode8", "decode8", false,
+         "widen fetch/decode to 8 (Section 5.4)",
+         +[](const std::string &, const std::string &,
+             MachineSpec &out) {
+             out.config = presets::decode8(out.config);
+         }},
+        {"perfect", "perfect", false,
+         "perfect branch prediction (oracle fetch)",
+         +[](const std::string &, const std::string &,
+             MachineSpec &out) { out.config.perfectBPred = true; }},
+        {"earlyout", "earlyout", false,
+         "PPC603-style early-out multiplies (Section 2.3)",
+         +[](const std::string &, const std::string &,
+             MachineSpec &out) { out.config.earlyOutMultiply = true; }},
+        {"nogate33", "nogate33", false,
+         "disable the 33-bit gating signal (Figure 6)",
+         +[](const std::string &, const std::string &,
+             MachineSpec &out) { out.config.gating.gate33 = false; }},
+        {"nodecodecache", "nodecodecache", false,
+         "bypass the decode caches (sim-speed A/B; same stats; needed "
+         "for self-modifying code)",
+         +[](const std::string &, const std::string &,
+             MachineSpec &out) { out.config.decodeCache = false; }},
+        {"notrace", "notrace", false,
+         "keep the decode cache but disable superblock traces in "
+         "fastForward (sim-speed A/B; same stats)",
+         +[](const std::string &, const std::string &,
+             MachineSpec &out) {
+             out.config.superblockTraces = false;
+         }},
+        {"sample=P:W:M", "sample", true,
+         "SMARTS sampling: detailed W-warmup/M-measure probe every P "
+         "insts (+`:rand[:seed]` randomizes the probe offset)",
+         +[](const std::string &arg, const std::string &context,
+             MachineSpec &out) {
+             out.sample = parseSampleArg(arg, context);
+         }},
+        {"ckpt=N", "ckpt", true,
+         "checkpoint machine state every N retired insts "
+         "(docs/CHECKPOINT.md); part of the run's semantics — detailed "
+         "runs drain the pipeline at every cadence boundary",
+         +[](const std::string &arg, const std::string &context,
+             MachineSpec &out) {
+             out.ckptEvery = parseCkptArg(arg, context);
+         }},
+    };
+}
+
+const PresetDef *
+findPreset(const std::string &name)
+{
+    for (const PresetDef &p : presetRegistry())
+        if (name == p.name)
+            return &p;
+    return nullptr;
+}
+
+const ModifierDef *
+findModifier(const std::string &token)
+{
+    for (const ModifierDef &m : modifierRegistry())
+        if (token == m.token)
+            return &m;
+    return nullptr;
+}
+
+std::vector<std::string>
+presetNames()
+{
+    std::vector<std::string> names;
+    for (const PresetDef &p : presetRegistry())
+        names.push_back(p.name);
+    return names;
+}
+
+std::vector<std::string>
+modifierTokens()
+{
+    std::vector<std::string> names;
+    for (const ModifierDef &m : modifierRegistry())
+        names.push_back(m.token);
+    return names;
+}
+
+/** Locate a config file: as given, then $NWSIM_CONFIG_PATH entries,
+ *  then the shipped configs/ directory. */
+std::string
+resolveConfigPath(const std::string &path, const std::string &context)
+{
+    std::error_code ec;
+    if (fs::exists(path, ec))
+        return path;
+    if (!fs::path(path).is_absolute()) {
+        if (const char *env = std::getenv("NWSIM_CONFIG_PATH")) {
+            for (const std::string &dir : tokenize(env, ":")) {
+                const std::string candidate =
+                    (fs::path(dir) / path).string();
+                if (fs::exists(candidate, ec))
+                    return candidate;
+            }
+        }
+        const std::string shipped =
+            (fs::path("configs") / path).string();
+        if (fs::exists(shipped, ec))
+            return shipped;
+    }
+    NWSIM_FATAL(context, "config file \"", path,
+                "\" not found (searched ., $NWSIM_CONFIG_PATH, "
+                "configs/)");
+}
+
+void bindMachineFile(const std::string &path, MachineSpec &out,
+                     std::set<std::string> &visited, int depth);
+
+/** Apply an `inherit = "<preset|file.cfg>"` chain link. */
+void
+applyInherit(const ConfigFile &file, const CfgEntry &entry,
+             MachineSpec &out, std::set<std::string> &visited,
+             int depth)
+{
+    const std::string &base = entry.value.text;
+    const std::string context = entryContext(file, entry);
+    if (depth > maxInheritDepth)
+        NWSIM_FATAL(context, "inherit chain deeper than ",
+                    maxInheritDepth, " (cycle?)");
+    if (const PresetDef *preset = findPreset(base)) {
+        out.config = preset->make();
+        return;
+    }
+    if (!looksLikeConfigFile(base)) {
+        std::string msg = "unknown inherit base \"" + base +
+                          "\" (want a preset or a .cfg file)";
+        const std::string hint = closestName(base, presetNames());
+        if (!hint.empty())
+            msg += " — did you mean \"" + hint + "\"?";
+        NWSIM_FATAL(context, msg);
+    }
+    // Relative inherit paths resolve against the inheriting file first.
+    std::string target = base;
+    if (!fs::path(base).is_absolute()) {
+        const fs::path sibling = fs::path(file.path).parent_path() / base;
+        std::error_code ec;
+        if (fs::exists(sibling, ec))
+            target = sibling.string();
+    }
+    bindMachineFile(resolveConfigPath(target, context), out, visited,
+                    depth + 1);
+}
+
+void
+bindScheduleSection(const ConfigFile &file, const CfgSection &section,
+                    MachineSpec &out)
+{
+    static const std::vector<std::string> keys = {"sample", "ckpt"};
+    for (const CfgEntry &entry : section.entries) {
+        const std::string context = entryContext(file, entry);
+        if (entry.key == "sample") {
+            out.sample = parseSampleArg(entry.value.text, context);
+        } else if (entry.key == "ckpt") {
+            const double v = entryNumber(file, entry);
+            if (v != std::floor(v) || v < 1)
+                NWSIM_FATAL(context,
+                            "ckpt cadence must be a positive integer");
+            out.ckptEvery = static_cast<u64>(v);
+        } else {
+            std::string msg = "unknown [schedule] key \"" + entry.key +
+                              "\"";
+            const std::string hint = closestName(entry.key, keys);
+            if (!hint.empty())
+                msg += " — did you mean \"" + hint + "\"?";
+            NWSIM_FATAL(context, msg);
+        }
+    }
+}
+
+/** Section kinds a machine/sweep config file may contain. */
+void
+checkSectionKinds(const ConfigFile &file)
+{
+    static const std::vector<std::string> kinds = {
+        "machine", "schedule", "workload", "sweep"};
+    for (const CfgSection &s : file.sections) {
+        if (s.kind.empty() ||
+            std::find(kinds.begin(), kinds.end(), s.kind) != kinds.end())
+            continue;
+        std::string msg = "unknown section [" + s.kind + "]";
+        const std::string hint = closestName(s.kind, kinds);
+        if (!hint.empty())
+            msg += " — did you mean [" + hint + "]?";
+        NWSIM_FATAL(file.path, ":", s.line, ": ", msg);
+    }
+}
+
+void
+bindMachineFile(const std::string &path, MachineSpec &out,
+                std::set<std::string> &visited, int depth)
+{
+    std::error_code ec;
+    std::string canonical = fs::weakly_canonical(path, ec).string();
+    if (ec)
+        canonical = path;
+    if (!visited.insert(canonical).second)
+        NWSIM_FATAL("config file \"", path,
+                    "\" inherits from itself (cycle)");
+
+    const ConfigFile file = parseConfigFile(path);
+    checkSectionKinds(file);
+    const CfgSection *machine = file.section("machine");
+    if (!machine)
+        NWSIM_FATAL(file.path, ": no [machine] section");
+
+    // `inherit` applies first regardless of position, then every other
+    // key in file order overrides the inherited base.
+    if (const CfgEntry *inherit = machine->find("inherit"))
+        applyInherit(file, *inherit, out, visited, depth);
+
+    for (const CfgEntry &entry : machine->entries) {
+        if (entry.key == "inherit")
+            continue;
+        const std::string context = entryContext(file, entry);
+        const FieldDesc *field = findField(entry.key);
+        if (!field) {
+            std::string msg =
+                "unknown machine field \"" + entry.key + "\"";
+            std::vector<std::string> known = fieldNames();
+            known.push_back("inherit");
+            const std::string hint = closestName(entry.key, known);
+            if (!hint.empty())
+                msg += " — did you mean \"" + hint + "\"?";
+            NWSIM_FATAL(context, msg);
+        }
+        const double value = field->type == FieldType::Bool
+                                 ? (entryBool(file, entry) ? 1.0 : 0.0)
+                                 : entryNumber(file, entry);
+        checkFieldValue(*field, value, context);
+        field->set(out.config, value);
+    }
+
+    if (const CfgSection *schedule = file.section("schedule"))
+        bindScheduleSection(file, *schedule, out);
+}
+
+bool
+isPow2(u64 x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+void
+checkCacheGeometry(const CacheConfig &c, const std::string &context)
+{
+    if (!isPow2(c.blockBytes))
+        NWSIM_FATAL(context, "mem.", c.name,
+                    ".blockBytes = ", c.blockBytes,
+                    " must be a power of two");
+    const u64 setBytes = static_cast<u64>(c.assoc) * c.blockBytes;
+    if (c.sizeBytes % setBytes != 0 || !isPow2(c.sizeBytes / setBytes))
+        NWSIM_FATAL(context, "mem.", c.name, ": sizeBytes/assoc/"
+                    "blockBytes must yield a power-of-two set count "
+                    "(got ", c.sizeBytes, "/", c.assoc, "/",
+                    c.blockBytes, ")");
+}
+
+} // namespace
+
+const std::vector<PresetDef> &
+presetRegistry()
+{
+    static const std::vector<PresetDef> presets = buildPresets();
+    return presets;
+}
+
+const std::vector<ModifierDef> &
+modifierRegistry()
+{
+    static const std::vector<ModifierDef> modifiers = buildModifiers();
+    return modifiers;
+}
+
+std::string
+specGrammarHelp()
+{
+    std::string out = "bases: ";
+    bool first = true;
+    for (const PresetDef &p : presetRegistry()) {
+        if (!first)
+            out += ", ";
+        first = false;
+        out += p.name;
+    }
+    out += ", or a .cfg file; modifiers: ";
+    first = true;
+    for (const ModifierDef &m : modifierRegistry()) {
+        if (!first)
+            out += ", ";
+        first = false;
+        out += "+";
+        out += m.display;
+    }
+    return out;
+}
+
+bool
+looksLikeConfigFile(const std::string &base)
+{
+    return base.size() > 4 &&
+           base.compare(base.size() - 4, 4, ".cfg") == 0;
+}
+
+void
+validateConfig(const CoreConfig &cfg, const std::string &context)
+{
+    checkCacheGeometry(cfg.mem.l1i, context);
+    checkCacheGeometry(cfg.mem.l1d, context);
+    checkCacheGeometry(cfg.mem.l2, context);
+    const BPredConfig &b = cfg.bpred;
+    if (b.btbEntries % b.btbAssoc != 0 ||
+        !isPow2(b.btbEntries / b.btbAssoc))
+        NWSIM_FATAL(context, "bpred.btbEntries/btbAssoc must yield a "
+                    "power-of-two set count (got ", b.btbEntries, "/",
+                    b.btbAssoc, ")");
+}
+
+MachineSpec
+resolveMachineSpec(const std::string &spec)
+{
+    const std::vector<std::string> parts = splitOn(spec, '+');
+    const std::string &base = parts[0];
+    const std::string context = "config spec \"" + spec + "\": ";
+
+    MachineSpec out;
+    out.spec = spec;
+    bool fromFile = false;
+    if (const PresetDef *preset = findPreset(base)) {
+        out.config = preset->make();
+    } else if (looksLikeConfigFile(base)) {
+        std::set<std::string> visited;
+        bindMachineFile(resolveConfigPath(base, context), out, visited,
+                        0);
+        fromFile = true;
+    } else {
+        std::string msg = "unknown config spec \"" + spec + "\" (" +
+                          specGrammarHelp() + ")";
+        const std::string hint = closestName(base, presetNames());
+        if (!hint.empty())
+            msg += " — did you mean \"" + hint + "\"?";
+        NWSIM_FATAL(msg);
+    }
+
+    for (size_t i = 1; i < parts.size(); ++i) {
+        const std::string &mod = parts[i];
+        const size_t eq = mod.find('=');
+        const std::string token =
+            eq == std::string::npos ? mod : mod.substr(0, eq);
+        const ModifierDef *def = findModifier(token);
+        if (!def) {
+            std::string msg = "unknown modifier \"+" + mod + "\" (" +
+                              specGrammarHelp() + ")";
+            const std::string hint =
+                closestName(token, modifierTokens());
+            if (!hint.empty())
+                msg += " — did you mean \"+" + hint + "\"?";
+            NWSIM_FATAL(context, msg);
+        }
+        if (def->takesArg != (eq != std::string::npos))
+            NWSIM_FATAL(context, "modifier \"+", mod, "\" ",
+                        def->takesArg ? "needs an argument (+"
+                                      : "takes no argument (+",
+                        def->display, ")");
+        const std::string arg =
+            eq == std::string::npos ? "" : mod.substr(eq + 1);
+        def->apply(arg, context, out);
+    }
+
+    validateConfig(out.config, context);
+    if (fromFile)
+        out.configText = canonicalMachineDump(out);
+    return out;
+}
+
+bool
+tryResolveMachineSpec(const std::string &spec, MachineSpec *out,
+                      std::string *err)
+{
+    try {
+        MachineSpec resolved = resolveMachineSpec(spec);
+        if (out)
+            *out = std::move(resolved);
+        return true;
+    } catch (const std::exception &e) {
+        if (err)
+            *err = e.what();
+        return false;
+    }
+}
+
+std::string
+formatSampleSpec(const SampleOptions &sample)
+{
+    std::string out = std::to_string(sample.periodInsts) + ":" +
+                      std::to_string(sample.warmupInsts) + ":" +
+                      std::to_string(sample.measureInsts);
+    if (sample.randomize) {
+        out += ":rand";
+        if (sample.seed != 0)
+            out += ":" + std::to_string(sample.seed);
+    }
+    return out;
+}
+
+std::string
+canonicalMachineDump(const MachineSpec &spec)
+{
+    std::string out = "# nwsim machine config (grammar v" +
+                      std::to_string(kGrammarVersion) + ")\n";
+    if (!spec.spec.empty())
+        out += "# resolved from: " + spec.spec + "\n";
+    out += dumpMachineSection(spec.config);
+    if (spec.sample.enabled || spec.ckptEvery != 0) {
+        out += "[schedule]\n";
+        if (spec.sample.enabled)
+            out += "sample = \"" + formatSampleSpec(spec.sample) +
+                   "\"\n";
+        if (spec.ckptEvery != 0)
+            out += "ckpt = " + std::to_string(spec.ckptEvery) + "\n";
+    }
+    return out;
+}
+
+std::vector<std::string>
+discoverConfigFiles(const std::string &dir)
+{
+    std::vector<std::string> files;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        if (entry.is_regular_file(ec) &&
+            entry.path().extension() == ".cfg")
+            files.push_back(entry.path().string());
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+// ---- workloads ----------------------------------------------------
+
+namespace
+{
+
+const Workload *
+findBuiltinWorkload(const std::string &name)
+{
+    for (const Workload &w : allWorkloads())
+        if (w.name == name)
+            return &w;
+    return nullptr;
+}
+
+std::vector<std::string>
+builtinWorkloadNames()
+{
+    std::vector<std::string> names;
+    for (const Workload &w : allWorkloads())
+        names.push_back(w.name);
+    return names;
+}
+
+} // namespace
+
+bool
+isKnownWorkloadName(const std::string &name)
+{
+    if (findBuiltinWorkload(name))
+        return true;
+    if (isWgenSpec(name)) {
+        try {
+            parseWgenSpec(name);
+            return true;
+        } catch (const std::exception &) {
+            return false;
+        }
+    }
+    return false;
+}
+
+Program
+workloadProgram(const std::string &name)
+{
+    if (const Workload *w = findBuiltinWorkload(name))
+        return w->program();
+    if (isWgenSpec(name))
+        return wgenProgram(parseWgenSpec(name));
+    std::string msg = "unknown workload \"" + name + "\"";
+    const std::string hint = closestName(name, builtinWorkloadNames());
+    if (!hint.empty())
+        msg += " — did you mean \"" + hint + "\"?";
+    msg += " (compiled-in names via `nwsim list`, or a generated "
+           "wgen:key=value,... spec)";
+    NWSIM_FATAL(msg);
+}
+
+std::string
+generatedWorkloadText(const std::string &name)
+{
+    if (!isWgenSpec(name))
+        return "";
+    return wgenProgramText(parseWgenSpec(name));
+}
+
+// ---- sweep files ---------------------------------------------------
+
+namespace
+{
+
+/** Collect `key` / `key[i]` list entries in file order, splitting
+ *  unquoted values on commas. */
+std::vector<const CfgEntry *>
+listEntries(const CfgSection &section, const std::string &key)
+{
+    std::vector<const CfgEntry *> out;
+    for (const CfgEntry &entry : section.entries) {
+        if (entry.key == key ||
+            (startsWith(entry.key, key + "[") &&
+             entry.key.back() == ']'))
+            out.push_back(&entry);
+    }
+    return out;
+}
+
+std::vector<std::string>
+expandList(const std::vector<const CfgEntry *> &entries)
+{
+    std::vector<std::string> out;
+    for (const CfgEntry *entry : entries) {
+        if (entry->value.quoted) {
+            out.push_back(trim(entry->value.text));
+        } else {
+            for (const std::string &item :
+                 tokenize(entry->value.text, ","))
+                out.push_back(trim(item));
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+SweepPlan
+loadSweepFile(const std::string &path)
+{
+    const std::string resolved =
+        resolveConfigPath(path, "sweep file: ");
+    const ConfigFile file = parseConfigFile(resolved);
+    checkSectionKinds(file);
+    const CfgSection *sweep = file.section("sweep");
+    if (!sweep)
+        NWSIM_FATAL(file.path, ": no [sweep] section");
+
+    SweepPlan plan;
+    const fs::path dir = fs::path(resolved).parent_path();
+
+    for (const std::string &machine :
+         expandList(listEntries(*sweep, "machines"))) {
+        // Relative .cfg machine entries resolve against the sweep
+        // file's own directory first.
+        std::string spec = machine;
+        const std::string base = splitOn(machine, '+')[0];
+        if (looksLikeConfigFile(base) &&
+            !fs::path(base).is_absolute()) {
+            std::error_code ec;
+            if (fs::exists(dir / base, ec))
+                spec = (dir / base).string() + machine.substr(base.size());
+        }
+        plan.machines.push_back(spec);
+    }
+
+    for (const std::string &name :
+         expandList(listEntries(*sweep, "workloads"))) {
+        if (findBuiltinWorkload(name)) {
+            plan.workloads.push_back({name, ""});
+            continue;
+        }
+        if (isWgenSpec(name)) {
+            plan.workloads.push_back(
+                {name, wgenProgramText(parseWgenSpec(name))});
+            continue;
+        }
+        if (const CfgSection *section = file.section("workload", name)) {
+            plan.workloads.push_back(
+                {name, wgenProgramText(wgenFromSection(file, *section))});
+            continue;
+        }
+        std::vector<std::string> known = builtinWorkloadNames();
+        for (const CfgSection *s : file.sectionsOf("workload"))
+            known.push_back(s->name);
+        std::string msg = file.path + ": unknown sweep workload \"" +
+                          name + "\"";
+        const std::string hint = closestName(name, known);
+        if (!hint.empty())
+            msg += " — did you mean \"" + hint + "\"?";
+        NWSIM_FATAL(msg);
+    }
+
+    if (plan.machines.empty())
+        NWSIM_FATAL(file.path, ": [sweep] has no machines");
+    if (plan.workloads.empty())
+        NWSIM_FATAL(file.path, ": [sweep] has no workloads");
+    return plan;
+}
+
+} // namespace nwsim::cfg

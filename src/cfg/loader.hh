@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Unified machine/workload spec loader — the single resolution path
+ * behind every configuration surface (docs/CONFIG.md):
+ *
+ *     baseline                         code-defined preset
+ *     packing+decode8+sample=200000:2000:8000   preset + modifiers
+ *     configs/baseline.cfg             declarative config file
+ *     configs/baseline.cfg+sample=...  file + modifiers
+ *
+ * `exp::configBySpec` and friends (src/exp/configs.hh) are thin
+ * aliases over resolveMachineSpec, so the legacy preset+modifier
+ * grammar and `.cfg` files are provably the same loader. Presets and
+ * modifiers live in declarative registries here: help text, error
+ * messages, and application logic all come from one definition each.
+ *
+ * Workload names resolve through workloadProgram(): compiled-in
+ * proxies by name, generated programs by `wgen:` spec (cfg/wgen.hh).
+ * Sweep files ([sweep] sections) expand machine x workload products —
+ * generated workloads are materialized to assembly text at expansion
+ * so remote workers and `--resume` need no driver-side files.
+ */
+
+#ifndef NWSIM_CFG_LOADER_HH
+#define NWSIM_CFG_LOADER_HH
+
+#include <string>
+#include <vector>
+
+#include "asm/program.hh"
+#include "cfg/config.hh"
+#include "driver/runner.hh"
+#include "pipeline/config.hh"
+
+namespace nwsim::cfg
+{
+
+/** Config-grammar version, reported by `nwsim --version` and bumped
+ *  whenever the file grammar or spec surface changes meaning. */
+constexpr int kGrammarVersion = 1;
+
+/** A fully resolved machine spec: core parameters plus the run-
+ *  schedule properties (sampling, checkpoint cadence) a spec carries. */
+struct MachineSpec
+{
+    CoreConfig config;
+    SampleOptions sample;
+    u64 ckptEvery = 0;
+    /** The spec string as given. */
+    std::string spec;
+    /** Canonical `.cfg` text when the spec came from a config file
+     *  (ships through wire v7 into reproducer bundles); "" for pure
+     *  preset specs. */
+    std::string configText;
+};
+
+/** One registered base preset. */
+struct PresetDef
+{
+    const char *name;
+    const char *doc;
+    CoreConfig (*make)();
+};
+
+/** One registered `+modifier`. The single definition drives help
+ *  text, error messages, and both grammars' application. */
+struct ModifierDef
+{
+    /** Display form for help/errors ("sample=P:W:M[:rand[:seed]]"). */
+    const char *display;
+    /** Token before '=' ("sample"), or the whole token if no arg. */
+    const char *token;
+    bool takesArg;
+    const char *doc;
+    /** Apply to @p out; throws BadInputError prefixed @p context. */
+    void (*apply)(const std::string &arg, const std::string &context,
+                  MachineSpec &out);
+};
+
+const std::vector<PresetDef> &presetRegistry();
+const std::vector<ModifierDef> &modifierRegistry();
+
+/** Generated one-line grammar summary (error messages, --help). */
+std::string specGrammarHelp();
+
+/** True when @p base names a config file (ends in ".cfg"). */
+bool looksLikeConfigFile(const std::string &base);
+
+/**
+ * Resolve a full spec (preset or `.cfg` base, plus `+modifiers`).
+ * Throws BadInputError with context (file:line for file problems,
+ * did-you-mean for unknown names).
+ */
+MachineSpec resolveMachineSpec(const std::string &spec);
+
+/** Non-throwing resolveMachineSpec; false + @p err on failure. */
+bool tryResolveMachineSpec(const std::string &spec, MachineSpec *out,
+                           std::string *err);
+
+/**
+ * Cross-field machine invariants the per-field ranges cannot express
+ * (power-of-two cache/BTB set counts). Throws BadInputError.
+ */
+void validateConfig(const CoreConfig &cfg, const std::string &context);
+
+/**
+ * Canonical config-file text of a resolved spec: the full [machine]
+ * field table plus a [schedule] section when sampling/checkpointing
+ * is active. parse(dump(spec)) resolves bit-identically.
+ */
+std::string canonicalMachineDump(const MachineSpec &spec);
+
+/** Canonical `sample = "..."` value for a schedule. */
+std::string formatSampleSpec(const SampleOptions &sample);
+
+/** Shipped/discovered config files: every `.cfg` under @p dir
+ *  (default "configs"), sorted by name. */
+std::vector<std::string> discoverConfigFiles(
+    const std::string &dir = "configs");
+
+// ---- workloads ----------------------------------------------------
+
+/** True for compiled-in names and valid `wgen:` specs. */
+bool isKnownWorkloadName(const std::string &name);
+
+/** Program image for a workload name (builtin or `wgen:`); throws
+ *  BadInputError on unknown names (with a did-you-mean suggestion). */
+Program workloadProgram(const std::string &name);
+
+/** Assembly text for generated (`wgen:`) names; "" for builtins. */
+std::string generatedWorkloadText(const std::string &name);
+
+// ---- sweep files ---------------------------------------------------
+
+/** One workload of a sweep: label + assembly text (empty for
+ *  compiled-in workloads). */
+struct SweepEntry
+{
+    std::string name;
+    std::string asmText;
+};
+
+/** An expanded [sweep] section: the machine x workload product to
+ *  run. */
+struct SweepPlan
+{
+    std::vector<std::string> machines;
+    std::vector<SweepEntry> workloads;
+};
+
+/**
+ * Load a sweep config file: expands `machines` / `machines[a:b]` and
+ * `workloads` / `workloads[a:b]` lists, resolving workload names
+ * against compiled-in proxies, `wgen:` specs, and the file's own
+ * `[workload NAME]` sections. Machine entries naming relative `.cfg`
+ * files resolve against the sweep file's directory.
+ */
+SweepPlan loadSweepFile(const std::string &path);
+
+} // namespace nwsim::cfg
+
+#endif // NWSIM_CFG_LOADER_HH

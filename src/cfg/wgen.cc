@@ -1,0 +1,502 @@
+#include "cfg/wgen.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "asm/layout.hh"
+#include "asm/textasm.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/strings.hh"
+#include "isa/opcode.hh"
+
+namespace nwsim::cfg
+{
+
+namespace
+{
+
+/** Register plan: r1..r12 working values, r20..r23 region bases, r24
+ *  loop counter, r25 strided cursor, r27 address scratch. */
+constexpr unsigned firstWorkReg = 1;
+constexpr unsigned numWorkRegs = 12;
+constexpr unsigned regionBaseReg = 20;
+constexpr unsigned loopReg = 24;
+constexpr unsigned cursorReg = 25;
+constexpr unsigned addrReg = 27;
+
+constexpr unsigned maxRegions = 4;
+
+#define NWSIM_WGEN_KNOB(member, lo, hi, doc)                             \
+    WgenKnob                                                             \
+    {                                                                    \
+        #member, static_cast<double>(lo), static_cast<double>(hi), doc,  \
+            +[](const WgenParams &p) {                                   \
+                return static_cast<double>(p.member);                    \
+            },                                                           \
+            +[](WgenParams &p, double v) {                               \
+                p.member = static_cast<decltype(p.member)>(v);           \
+            }                                                            \
+    }
+
+std::vector<WgenKnob>
+buildKnobs()
+{
+    return {
+        NWSIM_WGEN_KNOB(seed, 0, 9007199254740991.0 /* 2^53-1 */,
+                        "program RNG seed (same seed => byte-identical "
+                        ".s)"),
+        NWSIM_WGEN_KNOB(ops, 4, 20000, "body operations per loop block"),
+        NWSIM_WGEN_KNOB(iters, 1, 1000000000,
+                        "iterations of each loop block"),
+        NWSIM_WGEN_KNOB(blocks, 1, 64, "sequential loop blocks"),
+        NWSIM_WGEN_KNOB(w16, 0, 100,
+                        "weight of 16-bit-narrow operand constants"),
+        NWSIM_WGEN_KNOB(w33, 0, 100,
+                        "weight of 33-bit (pointer-like) constants"),
+        NWSIM_WGEN_KNOB(w64, 0, 100, "weight of full-width constants"),
+        NWSIM_WGEN_KNOB(alu, 0, 100, "weight of R-type ALU ops"),
+        NWSIM_WGEN_KNOB(aluimm, 0, 100,
+                        "weight of I-type immediate ALU ops"),
+        NWSIM_WGEN_KNOB(ldconst, 0, 100,
+                        "weight of width-profile constant reloads"),
+        NWSIM_WGEN_KNOB(load, 0, 100, "weight of region loads"),
+        NWSIM_WGEN_KNOB(store, 0, 100, "weight of region stores"),
+        NWSIM_WGEN_KNOB(branch, 0, 100,
+                        "weight of conditional forward skips"),
+        NWSIM_WGEN_KNOB(regions, 1, maxRegions,
+                        "data regions addressed by memory ops"),
+        NWSIM_WGEN_KNOB(regionBytes, 64, 65536,
+                        "bytes per region (power of two)"),
+        NWSIM_WGEN_KNOB(stride, 8, 32768,
+                        "strided-access stride, bytes (multiple of 8)"),
+        NWSIM_WGEN_KNOB(randmem, 0, 100,
+                        "percent of memory ops at random addresses"),
+    };
+}
+
+#undef NWSIM_WGEN_KNOB
+
+const WgenKnob *
+findKnob(const std::string &name)
+{
+    for (const WgenKnob &k : wgenKnobs())
+        if (name == k.name)
+            return &k;
+    return nullptr;
+}
+
+std::vector<std::string>
+knobNames()
+{
+    std::vector<std::string> names;
+    for (const WgenKnob &k : wgenKnobs())
+        names.push_back(k.name);
+    return names;
+}
+
+/** Set one knob with type/range checking; @p context prefixes errors. */
+void
+setKnob(WgenParams &params, const std::string &key, double value,
+        const std::string &context)
+{
+    const WgenKnob *knob = findKnob(key);
+    if (!knob) {
+        std::string msg = "unknown wgen knob \"" + key + "\"";
+        const std::string hint = closestName(key, knobNames());
+        if (!hint.empty())
+            msg += " — did you mean \"" + hint + "\"?";
+        NWSIM_FATAL(context, msg);
+    }
+    if (value != std::floor(value) || value < knob->minValue ||
+        value > knob->maxValue)
+        NWSIM_FATAL(context, "wgen knob \"", key, "\" = ", value,
+                    " must be an integer in [", knob->minValue, ", ",
+                    knob->maxValue, "]");
+    knob->set(params, value);
+}
+
+/** Cross-knob invariants the per-knob ranges cannot express. */
+void
+validateParams(const WgenParams &p, const std::string &context)
+{
+    if (p.w16 + p.w33 + p.w64 == 0)
+        NWSIM_FATAL(context,
+                    "wgen width profile w16+w33+w64 must be nonzero");
+    if (p.alu + p.aluimm + p.ldconst + p.load + p.store + p.branch == 0)
+        NWSIM_FATAL(context, "wgen op mix weights must not all be zero");
+    if ((p.regionBytes & (p.regionBytes - 1)) != 0)
+        NWSIM_FATAL(context, "wgen regionBytes = ", p.regionBytes,
+                    " must be a power of two");
+    if (p.stride % 8 != 0)
+        NWSIM_FATAL(context, "wgen stride = ", p.stride,
+                    " must be a multiple of 8");
+}
+
+/** A constant drawn from the operand-width profile. */
+i64
+widthConstant(const WgenParams &p, SplitMix64 &rng)
+{
+    const u64 total = p.w16 + p.w33 + p.w64;
+    const u64 roll = rng.below(total);
+    if (roll < p.w16)
+        return rng.range(-0x8000, 0x7fff);
+    if (roll < p.w16 + p.w33) {
+        // 33-bit quantities: half pointer-like (the paper's Figure 1
+        // heap/stack peak), half just past the 2^31 boundary.
+        if (rng.below(2) == 0)
+            return static_cast<i64>(layout::dataBase +
+                                    rng.below(p.regionBytes));
+        return (i64{1} << 31) + static_cast<i64>(rng.below(1u << 31));
+    }
+    return static_cast<i64>(rng.next());
+}
+
+constexpr Opcode aluPool[] = {
+    Opcode::ADD,   Opcode::ADD,    Opcode::SUB,   Opcode::SUB,
+    Opcode::MUL,   Opcode::AND,    Opcode::OR,    Opcode::XOR,
+    Opcode::SLL,   Opcode::SRL,    Opcode::SRA,   Opcode::CMPEQ,
+    Opcode::CMPLT, Opcode::CMPULT, Opcode::SEXTW,
+};
+
+constexpr Opcode aluImmPool[] = {
+    Opcode::ADDI, Opcode::ADDI, Opcode::SUBI,  Opcode::ANDI,
+    Opcode::ORI,  Opcode::XORI, Opcode::SLLI,  Opcode::SRLI,
+    Opcode::MULI, Opcode::CMPLTI,
+};
+
+constexpr Opcode loadPool[] = {Opcode::LDQ, Opcode::LDQ, Opcode::LDL,
+                               Opcode::LDWU, Opcode::LDBU};
+
+constexpr Opcode storePool[] = {Opcode::STQ, Opcode::STQ, Opcode::STL,
+                                Opcode::STW, Opcode::STB};
+
+constexpr Opcode branchPool[] = {Opcode::BEQ, Opcode::BNE, Opcode::BLT,
+                                 Opcode::BGE, Opcode::BLE, Opcode::BGT};
+
+template <size_t N>
+Opcode
+pick(const Opcode (&pool)[N], SplitMix64 &rng)
+{
+    return pool[rng.below(N)];
+}
+
+i64
+immediateFor(Opcode op, SplitMix64 &rng)
+{
+    if (op == Opcode::SLLI || op == Opcode::SRLI || op == Opcode::SRAI)
+        return rng.range(0, 63);
+    if (immZeroExtends(op)) {
+        switch (rng.below(3)) {
+          case 0:
+            return 0xffff;
+          case 1:
+            return 0x7fff + rng.range(-2, 2);
+          default:
+            return rng.range(0, 0xffff);
+        }
+    }
+    return rng.range(-0x8000, 0x7fff);
+}
+
+/** Body-op IR: generated first, then materialized with forward-branch
+ *  labels — the same two-phase idiom as check/fuzz.cc. */
+struct WOp
+{
+    enum class Kind : u8
+    {
+        Const,
+        Alu,
+        AluImm,
+        Load,
+        Store,
+        Branch,
+    };
+    Kind kind = Kind::Alu;
+    Opcode op = Opcode::ADD;
+    unsigned rc = 1;
+    unsigned ra = 1;
+    unsigned rb = 1;
+    i64 imm = 0;
+    unsigned region = 0;
+    bool strided = false;
+    unsigned skip = 1;
+};
+
+unsigned
+workReg(SplitMix64 &rng)
+{
+    return firstWorkReg + static_cast<unsigned>(rng.below(numWorkRegs));
+}
+
+/** Random aligned offset reachable by a signed 16-bit displacement. */
+i64
+regionOffset(const WgenParams &p, Opcode op, SplitMix64 &rng)
+{
+    const unsigned size = memAccessSize(op);
+    const unsigned reach = std::min(p.regionBytes, 32768u);
+    return static_cast<i64>(rng.below(reach / size) * size);
+}
+
+std::vector<WOp>
+generateBlock(const WgenParams &p, SplitMix64 &rng)
+{
+    std::vector<WOp> ops;
+    ops.reserve(p.ops);
+    const u64 mixTotal =
+        p.alu + p.aluimm + p.ldconst + p.load + p.store + p.branch;
+    for (unsigned i = 0; i < p.ops; ++i) {
+        WOp op;
+        if (i < 6) {
+            // Seed the working registers from the width profile so the
+            // first ALU ops already see profiled operands.
+            op.kind = WOp::Kind::Const;
+            op.rc = firstWorkReg + i % numWorkRegs;
+            op.imm = widthConstant(p, rng);
+            ops.push_back(op);
+            continue;
+        }
+        u64 roll = rng.below(mixTotal);
+        if (roll < p.alu) {
+            op.kind = WOp::Kind::Alu;
+            op.op = pick(aluPool, rng);
+            op.rc = workReg(rng);
+            op.ra = workReg(rng);
+            op.rb = workReg(rng);
+        } else if ((roll -= p.alu) < p.aluimm) {
+            op.kind = WOp::Kind::AluImm;
+            op.op = pick(aluImmPool, rng);
+            op.rc = workReg(rng);
+            op.ra = workReg(rng);
+            op.imm = immediateFor(op.op, rng);
+        } else if ((roll -= p.aluimm) < p.ldconst) {
+            op.kind = WOp::Kind::Const;
+            op.rc = workReg(rng);
+            op.imm = widthConstant(p, rng);
+        } else if ((roll -= p.ldconst) < p.load) {
+            op.kind = WOp::Kind::Load;
+            op.op = pick(loadPool, rng);
+            op.rc = workReg(rng);
+            op.region = static_cast<unsigned>(rng.below(p.regions));
+            op.strided = rng.below(100) >= p.randmem;
+            op.imm = op.strided ? 0 : regionOffset(p, op.op, rng);
+        } else if ((roll -= p.load) < p.store) {
+            op.kind = WOp::Kind::Store;
+            op.op = pick(storePool, rng);
+            op.ra = workReg(rng);
+            op.region = static_cast<unsigned>(rng.below(p.regions));
+            op.strided = rng.below(100) >= p.randmem;
+            op.imm = op.strided ? 0 : regionOffset(p, op.op, rng);
+        } else {
+            op.kind = WOp::Kind::Branch;
+            op.op = pick(branchPool, rng);
+            op.ra = workReg(rng);
+            op.skip = static_cast<unsigned>(rng.range(1, 3));
+        }
+        ops.push_back(op);
+    }
+    return ops;
+}
+
+size_t
+branchTarget(const std::vector<WOp> &ops, size_t i)
+{
+    const size_t skip = std::clamp<size_t>(ops[i].skip, 1, 3);
+    return std::min(i + 1 + skip, ops.size());
+}
+
+void
+emitBlock(std::ostringstream &os, const WgenParams &p,
+          const std::vector<WOp> &ops, unsigned block)
+{
+    os << "        li r" << loopReg << ", " << p.iters << "\n";
+    os << "loop" << block << ":\n";
+
+    // Labels bound just before the op each forward branch lands on.
+    const size_t n = ops.size();
+    std::vector<std::vector<size_t>> labelsAt(n + 1);
+    for (size_t i = 0; i < n; ++i)
+        if (ops[i].kind == WOp::Kind::Branch)
+            labelsAt[branchTarget(ops, i)].push_back(i);
+
+    for (size_t i = 0; i <= n; ++i) {
+        for (size_t branch : labelsAt[i])
+            os << "b" << block << "s" << branch << ":\n";
+        if (i >= n)
+            break;
+        const WOp &op = ops[i];
+        os << "        ";
+        switch (op.kind) {
+          case WOp::Kind::Const:
+            os << "li r" << op.rc << ", " << op.imm;
+            break;
+          case WOp::Kind::Alu:
+            os << mnemonic(op.op) << " r" << op.rc << ", r" << op.ra;
+            if (op.op != Opcode::SEXTB && op.op != Opcode::SEXTW)
+                os << ", r" << op.rb;
+            break;
+          case WOp::Kind::AluImm:
+            os << mnemonic(op.op) << " r" << op.rc << ", r" << op.ra
+               << ", " << op.imm;
+            break;
+          case WOp::Kind::Load:
+          case WOp::Kind::Store: {
+            const unsigned base = regionBaseReg + op.region;
+            const unsigned data =
+                op.kind == WOp::Kind::Load ? op.rc : op.ra;
+            if (op.strided) {
+                os << "add r" << addrReg << ", r" << base << ", r"
+                   << cursorReg << "\n        ";
+                os << mnemonic(op.op) << " r" << data << ", 0(r"
+                   << addrReg << ")";
+            } else {
+                os << mnemonic(op.op) << " r" << data << ", " << op.imm
+                   << "(r" << base << ")";
+            }
+            break;
+          }
+          case WOp::Kind::Branch:
+            os << mnemonic(op.op) << " r" << op.ra << ", b" << block
+               << "s" << i;
+            break;
+        }
+        os << "\n";
+    }
+
+    // Advance and wrap the strided cursor (regionBytes is a power of
+    // two <= 64K, so the mask fits ANDI's zero-extended immediate).
+    os << "        addi r" << cursorReg << ", r" << cursorReg << ", "
+       << p.stride << "\n";
+    os << "        andi r" << cursorReg << ", r" << cursorReg << ", "
+       << (p.regionBytes - 1) << "\n";
+    os << "        subi r" << loopReg << ", r" << loopReg << ", 1\n";
+    os << "        bne r" << loopReg << ", loop" << block << "\n";
+}
+
+} // namespace
+
+const std::vector<WgenKnob> &
+wgenKnobs()
+{
+    static const std::vector<WgenKnob> knobs = buildKnobs();
+    return knobs;
+}
+
+bool
+isWgenSpec(const std::string &name)
+{
+    return startsWith(name, "wgen:") || startsWith(name, "wgen=") ||
+           name == "wgen";
+}
+
+WgenParams
+parseWgenSpec(const std::string &spec)
+{
+    if (!isWgenSpec(spec))
+        NWSIM_FATAL("not a wgen spec: \"", spec,
+                    "\" (want wgen:key=value,...)");
+    WgenParams params;
+    const std::string body = spec == "wgen" ? "" : spec.substr(5);
+    const std::string context = "wgen spec \"" + spec + "\": ";
+    for (const std::string &part : tokenize(body, ",")) {
+        const size_t eq = part.find('=');
+        if (eq == std::string::npos || eq == 0)
+            NWSIM_FATAL(context, "malformed knob \"", part,
+                        "\" (want key=value)");
+        const std::string key = trim(part.substr(0, eq));
+        const std::string value = trim(part.substr(eq + 1));
+        double num = 0.0;
+        std::string err;
+        if (!evalExpression(value, num, err))
+            NWSIM_FATAL(context, "knob \"", key, "\": ", err);
+        setKnob(params, key, num, context);
+    }
+    validateParams(params, context);
+    return params;
+}
+
+std::string
+canonicalWgenSpec(const WgenParams &params)
+{
+    std::string out = "wgen:";
+    bool first = true;
+    for (const WgenKnob &k : wgenKnobs()) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += k.name;
+        out += "=";
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(k.get(params)));
+        out += buf;
+    }
+    return out;
+}
+
+WgenParams
+wgenFromSection(const ConfigFile &file, const CfgSection &section)
+{
+    WgenParams params;
+    for (const CfgEntry &entry : section.entries) {
+        setKnob(params, entry.key, entryNumber(file, entry),
+                entryContext(file, entry));
+    }
+    validateParams(params, file.path + ": [workload " + section.name +
+                               "]: ");
+    return params;
+}
+
+std::string
+wgenProgramText(const WgenParams &params)
+{
+    std::ostringstream os;
+    os << "; nwsim generated workload\n";
+    os << "; " << canonicalWgenSpec(params) << "\n";
+    os << ".text\n";
+    for (unsigned r = 0; r < params.regions; ++r)
+        os << "        la r" << (regionBaseReg + r) << ", region" << r
+           << "\n";
+    os << "        li r" << cursorReg << ", 0\n";
+
+    SplitMix64 rng(params.seed ^ 0x6e7773696d77676eULL); // "nwsimwgn"
+    for (unsigned b = 0; b < params.blocks; ++b)
+        emitBlock(os, params, generateBlock(params, rng), b);
+
+    // Fold the working registers into a stored checksum, so every
+    // generated program ends with an observable architectural result.
+    for (unsigned r = 1; r < numWorkRegs; ++r)
+        os << "        add r" << firstWorkReg << ", r" << firstWorkReg
+           << ", r" << (firstWorkReg + r) << "\n";
+    os << "        la r" << addrReg << ", checksum\n";
+    os << "        stq r" << firstWorkReg << ", 0(r" << addrReg
+       << ")\n";
+    os << "        halt\n";
+
+    os << ".data\n";
+    os << "checksum:\n        .quad 0\n";
+    SplitMix64 drng(params.seed ^ 0x7767656e64617461ULL); // "wgendata"
+    // Seed region contents from the width profile too (loads should
+    // see profiled operands); large regions tail off into .zero.
+    const unsigned seededBytes = std::min(params.regionBytes, 4096u);
+    for (unsigned r = 0; r < params.regions; ++r) {
+        os << "region" << r << ":\n";
+        for (unsigned q = 0; q < seededBytes / 8; ++q)
+            os << "        .quad " << widthConstant(params, drng)
+               << "\n";
+        if (seededBytes < params.regionBytes)
+            os << "        .zero " << (params.regionBytes - seededBytes)
+               << "\n";
+    }
+    return os.str();
+}
+
+Program
+wgenProgram(const WgenParams &params)
+{
+    return assembleText(wgenProgramText(params));
+}
+
+} // namespace nwsim::cfg

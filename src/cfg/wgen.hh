@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Parameterized workload generator (docs/CONFIG.md).
+ *
+ * Turns a small knob vector — operand-width profile, op-mix ratios,
+ * address-region/stride mix, loop structure — into a deterministic
+ * seeded `.s` program: the same WgenParams always produce byte-
+ * identical assembly text, on any host, so generated workloads flow
+ * through the campaign wire format, journal resume, sharding, and
+ * checkpointing exactly like the compiled-in proxies.
+ *
+ * A generated workload is named by its spec string:
+ *
+ *     wgen:seed=7,ops=64,w16=80,w33=10,w64=10,load=20
+ *
+ * which `nwsweep --workloads`, `nwsim run`, and `[workload NAME]`
+ * config sections (cfg/loader.hh) all accept. Omitted knobs take the
+ * defaults below; the canonical spec (canonicalWgenSpec) spells every
+ * knob out so labels are stable under default changes.
+ */
+
+#ifndef NWSIM_CFG_WGEN_HH
+#define NWSIM_CFG_WGEN_HH
+
+#include <string>
+#include <vector>
+
+#include "asm/program.hh"
+#include "cfg/config.hh"
+
+namespace nwsim::cfg
+{
+
+/** Generator knobs (every field has a `wgen:` spec key of the same
+ *  name — see wgenKnobs()). */
+struct WgenParams
+{
+    /** Program RNG seed: the whole program is a pure function of this
+     *  struct. */
+    u64 seed = 1;
+    /** Body operations per loop block. */
+    unsigned ops = 48;
+    /** Iterations of each loop block. */
+    unsigned iters = 16;
+    /** Sequential loop blocks (distinct code working sets). */
+    unsigned blocks = 1;
+
+    /** Operand-width profile: relative weights of 16-bit, 33-bit, and
+     *  full-width constants feeding the dataflow (the paper's Figure 2
+     *  axes). Must not all be zero. */
+    unsigned w16 = 55;
+    unsigned w33 = 25;
+    unsigned w64 = 20;
+
+    /** Op-mix weights (relative; must not all be zero). */
+    unsigned alu = 35;      ///< R-type add/sub/mul/cmp/logic/shift ops
+    unsigned aluimm = 15;   ///< I-type immediate ALU ops
+    unsigned ldconst = 10;  ///< width-profile constant reloads (li)
+    unsigned load = 12;     ///< loads from the data regions
+    unsigned store = 8;     ///< stores to the data regions
+    unsigned branch = 5;    ///< conditional forward skip branches
+
+    /** Data regions the memory ops address (1..4). */
+    unsigned regions = 2;
+    /** Bytes per region (power of two, 64..1048576). */
+    unsigned regionBytes = 2048;
+    /** Strided-access stride in bytes (multiple of 8). */
+    unsigned stride = 8;
+    /** Percent of memory ops at random (vs strided) addresses. */
+    unsigned randmem = 25;
+};
+
+/** One generator knob: spec key + bounds + doc (drives parsing,
+ *  validation, canonical specs, and the docs/CONFIG.md table). */
+struct WgenKnob
+{
+    const char *name;
+    double minValue;
+    double maxValue;
+    const char *doc;
+    double (*get)(const WgenParams &);
+    void (*set)(WgenParams &, double);
+};
+
+const std::vector<WgenKnob> &wgenKnobs();
+
+/** True if @p name names a generated workload (`wgen:` / `wgen=`). */
+bool isWgenSpec(const std::string &name);
+
+/**
+ * Parse `wgen:key=value,...` (or `wgen=key=value,...`); unknown keys
+ * fail with a did-you-mean suggestion; out-of-range values fail with
+ * the knob's bounds. Throws BadInputError.
+ */
+WgenParams parseWgenSpec(const std::string &spec);
+
+/** Canonical spec: every knob, in table order. parse(canonical(p))
+ *  == p. */
+std::string canonicalWgenSpec(const WgenParams &params);
+
+/** Bind a `[workload NAME]` section to params (same keys as the spec
+ *  grammar). Throws BadInputError with file:line context. */
+WgenParams wgenFromSection(const ConfigFile &file,
+                           const CfgSection &section);
+
+/** The generated program text — deterministic and byte-identical for
+ *  equal @p params. */
+std::string wgenProgramText(const WgenParams &params);
+
+/** Assembled program image. */
+Program wgenProgram(const WgenParams &params);
+
+} // namespace nwsim::cfg
+
+#endif // NWSIM_CFG_WGEN_HH

@@ -95,6 +95,14 @@ writeReproducerBundle(const std::string &base, const SimJob &job,
         src << job.asmText;
     }
 
+    // File-based machine specs ship their canonical dump so the bundle
+    // replays without the original .cfg (or its inheritance chain).
+    const bool hasCfg = !job.configText.empty();
+    if (hasCfg) {
+        std::ofstream cfg(dir + "/machine.cfg");
+        cfg << job.configText;
+    }
+
     // Close the crash → bundle → shrink loop: minimize the source while
     // the fault is hot. Exception-class faults only — replaying them
     // in-process is exactly as safe as the attempt that just ran (and
@@ -126,7 +134,8 @@ writeReproducerBundle(const std::string &base, const SimJob &job,
 
     std::ostringstream replay;
     replay << "nwsim run " << (hasAsm ? "repro.s" : job.workload)
-           << " --config " << job.configSpec;
+           << " --config "
+           << (hasCfg ? std::string("machine.cfg") : job.configSpec);
     if (!hasAsm) {
         // .s files run to completion; windows only matter for workloads.
         replay << " --warmup " << job.opts.warmupInsts << " --measure "
@@ -148,6 +157,9 @@ writeReproducerBundle(const std::string &base, const SimJob &job,
         << "events:     events.log (flight recorder, oldest first)\n";
     if (hasAsm)
         man << "source:     repro.s\n";
+    if (hasCfg)
+        man << "machine:    machine.cfg (canonical dump of "
+            << job.configSpec << ")\n";
     if (minimized.reproduced) {
         man << "minimized:  repro.min.s (" << minimized.minimizedLines
             << " of " << minimized.originalLines << " lines, "

@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "asm/textasm.hh"
+#include "cfg/loader.hh"
 #include "ckpt/run.hh"
 #include "common/error.hh"
 #include "common/logging.hh"
@@ -34,29 +35,53 @@ Campaign::add(SimJob job)
 }
 
 Campaign
-Campaign::grid(const std::vector<std::string> &workloads,
+Campaign::sweepGrid(const std::vector<cfg::SweepEntry> &workloads,
                const std::vector<std::string> &config_specs,
                const RunOptions &opts)
 {
     Campaign c;
     for (const std::string &spec : config_specs) {
-        const CoreConfig cfg = configBySpec(spec);
-        for (const std::string &w : workloads) {
-            workloadByName(w);   // eager validation (throws if unknown)
+        // One resolution per spec: config, sampling schedule, ckpt
+        // cadence, and (for file-based specs) the canonical dump all
+        // come from the same loader pass.
+        const cfg::MachineSpec machine = cfg::resolveMachineSpec(spec);
+        for (const cfg::SweepEntry &w : workloads) {
+            // Text-free entries must be compiled-in names — validate
+            // eagerly (throws with did-you-mean if unknown) so errors
+            // surface before any worker starts.
+            if (w.asmText.empty() && !cfg::isKnownWorkloadName(w.name))
+                cfg::workloadProgram(w.name);
             SimJob job;
-            job.workload = w;
+            job.workload = w.name;
             job.configSpec = spec;
-            job.config = cfg;
+            job.config = machine.config;
+            job.configText = machine.configText;
+            job.asmText = w.asmText;
             job.opts = opts;
-            job.opts.sample = sampleBySpec(spec);
+            job.opts.sample = machine.sample;
             // A `+ckpt=N` modifier overrides any CLI-level cadence the
             // caller put in opts (and 0 means "keep the caller's").
-            if (const u64 every = ckptBySpec(spec))
-                job.opts.ckptEveryInsts = every;
+            if (machine.ckptEvery)
+                job.opts.ckptEveryInsts = machine.ckptEvery;
             c.add(std::move(job));
         }
     }
     return c;
+}
+
+Campaign
+Campaign::grid(const std::vector<std::string> &workloads,
+               const std::vector<std::string> &config_specs,
+               const RunOptions &opts)
+{
+    // Name-based grids materialize generated (wgen:) workloads to
+    // assembly text up front, so every executor backend — including
+    // remote workers — runs the exact same program bytes.
+    std::vector<cfg::SweepEntry> entries;
+    entries.reserve(workloads.size());
+    for (const std::string &w : workloads)
+        entries.push_back({w, cfg::generatedWorkloadText(w)});
+    return sweepGrid(entries, config_specs, opts);
 }
 
 double
@@ -102,7 +127,9 @@ namespace
 Program
 jobProgram(const SimJob &job)
 {
-    return job.asmText.empty() ? workloadByName(job.workload).program()
+    // Grid jobs carry generated programs as asmText; the name-based
+    // fallback also understands `wgen:` specs for hand-built jobs.
+    return job.asmText.empty() ? cfg::workloadProgram(job.workload)
                                : assembleText(job.asmText);
 }
 

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "cfg/loader.hh"
 #include "driver/runner.hh"
 #include "exp/result_set.hh"
 #include "pipeline/config.hh"
@@ -71,6 +72,13 @@ struct SimJob
      * of a faulting job includes it as a replayable repro.s.
      */
     std::string asmText;
+    /**
+     * Canonical `.cfg` dump of the resolved machine when configSpec
+     * named a config file (cfg/loader.hh). Rides wire v7 so remote
+     * workers need no driver-side files, and lands in reproducer
+     * bundles as machine.cfg.
+     */
+    std::string configText;
     /**
      * Override the standard build-program-and-runProgram path (used by
      * tests and custom experiments). Must be thread-safe.
@@ -212,6 +220,18 @@ class Campaign
     static Campaign grid(const std::vector<std::string> &workloads,
                          const std::vector<std::string> &config_specs,
                          const RunOptions &opts);
+
+    /**
+     * Same cross product over a sweep plan's workload entries
+     * (cfg/loader.hh): entries carrying assembly text — generated
+     * workloads, `[workload NAME]` sections — run that exact text on
+     * every executor backend; entries without text are compiled-in
+     * names. (Named distinctly from grid(): a braced list of string
+     * literals would otherwise be ambiguous between the two.)
+     */
+    static Campaign sweepGrid(const std::vector<cfg::SweepEntry> &workloads,
+                              const std::vector<std::string> &config_specs,
+                              const RunOptions &opts);
 
     const std::vector<SimJob> &jobs() const { return jobList; }
 

@@ -1,249 +1,65 @@
 #include "exp/configs.hh"
 
-#include <cstdlib>
-
-#include "common/logging.hh"
-#include "driver/presets.hh"
+#include "cfg/loader.hh"
 
 namespace nwsim::exp
 {
 
+/*
+ * This file is a thin alias layer: the legacy preset+modifier spec
+ * grammar and the declarative `.cfg` files (docs/CONFIG.md) both
+ * resolve through cfg::resolveMachineSpec, so there is exactly one
+ * loader, one modifier table, and one error surface. The NamedConfig
+ * lists below are generated from the cfg registries for the CLIs'
+ * `--list-configs` output.
+ */
+
 const std::vector<NamedConfig> &
 baseConfigs()
 {
-    static const std::vector<NamedConfig> bases = {
-        {"baseline", "paper Table 1 machine (4-issue, 4 ALUs)"},
-        {"packing", "baseline + strict operation packing (Section 5.2)"},
-        {"packing-replay",
-         "baseline + speculative replay packing (Section 5.3)"},
-        {"issue8", "Figure 11's costly 8-issue/8-ALU comparison machine"},
-    };
+    static const std::vector<NamedConfig> bases = [] {
+        std::vector<NamedConfig> out;
+        for (const cfg::PresetDef &p : cfg::presetRegistry())
+            out.push_back({p.name, p.doc});
+        return out;
+    }();
     return bases;
 }
 
 const std::vector<NamedConfig> &
 configModifiers()
 {
-    static const std::vector<NamedConfig> mods = {
-        {"decode8", "widen fetch/decode to 8 (Section 5.4)"},
-        {"perfect", "perfect branch prediction (oracle fetch)"},
-        {"earlyout", "PPC603-style early-out multiplies (Section 2.3)"},
-        {"nogate33", "disable the 33-bit gating signal (Figure 6)"},
-        {"nodecodecache",
-         "bypass the decode caches (sim-speed A/B; same stats; needed "
-         "for self-modifying code)"},
-        {"notrace",
-         "keep the decode cache but disable superblock traces in "
-         "fastForward (sim-speed A/B; same stats)"},
-        {"sample=P:W:M",
-         "SMARTS sampling: detailed W-warmup/M-measure probe every P "
-         "insts (+`:rand[:seed]` randomizes the probe offset)"},
-        {"ckpt=N",
-         "checkpoint machine state every N retired insts "
-         "(docs/CHECKPOINT.md); part of the run's semantics — detailed "
-         "runs drain the pipeline at every cadence boundary"},
-    };
+    static const std::vector<NamedConfig> mods = [] {
+        std::vector<NamedConfig> out;
+        for (const cfg::ModifierDef &m : cfg::modifierRegistry())
+            out.push_back({m.display, m.doc});
+        return out;
+    }();
     return mods;
 }
-
-namespace
-{
-
-/**
- * Parse a `ckpt=N` modifier (checkpoint cadence, retired instructions).
- * Returns false on malformed syntax or a zero cadence — a cadence of
- * zero means "no checkpointing", which is spelled by omitting the
- * modifier, not by `+ckpt=0`.
- */
-bool
-parseCkptModifier(const std::string &mod, u64 &out)
-{
-    const std::string body = mod.substr(std::string("ckpt=").size());
-    if (body.empty() ||
-        body.find_first_not_of("0123456789") != std::string::npos)
-        return false;
-    const u64 n = std::strtoull(body.c_str(), nullptr, 10);
-    if (n == 0)
-        return false;
-    out = n;
-    return true;
-}
-
-/**
- * Parse a `sample=period:warmup:measure[:rand[:seed]]` modifier into
- * @p out. Returns false (leaving @p out untouched) on malformed syntax;
- * semantic validation (period >= warmup+measure, measure > 0) happens
- * in sample::validateSampleOptions when the schedule is used.
- */
-bool
-parseSampleModifier(const std::string &mod, SampleOptions &out)
-{
-    const std::string body = mod.substr(std::string("sample=").size());
-    std::vector<std::string> fields;
-    std::string cur;
-    for (char c : body) {
-        if (c == ':') {
-            fields.push_back(cur);
-            cur.clear();
-        } else {
-            cur += c;
-        }
-    }
-    fields.push_back(cur);
-    if (fields.size() < 3 || fields.size() > 5)
-        return false;
-
-    u64 nums[3];
-    for (size_t i = 0; i < 3; ++i) {
-        if (fields[i].empty() ||
-            fields[i].find_first_not_of("0123456789") != std::string::npos)
-            return false;
-        nums[i] = std::strtoull(fields[i].c_str(), nullptr, 10);
-    }
-
-    SampleOptions s;
-    s.enabled = true;
-    s.periodInsts = nums[0];
-    s.warmupInsts = nums[1];
-    s.measureInsts = nums[2];
-    if (fields.size() >= 4) {
-        if (fields[3] != "rand")
-            return false;
-        s.randomize = true;
-        if (fields.size() == 5) {
-            if (fields[4].empty() || fields[4].find_first_not_of(
-                                         "0123456789") != std::string::npos)
-                return false;
-            s.seed = std::strtoull(fields[4].c_str(), nullptr, 10);
-        }
-    }
-    out = s;
-    return true;
-}
-
-bool
-resolveSpec(const std::string &spec, CoreConfig &out)
-{
-    std::vector<std::string> parts;
-    std::string cur;
-    for (char c : spec) {
-        if (c == '+') {
-            parts.push_back(cur);
-            cur.clear();
-        } else {
-            cur += c;
-        }
-    }
-    parts.push_back(cur);
-
-    // Modifiers must be applied after the base is chosen, but `perfect`
-    // feeds the preset constructors, so scan for it first.
-    bool perfect = false;
-    for (size_t i = 1; i < parts.size(); ++i)
-        if (parts[i] == "perfect")
-            perfect = true;
-
-    const std::string &base = parts[0];
-    if (base == "baseline")
-        out = presets::baseline(perfect);
-    else if (base == "packing")
-        out = presets::packing(false, perfect);
-    else if (base == "packing-replay")
-        out = presets::packing(true, perfect);
-    else if (base == "issue8")
-        out = presets::issue8(perfect);
-    else
-        return false;
-
-    for (size_t i = 1; i < parts.size(); ++i) {
-        const std::string &mod = parts[i];
-        if (mod == "perfect")
-            continue;   // already applied
-        if (mod == "decode8")
-            out = presets::decode8(out);
-        else if (mod == "earlyout")
-            out.earlyOutMultiply = true;
-        else if (mod == "nogate33")
-            out.gating.gate33 = false;
-        else if (mod == "nodecodecache")
-            out.decodeCache = false;
-        else if (mod == "notrace")
-            out.superblockTraces = false;
-        else if (mod.rfind("sample=", 0) == 0) {
-            // Run-schedule modifier: validated here, extracted by
-            // sampleBySpec; no effect on the CoreConfig itself.
-            SampleOptions ignored;
-            if (!parseSampleModifier(mod, ignored))
-                return false;
-        } else if (mod.rfind("ckpt=", 0) == 0) {
-            // Run-schedule modifier like +sample=; see ckptBySpec.
-            u64 ignored;
-            if (!parseCkptModifier(mod, ignored))
-                return false;
-        } else
-            return false;
-    }
-    return true;
-}
-
-} // namespace
 
 CoreConfig
 configBySpec(const std::string &spec)
 {
-    CoreConfig cfg;
-    if (!resolveSpec(spec, cfg)) {
-        NWSIM_FATAL("unknown config spec \"", spec,
-                    "\" (bases: baseline, packing, packing-replay, "
-                    "issue8; modifiers: +decode8, +perfect, +earlyout, "
-                    "+nogate33, +nodecodecache, +notrace, "
-                    "+sample=P:W:M[:rand[:seed]], +ckpt=N)");
-    }
-    return cfg;
+    return cfg::resolveMachineSpec(spec).config;
 }
 
 SampleOptions
 sampleBySpec(const std::string &spec)
 {
-    SampleOptions s;
-    size_t pos = 0;
-    while ((pos = spec.find('+', pos)) != std::string::npos) {
-        ++pos;
-        const size_t end = spec.find('+', pos);
-        const std::string mod = spec.substr(
-            pos, end == std::string::npos ? std::string::npos : end - pos);
-        if (mod.rfind("sample=", 0) == 0 &&
-            !parseSampleModifier(mod, s)) {
-            NWSIM_FATAL("malformed sample modifier \"+", mod,
-                        "\" (want +sample=period:warmup:measure"
-                        "[:rand[:seed]])");
-        }
-    }
-    return s;
+    return cfg::resolveMachineSpec(spec).sample;
 }
 
 u64
 ckptBySpec(const std::string &spec)
 {
-    u64 every = 0;
-    size_t pos = 0;
-    while ((pos = spec.find('+', pos)) != std::string::npos) {
-        ++pos;
-        const size_t end = spec.find('+', pos);
-        const std::string mod = spec.substr(
-            pos, end == std::string::npos ? std::string::npos : end - pos);
-        if (mod.rfind("ckpt=", 0) == 0 && !parseCkptModifier(mod, every))
-            NWSIM_FATAL("malformed checkpoint modifier \"+", mod,
-                        "\" (want +ckpt=N with N > 0)");
-    }
-    return every;
+    return cfg::resolveMachineSpec(spec).ckptEvery;
 }
 
 bool
 isValidConfigSpec(const std::string &spec)
 {
-    CoreConfig cfg;
-    return resolveSpec(spec, cfg);
+    return cfg::tryResolveMachineSpec(spec, nullptr, nullptr);
 }
 
 } // namespace nwsim::exp

@@ -256,6 +256,7 @@ packSimJobSpec(const SimJob &job)
     s.str(job.workload);
     s.str(job.configSpec);
     s.str(job.asmText);
+    s.str(job.configText);
     s.u64v(job.opts.warmupInsts);
     s.u64v(job.opts.measureInsts);
     s.boolv(job.opts.fastWarmup);
@@ -289,6 +290,7 @@ unpackSimJobSpec(std::string_view blob, SimJob &out)
     s.str(job.workload);
     s.str(job.configSpec);
     s.str(job.asmText);
+    s.str(job.configText);
     s.u64v(job.opts.warmupInsts);
     s.u64v(job.opts.measureInsts);
     s.boolv(job.opts.fastWarmup);

@@ -48,8 +48,12 @@ namespace nwsim::exp
  *
  * v6: RunResult gains the superblock trace-cache counters
  * (func/superblock.hh); CoreConfig gains superblockTraces (+notrace).
+ *
+ * v7: SimJob gains configText — the canonical `.cfg` dump of file-based
+ * machine specs (cfg/loader.hh) — so remote workers and reproducer
+ * bundles reproduce declarative machines without driver-side files.
  */
-inline constexpr u8 kWireVersion = 6;
+inline constexpr u8 kWireVersion = 7;
 
 /** Magic opening a packed JobOutcome blob. */
 inline constexpr char kOutcomeMagic[4] = {'N', 'W', 'O', 'B'};

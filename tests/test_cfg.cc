@@ -1,0 +1,586 @@
+/**
+ * @file
+ * The declarative configuration surface (docs/CONFIG.md): parser
+ * grammar and error taxonomy, field-table binding, preset/.cfg twin
+ * identity, spec-grammar aliasing, the workload generator's
+ * determinism, and the mutated-bytes fuzz drill (arbitrary input must
+ * always produce a classified BadInputError, never UB).
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cfg/config.hh"
+#include "cfg/fields.hh"
+#include "cfg/loader.hh"
+#include "cfg/wgen.hh"
+#include "common/error.hh"
+#include "common/rng.hh"
+#include "driver/presets.hh"
+#include "driver/runner.hh"
+#include "exp/campaign.hh"
+#include "exp/configs.hh"
+#include "exp/wire.hh"
+#include "stat_diff.hh"
+
+using namespace nwsim;
+using test::statIdentical;
+
+namespace
+{
+
+/** Scratch directory for files this suite writes. */
+std::string
+scratchDir()
+{
+    static const std::string dir = [] {
+        std::string d =
+            std::filesystem::temp_directory_path() / "nwsim_cfg_test";
+        std::filesystem::create_directories(d);
+        return d;
+    }();
+    return dir;
+}
+
+std::string
+writeFile(const std::string &name, const std::string &text)
+{
+    const std::string path = scratchDir() + "/" + name;
+    std::ofstream out(path);
+    out << text;
+    return path;
+}
+
+/** Shipped configs/ directory (compile definition from CMake). */
+std::string
+shippedConfig(const std::string &name)
+{
+    return std::string(NWSIM_CONFIGS_DIR) + "/" + name;
+}
+
+} // namespace
+
+// ---- parser grammar -------------------------------------------------
+
+TEST(CfgParser, SectionsEntriesAndComments)
+{
+    const cfg::ConfigFile f = cfg::parseConfigText(
+        "top = 1           # trailing comment\n"
+        "; full-line comment\n"
+        "[machine]\n"
+        "ruuSize = 128\n"
+        "name = \"quoted ; not a comment\"\n"
+        "[workload mix-16]\n"
+        "w16 = 80\n");
+    ASSERT_EQ(f.sections.size(), 3u);
+    EXPECT_EQ(f.globals().find("top")->value.text, "1");
+    const cfg::CfgSection *m = f.section("machine");
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->find("ruuSize")->value.text, "128");
+    EXPECT_EQ(m->find("name")->value.text, "quoted ; not a comment");
+    EXPECT_TRUE(m->find("name")->value.quoted);
+    const cfg::CfgSection *w = f.section("workload", "mix-16");
+    ASSERT_NE(w, nullptr);
+    EXPECT_EQ(w->find("w16")->value.text, "80");
+}
+
+TEST(CfgParser, LaterBindingsOverride)
+{
+    const cfg::ConfigFile f = cfg::parseConfigText(
+        "[machine]\nruuSize = 64\nruuSize = 96\n");
+    EXPECT_EQ(f.section("machine")->find("ruuSize")->value.text, "96");
+}
+
+TEST(CfgParser, VariableSubstitutionAndArithmetic)
+{
+    const cfg::ConfigFile f = cfg::parseConfigText(
+        "issue = 4\n"
+        "[machine]\n"
+        "issueWidth = $(issue)\n"
+        "ruuSize = $(issue) * 20\n");
+    const cfg::CfgSection *m = f.section("machine");
+    EXPECT_DOUBLE_EQ(cfg::entryNumber(f, *m->find("issueWidth")), 4.0);
+    EXPECT_DOUBLE_EQ(cfg::entryNumber(f, *m->find("ruuSize")), 80.0);
+}
+
+TEST(CfgParser, ArrayKeysExpandWithIndex)
+{
+    const cfg::ConfigFile f = cfg::parseConfigText(
+        "[sweep]\nworkloads[0:2] = \"wgen:seed=$(i)\"\n");
+    const cfg::CfgSection *s = f.section("sweep");
+    ASSERT_EQ(s->entries.size(), 3u);
+    EXPECT_EQ(s->entries[0].key, "workloads[0]");
+    EXPECT_EQ(s->entries[0].value.text, "wgen:seed=0");
+    EXPECT_EQ(s->entries[2].key, "workloads[2]");
+    EXPECT_EQ(s->entries[2].value.text, "wgen:seed=2");
+}
+
+TEST(CfgParser, ExpressionEvaluator)
+{
+    double v = 0;
+    std::string err;
+    EXPECT_TRUE(cfg::evalExpression("2 + 3 * 4", v, err));
+    EXPECT_DOUBLE_EQ(v, 14.0);
+    EXPECT_TRUE(cfg::evalExpression("(2 + 3) * -4", v, err));
+    EXPECT_DOUBLE_EQ(v, -20.0);
+    EXPECT_TRUE(cfg::evalExpression("0x40", v, err));
+    EXPECT_DOUBLE_EQ(v, 64.0);
+    EXPECT_FALSE(cfg::evalExpression("1 / 0", v, err));
+    EXPECT_FALSE(cfg::evalExpression("2 +", v, err));
+    EXPECT_FALSE(cfg::evalExpression("((((", v, err));
+}
+
+/** Error-path table: every malformed input is a classified
+ *  BadInputError whose message carries file:line context. */
+TEST(CfgParser, ErrorTaxonomy)
+{
+    struct Case
+    {
+        const char *text;
+        const char *expect;   // substring of the error message
+    };
+    const Case cases[] = {
+        {"[machine\nruuSize = 1\n", "missing closing"},
+        {"[machine extra words here]\n", "malformed section"},
+        {"[machine]\n= 5\n", "key"},
+        {"[machine]\nruuSize 5\n", "="},
+        {"[machine]\nruuSize = \"unterminated\n", "quote"},
+        {"[machine]\nruuSize = $(nope)\n", "nope"},
+        {"[machine]\nruuSize = $(broken\n", "unterminated $("},
+        {"[sweep]\nx[5:2] = 1\n", "array"},
+        {"[sweep]\nx[0:999999999] = 1\n", "array"},
+    };
+    for (const Case &c : cases) {
+        try {
+            (void)cfg::parseConfigText(c.text, "err.cfg");
+            FAIL() << "no error for: " << c.text;
+        } catch (const BadInputError &e) {
+            EXPECT_NE(std::string(e.what()).find("err.cfg:"),
+                      std::string::npos)
+                << "no file:line context in: " << e.what();
+            EXPECT_NE(std::string(e.what()).find(c.expect),
+                      std::string::npos)
+                << "expected \"" << c.expect << "\" in: " << e.what();
+        }
+    }
+}
+
+TEST(CfgParser, ClosestNameSuggestions)
+{
+    const std::vector<std::string> known = {"issueWidth", "ruuSize",
+                                            "lsqSize"};
+    EXPECT_EQ(cfg::closestName("issueWidht", known), "issueWidth");
+    EXPECT_EQ(cfg::closestName("ruusize", known), "ruuSize");
+    EXPECT_EQ(cfg::closestName("zzzzzz", known), "");
+}
+
+// ---- field table ----------------------------------------------------
+
+TEST(CfgFields, TableCoversWireSurface)
+{
+    // The wire format packs the full CoreConfig; the field table must
+    // bind the same surface. A new CoreConfig member shows up here as
+    // a pack/dump round-trip mismatch (see TwinIdentity below); this
+    // guards the table's internal consistency.
+    const std::vector<cfg::FieldDesc> &fields = cfg::coreConfigFields();
+    EXPECT_GE(fields.size(), 60u);
+    for (const cfg::FieldDesc &f : fields) {
+        EXPECT_NE(cfg::findField(f.name), nullptr) << f.name;
+        // Defaults must satisfy their own declared ranges.
+        EXPECT_NO_THROW(
+            cfg::checkFieldValue(f, f.get(CoreConfig{}), ""))
+            << f.name;
+    }
+}
+
+TEST(CfgFields, RangeAndTypeViolations)
+{
+    const cfg::FieldDesc *ruu = cfg::findField("ruuSize");
+    ASSERT_NE(ruu, nullptr);
+    EXPECT_THROW(cfg::checkFieldValue(*ruu, 0, ""), BadInputError);
+    EXPECT_THROW(cfg::checkFieldValue(*ruu, 1.5, ""), BadInputError);
+    const cfg::FieldDesc *b = cfg::findField("packing.enabled");
+    ASSERT_NE(b, nullptr);
+    EXPECT_THROW(cfg::checkFieldValue(*b, 2, ""), BadInputError);
+    EXPECT_NO_THROW(cfg::checkFieldValue(*b, 1, ""));
+}
+
+TEST(CfgFields, DiffAndSameConfig)
+{
+    CoreConfig a = presets::baseline();
+    CoreConfig b = a;
+    EXPECT_TRUE(cfg::sameConfig(a, b));
+    EXPECT_TRUE(cfg::diffConfigs(a, b).empty());
+    b.issueWidth = 8;
+    b.packing.enabled = true;
+    const std::vector<cfg::FieldDiff> d = cfg::diffConfigs(a, b);
+    ASSERT_EQ(d.size(), 2u);
+    EXPECT_STREQ(d[0].field->name, "issueWidth");
+    EXPECT_STREQ(d[1].field->name, "packing.enabled");
+    EXPECT_FALSE(cfg::sameConfig(a, b));
+}
+
+// ---- loader: specs, files, twins ------------------------------------
+
+TEST(CfgLoader, DumpParseRoundTripIsBitIdentical)
+{
+    const char *specs[] = {
+        "baseline",
+        "packing",
+        "packing-replay+decode8",
+        "issue8+perfect+earlyout",
+        "baseline+sample=200000:2000:8000",
+        "packing+sample=200000:2000:8000:rand:7+ckpt=1000000",
+    };
+    for (const char *spec : specs) {
+        const cfg::MachineSpec a = cfg::resolveMachineSpec(spec);
+        const std::string dump = cfg::canonicalMachineDump(a);
+        const std::string path =
+            writeFile("roundtrip.cfg", dump);
+        const cfg::MachineSpec b = cfg::resolveMachineSpec(path);
+        EXPECT_TRUE(cfg::sameConfig(a.config, b.config)) << spec;
+        // Dump of the re-parse must be byte-identical modulo the
+        // provenance comment (which names the spec it came from).
+        std::string da = dump, db = cfg::canonicalMachineDump(b);
+        da.erase(0, da.find("[machine]"));
+        db.erase(0, db.find("[machine]"));
+        EXPECT_EQ(da, db) << spec;
+        // Schedule properties survive the file round trip too.
+        EXPECT_EQ(a.sample.enabled, b.sample.enabled) << spec;
+        EXPECT_EQ(a.sample.periodInsts, b.sample.periodInsts) << spec;
+        EXPECT_EQ(a.ckptEvery, b.ckptEvery) << spec;
+    }
+}
+
+TEST(CfgLoader, ShippedTwinsMatchPresets)
+{
+    const char *names[] = {"baseline", "packing", "packing-replay",
+                           "issue8"};
+    for (const char *name : names) {
+        const cfg::MachineSpec preset = cfg::resolveMachineSpec(name);
+        const cfg::MachineSpec twin = cfg::resolveMachineSpec(
+            shippedConfig(std::string(name) + ".cfg"));
+        EXPECT_TRUE(cfg::sameConfig(preset.config, twin.config))
+            << name;
+        // Byte-level: the packed wire blobs of two grid jobs must be
+        // identical except for the label fields.
+        exp::SimJob a, b;
+        a.workload = b.workload = "x";
+        a.configSpec = b.configSpec = "y";
+        a.config = preset.config;
+        b.config = twin.config;
+        b.configText.clear();   // labels/text differ by design
+        EXPECT_EQ(exp::packSimJobSpec(a), exp::packSimJobSpec(b))
+            << name;
+    }
+}
+
+TEST(CfgLoader, ModifiersMatchLegacyMeaning)
+{
+    const cfg::MachineSpec m =
+        cfg::resolveMachineSpec("baseline+decode8+perfect+earlyout");
+    CoreConfig want = presets::decode8(presets::baseline());
+    want.perfectBPred = true;
+    want.earlyOutMultiply = true;
+    EXPECT_TRUE(cfg::sameConfig(m.config, want));
+
+    const cfg::MachineSpec s =
+        cfg::resolveMachineSpec("baseline+sample=4000:500:1500:rand:9");
+    EXPECT_TRUE(s.sample.enabled);
+    EXPECT_EQ(s.sample.periodInsts, 4000u);
+    EXPECT_EQ(s.sample.warmupInsts, 500u);
+    EXPECT_EQ(s.sample.measureInsts, 1500u);
+
+    EXPECT_EQ(cfg::resolveMachineSpec("baseline+ckpt=5000").ckptEvery,
+              5000u);
+}
+
+TEST(CfgLoader, UnknownNamesGetSuggestions)
+{
+    try {
+        cfg::resolveMachineSpec("packing-reply");
+        FAIL();
+    } catch (const BadInputError &e) {
+        EXPECT_NE(std::string(e.what()).find("packing-replay"),
+                  std::string::npos)
+            << e.what();
+    }
+    try {
+        cfg::resolveMachineSpec("baseline+decode88");
+        FAIL();
+    } catch (const BadInputError &e) {
+        EXPECT_NE(std::string(e.what()).find("decode8"),
+                  std::string::npos)
+            << e.what();
+    }
+    const std::string path = writeFile(
+        "typo.cfg", "[machine]\ninherit = \"baseline\"\nisseWidth = 8\n");
+    try {
+        cfg::resolveMachineSpec(path);
+        FAIL();
+    } catch (const BadInputError &e) {
+        EXPECT_NE(std::string(e.what()).find("issueWidth"),
+                  std::string::npos)
+            << e.what();
+        EXPECT_NE(std::string(e.what()).find("typo.cfg:3"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(CfgLoader, InheritanceChainsAndCycles)
+{
+    const std::string base = writeFile(
+        "chain_base.cfg",
+        "[machine]\ninherit = \"baseline\"\nruuSize = 96\n");
+    const std::string mid = writeFile(
+        "chain_mid.cfg",
+        "[machine]\ninherit = \"chain_base.cfg\"\nissueWidth = 8\n");
+    const cfg::MachineSpec m = cfg::resolveMachineSpec(mid);
+    EXPECT_EQ(m.config.ruuSize, 96u);
+    EXPECT_EQ(m.config.issueWidth, 8u);
+
+    const std::string a = scratchDir() + "/cycle_a.cfg";
+    const std::string b = scratchDir() + "/cycle_b.cfg";
+    writeFile("cycle_a.cfg",
+              "[machine]\ninherit = \"cycle_b.cfg\"\n");
+    writeFile("cycle_b.cfg",
+              "[machine]\ninherit = \"cycle_a.cfg\"\n");
+    EXPECT_THROW(cfg::resolveMachineSpec(a), BadInputError);
+    (void)b;
+}
+
+TEST(CfgLoader, CrossFieldValidation)
+{
+    // Non-power-of-two cache set count: must be a classified input
+    // error (the cache indexes with a pow2 mask), not an assert.
+    const std::string path = writeFile(
+        "badgeom.cfg",
+        "[machine]\ninherit = \"baseline\"\n"
+        "mem.l1d.sizeBytes = 3000\n");
+    EXPECT_THROW(cfg::resolveMachineSpec(path), BadInputError);
+}
+
+TEST(CfgLoader, LegacyAliasesResolveThroughSameLoader)
+{
+    // exp::configBySpec and friends are thin aliases (satellite: the
+    // three ad-hoc modifier parsers are gone).
+    EXPECT_TRUE(cfg::sameConfig(
+        exp::configBySpec("packing-replay+decode8"),
+        cfg::resolveMachineSpec("packing-replay+decode8").config));
+    EXPECT_TRUE(exp::isValidConfigSpec("baseline+perfect"));
+    EXPECT_FALSE(exp::isValidConfigSpec("baseline+nonsense"));
+    EXPECT_EQ(exp::ckptBySpec("baseline+ckpt=123"), 123u);
+    EXPECT_TRUE(exp::sampleBySpec("baseline+sample=4000:500:1500")
+                    .enabled);
+}
+
+// ---- workload generator ---------------------------------------------
+
+TEST(CfgWgen, DeterministicAndCanonical)
+{
+    const cfg::WgenParams p =
+        cfg::parseWgenSpec("wgen:seed=7,ops=32,w16=80,w33=10,w64=10");
+    EXPECT_EQ(p.seed, 7u);
+    EXPECT_EQ(p.ops, 32u);
+    // Same params -> byte-identical text, everywhere, every time.
+    EXPECT_EQ(cfg::wgenProgramText(p), cfg::wgenProgramText(p));
+    // Canonical spec round-trips to the same params and text.
+    const cfg::WgenParams q =
+        cfg::parseWgenSpec(cfg::canonicalWgenSpec(p));
+    EXPECT_EQ(cfg::wgenProgramText(p), cfg::wgenProgramText(q));
+    // Different seeds -> different programs.
+    cfg::WgenParams r = p;
+    r.seed = 8;
+    EXPECT_NE(cfg::wgenProgramText(p), cfg::wgenProgramText(r));
+}
+
+TEST(CfgWgen, GeneratedProgramsRunToCompletion)
+{
+    for (u64 seed : {1ull, 99ull, 12345ull}) {
+        cfg::WgenParams p;
+        p.seed = seed;
+        p.ops = 24;
+        p.iters = 8;
+        p.blocks = 2;
+        p.load = 20;
+        p.store = 12;
+        RunOptions opts;
+        opts.warmupInsts = 0;
+        opts.fastWarmup = false;
+        opts.measureInsts = 10'000'000;
+        const RunResult r =
+            runProgram(cfg::wgenProgram(p), presets::baseline(), opts,
+                       "wgen", "baseline");
+        // Halted on its own, having committed real work.
+        EXPECT_GT(r.core.committed, 100u) << seed;
+    }
+}
+
+TEST(CfgWgen, SpecErrorsAreClassified)
+{
+    EXPECT_THROW(cfg::parseWgenSpec("wgen:sede=7"), BadInputError);
+    EXPECT_THROW(cfg::parseWgenSpec("wgen:ops=0"), BadInputError);
+    EXPECT_THROW(cfg::parseWgenSpec("wgen:regionBytes=3000"),
+                 BadInputError);
+    EXPECT_THROW(cfg::parseWgenSpec("wgen:w16=0,w33=0,w64=0"),
+                 BadInputError);
+    EXPECT_TRUE(cfg::isKnownWorkloadName("wgen:seed=3"));
+    EXPECT_FALSE(cfg::isKnownWorkloadName("wgen:sede=3"));
+    EXPECT_FALSE(cfg::isKnownWorkloadName("no-such-workload"));
+}
+
+// ---- grid / campaign integration ------------------------------------
+
+TEST(CfgCampaign, PresetAndTwinGridsAreStatIdentical)
+{
+    RunOptions opts;
+    opts.warmupInsts = 1000;
+    opts.measureInsts = 6000;
+    const std::vector<std::string> workloads = {"li",
+                                                "wgen:seed=5,iters=64"};
+    exp::Campaign presetGrid =
+        exp::Campaign::grid(workloads, {"packing-replay"}, opts);
+    exp::Campaign twinGrid = exp::Campaign::grid(
+        workloads, {shippedConfig("packing-replay.cfg")}, opts);
+    exp::CampaignOptions copts;
+    const exp::ResultSet a = presetGrid.run(copts);
+    const exp::ResultSet b = twinGrid.run(copts);
+    ASSERT_EQ(a.outcomes().size(), b.outcomes().size());
+    for (size_t i = 0; i < a.outcomes().size(); ++i) {
+        ASSERT_TRUE(a.outcomes()[i].ok);
+        ASSERT_TRUE(b.outcomes()[i].ok);
+        EXPECT_TRUE(statIdentical(a.outcomes()[i].result,
+                                  b.outcomes()[i].result));
+    }
+}
+
+TEST(CfgCampaign, ConfigTextRidesWireV7)
+{
+    RunOptions opts;
+    exp::Campaign c = exp::Campaign::grid(
+        {"li"}, {shippedConfig("baseline.cfg")}, opts);
+    ASSERT_EQ(c.jobs().size(), 1u);
+    const exp::SimJob &job = c.jobs()[0];
+    EXPECT_FALSE(job.configText.empty());
+    exp::SimJob back;
+    ASSERT_EQ(exp::unpackSimJobSpec(exp::packSimJobSpec(job), back),
+              exp::WireError::None);
+    EXPECT_EQ(back.configText, job.configText);
+    EXPECT_TRUE(cfg::sameConfig(back.config, job.config));
+    // The shipped text is itself a loadable machine (reproducer
+    // bundles replay machine.cfg directly).
+    const std::string path =
+        writeFile("wire_roundtrip.cfg", back.configText);
+    EXPECT_TRUE(cfg::sameConfig(
+        cfg::resolveMachineSpec(path).config, job.config));
+}
+
+TEST(CfgCampaign, SweepFilesExpandTheGrid)
+{
+    const std::string sweep = writeFile(
+        "mini_sweep.cfg",
+        "[sweep]\n"
+        "machines = baseline, issue8\n"
+        "workloads[0:1] = \"wgen:seed=$(i)+1,iters=16\"\n"
+        "workloads[2] = \"mix\"\n"
+        "[workload mix]\n"
+        "seed = 9\n"
+        "iters = 16\n");
+    const cfg::SweepPlan plan = cfg::loadSweepFile(sweep);
+    ASSERT_EQ(plan.machines.size(), 2u);
+    ASSERT_EQ(plan.workloads.size(), 3u);
+    EXPECT_EQ(plan.workloads[2].name, "mix");
+    EXPECT_FALSE(plan.workloads[0].asmText.empty());
+    EXPECT_FALSE(plan.workloads[2].asmText.empty());
+    RunOptions opts;
+    opts.warmupInsts = 0;
+    opts.measureInsts = 100000;
+    exp::Campaign c =
+        exp::Campaign::sweepGrid(plan.workloads, plan.machines, opts);
+    EXPECT_EQ(c.jobs().size(), 6u);
+    const exp::ResultSet r = c.run({});
+    for (const exp::JobOutcome &o : r.outcomes())
+        EXPECT_TRUE(o.ok) << o.label() << ": " << o.error;
+}
+
+// ---- fuzz drill -----------------------------------------------------
+
+/**
+ * Mutated-bytes drill: arbitrary corruptions of a real config file
+ * must always yield either a successful parse or a classified
+ * BadInputError — never UB, never an uncaught exception, never an
+ * internal-error assert. (The ctest `config`+`sanitize` entry reruns
+ * this suite under UBSan via the nested build.)
+ */
+TEST(CfgFuzz, MutatedConfigBytesNeverEscapeTheTaxonomy)
+{
+    std::ifstream in(shippedConfig("baseline.cfg"));
+    ASSERT_TRUE(in.good());
+    std::string base((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    SplitMix64 rng(0xc0ffee);
+    size_t parsed = 0, rejected = 0;
+    for (int iter = 0; iter < 500; ++iter) {
+        std::string text = base;
+        // 1..8 byte-level mutations: overwrite, insert, or delete.
+        const unsigned edits = 1 + static_cast<unsigned>(rng.below(8));
+        for (unsigned e = 0; e < edits && !text.empty(); ++e) {
+            const size_t pos = rng.below(text.size());
+            switch (rng.below(3)) {
+            case 0:
+                text[pos] = static_cast<char>(rng.below(256));
+                break;
+            case 1:
+                text.insert(pos, 1,
+                            static_cast<char>(rng.below(256)));
+                break;
+            default:
+                text.erase(pos, 1);
+                break;
+            }
+        }
+        const std::string path = writeFile("mutant.cfg", text);
+        try {
+            (void)cfg::resolveMachineSpec(path);
+            ++parsed;
+        } catch (const BadInputError &) {
+            ++rejected;   // classified — exactly what we want
+        }
+    }
+    EXPECT_EQ(parsed + rejected, 500u);
+    // Sanity: the drill exercised both outcomes.
+    EXPECT_GT(parsed, 0u);
+    EXPECT_GT(rejected, 0u);
+}
+
+/** Same drill over the wgen spec-string surface. */
+TEST(CfgFuzz, MutatedWgenSpecsNeverEscapeTheTaxonomy)
+{
+    const std::string base =
+        "wgen:seed=7,ops=32,iters=8,w16=60,w33=20,w64=20,load=15";
+    SplitMix64 rng(0xfeedface);
+    for (int iter = 0; iter < 500; ++iter) {
+        std::string spec = base;
+        const unsigned edits = 1 + static_cast<unsigned>(rng.below(4));
+        for (unsigned e = 0; e < edits && !spec.empty(); ++e) {
+            const size_t pos = rng.below(spec.size());
+            if (rng.below(2))
+                spec[pos] = static_cast<char>(rng.below(256));
+            else
+                spec.erase(pos, 1);
+        }
+        try {
+            if (cfg::isWgenSpec(spec))
+                (void)cfg::parseWgenSpec(spec);
+        } catch (const BadInputError &) {
+            // classified
+        }
+    }
+    SUCCEED();
+}

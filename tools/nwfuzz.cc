@@ -18,10 +18,19 @@
  *     --iters N        loop iterations per case (default 6)
  *     --out DIR        where failing reproducers are written
  *                      (default: current directory)
+ *     --realistic      draw cases from the workload generator
+ *                      (cfg/wgen.hh) instead of the adversarial IR:
+ *                      each seed picks a random knob vector — width
+ *                      profile, op mix, region/stride shape — and the
+ *                      generated program runs across the same config
+ *                      matrix under the same checkers. Failing cases
+ *                      are written as replayable .s files whose header
+ *                      names the exact `wgen:` spec
  *     --inject-fault   self-test: corrupt one op of each case's core
  *                      view; every case must then FAIL, be shrunk, and
  *                      yield a reproducer — exercising the entire
  *                      catch-and-shrink loop on purpose
+ *                      (incompatible with --realistic)
  *
  * Exit status (docs/ROBUSTNESS.md): 0 when every case behaved as
  * expected (clean normally, caught-and-shrunk under --inject-fault);
@@ -35,8 +44,11 @@
 #include <iostream>
 #include <string>
 
+#include "cfg/wgen.hh"
 #include "check/fuzz.hh"
+#include "check/session.hh"
 #include "common/error.hh"
+#include "common/rng.hh"
 
 using namespace nwsim;
 
@@ -47,8 +59,107 @@ int
 usage()
 {
     std::cerr << "usage: nwfuzz [--seeds N] [--seed-base N] [--ops N]\n"
-              << "              [--iters N] [--out DIR] [--inject-fault]\n";
+              << "              [--iters N] [--out DIR] [--realistic]\n"
+              << "              [--inject-fault]\n";
     return exitcode::Usage;
+}
+
+/**
+ * Random-but-valid generator knobs for one --realistic case: every
+ * draw stays inside the knob table's ranges, so each case is exactly
+ * the program a user could ask for with the printed `wgen:` spec.
+ */
+cfg::WgenParams
+realisticParams(u64 seed)
+{
+    SplitMix64 rng(seed ^ 0x6e77667a72656164ULL);
+    cfg::WgenParams p;
+    p.seed = seed;
+    p.ops = 16 + static_cast<unsigned>(rng.below(49));     // 16..64
+    p.iters = 4 + static_cast<unsigned>(rng.below(13));    // 4..16
+    p.blocks = 1 + static_cast<unsigned>(rng.below(3));    // 1..3
+    // Width profile: at least one weight nonzero by construction.
+    p.w16 = 1 + static_cast<unsigned>(rng.below(100));
+    p.w33 = static_cast<unsigned>(rng.below(101));
+    p.w64 = static_cast<unsigned>(rng.below(101));
+    p.alu = 1 + static_cast<unsigned>(rng.below(50));
+    p.aluimm = static_cast<unsigned>(rng.below(31));
+    p.ldconst = static_cast<unsigned>(rng.below(21));
+    p.load = static_cast<unsigned>(rng.below(31));
+    p.store = static_cast<unsigned>(rng.below(21));
+    p.branch = static_cast<unsigned>(rng.below(16));
+    p.regions = 1 + static_cast<unsigned>(rng.below(4));   // 1..4
+    p.regionBytes = 64u << rng.below(8);                   // 64..8192
+    p.stride = 8 * (1 + static_cast<unsigned>(rng.below(8)));
+    p.randmem = static_cast<unsigned>(rng.below(101));
+    return p;
+}
+
+/**
+ * One --realistic case: a generated program across the full config
+ * matrix under the lockstep oracle + invariant checker. Returns the
+ * name of the first failing config, or "" when clean.
+ */
+std::string
+runRealisticCase(const Program &prog, const std::string &spec,
+                 const std::vector<FuzzConfig> &matrix,
+                 std::string *report)
+{
+    // Generated programs halt on their own; the measure budget is just
+    // a runaway backstop far above any knob-legal program length.
+    RunOptions opts;
+    opts.warmupInsts = 0;
+    opts.fastWarmup = false;
+    opts.measureInsts = 50'000'000;
+    for (const FuzzConfig &fc : matrix) {
+        const CheckedRunOutcome out =
+            runCheckedProgram(prog, fc.config, opts, spec, fc.name);
+        if (!out.ok) {
+            *report = out.report;
+            return fc.name;
+        }
+    }
+    return "";
+}
+
+int
+realisticMain(u64 seeds, u64 seed_base, const std::string &out_dir)
+{
+    const std::vector<FuzzConfig> matrix = fuzzConfigMatrix();
+    u64 clean = 0, failed = 0;
+    for (u64 i = 0; i < seeds; ++i) {
+        const u64 seed = seed_base + i;
+        const cfg::WgenParams params = realisticParams(seed);
+        const std::string spec = cfg::canonicalWgenSpec(params);
+        const std::string text = cfg::wgenProgramText(params);
+        std::string report;
+        const std::string bad =
+            runRealisticCase(cfg::wgenProgram(params), spec, matrix,
+                             &report);
+        if (bad.empty()) {
+            ++clean;
+            continue;
+        }
+        ++failed;
+        std::filesystem::create_directories(out_dir);
+        const std::string path = out_dir + "/nwfuzz-realistic-seed" +
+                                 std::to_string(seed) + ".s";
+        std::ofstream out(path);
+        out << "; generated workload, " << spec << "\n"
+            << "; failing config: " << bad << "\n"
+            << "; replay with: nwsim run " << path << " --check\n"
+            << text;
+        std::cerr << "seed " << seed << ": FAILED on " << bad << "\n"
+                  << report << "\nreproducer -> " << path << "\n";
+    }
+    std::cout << "nwfuzz: " << clean << "/" << seeds
+              << " realistic seeds clean across " << matrix.size()
+              << " configs";
+    if (failed)
+        std::cout << ", " << failed << " FAILED (reproducers in "
+                  << out_dir << ")";
+    std::cout << "\n";
+    return failed ? exitcode::CheckDivergence : 0;
 }
 
 /** Write the golden view of a shrunk case as a replayable .s file. */
@@ -75,6 +186,7 @@ runMain(int argc, char **argv)
     FuzzParams params;
     std::string out_dir = ".";
     bool inject_fault = false;
+    bool realistic = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -99,11 +211,20 @@ runMain(int argc, char **argv)
                                                    nullptr, 0));
         else if (arg == "--out")
             out_dir = next();
+        else if (arg == "--realistic")
+            realistic = true;
         else if (arg == "--inject-fault")
             inject_fault = true;
         else
             return usage();
     }
+    if (realistic && inject_fault) {
+        std::cerr << "nwfuzz: --realistic and --inject-fault are "
+                     "mutually exclusive\n";
+        return usage();
+    }
+    if (realistic)
+        return realisticMain(seeds, seed_base, out_dir);
 
     const std::vector<FuzzConfig> matrix = fuzzConfigMatrix();
     u64 clean = 0, caught = 0, escaped = 0, failed = 0;

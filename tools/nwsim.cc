@@ -5,8 +5,24 @@
  *     nwsim list
  *         List the built-in workloads (Tables 2 and 3 proxies).
  *
- *     nwsim run <workload | file.s> [options]
- *         Simulate a built-in workload or an assembly source file.
+ *     nwsim run <workload | file.s | wgen:spec> [options]
+ *         Simulate a built-in workload, an assembly source file, or a
+ *         generated workload (`wgen:seed=7,ops=64,...` — docs/CONFIG.md).
+ *
+ *     nwsim config list
+ *         Presets, +modifiers, and discovered `.cfg` config files.
+ *
+ *     nwsim config dump <spec>
+ *         Resolve any machine spec (preset+modifiers or .cfg file) and
+ *         print its canonical config-file text. dump of a dump
+ *         round-trips bit-identically.
+ *
+ *     nwsim config diff <a> <b>
+ *         Field-level diff of two resolved machine specs.
+ *
+ *     nwsim config fields [--markdown]
+ *         The full machine-parameter reference (name, type, range,
+ *         default, doc); --markdown emits the docs/CONFIG.md table.
  *
  *     nwsim bench [--suite smoke|all] [--workloads a,b] [--configs ...]
  *                 [--warmup N] [--measure N] [--jobs N] [--json FILE]
@@ -27,23 +43,26 @@
  *         KIPS is zero.
  *
  *     nwsim --version
- *         Print the version and the trace-dispatch mechanism this
- *         binary was built with (direct-threaded | call-threaded).
+ *         Print the version, the trace-dispatch mechanism this binary
+ *         was built with (direct-threaded | call-threaded), and the
+ *         config-grammar version (docs/CONFIG.md).
  *
  * Options:
  *     --config SPEC     a full campaign config spec: base preset
  *                       (baseline | packing | packing-replay | issue8)
- *                       plus +modifiers, e.g. packing-replay+decode8
- *                       or packing+sample=200000:2000:8000 for a
+ *                       or a declarative config file (machine.cfg —
+ *                       docs/CONFIG.md), plus +modifiers, e.g.
+ *                       packing-replay+decode8 or
+ *                       packing+sample=200000:2000:8000 for a
  *                       SMARTS-style sampled run with error bars
  *                       (docs/SAMPLING.md; --warmup + --measure become
  *                       the functional-stream budget). Default:
  *                       baseline — same grammar as nwsweep, so a
  *                       reproducer bundle's replay line pastes
  *                       straight into nwsim
- *     --decode8         widen fetch/decode to 8 (Section 5.4)
- *     --perfect-bp      perfect branch prediction (oracle fetch)
- *     --early-out-mult  PPC603-style early-out multiplies
+ *     --decode8         deprecated alias for +decode8 (Section 5.4)
+ *     --perfect-bp      deprecated alias for +perfect
+ *     --early-out-mult  deprecated alias for +earlyout
  *     --warmup N        fast-mode warmup instructions (default 50000;
  *                       ignored for .s files, which run to completion)
  *     --measure N       measured instructions (default 400000)
@@ -61,6 +80,7 @@
  */
 
 #include <csignal>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -68,6 +88,9 @@
 #include <string>
 
 #include "asm/textasm.hh"
+#include "cfg/fields.hh"
+#include "cfg/loader.hh"
+#include "cfg/wgen.hh"
 #include "check/session.hh"
 #include "ckpt/run.hh"
 #include "common/error.hh"
@@ -91,12 +114,12 @@ usage()
 {
     std::cerr
         << "usage: nwsim list\n"
-        << "       nwsim run <workload|file.s> [--config SPEC]\n"
-        << "                 [--decode8] [--perfect-bp]\n"
-        << "                 [--early-out-mult] [--warmup N]\n"
-        << "                 [--measure N] [--ckpt-every N]\n"
+        << "       nwsim run <workload|file.s|wgen:spec> [--config SPEC]\n"
+        << "                 [--warmup N] [--measure N] [--ckpt-every N]\n"
         << "                 [--ckpt-dir DIR] [--trace] [--csv]\n"
         << "                 [--check]\n"
+        << "       nwsim config list | dump <spec> | diff <a> <b>\n"
+        << "                 | fields [--markdown]\n"
         << "       nwsim bench [--suite smoke|all] [--workloads a,b]\n"
         << "                 [--configs s1,s2] [--warmup N] [--measure N]\n"
         << "                 [--jobs N] [--json FILE] [--no-uncached]\n"
@@ -127,13 +150,150 @@ Program
 loadProgram(const std::string &target)
 {
     if (!isAsmFile(target))
-        return workloadByName(target).program();
+        // Builtin names and generated `wgen:` specs (docs/CONFIG.md).
+        return cfg::workloadProgram(target);
     std::ifstream in(target);
     if (!in)
         NWSIM_FATAL("cannot open ", target);
     std::ostringstream src;
     src << in.rdbuf();
     return assembleText(src.str());
+}
+
+const char *
+fieldTypeName(cfg::FieldType t)
+{
+    switch (t) {
+    case cfg::FieldType::UInt: return "uint";
+    case cfg::FieldType::Bool: return "bool";
+    case cfg::FieldType::F64: return "float";
+    }
+    return "?";
+}
+
+std::string
+fieldRangeText(const cfg::FieldDesc &f)
+{
+    if (f.type == cfg::FieldType::Bool)
+        return "true|false";
+    const auto num = [](double v) {
+        if (v == static_cast<double>(static_cast<u64>(v)))
+            return std::to_string(static_cast<u64>(v));
+        std::ostringstream os;
+        os << v;
+        return os.str();
+    };
+    return num(f.minValue) + ".." + num(f.maxValue);
+}
+
+int
+configMain(int argc, char **argv)
+{
+    const std::string sub = argc >= 3 ? argv[2] : "";
+
+    if (sub == "list") {
+        std::cout << "base presets:\n";
+        for (const cfg::PresetDef &p : cfg::presetRegistry())
+            std::cout << "  " << p.name << "  -- " << p.doc << "\n";
+        std::cout << "\n+modifiers:\n";
+        for (const cfg::ModifierDef &m : cfg::modifierRegistry())
+            std::cout << "  +" << m.display << "  -- " << m.doc << "\n";
+        const std::vector<std::string> files =
+            cfg::discoverConfigFiles();
+        std::cout << "\nconfig files (configs/";
+        if (const char *path = std::getenv("NWSIM_CONFIG_PATH"))
+            std::cout << ", NWSIM_CONFIG_PATH=" << path;
+        std::cout << "):\n";
+        if (files.empty())
+            std::cout << "  (none found)\n";
+        for (const std::string &f : files)
+            std::cout << "  " << f << "\n";
+        std::cout << "\nspec grammar: " << cfg::specGrammarHelp() << "\n";
+        return 0;
+    }
+
+    if (sub == "dump") {
+        if (argc != 4)
+            return usage();
+        const cfg::MachineSpec spec = cfg::resolveMachineSpec(argv[3]);
+        std::cout << cfg::canonicalMachineDump(spec);
+        return 0;
+    }
+
+    if (sub == "diff") {
+        if (argc != 5)
+            return usage();
+        const cfg::MachineSpec a = cfg::resolveMachineSpec(argv[3]);
+        const cfg::MachineSpec b = cfg::resolveMachineSpec(argv[4]);
+        const std::vector<cfg::FieldDiff> diffs =
+            cfg::diffConfigs(a.config, b.config);
+        size_t nrows = diffs.size();
+        Table t({"field", a.spec, b.spec});
+        for (const cfg::FieldDiff &d : diffs)
+            t.addRow({d.field->name, d.a, d.b});
+        const bool sampleDiffers =
+            cfg::formatSampleSpec(a.sample) !=
+            cfg::formatSampleSpec(b.sample);
+        if (sampleDiffers) {
+            t.addRow({"schedule.sample",
+                      a.sample.enabled ? cfg::formatSampleSpec(a.sample)
+                                       : "(off)",
+                      b.sample.enabled ? cfg::formatSampleSpec(b.sample)
+                                       : "(off)"});
+            ++nrows;
+        }
+        if (a.ckptEvery != b.ckptEvery) {
+            t.addRow({"schedule.ckpt", std::to_string(a.ckptEvery),
+                      std::to_string(b.ckptEvery)});
+            ++nrows;
+        }
+        if (nrows == 0) {
+            std::cout << "specs are identical (" << a.spec << " == "
+                      << b.spec << ")\n";
+            return 0;
+        }
+        t.print();
+        return 1;   // grep-style: differences found
+    }
+
+    if (sub == "fields") {
+        const bool markdown = argc >= 4 &&
+                              std::string(argv[3]) == "--markdown";
+        const CoreConfig defaults{};
+        if (markdown) {
+            std::cout << "| field | type | range | default | "
+                         "description |\n"
+                      << "|---|---|---|---|---|\n";
+            for (const cfg::FieldDesc &f : cfg::coreConfigFields()) {
+                std::cout << "| `" << f.name << "` | "
+                          << fieldTypeName(f.type) << " | `"
+                          << fieldRangeText(f) << "` | `"
+                          << f.valueText(defaults) << "` | " << f.doc
+                          << " |\n";
+            }
+            std::cout << "\n| wgen knob | range | default | "
+                         "description |\n"
+                      << "|---|---|---|---|\n";
+            const cfg::WgenParams wdef{};
+            for (const cfg::WgenKnob &k : cfg::wgenKnobs()) {
+                std::cout << "| `" << k.name << "` | `"
+                          << static_cast<u64>(k.minValue) << ".."
+                          << static_cast<u64>(k.maxValue) << "` | `"
+                          << static_cast<u64>(k.get(wdef)) << "` | "
+                          << k.doc << " |\n";
+            }
+            return 0;
+        }
+        Table t({"field", "type", "range", "default", "description"});
+        for (const cfg::FieldDesc &f : cfg::coreConfigFields()) {
+            t.addRow({f.name, fieldTypeName(f.type), fieldRangeText(f),
+                      f.valueText(defaults), f.doc});
+        }
+        t.print();
+        return 0;
+    }
+
+    return usage();
 }
 
 void
@@ -428,11 +588,14 @@ runMain(int argc, char **argv)
     const std::string cmd = argv[1];
     if (cmd == "--version" || cmd == "version") {
         std::cout << "nwsim " << NWSIM_VERSION << " ("
-                  << sbDispatchKind() << " dispatch)\n";
+                  << sbDispatchKind() << " dispatch, config grammar v"
+                  << cfg::kGrammarVersion << ")\n";
         return 0;
     }
     if (cmd == "list")
         return listWorkloads();
+    if (cmd == "config")
+        return configMain(argc, argv);
     if (cmd == "bench")
         return benchMain(argc, argv);
     if (cmd != "run" || argc < 3)
@@ -453,15 +616,26 @@ runMain(int argc, char **argv)
             }
             return argv[++i];
         };
+        // The legacy machine flags are deprecation shims: they still
+        // work, but the spec-grammar modifiers are the one true
+        // spelling (docs/CONFIG.md "Deprecations").
+        auto deprecated = [&](const char *mod) {
+            std::cerr << "nwsim: warning: " << arg
+                      << " is deprecated; use --config SPEC" << mod
+                      << " instead\n";
+        };
         if (arg == "--config")
             config_name = next();
-        else if (arg == "--decode8")
+        else if (arg == "--decode8") {
+            deprecated("+decode8");
             decode8 = true;
-        else if (arg == "--perfect-bp")
+        } else if (arg == "--perfect-bp") {
+            deprecated("+perfect");
             perfect = true;
-        else if (arg == "--early-out-mult")
+        } else if (arg == "--early-out-mult") {
+            deprecated("+earlyout");
             early_out = true;
-        else if (arg == "--warmup")
+        } else if (arg == "--warmup")
             opts.warmupInsts = std::strtoull(next().c_str(), nullptr, 0);
         else if (arg == "--measure")
             opts.measureInsts = std::strtoull(next().c_str(), nullptr, 0);

@@ -4,7 +4,7 @@
  * experiment campaign.
  *
  *     nwsweep [--suite spec|media|all|smoke] [--workloads a,b,c]
- *             [--configs spec,spec,...] [--jobs N]
+ *             [--configs spec,spec,...] [--sweep FILE.cfg] [--jobs N]
  *             [--json FILE] [--csv FILE] [--warmup N] [--measure N]
  *             [--executor auto|thread|fork|remote]
  *             [--isolate] [--timeout SECS] [--retries N]
@@ -35,9 +35,15 @@
  *
  * Defaults: --suite all, --configs baseline,packing,packing-replay,issue8
  * (the Figure 10/11 grid), --jobs hardware_concurrency (or NWSIM_JOBS).
- * Config specs compose modifiers: e.g. packing-replay+decode8+perfect.
- * The --suite smoke preset is a tiny 2x2 grid with short windows, used
- * by ctest to exercise the parallel path.
+ * Config specs compose modifiers: e.g. packing-replay+decode8+perfect;
+ * a spec may also name a declarative `.cfg` machine file, and workloads
+ * may be generated `wgen:` specs (docs/CONFIG.md). --sweep FILE.cfg
+ * loads a whole machine × workload product from a config file's [sweep]
+ * section — including `machines[0:999]` / `workloads[0:999]` array
+ * expansions for large generated scenario grids — composing with
+ * --shard, --journal/--resume, and every executor. The --suite smoke
+ * preset is a tiny 2x2 grid with short windows, used by ctest to
+ * exercise the parallel path.
  *
  * Robustness (docs/ROBUSTNESS.md):
  *   --isolate      fork one child per job: crashes/hangs become recorded
@@ -68,6 +74,7 @@
 #include <thread>
 #include <vector>
 
+#include "cfg/loader.hh"
 #include "common/error.hh"
 #include "common/logging.hh"
 #include "exp/campaign.hh"
@@ -87,6 +94,7 @@ usage()
     std::cerr
         << "usage: nwsweep [--suite spec|media|all|smoke]\n"
         << "               [--workloads a,b,c] [--configs s1,s2,...]\n"
+        << "               [--sweep FILE.cfg]\n"
         << "               [--jobs N] [--json FILE] [--csv FILE]\n"
         << "               [--warmup N] [--measure N]\n"
         << "               [--executor auto|thread|fork|remote]\n"
@@ -165,7 +173,14 @@ listConfigs()
     std::cout << "modifiers (append with +):\n";
     for (const exp::NamedConfig &m : exp::configModifiers())
         std::cout << "  +" << m.name << "  — " << m.description << "\n";
-    std::cout << "example: packing-replay+decode8+perfect\n";
+    const std::vector<std::string> files = cfg::discoverConfigFiles();
+    if (!files.empty()) {
+        std::cout << "config files (usable as base specs):\n";
+        for (const std::string &f : files)
+            std::cout << "  " << f << "\n";
+    }
+    std::cout << "example: packing-replay+decode8+perfect\n"
+              << "         configs/baseline.cfg+sample=200000:2000:8000\n";
     return 0;
 }
 
@@ -278,6 +293,7 @@ runMain(int argc, char **argv)
     std::vector<std::string> workloads;
     std::vector<std::string> configs;
     std::vector<std::string> faults;
+    std::string sweep_path;
     std::string json_path, csv_path;
     unsigned jobs = 0;
     unsigned spawn_workers = 0;
@@ -303,6 +319,8 @@ runMain(int argc, char **argv)
             workloads = splitList(next());
         else if (arg == "--configs")
             configs = splitList(next());
+        else if (arg == "--sweep")
+            sweep_path = next();
         else if (arg == "--jobs")
             jobs = static_cast<unsigned>(
                 std::strtoul(next().c_str(), nullptr, 0));
@@ -388,10 +406,21 @@ runMain(int argc, char **argv)
             copts.timeoutSeconds = 5.0;
     }
 
+    // A --sweep file provides the machine × workload product; explicit
+    // --workloads / --configs override the corresponding axis.
+    std::vector<cfg::SweepEntry> sweepWorkloads;
+    if (!sweep_path.empty()) {
+        const cfg::SweepPlan plan = cfg::loadSweepFile(sweep_path);
+        if (configs.empty())
+            configs = plan.machines;
+        if (workloads.empty())
+            sweepWorkloads = plan.workloads;
+    }
+
     if (suite == "smoke") {
         // Tiny grid with short windows: exercises the parallel campaign
         // path in seconds (used by the ctest `campaign` label).
-        if (workloads.empty())
+        if (workloads.empty() && sweepWorkloads.empty())
             workloads = {"perl", "gsm-decode"};
         if (configs.empty())
             configs = {"baseline", "packing-replay"};
@@ -400,7 +429,7 @@ runMain(int argc, char **argv)
             opts.measureInsts = 10000;
         }
     } else {
-        if (workloads.empty()) {
+        if (workloads.empty() && sweepWorkloads.empty()) {
             if (suite != "spec" && suite != "media" && suite != "all")
                 return usage();
             workloads = suiteNames(suite);
@@ -418,7 +447,13 @@ runMain(int argc, char **argv)
     if (!copts.ckptDir.empty())
         std::filesystem::create_directories(copts.ckptDir);
 
-    exp::Campaign campaign = exp::Campaign::grid(workloads, configs, opts);
+    const size_t workload_count = sweepWorkloads.empty()
+                                      ? workloads.size()
+                                      : sweepWorkloads.size();
+    exp::Campaign campaign =
+        sweepWorkloads.empty()
+            ? exp::Campaign::grid(workloads, configs, opts)
+            : exp::Campaign::sweepGrid(sweepWorkloads, configs, opts);
     for (const std::string &kind : faults)
         campaign.add(faultJob(kind));
 
@@ -447,7 +482,7 @@ runMain(int argc, char **argv)
     }
 
     std::cerr << "nwsweep: " << campaign.jobs().size() << " jobs ("
-              << workloads.size() << " workloads x " << configs.size()
+              << workload_count << " workloads x " << configs.size()
               << " configs), warmup " << opts.warmupInsts << ", measure "
               << opts.measureInsts;
     std::cerr << ", executor "
